@@ -1,0 +1,408 @@
+// Benchmarks regenerating the paper's tables and figures (one benchmark
+// per experiment; see DESIGN.md §2) plus ablations of the design choices
+// (§5). Datasets are built once per process at a CI-tractable scale and
+// shared across benchmarks; override the scale with -benchscale.
+//
+//	go test -bench=. -benchmem
+package phrasemine
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"phrasemine/internal/core"
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/experiments"
+	"phrasemine/internal/plist"
+	"phrasemine/internal/synth"
+	"phrasemine/internal/textproc"
+	"phrasemine/internal/topk"
+)
+
+var benchScale = flag.Float64("benchscale", 0.1, "dataset scale for benchmarks (1.0 = paper-equivalent)")
+
+func benchDataset(b *testing.B, kind experiments.DatasetKind) *experiments.Dataset {
+	b.Helper()
+	ds, err := experiments.Load(kind, *benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+// rotate cycles queries across b.N iterations.
+func rotate(qs []corpus.Query, i int) corpus.Query {
+	return qs[i%len(qs)]
+}
+
+// --- Figures 5/6: result quality ------------------------------------------
+
+func benchmarkQuality(b *testing.B, kind experiments.DatasetKind) {
+	ds := benchDataset(b, kind)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunQuality(ds, []float64{0.2, 0.5}, experiments.K); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5QualityReuters(b *testing.B) { benchmarkQuality(b, experiments.Reuters) }
+func BenchmarkFig6QualityPubmed(b *testing.B)  { benchmarkQuality(b, experiments.Pubmed) }
+
+// --- Figures 7/8: SMJ vs GM in-memory runtimes ------------------------------
+
+func benchmarkSMJ(b *testing.B, kind experiments.DatasetKind, frac float64, op corpus.Operator) {
+	ds := benchDataset(b, kind)
+	smj := ds.Index.BuildSMJ(frac)
+	queries := ds.Queries(op)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ds.Index.QuerySMJ(smj, rotate(queries, i), topk.SMJOptions{K: experiments.K}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkGM(b *testing.B, kind experiments.DatasetKind, op corpus.Operator) {
+	ds := benchDataset(b, kind)
+	gm, err := ds.Index.GM()
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := ds.Queries(op)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := gm.TopK(rotate(queries, i), experiments.K); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7SMJ20AndReuters(b *testing.B) {
+	benchmarkSMJ(b, experiments.Reuters, 0.2, corpus.OpAND)
+}
+func BenchmarkFig7SMJ20OrReuters(b *testing.B) {
+	benchmarkSMJ(b, experiments.Reuters, 0.2, corpus.OpOR)
+}
+func BenchmarkFig7SMJ100AndReuters(b *testing.B) {
+	benchmarkSMJ(b, experiments.Reuters, 1.0, corpus.OpAND)
+}
+func BenchmarkFig7GMAndReuters(b *testing.B) { benchmarkGM(b, experiments.Reuters, corpus.OpAND) }
+func BenchmarkFig7GMOrReuters(b *testing.B)  { benchmarkGM(b, experiments.Reuters, corpus.OpOR) }
+
+func BenchmarkFig8SMJ20AndPubmed(b *testing.B) {
+	benchmarkSMJ(b, experiments.Pubmed, 0.2, corpus.OpAND)
+}
+func BenchmarkFig8SMJ20OrPubmed(b *testing.B) {
+	benchmarkSMJ(b, experiments.Pubmed, 0.2, corpus.OpOR)
+}
+func BenchmarkFig8GMAndPubmed(b *testing.B) { benchmarkGM(b, experiments.Pubmed, corpus.OpAND) }
+func BenchmarkFig8GMOrPubmed(b *testing.B)  { benchmarkGM(b, experiments.Pubmed, corpus.OpOR) }
+
+// --- Figures 9/10: disk-resident NRA cost break-up --------------------------
+
+func benchmarkNRADisk(b *testing.B, kind experiments.DatasetKind, frac float64) {
+	ds := benchDataset(b, kind)
+	rows, err := experiments.RunNRADiskBreakup(ds, corpus.OpAND, []float64{frac}, experiments.K)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(rows[0].DiskMS, "diskms/query")
+	b.ReportMetric(rows[0].ComputeMS, "computems/query")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunNRADiskBreakup(ds, corpus.OpAND, []float64{frac}, experiments.K); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9NRADisk20Reuters(b *testing.B) { benchmarkNRADisk(b, experiments.Reuters, 0.2) }
+func BenchmarkFig10NRADisk20Pubmed(b *testing.B) { benchmarkNRADisk(b, experiments.Pubmed, 0.2) }
+
+// --- Figure 11: NRA traversal depth -----------------------------------------
+
+func benchmarkTraversal(b *testing.B, kind experiments.DatasetKind) {
+	ds := benchDataset(b, kind)
+	rows, err := experiments.RunTraversalDepth(ds, experiments.K)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(rows[0].MeanPct, "pct-traversed")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTraversalDepth(ds, experiments.K); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11TraversalReuters(b *testing.B) { benchmarkTraversal(b, experiments.Reuters) }
+func BenchmarkFig11TraversalPubmed(b *testing.B)  { benchmarkTraversal(b, experiments.Pubmed) }
+
+// --- Figures 12/13: NRA-disk vs GM-memory ------------------------------------
+
+func benchmarkDiskVsGM(b *testing.B, kind experiments.DatasetKind) {
+	ds := benchDataset(b, kind)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunNRADiskVsGM(ds, []float64{0.2, 0.5}, experiments.K); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12DiskVsGMReuters(b *testing.B) { benchmarkDiskVsGM(b, experiments.Reuters) }
+func BenchmarkFig13DiskVsGMPubmed(b *testing.B)  { benchmarkDiskVsGM(b, experiments.Pubmed) }
+
+// --- Tables 4-7 --------------------------------------------------------------
+
+func BenchmarkTable4Samples(b *testing.B) {
+	ds := benchDataset(b, experiments.Reuters)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSampleResults(ds, experiments.K); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5IndexSizes(b *testing.B) {
+	ds := benchDataset(b, experiments.Reuters)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunIndexSizes(ds, []float64{0.1, 0.2, 0.5}, experiments.K); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6EstimateAccuracy(b *testing.B) {
+	ds := benchDataset(b, experiments.Reuters)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunEstimateAccuracy(ds, experiments.K); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable7Summary(b *testing.B) {
+	ds := benchDataset(b, experiments.Reuters)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSummary(ds, experiments.K); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §5) -------------------------------------------------
+
+// BenchmarkAblationBatchSize sweeps NRA's pruning batch b (§4.5: small
+// batches in the thousands help; extreme values hurt).
+func BenchmarkAblationBatchSize(b *testing.B) {
+	ds := benchDataset(b, experiments.Reuters)
+	queries := ds.Queries(corpus.OpOR)
+	for _, batch := range []int{16, 256, 1024, 16384, 1 << 20} {
+		b.Run(fmt.Sprintf("b=%d", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, err := ds.Index.QueryNRA(rotate(queries, i),
+					topk.NRAOptions{K: experiments.K, BatchSize: batch})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCheckNew measures the value of the checknew gate
+// (Alg. 1 line 11).
+func BenchmarkAblationCheckNew(b *testing.B) {
+	ds := benchDataset(b, experiments.Reuters)
+	queries := ds.Queries(corpus.OpOR)
+	for _, disable := range []bool{false, true} {
+		name := "on"
+		if disable {
+			name = "off"
+		}
+		b.Run("checknew="+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, err := ds.Index.QueryNRA(rotate(queries, i),
+					topk.NRAOptions{K: experiments.K, BatchSize: 256, DisableCheckNew: disable})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMerge compares SMJ's loser-tree k-way merge with the
+// binary-heap variant.
+func BenchmarkAblationMerge(b *testing.B) {
+	ds := benchDataset(b, experiments.Reuters)
+	smj := ds.Index.BuildSMJ(1.0)
+	queries := ds.Queries(corpus.OpOR)
+	for _, heap := range []bool{false, true} {
+		name := "losertree"
+		if heap {
+			name = "heap"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, err := ds.Index.QuerySMJ(smj, rotate(queries, i),
+					topk.SMJOptions{K: experiments.K, UseHeapMerge: heap})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFraction sweeps the partial-list fraction beyond the
+// paper's grid for NRA.
+func BenchmarkAblationFraction(b *testing.B) {
+	ds := benchDataset(b, experiments.Reuters)
+	queries := ds.Queries(corpus.OpOR)
+	for _, frac := range []float64{0.01, 0.05, 0.1, 0.35, 0.75, 1.0} {
+		b.Run(fmt.Sprintf("frac=%.2f", frac), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, err := ds.Index.QueryNRA(rotate(queries, i),
+					topk.NRAOptions{K: experiments.K, Fraction: frac})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEarlyStop quantifies Alg. 1's stop test (line 13).
+func BenchmarkAblationEarlyStop(b *testing.B) {
+	ds := benchDataset(b, experiments.Reuters)
+	queries := ds.Queries(corpus.OpAND)
+	for _, disable := range []bool{false, true} {
+		name := "on"
+		if disable {
+			name = "off"
+		}
+		b.Run("earlystop="+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, err := ds.Index.QueryNRA(rotate(queries, i),
+					topk.NRAOptions{K: experiments.K, BatchSize: 256, DisableEarlyStop: disable})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Micro-benchmarks of the substrates ---------------------------------------
+
+func BenchmarkEntryCodec(b *testing.B) {
+	e := plist.Entry{Phrase: 123456, Prob: 0.123456}
+	var buf [plist.EntrySize]byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plist.EncodeEntry(buf[:], e)
+		e = plist.DecodeEntry(buf[:])
+	}
+	_ = e
+}
+
+func BenchmarkIndexBuild(b *testing.B) {
+	// End-to-end index construction (extraction, dictionary, postings,
+	// forward lists, word lists) over a small corpus. The corpus itself
+	// is generated once outside the timed loop.
+	cfg := synth.ReutersLike().Scale(0.01)
+	c, err := cfg.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.BuildOptions{
+		Extractor: textproc.ExtractorOptions{MinWords: 1, MaxWords: 6, MinDocFreq: 3},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(c, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationForwardCompression compares the plain GM forward index
+// with the prefix-compressed variant (same results, smaller index, chain
+// expansion at query time).
+func BenchmarkAblationForwardCompression(b *testing.B) {
+	ds := benchDataset(b, experiments.Reuters)
+	queries := ds.Queries(corpus.OpOR)
+	gm, err := ds.Index.GM()
+	if err != nil {
+		b.Fatal(err)
+	}
+	gmc, err := ds.Index.GMCompressed()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := gm.TopK(rotate(queries, i), experiments.K); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compressed", func(b *testing.B) {
+		b.ReportMetric(gmc.CompressionRatio(), "stored/full")
+		for i := 0; i < b.N; i++ {
+			if _, _, err := gmc.TopK(rotate(queries, i), experiments.K); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationInclusionExclusion compares the paper's first-order OR
+// scoring (Eq. 12) with the second-order truncation of Eq. 11.
+func BenchmarkAblationInclusionExclusion(b *testing.B) {
+	ds := benchDataset(b, experiments.Reuters)
+	smj := ds.Index.BuildSMJ(1.0)
+	queries := ds.Queries(corpus.OpOR)
+	for _, second := range []bool{false, true} {
+		name := "first-order"
+		if second {
+			name = "second-order"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, err := ds.Index.QuerySMJ(smj, rotate(queries, i),
+					topk.SMJOptions{K: experiments.K, SecondOrderOR: second})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimitsisBaseline measures the third prior-work technique for
+// completeness of the Table 3 survey.
+func BenchmarkSimitsisBaseline(b *testing.B) {
+	ds := benchDataset(b, experiments.Reuters)
+	s, err := ds.Index.Simitsis(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := ds.Queries(corpus.OpOR)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.TopK(rotate(queries, i), experiments.K); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

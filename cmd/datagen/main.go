@@ -1,0 +1,103 @@
+// Command datagen writes a synthetic evaluation corpus to a file in the
+// one-document-per-line format consumed by cmd/phrasemine, with facet
+// headers. The generator is deterministic: the same flags always produce
+// the same corpus. See internal/synth and DESIGN.md §3 for the dataset
+// substitution rationale.
+//
+// Usage:
+//
+//	datagen -dataset reuters -scale 0.1 -out reuters.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/synth"
+	"phrasemine/internal/textproc"
+)
+
+func main() {
+	dataset := flag.String("dataset", "reuters", "dataset preset: reuters or pubmed")
+	scale := flag.Float64("scale", 1.0, "scale factor (1.0 = paper-equivalent size)")
+	out := flag.String("out", "", "output file (default stdout)")
+	seed := flag.Int64("seed", 0, "override the preset's generation seed (0 keeps it)")
+	flag.Parse()
+
+	var cfg synth.Config
+	switch *dataset {
+	case "reuters":
+		cfg = synth.ReutersLike()
+	case "pubmed":
+		cfg = synth.PubmedLike()
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown dataset %q (want reuters or pubmed)\n", *dataset)
+		os.Exit(2)
+	}
+	if *scale != 1.0 {
+		cfg = cfg.Scale(*scale)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	c, err := cfg.Generate()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	defer w.Flush()
+
+	for i := 0; i < c.Len(); i++ {
+		doc := c.MustDoc(corpus.DocID(i))
+		if len(doc.Facets) > 0 {
+			keys := make([]string, 0, len(doc.Facets))
+			for k := range doc.Facets {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for j, k := range keys {
+				if j > 0 {
+					fmt.Fprint(w, " ")
+				}
+				fmt.Fprintf(w, "%s=%s", k, doc.Facets[k])
+			}
+			fmt.Fprint(w, "\t")
+		}
+		fmt.Fprintln(w, renderTokens(doc.Tokens))
+	}
+	fmt.Fprintf(os.Stderr, "datagen: wrote %d documents (%s)\n", c.Len(), cfg.Name)
+}
+
+// renderTokens joins tokens back into a line, turning sentence-break
+// markers into periods so the output round-trips through the tokenizer.
+func renderTokens(tokens []string) string {
+	var b strings.Builder
+	for i, t := range tokens {
+		if t == textproc.SentenceBreak {
+			b.WriteString(".")
+			continue
+		}
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(t)
+	}
+	return b.String()
+}

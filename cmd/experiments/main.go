@@ -1,0 +1,341 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Section 5) over the synthetic Reuters-like and Pubmed-like
+// workloads. See DESIGN.md §2 for the experiment index and EXPERIMENTS.md
+// for recorded paper-vs-measured results.
+//
+// Usage:
+//
+//	experiments -exp all            # everything (default)
+//	experiments -exp fig7 -scale 1  # one experiment at full scale
+//	experiments -list               # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/experiments"
+)
+
+var (
+	expFlag   = flag.String("exp", "all", "experiment id (fig5..fig13, table4..table7, all)")
+	scaleFlag = flag.Float64("scale", 0.25, "dataset scale factor (1.0 = paper-equivalent sizes)")
+	kFlag     = flag.Int("k", experiments.K, "top-k result size")
+	listFlag  = flag.Bool("list", false, "list experiment ids and exit")
+)
+
+type runner func(k int) error
+
+func main() {
+	flag.Parse()
+	runners := map[string]runner{
+		"fig5": func(k int) error {
+			return runQuality(experiments.Reuters, "Figure 5: Result Quality (Reuters-like)", k)
+		},
+		"fig6": func(k int) error { return runQuality(experiments.Pubmed, "Figure 6: Result Quality (Pubmed-like)", k) },
+		"fig7": func(k int) error {
+			return runMemRuntime(experiments.Reuters, "Figure 7: Running Times SMJ vs GM (Reuters-like)", k)
+		},
+		"fig8": func(k int) error {
+			return runMemRuntime(experiments.Pubmed, "Figure 8: Running Times SMJ vs GM (Pubmed-like)", k)
+		},
+		"fig9": func(k int) error {
+			return runDiskBreakup(experiments.Reuters, "Figure 9: NRA Cost Break-up, AND (Reuters-like)", k)
+		},
+		"fig10": func(k int) error {
+			return runDiskBreakup(experiments.Pubmed, "Figure 10: NRA Cost Break-up, AND (Pubmed-like)", k)
+		},
+		"fig11": runTraversal,
+		"fig12": func(k int) error {
+			return runDiskVsGM(experiments.Reuters, "Figure 12: NRA (disk) vs GM (memory) (Reuters-like)", k)
+		},
+		"fig13": func(k int) error {
+			return runDiskVsGM(experiments.Pubmed, "Figure 13: NRA (disk) vs GM (memory) (Pubmed-like)", k)
+		},
+		"table4": runSamples,
+		"table5": runIndexSizes,
+		"table6": runAccuracy,
+		"table7": runSummary,
+	}
+	if *listFlag {
+		ids := make([]string, 0, len(runners))
+		for id := range runners {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Println(strings.Join(append(ids, "all"), "\n"))
+		return
+	}
+
+	var ids []string
+	if *expFlag == "all" {
+		for id := range runners {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return expOrder(ids[i]) < expOrder(ids[j]) })
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := runners[id]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	for _, id := range ids {
+		if err := runners[id](*kFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+// expOrder sorts figN before tableN, numerically.
+func expOrder(id string) int {
+	var n int
+	if strings.HasPrefix(id, "fig") {
+		fmt.Sscanf(id, "fig%d", &n)
+		return n
+	}
+	fmt.Sscanf(id, "table%d", &n)
+	return 100 + n
+}
+
+func load(kind experiments.DatasetKind) (*experiments.Dataset, error) {
+	ds, err := experiments.Load(kind, *scaleFlag)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("[dataset] %s\n", ds.Describe())
+	return ds, nil
+}
+
+func runQuality(kind experiments.DatasetKind, title string, k int) error {
+	ds, err := load(kind)
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.RunQuality(ds, []float64{0.2, 0.5}, k)
+	if err != nil {
+		return err
+	}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprintf("%d-%s", r.ListPct, r.Op),
+			fmt.Sprintf("%.3f", r.Metrics.Precision),
+			fmt.Sprintf("%.3f", r.Metrics.MRR),
+			fmt.Sprintf("%.3f", r.Metrics.MAP),
+			fmt.Sprintf("%.3f", r.Metrics.NDCG),
+		})
+	}
+	fmt.Print(experiments.RenderTable(title,
+		[]string{"config", "Precision", "MRR", "MAP", "NDCG"}, cells))
+	return nil
+}
+
+func runMemRuntime(kind experiments.DatasetKind, title string, k int) error {
+	ds, err := load(kind)
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.RunMemRuntime(ds, []float64{0.1, 0.2, 0.5, 1.0}, k, true, false)
+	if err != nil {
+		return err
+	}
+	var cells [][]string
+	for _, r := range rows {
+		label := r.Method
+		if r.Method == "smj" {
+			label = fmt.Sprintf("SMJ-%d%%", r.ListPct)
+		} else if r.Method == "gm" {
+			label = "GM"
+		}
+		cells = append(cells, []string{label, r.Op.String(), experiments.FormatMS(r.MeanMS)})
+	}
+	fmt.Print(experiments.RenderTable(title,
+		[]string{"method", "op", "mean ms/query"}, cells))
+	return nil
+}
+
+func runDiskBreakup(kind experiments.DatasetKind, title string, k int) error {
+	ds, err := load(kind)
+	if err != nil {
+		return err
+	}
+	// The sub-10% points expose the rising part of the cost curve: the
+	// synthetic lists let NRA's stop condition fire earlier than the
+	// paper's corpora (see EXPERIMENTS.md), so the taper knee sits lower.
+	rows, err := experiments.RunNRADiskBreakup(ds, corpus.OpAND,
+		[]float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 0.8, 0.9, 1.0}, k)
+	if err != nil {
+		return err
+	}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprintf("%d%%", r.ListPct),
+			experiments.FormatMS(r.ComputeMS),
+			experiments.FormatMS(r.DiskMS),
+			experiments.FormatMS(r.TotalMS),
+			fmt.Sprintf("%.0f%%", 100*r.DiskMS/r.TotalMS),
+		})
+	}
+	fmt.Print(experiments.RenderTable(title,
+		[]string{"lists", "compute ms", "disk ms", "total ms", "disk share"}, cells))
+	return nil
+}
+
+func runTraversal(k int) error {
+	var cells [][]string
+	for _, kind := range []experiments.DatasetKind{experiments.Reuters, experiments.Pubmed} {
+		ds, err := load(kind)
+		if err != nil {
+			return err
+		}
+		rows, err := experiments.RunTraversalDepth(ds, k)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			cells = append(cells, []string{
+				r.Dataset, r.Op.String(),
+				fmt.Sprintf("%.1f%%", r.MeanPct),
+				fmt.Sprintf("%d/%d", r.StoppedEarly, r.Queries),
+			})
+		}
+	}
+	fmt.Print(experiments.RenderTable("Figure 11: Percentage of Lists Traversed by NRA",
+		[]string{"dataset", "op", "mean traversal", "early stops"}, cells))
+	return nil
+}
+
+func runDiskVsGM(kind experiments.DatasetKind, title string, k int) error {
+	ds, err := load(kind)
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.RunNRADiskVsGM(ds, []float64{0.2, 0.5}, k)
+	if err != nil {
+		return err
+	}
+	var cells [][]string
+	for _, r := range rows {
+		label := r.Method
+		if r.Method == "nra-disk" {
+			label = fmt.Sprintf("NRA-disk-%d%%", r.ListPct)
+		} else {
+			label = "GM-memory"
+		}
+		cells = append(cells, []string{label, r.Op.String(), experiments.FormatMS(r.MeanMS)})
+	}
+	fmt.Print(experiments.RenderTable(title,
+		[]string{"method", "op", "mean ms/query"}, cells))
+	return nil
+}
+
+func runSamples(k int) error {
+	for _, kind := range []experiments.DatasetKind{experiments.Pubmed, experiments.Reuters} {
+		ds, err := load(kind)
+		if err != nil {
+			return err
+		}
+		samples, err := experiments.RunSampleResults(ds, k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Table 4: Sample Results (%s)\n", ds.Name)
+		for _, s := range samples {
+			fmt.Printf("  Query [%s]:\n", s.Query)
+			for _, p := range s.Phrases {
+				fmt.Printf("    %s\n", p)
+			}
+		}
+	}
+	return nil
+}
+
+func runIndexSizes(k int) error {
+	var cells [][]string
+	for _, kind := range []experiments.DatasetKind{experiments.Reuters, experiments.Pubmed} {
+		ds, err := load(kind)
+		if err != nil {
+			return err
+		}
+		rows, err := experiments.RunIndexSizes(ds, []float64{0.1, 0.2, 0.5}, k)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			cells = append(cells, []string{
+				r.Dataset,
+				fmt.Sprintf("%d%%", r.ListPct),
+				experiments.FormatBytes(r.Bytes),
+				fmt.Sprintf("%.2f", r.NDCGAnd),
+				fmt.Sprintf("%.2f", r.NDCGOr),
+			})
+		}
+	}
+	fmt.Print(experiments.RenderTable("Table 5: Index Sizes (extrapolated to full vocabulary)",
+		[]string{"dataset", "lists", "index size", "NDCG AND", "NDCG OR"}, cells))
+	return nil
+}
+
+func runAccuracy(k int) error {
+	var cells [][]string
+	for _, kind := range []experiments.DatasetKind{experiments.Reuters, experiments.Pubmed} {
+		ds, err := load(kind)
+		if err != nil {
+			return err
+		}
+		rows, err := experiments.RunEstimateAccuracy(ds, k)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			cells = append(cells, []string{
+				r.Dataset, r.Op.String(), fmt.Sprintf("%.3f", r.MeanDiff),
+			})
+		}
+	}
+	fmt.Print(experiments.RenderTable("Table 6: Interestingness Accuracy (mean |estimated - exact|)",
+		[]string{"dataset", "op", "mean difference"}, cells))
+	return nil
+}
+
+func runSummary(k int) error {
+	var cells [][]string
+	for _, kind := range []experiments.DatasetKind{experiments.Reuters, experiments.Pubmed} {
+		ds, err := load(kind)
+		if err != nil {
+			return err
+		}
+		rows, err := experiments.RunSummary(ds, k)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			listPct := "NA"
+			if r.ListPct > 0 {
+				listPct = fmt.Sprintf("%d%%", r.ListPct)
+			}
+			cells = append(cells, []string{
+				r.Dataset, r.Method, listPct,
+				fmt.Sprintf("%.2f", r.NDCGAnd),
+				fmt.Sprintf("%.2f", r.NDCGOr),
+				experiments.FormatMS(r.MSAnd),
+				experiments.FormatMS(r.MSOr),
+			})
+		}
+	}
+	fmt.Print(experiments.RenderTable("Table 7: Experiments Summary (quality and in-memory runtime)",
+		[]string{"dataset", "method", "lists", "NDCG AND", "NDCG OR", "ms AND", "ms OR"}, cells))
+	return nil
+}

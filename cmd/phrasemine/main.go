@@ -1,0 +1,383 @@
+// Command phrasemine is the CLI for the interesting-phrase mining system:
+// it builds persistent indexes from text corpora, answers top-k
+// interesting-phrase queries (in-memory or against the on-disk index), and
+// reports index statistics.
+//
+// A corpus file holds one document per line. Lines may start with
+// `key=value ...\t` facet headers, e.g.:
+//
+//	venue=sigmod year=1997	efficient query optimization in ...
+//
+// Usage:
+//
+//	phrasemine index -in corpus.txt -out idx      # writes idx.dict, idx.lists
+//	phrasemine query -in corpus.txt -keywords "trade reserves" -op OR
+//	phrasemine query -index idx -keywords "trade reserves" -op AND
+//	phrasemine stats -in corpus.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"phrasemine/internal/core"
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/phrasedict"
+	"phrasemine/internal/plist"
+	"phrasemine/internal/textproc"
+	"phrasemine/internal/topk"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "index":
+		err = cmdIndex(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phrasemine:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  phrasemine index -in corpus.txt -out prefix [-mindf N]
+  phrasemine query (-in corpus.txt | -index prefix) -keywords "w1 w2" [-op AND|OR] [-k N] [-algo nra|smj|gm|exact] [-frac F]
+  phrasemine stats -in corpus.txt [-mindf N]`)
+}
+
+// readCorpus parses a one-document-per-line corpus file with optional
+// facet headers.
+func readCorpus(path string) (*corpus.Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	c := corpus.New()
+	tok := textproc.Tokenizer{EmitSentenceBreaks: true}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var facets map[string]string
+		if tab := strings.IndexByte(line, '\t'); tab > 0 {
+			header := line[:tab]
+			if parsed, ok := parseFacets(header); ok {
+				facets = parsed
+				line = line[tab+1:]
+			}
+		}
+		c.Add(corpus.Document{Tokens: tok.Tokenize(line), Facets: facets})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if c.Len() == 0 {
+		return nil, fmt.Errorf("no documents in %s", path)
+	}
+	return c, nil
+}
+
+// parseFacets parses "k=v k2=v2"; every field must be a pair for the header
+// to count as facets (otherwise it is document text containing a tab).
+func parseFacets(header string) (map[string]string, bool) {
+	fields := strings.Fields(header)
+	if len(fields) == 0 {
+		return nil, false
+	}
+	out := make(map[string]string, len(fields))
+	for _, f := range fields {
+		eq := strings.IndexByte(f, '=')
+		if eq <= 0 || eq == len(f)-1 {
+			return nil, false
+		}
+		out[f[:eq]] = strings.ToLower(f[eq+1:])
+	}
+	return out, true
+}
+
+func buildIndex(path string, minDF int) (*core.Index, error) {
+	c, err := readCorpus(path)
+	if err != nil {
+		return nil, err
+	}
+	return core.Build(c, core.BuildOptions{
+		Extractor: textproc.ExtractorOptions{
+			MinWords:               1,
+			MaxWords:               6,
+			MinDocFreq:             minDF,
+			DropAllStopwordPhrases: true,
+		},
+	})
+}
+
+func cmdIndex(args []string) error {
+	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	in := fs.String("in", "", "corpus file (one document per line)")
+	out := fs.String("out", "index", "output prefix (<prefix>.dict, <prefix>.lists)")
+	minDF := fs.Int("mindf", 5, "minimum phrase document frequency")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	ix, err := buildIndex(*in, *minDF)
+	if err != nil {
+		return err
+	}
+	dictPath, listsPath := *out+".dict", *out+".lists"
+	df, err := os.Create(dictPath)
+	if err != nil {
+		return err
+	}
+	defer df.Close()
+	if _, err := ix.WritePhraseDict(df); err != nil {
+		return err
+	}
+	lf, err := os.Create(listsPath)
+	if err != nil {
+		return err
+	}
+	defer lf.Close()
+	n, err := ix.WriteListIndex(lf, 1.0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("indexed %d docs: |P|=%d phrases -> %s, %d list bytes -> %s\n",
+		ix.Corpus.Len(), ix.NumPhrases(), dictPath, n, listsPath)
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	in := fs.String("in", "", "corpus file (build in memory and query)")
+	indexPrefix := fs.String("index", "", "index prefix written by `phrasemine index`")
+	keywords := fs.String("keywords", "", "space-separated query keywords (facets as name:value)")
+	opStr := fs.String("op", "OR", "operator: AND or OR")
+	k := fs.Int("k", 5, "number of results")
+	algo := fs.String("algo", "nra", "algorithm: nra, smj, gm, exact (in-memory mode only)")
+	frac := fs.Float64("frac", 1.0, "partial-list fraction in (0,1]")
+	minDF := fs.Int("mindf", 5, "minimum phrase document frequency (in-memory mode)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *keywords == "" {
+		return fmt.Errorf("-keywords is required")
+	}
+	op, err := corpus.ParseOperator(*opStr)
+	if err != nil {
+		return err
+	}
+	q := corpus.ParseQuery(strings.ToLower(*keywords), op)
+
+	switch {
+	case *indexPrefix != "":
+		return queryOnDisk(*indexPrefix, q, *k, *frac)
+	case *in != "":
+		return queryInMemory(*in, q, *k, *algo, *frac, *minDF)
+	default:
+		return fmt.Errorf("one of -in or -index is required")
+	}
+}
+
+// queryOnDisk answers with NRA directly over the persisted index files —
+// the paper's disk-resident deployment: only the word lists touched by the
+// query and the matching phrase-dictionary records are read.
+func queryOnDisk(prefix string, q corpus.Query, k int, frac float64) error {
+	lf, err := os.Open(prefix + ".lists")
+	if err != nil {
+		return err
+	}
+	defer lf.Close()
+	reader, err := plist.OpenReader(lf)
+	if err != nil {
+		return err
+	}
+	if reader.Ordering() != plist.OrderScore {
+		return fmt.Errorf("index %s.lists is not score-ordered", prefix)
+	}
+	cursors := make([]plist.Cursor, len(q.Features))
+	for i, f := range q.Features {
+		cursors[i] = reader.Cursor(f)
+	}
+	results, stats, err := topk.NRA(cursors, topk.NRAOptions{K: k, Op: q.Op, Fraction: frac})
+	if err != nil {
+		return err
+	}
+
+	df, err := os.Open(prefix + ".dict")
+	if err != nil {
+		return err
+	}
+	defer df.Close()
+	dict, err := phrasedict.OpenFileDict(df)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query [%s] k=%d (disk index, %d/%d list entries read)\n",
+		q, k, stats.Iterations, sum(stats.ListLens))
+	for i, r := range results {
+		text, err := dict.Phrase(r.Phrase)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%2d. %-40s score=%.4f\n", i+1, text, r.Score)
+	}
+	return nil
+}
+
+func queryInMemory(path string, q corpus.Query, k int, algo string, frac float64, minDF int) error {
+	ix, err := buildIndex(path, minDF)
+	if err != nil {
+		return err
+	}
+	var results []topk.Result
+	switch algo {
+	case "nra":
+		results, _, err = ix.QueryNRA(q, topk.NRAOptions{K: k, Fraction: frac})
+	case "smj":
+		results, _, err = ix.QuerySMJ(ix.BuildSMJ(frac), q, topk.SMJOptions{K: k})
+	case "gm", "exact":
+		return queryBaseline(ix, q, k, algo)
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return err
+	}
+	mined, err := ix.Resolve(results, q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query [%s] k=%d algo=%s\n", q, k, algo)
+	for i, m := range mined {
+		fmt.Printf("%2d. %-40s score=%.4f est-interestingness=%.4f\n",
+			i+1, m.Phrase, m.Score, m.Estimate)
+	}
+	return nil
+}
+
+func queryBaseline(ix *core.Index, q corpus.Query, k int, algo string) error {
+	var (
+		scored []struct {
+			id    phrasedict.PhraseID
+			score float64
+		}
+	)
+	switch algo {
+	case "gm":
+		g, err := ix.GM()
+		if err != nil {
+			return err
+		}
+		res, _, err := g.TopK(q, k)
+		if err != nil {
+			return err
+		}
+		for _, r := range res {
+			scored = append(scored, struct {
+				id    phrasedict.PhraseID
+				score float64
+			}{r.Phrase, r.Score})
+		}
+	case "exact":
+		e, err := ix.Exact()
+		if err != nil {
+			return err
+		}
+		res, err := e.TopK(q, k)
+		if err != nil {
+			return err
+		}
+		for _, r := range res {
+			scored = append(scored, struct {
+				id    phrasedict.PhraseID
+				score float64
+			}{r.Phrase, r.Score})
+		}
+	}
+	fmt.Printf("query [%s] k=%d algo=%s (exact interestingness)\n", q, k, algo)
+	for i, s := range scored {
+		text, err := ix.PhraseText(s.id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%2d. %-40s interestingness=%.4f\n", i+1, text, s.score)
+	}
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("in", "", "corpus file")
+	minDF := fs.Int("mindf", 5, "minimum phrase document frequency")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	ix, err := buildIndex(*in, *minDF)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("documents:        %d\n", ix.Corpus.Len())
+	fmt.Printf("phrases |P|:      %d\n", ix.NumPhrases())
+	fmt.Printf("features |W|:     %d\n", ix.Inverted.VocabSize())
+	fmt.Printf("list index:       %s (full)\n", byteSize(ix.ListIndexSize(1.0)))
+	fmt.Printf("phrase dict:      %s\n", byteSize(int64(ix.Dict.SizeBytes())))
+	lens := make([]int, 0, len(ix.Lists))
+	for _, l := range ix.Lists {
+		lens = append(lens, len(l))
+	}
+	sort.Ints(lens)
+	if len(lens) > 0 {
+		fmt.Printf("list lengths:     median=%d max=%d\n", lens[len(lens)/2], lens[len(lens)-1])
+	}
+	return nil
+}
+
+func byteSize(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

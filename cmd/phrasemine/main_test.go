@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestParseFacets(t *testing.T) {
+	got, ok := parseFacets("venue=sigmod year=1997")
+	if !ok {
+		t.Fatal("valid facets rejected")
+	}
+	want := map[string]string{"venue": "sigmod", "year": "1997"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseFacets = %v", got)
+	}
+	// Uppercase values are lowercased to match the tokenizer.
+	got, ok = parseFacets("venue=SIGMOD")
+	if !ok || got["venue"] != "sigmod" {
+		t.Fatalf("case normalization: %v", got)
+	}
+	for _, bad := range []string{"", "noequals", "=value", "key=", "a=b plain"} {
+		if _, ok := parseFacets(bad); ok {
+			t.Errorf("parseFacets(%q) accepted", bad)
+		}
+	}
+}
+
+func writeTempCorpus(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "corpus.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadCorpus(t *testing.T) {
+	path := writeTempCorpus(t,
+		"venue=sigmod\tquery optimization in databases\n"+
+			"\n"+ // blank lines skipped
+			"plain text document without facets\n"+
+			"text with a literal\ttab that is not a facet header\n")
+	c, err := readCorpus(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("read %d docs, want 3", c.Len())
+	}
+	d0 := c.MustDoc(0)
+	if d0.Facets["venue"] != "sigmod" {
+		t.Fatalf("doc 0 facets = %v", d0.Facets)
+	}
+	if len(d0.Tokens) == 0 || d0.Tokens[0] != "query" {
+		t.Fatalf("doc 0 tokens = %v", d0.Tokens)
+	}
+	d2 := c.MustDoc(2)
+	if d2.Facets != nil {
+		t.Fatalf("literal-tab line should not grow facets: %v", d2.Facets)
+	}
+}
+
+func TestReadCorpusErrors(t *testing.T) {
+	if _, err := readCorpus("/nonexistent/file"); err == nil {
+		t.Fatal("missing file should error")
+	}
+	empty := writeTempCorpus(t, "\n\n")
+	if _, err := readCorpus(empty); err == nil {
+		t.Fatal("empty corpus should error")
+	}
+}
+
+func TestBuildIndexEndToEnd(t *testing.T) {
+	var lines string
+	for i := 0; i < 10; i++ {
+		lines += "the economic minister discussed trade reserves\n"
+		lines += "query optimization in database systems\n"
+	}
+	path := writeTempCorpus(t, lines)
+	ix, err := buildIndex(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumPhrases() == 0 {
+		t.Fatal("no phrases")
+	}
+	if _, ok := ix.Dict.ID("economic minister"); !ok {
+		t.Fatal("expected phrase missing")
+	}
+}

@@ -1,0 +1,91 @@
+// Incremental: document inserts and deletes without index rebuilds, via the
+// delta-index scheme of the paper's Section 4.5.1 — queries consult the
+// side index for corrected conditional probabilities until a periodic
+// flush recomputes the lists offline.
+//
+//	go run ./examples/incremental
+package main
+
+import (
+	"fmt"
+	"log"
+
+	phrasemine "phrasemine"
+)
+
+func show(label string, results []phrasemine.Result) {
+	fmt.Println(label)
+	for i, r := range results {
+		fmt.Printf("   %d. %-25s score=%.3f\n", i+1, r.Phrase, r.Score)
+	}
+	fmt.Println()
+}
+
+func main() {
+	// A monitoring corpus: the "merger" story does not exist yet.
+	var texts []string
+	for i := 0; i < 20; i++ {
+		texts = append(texts,
+			"The central bank held interest rates steady this quarter. "+
+				"Analysts expected the interest rates decision.")
+		texts = append(texts,
+			"Championship results and transfer rumours dominated the sports desk.")
+	}
+	miner, err := phrasemine.NewMinerFromTexts(texts, phrasemine.Config{
+		MinPhraseWords: 1,
+		MaxPhraseWords: 4,
+		MinDocFreq:     3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("base corpus: %d docs, %d phrases\n\n", miner.NumDocuments(), miner.NumPhrases())
+
+	results, err := miner.Mine([]string{"bank"}, phrasemine.OR, phrasemine.QueryOptions{K: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("before updates — [bank]:", results)
+
+	// Breaking news: a merger story floods in. No rebuild; the delta
+	// index corrects probabilities at query time.
+	for i := 0; i < 8; i++ {
+		miner.Add(phrasemine.Document{
+			Text: "Breaking: the central bank reviews the proposed merger. " +
+				"Interest rates unchanged amid the central bank merger review.",
+		})
+	}
+	fmt.Printf("added 8 documents; pending updates: %d\n\n", miner.PendingUpdates())
+
+	// "merger" was never indexed as a phrase (it is new), but existing
+	// phrases' correlations with the new documents' words shift
+	// immediately.
+	results, err = miner.Mine([]string{"merger"}, phrasemine.OR, phrasemine.QueryOptions{K: 5, Algorithm: phrasemine.AlgoSMJ})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("delta-adjusted — [merger] (existing phrases only):", results)
+
+	// Periodic flush: rebuild offline, minting newly frequent phrases.
+	if err := miner.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flushed: %d docs, %d phrases (new phrases minted)\n\n",
+		miner.NumDocuments(), miner.NumPhrases())
+
+	results, err = miner.Mine([]string{"merger"}, phrasemine.OR, phrasemine.QueryOptions{K: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("after flush — [merger] (includes new phrases):", results)
+
+	// Deletions work the same way.
+	if err := miner.Remove(0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("removed one document; pending updates: %d\n", miner.PendingUpdates())
+	if err := miner.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flushed again: %d docs\n", miner.NumDocuments())
+}

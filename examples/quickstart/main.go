@@ -1,0 +1,61 @@
+// Quickstart: index a handful of documents and mine the most interesting
+// phrases of a keyword-selected subset.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	phrasemine "phrasemine"
+)
+
+func main() {
+	// A miniature two-topic corpus: financial newswire and database
+	// research abstracts.
+	var texts []string
+	for i := 0; i < 12; i++ {
+		texts = append(texts,
+			"The economic minister discussed trade reserves with the central bank. "+
+				"Trade reserves rose sharply after the announcement by the economic minister.")
+		texts = append(texts,
+			"Query optimization remains central to database systems. "+
+				"Modern database systems rely on cost-based query optimization.")
+		texts = append(texts,
+			"Local weather reports and sports results for the weekend.")
+	}
+
+	// MinPhraseWords: 2 keeps single words out of the results — the
+	// richer multi-word phrases are what phrase-level mining is for.
+	miner, err := phrasemine.NewMinerFromTexts(texts, phrasemine.Config{
+		MinPhraseWords: 2,
+		MaxPhraseWords: 4,
+		MinDocFreq:     3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d documents, %d phrases, %d features\n\n",
+		miner.NumDocuments(), miner.NumPhrases(), miner.VocabSize())
+
+	// Drill down to the trade-related sub-collection and mine it.
+	results, err := miner.Mine([]string{"trade", "reserves"}, phrasemine.OR, phrasemine.QueryOptions{K: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top phrases for [trade OR reserves]:")
+	for i, r := range results {
+		fmt.Printf("  %d. %-25s interestingness≈%.2f\n", i+1, r.Phrase, r.Interestingness)
+	}
+
+	// AND narrows to documents containing every keyword.
+	results, err = miner.Mine([]string{"database", "optimization"}, phrasemine.AND, phrasemine.QueryOptions{K: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop phrases for [database AND optimization]:")
+	for i, r := range results {
+		fmt.Printf("  %d. %-25s interestingness≈%.2f\n", i+1, r.Phrase, r.Interestingness)
+	}
+}

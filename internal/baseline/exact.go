@@ -1,0 +1,87 @@
+package baseline
+
+import (
+	"fmt"
+
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/phrasedict"
+)
+
+// Exact evaluates the interestingness measure of Equation 1 directly over
+// per-phrase posting lists: for every phrase of P it intersects docs(p)
+// with D'. This is the "phrase dictionary based" access pattern whose
+// O(|P|) cost motivates the paper; it serves here as the ground truth for
+// quality evaluation and as an independent cross-check of GM.
+type Exact struct {
+	inverted   *corpus.Inverted
+	phraseDocs [][]corpus.DocID
+	numDocs    int
+}
+
+// NewExact builds the evaluator. phraseDocs[p] must be the sorted document
+// list of phrase p; document frequency is its length.
+func NewExact(inverted *corpus.Inverted, phraseDocs [][]corpus.DocID) (*Exact, error) {
+	if inverted == nil {
+		return nil, fmt.Errorf("baseline: nil inverted index")
+	}
+	return &Exact{
+		inverted:   inverted,
+		phraseDocs: phraseDocs,
+		numDocs:    inverted.NumDocs(),
+	}, nil
+}
+
+// NumPhrases reports |P|.
+func (e *Exact) NumPhrases() int { return len(e.phraseDocs) }
+
+// Select materializes D' for a query (exposed so callers can reuse it
+// across Interestingness calls).
+func (e *Exact) Select(q corpus.Query) ([]corpus.DocID, error) {
+	return e.inverted.Select(q)
+}
+
+// TopK returns the exact top-k interesting phrases for the query.
+func (e *Exact) TopK(q corpus.Query, k int) ([]Scored, error) {
+	if err := validateQueryK(k); err != nil {
+		return nil, err
+	}
+	dPrime, err := e.inverted.Select(q)
+	if err != nil {
+		return nil, err
+	}
+	if len(dPrime) == 0 {
+		return nil, nil
+	}
+	set := corpus.BitmapFromList(dPrime, e.numDocs)
+	heap := newTopKHeap(k)
+	for p, docs := range e.phraseDocs {
+		if len(docs) == 0 {
+			continue
+		}
+		freq := set.IntersectCountList(docs)
+		if freq == 0 {
+			continue
+		}
+		heap.offer(Scored{
+			Phrase: phrasedict.PhraseID(p),
+			Score:  float64(freq) / float64(len(docs)),
+			Freq:   freq,
+		})
+	}
+	return heap.sorted(), nil
+}
+
+// Interestingness computes ID(p, D') for one phrase against a materialized
+// sub-collection bitmap. Used by the quality harness to judge arbitrary
+// returned phrases (Section 5.3's correctness rule) and by the Table 6
+// estimate-accuracy analysis.
+func (e *Exact) Interestingness(p phrasedict.PhraseID, dPrime *corpus.Bitmap) float64 {
+	if int(p) >= len(e.phraseDocs) {
+		return 0
+	}
+	docs := e.phraseDocs[p]
+	if len(docs) == 0 {
+		return 0
+	}
+	return float64(dPrime.IntersectCountList(docs)) / float64(len(docs))
+}

@@ -1,0 +1,105 @@
+package baseline
+
+import (
+	"fmt"
+
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/phrasedict"
+)
+
+// GM is the forward-index baseline (Gao & Michel, EDBT 2012 — "GM" in the
+// paper's experiments). The index holds one list per document containing
+// the sorted phrase IDs of the phrases of P present in it. A query first
+// materializes D' through the word inverted index, then scans the forward
+// list of every document of D', counting each phrase's sub-collection
+// frequency, and finally scores freq(p,D')/freq(p,D) and selects the top-k.
+//
+// GM is exact; the paper uses it both as the quality ground truth and the
+// response-time baseline. Its response time is linear in |D'| (hence the
+// large AND/OR asymmetry the paper reports).
+//
+// A GM instance keeps a reusable counting array sized |P|, so it is not
+// safe for concurrent queries; clone per goroutine.
+type GM struct {
+	inverted *corpus.Inverted
+	forward  [][]phrasedict.PhraseID
+	phraseDF []uint32
+	counts   []uint32
+	touched  []phrasedict.PhraseID
+}
+
+// GMStats reports per-query work, mirroring the paper's cost accounting
+// ("the method needs to access each of the D' lists").
+type GMStats struct {
+	DocsScanned    int // |D'|
+	ForwardEntries int // total forward-list entries merged
+	Candidates     int // distinct phrases seen in D'
+}
+
+// NewGM builds the baseline from the shared corpus statistics.
+func NewGM(inverted *corpus.Inverted, forward [][]phrasedict.PhraseID, phraseDF []uint32) (*GM, error) {
+	if inverted == nil {
+		return nil, fmt.Errorf("baseline: nil inverted index")
+	}
+	if len(forward) != inverted.NumDocs() {
+		return nil, fmt.Errorf("baseline: forward index covers %d docs, corpus has %d",
+			len(forward), inverted.NumDocs())
+	}
+	return &GM{
+		inverted: inverted,
+		forward:  forward,
+		phraseDF: phraseDF,
+		counts:   make([]uint32, len(phraseDF)),
+	}, nil
+}
+
+// Clone returns an independent GM sharing the immutable index structures
+// but with its own counting scratch, for concurrent use.
+func (g *GM) Clone() *GM {
+	return &GM{
+		inverted: g.inverted,
+		forward:  g.forward,
+		phraseDF: g.phraseDF,
+		counts:   make([]uint32, len(g.phraseDF)),
+	}
+}
+
+// TopK answers a query exactly.
+func (g *GM) TopK(q corpus.Query, k int) ([]Scored, GMStats, error) {
+	var stats GMStats
+	if err := validateQueryK(k); err != nil {
+		return nil, stats, err
+	}
+	dPrime, err := g.inverted.Select(q)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.DocsScanned = len(dPrime)
+
+	// Merge-count phrase frequencies across the forward lists of D'.
+	g.touched = g.touched[:0]
+	for _, d := range dPrime {
+		for _, p := range g.forward[d] {
+			if g.counts[p] == 0 {
+				g.touched = append(g.touched, p)
+			}
+			g.counts[p]++
+			stats.ForwardEntries++
+		}
+	}
+	stats.Candidates = len(g.touched)
+
+	heap := newTopKHeap(k)
+	for _, p := range g.touched {
+		df := g.phraseDF[p]
+		if df > 0 {
+			heap.offer(Scored{
+				Phrase: p,
+				Score:  float64(g.counts[p]) / float64(df),
+				Freq:   int(g.counts[p]),
+			})
+		}
+		g.counts[p] = 0
+	}
+	return heap.sorted(), stats, nil
+}

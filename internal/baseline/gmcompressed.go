@@ -1,0 +1,158 @@
+package baseline
+
+import (
+	"fmt"
+
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/phrasedict"
+	"phrasemine/internal/textproc"
+)
+
+// GMCompressed is the forward-index baseline with the prefix optimization
+// the paper's Section 2 attributes to Bedathur et al.: "the fact that the
+// presence of a phrase in a document implies the presence of its prefix can
+// be leveraged to reduce the set of phrases that get explicitly stored in
+// the forward index". Each document stores only its prefix-maximal phrases;
+// at query time every stored phrase is expanded through its chain of
+// longest present-in-P proper prefixes, with per-document deduplication.
+//
+// Results are identical to GM; the trade is index bytes for per-query
+// expansion work — the storage/compute trade-off that motivated the
+// optimization in the prior work.
+type GMCompressed struct {
+	inverted *corpus.Inverted
+	perDoc   [][]phrasedict.PhraseID // prefix-maximal phrases per document
+	phraseDF []uint32
+	// parent[p] is the phrase ID of p's longest proper prefix present in
+	// P (as a word sequence), or -1 when no proper prefix is indexed.
+	parent []int32
+	// Per-query scratch (epoch-stamped to avoid clearing): counts and a
+	// per-document visitation stamp for expansion dedup.
+	counts   []uint32
+	touched  []phrasedict.PhraseID
+	docStamp []uint32
+	epoch    uint32
+
+	storedEntries int // entries kept after compression
+	fullEntries   int // entries in the uncompressed forward index
+}
+
+// NewGMCompressed builds the compressed baseline from the same inputs as GM
+// plus the dictionary (needed to resolve prefix relations between phrases).
+func NewGMCompressed(inverted *corpus.Inverted, forward [][]phrasedict.PhraseID, phraseDF []uint32, dict *phrasedict.Dict) (*GMCompressed, error) {
+	if inverted == nil {
+		return nil, fmt.Errorf("baseline: nil inverted index")
+	}
+	if dict == nil {
+		return nil, fmt.Errorf("baseline: nil dictionary")
+	}
+	if len(forward) != inverted.NumDocs() {
+		return nil, fmt.Errorf("baseline: forward index covers %d docs, corpus has %d",
+			len(forward), inverted.NumDocs())
+	}
+	g := &GMCompressed{
+		inverted: inverted,
+		phraseDF: phraseDF,
+		parent:   make([]int32, dict.Len()),
+		counts:   make([]uint32, dict.Len()),
+		docStamp: make([]uint32, dict.Len()),
+		perDoc:   make([][]phrasedict.PhraseID, len(forward)),
+	}
+	// Resolve each phrase's longest indexed proper prefix. Walking
+	// lengths downward skips prefixes that were excluded from P (e.g.
+	// all-stopword n-grams), so chains always land on indexed phrases.
+	for p := 0; p < dict.Len(); p++ {
+		g.parent[p] = -1
+		words := textproc.SplitPhrase(dict.MustPhrase(phrasedict.PhraseID(p)))
+		for n := len(words) - 1; n >= 1; n-- {
+			if id, ok := dict.ID(textproc.JoinPhrase(words[:n])); ok {
+				g.parent[p] = int32(id)
+				break
+			}
+		}
+	}
+	// Compress every document: drop phrases that are the parent of
+	// another phrase present in the same document (they are implied).
+	redundant := make(map[phrasedict.PhraseID]bool)
+	present := make(map[phrasedict.PhraseID]bool)
+	for d, phrases := range forward {
+		g.fullEntries += len(phrases)
+		clear(redundant)
+		clear(present)
+		for _, p := range phrases {
+			present[p] = true
+		}
+		for _, p := range phrases {
+			if par := g.parent[p]; par >= 0 && present[phrasedict.PhraseID(par)] {
+				redundant[phrasedict.PhraseID(par)] = true
+			}
+		}
+		kept := make([]phrasedict.PhraseID, 0, len(phrases)-len(redundant))
+		for _, p := range phrases {
+			if !redundant[p] {
+				kept = append(kept, p)
+			}
+		}
+		g.perDoc[d] = kept
+		g.storedEntries += len(kept)
+	}
+	return g, nil
+}
+
+// CompressionRatio reports stored/full forward-index entries (lower is
+// better; 1.0 means nothing was implied).
+func (g *GMCompressed) CompressionRatio() float64 {
+	if g.fullEntries == 0 {
+		return 1
+	}
+	return float64(g.storedEntries) / float64(g.fullEntries)
+}
+
+// TopK answers a query exactly, like GM, by expanding stored phrases
+// through their prefix chains while counting.
+func (g *GMCompressed) TopK(q corpus.Query, k int) ([]Scored, GMStats, error) {
+	var stats GMStats
+	if err := validateQueryK(k); err != nil {
+		return nil, stats, err
+	}
+	dPrime, err := g.inverted.Select(q)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.DocsScanned = len(dPrime)
+
+	g.touched = g.touched[:0]
+	for _, d := range dPrime {
+		g.epoch++
+		for _, p := range g.perDoc[d] {
+			stats.ForwardEntries++
+			// Walk the prefix chain; stop at already-visited
+			// phrases — their chains were counted for this doc.
+			for x := int32(p); x >= 0; x = g.parent[x] {
+				if g.docStamp[x] == g.epoch {
+					break
+				}
+				g.docStamp[x] = g.epoch
+				if g.counts[x] == 0 {
+					g.touched = append(g.touched, phrasedict.PhraseID(x))
+				}
+				g.counts[x]++
+			}
+		}
+	}
+	stats.Candidates = len(g.touched)
+
+	heap := newTopKHeap(k)
+	for _, p := range g.touched {
+		df := g.phraseDF[p]
+		if df > 0 {
+			heap.offer(Scored{
+				Phrase: p,
+				Score:  float64(g.counts[p]) / float64(df),
+				Freq:   int(g.counts[p]),
+			})
+		}
+		g.counts[p] = 0
+	}
+	return heap.sorted(), stats, nil
+}

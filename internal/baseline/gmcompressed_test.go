@@ -1,0 +1,217 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/phrasedict"
+)
+
+// prefixFixture builds a corpus whose phrase universe has real prefix
+// chains: phrases {0:"a", 1:"a b", 2:"a b c", 3:"x"} with containment
+// semantics (a doc holding "a b c" also holds "a b" and "a").
+func prefixFixture(t *testing.T) (*corpus.Corpus, *corpus.Inverted, [][]phrasedict.PhraseID, []uint32, *phrasedict.Dict) {
+	t.Helper()
+	c := corpus.New()
+	add := func(tokens ...string) { c.Add(corpus.Document{Tokens: tokens}) }
+	add("a", "b", "c") // doc 0: phrases a, a b, a b c
+	add("a", "b", "d") // doc 1: a, a b
+	add("a", "x")      // doc 2: a, x
+	add("x", "y")      // doc 3: x
+	ix := corpus.BuildInverted(c)
+	dict, err := phrasedict.Build([]string{"a", "a b", "a b c", "x"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forward := [][]phrasedict.PhraseID{
+		{0, 1, 2},
+		{0, 1},
+		{0, 3},
+		{3},
+	}
+	df := []uint32{3, 2, 1, 2}
+	return c, ix, forward, df, dict
+}
+
+func TestGMCompressedDropsImpliedPrefixes(t *testing.T) {
+	_, ix, forward, df, dict := prefixFixture(t)
+	g, err := NewGMCompressed(ix, forward, df, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Doc 0 stores only {"a b c", "x"?...}: "a b" and "a" are implied by
+	// "a b c". Doc 2 stores {"a", "x"} (no chain relation).
+	if got := g.perDoc[0]; !reflect.DeepEqual(got, []phrasedict.PhraseID{2}) {
+		t.Fatalf("doc 0 stored %v, want [2]", got)
+	}
+	if got := g.perDoc[1]; !reflect.DeepEqual(got, []phrasedict.PhraseID{1}) {
+		t.Fatalf("doc 1 stored %v, want [1]", got)
+	}
+	if got := g.perDoc[2]; !reflect.DeepEqual(got, []phrasedict.PhraseID{0, 3}) {
+		t.Fatalf("doc 2 stored %v, want [0 3]", got)
+	}
+	if r := g.CompressionRatio(); r >= 1 || r <= 0 {
+		t.Fatalf("CompressionRatio = %v", r)
+	}
+}
+
+func TestGMCompressedMatchesGMOnFixture(t *testing.T) {
+	_, ix, forward, df, dict := prefixFixture(t)
+	g, err := NewGM(ix, forward, df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, err := NewGMCompressed(ix, forward, df, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []corpus.Query{
+		corpus.NewQuery(corpus.OpOR, "a"),
+		corpus.NewQuery(corpus.OpOR, "a", "x"),
+		corpus.NewQuery(corpus.OpAND, "a", "b"),
+		corpus.NewQuery(corpus.OpAND, "b", "c"),
+	} {
+		want, _, err := g.TopK(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := gc.TopK(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%v: compressed %v != plain %v", q, got, want)
+		}
+	}
+}
+
+// prefixClosedFixture builds a random corpus whose forward lists are
+// prefix-closed by construction: documents are made of token windows so
+// that whenever an n-gram phrase is present, so are its prefixes.
+func prefixClosedFixture(rng *rand.Rand, numDocs int) (*corpus.Corpus, *corpus.Inverted, [][]phrasedict.PhraseID, []uint32, *phrasedict.Dict, error) {
+	// Phrase universe: chains over 6 root words: "wR", "wR wR+1", ...
+	var phrases []string
+	var texts [][]string
+	for root := 0; root < 6; root++ {
+		chain := ""
+		for depth := 0; depth < 3; depth++ {
+			word := fmt.Sprintf("w%d-%d", root, depth)
+			if depth == 0 {
+				chain = word
+			} else {
+				chain += " " + word
+			}
+			phrases = append(phrases, chain)
+		}
+	}
+	dict, err := phrasedict.Build(phrases, 0)
+	if err != nil {
+		return nil, nil, nil, nil, nil, err
+	}
+	c := corpus.New()
+	forward := make([][]phrasedict.PhraseID, numDocs)
+	df := make([]uint32, len(phrases))
+	for d := 0; d < numDocs; d++ {
+		// Each doc embeds 1-3 chains cut at random depth.
+		nChains := 1 + rng.Intn(3)
+		var tokens []string
+		seen := map[phrasedict.PhraseID]bool{}
+		for i := 0; i < nChains; i++ {
+			root := rng.Intn(6)
+			depth := 1 + rng.Intn(3)
+			for j := 0; j < depth; j++ {
+				tokens = append(tokens, fmt.Sprintf("w%d-%d", root, j))
+				id := phrasedict.PhraseID(root*3 + j)
+				if !seen[id] {
+					seen[id] = true
+					forward[d] = append(forward[d], id)
+				}
+			}
+			tokens = append(tokens, "\x00") // break between chains
+		}
+		texts = append(texts, tokens)
+		c.Add(corpus.Document{Tokens: tokens})
+		for id := range seen {
+			df[id]++
+		}
+	}
+	_ = texts
+	for d := range forward {
+		// Sort forward lists (IDs ascend within a chain but chains may
+		// interleave out of order).
+		list := forward[d]
+		for i := 1; i < len(list); i++ {
+			for j := i; j > 0 && list[j-1] > list[j]; j-- {
+				list[j-1], list[j] = list[j], list[j-1]
+			}
+		}
+	}
+	return c, corpus.BuildInverted(c), forward, df, dict, nil
+}
+
+func TestGMCompressedMatchesGMRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	c, ix, forward, df, dict, err := prefixClosedFixture(rng, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c
+	g, err := NewGM(ix, forward, df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, err := NewGMCompressed(ix, forward, df, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc.CompressionRatio() >= 1.0 {
+		t.Fatalf("no compression achieved: %v", gc.CompressionRatio())
+	}
+	for trial := 0; trial < 120; trial++ {
+		nWords := 1 + rng.Intn(3)
+		words := make([]string, nWords)
+		for i := range words {
+			words[i] = fmt.Sprintf("w%d-%d", rng.Intn(6), rng.Intn(3))
+		}
+		op := corpus.OpOR
+		if trial%2 == 0 {
+			op = corpus.OpAND
+		}
+		q := corpus.NewQuery(op, words...)
+		k := 1 + rng.Intn(8)
+		want, _, err := g.TopK(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := gc.TopK(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d %v: compressed %v != plain %v", trial, q, got, want)
+		}
+	}
+}
+
+func TestGMCompressedValidation(t *testing.T) {
+	_, ix, forward, df, dict := prefixFixture(t)
+	if _, err := NewGMCompressed(nil, forward, df, dict); err == nil {
+		t.Fatal("nil inverted should error")
+	}
+	if _, err := NewGMCompressed(ix, forward, df, nil); err == nil {
+		t.Fatal("nil dict should error")
+	}
+	if _, err := NewGMCompressed(ix, forward[:1], df, dict); err == nil {
+		t.Fatal("short forward index should error")
+	}
+	g, err := NewGMCompressed(ix, forward, df, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.TopK(corpus.NewQuery(corpus.OpOR, "a"), 0); err == nil {
+		t.Fatal("k=0 should error")
+	}
+}

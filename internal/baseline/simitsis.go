@@ -1,0 +1,170 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/phrasedict"
+)
+
+// Simitsis is the phrase-list baseline modeled on Simitsis et al.
+// (PVLDB 2008), the earliest of the three prior techniques the paper
+// surveys (Table 3): the index holds one document list per phrase, ordered
+// by decreasing list cardinality. Queries run in two phases:
+//
+//  1. Scan phrase lists in decreasing-cardinality order, maintaining the
+//     top candidates by intersection cardinality |docs(p) ∩ D'|. Because
+//     |docs(p) ∩ D'| <= |docs(p)| and lists arrive in decreasing
+//     |docs(p)| order, the scan stops as soon as the next list is shorter
+//     than the current pool's k-th best intersection cardinality.
+//
+//  2. Score the surviving candidate pool with the normalized
+//     interestingness measure and return the top-k.
+//
+// The technique is approximate: a rare phrase discarded in phase 1 for its
+// short list may have a higher *normalized* score than the frequency-rich
+// survivors — the "disconnect between the first-phase filtering and
+// second-phase scoring" the paper describes.
+type Simitsis struct {
+	inverted   *corpus.Inverted
+	phraseDocs [][]corpus.DocID
+	// order holds phrase IDs sorted by decreasing document frequency
+	// (ties by ascending ID), fixing the phase-1 scan order.
+	order   []phrasedict.PhraseID
+	numDocs int
+	pool    int
+}
+
+// SimitsisStats reports phase-1 effectiveness.
+type SimitsisStats struct {
+	ListsScanned int // phrase lists inspected before the cutoff fired
+	CutoffFired  bool
+}
+
+// NewSimitsis builds the baseline. poolMultiple scales the phase-1
+// candidate pool: the pool keeps poolMultiple*k candidates (minimum k),
+// trading runtime for approximation quality; the classic formulation
+// corresponds to 1.
+func NewSimitsis(inverted *corpus.Inverted, phraseDocs [][]corpus.DocID, poolMultiple int) (*Simitsis, error) {
+	if inverted == nil {
+		return nil, fmt.Errorf("baseline: nil inverted index")
+	}
+	if poolMultiple < 1 {
+		return nil, fmt.Errorf("baseline: poolMultiple must be >= 1, got %d", poolMultiple)
+	}
+	s := &Simitsis{
+		inverted:   inverted,
+		phraseDocs: phraseDocs,
+		order:      make([]phrasedict.PhraseID, len(phraseDocs)),
+		numDocs:    inverted.NumDocs(),
+		pool:       poolMultiple,
+	}
+	for i := range s.order {
+		s.order[i] = phrasedict.PhraseID(i)
+	}
+	sort.SliceStable(s.order, func(a, b int) bool {
+		la, lb := len(phraseDocs[s.order[a]]), len(phraseDocs[s.order[b]])
+		if la != lb {
+			return la > lb
+		}
+		return s.order[a] < s.order[b]
+	})
+	return s, nil
+}
+
+// TopK answers a query approximately via the two-phase algorithm.
+func (s *Simitsis) TopK(q corpus.Query, k int) ([]Scored, SimitsisStats, error) {
+	var stats SimitsisStats
+	if err := validateQueryK(k); err != nil {
+		return nil, stats, err
+	}
+	dPrime, err := s.inverted.Select(q)
+	if err != nil {
+		return nil, stats, err
+	}
+	if len(dPrime) == 0 {
+		return nil, stats, nil
+	}
+	set := corpus.BitmapFromList(dPrime, s.numDocs)
+
+	// Phase 1: pool the best candidates by intersection cardinality.
+	poolSize := s.pool * k
+	type pooled struct {
+		phrase phrasedict.PhraseID
+		freq   int
+	}
+	pool := make([]pooled, 0, poolSize)
+	// Min-heap on freq (ties: larger ID is "worse" so it leaves first).
+	worse := func(a, b pooled) bool {
+		if a.freq != b.freq {
+			return a.freq < b.freq
+		}
+		return a.phrase > b.phrase
+	}
+	up := func(i int) {
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !worse(pool[i], pool[parent]) {
+				break
+			}
+			pool[i], pool[parent] = pool[parent], pool[i]
+			i = parent
+		}
+	}
+	down := func(i int) {
+		for {
+			l, r, min := 2*i+1, 2*i+2, i
+			if l < len(pool) && worse(pool[l], pool[min]) {
+				min = l
+			}
+			if r < len(pool) && worse(pool[r], pool[min]) {
+				min = r
+			}
+			if min == i {
+				return
+			}
+			pool[i], pool[min] = pool[min], pool[i]
+			i = min
+		}
+	}
+
+	for _, p := range s.order {
+		docs := s.phraseDocs[p]
+		// Cutoff: every remaining list is no longer than this one, and
+		// the intersection can never exceed the list length, so once
+		// the pool is full with better intersections, stop.
+		if len(pool) == poolSize && len(docs) < pool[0].freq {
+			stats.CutoffFired = true
+			break
+		}
+		if len(docs) == 0 {
+			break // order is by decreasing length; the rest are empty
+		}
+		stats.ListsScanned++
+		freq := set.IntersectCountList(docs)
+		if freq == 0 {
+			continue
+		}
+		cand := pooled{phrase: p, freq: freq}
+		if len(pool) < poolSize {
+			pool = append(pool, cand)
+			up(len(pool) - 1)
+		} else if worse(pool[0], cand) {
+			pool[0] = cand
+			down(0)
+		}
+	}
+
+	// Phase 2: normalized scoring of the survivors.
+	heap := newTopKHeap(k)
+	for _, c := range pool {
+		df := len(s.phraseDocs[c.phrase])
+		heap.offer(Scored{
+			Phrase: c.phrase,
+			Score:  float64(c.freq) / float64(df),
+			Freq:   c.freq,
+		})
+	}
+	return heap.sorted(), stats, nil
+}

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/phrasedict"
+	"phrasemine/internal/plist"
+	"phrasemine/internal/textproc"
+	"phrasemine/internal/topk"
+)
+
+// Delta implements the incremental-operation scheme of Section 4.5.1: a
+// separate inverted index over inserted and deleted documents, keyed by
+// features and phrases, that supplies conditional-probability corrections
+// when NRA or SMJ takes a phrase into consideration. Periodically the delta
+// is flushed and the list indexes recomputed offline (Flush).
+//
+// Known phrases only: documents added after the build contribute counts to
+// phrases already in P; genuinely new phrases enter the system at the next
+// Flush, exactly as the paper prescribes.
+type Delta struct {
+	ix      *Index
+	added   []corpus.Document
+	removed map[corpus.DocID]bool
+	// dDF[p] is the pending change to |docs(p)|.
+	dDF map[phrasedict.PhraseID]int
+	// dCo[{f,p}] is the pending change to |docs(f) ∩ docs(p)|.
+	dCo map[featurePhrase]int
+}
+
+type featurePhrase struct {
+	feature string
+	phrase  phrasedict.PhraseID
+}
+
+// NewDelta starts an empty delta over the index.
+func (ix *Index) NewDelta() *Delta {
+	return &Delta{
+		ix:      ix,
+		removed: make(map[corpus.DocID]bool),
+		dDF:     make(map[phrasedict.PhraseID]int),
+		dCo:     make(map[featurePhrase]int),
+	}
+}
+
+// Size reports the number of pending document updates (inserts + deletes),
+// the quantity a deployment would threshold to trigger Flush.
+func (d *Delta) Size() int {
+	return len(d.added) + len(d.removed)
+}
+
+// docPhrases finds the distinct dictionary phrases present in a token
+// stream by scanning its n-grams against the phrase dictionary.
+func (d *Delta) docPhrases(tokens []string) []phrasedict.PhraseID {
+	maxWords := d.ix.opts.Extractor.MaxWords
+	if maxWords <= 0 {
+		maxWords = 6
+	}
+	seen := make(map[phrasedict.PhraseID]struct{})
+	for n := 1; n <= maxWords; n++ {
+		for s := 0; s+n <= len(tokens); s++ {
+			window := tokens[s : s+n]
+			if crossesBreak(window) {
+				continue
+			}
+			if id, ok := d.ix.Dict.ID(textproc.JoinPhrase(window)); ok {
+				seen[id] = struct{}{}
+			}
+		}
+	}
+	out := make([]phrasedict.PhraseID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	return out
+}
+
+func crossesBreak(window []string) bool {
+	for _, t := range window {
+		if t == textproc.SentenceBreak {
+			return true
+		}
+	}
+	return false
+}
+
+// docFeatures lists the distinct features (words + facets) of a document.
+func docFeatures(doc corpus.Document) map[string]struct{} {
+	out := make(map[string]struct{}, len(doc.Tokens))
+	for _, t := range doc.Tokens {
+		if t != textproc.SentenceBreak {
+			out[t] = struct{}{}
+		}
+	}
+	for name, value := range doc.Facets {
+		out[corpus.FacetFeature(name, value)] = struct{}{}
+	}
+	return out
+}
+
+// apply folds one document's counts into the delta with the given sign.
+func (d *Delta) apply(doc corpus.Document, phrases []phrasedict.PhraseID, sign int) {
+	features := docFeatures(doc)
+	for _, p := range phrases {
+		d.dDF[p] += sign
+		for f := range features {
+			d.dCo[featurePhrase{f, p}] += sign
+		}
+	}
+}
+
+// AddDocument registers an inserted document.
+func (d *Delta) AddDocument(doc corpus.Document) {
+	d.added = append(d.added, doc)
+	d.apply(doc, d.docPhrases(doc.Tokens), +1)
+}
+
+// RemoveDocument registers the deletion of a base-corpus document.
+func (d *Delta) RemoveDocument(id corpus.DocID) error {
+	if int(id) >= d.ix.Corpus.Len() {
+		return fmt.Errorf("core: document %d out of range", id)
+	}
+	if d.removed[id] {
+		return fmt.Errorf("core: document %d already removed", id)
+	}
+	d.removed[id] = true
+	doc := d.ix.Corpus.MustDoc(id)
+	d.apply(doc, d.ix.Forward[id], -1)
+	return nil
+}
+
+// AdjustedProb corrects a stored P(feature|phrase) with the delta counts:
+//
+//	P'(f|p) = (co + Δco) / (df + Δdf)
+//
+// The stored co-occurrence count is recovered from the stored probability
+// and the base document frequency (prob = co/df exactly, both integers at
+// build time).
+func (d *Delta) AdjustedProb(feature string, p phrasedict.PhraseID, stored float64) float64 {
+	df := int(d.ix.PhraseDF[p])
+	co := int(math.Round(stored * float64(df)))
+	df += d.dDF[p]
+	co += d.dCo[featurePhrase{feature, p}]
+	if df <= 0 || co <= 0 {
+		return 0
+	}
+	if co > df {
+		co = df
+	}
+	return float64(co) / float64(df)
+}
+
+// extras lists delta-minted entries for a feature: phrases whose base
+// co-occurrence with the feature was zero (hence absent from the stored
+// list, which omits zero probabilities) but whose pending updates give them
+// a positive adjusted probability. This realizes the paper's "additional
+// query ... on the separate index" for pairs the stored lists cannot serve.
+func (d *Delta) extras(feature string) []plist.Entry {
+	var out []plist.Entry
+	featureDocs := d.ix.Inverted.Docs(feature)
+	for key, dco := range d.dCo {
+		if key.feature != feature || dco <= 0 {
+			continue
+		}
+		if corpus.IntersectCount2(featureDocs, d.ix.PhraseDocs[key.phrase]) > 0 {
+			continue // pair exists in the stored list; adjusted in place
+		}
+		if prob := d.AdjustedProb(feature, key.phrase, 0); prob > 0 {
+			out = append(out, plist.Entry{Phrase: key.phrase, Prob: prob})
+		}
+	}
+	return out
+}
+
+// adjustedCursor rewrites cursor probabilities through the delta. Entries
+// whose adjusted probability drops to zero are skipped (a zero-probability
+// pair is by definition absent from the list). Score order may be mildly
+// violated after adjustment, which is exactly why the paper notes that
+// "such probability adjustments make NRA's pruning phase approximate";
+// SMJ is unaffected because it never relies on score order.
+type adjustedCursor struct {
+	inner   plist.Cursor
+	delta   *Delta
+	feature string
+}
+
+func (c *adjustedCursor) Len() int { return c.inner.Len() }
+func (c *adjustedCursor) Pos() int { return c.inner.Pos() }
+func (c *adjustedCursor) Next() (plist.Entry, bool) {
+	for {
+		e, ok := c.inner.Next()
+		if !ok {
+			return plist.Entry{}, false
+		}
+		adj := c.delta.AdjustedProb(c.feature, e.Phrase, e.Prob)
+		if adj == 0 {
+			continue
+		}
+		e.Prob = adj
+		return e, true
+	}
+}
+func (c *adjustedCursor) Err() error { return c.inner.Err() }
+
+// chainCursor yields the inner cursor's entries followed by a fixed tail —
+// how delta-minted extras reach NRA (score order is already approximate
+// under adjustment, so appending keeps the implementation lazy).
+type chainCursor struct {
+	inner plist.Cursor
+	tail  []plist.Entry
+	tPos  int
+}
+
+func (c *chainCursor) Len() int { return c.inner.Len() + len(c.tail) }
+func (c *chainCursor) Pos() int { return c.inner.Pos() + c.tPos }
+func (c *chainCursor) Next() (plist.Entry, bool) {
+	if e, ok := c.inner.Next(); ok {
+		return e, true
+	}
+	if c.tPos < len(c.tail) {
+		e := c.tail[c.tPos]
+		c.tPos++
+		return e, true
+	}
+	return plist.Entry{}, false
+}
+func (c *chainCursor) Err() error { return c.inner.Err() }
+
+// mergeByIDCursor interleaves the inner (ID-ordered) cursor with ID-sorted
+// extras, preserving the strict ID ordering SMJ relies on.
+type mergeByIDCursor struct {
+	inner   plist.Cursor
+	extras  []plist.Entry
+	ePos    int
+	pending *plist.Entry // one-entry lookahead pulled from inner
+}
+
+func (c *mergeByIDCursor) Len() int { return c.inner.Len() + len(c.extras) }
+func (c *mergeByIDCursor) Pos() int { return c.inner.Pos() + c.ePos }
+func (c *mergeByIDCursor) Next() (plist.Entry, bool) {
+	if c.pending == nil {
+		if e, ok := c.inner.Next(); ok {
+			c.pending = &e
+		}
+	}
+	haveExtra := c.ePos < len(c.extras)
+	switch {
+	case c.pending != nil && (!haveExtra || c.pending.Phrase <= c.extras[c.ePos].Phrase):
+		e := *c.pending
+		c.pending = nil
+		return e, true
+	case haveExtra:
+		e := c.extras[c.ePos]
+		c.ePos++
+		return e, true
+	default:
+		return plist.Entry{}, false
+	}
+}
+func (c *mergeByIDCursor) Err() error { return c.inner.Err() }
+
+// QueryNRA answers a query with NRA over delta-adjusted lists.
+func (d *Delta) QueryNRA(q corpus.Query, opt topk.NRAOptions) ([]topk.Result, topk.NRAStats, error) {
+	if err := q.Validate(); err != nil {
+		return nil, topk.NRAStats{}, err
+	}
+	opt.Op = q.Op
+	cursors := make([]plist.Cursor, len(q.Features))
+	for i, f := range q.Features {
+		l, err := d.ix.featureList(f)
+		if err != nil {
+			return nil, topk.NRAStats{}, err
+		}
+		extras := d.extras(f)
+		sort.Slice(extras, func(a, b int) bool {
+			if extras[a].Prob != extras[b].Prob {
+				return extras[a].Prob > extras[b].Prob
+			}
+			return extras[a].Phrase < extras[b].Phrase
+		})
+		cursors[i] = &chainCursor{
+			inner: &adjustedCursor{inner: plist.NewMemCursor(l), delta: d, feature: f},
+			tail:  extras,
+		}
+	}
+	return topk.NRA(cursors, opt)
+}
+
+// QuerySMJ answers a query with SMJ over delta-adjusted ID-ordered lists.
+func (d *Delta) QuerySMJ(s *SMJIndex, q corpus.Query, opt topk.SMJOptions) ([]topk.Result, topk.SMJStats, error) {
+	if err := q.Validate(); err != nil {
+		return nil, topk.SMJStats{}, err
+	}
+	opt.Op = q.Op
+	cursors := make([]plist.Cursor, len(q.Features))
+	for i, f := range q.Features {
+		l, ok := s.Lists[f]
+		if !ok && d.ix.restricted && d.ix.Inverted.Has(f) {
+			return nil, topk.SMJStats{}, fmt.Errorf("core: SMJ index has no list for %q", f)
+		}
+		extras := d.extras(f)
+		sort.Slice(extras, func(a, b int) bool { return extras[a].Phrase < extras[b].Phrase })
+		cursors[i] = &mergeByIDCursor{
+			inner:  &adjustedCursor{inner: plist.NewMemCursor(l), delta: d, feature: f},
+			extras: extras,
+		}
+	}
+	return topk.SMJ(cursors, opt)
+}
+
+// Flush rebuilds the index offline over the updated corpus (base documents
+// minus removals, plus additions) and returns it. The delta itself is left
+// untouched; callers switch to the new index and discard the delta.
+func (d *Delta) Flush() (*Index, error) {
+	merged := corpus.New()
+	for i := 0; i < d.ix.Corpus.Len(); i++ {
+		id := corpus.DocID(i)
+		if d.removed[id] {
+			continue
+		}
+		merged.Add(d.ix.Corpus.MustDoc(id))
+	}
+	for _, doc := range d.added {
+		merged.Add(doc)
+	}
+	return Build(merged, d.ix.opts)
+}

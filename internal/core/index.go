@@ -1,0 +1,206 @@
+// Package core assembles the paper's system end to end: it builds the
+// phrase universe P and all indexes from a corpus (Section 4.2), answers
+// top-k interesting-phrase queries with NRA or SMJ over memory- or
+// disk-resident word-specific lists (Sections 4.3-4.4), hosts the exact
+// and baseline algorithms for comparison, and maintains incremental
+// updates through a delta index (Section 4.5.1).
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"phrasemine/internal/baseline"
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/phrasedict"
+	"phrasemine/internal/plist"
+	"phrasemine/internal/textproc"
+)
+
+// BuildOptions configures index construction.
+type BuildOptions struct {
+	// Extractor controls the phrase universe P (n-gram lengths and the
+	// minimum document frequency threshold of Section 2).
+	Extractor textproc.ExtractorOptions
+	// ListFeatures restricts word-specific list construction to the
+	// given features. nil builds lists for the entire vocabulary — what
+	// a deployed system would persist; experiment harnesses restrict to
+	// the workload's features to keep build times proportionate.
+	ListFeatures []string
+	// PhraseWidth is the fixed phrase-list record width (the paper's
+	// s = 50). Zero selects phrasedict.DefaultWidth.
+	PhraseWidth int
+}
+
+// Index is the built system state over a static corpus D.
+type Index struct {
+	Corpus   *corpus.Corpus
+	Inverted *corpus.Inverted
+	// Dict is the fixed-width phrase list; position defines PhraseID.
+	Dict *phrasedict.Dict
+	// PhraseDocs[p] is docs(D, p), sorted.
+	PhraseDocs [][]corpus.DocID
+	// PhraseDF[p] = |docs(D, p)|.
+	PhraseDF []uint32
+	// Forward[d] holds the sorted phrase IDs present in document d (the
+	// GM-style forward index, also used to build word lists).
+	Forward [][]phrasedict.PhraseID
+	// Lists maps each built feature to its full score-ordered list.
+	Lists map[string]plist.ScoreList
+
+	opts       BuildOptions
+	restricted bool
+
+	gm    *baseline.GM
+	exact *baseline.Exact
+}
+
+// Build constructs every index structure from the corpus.
+func Build(c *corpus.Corpus, opt BuildOptions) (*Index, error) {
+	if c == nil || c.Len() == 0 {
+		return nil, fmt.Errorf("core: empty corpus")
+	}
+	stats, err := textproc.Extract(c.TokenSlices(), opt.Extractor)
+	if err != nil {
+		return nil, fmt.Errorf("core: phrase extraction: %w", err)
+	}
+	if len(stats) == 0 {
+		return nil, fmt.Errorf("core: no phrases cleared the document-frequency threshold")
+	}
+
+	phrases := make([]string, len(stats))
+	for i, s := range stats {
+		phrases[i] = s.Phrase
+	}
+	dict, err := phrasedict.Build(phrases, opt.PhraseWidth)
+	if err != nil {
+		return nil, fmt.Errorf("core: phrase dictionary: %w", err)
+	}
+
+	ix := &Index{
+		Corpus:     c,
+		Dict:       dict,
+		PhraseDocs: make([][]corpus.DocID, len(stats)),
+		PhraseDF:   make([]uint32, len(stats)),
+		Forward:    make([][]phrasedict.PhraseID, c.Len()),
+		opts:       opt,
+		restricted: opt.ListFeatures != nil,
+	}
+	for p, s := range stats {
+		docs := make([]corpus.DocID, len(s.Docs))
+		for i, d := range s.Docs {
+			docs[i] = corpus.DocID(d)
+		}
+		ix.PhraseDocs[p] = docs
+		ix.PhraseDF[p] = uint32(len(docs))
+		// Phrase IDs ascend with p, and each phrase's doc list is
+		// sorted, so per-document forward lists come out sorted.
+		for _, d := range docs {
+			ix.Forward[d] = append(ix.Forward[d], phrasedict.PhraseID(p))
+		}
+	}
+	ix.Inverted = corpus.BuildInverted(c)
+
+	src := &plist.Source{
+		Inverted:      ix.Inverted,
+		Forward:       ix.Forward,
+		PhraseDocFreq: ix.PhraseDF,
+	}
+	ix.Lists, err = plist.BuildLists(src, opt.ListFeatures)
+	if err != nil {
+		return nil, fmt.Errorf("core: word-specific lists: %w", err)
+	}
+	return ix, nil
+}
+
+// NumPhrases reports |P|.
+func (ix *Index) NumPhrases() int { return ix.Dict.Len() }
+
+// PhraseText resolves a phrase ID to its string.
+func (ix *Index) PhraseText(id phrasedict.PhraseID) (string, error) {
+	return ix.Dict.Phrase(id)
+}
+
+// featureList fetches the score-ordered list for a query feature. Missing
+// features are empty lists when the build covered the whole vocabulary
+// (the feature simply does not occur); under a restricted build they are
+// an error, because silence would silently mis-answer the query.
+func (ix *Index) featureList(f string) (plist.ScoreList, error) {
+	l, ok := ix.Lists[f]
+	if !ok && ix.restricted && ix.Inverted.Has(f) {
+		return nil, fmt.Errorf("core: no list built for feature %q (restricted build)", f)
+	}
+	return l, nil
+}
+
+// ListIndexSize reports the serialized size in bytes of the word-specific
+// lists truncated to the given fraction — the Table 5 index-size analysis.
+func (ix *Index) ListIndexSize(fraction float64) int64 {
+	var total int64
+	for _, l := range ix.Lists {
+		total += plist.SizeBytes(len(l.Truncate(fraction)))
+	}
+	return total
+}
+
+// EstimateFullIndexSize extrapolates the full-vocabulary index size at a
+// fraction from the average built list length, as the paper's Table 5 does
+// ("assuming 12 bytes per entry" over the whole vocabulary).
+func (ix *Index) EstimateFullIndexSize(fraction float64) int64 {
+	if len(ix.Lists) == 0 {
+		return 0
+	}
+	avg := plist.AverageListLen(ix.Lists) * math.Max(0, math.Min(1, fraction))
+	return int64(avg * plist.EntrySize * float64(ix.Inverted.VocabSize()))
+}
+
+// WriteListIndex serializes the score-ordered lists (truncated to fraction)
+// into the plist index-file format, for disk-resident operation.
+func (ix *Index) WriteListIndex(w io.Writer, fraction float64) (int64, error) {
+	return plist.WriteIndex(w, plist.TruncateAll(ix.Lists, fraction))
+}
+
+// WritePhraseDict serializes the fixed-width phrase list.
+func (ix *Index) WritePhraseDict(w io.Writer) (int64, error) {
+	return ix.Dict.WriteTo(w)
+}
+
+// GM returns the (lazily built, cached) Gao & Michel forward-index
+// baseline over this corpus. The returned instance reuses scratch space
+// and is not safe for concurrent use; Clone it per goroutine.
+func (ix *Index) GM() (*baseline.GM, error) {
+	if ix.gm == nil {
+		g, err := baseline.NewGM(ix.Inverted, ix.Forward, ix.PhraseDF)
+		if err != nil {
+			return nil, err
+		}
+		ix.gm = g
+	}
+	return ix.gm, nil
+}
+
+// Exact returns the (lazily built, cached) exact ground-truth scorer.
+func (ix *Index) Exact() (*baseline.Exact, error) {
+	if ix.exact == nil {
+		e, err := baseline.NewExact(ix.Inverted, ix.PhraseDocs)
+		if err != nil {
+			return nil, err
+		}
+		ix.exact = e
+	}
+	return ix.exact, nil
+}
+
+// Simitsis builds the phrase-list baseline with the given pool multiple.
+func (ix *Index) Simitsis(poolMultiple int) (*baseline.Simitsis, error) {
+	return baseline.NewSimitsis(ix.Inverted, ix.PhraseDocs, poolMultiple)
+}
+
+// GMCompressed builds the forward-index baseline with the prefix
+// compression optimization (Section 2's Bedathur-style storage reduction).
+// Results are identical to GM; the forward index is smaller and queries pay
+// a chain-expansion cost.
+func (ix *Index) GMCompressed() (*baseline.GMCompressed, error) {
+	return baseline.NewGMCompressed(ix.Inverted, ix.Forward, ix.PhraseDF, ix.Dict)
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/diskio"
+	"phrasemine/internal/phrasedict"
+	"phrasemine/internal/plist"
+	"phrasemine/internal/topk"
+)
+
+// MinedPhrase is a result with its phrase text resolved, ready for display.
+type MinedPhrase struct {
+	ID     phrasedict.PhraseID
+	Phrase string
+	// Score is the algorithm-native aggregate (sum of probabilities for
+	// OR, sum of log-probabilities for AND).
+	Score float64
+	// Estimate is the score converted to the interestingness scale of
+	// Eq. 1 (see topk.EstimatedInterestingness).
+	Estimate float64
+}
+
+// Resolve converts raw topk results into displayable phrases, attaching
+// interestingness estimates computed against the query's sub-collection.
+func (ix *Index) Resolve(results []topk.Result, q corpus.Query) ([]MinedPhrase, error) {
+	dPrime, err := ix.Inverted.Select(q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MinedPhrase, len(results))
+	for i, r := range results {
+		text, err := ix.Dict.Phrase(r.Phrase)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = MinedPhrase{
+			ID:     r.Phrase,
+			Phrase: text,
+			Score:  r.Score,
+			Estimate: topk.EstimatedInterestingness(
+				r.Score, q.Op, len(dPrime), ix.Corpus.Len()),
+		}
+	}
+	return out, nil
+}
+
+// QueryNRA answers a query with the NRA algorithm over in-memory
+// score-ordered lists. Partial-list operation is selected through
+// opt.Fraction (a query-time decision for NRA).
+func (ix *Index) QueryNRA(q corpus.Query, opt topk.NRAOptions) ([]topk.Result, topk.NRAStats, error) {
+	if err := q.Validate(); err != nil {
+		return nil, topk.NRAStats{}, err
+	}
+	opt.Op = q.Op
+	cursors := make([]plist.Cursor, len(q.Features))
+	for i, f := range q.Features {
+		l, err := ix.featureList(f)
+		if err != nil {
+			return nil, topk.NRAStats{}, err
+		}
+		cursors[i] = plist.NewMemCursor(l)
+	}
+	return topk.NRA(cursors, opt)
+}
+
+// QueryNRADisk answers a query with NRA over a disk-resident list index
+// opened from a plist.Reader (typically backed by the diskio simulator).
+func (ix *Index) QueryNRADisk(r *plist.Reader, q corpus.Query, opt topk.NRAOptions) ([]topk.Result, topk.NRAStats, error) {
+	if err := q.Validate(); err != nil {
+		return nil, topk.NRAStats{}, err
+	}
+	if r.Ordering() != plist.OrderScore {
+		return nil, topk.NRAStats{}, fmt.Errorf("core: NRA requires a score-ordered index, got %v", r.Ordering())
+	}
+	opt.Op = q.Op
+	cursors := make([]plist.Cursor, len(q.Features))
+	for i, f := range q.Features {
+		if !r.Has(f) && ix.restricted && ix.Inverted.Has(f) {
+			return nil, topk.NRAStats{}, fmt.Errorf("core: disk index has no list for %q", f)
+		}
+		cursors[i] = r.Cursor(f)
+	}
+	return topk.NRA(cursors, opt)
+}
+
+// OpenSimDiskIndex serializes the index's lists (truncated to fraction)
+// onto the simulated disk under the given file name and opens a reader
+// over it. The returned reader's cursor reads are charged to the
+// simulator's cost model.
+func (ix *Index) OpenSimDiskIndex(disk *diskio.Disk, name string, fraction float64) (*plist.Reader, error) {
+	var buf writerBuffer
+	if _, err := ix.WriteListIndex(&buf, fraction); err != nil {
+		return nil, err
+	}
+	if err := disk.CreateFile(name, buf.data); err != nil {
+		return nil, err
+	}
+	f, err := disk.File(name)
+	if err != nil {
+		return nil, err
+	}
+	return plist.OpenReader(f)
+}
+
+// writerBuffer is a minimal io.Writer that keeps ownership of its bytes
+// (bytes.Buffer would force a copy to hand the slice to diskio).
+type writerBuffer struct{ data []byte }
+
+func (w *writerBuffer) Write(p []byte) (int, error) {
+	w.data = append(w.data, p...)
+	return len(p), nil
+}
+
+// SMJIndex holds phrase-ID-ordered lists truncated to a fixed fraction —
+// the construction-time partial lists of Section 4.4.1 ("once the
+// ID-ordered lists have been constructed using a pre-specified fraction,
+// we cannot, at run-time, decide to work with a larger or smaller one").
+type SMJIndex struct {
+	Fraction float64
+	Lists    map[string]plist.IDList
+}
+
+// BuildSMJ materializes an SMJ index at the given fraction from the full
+// score-ordered lists.
+func (ix *Index) BuildSMJ(fraction float64) *SMJIndex {
+	return &SMJIndex{
+		Fraction: fraction,
+		Lists:    plist.ToIDOrderedAll(plist.TruncateAll(ix.Lists, fraction)),
+	}
+}
+
+// SizeBytes reports the serialized size of the SMJ index's lists.
+func (s *SMJIndex) SizeBytes() int64 {
+	return plist.SizeBytes(plist.TotalEntries(s.Lists))
+}
+
+// QuerySMJ answers a query with the SMJ algorithm over a prepared
+// ID-ordered index.
+func (ix *Index) QuerySMJ(s *SMJIndex, q corpus.Query, opt topk.SMJOptions) ([]topk.Result, topk.SMJStats, error) {
+	if err := q.Validate(); err != nil {
+		return nil, topk.SMJStats{}, err
+	}
+	opt.Op = q.Op
+	cursors := make([]plist.Cursor, len(q.Features))
+	for i, f := range q.Features {
+		l, ok := s.Lists[f]
+		if !ok && ix.restricted && ix.Inverted.Has(f) {
+			return nil, topk.SMJStats{}, fmt.Errorf("core: SMJ index has no list for %q", f)
+		}
+		cursors[i] = plist.NewMemCursor(l)
+	}
+	return topk.SMJ(cursors, opt)
+}

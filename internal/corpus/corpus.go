@@ -1,0 +1,100 @@
+// Package corpus implements the document-corpus substrate: the document
+// model with keyword and metadata-facet features, the inverted feature
+// index, sorted document-set algebra, and the sub-collection selection
+// queries of Equation 2 of the paper (D' = union or intersection of
+// docs(D, qi)).
+package corpus
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DocID identifies a document by its position in the corpus. IDs are dense:
+// the i-th added document has DocID i.
+type DocID uint32
+
+// Document is one text document plus optional metadata facets. Tokens are
+// the normalized token stream produced by textproc.Tokenizer (possibly
+// containing textproc.SentenceBreak markers).
+type Document struct {
+	Tokens []string
+	// Facets are metadata name/value pairs ("venue" -> "sigmod",
+	// "year" -> "1997"). They are indexed as features alongside words
+	// using the FacetFeature encoding, so queries may mix keywords and
+	// facets exactly as Table 1 of the paper describes.
+	Facets map[string]string
+}
+
+// FacetFeature renders a metadata facet as an indexable feature string.
+// The ':' separator cannot appear in tokenizer output, so facet features
+// can never collide with word features.
+func FacetFeature(name, value string) string {
+	return name + ":" + value
+}
+
+// Corpus is an append-only collection of documents (the paper's static
+// corpus D).
+type Corpus struct {
+	docs []Document
+}
+
+// New returns an empty corpus.
+func New() *Corpus {
+	return &Corpus{}
+}
+
+// Add appends a document and returns its DocID.
+func (c *Corpus) Add(d Document) DocID {
+	c.docs = append(c.docs, d)
+	return DocID(len(c.docs) - 1)
+}
+
+// Len reports the number of documents.
+func (c *Corpus) Len() int {
+	return len(c.docs)
+}
+
+// Doc returns the document with the given ID.
+func (c *Corpus) Doc(id DocID) (Document, error) {
+	if int(id) >= len(c.docs) {
+		return Document{}, fmt.Errorf("corpus: doc %d out of range [0,%d)", id, len(c.docs))
+	}
+	return c.docs[id], nil
+}
+
+// MustDoc is Doc for callers that have already validated the ID.
+func (c *Corpus) MustDoc(id DocID) Document {
+	return c.docs[id]
+}
+
+// TokenSlices returns one token slice per document, in DocID order, for use
+// by textproc.Extract. The returned slices alias corpus memory.
+func (c *Corpus) TokenSlices() [][]string {
+	out := make([][]string, len(c.docs))
+	for i := range c.docs {
+		out[i] = c.docs[i].Tokens
+	}
+	return out
+}
+
+// distinctFeatures returns the sorted distinct features (word tokens plus
+// facet features) of a document. SentenceBreak markers are excluded.
+func distinctFeatures(d Document) []string {
+	seen := make(map[string]struct{}, len(d.Tokens))
+	for _, t := range d.Tokens {
+		if t == "\x00" { // textproc.SentenceBreak
+			continue
+		}
+		seen[t] = struct{}{}
+	}
+	for name, value := range d.Facets {
+		seen[FacetFeature(name, value)] = struct{}{}
+	}
+	out := make([]string, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,95 @@
+package corpus
+
+import "sort"
+
+// Inverted is the feature inverted index: for every feature w (word or
+// metadata facet) it stores docs(D, w), the sorted list of documents
+// containing w. It is the substrate behind sub-collection selection (Eq. 2)
+// and behind the word-specific list construction of Section 4.2.2.
+type Inverted struct {
+	postings map[string][]DocID
+	numDocs  int
+}
+
+// BuildInverted indexes every document of the corpus.
+func BuildInverted(c *Corpus) *Inverted {
+	ix := &Inverted{
+		postings: make(map[string][]DocID),
+		numDocs:  c.Len(),
+	}
+	for i := range c.docs {
+		id := DocID(i)
+		for _, f := range distinctFeatures(c.docs[i]) {
+			ix.postings[f] = append(ix.postings[f], id)
+		}
+	}
+	// Documents are scanned in increasing DocID order and features are
+	// distinct per document, so every posting list is already sorted and
+	// duplicate-free. Shrink over-allocated lists.
+	for f, list := range ix.postings {
+		if cap(list) > len(list)*5/4 {
+			trimmed := make([]DocID, len(list))
+			copy(trimmed, list)
+			ix.postings[f] = trimmed
+		}
+	}
+	return ix
+}
+
+// NumDocs reports the number of documents the index was built over.
+func (ix *Inverted) NumDocs() int {
+	return ix.numDocs
+}
+
+// Docs returns docs(D, feature): the sorted DocIDs of documents containing
+// the feature. The returned slice is shared; callers must not modify it.
+// A feature absent from the corpus yields an empty (nil) list.
+func (ix *Inverted) Docs(feature string) []DocID {
+	return ix.postings[feature]
+}
+
+// DocFreq reports |docs(D, feature)|.
+func (ix *Inverted) DocFreq(feature string) int {
+	return len(ix.postings[feature])
+}
+
+// Has reports whether the feature occurs anywhere in the corpus.
+func (ix *Inverted) Has(feature string) bool {
+	_, ok := ix.postings[feature]
+	return ok
+}
+
+// VocabSize reports the number of distinct indexed features (the |W| of the
+// paper's index-size analysis).
+func (ix *Inverted) VocabSize() int {
+	return len(ix.postings)
+}
+
+// Features returns all indexed features in sorted order. It allocates; it is
+// meant for index construction and diagnostics, not per-query paths.
+func (ix *Inverted) Features() []string {
+	out := make([]string, 0, len(ix.postings))
+	for f := range ix.postings {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TopFeaturesByDocFreq returns up to n features with the largest document
+// frequency, most frequent first (ties broken lexicographically). Useful for
+// workload generation and diagnostics.
+func (ix *Inverted) TopFeaturesByDocFreq(n int) []string {
+	feats := ix.Features()
+	sort.SliceStable(feats, func(i, j int) bool {
+		di, dj := len(ix.postings[feats[i]]), len(ix.postings[feats[j]])
+		if di != dj {
+			return di > dj
+		}
+		return feats[i] < feats[j]
+	})
+	if n > len(feats) {
+		n = len(feats)
+	}
+	return feats[:n]
+}

@@ -1,0 +1,107 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Operator aggregates per-feature document collections into one
+// sub-collection (Eq. 2 of the paper).
+type Operator uint8
+
+const (
+	// OpAND selects documents containing every query feature
+	// (intersection of docs(D, qi)).
+	OpAND Operator = iota
+	// OpOR selects documents containing at least one query feature
+	// (union of docs(D, qi)).
+	OpOR
+)
+
+// String renders the operator as in the paper ("AND" / "OR").
+func (o Operator) String() string {
+	switch o {
+	case OpAND:
+		return "AND"
+	case OpOR:
+		return "OR"
+	default:
+		return fmt.Sprintf("Operator(%d)", uint8(o))
+	}
+}
+
+// ParseOperator parses "AND"/"OR" (case-insensitive).
+func ParseOperator(s string) (Operator, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "AND":
+		return OpAND, nil
+	case "OR":
+		return OpOR, nil
+	default:
+		return 0, fmt.Errorf("corpus: unknown operator %q (want AND or OR)", s)
+	}
+}
+
+// Query is the paper's Q = [{q1..qr}, O]: a set of features (keywords or
+// facet features) plus an aggregation operator. It implicitly defines the
+// sub-collection D'.
+type Query struct {
+	Features []string
+	Op       Operator
+}
+
+// NewQuery builds a query from features, deduplicating while preserving
+// first-occurrence order (duplicate keywords would double-count scores in
+// the sum-form aggregations).
+func NewQuery(op Operator, features ...string) Query {
+	seen := make(map[string]struct{}, len(features))
+	var out []string
+	for _, f := range features {
+		if f == "" {
+			continue
+		}
+		if _, dup := seen[f]; dup {
+			continue
+		}
+		seen[f] = struct{}{}
+		out = append(out, f)
+	}
+	return Query{Features: out, Op: op}
+}
+
+// ParseQuery splits a whitespace-separated keyword string into a query.
+func ParseQuery(keywords string, op Operator) Query {
+	return NewQuery(op, strings.Fields(keywords)...)
+}
+
+// String renders the query as `a AND b AND c`.
+func (q Query) String() string {
+	return strings.Join(q.Features, " "+q.Op.String()+" ")
+}
+
+// Validate reports structural problems with the query.
+func (q Query) Validate() error {
+	if len(q.Features) == 0 {
+		return fmt.Errorf("corpus: empty query")
+	}
+	if q.Op != OpAND && q.Op != OpOR {
+		return fmt.Errorf("corpus: invalid operator %d", q.Op)
+	}
+	return nil
+}
+
+// Select materializes D' for the query per Equation 2: the union (OR) or
+// intersection (AND) of the per-feature document lists.
+func (ix *Inverted) Select(q Query) ([]DocID, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	lists := make([][]DocID, len(q.Features))
+	for i, f := range q.Features {
+		lists[i] = ix.Docs(f)
+	}
+	if q.Op == OpAND {
+		return Intersect(lists...), nil
+	}
+	return Union(lists...), nil
+}

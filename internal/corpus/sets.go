@@ -1,0 +1,275 @@
+package corpus
+
+import "container/heap"
+
+// This file implements sorted document-set algebra over []DocID posting
+// lists: pairwise and k-way intersection and union, intersection
+// cardinality, and a bitmap set for O(1) membership probes. All list inputs
+// and outputs are strictly increasing DocID slices.
+
+// Intersect2 returns the intersection of two sorted lists. When the lists
+// have very different lengths it gallops through the longer one.
+func Intersect2(a, b []DocID) []DocID {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return nil
+	}
+	// Galloping pays off when b is much longer than a.
+	if len(b) >= len(a)*8 {
+		return intersectGallop(a, b)
+	}
+	out := make([]DocID, 0, len(a))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// intersectGallop intersects short list a against long list b using
+// exponential search.
+func intersectGallop(a, b []DocID) []DocID {
+	out := make([]DocID, 0, len(a))
+	lo := 0
+	for _, x := range a {
+		// Exponential probe from lo for the first b[idx] >= x.
+		step := 1
+		hi := lo
+		for hi < len(b) && b[hi] < x {
+			lo = hi + 1
+			hi += step
+			step *= 2
+		}
+		if hi > len(b) {
+			hi = len(b)
+		}
+		// Binary search in (lo-1, hi].
+		l, r := lo, hi
+		for l < r {
+			m := (l + r) / 2
+			if b[m] < x {
+				l = m + 1
+			} else {
+				r = m
+			}
+		}
+		lo = l
+		if lo < len(b) && b[lo] == x {
+			out = append(out, x)
+			lo++
+		}
+		if lo >= len(b) {
+			break
+		}
+	}
+	return out
+}
+
+// IntersectCount2 reports |a ∩ b| without materializing the intersection.
+func IntersectCount2(a, b []DocID) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	n := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// Intersect returns the k-way intersection of sorted lists. Lists are
+// intersected smallest-first so intermediate results shrink fast.
+// Intersect of zero lists is defined as the empty list.
+func Intersect(lists ...[]DocID) []DocID {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return append([]DocID(nil), lists[0]...)
+	}
+	ordered := append([][]DocID(nil), lists...)
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && len(ordered[j]) < len(ordered[j-1]); j-- {
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
+	acc := Intersect2(ordered[0], ordered[1])
+	for _, l := range ordered[2:] {
+		if len(acc) == 0 {
+			return nil
+		}
+		acc = Intersect2(acc, l)
+	}
+	return acc
+}
+
+// Union2 returns the union of two sorted lists.
+func Union2(a, b []DocID) []DocID {
+	out := make([]DocID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// listHeap is a min-heap of cursors over sorted lists, keyed by the current
+// head DocID, used by the k-way union.
+type listHeap struct {
+	lists [][]DocID
+	pos   []int
+}
+
+func (h *listHeap) Len() int { return len(h.lists) }
+func (h *listHeap) Less(i, j int) bool {
+	return h.lists[i][h.pos[i]] < h.lists[j][h.pos[j]]
+}
+func (h *listHeap) Swap(i, j int) {
+	h.lists[i], h.lists[j] = h.lists[j], h.lists[i]
+	h.pos[i], h.pos[j] = h.pos[j], h.pos[i]
+}
+func (h *listHeap) Push(x any) {
+	panic("listHeap: push not supported")
+}
+func (h *listHeap) Pop() any {
+	n := len(h.lists) - 1
+	h.lists = h.lists[:n]
+	h.pos = h.pos[:n]
+	return nil
+}
+
+// Union returns the k-way union of sorted lists via a heap merge.
+func Union(lists ...[]DocID) []DocID {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return append([]DocID(nil), lists[0]...)
+	case 2:
+		return Union2(lists[0], lists[1])
+	}
+	h := &listHeap{}
+	total := 0
+	for _, l := range lists {
+		if len(l) > 0 {
+			h.lists = append(h.lists, l)
+			h.pos = append(h.pos, 0)
+			total += len(l)
+		}
+	}
+	heap.Init(h)
+	out := make([]DocID, 0, total)
+	for h.Len() > 0 {
+		top := h.lists[0][h.pos[0]]
+		if n := len(out); n == 0 || out[n-1] != top {
+			out = append(out, top)
+		}
+		h.pos[0]++
+		if h.pos[0] == len(h.lists[0]) {
+			heap.Pop(h)
+		} else {
+			heap.Fix(h, 0)
+		}
+	}
+	return out
+}
+
+// Bitmap is a fixed-universe bitset over DocIDs for O(1) membership probes.
+type Bitmap struct {
+	words []uint64
+	count int
+}
+
+// NewBitmap creates a bitmap for DocIDs in [0, n).
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{words: make([]uint64, (n+63)/64)}
+}
+
+// BitmapFromList builds a bitmap over [0, n) with the listed IDs set.
+func BitmapFromList(list []DocID, n int) *Bitmap {
+	b := NewBitmap(n)
+	for _, id := range list {
+		b.Set(id)
+	}
+	return b
+}
+
+// Set adds id to the set. Setting an already-set bit is a no-op.
+func (b *Bitmap) Set(id DocID) {
+	w, bit := id/64, uint64(1)<<(id%64)
+	if b.words[w]&bit == 0 {
+		b.words[w] |= bit
+		b.count++
+	}
+}
+
+// Clear removes id from the set.
+func (b *Bitmap) Clear(id DocID) {
+	w, bit := id/64, uint64(1)<<(id%64)
+	if b.words[w]&bit != 0 {
+		b.words[w] &^= bit
+		b.count--
+	}
+}
+
+// Has reports membership. IDs outside the universe report false.
+func (b *Bitmap) Has(id DocID) bool {
+	w := int(id / 64)
+	if w >= len(b.words) {
+		return false
+	}
+	return b.words[w]&(uint64(1)<<(id%64)) != 0
+}
+
+// Count reports the number of set bits.
+func (b *Bitmap) Count() int {
+	return b.count
+}
+
+// IntersectCountList reports how many IDs of the sorted list are set in b.
+func (b *Bitmap) IntersectCountList(list []DocID) int {
+	n := 0
+	for _, id := range list {
+		if b.Has(id) {
+			n++
+		}
+	}
+	return n
+}

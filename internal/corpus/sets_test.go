@@ -1,0 +1,245 @@
+package corpus
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func ids(xs ...DocID) []DocID { return xs }
+
+func TestIntersect2Basic(t *testing.T) {
+	got := Intersect2(ids(1, 3, 5, 7), ids(3, 4, 5, 8))
+	if !reflect.DeepEqual(got, ids(3, 5)) {
+		t.Fatalf("Intersect2 = %v", got)
+	}
+}
+
+func TestIntersect2Empty(t *testing.T) {
+	if got := Intersect2(nil, ids(1, 2)); len(got) != 0 {
+		t.Fatalf("Intersect2(nil, ...) = %v", got)
+	}
+	if got := Intersect2(ids(1, 2), ids(3, 4)); len(got) != 0 {
+		t.Fatalf("disjoint Intersect2 = %v", got)
+	}
+}
+
+func TestIntersect2Galloping(t *testing.T) {
+	// Force the galloping path: |b| >= 8|a|.
+	long := make([]DocID, 1000)
+	for i := range long {
+		long[i] = DocID(i * 2) // evens
+	}
+	short := ids(0, 7, 500, 998, 1998, 5000)
+	got := Intersect2(short, long)
+	want := ids(0, 500, 998, 1998)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("gallop Intersect2 = %v, want %v", got, want)
+	}
+	// Symmetry.
+	got2 := Intersect2(long, short)
+	if !reflect.DeepEqual(got2, want) {
+		t.Fatalf("gallop Intersect2 (swapped) = %v, want %v", got2, want)
+	}
+}
+
+func TestIntersectCount2(t *testing.T) {
+	if n := IntersectCount2(ids(1, 2, 3), ids(2, 3, 4)); n != 2 {
+		t.Fatalf("IntersectCount2 = %d, want 2", n)
+	}
+	if n := IntersectCount2(nil, ids(1)); n != 0 {
+		t.Fatalf("IntersectCount2(nil,...) = %d", n)
+	}
+}
+
+func TestKWayIntersect(t *testing.T) {
+	got := Intersect(ids(1, 2, 3, 4, 9), ids(2, 3, 9), ids(0, 2, 9))
+	if !reflect.DeepEqual(got, ids(2, 9)) {
+		t.Fatalf("Intersect = %v", got)
+	}
+	if got := Intersect(); got != nil {
+		t.Fatalf("Intersect() = %v, want nil", got)
+	}
+	one := Intersect(ids(5, 6))
+	if !reflect.DeepEqual(one, ids(5, 6)) {
+		t.Fatalf("Intersect(single) = %v", one)
+	}
+}
+
+func TestKWayIntersectShortCircuit(t *testing.T) {
+	got := Intersect(ids(1), ids(2), ids(1, 2, 3))
+	if len(got) != 0 {
+		t.Fatalf("Intersect = %v, want empty", got)
+	}
+}
+
+func TestUnion2(t *testing.T) {
+	got := Union2(ids(1, 3, 5), ids(2, 3, 6))
+	if !reflect.DeepEqual(got, ids(1, 2, 3, 5, 6)) {
+		t.Fatalf("Union2 = %v", got)
+	}
+	if got := Union2(nil, nil); len(got) != 0 {
+		t.Fatalf("Union2(nil,nil) = %v", got)
+	}
+}
+
+func TestKWayUnion(t *testing.T) {
+	got := Union(ids(1, 4), ids(2, 4, 8), ids(0, 8), nil)
+	if !reflect.DeepEqual(got, ids(0, 1, 2, 4, 8)) {
+		t.Fatalf("Union = %v", got)
+	}
+	if got := Union(); got != nil {
+		t.Fatalf("Union() = %v", got)
+	}
+}
+
+// randomSortedList produces a strictly increasing DocID list.
+func randomSortedList(rng *rand.Rand, maxLen, universe int) []DocID {
+	n := rng.Intn(maxLen + 1)
+	seen := make(map[DocID]struct{}, n)
+	for len(seen) < n {
+		seen[DocID(rng.Intn(universe))] = struct{}{}
+	}
+	out := make([]DocID, 0, n)
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func setOf(list []DocID) map[DocID]struct{} {
+	m := make(map[DocID]struct{}, len(list))
+	for _, id := range list {
+		m[id] = struct{}{}
+	}
+	return m
+}
+
+// Property: k-way Intersect/Union agree with map-based reference semantics
+// on random inputs, and outputs are strictly sorted.
+func TestSetAlgebraMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		k := 2 + rng.Intn(4)
+		lists := make([][]DocID, k)
+		for i := range lists {
+			lists[i] = randomSortedList(rng, 40, 60)
+		}
+
+		wantInter := setOf(lists[0])
+		for _, l := range lists[1:] {
+			s := setOf(l)
+			for id := range wantInter {
+				if _, ok := s[id]; !ok {
+					delete(wantInter, id)
+				}
+			}
+		}
+		wantUnion := map[DocID]struct{}{}
+		for _, l := range lists {
+			for _, id := range l {
+				wantUnion[id] = struct{}{}
+			}
+		}
+
+		gotInter := Intersect(lists...)
+		gotUnion := Union(lists...)
+
+		if !reflect.DeepEqual(setOf(gotInter), wantInter) && !(len(gotInter) == 0 && len(wantInter) == 0) {
+			t.Fatalf("trial %d: Intersect mismatch: got %v", trial, gotInter)
+		}
+		if !reflect.DeepEqual(setOf(gotUnion), wantUnion) && !(len(gotUnion) == 0 && len(wantUnion) == 0) {
+			t.Fatalf("trial %d: Union mismatch: got %v", trial, gotUnion)
+		}
+		for i := 1; i < len(gotInter); i++ {
+			if gotInter[i-1] >= gotInter[i] {
+				t.Fatalf("Intersect output not strictly sorted: %v", gotInter)
+			}
+		}
+		for i := 1; i < len(gotUnion); i++ {
+			if gotUnion[i-1] >= gotUnion[i] {
+				t.Fatalf("Union output not strictly sorted: %v", gotUnion)
+			}
+		}
+	}
+}
+
+// Property: IntersectCount2 equals len(Intersect2).
+func TestIntersectCountProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seedA, seedB uint16) bool {
+		a := randomSortedList(rng, 50, 80)
+		b := randomSortedList(rng, 50, 80)
+		return IntersectCount2(a, b) == len(Intersect2(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitmapBasics(t *testing.T) {
+	b := NewBitmap(100)
+	if b.Has(5) || b.Count() != 0 {
+		t.Fatal("fresh bitmap not empty")
+	}
+	b.Set(5)
+	b.Set(63)
+	b.Set(64)
+	b.Set(99)
+	b.Set(5) // duplicate
+	if b.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", b.Count())
+	}
+	for _, id := range []DocID{5, 63, 64, 99} {
+		if !b.Has(id) {
+			t.Fatalf("Has(%d) = false", id)
+		}
+	}
+	if b.Has(6) {
+		t.Fatal("Has(6) = true")
+	}
+	b.Clear(63)
+	if b.Has(63) || b.Count() != 3 {
+		t.Fatal("Clear failed")
+	}
+	b.Clear(63) // double clear is a no-op
+	if b.Count() != 3 {
+		t.Fatal("double Clear changed count")
+	}
+}
+
+func TestBitmapOutOfUniverse(t *testing.T) {
+	b := NewBitmap(10)
+	if b.Has(1000) {
+		t.Fatal("Has beyond universe should be false")
+	}
+}
+
+func TestBitmapFromListAndIntersectCount(t *testing.T) {
+	b := BitmapFromList(ids(2, 4, 6), 10)
+	if n := b.IntersectCountList(ids(1, 2, 3, 4)); n != 2 {
+		t.Fatalf("IntersectCountList = %d, want 2", n)
+	}
+}
+
+// Property: bitmap membership agrees with list membership.
+func TestBitmapMatchesSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		list := randomSortedList(rng, 64, 256)
+		b := BitmapFromList(list, 256)
+		set := setOf(list)
+		if b.Count() != len(set) {
+			t.Fatalf("Count = %d, want %d", b.Count(), len(set))
+		}
+		for id := DocID(0); id < 256; id++ {
+			_, want := set[id]
+			if b.Has(id) != want {
+				t.Fatalf("Has(%d) = %v, want %v", id, b.Has(id), want)
+			}
+		}
+	}
+}

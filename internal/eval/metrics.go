@@ -1,0 +1,115 @@
+// Package eval implements the Information Retrieval evaluation measures the
+// paper uses in Section 5.3 — Precision, MRR, MAP and NDCG over binary
+// relevance — plus the mean absolute interestingness difference of Table 6.
+//
+// Relevance follows the paper's rule: a returned phrase is correct iff its
+// exact interestingness is 1.0 (the absolute maximum) or it belongs to the
+// exact top-k for the query. Building that relevant set is the caller's job
+// (it needs the exact scorer); this package consumes it.
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"phrasemine/internal/phrasedict"
+)
+
+// Metrics aggregates the four retrieval measures for one query (or, via
+// Mean, for a query set). All lie in [0, 1]; 1.0 is perfect conformance.
+type Metrics struct {
+	Precision float64
+	MRR       float64
+	MAP       float64
+	NDCG      float64
+}
+
+// Judge scores one query's returned ranking against the relevant set.
+// k is the evaluation depth (the paper fixes k = 5); rankings longer than k
+// are truncated, shorter ones are penalized implicitly by the missing
+// positions. The AP and NDCG normalizers use min(k, |relevant|) ideal hits,
+// so a system returning every relevant phrase in the top positions scores
+// 1.0 even when |relevant| < k.
+func Judge(returned []phrasedict.PhraseID, relevant map[phrasedict.PhraseID]bool, k int) Metrics {
+	if k <= 0 || len(relevant) == 0 {
+		return Metrics{}
+	}
+	if len(returned) > k {
+		returned = returned[:k]
+	}
+	ideal := len(relevant)
+	if ideal > k {
+		ideal = k
+	}
+
+	var m Metrics
+	correct := 0
+	apSum := 0.0
+	dcg := 0.0
+	for i, id := range returned {
+		if !relevant[id] {
+			continue
+		}
+		correct++
+		if m.MRR == 0 {
+			m.MRR = 1.0 / float64(i+1)
+		}
+		apSum += float64(correct) / float64(i+1)
+		dcg += 1.0 / math.Log2(float64(i)+2)
+	}
+	m.Precision = float64(correct) / float64(k)
+	m.MAP = apSum / float64(ideal)
+
+	idcg := 0.0
+	for i := 0; i < ideal; i++ {
+		idcg += 1.0 / math.Log2(float64(i)+2)
+	}
+	if idcg > 0 {
+		m.NDCG = dcg / idcg
+	}
+	return m
+}
+
+// Mean averages per-query metrics across a query set, as the paper's
+// Figures 5-6 plot. An empty input yields zeros.
+func Mean(ms []Metrics) Metrics {
+	if len(ms) == 0 {
+		return Metrics{}
+	}
+	var sum Metrics
+	for _, m := range ms {
+		sum.Precision += m.Precision
+		sum.MRR += m.MRR
+		sum.MAP += m.MAP
+		sum.NDCG += m.NDCG
+	}
+	n := float64(len(ms))
+	return Metrics{
+		Precision: sum.Precision / n,
+		MRR:       sum.MRR / n,
+		MAP:       sum.MAP / n,
+		NDCG:      sum.NDCG / n,
+	}
+}
+
+// String renders the metrics in the order the paper's figures use.
+func (m Metrics) String() string {
+	return fmt.Sprintf("P=%.3f MRR=%.3f MAP=%.3f NDCG=%.3f", m.Precision, m.MRR, m.MAP, m.NDCG)
+}
+
+// MeanAbsDiff reports the mean |estimated - exact| over paired values — the
+// interestingness-accuracy statistic of Table 6. The slices must have equal
+// length; an empty input yields 0.
+func MeanAbsDiff(estimated, exact []float64) (float64, error) {
+	if len(estimated) != len(exact) {
+		return 0, fmt.Errorf("eval: length mismatch %d vs %d", len(estimated), len(exact))
+	}
+	if len(estimated) == 0 {
+		return 0, nil
+	}
+	sum := 0.0
+	for i := range estimated {
+		sum += math.Abs(estimated[i] - exact[i])
+	}
+	return sum / float64(len(estimated)), nil
+}

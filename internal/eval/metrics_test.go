@@ -1,0 +1,174 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"phrasemine/internal/phrasedict"
+)
+
+func rel(ids ...uint32) map[phrasedict.PhraseID]bool {
+	m := make(map[phrasedict.PhraseID]bool, len(ids))
+	for _, id := range ids {
+		m[phrasedict.PhraseID(id)] = true
+	}
+	return m
+}
+
+func ranking(ids ...uint32) []phrasedict.PhraseID {
+	out := make([]phrasedict.PhraseID, len(ids))
+	for i, id := range ids {
+		out[i] = phrasedict.PhraseID(id)
+	}
+	return out
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestJudgePerfect(t *testing.T) {
+	m := Judge(ranking(1, 2, 3, 4, 5), rel(1, 2, 3, 4, 5), 5)
+	if !approx(m.Precision, 1) || !approx(m.MRR, 1) || !approx(m.MAP, 1) || !approx(m.NDCG, 1) {
+		t.Fatalf("perfect ranking: %+v", m)
+	}
+}
+
+func TestJudgeAllWrong(t *testing.T) {
+	m := Judge(ranking(6, 7, 8, 9, 10), rel(1, 2, 3, 4, 5), 5)
+	if m.Precision != 0 || m.MRR != 0 || m.MAP != 0 || m.NDCG != 0 {
+		t.Fatalf("all-wrong ranking: %+v", m)
+	}
+}
+
+func TestJudgePositionSensitivity(t *testing.T) {
+	// Two correct results among five: NDCG and MAP must prefer them at
+	// the top over the bottom (the paper's exact illustration of why
+	// those measures are used).
+	top := Judge(ranking(1, 2, 8, 9, 10), rel(1, 2), 5)
+	bottom := Judge(ranking(8, 9, 10, 1, 2), rel(1, 2), 5)
+	if !(top.NDCG > bottom.NDCG) {
+		t.Fatalf("NDCG not rank-sensitive: top %v, bottom %v", top.NDCG, bottom.NDCG)
+	}
+	if !(top.MAP > bottom.MAP) {
+		t.Fatalf("MAP not rank-sensitive: top %v, bottom %v", top.MAP, bottom.MAP)
+	}
+	// Precision ignores position.
+	if !approx(top.Precision, bottom.Precision) {
+		t.Fatalf("precision should be position-blind: %v vs %v", top.Precision, bottom.Precision)
+	}
+	// Both correct at the very top: NDCG/MAP = 1 given only 2 relevant.
+	if !approx(top.NDCG, 1) || !approx(top.MAP, 1) {
+		t.Fatalf("top placement of all relevant should be ideal: %+v", top)
+	}
+}
+
+func TestJudgeMRR(t *testing.T) {
+	cases := []struct {
+		ranking []phrasedict.PhraseID
+		want    float64
+	}{
+		{ranking(1, 9, 9, 9, 9), 1.0},
+		{ranking(9, 1, 9, 9, 9), 0.5},
+		{ranking(9, 9, 9, 9, 1), 0.2},
+	}
+	for i, c := range cases {
+		if m := Judge(c.ranking, rel(1), 5); !approx(m.MRR, c.want) {
+			t.Errorf("case %d: MRR = %v, want %v", i, m.MRR, c.want)
+		}
+	}
+}
+
+func TestJudgePrecisionCountsAgainstK(t *testing.T) {
+	// Only 3 results returned for k=5: missing positions count as wrong.
+	m := Judge(ranking(1, 2, 3), rel(1, 2, 3, 4, 5), 5)
+	if !approx(m.Precision, 0.6) {
+		t.Fatalf("Precision = %v, want 0.6", m.Precision)
+	}
+}
+
+func TestJudgeFewRelevantThanK(t *testing.T) {
+	// One relevant phrase, retrieved first: ideal scores despite k=5.
+	m := Judge(ranking(1, 7, 8, 9, 10), rel(1), 5)
+	if !approx(m.NDCG, 1) || !approx(m.MAP, 1) || !approx(m.MRR, 1) {
+		t.Fatalf("single-relevant ideal: %+v", m)
+	}
+	if !approx(m.Precision, 0.2) {
+		t.Fatalf("Precision = %v, want 0.2", m.Precision)
+	}
+}
+
+func TestJudgeTruncatesLongRanking(t *testing.T) {
+	long := Judge(ranking(9, 9, 9, 9, 9, 1), rel(1), 5)
+	if long.MRR != 0 {
+		t.Fatalf("relevant result beyond k must not count: %+v", long)
+	}
+}
+
+func TestJudgeDegenerateInputs(t *testing.T) {
+	if m := Judge(ranking(1), rel(1), 0); m != (Metrics{}) {
+		t.Fatalf("k=0 should zero out: %+v", m)
+	}
+	if m := Judge(ranking(1), map[phrasedict.PhraseID]bool{}, 5); m != (Metrics{}) {
+		t.Fatalf("empty relevant set should zero out: %+v", m)
+	}
+	if m := Judge(nil, rel(1), 5); m.Precision != 0 {
+		t.Fatalf("empty ranking: %+v", m)
+	}
+}
+
+func TestJudgeNDCGKnownValue(t *testing.T) {
+	// Relevant at positions 1 and 3 (0-based 0 and 2) out of 2 relevant:
+	// DCG = 1/log2(2) + 1/log2(4) = 1 + 0.5; IDCG = 1 + 1/log2(3).
+	m := Judge(ranking(1, 9, 2, 9, 9), rel(1, 2), 5)
+	want := (1.0 + 0.5) / (1.0 + 1.0/math.Log2(3))
+	if !approx(m.NDCG, want) {
+		t.Fatalf("NDCG = %v, want %v", m.NDCG, want)
+	}
+}
+
+func TestJudgeMAPKnownValue(t *testing.T) {
+	// Relevant retrieved at ranks 2 and 5, 2 relevant total:
+	// AP = (1/2 + 2/5) / 2.
+	m := Judge(ranking(9, 1, 9, 9, 2), rel(1, 2), 5)
+	want := (0.5 + 0.4) / 2
+	if !approx(m.MAP, want) {
+		t.Fatalf("MAP = %v, want %v", m.MAP, want)
+	}
+}
+
+func TestMean(t *testing.T) {
+	ms := []Metrics{
+		{Precision: 1, MRR: 1, MAP: 1, NDCG: 1},
+		{Precision: 0, MRR: 0, MAP: 0, NDCG: 0},
+	}
+	got := Mean(ms)
+	if !approx(got.Precision, 0.5) || !approx(got.NDCG, 0.5) {
+		t.Fatalf("Mean = %+v", got)
+	}
+	if Mean(nil) != (Metrics{}) {
+		t.Fatal("Mean(nil) should be zero")
+	}
+}
+
+func TestMeanAbsDiff(t *testing.T) {
+	got, err := MeanAbsDiff([]float64{1.0, 0.5}, []float64{0.9, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(got, 0.15) {
+		t.Fatalf("MeanAbsDiff = %v, want 0.15", got)
+	}
+	if _, err := MeanAbsDiff([]float64{1}, nil); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	zero, err := MeanAbsDiff(nil, nil)
+	if err != nil || zero != 0 {
+		t.Fatalf("empty MeanAbsDiff = %v, %v", zero, err)
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	s := Metrics{Precision: 0.9, MRR: 0.8, MAP: 0.7, NDCG: 0.6}.String()
+	if s != "P=0.900 MRR=0.800 MAP=0.700 NDCG=0.600" {
+		t.Fatalf("String = %q", s)
+	}
+}

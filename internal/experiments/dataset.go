@@ -1,0 +1,150 @@
+// Package experiments reproduces every table and figure of the paper's
+// Section 5 (see DESIGN.md §2 for the experiment index). Each Run*
+// function returns typed rows that cmd/experiments renders; the repo-root
+// benchmarks wrap the timing-sensitive runs in testing.B loops.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"phrasemine/internal/core"
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/synth"
+	"phrasemine/internal/textproc"
+)
+
+// DatasetKind selects one of the two evaluation workloads.
+type DatasetKind string
+
+const (
+	// Reuters is the Reuters-21578-scale workload with its 100-query set.
+	Reuters DatasetKind = "reuters"
+	// Pubmed is the PubMed-abstracts-scale workload with its 52-query set.
+	Pubmed DatasetKind = "pubmed"
+)
+
+// Dataset bundles a generated corpus, its built index and the harvested
+// query workload.
+type Dataset struct {
+	Kind     DatasetKind
+	Name     string
+	Cfg      synth.Config
+	Corpus   *corpus.Corpus
+	Index    *core.Index
+	Features [][]string // harvested keyword sets (operator applied per run)
+}
+
+// Queries materializes the workload under an operator, as the paper
+// evaluates each query set under both AND and OR.
+func (d *Dataset) Queries(op corpus.Operator) []corpus.Query {
+	out := make([]corpus.Query, 0, len(d.Features))
+	for _, f := range d.Features {
+		out = append(out, corpus.NewQuery(op, f...))
+	}
+	return out
+}
+
+// datasetCache memoizes built datasets per (kind, scale) for the lifetime
+// of the process: benchmarks and multi-experiment runs share one build.
+var (
+	datasetMu    sync.Mutex
+	datasetCache = map[string]*Dataset{}
+)
+
+// Load builds (or returns the cached) dataset at the given scale factor.
+// Scale 1.0 is the paper-equivalent size; smaller scales shrink the corpus
+// proportionally for quick runs and tests.
+func Load(kind DatasetKind, scale float64) (*Dataset, error) {
+	key := fmt.Sprintf("%s@%g", kind, scale)
+	datasetMu.Lock()
+	defer datasetMu.Unlock()
+	if d, ok := datasetCache[key]; ok {
+		return d, nil
+	}
+
+	var cfg synth.Config
+	var spec synth.QuerySpec
+	switch kind {
+	case Reuters:
+		cfg = synth.ReutersLike()
+		spec = synth.ReutersQuerySpec()
+	case Pubmed:
+		cfg = synth.PubmedLike()
+		spec = synth.PubmedQuerySpec()
+	default:
+		return nil, fmt.Errorf("experiments: unknown dataset %q", kind)
+	}
+	if scale != 1.0 {
+		cfg = cfg.Scale(scale)
+		// Smaller corpora need a lower harvest threshold to fill the
+		// query quotas.
+		if scale < 0.5 {
+			spec.MinDocFreq = 3
+		}
+	}
+
+	c, err := cfg.Generate()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating %s: %w", cfg.Name, err)
+	}
+
+	extractor := textproc.ExtractorOptions{
+		MinWords:               1,
+		MaxWords:               6,
+		MinDocFreq:             5,
+		DropAllStopwordPhrases: true,
+	}
+	if scale < 0.5 {
+		extractor.MinDocFreq = 3
+	}
+	stats, err := textproc.Extract(c.TokenSlices(), extractor)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: extracting %s: %w", cfg.Name, err)
+	}
+	// The content-word filter needs per-word document frequencies.
+	wordIx := corpus.BuildInverted(c)
+	features, err := synth.HarvestQueries(stats, spec, wordIx.DocFreq, c.Len())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: harvesting queries for %s: %w", cfg.Name, err)
+	}
+
+	// Build word lists only for the features the workload touches: the
+	// experiments never query outside the harvested sets, and Table 5's
+	// full-index sizes are extrapolated from average list lengths, as in
+	// the paper.
+	seen := map[string]struct{}{}
+	var listFeatures []string
+	for _, fs := range features {
+		for _, f := range fs {
+			if _, dup := seen[f]; !dup {
+				seen[f] = struct{}{}
+				listFeatures = append(listFeatures, f)
+			}
+		}
+	}
+	ix, err := core.Build(c, core.BuildOptions{
+		Extractor:    extractor,
+		ListFeatures: listFeatures,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building index for %s: %w", cfg.Name, err)
+	}
+
+	d := &Dataset{
+		Kind:     kind,
+		Name:     cfg.Name,
+		Cfg:      cfg,
+		Corpus:   c,
+		Index:    ix,
+		Features: features,
+	}
+	datasetCache[key] = d
+	return d, nil
+}
+
+// Describe summarizes the dataset for report headers.
+func (d *Dataset) Describe() string {
+	return fmt.Sprintf("%s: %d docs, |P|=%d phrases, |W|=%d features, %d queries",
+		d.Name, d.Corpus.Len(), d.Index.NumPhrases(), d.Index.Inverted.VocabSize(), len(d.Features))
+}

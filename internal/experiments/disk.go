@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/diskio"
+	"phrasemine/internal/plist"
+	"phrasemine/internal/topk"
+)
+
+// DiskRow is one bar of Figures 9-10: the per-query cost of disk-resident
+// NRA at a partial-list percentage, broken into computation time (measured)
+// and disk IO time (simulated per the paper's Section 5.5 methodology), in
+// milliseconds.
+type DiskRow struct {
+	Dataset   string
+	Op        corpus.Operator
+	ListPct   int
+	ComputeMS float64
+	DiskMS    float64
+	TotalMS   float64
+	// SeqFetches/RandFetches expose the underlying access mix.
+	SeqFetches  float64
+	RandFetches float64
+}
+
+// diskSetup caches the serialized on-(simulated-)disk index per dataset.
+type diskSetup struct {
+	disk   *diskio.Disk
+	reader *plist.Reader
+}
+
+var (
+	diskMu     sync.Mutex
+	diskSetups = map[string]*diskSetup{}
+)
+
+func getDiskSetup(ds *Dataset) (*diskSetup, error) {
+	diskMu.Lock()
+	defer diskMu.Unlock()
+	if s, ok := diskSetups[ds.Name]; ok {
+		return s, nil
+	}
+	disk, err := diskio.NewDisk(diskio.DefaultCostModel())
+	if err != nil {
+		return nil, err
+	}
+	reader, err := ds.Index.OpenSimDiskIndex(disk, "lists.idx", 1.0)
+	if err != nil {
+		return nil, err
+	}
+	s := &diskSetup{disk: disk, reader: reader}
+	diskSetups[ds.Name] = s
+	return s, nil
+}
+
+// RunNRADiskBreakup reproduces Figures 9-10: disk-resident NRA response
+// times at increasing partial-list percentages, split into computational
+// and disk-access costs. Each query starts with a cold page cache so that
+// per-query costs are comparable (the paper's simulation methodology logs
+// accesses per run).
+func RunNRADiskBreakup(ds *Dataset, op corpus.Operator, fractions []float64, k int) ([]DiskRow, error) {
+	setup, err := getDiskSetup(ds)
+	if err != nil {
+		return nil, err
+	}
+	queries := ds.Queries(op)
+	var rows []DiskRow
+	for _, frac := range fractions {
+		var computeMS, diskMS, seq, rnd float64
+		for _, q := range queries {
+			setup.disk.DropCaches()
+			setup.disk.ResetStats()
+			start := time.Now()
+			if _, _, err := ds.Index.QueryNRADisk(setup.reader, q, topk.NRAOptions{K: k, Fraction: frac}); err != nil {
+				return nil, fmt.Errorf("nra-disk %s %v: %w", ds.Name, q, err)
+			}
+			computeMS += float64(time.Since(start).Microseconds()) / 1000.0
+			st := setup.disk.Stats()
+			diskMS += st.IOTimeMS
+			seq += float64(st.SeqFetches)
+			rnd += float64(st.RandFetches)
+		}
+		n := float64(len(queries))
+		rows = append(rows, DiskRow{
+			Dataset:     ds.Name,
+			Op:          op,
+			ListPct:     pct(frac),
+			ComputeMS:   computeMS / n,
+			DiskMS:      diskMS / n,
+			TotalMS:     (computeMS + diskMS) / n,
+			SeqFetches:  seq / n,
+			RandFetches: rnd / n,
+		})
+	}
+	return rows, nil
+}
+
+// TraversalRow is one bar of Figure 11: the mean fraction of the lists NRA
+// reads before its stopping condition fires.
+type TraversalRow struct {
+	Dataset      string
+	Op           corpus.Operator
+	MeanPct      float64 // mean percentage of list entries consumed
+	StoppedEarly int     // queries where the stop test fired before exhaustion
+	Queries      int
+}
+
+// RunTraversalDepth reproduces Figure 11: how deep NRA traverses full
+// score-ordered lists before the bounds-based stopping condition lets it
+// terminate.
+func RunTraversalDepth(ds *Dataset, k int) ([]TraversalRow, error) {
+	var rows []TraversalRow
+	for _, op := range []corpus.Operator{corpus.OpAND, corpus.OpOR} {
+		queries := ds.Queries(op)
+		var sum float64
+		stopped := 0
+		for _, q := range queries {
+			_, stats, err := ds.Index.QueryNRA(q, topk.NRAOptions{K: k, BatchSize: 256})
+			if err != nil {
+				return nil, fmt.Errorf("nra %s %v: %w", ds.Name, q, err)
+			}
+			sum += stats.FractionTraversed
+			if stats.StoppedEarly {
+				stopped++
+			}
+		}
+		rows = append(rows, TraversalRow{
+			Dataset:      ds.Name,
+			Op:           op,
+			MeanPct:      100 * sum / float64(len(queries)),
+			StoppedEarly: stopped,
+			Queries:      len(queries),
+		})
+	}
+	return rows, nil
+}
+
+// DiskVsMemRow is one series point of Figures 12-13: disk-resident NRA
+// against the in-memory GM baseline.
+type DiskVsMemRow struct {
+	Dataset string
+	Op      corpus.Operator
+	Method  string // "nra-disk" or "gm-mem"
+	ListPct int    // 0 for GM
+	MeanMS  float64
+}
+
+// RunNRADiskVsGM reproduces Figures 12-13: total response time of NRA over
+// disk-resident lists (computation + simulated IO) versus the in-memory GM
+// baseline — the comparison the paper calls "unfairly biased in favor of
+// GM".
+func RunNRADiskVsGM(ds *Dataset, fractions []float64, k int) ([]DiskVsMemRow, error) {
+	var rows []DiskVsMemRow
+	for _, op := range []corpus.Operator{corpus.OpAND, corpus.OpOR} {
+		breakup, err := RunNRADiskBreakup(ds, op, fractions, k)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range breakup {
+			rows = append(rows, DiskVsMemRow{
+				Dataset: ds.Name, Op: op, Method: "nra-disk",
+				ListPct: b.ListPct, MeanMS: b.TotalMS,
+			})
+		}
+	}
+	gmRows, err := RunMemRuntime(ds, nil, k, true, false)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range gmRows {
+		rows = append(rows, DiskVsMemRow{
+			Dataset: ds.Name, Op: g.Op, Method: "gm-mem", MeanMS: g.MeanMS,
+		})
+	}
+	return rows, nil
+}

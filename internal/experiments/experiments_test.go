@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"phrasemine/internal/corpus"
+)
+
+// testScale shrinks the datasets so the full experiment suite runs in
+// seconds inside the unit tests; the shapes under test are scale-free.
+const testScale = 0.02
+
+func loadTest(t *testing.T, kind DatasetKind) *Dataset {
+	t.Helper()
+	ds, err := Load(kind, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestLoadDatasets(t *testing.T) {
+	for _, kind := range []DatasetKind{Reuters, Pubmed} {
+		ds := loadTest(t, kind)
+		if ds.Corpus.Len() == 0 || ds.Index.NumPhrases() == 0 {
+			t.Fatalf("%s: empty dataset", kind)
+		}
+		if len(ds.Features) == 0 {
+			t.Fatalf("%s: no queries harvested", kind)
+		}
+		for _, f := range ds.Features {
+			if len(f) < 2 {
+				t.Fatalf("%s: query with < 2 keywords: %v", kind, f)
+			}
+		}
+		if ds.Describe() == "" {
+			t.Fatal("empty description")
+		}
+	}
+	if _, err := Load("bogus", 1); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+}
+
+func TestLoadCaches(t *testing.T) {
+	a := loadTest(t, Reuters)
+	b := loadTest(t, Reuters)
+	if a != b {
+		t.Fatal("Load did not cache")
+	}
+}
+
+func TestRunQualityShape(t *testing.T) {
+	ds := loadTest(t, Reuters)
+	rows, err := RunQuality(ds, []float64{0.2, 0.5}, K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // 2 fractions x 2 operators
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		m := r.Metrics
+		for name, v := range map[string]float64{
+			"P": m.Precision, "MRR": m.MRR, "MAP": m.MAP, "NDCG": m.NDCG,
+		} {
+			if v < 0 || v > 1 {
+				t.Fatalf("%s out of range in %+v", name, r)
+			}
+		}
+		// The headline claim: high accuracy even at 20% lists. Allow
+		// slack at this tiny scale but catch collapse.
+		if m.NDCG < 0.5 {
+			t.Fatalf("NDCG collapsed: %+v", r)
+		}
+	}
+}
+
+func TestQualityImprovesOrHoldsWithLongerLists(t *testing.T) {
+	ds := loadTest(t, Reuters)
+	rows, err := RunQuality(ds, []float64{0.2, 1.0}, K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]float64{}
+	for _, r := range rows {
+		byKey[r.Op.String()+string(rune(r.ListPct))] = r.Metrics.NDCG
+	}
+	for _, op := range []corpus.Operator{corpus.OpAND, corpus.OpOR} {
+		at20 := byKey[op.String()+string(rune(20))]
+		at100 := byKey[op.String()+string(rune(100))]
+		if at100+1e-9 < at20-0.05 {
+			t.Fatalf("%v: quality degraded with longer lists: 20%%=%v 100%%=%v", op, at20, at100)
+		}
+	}
+}
+
+func TestRunMemRuntime(t *testing.T) {
+	ds := loadTest(t, Reuters)
+	rows, err := RunMemRuntime(ds, []float64{0.2, 1.0}, K, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 fractions x 2 ops x {smj, nra} + 2 GM rows.
+	if len(rows) != 10 {
+		t.Fatalf("got %d rows, want 10", len(rows))
+	}
+	seenGM := false
+	for _, r := range rows {
+		if r.MeanMS < 0 {
+			t.Fatalf("negative runtime: %+v", r)
+		}
+		if r.Method == "gm" {
+			seenGM = true
+			if r.MeanMS == 0 {
+				t.Fatalf("GM measured zero time: %+v", r)
+			}
+		}
+	}
+	if !seenGM {
+		t.Fatal("no GM rows")
+	}
+}
+
+func TestRunNRADiskBreakup(t *testing.T) {
+	ds := loadTest(t, Reuters)
+	rows, err := RunNRADiskBreakup(ds, corpus.OpAND, []float64{0.1, 0.5, 1.0}, K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r.DiskMS <= 0 {
+			t.Fatalf("no disk cost accounted: %+v", r)
+		}
+		if r.TotalMS < r.DiskMS || r.TotalMS < r.ComputeMS {
+			t.Fatalf("total < parts: %+v", r)
+		}
+		// Disk cost must not shrink as more of the lists are read.
+		if i > 0 && r.DiskMS+1e-9 < rows[i-1].DiskMS {
+			t.Fatalf("disk cost decreased with deeper traversal: %+v -> %+v", rows[i-1], r)
+		}
+	}
+	// The paper's observation: disk access dominates (84-89% of response
+	// time). At test scale compute is tiny, so disk must dominate here
+	// too.
+	last := rows[len(rows)-1]
+	if last.DiskMS < last.ComputeMS {
+		t.Fatalf("disk should dominate compute: %+v", last)
+	}
+}
+
+func TestRunTraversalDepth(t *testing.T) {
+	ds := loadTest(t, Reuters)
+	rows, err := RunTraversalDepth(ds, K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeanPct <= 0 || r.MeanPct > 100 {
+			t.Fatalf("traversal depth out of range: %+v", r)
+		}
+		if r.Queries == 0 {
+			t.Fatalf("no queries: %+v", r)
+		}
+	}
+}
+
+func TestRunNRADiskVsGM(t *testing.T) {
+	ds := loadTest(t, Reuters)
+	rows, err := RunNRADiskVsGM(ds, []float64{0.2}, K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nra, gm int
+	for _, r := range rows {
+		switch r.Method {
+		case "nra-disk":
+			nra++
+		case "gm-mem":
+			gm++
+		}
+	}
+	if nra != 2 || gm != 2 {
+		t.Fatalf("row mix wrong: %d nra-disk, %d gm-mem", nra, gm)
+	}
+}
+
+func TestRunSampleResults(t *testing.T) {
+	ds := loadTest(t, Reuters)
+	samples, err := RunSampleResults(ds, K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 2 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	for _, s := range samples {
+		if len(s.Phrases) == 0 {
+			t.Fatalf("no phrases for %v", s.Query)
+		}
+		for _, p := range s.Phrases {
+			if p == "" {
+				t.Fatal("empty phrase text")
+			}
+		}
+	}
+}
+
+func TestRunIndexSizes(t *testing.T) {
+	ds := loadTest(t, Reuters)
+	rows, err := RunIndexSizes(ds, []float64{0.1, 0.2, 0.5}, K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Bytes < rows[i-1].Bytes {
+			t.Fatalf("index size not monotone in fraction: %+v", rows)
+		}
+	}
+	for _, r := range rows {
+		if r.Bytes <= 0 {
+			t.Fatalf("non-positive size: %+v", r)
+		}
+	}
+}
+
+func TestRunEstimateAccuracy(t *testing.T) {
+	ds := loadTest(t, Reuters)
+	rows, err := RunEstimateAccuracy(ds, K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Samples == 0 {
+			t.Fatalf("no samples: %+v", r)
+		}
+		if r.MeanDiff < 0 || r.MeanDiff > 1 {
+			t.Fatalf("mean diff out of range: %+v", r)
+		}
+	}
+}
+
+func TestRunSummary(t *testing.T) {
+	ds := loadTest(t, Reuters)
+	rows, err := RunSummary(ds, K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GM + {NRA, SMJ} x {20, 50}.
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Method != "GM (Baseline)" || rows[0].NDCGAnd != 1.0 {
+		t.Fatalf("first row should be the exact baseline: %+v", rows[0])
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	out := RenderTable("Title", []string{"a", "long-header"}, [][]string{
+		{"1", "2"},
+		{"wide-cell", "3"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Title") {
+		t.Fatal("missing title")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if FormatBytes(512) != "512 B" {
+		t.Fatal(FormatBytes(512))
+	}
+	if FormatBytes(2<<20) != "2.0 MiB" {
+		t.Fatal(FormatBytes(2 << 20))
+	}
+	if FormatBytes(3<<30) != "3.0 GiB" {
+		t.Fatal(FormatBytes(3 << 30))
+	}
+	if FormatMS(0.5) != "0.500" || FormatMS(12.34) != "12.3" || FormatMS(500) != "500" {
+		t.Fatal("FormatMS")
+	}
+}

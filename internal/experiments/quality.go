@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"phrasemine/internal/baseline"
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/eval"
+	"phrasemine/internal/phrasedict"
+	"phrasemine/internal/topk"
+)
+
+// K is the paper's result-set size ("we consistently set the number of
+// interesting phrases parameter, k, to 5").
+const K = 5
+
+// QualityRow is one bar group of Figures 5-6: mean retrieval quality of the
+// list-based approach at a partial-list percentage under an operator.
+type QualityRow struct {
+	Dataset string
+	ListPct int
+	Op      corpus.Operator
+	Metrics eval.Metrics
+}
+
+// relevantSet applies the paper's Section 5.3 correctness rule: a returned
+// phrase counts as correct iff its exact interestingness is 1.0 or it is
+// among the exact top-k. The relevant set is therefore the exact top-k
+// union the perfectly-interesting phrases among the returned ones.
+func relevantSet(ex *baseline.Exact, q corpus.Query, returned []phrasedict.PhraseID, k int) (map[phrasedict.PhraseID]bool, error) {
+	exact, err := ex.TopK(q, k)
+	if err != nil {
+		return nil, err
+	}
+	relevant := make(map[phrasedict.PhraseID]bool, k+len(returned))
+	for _, s := range exact {
+		relevant[s.Phrase] = true
+	}
+	dPrime, err := ex.Select(q)
+	if err != nil {
+		return nil, err
+	}
+	if len(dPrime) == 0 {
+		return relevant, nil
+	}
+	set := corpus.BitmapFromList(dPrime, int(maxDoc(dPrime))+1)
+	for _, p := range returned {
+		if ex.Interestingness(p, set) >= 1.0 {
+			relevant[p] = true
+		}
+	}
+	return relevant, nil
+}
+
+func maxDoc(ids []corpus.DocID) corpus.DocID {
+	var m corpus.DocID
+	for _, id := range ids {
+		if id > m {
+			m = id
+		}
+	}
+	return m
+}
+
+// RunQuality reproduces Figures 5-6: result quality (Precision, MRR, MAP,
+// NDCG) of the approximate list-based method against exact results, at the
+// given partial-list fractions, for both operators. SMJ and NRA return the
+// same result sets (Section 5.3), so SMJ is used as the representative.
+func RunQuality(ds *Dataset, fractions []float64, k int) ([]QualityRow, error) {
+	ex, err := ds.Index.Exact()
+	if err != nil {
+		return nil, err
+	}
+	var rows []QualityRow
+	for _, frac := range fractions {
+		smj := ds.Index.BuildSMJ(frac)
+		for _, op := range []corpus.Operator{corpus.OpAND, corpus.OpOR} {
+			var ms []eval.Metrics
+			for _, q := range ds.Queries(op) {
+				res, _, err := ds.Index.QuerySMJ(smj, q, topk.SMJOptions{K: k})
+				if err != nil {
+					return nil, fmt.Errorf("%s %v: %w", ds.Name, q, err)
+				}
+				returned := resultIDs(res)
+				relevant, err := relevantSet(ex, q, returned, k)
+				if err != nil {
+					return nil, err
+				}
+				if len(relevant) == 0 {
+					continue // empty D' (cannot happen for harvested queries)
+				}
+				ms = append(ms, eval.Judge(returned, relevant, k))
+			}
+			rows = append(rows, QualityRow{
+				Dataset: ds.Name,
+				ListPct: pct(frac),
+				Op:      op,
+				Metrics: eval.Mean(ms),
+			})
+		}
+	}
+	return rows, nil
+}
+
+func resultIDs(rs []topk.Result) []phrasedict.PhraseID {
+	out := make([]phrasedict.PhraseID, len(rs))
+	for i, r := range rs {
+		out[i] = r.Phrase
+	}
+	return out
+}
+
+func pct(frac float64) int {
+	return int(frac*100 + 0.5)
+}
+
+// qualityNDCG indexes quality rows for reuse by Tables 5 and 7.
+func qualityNDCG(rows []QualityRow) map[string]float64 {
+	out := make(map[string]float64, len(rows))
+	for _, r := range rows {
+		out[fmt.Sprintf("%d-%s", r.ListPct, r.Op)] = r.Metrics.NDCG
+	}
+	return out
+}

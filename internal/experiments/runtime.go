@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/topk"
+)
+
+// RuntimeRow is one series point of Figures 7-8 (and the runtime columns of
+// Table 7): mean per-query response time in milliseconds for a method at a
+// partial-list percentage (ListPct is 0 for GM, which has no such knob).
+type RuntimeRow struct {
+	Dataset string
+	Method  string // "smj", "nra-mem", "gm"
+	ListPct int
+	Op      corpus.Operator
+	MeanMS  float64
+}
+
+// RunMemRuntime reproduces Figures 7-8: in-memory response times of SMJ at
+// the given partial-list fractions against the GM baseline, for both
+// operators. It also measures in-memory NRA at the same fractions, the
+// comparison behind the paper's "deciding between NRA and SMJ" discussion
+// (Section 5.5) and the Table 7 summary.
+//
+// SMJ's ID-ordered (truncated) lists are built before timing starts —
+// partial lists for SMJ are a construction-time decision in the paper.
+func RunMemRuntime(ds *Dataset, fractions []float64, k int, includeGM, includeNRA bool) ([]RuntimeRow, error) {
+	var rows []RuntimeRow
+	for _, frac := range fractions {
+		smj := ds.Index.BuildSMJ(frac)
+		for _, op := range []corpus.Operator{corpus.OpAND, corpus.OpOR} {
+			queries := ds.Queries(op)
+
+			start := time.Now()
+			for _, q := range queries {
+				if _, _, err := ds.Index.QuerySMJ(smj, q, topk.SMJOptions{K: k}); err != nil {
+					return nil, fmt.Errorf("smj %s %v: %w", ds.Name, q, err)
+				}
+			}
+			rows = append(rows, RuntimeRow{
+				Dataset: ds.Name, Method: "smj", ListPct: pct(frac), Op: op,
+				MeanMS: meanMS(time.Since(start), len(queries)),
+			})
+
+			if includeNRA {
+				start = time.Now()
+				for _, q := range queries {
+					if _, _, err := ds.Index.QueryNRA(q, topk.NRAOptions{K: k, Fraction: frac}); err != nil {
+						return nil, fmt.Errorf("nra %s %v: %w", ds.Name, q, err)
+					}
+				}
+				rows = append(rows, RuntimeRow{
+					Dataset: ds.Name, Method: "nra-mem", ListPct: pct(frac), Op: op,
+					MeanMS: meanMS(time.Since(start), len(queries)),
+				})
+			}
+		}
+	}
+	if includeGM {
+		gm, err := ds.Index.GM()
+		if err != nil {
+			return nil, err
+		}
+		for _, op := range []corpus.Operator{corpus.OpAND, corpus.OpOR} {
+			queries := ds.Queries(op)
+			start := time.Now()
+			for _, q := range queries {
+				if _, _, err := gm.TopK(q, k); err != nil {
+					return nil, fmt.Errorf("gm %s %v: %w", ds.Name, q, err)
+				}
+			}
+			rows = append(rows, RuntimeRow{
+				Dataset: ds.Name, Method: "gm", ListPct: 0, Op: op,
+				MeanMS: meanMS(time.Since(start), len(queries)),
+			})
+		}
+	}
+	return rows, nil
+}
+
+func meanMS(d time.Duration, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(d.Microseconds()) / 1000.0 / float64(n)
+}
+
+// runtimeLookup indexes rows for reuse by Table 7 and Figures 12-13.
+func runtimeLookup(rows []RuntimeRow) map[string]float64 {
+	out := make(map[string]float64, len(rows))
+	for _, r := range rows {
+		out[fmt.Sprintf("%s-%d-%s", r.Method, r.ListPct, r.Op)] = r.MeanMS
+	}
+	return out
+}

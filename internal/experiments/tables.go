@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/eval"
+	"phrasemine/internal/topk"
+)
+
+// SampleResult is one block of Table 4: a query and its top-k phrases.
+type SampleResult struct {
+	Dataset string
+	Query   corpus.Query
+	Phrases []string
+}
+
+// RunSampleResults reproduces Table 4: example top-5 phrases for one AND
+// and one OR query per dataset, mined with the list-based approach over
+// full lists. The paper shows a Pubmed AND query and a Reuters OR query;
+// this driver renders both operators for whichever dataset it is given.
+func RunSampleResults(ds *Dataset, k int) ([]SampleResult, error) {
+	smj := ds.Index.BuildSMJ(1.0)
+	var out []SampleResult
+	for _, op := range []corpus.Operator{corpus.OpAND, corpus.OpOR} {
+		queries := ds.Queries(op)
+		// Prefer a 2-3 word query, like the paper's examples.
+		q := queries[0]
+		for _, cand := range queries {
+			if len(cand.Features) >= 2 && len(cand.Features) <= 3 {
+				q = cand
+				break
+			}
+		}
+		res, _, err := ds.Index.QuerySMJ(smj, q, topk.SMJOptions{K: k})
+		if err != nil {
+			return nil, err
+		}
+		mined, err := ds.Index.Resolve(res, q)
+		if err != nil {
+			return nil, err
+		}
+		sr := SampleResult{Dataset: ds.Name, Query: q}
+		for _, m := range mined {
+			sr.Phrases = append(sr.Phrases, m.Phrase)
+		}
+		out = append(out, sr)
+	}
+	return out, nil
+}
+
+// IndexSizeRow is one row of Table 5: the estimated full-vocabulary index
+// size at a list percentage, with the accuracy it buys.
+type IndexSizeRow struct {
+	Dataset  string
+	ListPct  int
+	Bytes    int64 // extrapolated full-vocabulary index size
+	NDCGAnd  float64
+	NDCGOr   float64
+	AvgList  float64 // average entries per built list at this fraction
+	Features int     // number of lists actually built
+}
+
+// RunIndexSizes reproduces Table 5: index sizes at partial-list fractions
+// versus the retrieval quality they achieve. Sizes are extrapolated from
+// the average built list length to the full vocabulary at 12 bytes per
+// entry, exactly as the paper's analysis does.
+func RunIndexSizes(ds *Dataset, fractions []float64, k int) ([]IndexSizeRow, error) {
+	quality, err := RunQuality(ds, fractions, k)
+	if err != nil {
+		return nil, err
+	}
+	ndcg := qualityNDCG(quality)
+	var rows []IndexSizeRow
+	for _, frac := range fractions {
+		p := pct(frac)
+		rows = append(rows, IndexSizeRow{
+			Dataset:  ds.Name,
+			ListPct:  p,
+			Bytes:    ds.Index.EstimateFullIndexSize(frac),
+			NDCGAnd:  ndcg[fmt.Sprintf("%d-%s", p, corpus.OpAND)],
+			NDCGOr:   ndcg[fmt.Sprintf("%d-%s", p, corpus.OpOR)],
+			AvgList:  float64(ds.Index.ListIndexSize(frac)) / 12 / float64(len(ds.Index.Lists)),
+			Features: len(ds.Index.Lists),
+		})
+	}
+	return rows, nil
+}
+
+// AccuracyRow is one cell of Table 6: the mean absolute difference between
+// the independence-assumption interestingness estimate and the exact value
+// over the result phrases.
+type AccuracyRow struct {
+	Dataset  string
+	Op       corpus.Operator
+	MeanDiff float64
+	Samples  int
+}
+
+// RunEstimateAccuracy reproduces Table 6. For every query's top-k result
+// phrases (full lists), the estimated interestingness (the aggregate score
+// divided by P(Q), see topk.EstimatedInterestingness) is compared with the
+// exact ID(p, D').
+func RunEstimateAccuracy(ds *Dataset, k int) ([]AccuracyRow, error) {
+	ex, err := ds.Index.Exact()
+	if err != nil {
+		return nil, err
+	}
+	smj := ds.Index.BuildSMJ(1.0)
+	var rows []AccuracyRow
+	for _, op := range []corpus.Operator{corpus.OpAND, corpus.OpOR} {
+		var estimates, exacts []float64
+		for _, q := range ds.Queries(op) {
+			res, _, err := ds.Index.QuerySMJ(smj, q, topk.SMJOptions{K: k})
+			if err != nil {
+				return nil, err
+			}
+			dPrime, err := ex.Select(q)
+			if err != nil {
+				return nil, err
+			}
+			if len(dPrime) == 0 {
+				continue
+			}
+			set := corpus.BitmapFromList(dPrime, ds.Corpus.Len())
+			for _, r := range res {
+				est := topk.EstimatedInterestingness(r.Score, op, len(dPrime), ds.Corpus.Len())
+				// Estimates can exceed 1 (the inclusion-exclusion
+				// truncation over-counts); clamp to the measure's
+				// range as a scoring system would.
+				if est > 1 {
+					est = 1
+				}
+				estimates = append(estimates, est)
+				exacts = append(exacts, ex.Interestingness(r.Phrase, set))
+			}
+		}
+		diff, err := eval.MeanAbsDiff(estimates, exacts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AccuracyRow{Dataset: ds.Name, Op: op, MeanDiff: diff, Samples: len(estimates)})
+	}
+	return rows, nil
+}
+
+// SummaryRow is one row of Table 7: a method at a list percentage with its
+// quality and in-memory runtimes under both operators.
+type SummaryRow struct {
+	Dataset string
+	Method  string // "GM (Baseline)", "NRA", "SMJ"
+	ListPct int    // 0 for GM
+	NDCGAnd float64
+	NDCGOr  float64
+	MSAnd   float64
+	MSOr    float64
+}
+
+// RunSummary reproduces Table 7: the experiments summary comparing GM with
+// NRA and SMJ at 20% and 50% lists on quality (NDCG) and in-memory
+// response time.
+func RunSummary(ds *Dataset, k int) ([]SummaryRow, error) {
+	fractions := []float64{0.2, 0.5}
+	quality, err := RunQuality(ds, fractions, k)
+	if err != nil {
+		return nil, err
+	}
+	ndcg := qualityNDCG(quality)
+	runtimes, err := RunMemRuntime(ds, fractions, k, true, true)
+	if err != nil {
+		return nil, err
+	}
+	rt := runtimeLookup(runtimes)
+
+	rows := []SummaryRow{{
+		Dataset: ds.Name,
+		Method:  "GM (Baseline)",
+		NDCGAnd: 1.0, NDCGOr: 1.0, // exact by construction
+		MSAnd: rt[fmt.Sprintf("gm-0-%s", corpus.OpAND)],
+		MSOr:  rt[fmt.Sprintf("gm-0-%s", corpus.OpOR)],
+	}}
+	for _, method := range []string{"nra-mem", "smj"} {
+		label := "NRA"
+		if method == "smj" {
+			label = "SMJ"
+		}
+		for _, frac := range fractions {
+			p := pct(frac)
+			rows = append(rows, SummaryRow{
+				Dataset: ds.Name,
+				Method:  label,
+				ListPct: p,
+				NDCGAnd: ndcg[fmt.Sprintf("%d-%s", p, corpus.OpAND)],
+				NDCGOr:  ndcg[fmt.Sprintf("%d-%s", p, corpus.OpOR)],
+				MSAnd:   rt[fmt.Sprintf("%s-%d-%s", method, p, corpus.OpAND)],
+				MSOr:    rt[fmt.Sprintf("%s-%d-%s", method, p, corpus.OpOR)],
+			})
+		}
+	}
+	return rows, nil
+}

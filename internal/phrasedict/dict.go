@@ -1,0 +1,220 @@
+// Package phrasedict implements the paper's Phrase List (Section 4.2.1):
+// a fixed-width array of phrase strings where the position of a phrase
+// defines its integer ID. Each record occupies exactly Width bytes, shorter
+// phrases are zero-padded, and the phrase with ID i lives in the byte range
+// [i*Width, (i+1)*Width) — the paper states the same arithmetic 1-based;
+// IDs here are 0-based as is idiomatic in Go.
+//
+// The dictionary has an in-memory form (Dict) and a file-resident form
+// (FileDict) that resolves IDs through an io.ReaderAt using the same offset
+// calculation, as a disk-based query system would at result-rendering time.
+package phrasedict
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// PhraseID identifies a phrase by its position in the phrase list.
+type PhraseID uint32
+
+// DefaultWidth is the paper's record width s = 50 bytes, reported to cover
+// every phrase in their corpora ("we use an s value of 50").
+const DefaultWidth = 50
+
+// magic identifies serialized phrase dictionaries (8 bytes).
+var magic = [8]byte{'P', 'M', 'D', 'I', 'C', 'T', '0', '1'}
+
+// headerSize is magic + uint32 width + uint32 count.
+const headerSize = 16
+
+// Dict is the in-memory phrase list. Lookup by ID is O(1) offset arithmetic;
+// lookup by phrase uses a side map built at construction.
+type Dict struct {
+	width    int
+	n        int
+	data     []byte // n*width bytes
+	byPhrase map[string]PhraseID
+}
+
+// Build creates a dictionary from phrases in the given order (the slice
+// index becomes the PhraseID). Width 0 selects DefaultWidth. Build fails on
+// phrases longer than width bytes, on embedded NUL bytes (reserved for
+// padding), on empty phrases, and on duplicates.
+func Build(phrases []string, width int) (*Dict, error) {
+	if width == 0 {
+		width = DefaultWidth
+	}
+	if width < 1 {
+		return nil, fmt.Errorf("phrasedict: invalid width %d", width)
+	}
+	d := &Dict{
+		width:    width,
+		n:        len(phrases),
+		data:     make([]byte, len(phrases)*width),
+		byPhrase: make(map[string]PhraseID, len(phrases)),
+	}
+	for i, p := range phrases {
+		if p == "" {
+			return nil, fmt.Errorf("phrasedict: empty phrase at index %d", i)
+		}
+		if len(p) > width {
+			return nil, fmt.Errorf("phrasedict: phrase %q is %d bytes, exceeds width %d", p, len(p), width)
+		}
+		if bytes.IndexByte([]byte(p), 0) >= 0 {
+			return nil, fmt.Errorf("phrasedict: phrase at index %d contains NUL", i)
+		}
+		if prev, dup := d.byPhrase[p]; dup {
+			return nil, fmt.Errorf("phrasedict: duplicate phrase %q at indexes %d and %d", p, prev, i)
+		}
+		copy(d.data[i*width:], p)
+		d.byPhrase[p] = PhraseID(i)
+	}
+	return d, nil
+}
+
+// Len reports the number of phrases (|P|).
+func (d *Dict) Len() int { return d.n }
+
+// Width reports the record width in bytes (the paper's s).
+func (d *Dict) Width() int { return d.width }
+
+// SizeBytes reports the size of the record payload (Len * Width), i.e. the
+// on-disk size of the phrase list without the header.
+func (d *Dict) SizeBytes() int { return len(d.data) }
+
+// Phrase resolves an ID to its string via offset arithmetic.
+func (d *Dict) Phrase(id PhraseID) (string, error) {
+	if int(id) >= d.n {
+		return "", fmt.Errorf("phrasedict: id %d out of range [0,%d)", id, d.n)
+	}
+	return d.record(int(id)), nil
+}
+
+// MustPhrase is Phrase for callers that already validated the ID.
+func (d *Dict) MustPhrase(id PhraseID) string {
+	return d.record(int(id))
+}
+
+func (d *Dict) record(i int) string {
+	rec := d.data[i*d.width : (i+1)*d.width]
+	return string(trimPadding(rec))
+}
+
+// ID resolves a phrase string to its ID.
+func (d *Dict) ID(phrase string) (PhraseID, bool) {
+	id, ok := d.byPhrase[phrase]
+	return id, ok
+}
+
+// trimPadding strips the trailing zero padding of a record.
+func trimPadding(rec []byte) []byte {
+	end := bytes.IndexByte(rec, 0)
+	if end < 0 {
+		end = len(rec)
+	}
+	return rec[:end]
+}
+
+// WriteTo serializes the dictionary: magic, width, count (both uint32
+// little-endian), then the fixed-width records.
+func (d *Dict) WriteTo(w io.Writer) (int64, error) {
+	var hdr [headerSize]byte
+	copy(hdr[:8], magic[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(d.width))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(d.n))
+	n1, err := w.Write(hdr[:])
+	if err != nil {
+		return int64(n1), fmt.Errorf("phrasedict: writing header: %w", err)
+	}
+	n2, err := w.Write(d.data)
+	if err != nil {
+		return int64(n1 + n2), fmt.Errorf("phrasedict: writing records: %w", err)
+	}
+	return int64(n1 + n2), nil
+}
+
+// ReadFrom deserializes a dictionary written by WriteTo.
+func ReadFrom(r io.Reader) (*Dict, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("phrasedict: reading header: %w", err)
+	}
+	if !bytes.Equal(hdr[:8], magic[:]) {
+		return nil, fmt.Errorf("phrasedict: bad magic %q", hdr[:8])
+	}
+	width := int(binary.LittleEndian.Uint32(hdr[8:12]))
+	count := int(binary.LittleEndian.Uint32(hdr[12:16]))
+	if width < 1 || width > 1<<16 {
+		return nil, fmt.Errorf("phrasedict: implausible width %d", width)
+	}
+	data := make([]byte, width*count)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, fmt.Errorf("phrasedict: reading %d records: %w", count, err)
+	}
+	d := &Dict{
+		width:    width,
+		n:        count,
+		data:     data,
+		byPhrase: make(map[string]PhraseID, count),
+	}
+	for i := 0; i < count; i++ {
+		p := d.record(i)
+		if p == "" {
+			return nil, fmt.Errorf("phrasedict: empty record %d", i)
+		}
+		if prev, dup := d.byPhrase[p]; dup {
+			return nil, fmt.Errorf("phrasedict: duplicate phrase %q at %d and %d", p, prev, i)
+		}
+		d.byPhrase[p] = PhraseID(i)
+	}
+	return d, nil
+}
+
+// FileDict resolves phrase IDs against a serialized dictionary through an
+// io.ReaderAt without loading the records into memory — the disk-resident
+// access path of the paper's Figure 1 ("to find the phrase with ID = i,
+// check the stretch of bytes at offset (i-1)*s+1 .. i*s").
+type FileDict struct {
+	r     io.ReaderAt
+	width int
+	n     int
+}
+
+// OpenFileDict validates the header of a serialized dictionary and returns
+// a lazy reader over it.
+func OpenFileDict(r io.ReaderAt) (*FileDict, error) {
+	var hdr [headerSize]byte
+	if _, err := r.ReadAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("phrasedict: reading header: %w", err)
+	}
+	if !bytes.Equal(hdr[:8], magic[:]) {
+		return nil, fmt.Errorf("phrasedict: bad magic %q", hdr[:8])
+	}
+	return &FileDict{
+		r:     r,
+		width: int(binary.LittleEndian.Uint32(hdr[8:12])),
+		n:     int(binary.LittleEndian.Uint32(hdr[12:16])),
+	}, nil
+}
+
+// Len reports the number of phrases.
+func (f *FileDict) Len() int { return f.n }
+
+// Width reports the record width.
+func (f *FileDict) Width() int { return f.width }
+
+// Phrase reads the record of id from the underlying file.
+func (f *FileDict) Phrase(id PhraseID) (string, error) {
+	if int(id) >= f.n {
+		return "", fmt.Errorf("phrasedict: id %d out of range [0,%d)", id, f.n)
+	}
+	rec := make([]byte, f.width)
+	off := int64(headerSize) + int64(id)*int64(f.width)
+	if _, err := f.r.ReadAt(rec, off); err != nil {
+		return "", fmt.Errorf("phrasedict: reading record %d: %w", id, err)
+	}
+	return string(trimPadding(rec)), nil
+}

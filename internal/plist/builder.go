@@ -1,0 +1,168 @@
+package plist
+
+import (
+	"fmt"
+	"sort"
+
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/phrasedict"
+)
+
+// Source bundles the corpus-derived statistics that list construction needs:
+// the feature inverted index, the per-document forward lists of phrase IDs,
+// and the global document frequency of every phrase.
+type Source struct {
+	// Inverted maps features to docs(D, q).
+	Inverted *corpus.Inverted
+	// Forward holds, for every document, the sorted phrase IDs of the
+	// phrases of P occurring in it (the same structure GM-style forward
+	// indexes use).
+	Forward [][]phrasedict.PhraseID
+	// PhraseDocFreq maps phrase ID to |docs(D, p)|.
+	PhraseDocFreq []uint32
+}
+
+// Validate performs structural sanity checks.
+func (s *Source) Validate() error {
+	if s.Inverted == nil {
+		return fmt.Errorf("plist: Source.Inverted is nil")
+	}
+	if len(s.Forward) != s.Inverted.NumDocs() {
+		return fmt.Errorf("plist: forward index covers %d docs, inverted index %d",
+			len(s.Forward), s.Inverted.NumDocs())
+	}
+	for d, phrases := range s.Forward {
+		for i, p := range phrases {
+			if int(p) >= len(s.PhraseDocFreq) {
+				return fmt.Errorf("plist: doc %d references phrase %d beyond table size %d",
+					d, p, len(s.PhraseDocFreq))
+			}
+			if i > 0 && phrases[i-1] >= p {
+				return fmt.Errorf("plist: doc %d forward list not strictly sorted at %d", d, i)
+			}
+		}
+	}
+	return nil
+}
+
+// BuildScoreList constructs the score-ordered list for one feature:
+// entries [p, P(q|p)] for every phrase p co-occurring with q, with
+// P(q|p) = |docs(q) ∩ docs(p)| / |docs(p)| (Eq. 13). Phrases with zero
+// probability are omitted, as the paper prescribes.
+//
+// The construction iterates the feature's document list and counts phrase
+// occurrences through the forward lists, so its cost is
+// Σ_{d ∈ docs(q)} |Forward[d]| — independent of |P| and of vocabulary size.
+func BuildScoreList(src *Source, feature string) ScoreList {
+	counts := make(map[phrasedict.PhraseID]uint32)
+	for _, doc := range src.Inverted.Docs(feature) {
+		for _, p := range src.Forward[doc] {
+			counts[p]++
+		}
+	}
+	if len(counts) == 0 {
+		return nil
+	}
+	out := make(ScoreList, 0, len(counts))
+	for p, co := range counts {
+		df := src.PhraseDocFreq[p]
+		if df == 0 {
+			continue
+		}
+		out = append(out, Entry{Phrase: p, Prob: float64(co) / float64(df)})
+	}
+	SortScoreOrder(out)
+	return out
+}
+
+// BuildLists constructs score-ordered lists for the given features. When
+// features is nil, lists are built for the full vocabulary (every indexed
+// feature), which is what a deployed system would persist; experiments
+// usually restrict to the query workload's features.
+//
+// A shared counting array (sized |P|) is reused across features, so the
+// amortized cost per feature is Σ_{d ∈ docs(q)} |Forward[d]| plus the
+// output size.
+func BuildLists(src *Source, features []string) (map[string]ScoreList, error) {
+	if err := src.Validate(); err != nil {
+		return nil, err
+	}
+	if features == nil {
+		features = src.Inverted.Features()
+	}
+	numPhrases := len(src.PhraseDocFreq)
+	counts := make([]uint32, numPhrases)
+	var touched []phrasedict.PhraseID
+
+	out := make(map[string]ScoreList, len(features))
+	for _, feature := range features {
+		if _, dup := out[feature]; dup {
+			continue
+		}
+		touched = touched[:0]
+		for _, doc := range src.Inverted.Docs(feature) {
+			for _, p := range src.Forward[doc] {
+				if counts[p] == 0 {
+					touched = append(touched, p)
+				}
+				counts[p]++
+			}
+		}
+		if len(touched) == 0 {
+			out[feature] = nil
+			continue
+		}
+		list := make(ScoreList, 0, len(touched))
+		for _, p := range touched {
+			df := src.PhraseDocFreq[p]
+			if df > 0 {
+				list = append(list, Entry{Phrase: p, Prob: float64(counts[p]) / float64(df)})
+			}
+			counts[p] = 0
+		}
+		SortScoreOrder(list)
+		out[feature] = list
+	}
+	return out, nil
+}
+
+// TruncateAll applies Truncate(frac) to every list in the collection,
+// returning a new map (list contents are shared prefixes, not copies).
+func TruncateAll(lists map[string]ScoreList, frac float64) map[string]ScoreList {
+	out := make(map[string]ScoreList, len(lists))
+	for w, l := range lists {
+		out[w] = l.Truncate(frac)
+	}
+	return out
+}
+
+// ToIDOrderedAll converts a (possibly truncated) score-list collection into
+// ID-ordered lists for SMJ.
+func ToIDOrderedAll(lists map[string]ScoreList) map[string]IDList {
+	out := make(map[string]IDList, len(lists))
+	for w, l := range lists {
+		out[w] = l.ToIDOrdered()
+	}
+	return out
+}
+
+// AverageListLen reports the mean entry count over the collection, used by
+// the index-size analysis (Table 5 extrapolates full-vocabulary index sizes
+// from average list sizes).
+func AverageListLen(lists map[string]ScoreList) float64 {
+	if len(lists) == 0 {
+		return 0
+	}
+	return float64(TotalEntries(lists)) / float64(len(lists))
+}
+
+// SortedFeatures returns the collection's features in sorted order, for
+// deterministic serialization and iteration.
+func SortedFeatures[L ~[]Entry](lists map[string]L) []string {
+	out := make([]string, 0, len(lists))
+	for w := range lists {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,199 @@
+package plist
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/phrasedict"
+)
+
+// buildTinySource creates a 6-document corpus with a known phrase layout:
+//
+//	phrase 0 "economic minister": docs {0, 1, 2}
+//	phrase 1 "trade reserves":    docs {0, 3}
+//	phrase 2 "query optimizer":   docs {4, 5}
+//
+// and words: trade {0,1,3}, reserves {0,2,3}, minister {1,2}, query {4,5}.
+func buildTinySource(t *testing.T) *Source {
+	t.Helper()
+	c := corpus.New()
+	add := func(tokens ...string) { c.Add(corpus.Document{Tokens: tokens}) }
+	add("trade", "reserves")    // 0
+	add("trade", "minister")    // 1
+	add("reserves", "minister") // 2
+	add("trade", "reserves")    // 3
+	add("query")                // 4
+	add("query")                // 5
+	ix := corpus.BuildInverted(c)
+
+	forward := [][]phrasedict.PhraseID{
+		{0, 1}, // doc 0
+		{0},    // doc 1
+		{0},    // doc 2
+		{1},    // doc 3
+		{2},    // doc 4
+		{2},    // doc 5
+	}
+	return &Source{
+		Inverted:      ix,
+		Forward:       forward,
+		PhraseDocFreq: []uint32{3, 2, 2},
+	}
+}
+
+func TestBuildScoreListProbabilities(t *testing.T) {
+	src := buildTinySource(t)
+	// P(trade|p0) = |{0,1,3} ∩ {0,1,2}| / 3 = 2/3
+	// P(trade|p1) = |{0,1,3} ∩ {0,3}| / 2 = 1
+	// P(trade|p2) = 0 -> omitted
+	l := BuildScoreList(src, "trade")
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := ScoreList{entry(1, 1.0), entry(0, 2.0/3.0)}
+	if !reflect.DeepEqual(l, want) {
+		t.Fatalf("BuildScoreList(trade) = %v, want %v", l, want)
+	}
+}
+
+func TestBuildScoreListOmitsZeroProb(t *testing.T) {
+	src := buildTinySource(t)
+	l := BuildScoreList(src, "query")
+	// Only phrase 2 co-occurs with "query": P = 2/2 = 1.
+	want := ScoreList{entry(2, 1.0)}
+	if !reflect.DeepEqual(l, want) {
+		t.Fatalf("BuildScoreList(query) = %v, want %v", l, want)
+	}
+}
+
+func TestBuildScoreListUnknownWord(t *testing.T) {
+	src := buildTinySource(t)
+	if l := BuildScoreList(src, "absent"); l != nil {
+		t.Fatalf("BuildScoreList(absent) = %v, want nil", l)
+	}
+}
+
+func TestBuildListsMatchesSingle(t *testing.T) {
+	src := buildTinySource(t)
+	words := []string{"trade", "reserves", "minister", "query"}
+	all, err := BuildLists(src, words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range words {
+		single := BuildScoreList(src, w)
+		if !reflect.DeepEqual(all[w], single) {
+			t.Fatalf("BuildLists[%s] = %v, single = %v", w, all[w], single)
+		}
+	}
+}
+
+func TestBuildListsFullVocabulary(t *testing.T) {
+	src := buildTinySource(t)
+	all, err := BuildLists(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != src.Inverted.VocabSize() {
+		t.Fatalf("full build covered %d words, want %d", len(all), src.Inverted.VocabSize())
+	}
+	for w, l := range all {
+		if err := l.Validate(); err != nil {
+			t.Fatalf("list %q invalid: %v", w, err)
+		}
+	}
+}
+
+func TestBuildListsDuplicateWords(t *testing.T) {
+	src := buildTinySource(t)
+	all, err := BuildLists(src, []string{"trade", "trade"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 {
+		t.Fatalf("duplicate words produced %d lists", len(all))
+	}
+}
+
+func TestBuildListsProbabilityInvariants(t *testing.T) {
+	src := buildTinySource(t)
+	all, err := BuildLists(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, l := range all {
+		for _, e := range l {
+			if e.Prob <= 0 || e.Prob > 1 || math.IsNaN(e.Prob) {
+				t.Fatalf("list %q has out-of-range prob %v", w, e.Prob)
+			}
+			// Cross-check against direct set computation (Eq. 13).
+			df := src.PhraseDocFreq[e.Phrase]
+			co := 0
+			for _, d := range src.Inverted.Docs(w) {
+				for _, p := range src.Forward[d] {
+					if p == e.Phrase {
+						co++
+					}
+				}
+			}
+			want := float64(co) / float64(df)
+			if e.Prob != want {
+				t.Fatalf("list %q phrase %d: prob %v, want %v", w, e.Phrase, e.Prob, want)
+			}
+		}
+	}
+}
+
+func TestSourceValidate(t *testing.T) {
+	src := buildTinySource(t)
+	if err := src.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *src
+	bad.Forward = src.Forward[:3]
+	if err := bad.Validate(); err == nil {
+		t.Fatal("short forward index should fail validation")
+	}
+	bad2 := *src
+	bad2.Forward = [][]phrasedict.PhraseID{{99}, {}, {}, {}, {}, {}}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("out-of-range phrase should fail validation")
+	}
+	bad3 := *src
+	bad3.Forward = [][]phrasedict.PhraseID{{1, 0}, {}, {}, {}, {}, {}}
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("unsorted forward list should fail validation")
+	}
+	var nilSrc Source
+	if err := nilSrc.Validate(); err == nil {
+		t.Fatal("nil inverted index should fail validation")
+	}
+}
+
+func TestTruncateAllAndIDOrderAll(t *testing.T) {
+	src := buildTinySource(t)
+	all, err := BuildLists(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := TruncateAll(all, 0.5)
+	for w, l := range half {
+		if full := all[w]; len(full) > 0 {
+			wantLen := (len(full) + 1) / 2 // ceil(0.5n)
+			if len(l) != wantLen {
+				t.Fatalf("TruncateAll[%s] len = %d, want %d", w, len(l), wantLen)
+			}
+		}
+	}
+	idls := ToIDOrderedAll(half)
+	for w, l := range idls {
+		if err := l.Validate(); err != nil {
+			t.Fatalf("ID list %q invalid: %v", w, err)
+		}
+		if len(l) != len(half[w]) {
+			t.Fatalf("ID list %q length changed", w)
+		}
+	}
+}

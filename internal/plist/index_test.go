@@ -1,0 +1,272 @@
+package plist
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"phrasemine/internal/diskio"
+)
+
+func testLists() map[string]ScoreList {
+	return map[string]ScoreList{
+		"trade":    {entry(3, 0.9), entry(1, 0.5), entry(2, 0.5)},
+		"reserves": {entry(1, 1.0), entry(7, 0.25)},
+		"empty":    nil,
+	}
+}
+
+func TestIndexRoundTripMemory(t *testing.T) {
+	lists := testLists()
+	var buf bytes.Buffer
+	n, err := WriteIndex(&buf, lists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteIndex reported %d bytes, wrote %d", n, buf.Len())
+	}
+	r, err := OpenReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ordering() != OrderScore {
+		t.Fatalf("Ordering = %v", r.Ordering())
+	}
+	for word, want := range lists {
+		if !r.Has(word) {
+			t.Fatalf("Has(%q) = false", word)
+		}
+		if r.NumEntries(word) != len(want) {
+			t.Fatalf("NumEntries(%q) = %d, want %d", word, r.NumEntries(word), len(want))
+		}
+		got, err := r.ReadList(word)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) == 0 {
+			if len(got) != 0 {
+				t.Fatalf("ReadList(%q) = %v, want empty", word, got)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(ScoreList(got), want) {
+			t.Fatalf("ReadList(%q) = %v, want %v", word, got, want)
+		}
+	}
+	if r.Has("absent") {
+		t.Fatal("Has(absent) = true")
+	}
+	if got, err := r.ReadList("absent"); err != nil || got != nil {
+		t.Fatalf("ReadList(absent) = %v, %v", got, err)
+	}
+}
+
+func TestIndexWordsSorted(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteIndex(&buf, testLists()); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"empty", "reserves", "trade"}
+	if !reflect.DeepEqual(r.Words(), want) {
+		t.Fatalf("Words = %v, want %v", r.Words(), want)
+	}
+}
+
+func TestIDIndexOrderingByte(t *testing.T) {
+	idls := map[string]IDList{"w": {entry(1, 0.5), entry(9, 0.9)}}
+	var buf bytes.Buffer
+	if _, err := WriteIDIndex(&buf, idls); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ordering() != OrderID {
+		t.Fatalf("Ordering = %v, want id", r.Ordering())
+	}
+}
+
+func TestOpenReaderRejectsGarbage(t *testing.T) {
+	if _, err := OpenReader(bytes.NewReader([]byte("garbage data that is long enough"))); err == nil {
+		t.Fatal("OpenReader should reject bad magic")
+	}
+	if _, err := OpenReader(bytes.NewReader(nil)); err == nil {
+		t.Fatal("OpenReader should reject empty input")
+	}
+}
+
+func TestFileCursorIteration(t *testing.T) {
+	lists := testLists()
+	var buf bytes.Buffer
+	if _, err := WriteIndex(&buf, lists); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := r.Cursor("trade")
+	if cur.Len() != 3 {
+		t.Fatalf("Cursor.Len = %d", cur.Len())
+	}
+	var got []Entry
+	for {
+		e, ok := cur.Next()
+		if !ok {
+			break
+		}
+		got = append(got, e)
+	}
+	if cur.Err() != nil {
+		t.Fatal(cur.Err())
+	}
+	if !reflect.DeepEqual(ScoreList(got), lists["trade"]) {
+		t.Fatalf("cursor read %v", got)
+	}
+	if cur.Pos() != 3 {
+		t.Fatalf("Pos = %d", cur.Pos())
+	}
+	// Next after exhaustion keeps returning false.
+	if _, ok := cur.Next(); ok {
+		t.Fatal("Next after end returned ok")
+	}
+}
+
+func TestCursorMissingWordIsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteIndex(&buf, testLists()); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := r.Cursor("no-such-word")
+	if cur.Len() != 0 {
+		t.Fatalf("missing word Len = %d", cur.Len())
+	}
+	if _, ok := cur.Next(); ok {
+		t.Fatal("missing word cursor yielded an entry")
+	}
+}
+
+func TestMemCursor(t *testing.T) {
+	entries := []Entry{entry(1, 0.9), entry(2, 0.5)}
+	c := NewMemCursor(entries)
+	if c.Len() != 2 || c.Pos() != 0 {
+		t.Fatal("fresh MemCursor shape wrong")
+	}
+	e, ok := c.Next()
+	if !ok || e != entries[0] {
+		t.Fatalf("Next = %v, %v", e, ok)
+	}
+	e, ok = c.Next()
+	if !ok || e != entries[1] {
+		t.Fatalf("Next = %v, %v", e, ok)
+	}
+	if _, ok := c.Next(); ok {
+		t.Fatal("Next past end returned ok")
+	}
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+}
+
+func TestIndexOnSimulatedDisk(t *testing.T) {
+	lists := testLists()
+	var buf bytes.Buffer
+	if _, err := WriteIndex(&buf, lists); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := diskio.NewDisk(diskio.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := disk.CreateFile("index", buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := disk.File("index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exclude directory loading from query stats and force the page
+	// holding the lists out of cache so the cursor pays real (simulated)
+	// IO.
+	disk.DropCaches()
+	disk.ResetStats()
+	cur := r.Cursor("trade")
+	n := 0
+	for {
+		if _, ok := cur.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if cur.Err() != nil {
+		t.Fatal(cur.Err())
+	}
+	if n != 3 {
+		t.Fatalf("read %d entries", n)
+	}
+	s := disk.Stats()
+	if s.Reads != 3 {
+		t.Fatalf("disk Reads = %d, want 3 (one per entry)", s.Reads)
+	}
+	if s.IOTimeMS <= 0 {
+		t.Fatal("no IO time accounted")
+	}
+}
+
+func TestIndexRoundTripLargeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	lists := make(map[string]ScoreList)
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	for _, w := range words {
+		n := rng.Intn(5000)
+		l := make([]Entry, 0, n)
+		seen := map[uint32]bool{}
+		for len(l) < n {
+			id := uint32(rng.Intn(1 << 20))
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			l = append(l, entry(id, (1+float64(rng.Intn(1000)))/1001))
+		}
+		SortScoreOrder(l)
+		lists[w] = l
+	}
+	var buf bytes.Buffer
+	if _, err := WriteIndex(&buf, lists); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, want := range lists {
+		got, err := r.ReadList(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("list %q: %d entries, want %d", w, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("list %q entry %d: %v != %v", w, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package plist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ScoreList is a word-specific list in score order: non-increasing Prob,
+// ties broken by ascending phrase ID (Section 4.2.2, Figure 2). This is the
+// layout consumed by the NRA algorithm and by disk-resident indexes.
+type ScoreList []Entry
+
+// Validate checks the ordering invariant and that probabilities lie in
+// (0, 1] — zero-probability entries are omitted by construction.
+func (l ScoreList) Validate() error {
+	for i, e := range l {
+		if math.IsNaN(e.Prob) || e.Prob <= 0 || e.Prob > 1 {
+			return fmt.Errorf("plist: entry %d has probability %v outside (0,1]", i, e.Prob)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := l[i-1]
+		if e.Prob > prev.Prob {
+			return fmt.Errorf("plist: score order violated at %d: %v after %v", i, e.Prob, prev.Prob)
+		}
+		if e.Prob == prev.Prob && e.Phrase <= prev.Phrase {
+			return fmt.Errorf("plist: tie order violated at %d: id %d after %d", i, e.Phrase, prev.Phrase)
+		}
+	}
+	return nil
+}
+
+// SortScoreOrder sorts entries into the canonical score order in place.
+func SortScoreOrder(entries []Entry) {
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Prob != entries[j].Prob {
+			return entries[i].Prob > entries[j].Prob
+		}
+		return entries[i].Phrase < entries[j].Phrase
+	})
+}
+
+// Truncate returns the top fraction of the list (the partial lists of
+// Section 4.3): ceil(frac*len) highest-scored entries. frac is clamped to
+// [0,1]; Truncate(1) returns the list itself.
+func (l ScoreList) Truncate(frac float64) ScoreList {
+	if frac >= 1 {
+		return l
+	}
+	if frac <= 0 || len(l) == 0 {
+		return nil
+	}
+	n := int(math.Ceil(frac * float64(len(l))))
+	if n > len(l) {
+		n = len(l)
+	}
+	return l[:n]
+}
+
+// ToIDOrdered re-orders a (possibly truncated) score list by ascending
+// phrase ID, producing the SMJ layout of Section 4.4.1. The receiver is not
+// modified.
+func (l ScoreList) ToIDOrdered() IDList {
+	out := make(IDList, len(l))
+	copy(out, l)
+	sort.Slice(out, func(i, j int) bool { return out[i].Phrase < out[j].Phrase })
+	return out
+}
+
+// IDList is a word-specific list ordered by ascending phrase ID
+// (Section 4.4.1, Figure 4). Probabilities vary "haphazardly" down the list.
+type IDList []Entry
+
+// Validate checks strict ID ordering and probability range.
+func (l IDList) Validate() error {
+	for i, e := range l {
+		if math.IsNaN(e.Prob) || e.Prob <= 0 || e.Prob > 1 {
+			return fmt.Errorf("plist: entry %d has probability %v outside (0,1]", i, e.Prob)
+		}
+		if i > 0 && e.Phrase <= l[i-1].Phrase {
+			return fmt.Errorf("plist: ID order violated at %d: %d after %d", i, e.Phrase, l[i-1].Phrase)
+		}
+	}
+	return nil
+}
+
+// SizeBytes reports the serialized size of n entries, the unit of the
+// paper's index-size analysis (Table 5).
+func SizeBytes(numEntries int) int64 {
+	return int64(numEntries) * EntrySize
+}
+
+// TotalEntries sums the entry counts of a list collection.
+func TotalEntries[L ~[]Entry](lists map[string]L) int {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	return total
+}

@@ -1,0 +1,266 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/textproc"
+)
+
+// Config parameterizes corpus generation. All randomness is derived from
+// Seed, so equal configs generate byte-identical corpora.
+type Config struct {
+	Name      string // dataset label used in reports
+	NumDocs   int
+	VocabSize int
+	NumTopics int
+	// DocLenMean/DocLenStd control token counts per document (normal,
+	// clipped below at 8 tokens).
+	DocLenMean float64
+	DocLenStd  float64
+	// ZipfS is the Zipf exponent of the global word distribution
+	// (must be > 1; natural language is near 1.05-1.2).
+	ZipfS float64
+	// TopicVocabSize is the number of preferred words per topic.
+	TopicVocabSize int
+	// TopicWordBias is the probability that a non-collocation token is
+	// drawn from the document's topic vocabulary instead of the global
+	// Zipf distribution.
+	TopicWordBias float64
+	// CollocationsPerTopic fixes how many multi-word collocations each
+	// topic embeds; CollocationRate is the per-position probability of
+	// emitting one. Collocation lengths are uniform in
+	// [CollocationMinLen, CollocationMaxLen].
+	CollocationsPerTopic int
+	CollocationRate      float64
+	CollocationMinLen    int
+	CollocationMaxLen    int
+	// PartialCollocationProb is the probability that an emitted
+	// collocation is truncated to a sub-span instead of appearing in
+	// full. Partial emissions give word-phrase co-occurrence counts a
+	// mid-range body (phrases that appear with a word in some but not
+	// all contexts), which natural text has and a pure topic mixture
+	// lacks; without it the conditional probabilities P(q|p) collapse
+	// into a bimodal 1.0-or-tiny distribution.
+	PartialCollocationProb float64
+	// SecondTopicProb mixes a second topic into a document.
+	SecondTopicProb float64
+	// SentenceBreakEvery inserts a sentence break roughly every this
+	// many tokens (0 disables breaks).
+	SentenceBreakEvery int
+	// Facets attaches topic/source metadata facets to documents.
+	Facets bool
+	Seed   int64
+}
+
+// ReutersLike mirrors the paper's Reuters-21578 workload scale: 21,578
+// newswire-length documents, a ~15k-word vocabulary and ~90 topic
+// categories (Reuters-21578 has 90 effective TOPICS classes).
+func ReutersLike() Config {
+	return Config{
+		Name:                   "reuters-like",
+		NumDocs:                21578,
+		VocabSize:              15000,
+		NumTopics:              90,
+		DocLenMean:             120,
+		DocLenStd:              40,
+		ZipfS:                  1.07,
+		TopicVocabSize:         150,
+		TopicWordBias:          0.35,
+		CollocationsPerTopic:   40,
+		CollocationRate:        0.08,
+		CollocationMinLen:      2,
+		CollocationMaxLen:      6,
+		PartialCollocationProb: 0.45,
+		SecondTopicProb:        0.25,
+		SentenceBreakEvery:     15,
+		Facets:                 true,
+		Seed:                   21578,
+	}
+}
+
+// PubmedLike mirrors the paper's PubMed-abstracts workload shape at a
+// CI-tractable default scale (60k abstracts; the paper's 655k is reachable
+// by raising NumDocs — the generator is linear). Relative to ReutersLike it
+// keeps the paper's dataset contrasts: ~3x the documents, longer documents,
+// a much larger vocabulary, and more topics.
+func PubmedLike() Config {
+	return Config{
+		Name:                   "pubmed-like",
+		NumDocs:                60000,
+		VocabSize:              45000,
+		NumTopics:              240,
+		DocLenMean:             180,
+		DocLenStd:              50,
+		ZipfS:                  1.05,
+		TopicVocabSize:         220,
+		TopicWordBias:          0.4,
+		CollocationsPerTopic:   50,
+		CollocationRate:        0.07,
+		CollocationMinLen:      2,
+		CollocationMaxLen:      6,
+		PartialCollocationProb: 0.45,
+		SecondTopicProb:        0.2,
+		SentenceBreakEvery:     18,
+		Facets:                 true,
+		Seed:                   655000,
+	}
+}
+
+// Scale shrinks (or grows) a config's corpus-size knobs by factor while
+// keeping its distributional shape; used by tests and quick runs.
+func (c Config) Scale(factor float64) Config {
+	scale := func(n int, min int) int {
+		v := int(float64(n) * factor)
+		if v < min {
+			v = min
+		}
+		return v
+	}
+	c.NumDocs = scale(c.NumDocs, 50)
+	c.VocabSize = scale(c.VocabSize, 200)
+	c.NumTopics = scale(c.NumTopics, 4)
+	c.Name = fmt.Sprintf("%s-x%.3g", c.Name, factor)
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.NumDocs <= 0:
+		return fmt.Errorf("synth: NumDocs must be positive")
+	case c.VocabSize <= 0:
+		return fmt.Errorf("synth: VocabSize must be positive")
+	case c.NumTopics <= 0:
+		return fmt.Errorf("synth: NumTopics must be positive")
+	case c.ZipfS <= 1:
+		return fmt.Errorf("synth: ZipfS must exceed 1, got %v", c.ZipfS)
+	case c.CollocationMinLen < 2 || c.CollocationMaxLen < c.CollocationMinLen:
+		return fmt.Errorf("synth: collocation lengths invalid (%d..%d)",
+			c.CollocationMinLen, c.CollocationMaxLen)
+	case c.CollocationRate < 0 || c.CollocationRate >= 1:
+		return fmt.Errorf("synth: CollocationRate must be in [0,1)")
+	case c.TopicVocabSize <= 0 || c.TopicVocabSize > c.VocabSize:
+		return fmt.Errorf("synth: TopicVocabSize out of range")
+	}
+	return nil
+}
+
+// topicModel holds a topic's preferred vocabulary and collocations.
+type topicModel struct {
+	vocab        []int   // indexes into the global vocabulary
+	collocations [][]int // each a sequence of vocabulary indexes
+	facet        string  // topic facet value
+}
+
+// Generate builds the corpus.
+func (c Config) Generate() (*corpus.Corpus, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	vocab := make([]string, c.VocabSize)
+	for i := range vocab {
+		vocab[i] = WordForIndex(i)
+	}
+	zipf := rand.NewZipf(rng, c.ZipfS, 1, uint64(c.VocabSize-1))
+
+	topics := make([]topicModel, c.NumTopics)
+	for t := range topics {
+		tm := topicModel{facet: fmt.Sprintf("t%03d", t)}
+		tm.vocab = make([]int, c.TopicVocabSize)
+		for i := range tm.vocab {
+			tm.vocab[i] = rng.Intn(c.VocabSize)
+		}
+		tm.collocations = make([][]int, c.CollocationsPerTopic)
+		for i := range tm.collocations {
+			n := c.CollocationMinLen
+			if c.CollocationMaxLen > c.CollocationMinLen {
+				// Favor short collocations (2-3 words), matching
+				// natural phrase-length distributions.
+				span := c.CollocationMaxLen - c.CollocationMinLen
+				n += min(rng.Intn(span+1), rng.Intn(span+1))
+			}
+			seq := make([]int, n)
+			for j := range seq {
+				seq[j] = tm.vocab[rng.Intn(len(tm.vocab))]
+			}
+			tm.collocations[i] = seq
+		}
+		topics[t] = tm
+	}
+
+	sources := []string{"wire", "desk", "field", "archive"}
+
+	out := corpus.New()
+	for d := 0; d < c.NumDocs; d++ {
+		docLen := int(rng.NormFloat64()*c.DocLenStd + c.DocLenMean)
+		if docLen < 8 {
+			docLen = 8
+		}
+		primary := rng.Intn(c.NumTopics)
+		secondary := -1
+		if rng.Float64() < c.SecondTopicProb {
+			secondary = rng.Intn(c.NumTopics)
+		}
+		tokens := make([]string, 0, docLen+docLen/8)
+		sinceBreak := 0
+		topicOf := func() topicModel {
+			if secondary >= 0 && rng.Float64() < 0.4 {
+				return topics[secondary]
+			}
+			return topics[primary]
+		}
+		for len(tokens) < docLen {
+			if c.SentenceBreakEvery > 0 && sinceBreak >= c.SentenceBreakEvery &&
+				rng.Float64() < 0.5 {
+				tokens = append(tokens, textproc.SentenceBreak)
+				sinceBreak = 0
+				continue
+			}
+			tm := topicOf()
+			if rng.Float64() < c.CollocationRate {
+				seq := tm.collocations[rng.Intn(len(tm.collocations))]
+				if len(seq) > 2 && rng.Float64() < c.PartialCollocationProb {
+					// Emit a contiguous sub-span of >= 2 words.
+					span := 2 + rng.Intn(len(seq)-1)
+					if span > len(seq) {
+						span = len(seq)
+					}
+					start := rng.Intn(len(seq) - span + 1)
+					seq = seq[start : start+span]
+				}
+				for _, w := range seq {
+					tokens = append(tokens, vocab[w])
+				}
+				sinceBreak += len(seq)
+				continue
+			}
+			var w int
+			if rng.Float64() < c.TopicWordBias {
+				w = tm.vocab[rng.Intn(len(tm.vocab))]
+			} else {
+				w = int(zipf.Uint64())
+			}
+			tokens = append(tokens, vocab[w])
+			sinceBreak++
+		}
+		doc := corpus.Document{Tokens: tokens}
+		if c.Facets {
+			doc.Facets = map[string]string{
+				"topic":  topics[primary].facet,
+				"source": sources[rng.Intn(len(sources))],
+			}
+		}
+		out.Add(doc)
+	}
+	return out, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

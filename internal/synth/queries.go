@@ -1,0 +1,197 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"phrasemine/internal/textproc"
+)
+
+// LengthQuota requests Count queries of Words keywords each.
+type LengthQuota struct {
+	Words int
+	Count int
+}
+
+// QuerySpec describes a harvested query workload. The paper harvests its
+// query sets from frequent phrases of the corpus itself (Section 5.1):
+// 100 Reuters queries, mostly 2-4 words with two 5-word and two 6-word
+// queries; 52 Pubmed queries anchored on frequent phrases.
+type QuerySpec struct {
+	Quotas     []LengthQuota
+	MinDocFreq int   // phrases below this document frequency are not harvested
+	Seed       int64 // sampling seed
+	// MaxWordDocRatio excludes phrases containing any word whose
+	// document frequency exceeds this fraction of the corpus. Real
+	// query workloads are built from content words, not function words;
+	// in a synthetic Zipf vocabulary the distribution head plays the
+	// stopword role and must be filtered the same way. Zero defaults
+	// to 0.25. Quotas that cannot be filled under the constraint fall
+	// back to unconstrained phrases rather than coming up short.
+	MaxWordDocRatio float64
+}
+
+// ReutersQuerySpec reproduces the composition of the paper's Reuters query
+// set: 100 queries, "two queries of six words each, a further two queries
+// made up of five words each; the rest are formed of two to four words".
+func ReutersQuerySpec() QuerySpec {
+	return QuerySpec{
+		Quotas: []LengthQuota{
+			{Words: 2, Count: 40},
+			{Words: 3, Count: 32},
+			{Words: 4, Count: 24},
+			{Words: 5, Count: 2},
+			{Words: 6, Count: 2},
+		},
+		MinDocFreq: 10,
+		Seed:       100,
+	}
+}
+
+// PubmedQuerySpec reproduces the paper's 52-query Pubmed workload: frequent
+// 2-3 word anchors extended to longer queries (the paper extended frequent
+// phrases via autocomplete suggestions, biased to 2-4 words).
+func PubmedQuerySpec() QuerySpec {
+	return QuerySpec{
+		Quotas: []LengthQuota{
+			{Words: 2, Count: 22},
+			{Words: 3, Count: 18},
+			{Words: 4, Count: 12},
+		},
+		MinDocFreq: 12,
+		Seed:       52,
+	}
+}
+
+// HarvestQueries samples keyword sets from the extracted phrase universe:
+// for each quota, phrases with exactly that many distinct content words and
+// document frequency >= MinDocFreq are pooled, and Count of them are drawn
+// by frequency-biased deterministic sampling. The keywords of each chosen
+// phrase form one query, mirroring the paper's procedure. Quotas that
+// cannot be filled (not enough long phrases) fall back to the longest
+// available phrases, then to shorter ones, and finally to phrases without
+// the content-word constraint, so the returned count always matches the
+// spec unless the corpus has no eligible phrases at all.
+//
+// wordDocFreq supplies per-word document frequencies for the content-word
+// filter (see QuerySpec.MaxWordDocRatio); numDocs is |D|. A nil wordDocFreq
+// disables the filter.
+func HarvestQueries(phrases []textproc.PhraseStats, spec QuerySpec, wordDocFreq func(string) int, numDocs int) ([][]string, error) {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	maxRatio := spec.MaxWordDocRatio
+	if maxRatio <= 0 {
+		maxRatio = 0.25
+	}
+	contentWords := func(words []string) bool {
+		if wordDocFreq == nil || numDocs == 0 {
+			return true
+		}
+		for _, w := range words {
+			if float64(wordDocFreq(w)) > maxRatio*float64(numDocs) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Pool phrases by distinct-word count: strict pools honor the
+	// content-word filter, loose pools are the last-resort fallback.
+	pools := map[int][]textproc.PhraseStats{}
+	loosePools := map[int][]textproc.PhraseStats{}
+	maxWords := 0
+	for _, p := range phrases {
+		if p.DocFreq < spec.MinDocFreq {
+			continue
+		}
+		words := textproc.SplitPhrase(p.Phrase)
+		if len(distinct(words)) != len(words) {
+			continue // repeated keywords would collapse in the query
+		}
+		if contentWords(words) {
+			pools[p.Words] = append(pools[p.Words], p)
+		} else {
+			loosePools[p.Words] = append(loosePools[p.Words], p)
+		}
+		if p.Words > maxWords {
+			maxWords = p.Words
+		}
+	}
+	sortPool := func(pool []textproc.PhraseStats) {
+		sort.Slice(pool, func(i, j int) bool {
+			if pool[i].DocFreq != pool[j].DocFreq {
+				return pool[i].DocFreq > pool[j].DocFreq
+			}
+			return pool[i].Phrase < pool[j].Phrase
+		})
+	}
+	for _, pool := range pools {
+		sortPool(pool)
+	}
+	for _, pool := range loosePools {
+		sortPool(pool)
+	}
+
+	var out [][]string
+	seen := map[string]bool{}
+	takeFrom := func(pool []textproc.PhraseStats, count int) int {
+		taken := 0
+		// Frequency-biased sampling: walk the df-sorted pool with a
+		// random stride so the harvest mixes very frequent and
+		// mid-frequency phrases, like a human-picked workload.
+		for i := 0; i < len(pool) && taken < count; i++ {
+			p := pool[i]
+			if i > 0 && rng.Float64() < 0.35 {
+				continue
+			}
+			if seen[p.Phrase] {
+				continue
+			}
+			seen[p.Phrase] = true
+			out = append(out, textproc.SplitPhrase(p.Phrase))
+			taken++
+		}
+		// Second pass without skipping if the stride left a deficit.
+		for i := 0; i < len(pool) && taken < count; i++ {
+			p := pool[i]
+			if seen[p.Phrase] {
+				continue
+			}
+			seen[p.Phrase] = true
+			out = append(out, textproc.SplitPhrase(p.Phrase))
+			taken++
+		}
+		return taken
+	}
+
+	for _, q := range spec.Quotas {
+		deficit := q.Count - takeFrom(pools[q.Words], q.Count)
+		// Fallback 1: fill from neighbouring lengths, longest first.
+		for w := maxWords; w >= 2 && deficit > 0; w-- {
+			if w == q.Words {
+				continue
+			}
+			deficit -= takeFrom(pools[w], deficit)
+		}
+		// Fallback 2: relax the content-word constraint.
+		for w := maxWords; w >= 2 && deficit > 0; w-- {
+			deficit -= takeFrom(loosePools[w], deficit)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("synth: no phrases eligible for harvesting (MinDocFreq=%d)", spec.MinDocFreq)
+	}
+	return out, nil
+}
+
+func distinct(words []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, w := range words {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}

@@ -1,0 +1,302 @@
+package synth
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/textproc"
+)
+
+func tinyConfig() Config {
+	c := ReutersLike().Scale(0.01) // ~215 docs, 200 vocab
+	return c
+}
+
+func TestWordForIndexUniqueness(t *testing.T) {
+	seen := map[string]int{}
+	for i := 0; i < 200000; i++ {
+		w := WordForIndex(i)
+		if w == "" {
+			t.Fatalf("empty word at %d", i)
+		}
+		if prev, dup := seen[w]; dup {
+			t.Fatalf("collision: indexes %d and %d both give %q", prev, i, w)
+		}
+		seen[w] = i
+	}
+}
+
+func TestWordForIndexShortWordsFirst(t *testing.T) {
+	if len(WordForIndex(0)) != 2 {
+		t.Fatalf("first word should be one syllable: %q", WordForIndex(0))
+	}
+	if len(WordForIndex(100)) != 4 {
+		t.Fatalf("word 100 should be two syllables: %q", WordForIndex(100))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := tinyConfig()
+	a, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		da, db := a.MustDoc(corpus.DocID(i)), b.MustDoc(corpus.DocID(i))
+		if !reflect.DeepEqual(da.Tokens, db.Tokens) || !reflect.DeepEqual(da.Facets, db.Facets) {
+			t.Fatalf("doc %d differs between runs", i)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := tinyConfig()
+	c, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != cfg.NumDocs {
+		t.Fatalf("NumDocs = %d, want %d", c.Len(), cfg.NumDocs)
+	}
+	totalTokens := 0
+	for i := 0; i < c.Len(); i++ {
+		d := c.MustDoc(corpus.DocID(i))
+		if len(d.Tokens) < 8 {
+			t.Fatalf("doc %d has %d tokens", i, len(d.Tokens))
+		}
+		totalTokens += len(d.Tokens)
+		if cfg.Facets {
+			if d.Facets["topic"] == "" || d.Facets["source"] == "" {
+				t.Fatalf("doc %d missing facets: %v", i, d.Facets)
+			}
+		}
+	}
+	mean := float64(totalTokens) / float64(c.Len())
+	if mean < cfg.DocLenMean*0.7 || mean > cfg.DocLenMean*1.4 {
+		t.Fatalf("mean doc length %.1f far from configured %.1f", mean, cfg.DocLenMean)
+	}
+}
+
+func TestGenerateZipfSkew(t *testing.T) {
+	// Document frequency saturates on small corpora, so the skew check
+	// uses raw token occurrence counts.
+	c, err := tinyConfig().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := 0; i < c.Len(); i++ {
+		for _, tok := range c.MustDoc(corpus.DocID(i)).Tokens {
+			if tok != textproc.SentenceBreak {
+				counts[tok]++
+			}
+		}
+	}
+	freqs := make([]int, 0, len(counts))
+	for _, n := range counts {
+		freqs = append(freqs, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	if len(freqs) < 50 {
+		t.Fatalf("only %d distinct words", len(freqs))
+	}
+	// Zipf: the top word's occurrence count dwarfs the 50th's.
+	if freqs[0] < 4*freqs[49] {
+		t.Fatalf("occurrences not skewed: top=%d 50th=%d", freqs[0], freqs[49])
+	}
+}
+
+func TestGenerateEmbedsCollocations(t *testing.T) {
+	// Collocations must create multi-word phrases that clear a real
+	// document-frequency threshold.
+	c, err := tinyConfig().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := textproc.Extract(c.TokenSlices(), textproc.ExtractorOptions{
+		MinWords: 2, MaxWords: 6, MinDocFreq: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) == 0 {
+		t.Fatal("no multi-word phrases reached docfreq 5 — collocations not embedding")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := tinyConfig()
+	bad.ZipfS = 1.0
+	if _, err := bad.Generate(); err == nil {
+		t.Fatal("ZipfS=1 should be rejected")
+	}
+	bad = tinyConfig()
+	bad.NumDocs = 0
+	if _, err := bad.Generate(); err == nil {
+		t.Fatal("NumDocs=0 should be rejected")
+	}
+	bad = tinyConfig()
+	bad.CollocationMinLen = 1
+	if _, err := bad.Generate(); err == nil {
+		t.Fatal("collocation length 1 should be rejected")
+	}
+	bad = tinyConfig()
+	bad.TopicVocabSize = bad.VocabSize + 1
+	if _, err := bad.Generate(); err == nil {
+		t.Fatal("oversized topic vocab should be rejected")
+	}
+}
+
+func TestPresetsValidate(t *testing.T) {
+	if err := ReutersLike().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := PubmedLike().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The dataset contrasts the experiments rely on.
+	r, p := ReutersLike(), PubmedLike()
+	if p.NumDocs <= r.NumDocs {
+		t.Fatal("Pubmed-like should have more documents")
+	}
+	if p.VocabSize <= r.VocabSize {
+		t.Fatal("Pubmed-like should have a larger vocabulary")
+	}
+	if p.DocLenMean <= r.DocLenMean {
+		t.Fatal("Pubmed-like should have longer documents")
+	}
+}
+
+func TestScale(t *testing.T) {
+	cfg := ReutersLike().Scale(0.1)
+	if cfg.NumDocs != 2157 {
+		t.Fatalf("scaled NumDocs = %d", cfg.NumDocs)
+	}
+	if cfg.VocabSize != 1500 {
+		t.Fatalf("scaled VocabSize = %d", cfg.VocabSize)
+	}
+	small := ReutersLike().Scale(0.0001)
+	if small.NumDocs < 50 || small.VocabSize < 200 {
+		t.Fatalf("scale floor violated: %+v", small)
+	}
+}
+
+func harvestFixture(t *testing.T) []textproc.PhraseStats {
+	t.Helper()
+	c, err := tinyConfig().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := textproc.Extract(c.TokenSlices(), textproc.ExtractorOptions{
+		MinWords: 2, MaxWords: 6, MinDocFreq: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+func TestHarvestQueriesComposition(t *testing.T) {
+	stats := harvestFixture(t)
+	spec := QuerySpec{
+		Quotas:     []LengthQuota{{Words: 2, Count: 10}, {Words: 3, Count: 5}},
+		MinDocFreq: 3,
+		Seed:       1,
+	}
+	qs, err := HarvestQueries(stats, spec, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 15 {
+		t.Fatalf("harvested %d queries, want 15", len(qs))
+	}
+	for _, q := range qs {
+		if len(q) < 2 {
+			t.Fatalf("query too short: %v", q)
+		}
+		if len(distinct(q)) != len(q) {
+			t.Fatalf("query has duplicate keywords: %v", q)
+		}
+	}
+}
+
+func TestHarvestQueriesDeterministic(t *testing.T) {
+	stats := harvestFixture(t)
+	spec := QuerySpec{Quotas: []LengthQuota{{Words: 2, Count: 8}}, MinDocFreq: 3, Seed: 9}
+	a, err := HarvestQueries(stats, spec, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HarvestQueries(stats, spec, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("harvesting is not deterministic")
+	}
+}
+
+func TestHarvestQueriesUnique(t *testing.T) {
+	stats := harvestFixture(t)
+	spec := QuerySpec{Quotas: []LengthQuota{{Words: 2, Count: 20}}, MinDocFreq: 3, Seed: 3}
+	qs, err := HarvestQueries(stats, spec, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, q := range qs {
+		key := textproc.JoinPhrase(q)
+		if seen[key] {
+			t.Fatalf("duplicate query %v", q)
+		}
+		seen[key] = true
+	}
+}
+
+func TestHarvestQueriesFallback(t *testing.T) {
+	stats := harvestFixture(t)
+	// Demand 6-word queries; the tiny corpus may not have enough, so the
+	// fallback must fill from shorter phrases and still return 4.
+	spec := QuerySpec{Quotas: []LengthQuota{{Words: 6, Count: 4}}, MinDocFreq: 3, Seed: 5}
+	qs, err := HarvestQueries(stats, spec, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 4 {
+		t.Fatalf("fallback harvested %d queries, want 4", len(qs))
+	}
+}
+
+func TestHarvestQueriesNoEligible(t *testing.T) {
+	if _, err := HarvestQueries(nil, QuerySpec{Quotas: []LengthQuota{{2, 5}}, MinDocFreq: 1}, nil, 0); err == nil {
+		t.Fatal("empty phrase universe should error")
+	}
+}
+
+func TestQuerySpecPresets(t *testing.T) {
+	r := ReutersQuerySpec()
+	total := 0
+	for _, q := range r.Quotas {
+		total += q.Count
+	}
+	if total != 100 {
+		t.Fatalf("Reuters spec totals %d queries, want 100", total)
+	}
+	p := PubmedQuerySpec()
+	total = 0
+	for _, q := range p.Quotas {
+		total += q.Count
+	}
+	if total != 52 {
+		t.Fatalf("Pubmed spec totals %d queries, want 52", total)
+	}
+}

@@ -1,0 +1,48 @@
+// Package synth generates deterministic synthetic text corpora that stand
+// in for the paper's Reuters-21578 and PubMed datasets (which are not
+// redistributable here), plus the query-harvesting procedure of Section 5.1.
+//
+// The generator is a topic-mixture model over a Zipf-distributed vocabulary
+// with embedded multi-word collocations per topic. That reproduces the
+// statistics the paper's algorithms actually consume: skewed word document
+// frequencies (list-length distribution), topic-coherent correlation
+// between query keywords and phrases (what the conditional-independence
+// assumption feeds on), and corpus-scale ratios between the two datasets.
+// See DESIGN.md §3 for the full substitution argument.
+package synth
+
+import "strings"
+
+// Syllable inventory for pronounceable synthetic words. Word identity is a
+// bijective base-|syllables| encoding of the word index, so words are
+// unique by construction and corpora are reproducible without storing a
+// word list.
+var syllables = []string{
+	"ba", "be", "bi", "bo", "bu", "ca", "ce", "ci", "co", "cu",
+	"da", "de", "di", "do", "du", "fa", "fe", "fi", "fo", "fu",
+	"ga", "ge", "gi", "go", "gu", "ka", "ke", "ki", "ko", "ku",
+	"la", "le", "li", "lo", "lu", "ma", "me", "mi", "mo", "mu",
+	"na", "ne", "ni", "no", "nu", "pa", "pe", "pi", "po", "pu",
+	"ra", "re", "ri", "ro", "ru", "sa", "se", "si", "so", "su",
+	"ta", "te", "ti", "to", "tu", "va", "ve", "vi", "vo", "vu",
+	"za", "ze", "zi", "zo", "zu",
+}
+
+// WordForIndex renders the i-th vocabulary word. The encoding is bijective
+// (distinct indices yield distinct words) and prefix-extended so that small
+// indices give short, frequent-looking words.
+func WordForIndex(i int) string {
+	n := len(syllables)
+	var b strings.Builder
+	// Bijective base-n numeration: digits in 1..n rather than 0..n-1,
+	// which avoids the leading-zero collision ("ba" vs "baba").
+	v := i + 1
+	for v > 0 {
+		v--
+		b.WriteString(syllables[v%n])
+		v /= n
+	}
+	// The digits come out least-significant first; reversal is not
+	// needed for uniqueness, and skipping it keeps this hot path cheap.
+	return b.String()
+}

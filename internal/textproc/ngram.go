@@ -1,0 +1,201 @@
+package textproc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ExtractorOptions configures phrase extraction.
+type ExtractorOptions struct {
+	// MinWords and MaxWords bound phrase length in words. The paper uses
+	// 1..6 ("word n-grams of up to 6 words"). Zero values default to 1
+	// and 6.
+	MinWords int
+	MaxWords int
+	// MinDocFreq is the minimum number of distinct documents a phrase must
+	// occur in to enter P. The paper uses 5 or 10. Zero defaults to 5.
+	MinDocFreq int
+	// DropAllStopwordPhrases removes n-grams consisting solely of
+	// stopwords from P. The interestingness measure already de-prioritizes
+	// them, but dropping them shrinks P substantially at no quality cost.
+	DropAllStopwordPhrases bool
+	// MaxPhraseBytes drops phrases whose canonical string form exceeds
+	// this many bytes, mirroring the fixed-width phrase-list restriction
+	// of Section 4.2.1 (the paper uses s = 50). Zero defaults to 50.
+	MaxPhraseBytes int
+}
+
+func (o ExtractorOptions) withDefaults() ExtractorOptions {
+	if o.MinWords <= 0 {
+		o.MinWords = 1
+	}
+	if o.MaxWords <= 0 {
+		o.MaxWords = 6
+	}
+	if o.MinDocFreq <= 0 {
+		o.MinDocFreq = 5
+	}
+	if o.MaxPhraseBytes <= 0 {
+		o.MaxPhraseBytes = 50
+	}
+	return o
+}
+
+// Validate reports configuration errors that withDefaults cannot repair.
+func (o ExtractorOptions) Validate() error {
+	o = o.withDefaults()
+	if o.MinWords > o.MaxWords {
+		return fmt.Errorf("textproc: MinWords (%d) > MaxWords (%d)", o.MinWords, o.MaxWords)
+	}
+	return nil
+}
+
+// PhraseStats describes one extracted phrase.
+type PhraseStats struct {
+	Phrase  string // canonical space-joined form
+	Words   int    // number of words
+	DocFreq int    // number of distinct documents containing the phrase
+	Docs    []int  // sorted indexes (into the input slice) of those documents
+}
+
+// Extract mines the frequent-phrase universe P from a corpus given as one
+// token slice per document. SentenceBreak tokens delimit n-gram windows.
+//
+// The extraction is level-wise (Apriori-style): an n-gram can only reach the
+// document-frequency threshold if both its (n-1)-word prefix and suffix do,
+// so level n only counts n-grams whose two (n-1)-gram constituents survived
+// level n-1. This keeps extraction near-linear in corpus size for realistic
+// thresholds instead of materializing every n-gram occurrence.
+//
+// The result is sorted by (Words, Phrase) so phrase IDs assigned from it are
+// deterministic.
+func Extract(docs [][]string, opt ExtractorOptions) ([]PhraseStats, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults()
+
+	// frequent[n] holds the set of surviving n-grams after level n,
+	// mapping canonical phrase -> sorted doc list.
+	frequent := make([]map[string][]int, opt.MaxWords+1)
+
+	// Level 1: count unigram document frequencies.
+	frequent[1] = countLevel(docs, 1, nil, opt)
+
+	for n := 2; n <= opt.MaxWords; n++ {
+		if len(frequent[n-1]) == 0 {
+			frequent[n] = map[string][]int{}
+			continue
+		}
+		frequent[n] = countLevel(docs, n, frequent[n-1], opt)
+	}
+
+	var out []PhraseStats
+	for n := opt.MinWords; n <= opt.MaxWords; n++ {
+		for phrase, docList := range frequent[n] {
+			if opt.DropAllStopwordPhrases && AllStopwords(SplitPhrase(phrase)) {
+				continue
+			}
+			if len(phrase) > opt.MaxPhraseBytes {
+				continue
+			}
+			out = append(out, PhraseStats{
+				Phrase:  phrase,
+				Words:   n,
+				DocFreq: len(docList),
+				Docs:    docList,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Words != out[j].Words {
+			return out[i].Words < out[j].Words
+		}
+		return out[i].Phrase < out[j].Phrase
+	})
+	return out, nil
+}
+
+// countLevel counts document frequencies of n-grams across docs, constrained
+// (for n >= 2) to n-grams whose prefix and suffix (n-1)-grams are keys of
+// prev. It returns the n-grams meeting opt.MinDocFreq with their sorted doc
+// lists.
+//
+// Counting is two-pass: the first pass only tallies per-document-distinct
+// frequencies (4 bytes per candidate), the second collects doc lists for
+// the survivors. On corpora with tens of millions of token windows this
+// keeps peak memory proportional to the candidate count rather than the
+// occurrence count.
+func countLevel(docs [][]string, n int, prev map[string][]int, opt ExtractorOptions) map[string][]int {
+	type docCount struct {
+		lastDoc int32
+		count   int32
+	}
+	counts := make(map[string]*docCount)
+
+	scan := func(visit func(phrase string, docIdx int)) {
+		for docIdx, tokens := range docs {
+			for start := 0; start+n <= len(tokens); start++ {
+				window := tokens[start : start+n]
+				if containsBreak(window) {
+					continue
+				}
+				if prev != nil {
+					// Apriori constraint: prefix and suffix
+					// (n-1)-grams must both be frequent.
+					if _, ok := prev[JoinPhrase(window[:n-1])]; !ok {
+						continue
+					}
+					if _, ok := prev[JoinPhrase(window[1:])]; !ok {
+						continue
+					}
+				}
+				visit(JoinPhrase(window), docIdx)
+			}
+		}
+	}
+
+	// Pass 1: document frequencies.
+	scan(func(phrase string, docIdx int) {
+		dc := counts[phrase]
+		if dc == nil {
+			counts[phrase] = &docCount{lastDoc: int32(docIdx), count: 1}
+			return
+		}
+		if dc.lastDoc != int32(docIdx) {
+			dc.lastDoc = int32(docIdx)
+			dc.count++
+		}
+	})
+	survivors := make(map[string][]int)
+	for phrase, dc := range counts {
+		if int(dc.count) >= opt.MinDocFreq {
+			survivors[phrase] = make([]int, 0, dc.count)
+		}
+	}
+	counts = nil
+
+	// Pass 2: doc lists for survivors only. Lists come out sorted because
+	// documents are scanned in increasing order.
+	scan(func(phrase string, docIdx int) {
+		list, ok := survivors[phrase]
+		if !ok {
+			return
+		}
+		if n := len(list); n > 0 && list[n-1] == docIdx {
+			return
+		}
+		survivors[phrase] = append(list, docIdx)
+	})
+	return survivors
+}
+
+// containsBreak reports whether the window crosses a sentence boundary.
+func containsBreak(window []string) bool {
+	for _, t := range window {
+		if t == SentenceBreak {
+			return true
+		}
+	}
+	return false
+}

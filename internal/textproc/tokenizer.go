@@ -1,0 +1,144 @@
+// Package textproc implements the text-processing substrate of phrasemine:
+// tokenization, normalization, stopword handling and n-gram phrase
+// extraction. It defines the phrase universe P exactly as Section 2 of the
+// paper does: word n-grams of up to MaxWords words that occur in at least
+// MinDocFreq documents of the corpus.
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// SentenceBreak is the pseudo-token emitted by the Tokenizer at sentence
+// boundaries. Phrase extraction never forms n-grams across it. It contains a
+// character that the tokenizer can never emit as part of a word, so it cannot
+// collide with real tokens.
+const SentenceBreak = "\x00"
+
+// Tokenizer splits raw text into normalized word tokens. The zero value is a
+// usable tokenizer with default settings (lowercasing on, stopwords kept,
+// tokens of 1..64 bytes).
+//
+// Normalization is intentionally simple and deterministic: text is lowered,
+// split on any rune that is not a letter, digit, apostrophe or hyphen, and
+// inner apostrophes/hyphens are kept ("taiwan's", "real-time"). Sentence
+// punctuation ('.', '!', '?', ';') emits a SentenceBreak pseudo-token when
+// EmitSentenceBreaks is set.
+type Tokenizer struct {
+	// KeepCase disables lowercasing when true.
+	KeepCase bool
+	// DropStopwords removes stopwords from the token stream entirely.
+	// Phrase mining typically keeps them (the interestingness measure's
+	// global-frequency normalization de-prioritizes stopword phrases, as
+	// the paper's Section 1 argues), so the default is false.
+	DropStopwords bool
+	// EmitSentenceBreaks inserts SentenceBreak tokens at sentence-ending
+	// punctuation so that phrase extraction does not cross sentences.
+	EmitSentenceBreaks bool
+	// MinTokenLen and MaxTokenLen bound the byte length of emitted tokens.
+	// Zero values mean 1 and 64 respectively.
+	MinTokenLen int
+	MaxTokenLen int
+}
+
+// isWordRune reports whether r can be part of a token.
+func isWordRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '\'' || r == '-'
+}
+
+// isSentencePunct reports whether r terminates a sentence.
+func isSentencePunct(r rune) bool {
+	return r == '.' || r == '!' || r == '?' || r == ';'
+}
+
+// limits returns the effective token length bounds.
+func (t *Tokenizer) limits() (int, int) {
+	lo, hi := t.MinTokenLen, t.MaxTokenLen
+	if lo <= 0 {
+		lo = 1
+	}
+	if hi <= 0 {
+		hi = 64
+	}
+	return lo, hi
+}
+
+// Tokenize splits text into tokens under the tokenizer's settings.
+func (t *Tokenizer) Tokenize(text string) []string {
+	out := make([]string, 0, len(text)/6+1)
+	return t.AppendTokens(out, text)
+}
+
+// AppendTokens appends the tokens of text to dst and returns the extended
+// slice. It is the allocation-friendly form of Tokenize.
+func (t *Tokenizer) AppendTokens(dst []string, text string) []string {
+	lo, hi := t.limits()
+	var b strings.Builder
+	flush := func() {
+		if b.Len() == 0 {
+			return
+		}
+		tok := trimEdges(b.String())
+		b.Reset()
+		if len(tok) < lo || len(tok) > hi {
+			return
+		}
+		if t.DropStopwords && IsStopword(tok) {
+			return
+		}
+		dst = append(dst, tok)
+	}
+	for _, r := range text {
+		switch {
+		case isWordRune(r):
+			if !t.KeepCase {
+				r = unicode.ToLower(r)
+			}
+			b.WriteRune(r)
+		case isSentencePunct(r):
+			flush()
+			if t.EmitSentenceBreaks {
+				// Never lead with a break and never emit two in
+				// a row: breaks only separate real tokens.
+				if n := len(dst); n > 0 && dst[n-1] != SentenceBreak {
+					dst = append(dst, SentenceBreak)
+				}
+			}
+		default:
+			flush()
+		}
+	}
+	flush()
+	return dst
+}
+
+// trimEdges strips leading/trailing apostrophes and hyphens that the
+// character-class split can leave on tokens like "'quoted'" or "-dash".
+func trimEdges(s string) string {
+	return strings.Trim(s, "'-")
+}
+
+// JoinPhrase renders a token n-gram as its canonical phrase string: tokens
+// joined by single spaces. All phrase-keyed structures in this repository use
+// this representation.
+func JoinPhrase(tokens []string) string {
+	return strings.Join(tokens, " ")
+}
+
+// SplitPhrase is the inverse of JoinPhrase.
+func SplitPhrase(phrase string) []string {
+	if phrase == "" {
+		return nil
+	}
+	return strings.Split(phrase, " ")
+}
+
+// PhraseLen reports the number of words in a canonical phrase string without
+// allocating.
+func PhraseLen(phrase string) int {
+	if phrase == "" {
+		return 0
+	}
+	return strings.Count(phrase, " ") + 1
+}

@@ -1,0 +1,221 @@
+package textproc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	var tok Tokenizer
+	got := tok.Tokenize("The Quick, Brown FOX!")
+	want := []string{"the", "quick", "brown", "fox"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeKeepsInnerApostropheAndHyphen(t *testing.T) {
+	var tok Tokenizer
+	got := tok.Tokenize("taiwan's real-time exchange")
+	want := []string{"taiwan's", "real-time", "exchange"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeTrimsEdgePunctuation(t *testing.T) {
+	var tok Tokenizer
+	got := tok.Tokenize("'quoted' -dash- trailing'")
+	want := []string{"quoted", "dash", "trailing"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeKeepCase(t *testing.T) {
+	tok := Tokenizer{KeepCase: true}
+	got := tok.Tokenize("IBM Research")
+	want := []string{"IBM", "Research"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeDropStopwords(t *testing.T) {
+	tok := Tokenizer{DropStopwords: true}
+	got := tok.Tokenize("the minister of trade and reserves")
+	want := []string{"minister", "trade", "reserves"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeSentenceBreaks(t *testing.T) {
+	tok := Tokenizer{EmitSentenceBreaks: true}
+	got := tok.Tokenize("First sentence. Second sentence! Third?")
+	want := []string{"first", "sentence", SentenceBreak, "second", "sentence", SentenceBreak, "third", SentenceBreak}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeNoDuplicateSentenceBreaks(t *testing.T) {
+	tok := Tokenizer{EmitSentenceBreaks: true}
+	got := tok.Tokenize("End... start")
+	want := []string{"end", SentenceBreak, "start"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeLeadingPunctNoBreakToken(t *testing.T) {
+	tok := Tokenizer{EmitSentenceBreaks: true}
+	got := tok.Tokenize("...hello")
+	want := []string{"hello"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeLengthBounds(t *testing.T) {
+	tok := Tokenizer{MinTokenLen: 3, MaxTokenLen: 5}
+	got := tok.Tokenize("a ab abc abcd abcde abcdef")
+	want := []string{"abc", "abcd", "abcde"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	var tok Tokenizer
+	if got := tok.Tokenize(""); len(got) != 0 {
+		t.Fatalf("Tokenize(\"\") = %v, want empty", got)
+	}
+	if got := tok.Tokenize("  ,.!  "); len(got) != 0 {
+		t.Fatalf("Tokenize(punct only) = %v, want empty", got)
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	var tok Tokenizer
+	got := tok.Tokenize("Großhandel naïve café 東京")
+	want := []string{"großhandel", "naïve", "café", "東京"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeNumbers(t *testing.T) {
+	var tok Tokenizer
+	got := tok.Tokenize("q3 1997 revenue grew 21578 units")
+	want := []string{"q3", "1997", "revenue", "grew", "21578", "units"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+// Property: tokens never contain separator characters, are within length
+// bounds, and are lowercase when KeepCase is false.
+func TestTokenizePropertyClean(t *testing.T) {
+	var tok Tokenizer
+	f := func(s string) bool {
+		for _, w := range tok.Tokenize(s) {
+			if w == "" || len(w) > 64 {
+				return false
+			}
+			if strings.ContainsAny(w, " \t\n.,!?;") {
+				return false
+			}
+			if w != strings.ToLower(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: tokenization is idempotent — re-tokenizing the joined token
+// stream yields the same tokens.
+func TestTokenizePropertyIdempotent(t *testing.T) {
+	var tok Tokenizer
+	f := func(s string) bool {
+		first := tok.Tokenize(s)
+		second := tok.Tokenize(strings.Join(first, " "))
+		return reflect.DeepEqual(first, second)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendTokensReusesSlice(t *testing.T) {
+	var tok Tokenizer
+	buf := make([]string, 0, 16)
+	out := tok.AppendTokens(buf, "one two three")
+	if len(out) != 3 {
+		t.Fatalf("AppendTokens len = %d, want 3", len(out))
+	}
+	if cap(out) != 16 {
+		t.Fatalf("AppendTokens reallocated: cap = %d, want 16", cap(out))
+	}
+}
+
+func TestJoinSplitPhraseRoundTrip(t *testing.T) {
+	cases := [][]string{
+		{"economic", "minister"},
+		{"one"},
+		{"a", "b", "c", "d", "e", "f"},
+	}
+	for _, c := range cases {
+		if got := SplitPhrase(JoinPhrase(c)); !reflect.DeepEqual(got, c) {
+			t.Errorf("round trip of %v = %v", c, got)
+		}
+	}
+	if SplitPhrase("") != nil {
+		t.Error("SplitPhrase(\"\") should be nil")
+	}
+}
+
+func TestPhraseLen(t *testing.T) {
+	cases := map[string]int{
+		"":                  0,
+		"one":               1,
+		"economic minister": 2,
+		"a b c d e f":       6,
+	}
+	for phrase, want := range cases {
+		if got := PhraseLen(phrase); got != want {
+			t.Errorf("PhraseLen(%q) = %d, want %d", phrase, got, want)
+		}
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	for _, w := range []string{"the", "and", "of", "won't"} {
+		if !IsStopword(w) {
+			t.Errorf("IsStopword(%q) = false, want true", w)
+		}
+	}
+	for _, w := range []string{"minister", "trade", "", "THE"} {
+		if IsStopword(w) {
+			t.Errorf("IsStopword(%q) = true, want false", w)
+		}
+	}
+}
+
+func TestAllStopwords(t *testing.T) {
+	if !AllStopwords([]string{"of", "the"}) {
+		t.Error("AllStopwords([of the]) = false")
+	}
+	if AllStopwords([]string{"of", "trade"}) {
+		t.Error("AllStopwords([of trade]) = true")
+	}
+	if !AllStopwords(nil) {
+		t.Error("AllStopwords(nil) = false, want vacuous true")
+	}
+}

@@ -1,0 +1,215 @@
+package topk
+
+import (
+	"phrasemine/internal/plist"
+)
+
+// mergeSource is one input of a k-way merge: a peeked head entry plus its
+// originating list index.
+type mergeSource struct {
+	head plist.Entry
+	list int
+	ok   bool
+}
+
+// merger yields (entry, listIndex) pairs in non-decreasing phrase-ID order
+// across all input cursors. Two implementations are provided: a loser tree
+// (the default; O(log r) comparisons per pop with better constants for the
+// small r of keyword queries) and a binary heap (ablation comparator).
+type merger interface {
+	// next returns the globally smallest unconsumed entry and the list
+	// it came from; ok is false when all inputs are exhausted.
+	next() (e plist.Entry, list int, ok bool)
+	// err reports the first cursor error, if any.
+	err() error
+}
+
+// loserTree is a tournament tree k-way merger keyed by phrase ID (ties
+// broken by list index for determinism).
+type loserTree struct {
+	cursors []plist.Cursor
+	heads   []mergeSource
+	// tree[i] holds the loser of the match at internal node i; tree[0]
+	// holds the overall winner's index into heads.
+	tree    []int
+	n       int
+	readErr error
+}
+
+// newLoserTree builds the tournament over the cursors' first entries.
+func newLoserTree(cursors []plist.Cursor) *loserTree {
+	n := len(cursors)
+	t := &loserTree{
+		cursors: cursors,
+		heads:   make([]mergeSource, n),
+		tree:    make([]int, n),
+		n:       n,
+	}
+	for i := range cursors {
+		t.heads[i] = t.pull(i)
+	}
+	// Initialize by replaying every leaf through the tree.
+	for i := range t.tree {
+		t.tree[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		t.replay(i)
+	}
+	return t
+}
+
+// pull advances cursor i and packages its next entry.
+func (t *loserTree) pull(i int) mergeSource {
+	e, ok := t.cursors[i].Next()
+	if !ok {
+		if err := t.cursors[i].Err(); err != nil && t.readErr == nil {
+			t.readErr = err
+		}
+		return mergeSource{list: i, ok: false}
+	}
+	return mergeSource{head: e, list: i, ok: ok}
+}
+
+// less orders live sources by (phraseID, list); exhausted sources sort last.
+func (t *loserTree) less(a, b int) bool {
+	ha, hb := t.heads[a], t.heads[b]
+	switch {
+	case !ha.ok:
+		return false
+	case !hb.ok:
+		return true
+	case ha.head.Phrase != hb.head.Phrase:
+		return ha.head.Phrase < hb.head.Phrase
+	default:
+		return a < b
+	}
+}
+
+// replay pushes leaf i up the tree, recording losers, until it either loses
+// or becomes the winner at the root.
+func (t *loserTree) replay(i int) {
+	winner := i
+	node := (i + t.n) / 2
+	for node > 0 {
+		if t.tree[node] == -1 {
+			t.tree[node] = winner
+			return
+		}
+		if t.less(t.tree[node], winner) {
+			t.tree[node], winner = winner, t.tree[node]
+		}
+		node /= 2
+	}
+	t.tree[0] = winner
+}
+
+func (t *loserTree) next() (plist.Entry, int, bool) {
+	w := t.tree[0]
+	if w < 0 || !t.heads[w].ok {
+		return plist.Entry{}, 0, false
+	}
+	e := t.heads[w].head
+	t.heads[w] = t.pull(w)
+	// Replay the winner's path from its leaf.
+	winner := w
+	node := (w + t.n) / 2
+	for node > 0 {
+		if t.less(t.tree[node], winner) {
+			t.tree[node], winner = winner, t.tree[node]
+		}
+		node /= 2
+	}
+	t.tree[0] = winner
+	return e, w, true
+}
+
+func (t *loserTree) err() error { return t.readErr }
+
+// heapMerger is the binary-heap k-way merger used as the ablation
+// comparator for the loser tree.
+type heapMerger struct {
+	cursors []plist.Cursor
+	heap    []mergeSource
+	readErr error
+}
+
+func newHeapMerger(cursors []plist.Cursor) *heapMerger {
+	m := &heapMerger{cursors: cursors}
+	for i := range cursors {
+		src := m.pull(i)
+		if src.ok {
+			m.heap = append(m.heap, src)
+			m.up(len(m.heap) - 1)
+		}
+	}
+	return m
+}
+
+func (m *heapMerger) pull(i int) mergeSource {
+	e, ok := m.cursors[i].Next()
+	if !ok {
+		if err := m.cursors[i].Err(); err != nil && m.readErr == nil {
+			m.readErr = err
+		}
+		return mergeSource{list: i, ok: false}
+	}
+	return mergeSource{head: e, list: i, ok: true}
+}
+
+func (m *heapMerger) lessSrc(a, b mergeSource) bool {
+	if a.head.Phrase != b.head.Phrase {
+		return a.head.Phrase < b.head.Phrase
+	}
+	return a.list < b.list
+}
+
+func (m *heapMerger) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !m.lessSrc(m.heap[i], m.heap[parent]) {
+			break
+		}
+		m.heap[i], m.heap[parent] = m.heap[parent], m.heap[i]
+		i = parent
+	}
+}
+
+func (m *heapMerger) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(m.heap) && m.lessSrc(m.heap[l], m.heap[smallest]) {
+			smallest = l
+		}
+		if r < len(m.heap) && m.lessSrc(m.heap[r], m.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		m.heap[i], m.heap[smallest] = m.heap[smallest], m.heap[i]
+		i = smallest
+	}
+}
+
+func (m *heapMerger) next() (plist.Entry, int, bool) {
+	if len(m.heap) == 0 {
+		return plist.Entry{}, 0, false
+	}
+	top := m.heap[0]
+	refill := m.pull(top.list)
+	if refill.ok {
+		m.heap[0] = refill
+		m.down(0)
+	} else {
+		last := len(m.heap) - 1
+		m.heap[0] = m.heap[last]
+		m.heap = m.heap[:last]
+		if len(m.heap) > 0 {
+			m.down(0)
+		}
+	}
+	return top.head, top.list, true
+}
+
+func (m *heapMerger) err() error { return m.readErr }

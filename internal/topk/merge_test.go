@@ -1,0 +1,147 @@
+package topk
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"phrasemine/internal/phrasedict"
+	"phrasemine/internal/plist"
+)
+
+// drain pulls every entry from a merger in order.
+func drain(t *testing.T, m merger) []plist.Entry {
+	t.Helper()
+	var out []plist.Entry
+	for {
+		e, _, ok := m.next()
+		if !ok {
+			break
+		}
+		out = append(out, e)
+	}
+	if err := m.err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// randomIDLists builds r ID-ordered lists over a universe.
+func randomIDLists(rng *rand.Rand, r, universe, maxLen int) []plist.IDList {
+	out := make([]plist.IDList, r)
+	for i := range out {
+		n := rng.Intn(maxLen + 1)
+		if n > universe {
+			n = universe
+		}
+		perm := rng.Perm(universe)[:n]
+		sort.Ints(perm)
+		l := make(plist.IDList, n)
+		for j, id := range perm {
+			l[j] = e(uint32(id), rng.Float64()*0.99+0.01)
+		}
+		out[i] = l
+	}
+	return out
+}
+
+func mergersUnderTest(lists []plist.IDList) map[string]func() merger {
+	mk := func() []plist.Cursor {
+		cs := make([]plist.Cursor, len(lists))
+		for i, l := range lists {
+			cs[i] = plist.NewMemCursor(l)
+		}
+		return cs
+	}
+	return map[string]func() merger{
+		"loserTree": func() merger { return newLoserTree(mk()) },
+		"heap":      func() merger { return newHeapMerger(mk()) },
+	}
+}
+
+func TestMergersProduceSortedOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 60; trial++ {
+		lists := randomIDLists(rng, 1+rng.Intn(6), 100, 50)
+		total := 0
+		for _, l := range lists {
+			total += len(l)
+		}
+		for name, mk := range mergersUnderTest(lists) {
+			got := drain(t, mk())
+			if len(got) != total {
+				t.Fatalf("%s trial %d: drained %d entries, want %d", name, trial, len(got), total)
+			}
+			for i := 1; i < len(got); i++ {
+				if got[i].Phrase < got[i-1].Phrase {
+					t.Fatalf("%s trial %d: output not sorted at %d", name, trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestMergersAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 60; trial++ {
+		lists := randomIDLists(rng, 2+rng.Intn(5), 80, 40)
+		ms := mergersUnderTest(lists)
+		a := drain(t, ms["loserTree"]())
+		b := drain(t, ms["heap"]())
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d: loser tree and heap merge disagree", trial)
+		}
+	}
+}
+
+func TestMergerSingleList(t *testing.T) {
+	l := plist.IDList{e(1, 0.9), e(5, 0.5), e(9, 0.1)}
+	for name, mk := range mergersUnderTest([]plist.IDList{l}) {
+		got := drain(t, mk())
+		if len(got) != 3 {
+			t.Fatalf("%s: drained %d", name, len(got))
+		}
+		for i := range got {
+			if got[i] != l[i] {
+				t.Fatalf("%s: entry %d = %v", name, i, got[i])
+			}
+		}
+	}
+}
+
+func TestMergerAllEmpty(t *testing.T) {
+	for name, mk := range mergersUnderTest([]plist.IDList{nil, nil, nil}) {
+		if got := drain(t, mk()); len(got) != 0 {
+			t.Fatalf("%s: drained %d from empty lists", name, len(got))
+		}
+	}
+}
+
+func TestMergerDuplicateIDsAcrossLists(t *testing.T) {
+	// The same phrase on all lists must come out adjacently (grouped).
+	l1 := plist.IDList{e(4, 0.1), e(7, 0.2)}
+	l2 := plist.IDList{e(4, 0.3), e(9, 0.4)}
+	l3 := plist.IDList{e(4, 0.5)}
+	for name, mk := range mergersUnderTest([]plist.IDList{l1, l2, l3}) {
+		got := drain(t, mk())
+		wantIDs := []phrasedict.PhraseID{4, 4, 4, 7, 9}
+		for i, w := range wantIDs {
+			if got[i].Phrase != w {
+				t.Fatalf("%s: order = %v", name, got)
+			}
+		}
+	}
+}
+
+func TestMergerStableByListIndex(t *testing.T) {
+	// Equal IDs must be emitted in list order for determinism.
+	l1 := plist.IDList{e(4, 0.111)}
+	l2 := plist.IDList{e(4, 0.222)}
+	for name, mk := range mergersUnderTest([]plist.IDList{l1, l2}) {
+		got := drain(t, mk())
+		if got[0].Prob != 0.111 || got[1].Prob != 0.222 {
+			t.Fatalf("%s: tie not broken by list index: %v", name, got)
+		}
+	}
+}

@@ -1,0 +1,412 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/phrasedict"
+	"phrasemine/internal/plist"
+)
+
+func e(id uint32, prob float64) plist.Entry {
+	return plist.Entry{Phrase: phrasedict.PhraseID(id), Prob: prob}
+}
+
+// cursorsOf wraps score lists in memory cursors.
+func cursorsOf(lists ...plist.ScoreList) []plist.Cursor {
+	out := make([]plist.Cursor, len(lists))
+	for i, l := range lists {
+		out[i] = plist.NewMemCursor(l)
+	}
+	return out
+}
+
+// naiveTopK aggregates full lists exactly: OR sums probabilities, AND sums
+// log-probabilities over phrases present in every list. Ranking is score
+// desc, ID asc.
+func naiveTopK(lists []plist.ScoreList, op corpus.Operator, k int) []Result {
+	sum := map[phrasedict.PhraseID]float64{}
+	count := map[phrasedict.PhraseID]int{}
+	for _, l := range lists {
+		for _, ent := range l {
+			sum[ent.Phrase] += entryScore(op, ent.Prob)
+			count[ent.Phrase]++
+		}
+	}
+	var out []Result
+	for id, s := range sum {
+		if op == corpus.OpAND && count[id] != len(lists) {
+			continue
+		}
+		out = append(out, Result{Phrase: id, Score: s, Lower: s, Upper: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Phrase < out[j].Phrase
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func idsOfResults(rs []Result) []phrasedict.PhraseID {
+	out := make([]phrasedict.PhraseID, len(rs))
+	for i, r := range rs {
+		out[i] = r.Phrase
+	}
+	return out
+}
+
+// randomLists builds r random score-ordered lists over a shared phrase
+// universe with continuous probabilities (ties have probability zero).
+func randomLists(rng *rand.Rand, r, universe, maxLen int) []plist.ScoreList {
+	lists := make([]plist.ScoreList, r)
+	for i := range lists {
+		n := 1 + rng.Intn(maxLen)
+		if n > universe {
+			n = universe
+		}
+		perm := rng.Perm(universe)[:n]
+		l := make(plist.ScoreList, n)
+		for j, id := range perm {
+			l[j] = e(uint32(id), rng.Float64()*0.999+0.001)
+		}
+		plist.SortScoreOrder(l)
+		lists[i] = l
+	}
+	return lists
+}
+
+func TestNRAValidation(t *testing.T) {
+	lists := cursorsOf(plist.ScoreList{e(1, 0.5)})
+	if _, _, err := NRA(lists, NRAOptions{K: 0, Op: corpus.OpOR}); err == nil {
+		t.Fatal("K=0 should error")
+	}
+	if _, _, err := NRA(lists, NRAOptions{K: 1, Op: corpus.Operator(9)}); err == nil {
+		t.Fatal("bad operator should error")
+	}
+	if _, _, err := NRA(nil, NRAOptions{K: 1, Op: corpus.OpOR}); err == nil {
+		t.Fatal("no lists should error")
+	}
+}
+
+func TestNRAExactOnFullListsOR(t *testing.T) {
+	l1 := plist.ScoreList{e(1, 0.5), e(2, 0.4), e(3, 0.1)}
+	l2 := plist.ScoreList{e(2, 0.9), e(4, 0.3), e(1, 0.2)}
+	want := naiveTopK([]plist.ScoreList{l1, l2}, corpus.OpOR, 3)
+	got, _, err := NRA(cursorsOf(l1, l2), NRAOptions{K: 3, Op: corpus.OpOR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(idsOfResults(got), idsOfResults(want)) {
+		t.Fatalf("NRA = %v, want %v", got, want)
+	}
+	// Fully consumed lists: scores must be exact.
+	for i := range got {
+		if math.Abs(got[i].Score-want[i].Score) > 1e-12 {
+			t.Fatalf("score[%d] = %v, want %v", i, got[i].Score, want[i].Score)
+		}
+		if got[i].Lower != got[i].Upper {
+			t.Fatalf("bounds not converged on full scan: %+v", got[i])
+		}
+	}
+}
+
+func TestNRAExactOnFullListsAND(t *testing.T) {
+	l1 := plist.ScoreList{e(1, 0.5), e(2, 0.4), e(3, 0.1)}
+	l2 := plist.ScoreList{e(2, 0.9), e(4, 0.3), e(1, 0.2)}
+	want := naiveTopK([]plist.ScoreList{l1, l2}, corpus.OpAND, 3)
+	got, _, err := NRA(cursorsOf(l1, l2), NRAOptions{K: 3, Op: corpus.OpAND})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only phrases 1 and 2 appear in both lists.
+	if len(want) != 2 {
+		t.Fatalf("reference has %d AND results", len(want))
+	}
+	if !reflect.DeepEqual(idsOfResults(got), idsOfResults(want)) {
+		t.Fatalf("NRA = %v, want %v", idsOfResults(got), idsOfResults(want))
+	}
+}
+
+func TestNRASingleList(t *testing.T) {
+	l := plist.ScoreList{e(9, 0.9), e(1, 0.5), e(3, 0.2)}
+	got, _, err := NRA(cursorsOf(l), NRAOptions{K: 2, Op: corpus.OpOR, BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(idsOfResults(got), []phrasedict.PhraseID{9, 1}) {
+		t.Fatalf("NRA single list = %v", got)
+	}
+}
+
+// TestNRAEarlyStopScenario replays the bound reasoning of the paper's
+// Figure 3 narrative with concrete numbers: once the top-2's lower bounds
+// dominate every other candidate's upper bound and the unseen bound, the
+// run stops without exhausting the lists.
+func TestNRAEarlyStopScenario(t *testing.T) {
+	l1 := plist.ScoreList{
+		e(1, 0.5), e(2, 0.4), e(3, 0.0333),
+		// Long tail that must never be read.
+		e(10, 0.001), e(11, 0.0009), e(12, 0.0008), e(13, 0.0007),
+	}
+	l2 := plist.ScoreList{
+		e(1, 0.3), e(4, 0.26), e(5, 0.113),
+		e(20, 0.002), e(21, 0.0019), e(22, 0.0018), e(23, 0.0017),
+	}
+	got, stats, err := NRA(cursorsOf(l1, l2), NRAOptions{K: 2, Op: corpus.OpOR, BatchSize: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.StoppedEarly {
+		t.Fatalf("expected early stop; stats = %+v", stats)
+	}
+	if !reflect.DeepEqual(idsOfResults(got), []phrasedict.PhraseID{1, 2}) {
+		t.Fatalf("top-2 = %v, want [1 2]", idsOfResults(got))
+	}
+	// Phrase 1 was seen on both lists: exact score.
+	if math.Abs(got[0].Score-0.8) > 1e-12 {
+		t.Fatalf("score(1) = %v", got[0].Score)
+	}
+	// Phrase 2 was seen only on L1: bounds [0.4, 0.4+0.113].
+	if math.Abs(got[1].Lower-0.4) > 1e-12 || math.Abs(got[1].Upper-0.513) > 1e-12 {
+		t.Fatalf("bounds(2) = [%v, %v]", got[1].Lower, got[1].Upper)
+	}
+	if stats.EntriesRead[0] >= len(l1) || stats.EntriesRead[1] >= len(l2) {
+		t.Fatalf("early stop read everything: %+v", stats.EntriesRead)
+	}
+	if stats.CheckNewOffAt == 0 {
+		t.Fatal("checknew was never disabled")
+	}
+}
+
+func TestNRAPartialListsCutoff(t *testing.T) {
+	// 10 entries per list; fraction 0.3 must read at most 3 from each.
+	var l1, l2 plist.ScoreList
+	for i := 0; i < 10; i++ {
+		l1 = append(l1, e(uint32(i), float64(100-i)/100))
+		l2 = append(l2, e(uint32(i+5), float64(100-i)/100))
+	}
+	got, stats, err := NRA(cursorsOf(l1, l2),
+		NRAOptions{K: 5, Op: corpus.OpOR, Fraction: 0.3, BatchSize: 1 << 20, DisableEarlyStop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EntriesRead[0] != 3 || stats.EntriesRead[1] != 3 {
+		t.Fatalf("EntriesRead = %v, want [3 3]", stats.EntriesRead)
+	}
+	if math.Abs(stats.FractionTraversed-0.3) > 1e-9 {
+		t.Fatalf("FractionTraversed = %v", stats.FractionTraversed)
+	}
+	if len(got) == 0 {
+		t.Fatal("no results from partial run")
+	}
+}
+
+func TestNRAPartialANDRequiresAllLists(t *testing.T) {
+	// Phrase 7 appears in the top-20% of both lists; phrase 8 only in
+	// list 1's prefix. Under AND with fraction 0.5, phrase 8's upper
+	// bound collapses to -inf when list 2 exhausts, so it cannot be
+	// returned.
+	l1 := plist.ScoreList{e(7, 0.9), e(8, 0.8), e(1, 0.1), e(2, 0.05)}
+	l2 := plist.ScoreList{e(7, 0.7), e(3, 0.6), e(4, 0.1), e(5, 0.05)}
+	got, _, err := NRA(cursorsOf(l1, l2), NRAOptions{K: 5, Op: corpus.OpAND, Fraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Phrase != 7 {
+		t.Fatalf("AND partial results = %v, want only phrase 7", got)
+	}
+	wantScore := math.Log(0.9) + math.Log(0.7)
+	if math.Abs(got[0].Score-wantScore) > 1e-12 {
+		t.Fatalf("score = %v, want %v", got[0].Score, wantScore)
+	}
+}
+
+// sortedIDs returns result phrase IDs as a sorted set for order-insensitive
+// comparison. NRA's early stop guarantees the top-k *set* (no candidate can
+// displace it) but ranks by upper bounds, so the internal order of an
+// early-stopped run may deviate from the exact order — the approximation
+// the paper quantifies with rank-sensitive metrics in Figs. 5-6.
+func sortedIDs(rs []Result) []phrasedict.PhraseID {
+	out := idsOfResults(rs)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestNRAMatchesNaiveReferenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 120; trial++ {
+		r := 1 + rng.Intn(5)
+		lists := randomLists(rng, r, 60, 50)
+		op := corpus.OpOR
+		if trial%2 == 0 {
+			op = corpus.OpAND
+		}
+		k := 1 + rng.Intn(8)
+		batch := 1 + rng.Intn(40)
+		want := naiveTopK(lists, op, k)
+
+		// With early stopping: the result SET must be exact.
+		got, _, err := NRA(cursorsOf(lists...), NRAOptions{K: k, Op: op, BatchSize: batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sortedIDs(got), sortedIDs(want)) {
+			t.Fatalf("trial %d (op=%v k=%d b=%d): NRA set = %v, want %v",
+				trial, op, k, batch, sortedIDs(got), sortedIDs(want))
+		}
+
+		// Exhausting the lists: order must also be exact, because all
+		// bounds converge.
+		full, _, err := NRA(cursorsOf(lists...),
+			NRAOptions{K: k, Op: op, BatchSize: batch, DisableEarlyStop: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(idsOfResults(full), idsOfResults(want)) {
+			t.Fatalf("trial %d (op=%v k=%d): exhaustive NRA = %v, want %v",
+				trial, op, k, idsOfResults(full), idsOfResults(want))
+		}
+	}
+}
+
+func TestNRAEarlyStopAgreesWithExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 80; trial++ {
+		lists := randomLists(rng, 2+rng.Intn(3), 80, 60)
+		op := corpus.OpOR
+		if trial%2 == 0 {
+			op = corpus.OpAND
+		}
+		k := 1 + rng.Intn(5)
+		fast, _, err := NRA(cursorsOf(lists...), NRAOptions{K: k, Op: op, BatchSize: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, _, err := NRA(cursorsOf(lists...), NRAOptions{K: k, Op: op, DisableEarlyStop: true, DisableCheckNew: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sortedIDs(fast), sortedIDs(slow)) {
+			t.Fatalf("trial %d: early-stop set %v != exhaustive set %v",
+				trial, sortedIDs(fast), sortedIDs(slow))
+		}
+	}
+}
+
+func TestNRABoundInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 60; trial++ {
+		lists := randomLists(rng, 2+rng.Intn(4), 50, 40)
+		op := corpus.OpOR
+		if trial%2 == 0 {
+			op = corpus.OpAND
+		}
+		got, _, err := NRA(cursorsOf(lists...), NRAOptions{K: 5, Op: op, BatchSize: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, res := range got {
+			if res.Lower > res.Upper+1e-12 {
+				t.Fatalf("trial %d result %d: lower %v > upper %v", trial, i, res.Lower, res.Upper)
+			}
+			if i > 0 && got[i-1].Upper < res.Upper-1e-12 {
+				t.Fatalf("trial %d: results not ordered by upper bound", trial)
+			}
+		}
+	}
+}
+
+func TestNRAStatsTelemetry(t *testing.T) {
+	lists := randomLists(rand.New(rand.NewSource(5)), 3, 100, 80)
+	_, stats, err := NRA(cursorsOf(lists...), NRAOptions{K: 5, Op: corpus.OpOR, BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.EntriesRead) != 3 || len(stats.ListLens) != 3 {
+		t.Fatalf("stats shape: %+v", stats)
+	}
+	total := 0
+	for i := range stats.EntriesRead {
+		if stats.EntriesRead[i] > stats.ListLens[i] {
+			t.Fatalf("read more than list length: %+v", stats)
+		}
+		total += stats.EntriesRead[i]
+	}
+	if stats.Iterations != total {
+		t.Fatalf("Iterations = %d, want %d", stats.Iterations, total)
+	}
+	if stats.FractionTraversed <= 0 || stats.FractionTraversed > 1 {
+		t.Fatalf("FractionTraversed = %v", stats.FractionTraversed)
+	}
+	if stats.MaxCandidates == 0 {
+		t.Fatal("MaxCandidates = 0")
+	}
+}
+
+func TestNRAKLargerThanCandidates(t *testing.T) {
+	l := plist.ScoreList{e(1, 0.9), e(2, 0.5)}
+	got, _, err := NRA(cursorsOf(l), NRAOptions{K: 10, Op: corpus.OpOR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d results, want 2", len(got))
+	}
+}
+
+func TestNRAEmptyLists(t *testing.T) {
+	got, stats, err := NRA(cursorsOf(nil, nil), NRAOptions{K: 3, Op: corpus.OpOR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("results from empty lists: %v", got)
+	}
+	if stats.Iterations != 0 {
+		t.Fatalf("Iterations = %d", stats.Iterations)
+	}
+}
+
+func TestEstimatedInterestingness(t *testing.T) {
+	// OR: score is already in probability domain.
+	got := EstimatedInterestingness(0.05, corpus.OpOR, 100, 1000)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("OR estimate = %v, want 0.5", got)
+	}
+	// Over-counted OR scores clamp to the measure's upper bound of 1.
+	if got := EstimatedInterestingness(0.5, corpus.OpOR, 100, 1000); got != 1 {
+		t.Fatalf("OR estimate should clamp to 1, got %v", got)
+	}
+	// AND: score is log-domain.
+	got = EstimatedInterestingness(math.Log(0.25), corpus.OpAND, 500, 1000)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("AND estimate = %v, want 0.5", got)
+	}
+	if EstimatedInterestingness(1, corpus.OpOR, 0, 10) != 0 {
+		t.Fatal("empty D' should estimate 0")
+	}
+}
+
+func TestMissingAndEntryScore(t *testing.T) {
+	if entryScore(corpus.OpOR, 0.25) != 0.25 {
+		t.Fatal("OR entryScore should be identity")
+	}
+	if entryScore(corpus.OpAND, 0.25) != math.Log(0.25) {
+		t.Fatal("AND entryScore should be log")
+	}
+	if missingScore(corpus.OpOR) != 0 {
+		t.Fatal("OR missing score should be 0")
+	}
+	if !math.IsInf(missingScore(corpus.OpAND), -1) {
+		t.Fatal("AND missing score should be -inf")
+	}
+}

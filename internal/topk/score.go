@@ -1,0 +1,78 @@
+// Package topk implements the paper's two top-k aggregation algorithms over
+// word-specific phrase lists:
+//
+//   - NRA (Algorithm 1): a No-Random-Access threshold algorithm over
+//     score-ordered lists with candidate bounds, batched pruning, a
+//     "checknew" gate for unseen candidates, and early termination. It
+//     works identically over in-memory and disk-resident (cursor-backed)
+//     lists and supports partial-list cutoffs at query time.
+//
+//   - SMJ (Algorithm 2): a sort-merge join over phrase-ID-ordered lists
+//     that scans every list to the end and partial-sorts the accumulated
+//     candidates. Partial lists for SMJ are a construction-time decision.
+//
+// Scores follow Section 4.1: for AND queries a phrase's score is
+// Σ log P(qi|p) (Eq. 8) and a phrase missing from any list is disqualified
+// (log 0 = -inf); for OR queries the score is Σ P(qi|p) (Eq. 12) and a
+// missing list contributes zero.
+package topk
+
+import (
+	"math"
+
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/phrasedict"
+)
+
+// entryScore converts a stored conditional probability into the operator's
+// additive score domain.
+func entryScore(op corpus.Operator, prob float64) float64 {
+	if op == corpus.OpAND {
+		return math.Log(prob)
+	}
+	return prob
+}
+
+// missingScore is the score contribution of a list that provably does not
+// contain a phrase: -inf under AND (Π P(qi|p) = 0), 0 under OR.
+func missingScore(op corpus.Operator) float64 {
+	if op == corpus.OpAND {
+		return math.Inf(-1)
+	}
+	return 0
+}
+
+// EstimatedInterestingness converts an aggregated score back into the
+// interestingness scale of Equation 1 so it can be compared with the exact
+// ID(p, D') (the Table 6 analysis). The score S(p,Q) approximates P(Q|p)
+// (Eq. 5), and ID(p, D') = P(p|Q)/P(p) = P(Q|p)/P(Q), so the estimate is
+// the score divided by P(Q) = |D'|/|D|. AND scores live in log domain and
+// are exponentiated first.
+func EstimatedInterestingness(score float64, op corpus.Operator, dPrimeSize, corpusSize int) float64 {
+	if dPrimeSize <= 0 || corpusSize <= 0 {
+		return 0
+	}
+	p := score
+	if op == corpus.OpAND {
+		p = math.Exp(score)
+	}
+	est := p * float64(corpusSize) / float64(dPrimeSize)
+	// ID(p, D') cannot exceed 1 (freq(p,D') <= freq(p,D)); the OR
+	// estimate can overshoot because Eq. 12 truncates the
+	// inclusion-exclusion expansion after the first-order terms.
+	if est > 1 {
+		est = 1
+	}
+	return est
+}
+
+// Result is one ranked phrase from NRA or SMJ. Score is the aggregated
+// operator-domain score (the lower bound at termination, which equals the
+// exact aggregate for fully seen candidates); Lower and Upper are the NRA
+// bounds at termination (equal for SMJ).
+type Result struct {
+	Phrase phrasedict.PhraseID
+	Score  float64
+	Lower  float64
+	Upper  float64
+}

@@ -1,0 +1,180 @@
+package topk
+
+import (
+	"fmt"
+	"sort"
+
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/phrasedict"
+	"phrasemine/internal/plist"
+)
+
+// SMJOptions configures Algorithm 2.
+type SMJOptions struct {
+	// K is the number of results to return.
+	K int
+	// Op selects AND or OR scoring.
+	Op corpus.Operator
+	// UseHeapMerge swaps the loser-tree k-way merge for a binary heap
+	// (ablation switch; results are identical).
+	UseHeapMerge bool
+	// SecondOrderOR scores OR queries with the second-order truncation
+	// of the inclusion-exclusion expansion (Eq. 11 of the paper, cut at
+	// x >= 2) instead of the paper's default first-order form (Eq. 12):
+	//
+	//	S2(p) = Σ P(qi|p) − Σ_{i<j} P(qi|p)·P(qj|p)
+	//
+	// using the independence assumption for the pairwise joints. The
+	// correction term is computed from the running sum S and sum of
+	// squares Q as (S² − Q)/2. This is an SMJ-only ablation: the
+	// corrected score is no longer a monotone sum of per-list terms, so
+	// NRA's bound arithmetic does not carry over.
+	SecondOrderOR bool
+}
+
+// Validate reports configuration errors.
+func (o SMJOptions) Validate() error {
+	if o.K <= 0 {
+		return fmt.Errorf("topk: K must be positive, got %d", o.K)
+	}
+	if o.Op != corpus.OpAND && o.Op != corpus.OpOR {
+		return fmt.Errorf("topk: invalid operator %d", o.Op)
+	}
+	return nil
+}
+
+// SMJStats reports telemetry from one SMJ run.
+type SMJStats struct {
+	EntriesRead int // total entries consumed across lists
+	Candidates  int // phrases that accumulated a score
+}
+
+// SMJ runs Algorithm 2 of the paper: a sort-merge join over phrase-ID-
+// ordered list cursors (one per query feature). Unlike NRA it must consume
+// every list completely before it can rank, but its per-entry work is a
+// plain accumulation with no bound bookkeeping. Partial lists are a
+// construction-time decision — truncate before ordering by ID.
+//
+// Because the merge delivers equal phrase IDs from all lists adjacently,
+// scores are aggregated without any hash map: a running (phrase, sum,
+// listCount) accumulator is flushed whenever the merge moves to a larger
+// phrase ID.
+func SMJ(cursors []plist.Cursor, opt SMJOptions) ([]Result, SMJStats, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, SMJStats{}, err
+	}
+	if len(cursors) == 0 {
+		return nil, SMJStats{}, fmt.Errorf("topk: no lists given")
+	}
+	var m merger
+	if opt.UseHeapMerge {
+		m = newHeapMerger(cursors)
+	} else {
+		m = newLoserTree(cursors)
+	}
+
+	r := len(cursors)
+	var stats SMJStats
+	type scored struct {
+		id    phrasedict.PhraseID
+		score float64
+	}
+
+	// top is a size-K min-heap over (score, id): the bounded selection
+	// behind the paper's O(lr + k log(lr)) SMJ complexity. worse reports
+	// whether a ranks below b in the final ordering (lower score, or
+	// equal score with larger ID).
+	worse := func(a, b scored) bool {
+		if a.score != b.score {
+			return a.score < b.score
+		}
+		return a.id > b.id
+	}
+	var top []scored
+	heapDown := func(i int) {
+		for {
+			l, rr, smallest := 2*i+1, 2*i+2, i
+			if l < len(top) && worse(top[l], top[smallest]) {
+				smallest = l
+			}
+			if rr < len(top) && worse(top[rr], top[smallest]) {
+				smallest = rr
+			}
+			if smallest == i {
+				return
+			}
+			top[i], top[smallest] = top[smallest], top[i]
+			i = smallest
+		}
+	}
+	offer := func(s scored) {
+		if len(top) < opt.K {
+			top = append(top, s)
+			for i := len(top) - 1; i > 0; {
+				parent := (i - 1) / 2
+				if !worse(top[i], top[parent]) {
+					break
+				}
+				top[i], top[parent] = top[parent], top[i]
+				i = parent
+			}
+			return
+		}
+		if worse(s, top[0]) {
+			return
+		}
+		top[0] = s
+		heapDown(0)
+	}
+
+	var (
+		curID    phrasedict.PhraseID
+		curSum   float64
+		curSumSq float64
+		curCount int
+		active   bool
+	)
+	flush := func() {
+		if !active {
+			return
+		}
+		stats.Candidates++
+		// AND requires presence in every list (a missing list means
+		// P(qi|p) = 0, zeroing the product of Eq. 7).
+		if opt.Op == corpus.OpAND && curCount != r {
+			return
+		}
+		score := curSum
+		if opt.Op == corpus.OpOR && opt.SecondOrderOR {
+			score -= (curSum*curSum - curSumSq) / 2
+		}
+		offer(scored{id: curID, score: score})
+	}
+	for {
+		e, _, ok := m.next()
+		if !ok {
+			break
+		}
+		stats.EntriesRead++
+		if !active || e.Phrase != curID {
+			flush()
+			curID, curSum, curSumSq, curCount, active = e.Phrase, 0, 0, 0, true
+		}
+		s := entryScore(opt.Op, e.Prob)
+		curSum += s
+		curSumSq += s * s
+		curCount++
+	}
+	if err := m.err(); err != nil {
+		return nil, stats, err
+	}
+	flush()
+
+	results := append([]scored(nil), top...)
+	sort.Slice(results, func(i, j int) bool { return worse(results[j], results[i]) })
+	out := make([]Result, len(results))
+	for i, s := range results {
+		out[i] = Result{Phrase: s.id, Score: s.score, Lower: s.score, Upper: s.score}
+	}
+	return out, stats, nil
+}

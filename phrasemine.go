@@ -1,0 +1,412 @@
+// Package phrasemine mines interesting phrases from dynamically selected
+// subsets of a text corpus in real time, implementing the system of
+//
+//	Deepak P, Atreyee Dey, Debapriyo Majumdar.
+//	"Fast Mining of Interesting Phrases from Subsets of Text Corpora."
+//	EDBT 2014, pp. 193-204.
+//
+// A sub-collection D' of the indexed corpus D is selected with a keyword or
+// metadata-facet query combined under AND or OR; the miner returns the
+// top-k phrases ranked by the interestingness measure
+//
+//	ID(p, D') = freq(p, D') / freq(p, D)
+//
+// approximated through per-keyword phrase lists and a conditional
+// independence assumption, which is what makes millisecond responses
+// possible (the exact baselines are also available for comparison).
+//
+// # Quickstart
+//
+//	miner, err := phrasemine.NewMinerFromTexts(texts, phrasemine.DefaultConfig())
+//	...
+//	results, err := miner.Mine([]string{"trade", "reserves"}, phrasemine.OR, phrasemine.QueryOptions{})
+//	for _, r := range results {
+//		fmt.Println(r.Phrase, r.Interestingness)
+//	}
+package phrasemine
+
+import (
+	"fmt"
+	"strings"
+
+	"phrasemine/internal/baseline"
+	"phrasemine/internal/core"
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/textproc"
+	"phrasemine/internal/topk"
+)
+
+// Operator combines the per-keyword document sets of a query.
+type Operator int
+
+const (
+	// AND selects documents containing every keyword.
+	AND Operator = iota
+	// OR selects documents containing at least one keyword.
+	OR
+)
+
+// String renders the operator.
+func (o Operator) String() string {
+	if o == AND {
+		return "AND"
+	}
+	return "OR"
+}
+
+func (o Operator) internal() (corpus.Operator, error) {
+	switch o {
+	case AND:
+		return corpus.OpAND, nil
+	case OR:
+		return corpus.OpOR, nil
+	default:
+		return 0, fmt.Errorf("phrasemine: invalid operator %d", o)
+	}
+}
+
+// Algorithm selects the query processing strategy.
+type Algorithm string
+
+const (
+	// AlgoAuto picks SMJ for small/truncated lists and NRA otherwise —
+	// the paper's own guidance for in-memory operation (Section 5.5).
+	AlgoAuto Algorithm = ""
+	// AlgoNRA is the No-Random-Access threshold algorithm over
+	// score-ordered lists (works on disk- and memory-resident indexes).
+	AlgoNRA Algorithm = "nra"
+	// AlgoSMJ is the sort-merge join over phrase-ID-ordered lists.
+	AlgoSMJ Algorithm = "smj"
+	// AlgoGM is the exact forward-index baseline (Gao & Michel).
+	AlgoGM Algorithm = "gm"
+	// AlgoExact evaluates the interestingness measure exhaustively.
+	AlgoExact Algorithm = "exact"
+)
+
+// Document is one input document: raw text plus optional metadata facets.
+type Document struct {
+	Text   string
+	Facets map[string]string
+}
+
+// Config controls corpus indexing.
+type Config struct {
+	// MinPhraseWords..MaxPhraseWords bound phrase length in words
+	// (defaults 1..6, the paper's setting).
+	MinPhraseWords int
+	MaxPhraseWords int
+	// MinDocFreq is the minimum number of documents a phrase must appear
+	// in to be indexed (default 5).
+	MinDocFreq int
+	// DropStopwordPhrases discards phrases consisting solely of
+	// stopwords (default true; the interestingness measure already
+	// de-prioritizes them, dropping just shrinks the index).
+	DropStopwordPhrases bool
+	// Keywords optionally restricts per-keyword list construction to
+	// the given set. Leave nil to support querying on any word.
+	Keywords []string
+}
+
+// DefaultConfig returns the paper's indexing configuration.
+func DefaultConfig() Config {
+	return Config{
+		MinPhraseWords:      1,
+		MaxPhraseWords:      6,
+		MinDocFreq:          5,
+		DropStopwordPhrases: true,
+	}
+}
+
+// Result is one mined phrase.
+type Result struct {
+	// Phrase is the mined phrase text.
+	Phrase string
+	// Score is the algorithm-native aggregate score (sum of conditional
+	// probabilities for OR, sum of their logs for AND; for GM/Exact it
+	// is the exact interestingness).
+	Score float64
+	// Interestingness estimates ID(p, D') on the scale of Eq. 1 (for
+	// GM/Exact it is exact).
+	Interestingness float64
+}
+
+// QueryOptions tunes one Mine call.
+type QueryOptions struct {
+	// K is the number of phrases to return (default 5, the paper's k).
+	K int
+	// Algorithm selects the strategy (default AlgoAuto).
+	Algorithm Algorithm
+	// ListFraction processes only the top fraction of each keyword's
+	// phrase list (0 or 1 = full lists): the partial-list approximation
+	// knob. Applies to NRA (query-time) and SMJ (construction-time,
+	// cached per fraction).
+	ListFraction float64
+}
+
+// Miner indexes a corpus and answers interesting-phrase queries.
+type Miner struct {
+	ix       *core.Index
+	cfg      Config
+	smjCache map[float64]*core.SMJIndex
+	delta    *core.Delta
+}
+
+// NewMinerFromTexts tokenizes and indexes plain-text documents.
+func NewMinerFromTexts(texts []string, cfg Config) (*Miner, error) {
+	docs := make([]Document, len(texts))
+	for i, t := range texts {
+		docs[i] = Document{Text: t}
+	}
+	return NewMinerFromDocuments(docs, cfg)
+}
+
+// NewMinerFromDocuments tokenizes and indexes documents with facets.
+func NewMinerFromDocuments(docs []Document, cfg Config) (*Miner, error) {
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("phrasemine: no documents")
+	}
+	c := corpus.New()
+	tok := textproc.Tokenizer{EmitSentenceBreaks: true}
+	for _, d := range docs {
+		c.Add(corpus.Document{
+			Tokens: tok.Tokenize(d.Text),
+			Facets: d.Facets,
+		})
+	}
+	return newMiner(c, cfg)
+}
+
+func newMiner(c *corpus.Corpus, cfg Config) (*Miner, error) {
+	ix, err := core.Build(c, core.BuildOptions{
+		Extractor: textproc.ExtractorOptions{
+			MinWords:               cfg.MinPhraseWords,
+			MaxWords:               cfg.MaxPhraseWords,
+			MinDocFreq:             cfg.MinDocFreq,
+			DropAllStopwordPhrases: cfg.DropStopwordPhrases,
+		},
+		ListFeatures: cfg.Keywords,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Miner{ix: ix, cfg: cfg, smjCache: make(map[float64]*core.SMJIndex)}, nil
+}
+
+// NumDocuments reports the corpus size |D|.
+func (m *Miner) NumDocuments() int { return m.ix.Corpus.Len() }
+
+// NumPhrases reports the phrase-universe size |P|.
+func (m *Miner) NumPhrases() int { return m.ix.NumPhrases() }
+
+// VocabSize reports the number of distinct indexable features |W|.
+func (m *Miner) VocabSize() int { return m.ix.Inverted.VocabSize() }
+
+// Facet renders a metadata facet as a query keyword, e.g.
+// Facet("venue", "sigmod") for the venue:sigmod sub-collection of Table 1.
+func Facet(name, value string) string {
+	return corpus.FacetFeature(name, value)
+}
+
+// Mine returns the top-k interesting phrases of the sub-collection
+// selected by the keywords under the operator.
+//
+// While document updates are pending (Add/Remove before Flush), the NRA and
+// SMJ algorithms consult the delta index for corrected probabilities; the
+// GM and Exact baselines always answer over the base corpus as of the last
+// Flush.
+func (m *Miner) Mine(keywords []string, op Operator, opt QueryOptions) ([]Result, error) {
+	iop, err := op.internal()
+	if err != nil {
+		return nil, err
+	}
+	q := corpus.NewQuery(iop, normalizeKeywords(keywords)...)
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.K <= 0 {
+		opt.K = 5
+	}
+	frac := opt.ListFraction
+	if frac <= 0 || frac > 1 {
+		frac = 1
+	}
+
+	algo := opt.Algorithm
+	if algo == AlgoAuto {
+		// The paper's Section 5.5 guidance: SMJ wins on short
+		// (truncated) lists, NRA's pruning wins on long ones.
+		if frac < 0.5 {
+			algo = AlgoSMJ
+		} else {
+			algo = AlgoNRA
+		}
+	}
+
+	switch algo {
+	case AlgoNRA:
+		var (
+			results []topk.Result
+			err     error
+		)
+		if m.deltaActive() {
+			results, _, err = m.delta.QueryNRA(q, topk.NRAOptions{K: opt.K, Fraction: frac})
+		} else {
+			results, _, err = m.ix.QueryNRA(q, topk.NRAOptions{K: opt.K, Fraction: frac})
+		}
+		if err != nil {
+			return nil, err
+		}
+		return m.resolve(results, q)
+	case AlgoSMJ:
+		smj := m.smjIndex(frac)
+		var (
+			results []topk.Result
+			err     error
+		)
+		if m.deltaActive() {
+			results, _, err = m.delta.QuerySMJ(smj, q, topk.SMJOptions{K: opt.K})
+		} else {
+			results, _, err = m.ix.QuerySMJ(smj, q, topk.SMJOptions{K: opt.K})
+		}
+		if err != nil {
+			return nil, err
+		}
+		return m.resolve(results, q)
+	case AlgoGM:
+		g, err := m.ix.GM()
+		if err != nil {
+			return nil, err
+		}
+		scored, _, err := g.TopK(q, opt.K)
+		if err != nil {
+			return nil, err
+		}
+		return m.resolveScored(scored)
+	case AlgoExact:
+		e, err := m.ix.Exact()
+		if err != nil {
+			return nil, err
+		}
+		scored, err := e.TopK(q, opt.K)
+		if err != nil {
+			return nil, err
+		}
+		return m.resolveScored(scored)
+	default:
+		return nil, fmt.Errorf("phrasemine: unknown algorithm %q", algo)
+	}
+}
+
+// MineAND is Mine with the AND operator and default options.
+func (m *Miner) MineAND(keywords ...string) ([]Result, error) {
+	return m.Mine(keywords, AND, QueryOptions{})
+}
+
+// MineOR is Mine with the OR operator and default options.
+func (m *Miner) MineOR(keywords ...string) ([]Result, error) {
+	return m.Mine(keywords, OR, QueryOptions{})
+}
+
+func (m *Miner) smjIndex(frac float64) *core.SMJIndex {
+	if s, ok := m.smjCache[frac]; ok {
+		return s
+	}
+	s := m.ix.BuildSMJ(frac)
+	m.smjCache[frac] = s
+	return s
+}
+
+func (m *Miner) resolve(results []topk.Result, q corpus.Query) ([]Result, error) {
+	mined, err := m.ix.Resolve(results, q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(mined))
+	for i, r := range mined {
+		out[i] = Result{Phrase: r.Phrase, Score: r.Score, Interestingness: r.Estimate}
+	}
+	return out, nil
+}
+
+// resolveScored converts baseline results (whose scores are already exact
+// interestingness values) to the public result type.
+func (m *Miner) resolveScored(scored []baseline.Scored) ([]Result, error) {
+	out := make([]Result, len(scored))
+	for i, s := range scored {
+		text, err := m.ix.PhraseText(s.Phrase)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = Result{Phrase: text, Score: s.Score, Interestingness: s.Score}
+	}
+	return out, nil
+}
+
+// deltaActive reports whether incremental updates are pending.
+func (m *Miner) deltaActive() bool {
+	return m.delta != nil && m.delta.Size() > 0
+}
+
+// Add registers a new document without rebuilding the index: queries
+// consult the delta for corrected probabilities (Section 4.5.1). Phrases
+// not previously in the index become visible only after Flush.
+func (m *Miner) Add(doc Document) {
+	if m.delta == nil {
+		m.delta = m.ix.NewDelta()
+	}
+	tok := textproc.Tokenizer{EmitSentenceBreaks: true}
+	m.delta.AddDocument(corpus.Document{
+		Tokens: tok.Tokenize(doc.Text),
+		Facets: doc.Facets,
+	})
+}
+
+// Remove registers the deletion of the i-th indexed document.
+func (m *Miner) Remove(docIndex int) error {
+	if m.delta == nil {
+		m.delta = m.ix.NewDelta()
+	}
+	return m.delta.RemoveDocument(corpus.DocID(docIndex))
+}
+
+// PendingUpdates reports the number of un-flushed document changes.
+func (m *Miner) PendingUpdates() int {
+	if m.delta == nil {
+		return 0
+	}
+	return m.delta.Size()
+}
+
+// Flush rebuilds all indexes over the updated corpus, incorporating
+// pending additions/removals (and any newly frequent phrases).
+func (m *Miner) Flush() error {
+	if m.delta == nil || m.delta.Size() == 0 {
+		return nil
+	}
+	ix, err := m.delta.Flush()
+	if err != nil {
+		return err
+	}
+	m.ix = ix
+	m.delta = nil
+	m.smjCache = make(map[float64]*core.SMJIndex)
+	return nil
+}
+
+// normalizeKeywords lowercases and tokenizes keywords the way the indexer
+// does, so callers can pass raw user input. Facet features (containing the
+// ':' separator, see Facet) are passed through untouched apart from
+// whitespace trimming and lowercasing.
+func normalizeKeywords(keywords []string) []string {
+	out := make([]string, 0, len(keywords))
+	tok := textproc.Tokenizer{}
+	for _, k := range keywords {
+		k = strings.TrimSpace(k)
+		if strings.Contains(k, ":") {
+			out = append(out, strings.ToLower(k))
+			continue
+		}
+		out = append(out, tok.Tokenize(k)...)
+	}
+	return out
+}
