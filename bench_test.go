@@ -9,6 +9,7 @@ package phrasemine
 import (
 	"flag"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"phrasemine/internal/core"
@@ -405,4 +406,89 @@ func BenchmarkSimitsisBaseline(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Tentpole: parallel index build and concurrent query engine -------------
+
+// benchmarkIndexBuild measures end-to-end index construction (extraction,
+// forward/inverted indexes, full-vocabulary word lists) at a worker count.
+// docs/s is the throughput figure the parallel-vs-sequential speedup is
+// read from.
+func benchmarkIndexBuild(b *testing.B, workers int) {
+	ds := benchDataset(b, experiments.Reuters)
+	opt := core.BuildOptions{
+		Extractor: textproc.ExtractorOptions{MinDocFreq: 3},
+		Workers:   workers,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(ds.Corpus, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(ds.Corpus.Len())*float64(b.N)/b.Elapsed().Seconds(), "docs/s")
+}
+
+// BenchmarkParallelIndexBuild reports sequential vs all-cores build
+// throughput; the built indexes are byte-identical (see
+// internal/core TestParallelBuildByteIdentical), so the ratio is pure
+// speedup.
+func BenchmarkParallelIndexBuild(b *testing.B) {
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchmarkIndexBuild(b, w)
+		})
+	}
+}
+
+// BenchmarkConcurrentMine drives Mine from GOMAXPROCS goroutines against
+// one shared Miner — the concurrent-callers hot path of the public API.
+func BenchmarkConcurrentMine(b *testing.B) {
+	ds := benchDataset(b, experiments.Reuters)
+	m, err := newMiner(ds.Corpus, Config{MinDocFreq: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := ds.Features
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			kw := queries[i%len(queries)]
+			i++
+			if _, err := m.Mine(kw, OR, QueryOptions{}); err != nil {
+				// b.Fatal must not run on a RunParallel worker
+				// goroutine (testing.FailNow contract).
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkMineBatch measures the pooled batch entry point at a server-ish
+// batch size.
+func BenchmarkMineBatch(b *testing.B) {
+	ds := benchDataset(b, experiments.Reuters)
+	m, err := newMiner(ds.Corpus, Config{MinDocFreq: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	items := make([]BatchItem, 0, len(ds.Features))
+	for _, kw := range ds.Features {
+		items = append(items, BatchItem{Keywords: kw, Op: OR})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range m.MineBatch(items) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(items))*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
 }

@@ -60,9 +60,13 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  phrasemine index -in corpus.txt -out prefix [-mindf N]
-  phrasemine query (-in corpus.txt | -index prefix) -keywords "w1 w2" [-op AND|OR] [-k N] [-algo nra|smj|gm|exact] [-frac F]
-  phrasemine stats -in corpus.txt [-mindf N]`)
+  phrasemine index -in corpus.txt -out prefix [-mindf N] [-workers N]
+  phrasemine query (-in corpus.txt | -index prefix) -keywords "w1 w2" [-op AND|OR] [-k N] [-algo nra|smj|gm|exact] [-frac F] [-workers N]
+  phrasemine stats -in corpus.txt [-mindf N] [-workers N]
+
+-workers bounds build parallelism (0 = all cores, 1 = sequential); the
+built index is identical at every worker count. Querying a prebuilt
+-index reads from disk and does not build, so -workers is a no-op there.`)
 }
 
 // readCorpus parses a one-document-per-line corpus file with optional
@@ -119,7 +123,7 @@ func parseFacets(header string) (map[string]string, bool) {
 	return out, true
 }
 
-func buildIndex(path string, minDF int) (*core.Index, error) {
+func buildIndex(path string, minDF, workers int) (*core.Index, error) {
 	c, err := readCorpus(path)
 	if err != nil {
 		return nil, err
@@ -131,6 +135,7 @@ func buildIndex(path string, minDF int) (*core.Index, error) {
 			MinDocFreq:             minDF,
 			DropAllStopwordPhrases: true,
 		},
+		Workers: workers,
 	})
 }
 
@@ -139,13 +144,14 @@ func cmdIndex(args []string) error {
 	in := fs.String("in", "", "corpus file (one document per line)")
 	out := fs.String("out", "index", "output prefix (<prefix>.dict, <prefix>.lists)")
 	minDF := fs.Int("mindf", 5, "minimum phrase document frequency")
+	workers := fs.Int("workers", 0, "build parallelism (0 = all cores, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return fmt.Errorf("-in is required")
 	}
-	ix, err := buildIndex(*in, *minDF)
+	ix, err := buildIndex(*in, *minDF, *workers)
 	if err != nil {
 		return err
 	}
@@ -182,6 +188,7 @@ func cmdQuery(args []string) error {
 	algo := fs.String("algo", "nra", "algorithm: nra, smj, gm, exact (in-memory mode only)")
 	frac := fs.Float64("frac", 1.0, "partial-list fraction in (0,1]")
 	minDF := fs.Int("mindf", 5, "minimum phrase document frequency (in-memory mode)")
+	workers := fs.Int("workers", 0, "build parallelism (0 = all cores, 1 = sequential; in-memory mode only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -198,7 +205,7 @@ func cmdQuery(args []string) error {
 	case *indexPrefix != "":
 		return queryOnDisk(*indexPrefix, q, *k, *frac)
 	case *in != "":
-		return queryInMemory(*in, q, *k, *algo, *frac, *minDF)
+		return queryInMemory(*in, q, *k, *algo, *frac, *minDF, *workers)
 	default:
 		return fmt.Errorf("one of -in or -index is required")
 	}
@@ -250,8 +257,8 @@ func queryOnDisk(prefix string, q corpus.Query, k int, frac float64) error {
 	return nil
 }
 
-func queryInMemory(path string, q corpus.Query, k int, algo string, frac float64, minDF int) error {
-	ix, err := buildIndex(path, minDF)
+func queryInMemory(path string, q corpus.Query, k int, algo string, frac float64, minDF, workers int) error {
+	ix, err := buildIndex(path, minDF, workers)
 	if err != nil {
 		return err
 	}
@@ -335,13 +342,14 @@ func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	in := fs.String("in", "", "corpus file")
 	minDF := fs.Int("mindf", 5, "minimum phrase document frequency")
+	workers := fs.Int("workers", 0, "build parallelism (0 = all cores, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return fmt.Errorf("-in is required")
 	}
-	ix, err := buildIndex(*in, *minDF)
+	ix, err := buildIndex(*in, *minDF, *workers)
 	if err != nil {
 		return err
 	}

@@ -80,7 +80,7 @@ func TestBuildIndexEndToEnd(t *testing.T) {
 		lines += "query optimization in database systems\n"
 	}
 	path := writeTempCorpus(t, lines)
-	ix, err := buildIndex(path, 3)
+	ix, err := buildIndex(path, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module phrasemine
+
+go 1.22

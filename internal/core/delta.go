@@ -262,17 +262,23 @@ func (c *mergeByIDCursor) Next() (plist.Entry, bool) {
 }
 func (c *mergeByIDCursor) Err() error { return c.inner.Err() }
 
-// QueryNRA answers a query with NRA over delta-adjusted lists.
+// QueryNRA answers a query with NRA over delta-adjusted lists. Per-keyword
+// cursor preparation (the extras scan over pending updates) fans out
+// through the index's bounded query pool; the delta is only read, so
+// concurrent preparation is safe.
 func (d *Delta) QueryNRA(q corpus.Query, opt topk.NRAOptions) ([]topk.Result, topk.NRAStats, error) {
 	if err := q.Validate(); err != nil {
 		return nil, topk.NRAStats{}, err
 	}
 	opt.Op = q.Op
 	cursors := make([]plist.Cursor, len(q.Features))
-	for i, f := range q.Features {
+	errs := make([]error, len(q.Features))
+	d.ix.fanOut(len(q.Features), func(i int) {
+		f := q.Features[i]
 		l, err := d.ix.featureList(f)
 		if err != nil {
-			return nil, topk.NRAStats{}, err
+			errs[i] = err
+			return
 		}
 		extras := d.extras(f)
 		sort.Slice(extras, func(a, b int) bool {
@@ -285,6 +291,11 @@ func (d *Delta) QueryNRA(q corpus.Query, opt topk.NRAOptions) ([]topk.Result, to
 			inner: &adjustedCursor{inner: plist.NewMemCursor(l), delta: d, feature: f},
 			tail:  extras,
 		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, topk.NRAStats{}, err
+		}
 	}
 	return topk.NRA(cursors, opt)
 }
@@ -296,16 +307,24 @@ func (d *Delta) QuerySMJ(s *SMJIndex, q corpus.Query, opt topk.SMJOptions) ([]to
 	}
 	opt.Op = q.Op
 	cursors := make([]plist.Cursor, len(q.Features))
-	for i, f := range q.Features {
+	errs := make([]error, len(q.Features))
+	d.ix.fanOut(len(q.Features), func(i int) {
+		f := q.Features[i]
 		l, ok := s.Lists[f]
 		if !ok && d.ix.restricted && d.ix.Inverted.Has(f) {
-			return nil, topk.SMJStats{}, fmt.Errorf("core: SMJ index has no list for %q", f)
+			errs[i] = fmt.Errorf("core: SMJ index has no list for %q", f)
+			return
 		}
 		extras := d.extras(f)
 		sort.Slice(extras, func(a, b int) bool { return extras[a].Phrase < extras[b].Phrase })
 		cursors[i] = &mergeByIDCursor{
 			inner:  &adjustedCursor{inner: plist.NewMemCursor(l), delta: d, feature: f},
 			extras: extras,
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, topk.SMJStats{}, err
 		}
 	}
 	return topk.SMJ(cursors, opt)

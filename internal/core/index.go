@@ -10,12 +10,15 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"phrasemine/internal/baseline"
 	"phrasemine/internal/corpus"
+	"phrasemine/internal/parallel"
 	"phrasemine/internal/phrasedict"
 	"phrasemine/internal/plist"
 	"phrasemine/internal/textproc"
+	"phrasemine/internal/topk"
 )
 
 // BuildOptions configures index construction.
@@ -31,6 +34,24 @@ type BuildOptions struct {
 	// PhraseWidth is the fixed phrase-list record width (the paper's
 	// s = 50). Zero selects phrasedict.DefaultWidth.
 	PhraseWidth int
+	// Workers bounds index-construction concurrency: tokenization-derived
+	// phrase extraction, inverted-index construction, forward-index
+	// assembly and word-list building all fan out across this many
+	// workers over contiguous document (or phrase/feature) shards and
+	// merge deterministically, so the built index is identical at every
+	// worker count. 1 forces the fully sequential path; 0 selects
+	// GOMAXPROCS. The same bound caps query-time fan-out on the built
+	// index (see Index.Pool).
+	Workers int
+	// Shards is the number of document shards the parallel extraction
+	// scans over (0 defaults to 4*Workers). More shards smooth skew at
+	// slightly higher merge cost.
+	//
+	// Precedence: Workers and Shards configure the extraction stage only
+	// when Extractor.Workers is zero; an explicitly set Extractor.Workers
+	// (with its own Shards) wins for that stage, and the remaining build
+	// stages always follow Workers.
+	Shards int
 }
 
 // Index is the built system state over a static corpus D.
@@ -51,17 +72,34 @@ type Index struct {
 
 	opts       BuildOptions
 	restricted bool
+	workers    int
+	pool       *topk.Pool
 
-	gm    *baseline.GM
-	exact *baseline.Exact
+	// baseMu guards the lazily built baseline caches so concurrent
+	// queries can share one Index.
+	baseMu sync.Mutex
+	gm     *baseline.GM
+	exact  *baseline.Exact
 }
 
-// Build constructs every index structure from the corpus.
+// Build constructs every index structure from the corpus. With
+// opt.Workers != 1 every stage — phrase extraction, phrase-doc and forward
+// index assembly, inverted-index construction and word-list building —
+// fans out across document (or phrase/feature) shards and merges
+// deterministically, so the built index is byte-identical to the
+// Workers=1 build.
 func Build(c *corpus.Corpus, opt BuildOptions) (*Index, error) {
 	if c == nil || c.Len() == 0 {
 		return nil, fmt.Errorf("core: empty corpus")
 	}
-	stats, err := textproc.Extract(c.TokenSlices(), opt.Extractor)
+	workers := parallel.Workers(opt.Workers)
+
+	extractor := opt.Extractor
+	if extractor.Workers == 0 {
+		extractor.Workers = workers
+		extractor.Shards = opt.Shards
+	}
+	stats, err := textproc.Extract(c.TokenSlices(), extractor)
 	if err != nil {
 		return nil, fmt.Errorf("core: phrase extraction: %w", err)
 	}
@@ -86,33 +124,93 @@ func Build(c *corpus.Corpus, opt BuildOptions) (*Index, error) {
 		Forward:    make([][]phrasedict.PhraseID, c.Len()),
 		opts:       opt,
 		restricted: opt.ListFeatures != nil,
+		workers:    workers,
+		pool:       topk.NewPool(workers),
 	}
-	for p, s := range stats {
-		docs := make([]corpus.DocID, len(s.Docs))
-		for i, d := range s.Docs {
-			docs[i] = corpus.DocID(d)
+	// Phrase-doc lists convert independently per phrase.
+	parallel.ForEachShard(len(stats), 4*workers, workers, func(_ int, r parallel.Range) {
+		for p := r.Lo; p < r.Hi; p++ {
+			docs := make([]corpus.DocID, len(stats[p].Docs))
+			for i, d := range stats[p].Docs {
+				docs[i] = corpus.DocID(d)
+			}
+			ix.PhraseDocs[p] = docs
+			ix.PhraseDF[p] = uint32(len(docs))
 		}
-		ix.PhraseDocs[p] = docs
-		ix.PhraseDF[p] = uint32(len(docs))
-		// Phrase IDs ascend with p, and each phrase's doc list is
-		// sorted, so per-document forward lists come out sorted.
-		for _, d := range docs {
-			ix.Forward[d] = append(ix.Forward[d], phrasedict.PhraseID(p))
-		}
-	}
-	ix.Inverted = corpus.BuildInverted(c)
+	})
+	ix.buildForward(workers)
+	ix.Inverted = corpus.BuildInvertedParallel(c, workers)
 
 	src := &plist.Source{
 		Inverted:      ix.Inverted,
 		Forward:       ix.Forward,
 		PhraseDocFreq: ix.PhraseDF,
 	}
-	ix.Lists, err = plist.BuildLists(src, opt.ListFeatures)
+	ix.Lists, err = plist.BuildListsParallel(src, opt.ListFeatures, workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: word-specific lists: %w", err)
 	}
 	return ix, nil
 }
+
+// buildForward inverts PhraseDocs into per-document forward lists. Phrase
+// IDs ascend with p and each phrase's doc list is sorted, so sequential
+// appending yields sorted per-document lists. The parallel path shards the
+// phrase range: a counting pass sizes each document's list and computes
+// per-shard write offsets, then shard workers write their (ascending)
+// phrase IDs into disjoint reserved segments — the same sorted lists,
+// without locks.
+func (ix *Index) buildForward(workers int) {
+	numDocs := len(ix.Forward)
+	if workers <= 1 {
+		for p, docs := range ix.PhraseDocs {
+			for _, d := range docs {
+				ix.Forward[d] = append(ix.Forward[d], phrasedict.PhraseID(p))
+			}
+		}
+		return
+	}
+	ranges := parallel.Shards(len(ix.PhraseDocs), workers)
+	counts := make([][]int32, len(ranges))
+	parallel.ForEachOf(ranges, workers, func(s int, r parallel.Range) {
+		cnt := make([]int32, numDocs)
+		for p := r.Lo; p < r.Hi; p++ {
+			for _, d := range ix.PhraseDocs[p] {
+				cnt[d]++
+			}
+		}
+		counts[s] = cnt
+	})
+	// Exclusive prefix sums per document turn shard counts into shard
+	// write offsets; the running total sizes the final list.
+	for d := 0; d < numDocs; d++ {
+		total := int32(0)
+		for s := range counts {
+			counts[s][d], total = total, total+counts[s][d]
+		}
+		if total > 0 {
+			ix.Forward[d] = make([]phrasedict.PhraseID, total)
+		}
+	}
+	parallel.ForEachOf(ranges, workers, func(s int, r parallel.Range) {
+		off := counts[s]
+		for p := r.Lo; p < r.Hi; p++ {
+			id := phrasedict.PhraseID(p)
+			for _, d := range ix.PhraseDocs[p] {
+				ix.Forward[d][off[d]] = id
+				off[d]++
+			}
+		}
+	})
+}
+
+// Workers reports the resolved construction/query concurrency bound.
+func (ix *Index) Workers() int { return ix.workers }
+
+// Pool returns the index's bounded query-time worker pool (shared by every
+// query on this index, so total fan-out stays bounded under concurrent
+// callers).
+func (ix *Index) Pool() *topk.Pool { return ix.pool }
 
 // NumPhrases reports |P|.
 func (ix *Index) NumPhrases() int { return ix.Dict.Len() }
@@ -167,9 +265,13 @@ func (ix *Index) WritePhraseDict(w io.Writer) (int64, error) {
 }
 
 // GM returns the (lazily built, cached) Gao & Michel forward-index
-// baseline over this corpus. The returned instance reuses scratch space
-// and is not safe for concurrent use; Clone it per goroutine.
+// baseline over this corpus. Lazy construction is mutex-guarded, so
+// concurrent callers race only to build once — but the returned instance
+// reuses scratch space and is not safe for concurrent use; Clone it per
+// goroutine.
 func (ix *Index) GM() (*baseline.GM, error) {
+	ix.baseMu.Lock()
+	defer ix.baseMu.Unlock()
 	if ix.gm == nil {
 		g, err := baseline.NewGM(ix.Inverted, ix.Forward, ix.PhraseDF)
 		if err != nil {
@@ -180,8 +282,12 @@ func (ix *Index) GM() (*baseline.GM, error) {
 	return ix.gm, nil
 }
 
-// Exact returns the (lazily built, cached) exact ground-truth scorer.
+// Exact returns the (lazily built, cached) exact ground-truth scorer. Lazy
+// construction is mutex-guarded; the returned scorer allocates per query
+// and is safe for concurrent use.
 func (ix *Index) Exact() (*baseline.Exact, error) {
+	ix.baseMu.Lock()
+	defer ix.baseMu.Unlock()
 	if ix.exact == nil {
 		e, err := baseline.NewExact(ix.Inverted, ix.PhraseDocs)
 		if err != nil {

@@ -123,12 +123,27 @@ type SMJIndex struct {
 }
 
 // BuildSMJ materializes an SMJ index at the given fraction from the full
-// score-ordered lists.
+// score-ordered lists, fanning the per-feature copy+sort across the
+// index's worker bound.
 func (ix *Index) BuildSMJ(fraction float64) *SMJIndex {
 	return &SMJIndex{
 		Fraction: fraction,
-		Lists:    plist.ToIDOrderedAll(plist.TruncateAll(ix.Lists, fraction)),
+		Lists:    plist.ToIDOrderedAllParallel(plist.TruncateAll(ix.Lists, fraction), ix.workers),
 	}
+}
+
+// fanOut runs fn(i) for i in [0, n) through the index's bounded query
+// pool, or inline when the index was built single-threaded (or n is
+// trivial). Used for per-keyword list preparation on multi-keyword
+// queries.
+func (ix *Index) fanOut(n int, fn func(i int)) {
+	if ix.pool == nil || ix.workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	ix.pool.RunN(n, fn)
 }
 
 // SizeBytes reports the serialized size of the SMJ index's lists.

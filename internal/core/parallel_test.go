@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/synth"
+	"phrasemine/internal/textproc"
+	"phrasemine/internal/topk"
+)
+
+func topkNRAOpts() topk.NRAOptions { return topk.NRAOptions{K: 5} }
+func topkSMJOpts() topk.SMJOptions { return topk.SMJOptions{K: 5} }
+
+func parallelTestCorpus(t *testing.T) *corpus.Corpus {
+	t.Helper()
+	cfg := synth.ReutersLike().Scale(0.015)
+	c, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func buildAt(t *testing.T, c *corpus.Corpus, workers, shards int) *Index {
+	t.Helper()
+	ix, err := Build(c, BuildOptions{
+		Extractor: textproc.ExtractorOptions{MinDocFreq: 3},
+		Workers:   workers,
+		Shards:    shards,
+	})
+	if err != nil {
+		t.Fatalf("Build(workers=%d): %v", workers, err)
+	}
+	return ix
+}
+
+// serialize renders the index's persistent artifacts (phrase dictionary +
+// full list index) to bytes; the byte-identity of these artifacts is the
+// strongest equivalence statement the system can make.
+func serialize(t *testing.T, ix *Index) (dict, lists []byte) {
+	t.Helper()
+	var db, lb bytes.Buffer
+	if _, err := ix.WritePhraseDict(&db); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.WriteListIndex(&lb, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	return db.Bytes(), lb.Bytes()
+}
+
+// TestParallelBuildByteIdentical asserts the tentpole determinism contract:
+// index construction at any worker/shard count produces byte-identical
+// serialized artifacts and structurally identical in-memory indexes to the
+// sequential (Workers=1) build.
+func TestParallelBuildByteIdentical(t *testing.T) {
+	c := parallelTestCorpus(t)
+	seq := buildAt(t, c, 1, 0)
+	seqDict, seqLists := serialize(t, seq)
+
+	for _, tc := range []struct{ workers, shards int }{
+		{2, 0}, {4, 0}, {4, 3}, {8, 31},
+	} {
+		par := buildAt(t, c, tc.workers, tc.shards)
+		parDict, parLists := serialize(t, par)
+		if !bytes.Equal(seqDict, parDict) {
+			t.Errorf("workers=%d shards=%d: phrase dictionary bytes diverge", tc.workers, tc.shards)
+		}
+		if !bytes.Equal(seqLists, parLists) {
+			t.Errorf("workers=%d shards=%d: list index bytes diverge", tc.workers, tc.shards)
+		}
+		if !reflect.DeepEqual(seq.PhraseDF, par.PhraseDF) {
+			t.Errorf("workers=%d: PhraseDF diverges", tc.workers)
+		}
+		if !reflect.DeepEqual(seq.PhraseDocs, par.PhraseDocs) {
+			t.Errorf("workers=%d: PhraseDocs diverges", tc.workers)
+		}
+		if !reflect.DeepEqual(seq.Forward, par.Forward) {
+			t.Errorf("workers=%d: Forward index diverges", tc.workers)
+		}
+		for _, f := range seq.Inverted.Features() {
+			if !reflect.DeepEqual(seq.Inverted.Docs(f), par.Inverted.Docs(f)) {
+				t.Fatalf("workers=%d: inverted postings diverge for %q", tc.workers, f)
+			}
+		}
+		if seq.Inverted.VocabSize() != par.Inverted.VocabSize() {
+			t.Errorf("workers=%d: vocab size %d vs %d", tc.workers, par.Inverted.VocabSize(), seq.Inverted.VocabSize())
+		}
+	}
+}
+
+// TestParallelBuildIdenticalQueryResults runs the same query workload over
+// sequential- and parallel-built indexes and requires identical results
+// from every algorithm, at full and truncated lists.
+func TestParallelBuildIdenticalQueryResults(t *testing.T) {
+	c := parallelTestCorpus(t)
+	seq := buildAt(t, c, 1, 0)
+	par := buildAt(t, c, 4, 9)
+
+	feats := seq.Inverted.TopFeaturesByDocFreq(40)
+	queries := make([]corpus.Query, 0, 40)
+	for i := 0; i+1 < len(feats) && len(queries) < 30; i += 2 {
+		queries = append(queries,
+			corpus.NewQuery(corpus.OpOR, feats[i], feats[i+1]),
+			corpus.NewQuery(corpus.OpAND, feats[i], feats[i+1]),
+		)
+	}
+	if len(queries) == 0 {
+		t.Fatal("no queries harvested")
+	}
+
+	smjSeq, smjPar := seq.BuildSMJ(0.5), par.BuildSMJ(0.5)
+	if !reflect.DeepEqual(smjSeq.Lists, smjPar.Lists) {
+		t.Error("SMJ index (fraction 0.5) diverges between sequential and parallel builds")
+	}
+	for _, q := range queries {
+		rs, _, err := seq.QueryNRA(q, topkNRAOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, _, err := par.QueryNRA(q, topkNRAOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rs, rp) {
+			t.Fatalf("NRA results diverge for %v: %v vs %v", q, rs, rp)
+		}
+		ss, _, err := seq.QuerySMJ(smjSeq, q, topkSMJOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, _, err := par.QuerySMJ(smjPar, q, topkSMJOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ss, sp) {
+			t.Fatalf("SMJ results diverge for %v: %v vs %v", q, ss, sp)
+		}
+	}
+}

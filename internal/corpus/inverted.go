@@ -1,6 +1,10 @@
 package corpus
 
-import "sort"
+import (
+	"sort"
+
+	"phrasemine/internal/parallel"
+)
 
 // Inverted is the feature inverted index: for every feature w (word or
 // metadata facet) it stores docs(D, w), the sorted list of documents
@@ -31,6 +35,50 @@ func BuildInverted(c *Corpus) *Inverted {
 			trimmed := make([]DocID, len(list))
 			copy(trimmed, list)
 			ix.postings[f] = trimmed
+		}
+	}
+	return ix
+}
+
+// BuildInvertedParallel indexes the corpus across workers concurrent
+// scanners over contiguous document shards. The result is identical to
+// BuildInverted (which it delegates to for workers <= 1): shards partition
+// the DocID range, so concatenating per-shard posting lists in shard order
+// reproduces the sorted, duplicate-free sequential lists.
+func BuildInvertedParallel(c *Corpus, workers int) *Inverted {
+	if workers <= 1 {
+		return BuildInverted(c)
+	}
+	ranges := parallel.Shards(c.Len(), 4*workers)
+	partials := make([]map[string][]DocID, len(ranges))
+	parallel.ForEachOf(ranges, workers, func(s int, r parallel.Range) {
+		local := make(map[string][]DocID)
+		for i := r.Lo; i < r.Hi; i++ {
+			id := DocID(i)
+			for _, f := range distinctFeatures(c.docs[i]) {
+				local[f] = append(local[f], id)
+			}
+		}
+		partials[s] = local
+	})
+
+	// Merge: size every final list exactly, then copy shard runs in order.
+	sizes := make(map[string]int)
+	for _, part := range partials {
+		for f, list := range part {
+			sizes[f] += len(list)
+		}
+	}
+	ix := &Inverted{
+		postings: make(map[string][]DocID, len(sizes)),
+		numDocs:  c.Len(),
+	}
+	for f, n := range sizes {
+		ix.postings[f] = make([]DocID, 0, n)
+	}
+	for _, part := range partials {
+		for f, list := range part {
+			ix.postings[f] = append(ix.postings[f], list...)
 		}
 	}
 	return ix

@@ -1,0 +1,364 @@
+// Package difftest implements the differential-testing harness that locks
+// the approximate miner to its exact baselines. It generates random
+// synthetic corpora and query workloads (internal/synth), mines them with
+// the list-based NRA and SMJ algorithms, and checks every answer against
+// the exhaustive Exact scorer under the paper's approximation contract:
+//
+//   - Single-keyword queries: the conditional-independence assumption is
+//     vacuous (the score IS P(q|p) = ID(p, D') up to the constant |D|/|D'|
+//     factor), so the approximate top-k must equal the exact top-k —
+//     identical score vectors, and every returned phrase's score must equal
+//     its exact interestingness.
+//
+//   - Multi-keyword queries: the assumption is an approximation, so the
+//     contract is bounded quality — precision@k against the paper's
+//     Section 5.3 relevance rule (exact top-k union perfectly-interesting
+//     phrases), aggregated per corpus/operator/fraction and thresholded by
+//     the caller.
+//
+//   - Cross-algorithm: NRA and SMJ consume the same lists, so their result
+//     sets must be identical at every fraction (Section 5.3 notes the two
+//     "return the same result sets").
+//
+// Hard violations land in Report.Failures; quality aggregates land in
+// Report and are asserted by the calling test.
+package difftest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"phrasemine/internal/baseline"
+	"phrasemine/internal/core"
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/eval"
+	"phrasemine/internal/parallel"
+	"phrasemine/internal/phrasedict"
+	"phrasemine/internal/synth"
+	"phrasemine/internal/textproc"
+	"phrasemine/internal/topk"
+)
+
+// Options configures one harness run.
+type Options struct {
+	// Corpora are the synthetic corpus configurations to mine (each is
+	// deterministic given its Seed).
+	Corpora []synth.Config
+	// MultiQuotas shapes the multi-keyword workload harvested from each
+	// corpus's own frequent phrases, as the paper harvests its query sets.
+	MultiQuotas []synth.LengthQuota
+	// SingleCount is the number of single-keyword queries per corpus.
+	SingleCount int
+	// HarvestMinDocFreq is the harvest threshold (phrases below it are
+	// not used as queries).
+	HarvestMinDocFreq int
+	// K is the result depth (the paper's k = 5).
+	K int
+	// Fractions are the partial-list fractions to exercise; 1.0 must be
+	// present for the single-keyword exactness contract.
+	Fractions []float64
+	// Workers is the index-build concurrency (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultOptions exercises two corpus shapes (Reuters-like and
+// Pubmed-like, scaled to test size) with enough queries for well over 100
+// differential cases per run.
+func DefaultOptions() Options {
+	return Options{
+		Corpora: []synth.Config{
+			synth.ReutersLike().Scale(0.02),
+			synth.PubmedLike().Scale(0.008),
+		},
+		MultiQuotas: []synth.LengthQuota{
+			{Words: 2, Count: 12},
+			{Words: 3, Count: 8},
+		},
+		SingleCount:       10,
+		HarvestMinDocFreq: 3,
+		K:                 5,
+		Fractions:         []float64{1.0, 0.5},
+		Workers:           0,
+	}
+}
+
+// Key identifies one aggregation bucket of the quality contract.
+type Key struct {
+	Corpus   string
+	Op       corpus.Operator
+	Fraction float64
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s@%d%%", k.Corpus, k.Op, int(k.Fraction*100+0.5))
+}
+
+// Report is the harness outcome.
+type Report struct {
+	// Cases is the total number of differential query evaluations (each
+	// query × operator × fraction checked against the exact baseline).
+	Cases int
+	// SingleCases and MultiCases split Cases by query arity.
+	SingleCases int
+	MultiCases  int
+	// Failures lists hard contract violations (empty on a passing run).
+	Failures []string
+	// MeanPrecision is the mean precision@K of the multi-keyword cases
+	// per bucket, under the paper's Section 5.3 relevance rule.
+	MeanPrecision map[Key]float64
+	precisionSum  map[Key]float64
+	precisionN    map[Key]int
+}
+
+func (r *Report) failf(format string, args ...any) {
+	r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
+}
+
+func (r *Report) recordPrecision(k Key, p float64) {
+	r.precisionSum[k] += p
+	r.precisionN[k]++
+	r.MeanPrecision[k] = r.precisionSum[k] / float64(r.precisionN[k])
+}
+
+// Run executes the harness.
+func Run(opt Options) (*Report, error) {
+	if opt.K <= 0 {
+		opt.K = 5
+	}
+	rep := &Report{
+		MeanPrecision: map[Key]float64{},
+		precisionSum:  map[Key]float64{},
+		precisionN:    map[Key]int{},
+	}
+	for _, cfg := range opt.Corpora {
+		if err := runCorpus(rep, cfg, opt); err != nil {
+			return nil, fmt.Errorf("difftest: corpus %s: %w", cfg.Name, err)
+		}
+	}
+	return rep, nil
+}
+
+// runCorpus generates one corpus, harvests its workloads, builds the index
+// and runs every differential case.
+func runCorpus(rep *Report, cfg synth.Config, opt Options) error {
+	c, err := cfg.Generate()
+	if err != nil {
+		return err
+	}
+	workers := parallel.Workers(opt.Workers)
+	extractor := textproc.ExtractorOptions{MinDocFreq: 3}
+	stats, err := textproc.Extract(c.TokenSlices(), extractor)
+	if err != nil {
+		return err
+	}
+	wordIx := corpus.BuildInvertedParallel(c, workers)
+
+	multi, err := synth.HarvestQueries(stats, synth.QuerySpec{
+		Quotas:     opt.MultiQuotas,
+		MinDocFreq: opt.HarvestMinDocFreq,
+		Seed:       cfg.Seed + 1,
+	}, wordIx.DocFreq, c.Len())
+	if err != nil {
+		return err
+	}
+	single, err := synth.HarvestQueries(stats, synth.QuerySpec{
+		Quotas:     []synth.LengthQuota{{Words: 1, Count: opt.SingleCount}},
+		MinDocFreq: opt.HarvestMinDocFreq,
+		Seed:       cfg.Seed + 2,
+	}, wordIx.DocFreq, c.Len())
+	if err != nil {
+		return err
+	}
+	// Harvest fallbacks may pad the single-keyword quota with longer
+	// phrases; keep strictly single-keyword queries.
+	oneWord := single[:0]
+	for _, q := range single {
+		if len(q) == 1 {
+			oneWord = append(oneWord, q)
+		}
+	}
+	single = oneWord
+
+	features := map[string]struct{}{}
+	var listFeatures []string
+	for _, qs := range [][][]string{multi, single} {
+		for _, q := range qs {
+			for _, f := range q {
+				if _, dup := features[f]; !dup {
+					features[f] = struct{}{}
+					listFeatures = append(listFeatures, f)
+				}
+			}
+		}
+	}
+	ix, err := core.Build(c, core.BuildOptions{
+		Extractor:    extractor,
+		ListFeatures: listFeatures,
+		Workers:      opt.Workers,
+	})
+	if err != nil {
+		return err
+	}
+	ex, err := ix.Exact()
+	if err != nil {
+		return err
+	}
+
+	smj := map[float64]*core.SMJIndex{}
+	for _, frac := range opt.Fractions {
+		smj[frac] = ix.BuildSMJ(frac)
+	}
+
+	for _, op := range []corpus.Operator{corpus.OpAND, corpus.OpOR} {
+		for _, kws := range single {
+			q := corpus.NewQuery(op, kws...)
+			checkSingle(rep, cfg.Name, ix, ex, q, opt.K)
+			rep.Cases++
+			rep.SingleCases++
+		}
+		for _, frac := range opt.Fractions {
+			for _, kws := range multi {
+				q := corpus.NewQuery(op, kws...)
+				checkMulti(rep, Key{cfg.Name, op, frac}, ix, ex, smj[frac], q, opt.K)
+				rep.Cases++
+				rep.MultiCases++
+			}
+		}
+	}
+	return nil
+}
+
+// checkSingle enforces the exactness contract for a single-keyword query:
+// the approximate result must equal the exact top-k (identical score
+// vectors; set equality up to ties at the k-th score), and every returned
+// score must equal the phrase's exact interestingness.
+func checkSingle(rep *Report, name string, ix *core.Index, ex *baseline.Exact, q corpus.Query, k int) {
+	const eps = 1e-9
+	nra, _, err := ix.QueryNRA(q, topk.NRAOptions{K: k})
+	if err != nil {
+		rep.failf("%s single %v: NRA: %v", name, q, err)
+		return
+	}
+	exact, err := ex.TopK(q, k)
+	if err != nil {
+		rep.failf("%s single %v: exact: %v", name, q, err)
+		return
+	}
+	dPrime, err := ex.Select(q)
+	if err != nil {
+		rep.failf("%s single %v: select: %v", name, q, err)
+		return
+	}
+	set := corpus.BitmapFromList(dPrime, ix.Corpus.Len())
+
+	if len(nra) != len(exact) {
+		rep.failf("%s single %v: approximate returned %d results, exact %d", name, q, len(nra), len(exact))
+		return
+	}
+	for i, r := range nra {
+		got := scoreToProb(q.Op, r.Score)
+		want := ex.Interestingness(r.Phrase, set)
+		if math.Abs(got-want) > eps {
+			rep.failf("%s single %v: result %d phrase %d score %v != exact interestingness %v",
+				name, q, i, r.Phrase, got, want)
+		}
+		if math.Abs(got-exact[i].Score) > eps {
+			rep.failf("%s single %v: rank %d score %v != exact rank score %v (tie-safe vector compare)",
+				name, q, i, got, exact[i].Score)
+		}
+	}
+}
+
+// checkMulti enforces the bounded-quality and cross-algorithm contracts for
+// a multi-keyword query at one fraction.
+func checkMulti(rep *Report, key Key, ix *core.Index, ex *baseline.Exact, smj *core.SMJIndex, q corpus.Query, k int) {
+	nra, _, err := ix.QueryNRA(q, topk.NRAOptions{K: k, Fraction: key.Fraction})
+	if err != nil {
+		rep.failf("%s multi %v: NRA: %v", key, q, err)
+		return
+	}
+	sm, _, err := ix.QuerySMJ(smj, q, topk.SMJOptions{K: k})
+	if err != nil {
+		rep.failf("%s multi %v: SMJ: %v", key, q, err)
+		return
+	}
+	if a, b := idSet(nra), idSet(sm); !equalIDs(a, b) {
+		rep.failf("%s multi %v: NRA result set %v != SMJ result set %v", key, q, a, b)
+	}
+
+	relevant, err := relevantSet(ex, q, resultIDs(nra), k, ix.Corpus.Len())
+	if err != nil {
+		rep.failf("%s multi %v: relevance: %v", key, q, err)
+		return
+	}
+	if len(relevant) == 0 {
+		// Empty D' cannot happen for harvested queries; treat as failure
+		// so silent no-ops cannot masquerade as passing cases.
+		rep.failf("%s multi %v: empty relevant set", key, q)
+		return
+	}
+	rep.recordPrecision(key, eval.Judge(resultIDs(nra), relevant, k).Precision)
+}
+
+// relevantSet applies the paper's Section 5.3 correctness rule: the exact
+// top-k union the returned phrases whose exact interestingness is 1.0.
+func relevantSet(ex *baseline.Exact, q corpus.Query, returned []phrasedict.PhraseID, k, numDocs int) (map[phrasedict.PhraseID]bool, error) {
+	exact, err := ex.TopK(q, k)
+	if err != nil {
+		return nil, err
+	}
+	relevant := make(map[phrasedict.PhraseID]bool, k+len(returned))
+	for _, s := range exact {
+		relevant[s.Phrase] = true
+	}
+	dPrime, err := ex.Select(q)
+	if err != nil {
+		return nil, err
+	}
+	if len(dPrime) == 0 {
+		return nil, nil
+	}
+	set := corpus.BitmapFromList(dPrime, numDocs)
+	for _, p := range returned {
+		if ex.Interestingness(p, set) >= 1.0 {
+			relevant[p] = true
+		}
+	}
+	return relevant, nil
+}
+
+// scoreToProb maps an operator-domain aggregate back to probability space
+// (AND scores are sums of logs).
+func scoreToProb(op corpus.Operator, score float64) float64 {
+	if op == corpus.OpAND {
+		return math.Exp(score)
+	}
+	return score
+}
+
+func resultIDs(rs []topk.Result) []phrasedict.PhraseID {
+	out := make([]phrasedict.PhraseID, len(rs))
+	for i, r := range rs {
+		out[i] = r.Phrase
+	}
+	return out
+}
+
+func idSet(rs []topk.Result) []phrasedict.PhraseID {
+	out := resultIDs(rs)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalIDs(a, b []phrasedict.PhraseID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,73 @@
+package difftest
+
+import (
+	"testing"
+
+	"phrasemine/internal/corpus"
+)
+
+// TestDifferentialContract is the harness's standing gate: >= 100 random
+// query/corpus cases per run against the exact baselines, zero hard
+// contract violations, and bounded multi-keyword quality.
+func TestDifferentialContract(t *testing.T) {
+	rep, err := Run(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Failures {
+		t.Error(f)
+	}
+	if rep.Cases < 100 {
+		t.Errorf("harness ran %d cases, want >= 100 (single %d, multi %d)",
+			rep.Cases, rep.SingleCases, rep.MultiCases)
+	}
+	if rep.SingleCases == 0 || rep.MultiCases == 0 {
+		t.Errorf("degenerate workload: single %d, multi %d", rep.SingleCases, rep.MultiCases)
+	}
+
+	// Bounded-quality contract for the approximate multi-keyword path.
+	// Full lists should track the exact baseline closely; truncated lists
+	// trade quality for speed but must stay useful. Thresholds sit below
+	// the paper's reported quality (Figures 5-6) to keep the gate about
+	// contract violations, not noise.
+	for key, mean := range rep.MeanPrecision {
+		t.Logf("%s: mean precision@k %.3f over %d cases", key, mean, rep.precisionN[key])
+		min := 0.30
+		if key.Fraction >= 1.0 {
+			min = 0.50
+			if key.Op == corpus.OpAND {
+				// AND's log-domain scores are the harsher
+				// approximation (a single miss disqualifies).
+				min = 0.40
+			}
+		}
+		if mean < min {
+			t.Errorf("%s: mean precision %.3f below contract %.2f", key, mean, min)
+		}
+	}
+	if len(rep.MeanPrecision) == 0 {
+		t.Error("no precision buckets recorded")
+	}
+}
+
+// TestHarnessDeterminism: the harness must be reproducible run to run so a
+// CI failure is debuggable.
+func TestHarnessDeterminism(t *testing.T) {
+	a, err := Run(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cases != b.Cases || len(a.Failures) != len(b.Failures) {
+		t.Fatalf("non-deterministic harness: %d/%d cases, %d/%d failures",
+			a.Cases, b.Cases, len(a.Failures), len(b.Failures))
+	}
+	for key, mean := range a.MeanPrecision {
+		if b.MeanPrecision[key] != mean {
+			t.Errorf("%s: precision %.6f vs %.6f across runs", key, mean, b.MeanPrecision[key])
+		}
+	}
+}

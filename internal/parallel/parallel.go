@@ -1,0 +1,136 @@
+// Package parallel provides the small concurrency substrate shared by the
+// index-construction paths: worker-count resolution, contiguous range
+// sharding, and a fork-join loop over shards. Every helper degenerates to a
+// plain sequential loop when one worker is requested, so parallel callers
+// keep a byte-identical sequential special case (Workers=1) for free.
+//
+// Determinism contract: helpers never reorder work output. Shards are
+// contiguous and indexed, so callers that write per-shard results and merge
+// them in shard order produce output identical to a sequential pass.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: n > 0 selects n workers, anything
+// else (the zero value of a config field) selects GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Range is a half-open interval [Lo, Hi) of item indexes.
+type Range struct {
+	Lo, Hi int
+}
+
+// Len reports the number of items in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Shards splits n items into at most k contiguous near-equal ranges. Fewer
+// ranges are returned when n < k; n == 0 yields none. Concatenating the
+// ranges in order always reproduces [0, n).
+func Shards(n, k int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	if k <= 1 {
+		return []Range{{0, n}}
+	}
+	out := make([]Range, 0, k)
+	for i := 0; i < k; i++ {
+		lo := i * n / k
+		hi := (i + 1) * n / k
+		if lo < hi {
+			out = append(out, Range{lo, hi})
+		}
+	}
+	return out
+}
+
+// ForEachShard splits n items into shards contiguous ranges and invokes
+// fn(shardIndex, r) for each, running at most workers invocations
+// concurrently. With workers <= 1 the shards run sequentially in order on
+// the calling goroutine. fn must not panic; shards are disjoint so fn may
+// write freely to per-shard slots.
+func ForEachShard(n, shards, workers int, fn func(shard int, r Range)) {
+	ForEachOf(Shards(n, shards), workers, fn)
+}
+
+// ForEachOf runs fn over precomputed ranges (see Shards), at most workers
+// concurrently. Callers that size per-shard result slots with len(ranges)
+// use this form so the indexes line up by construction.
+func ForEachOf(ranges []Range, workers int, fn func(shard int, r Range)) {
+	if len(ranges) == 0 {
+		return
+	}
+	if workers <= 1 || len(ranges) == 1 {
+		for i, r := range ranges {
+			fn(i, r)
+		}
+		return
+	}
+	if workers > len(ranges) {
+		workers = len(ranges)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i, ranges[i])
+			}
+		}()
+	}
+	for i := range ranges {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// ForEach invokes fn(i) for every i in [0, n), running at most workers
+// invocations concurrently (sequentially in order when workers <= 1).
+// Work is handed out item-by-item through an atomic counter, so it
+// balances well when per-item cost varies wildly (e.g. one phrase list
+// per vocabulary word) without per-item channel synchronization.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,91 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	if got := Workers(1); got != 1 {
+		t.Errorf("Workers(1) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Workers(0); got != want {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := Workers(-5); got != want {
+		t.Errorf("Workers(-5) = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestShardsCoverage(t *testing.T) {
+	for n := 0; n <= 37; n++ {
+		for k := -1; k <= 12; k++ {
+			ranges := Shards(n, k)
+			if n == 0 {
+				if len(ranges) != 0 {
+					t.Fatalf("Shards(0,%d) = %v, want none", k, ranges)
+				}
+				continue
+			}
+			pos := 0
+			for _, r := range ranges {
+				if r.Lo != pos {
+					t.Fatalf("Shards(%d,%d): gap/overlap at %v (pos %d)", n, k, r, pos)
+				}
+				if r.Len() <= 0 {
+					t.Fatalf("Shards(%d,%d): empty range %v", n, k, r)
+				}
+				pos = r.Hi
+			}
+			if pos != n {
+				t.Fatalf("Shards(%d,%d): covers [0,%d), want [0,%d)", n, k, pos, n)
+			}
+			if k > 1 && len(ranges) > k {
+				t.Fatalf("Shards(%d,%d): %d ranges exceeds request", n, k, len(ranges))
+			}
+		}
+	}
+}
+
+func TestForEachShardVisitsAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 101
+		var visited [n]atomic.Int32
+		ForEachShard(n, 8, workers, func(_ int, r Range) {
+			for i := r.Lo; i < r.Hi; i++ {
+				visited[i].Add(1)
+			}
+		})
+		for i := range visited {
+			if c := visited[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: item %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachSequentialOrder(t *testing.T) {
+	var order []int
+	ForEach(10, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential ForEach out of order: %v", order)
+		}
+	}
+	if len(order) != 10 {
+		t.Fatalf("sequential ForEach visited %d items", len(order))
+	}
+}
+
+func TestForEachParallelCount(t *testing.T) {
+	var count atomic.Int64
+	ForEach(1000, 7, func(int) { count.Add(1) })
+	if count.Load() != 1000 {
+		t.Fatalf("visited %d items, want 1000", count.Load())
+	}
+}

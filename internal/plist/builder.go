@@ -3,8 +3,11 @@ package plist
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"phrasemine/internal/corpus"
+	"phrasemine/internal/parallel"
 	"phrasemine/internal/phrasedict"
 )
 
@@ -84,44 +87,97 @@ func BuildScoreList(src *Source, feature string) ScoreList {
 // amortized cost per feature is Σ_{d ∈ docs(q)} |Forward[d]| plus the
 // output size.
 func BuildLists(src *Source, features []string) (map[string]ScoreList, error) {
+	return BuildListsParallel(src, features, 1)
+}
+
+// buildOne constructs one feature's score-ordered list using the caller's
+// counting scratch (counts must be all-zero, sized |P|; it is returned
+// all-zero). touched is recycled storage for the phrase IDs seen.
+func buildOne(src *Source, feature string, counts []uint32, touched []phrasedict.PhraseID) (ScoreList, []phrasedict.PhraseID) {
+	touched = touched[:0]
+	for _, doc := range src.Inverted.Docs(feature) {
+		for _, p := range src.Forward[doc] {
+			if counts[p] == 0 {
+				touched = append(touched, p)
+			}
+			counts[p]++
+		}
+	}
+	if len(touched) == 0 {
+		return nil, touched
+	}
+	list := make(ScoreList, 0, len(touched))
+	for _, p := range touched {
+		df := src.PhraseDocFreq[p]
+		if df > 0 {
+			list = append(list, Entry{Phrase: p, Prob: float64(counts[p]) / float64(df)})
+		}
+		counts[p] = 0
+	}
+	SortScoreOrder(list)
+	return list, touched
+}
+
+// BuildListsParallel is BuildLists with the per-feature builds fanned out
+// across workers. Each worker owns a private counting array, and features
+// are handed out individually (list-building cost is dominated by a few
+// very frequent words, so feature-granular work stealing balances far
+// better than static chunks). Every feature's list is built independently,
+// so the output is identical to the sequential build.
+func BuildListsParallel(src *Source, features []string, workers int) (map[string]ScoreList, error) {
 	if err := src.Validate(); err != nil {
 		return nil, err
 	}
 	if features == nil {
 		features = src.Inverted.Features()
 	}
-	numPhrases := len(src.PhraseDocFreq)
-	counts := make([]uint32, numPhrases)
-	var touched []phrasedict.PhraseID
+	// Dedupe, preserving first occurrence, without mutating the caller's
+	// slice.
+	unique := make([]string, 0, len(features))
+	seen := make(map[string]struct{}, len(features))
+	for _, f := range features {
+		if _, dup := seen[f]; dup {
+			continue
+		}
+		seen[f] = struct{}{}
+		unique = append(unique, f)
+	}
 
-	out := make(map[string]ScoreList, len(features))
-	for _, feature := range features {
-		if _, dup := out[feature]; dup {
-			continue
+	numPhrases := len(src.PhraseDocFreq)
+	results := make([]ScoreList, len(unique))
+	if workers <= 1 || len(unique) <= 1 {
+		counts := make([]uint32, numPhrases)
+		var touched []phrasedict.PhraseID
+		for i, feature := range unique {
+			results[i], touched = buildOne(src, feature, counts, touched)
 		}
-		touched = touched[:0]
-		for _, doc := range src.Inverted.Docs(feature) {
-			for _, p := range src.Forward[doc] {
-				if counts[p] == 0 {
-					touched = append(touched, p)
+	} else {
+		if workers > len(unique) {
+			workers = len(unique)
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				counts := make([]uint32, numPhrases)
+				var touched []phrasedict.PhraseID
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(unique) {
+						return
+					}
+					results[i], touched = buildOne(src, unique[i], counts, touched)
 				}
-				counts[p]++
-			}
+			}()
 		}
-		if len(touched) == 0 {
-			out[feature] = nil
-			continue
-		}
-		list := make(ScoreList, 0, len(touched))
-		for _, p := range touched {
-			df := src.PhraseDocFreq[p]
-			if df > 0 {
-				list = append(list, Entry{Phrase: p, Prob: float64(counts[p]) / float64(df)})
-			}
-			counts[p] = 0
-		}
-		SortScoreOrder(list)
-		out[feature] = list
+		wg.Wait()
+	}
+
+	out := make(map[string]ScoreList, len(unique))
+	for i, feature := range unique {
+		out[feature] = results[i]
 	}
 	return out, nil
 }
@@ -139,9 +195,32 @@ func TruncateAll(lists map[string]ScoreList, frac float64) map[string]ScoreList 
 // ToIDOrderedAll converts a (possibly truncated) score-list collection into
 // ID-ordered lists for SMJ.
 func ToIDOrderedAll(lists map[string]ScoreList) map[string]IDList {
-	out := make(map[string]IDList, len(lists))
-	for w, l := range lists {
-		out[w] = l.ToIDOrdered()
+	return ToIDOrderedAllParallel(lists, 1)
+}
+
+// ToIDOrderedAllParallel is ToIDOrderedAll with the per-feature copy+sort
+// fanned out across workers (the dominant cost of materializing an SMJ
+// index over a full vocabulary). Per-feature conversions are independent,
+// so the result is identical to the sequential conversion.
+func ToIDOrderedAllParallel(lists map[string]ScoreList, workers int) map[string]IDList {
+	if workers <= 1 || len(lists) <= 1 {
+		out := make(map[string]IDList, len(lists))
+		for w, l := range lists {
+			out[w] = l.ToIDOrdered()
+		}
+		return out
+	}
+	features := make([]string, 0, len(lists))
+	for w := range lists {
+		features = append(features, w)
+	}
+	results := make([]IDList, len(features))
+	parallel.ForEach(len(features), workers, func(i int) {
+		results[i] = lists[features[i]].ToIDOrdered()
+	})
+	out := make(map[string]IDList, len(features))
+	for i, f := range features {
+		out[f] = results[i]
 	}
 	return out
 }

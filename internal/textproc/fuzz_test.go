@@ -1,0 +1,112 @@
+package textproc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzTokenize checks the tokenizer's structural invariants on arbitrary
+// input: emitted tokens respect the byte-length bounds, contain no
+// whitespace or sentence punctuation, are valid UTF-8 for valid input,
+// lowercase under default settings, and never collide with the
+// SentenceBreak pseudo-token. Tokenization must also be deterministic.
+func FuzzTokenize(f *testing.F) {
+	f.Add("The quick brown fox jumps over the lazy dog.")
+	f.Add("taiwan's real-time trade-reserves, 1997; OK?")
+	f.Add("")
+	f.Add("!!!...;;;")
+	f.Add("a\x00b\tc\nd")
+	f.Add("naïve café — ĳsberg ΣΙΓΜΑ")
+	f.Add(strings.Repeat("verylongtoken", 10) + " end")
+	f.Fuzz(func(t *testing.T, text string) {
+		tok := Tokenizer{EmitSentenceBreaks: true}
+		tokens := tok.Tokenize(text)
+		again := tok.Tokenize(text)
+		if !reflect.DeepEqual(tokens, again) {
+			t.Fatalf("non-deterministic tokenization of %q", text)
+		}
+		for i, w := range tokens {
+			if w == SentenceBreak {
+				continue
+			}
+			if len(w) < 1 || len(w) > 64 {
+				t.Fatalf("token %d %q has %d bytes, want 1..64", i, w, len(w))
+			}
+			if strings.ContainsAny(w, " \t\n.!?;") {
+				t.Fatalf("token %d %q contains separator bytes", i, w)
+			}
+			if utf8.ValidString(text) && !utf8.ValidString(w) {
+				t.Fatalf("token %d %q is invalid UTF-8 from valid input", i, w)
+			}
+			if w != strings.ToLower(w) {
+				t.Fatalf("token %d %q not lowercased", i, w)
+			}
+		}
+	})
+}
+
+// FuzzExtract feeds fuzzer-shaped corpora through phrase extraction and
+// checks the output invariants the rest of the system relies on: phrases
+// within the configured word bounds, document lists sorted, strictly
+// in-range and duplicate-free, DocFreq consistent with the threshold, and
+// the parallel path identical to the sequential one.
+func FuzzExtract(f *testing.F) {
+	f.Add("the cat sat on the mat. the cat sat.", uint8(2), uint8(3))
+	f.Add("a b a b a b c", uint8(1), uint8(1))
+	f.Add("x", uint8(3), uint8(2))
+	f.Add("one two three four five six seven", uint8(4), uint8(1))
+	f.Fuzz(func(t *testing.T, text string, maxWords, minDF uint8) {
+		opt := ExtractorOptions{
+			MinWords:   1,
+			MaxWords:   int(maxWords%6) + 1,
+			MinDocFreq: int(minDF%4) + 1,
+		}
+		// Split the fuzz input into a few documents and tokenize each.
+		tok := Tokenizer{EmitSentenceBreaks: true}
+		var docs [][]string
+		for _, chunk := range strings.Split(text, "|") {
+			docs = append(docs, tok.Tokenize(chunk))
+		}
+
+		seq, err := Extract(docs, opt)
+		if err != nil {
+			t.Fatalf("sequential Extract: %v", err)
+		}
+		popt := opt
+		popt.Workers = 4
+		popt.Shards = 3
+		par, err := Extract(docs, popt)
+		if err != nil {
+			t.Fatalf("parallel Extract: %v", err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("parallel extraction diverges from sequential on %q", text)
+		}
+
+		for _, p := range seq {
+			words := SplitPhrase(p.Phrase)
+			if len(words) < opt.MinWords || len(words) > opt.MaxWords {
+				t.Fatalf("phrase %q has %d words outside [%d,%d]", p.Phrase, len(words), opt.MinWords, opt.MaxWords)
+			}
+			if p.Words != len(words) {
+				t.Fatalf("phrase %q: Words=%d but %d words", p.Phrase, p.Words, len(words))
+			}
+			if p.DocFreq < opt.MinDocFreq {
+				t.Fatalf("phrase %q: DocFreq %d below threshold %d", p.Phrase, p.DocFreq, opt.MinDocFreq)
+			}
+			if p.DocFreq != len(p.Docs) {
+				t.Fatalf("phrase %q: DocFreq %d != len(Docs) %d", p.Phrase, p.DocFreq, len(p.Docs))
+			}
+			for i, d := range p.Docs {
+				if d < 0 || d >= len(docs) {
+					t.Fatalf("phrase %q: doc index %d out of range [0,%d)", p.Phrase, d, len(docs))
+				}
+				if i > 0 && p.Docs[i-1] >= d {
+					t.Fatalf("phrase %q: doc list not strictly ascending at %d: %v", p.Phrase, i, p.Docs)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package textproc
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomDocs builds a deterministic pseudo-random corpus with enough
+// repetition for n-grams to clear document-frequency thresholds.
+func randomDocs(numDocs, vocab, docLen int, seed int64) [][]string {
+	rng := rand.New(rand.NewSource(seed))
+	docs := make([][]string, numDocs)
+	for d := range docs {
+		tokens := make([]string, 0, docLen)
+		for len(tokens) < docLen {
+			if rng.Intn(12) == 0 {
+				tokens = append(tokens, SentenceBreak)
+				continue
+			}
+			tokens = append(tokens, fmt.Sprintf("w%d", rng.Intn(vocab)))
+		}
+		docs[d] = tokens
+	}
+	return docs
+}
+
+// TestExtractParallelMatchesSequential asserts the central determinism
+// contract: sharded parallel extraction returns exactly the sequential
+// result — same phrases, same doc lists, same order — at every worker and
+// shard count.
+func TestExtractParallelMatchesSequential(t *testing.T) {
+	docs := randomDocs(240, 60, 90, 7)
+	base := ExtractorOptions{MinWords: 1, MaxWords: 5, MinDocFreq: 3}
+	want, err := Extract(docs, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("sequential extraction found no phrases; corpus too sparse for the test")
+	}
+	for _, tc := range []struct{ workers, shards int }{
+		{2, 0}, {3, 5}, {4, 0}, {4, 1}, {8, 64}, {16, 3},
+	} {
+		opt := base
+		opt.Workers = tc.workers
+		opt.Shards = tc.shards
+		got, err := Extract(docs, opt)
+		if err != nil {
+			t.Fatalf("workers=%d shards=%d: %v", tc.workers, tc.shards, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d shards=%d: parallel extraction diverges from sequential (%d vs %d phrases)",
+				tc.workers, tc.shards, len(got), len(want))
+		}
+	}
+}
+
+// TestExtractParallelMoreShardsThanDocs covers the degenerate sharding
+// cases: more shards than documents, single documents, empty corpus.
+func TestExtractParallelDegenerateShapes(t *testing.T) {
+	opt := ExtractorOptions{MinDocFreq: 1, Workers: 8, Shards: 100}
+	docs := [][]string{{"a", "b", "a", "b"}}
+	got, err := Extract(docs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Extract(docs, ExtractorOptions{MinDocFreq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, seq) {
+		t.Errorf("single-doc parallel extraction diverges from sequential")
+	}
+
+	if _, err := Extract(nil, opt); err != nil {
+		t.Fatalf("empty corpus: %v", err)
+	}
+}

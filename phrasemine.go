@@ -23,15 +23,37 @@
 //	for _, r := range results {
 //		fmt.Println(r.Phrase, r.Interestingness)
 //	}
+//
+// # Concurrency
+//
+// Index construction is parallel: tokenization, n-gram extraction,
+// inverted-index construction and per-keyword phrase-list building fan out
+// across Config.Workers workers over contiguous document shards and merge
+// deterministically, so the built index — including its serialized form —
+// is byte-identical at every worker count. Workers=1 selects the fully
+// sequential path; the zero value selects GOMAXPROCS.
+//
+// A Miner is safe for concurrent use. Any number of goroutines may call
+// Mine (and the read-only accessors) simultaneously; Add, Remove and Flush
+// serialize against in-flight queries, so a query observes either the
+// state before or after an update, never a torn intermediate. Query-time
+// fan-out runs through a worker pool bounded by Config.Workers and shared
+// across all concurrent queries on the miner: MineBatch answers many
+// queries through it, and multi-keyword queries with pending updates
+// prepare their per-keyword delta-adjusted lists through it (on the
+// no-update path per-keyword preparation is a map lookup, so it stays
+// inline).
 package phrasemine
 
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"phrasemine/internal/baseline"
 	"phrasemine/internal/core"
 	"phrasemine/internal/corpus"
+	"phrasemine/internal/parallel"
 	"phrasemine/internal/textproc"
 	"phrasemine/internal/topk"
 )
@@ -105,6 +127,15 @@ type Config struct {
 	// Keywords optionally restricts per-keyword list construction to
 	// the given set. Leave nil to support querying on any word.
 	Keywords []string
+	// Workers bounds indexing and query concurrency: 1 forces the fully
+	// sequential paths, 0 (the default) selects GOMAXPROCS. The parallel
+	// build is deterministic — the index is byte-identical at every
+	// worker count.
+	Workers int
+	// Shards is the number of document shards the parallel phrase
+	// extraction scans over (0 defaults to 4*Workers). The other build
+	// stages size their shards from Workers directly.
+	Shards int
 }
 
 // DefaultConfig returns the paper's indexing configuration.
@@ -143,12 +174,24 @@ type QueryOptions struct {
 	ListFraction float64
 }
 
-// Miner indexes a corpus and answers interesting-phrase queries.
+// Miner indexes a corpus and answers interesting-phrase queries. It is
+// safe for concurrent use: see the package-level Concurrency section.
 type Miner struct {
+	// mu serializes document updates (Add/Remove/Flush, write lock)
+	// against queries (read lock). Queries only read the index and the
+	// pending delta, so any number may run concurrently.
+	mu       sync.RWMutex
 	ix       *core.Index
 	cfg      Config
+	smjMu    sync.Mutex
 	smjCache map[float64]*core.SMJIndex
 	delta    *core.Delta
+	// gmPool recycles GM clones (each owns |P|-sized counting scratch)
+	// across queries, so concurrent AlgoGM calls get private scratch
+	// without a fresh multi-megabyte allocation per query. Replaced on
+	// Flush: clones are bound to the index they were cloned from.
+	// Accessed under mu (read lock in Mine, write lock in Flush).
+	gmPool *sync.Pool
 }
 
 // NewMinerFromTexts tokenizes and indexes plain-text documents.
@@ -161,17 +204,27 @@ func NewMinerFromTexts(texts []string, cfg Config) (*Miner, error) {
 }
 
 // NewMinerFromDocuments tokenizes and indexes documents with facets.
+// Tokenization fans out across cfg.Workers workers; documents keep their
+// input order (DocID i is the i-th input document) regardless of worker
+// count.
 func NewMinerFromDocuments(docs []Document, cfg Config) (*Miner, error) {
 	if len(docs) == 0 {
 		return nil, fmt.Errorf("phrasemine: no documents")
 	}
+	workers := parallel.Workers(cfg.Workers)
+	tokenized := make([]corpus.Document, len(docs))
+	parallel.ForEachShard(len(docs), 4*workers, workers, func(_ int, r parallel.Range) {
+		tok := textproc.Tokenizer{EmitSentenceBreaks: true}
+		for i := r.Lo; i < r.Hi; i++ {
+			tokenized[i] = corpus.Document{
+				Tokens: tok.Tokenize(docs[i].Text),
+				Facets: docs[i].Facets,
+			}
+		}
+	})
 	c := corpus.New()
-	tok := textproc.Tokenizer{EmitSentenceBreaks: true}
-	for _, d := range docs {
-		c.Add(corpus.Document{
-			Tokens: tok.Tokenize(d.Text),
-			Facets: d.Facets,
-		})
+	for _, d := range tokenized {
+		c.Add(d)
 	}
 	return newMiner(c, cfg)
 }
@@ -185,21 +238,40 @@ func newMiner(c *corpus.Corpus, cfg Config) (*Miner, error) {
 			DropAllStopwordPhrases: cfg.DropStopwordPhrases,
 		},
 		ListFeatures: cfg.Keywords,
+		Workers:      cfg.Workers,
+		Shards:       cfg.Shards,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Miner{ix: ix, cfg: cfg, smjCache: make(map[float64]*core.SMJIndex)}, nil
+	return &Miner{
+		ix:       ix,
+		cfg:      cfg,
+		smjCache: make(map[float64]*core.SMJIndex),
+		gmPool:   &sync.Pool{},
+	}, nil
 }
 
 // NumDocuments reports the corpus size |D|.
-func (m *Miner) NumDocuments() int { return m.ix.Corpus.Len() }
+func (m *Miner) NumDocuments() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.ix.Corpus.Len()
+}
 
 // NumPhrases reports the phrase-universe size |P|.
-func (m *Miner) NumPhrases() int { return m.ix.NumPhrases() }
+func (m *Miner) NumPhrases() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.ix.NumPhrases()
+}
 
 // VocabSize reports the number of distinct indexable features |W|.
-func (m *Miner) VocabSize() int { return m.ix.Inverted.VocabSize() }
+func (m *Miner) VocabSize() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.ix.Inverted.VocabSize()
+}
 
 // Facet renders a metadata facet as a query keyword, e.g.
 // Facet("venue", "sigmod") for the venue:sigmod sub-collection of Table 1.
@@ -214,6 +286,9 @@ func Facet(name, value string) string {
 // SMJ algorithms consult the delta index for corrected probabilities; the
 // GM and Exact baselines always answer over the base corpus as of the last
 // Flush.
+//
+// Mine is safe for concurrent callers; see the package-level Concurrency
+// section.
 func (m *Miner) Mine(keywords []string, op Operator, opt QueryOptions) ([]Result, error) {
 	iop, err := op.internal()
 	if err != nil {
@@ -230,6 +305,11 @@ func (m *Miner) Mine(keywords []string, op Operator, opt QueryOptions) ([]Result
 	if frac <= 0 || frac > 1 {
 		frac = 1
 	}
+
+	// Queries only read the index and pending delta; the read lock
+	// excludes Add/Remove/Flush for the duration of the query.
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 
 	algo := opt.Algorithm
 	if algo == AlgoAuto {
@@ -277,7 +357,15 @@ func (m *Miner) Mine(keywords []string, op Operator, opt QueryOptions) ([]Result
 		if err != nil {
 			return nil, err
 		}
-		scored, _, err := g.TopK(q, opt.K)
+		// GM reuses counting scratch across queries, so concurrent
+		// Mine calls must not share one instance; take a pooled clone
+		// (private scratch, shared immutable index structures).
+		clone, _ := m.gmPool.Get().(*baseline.GM)
+		if clone == nil {
+			clone = g.Clone()
+		}
+		scored, _, err := clone.TopK(q, opt.K)
+		m.gmPool.Put(clone)
 		if err != nil {
 			return nil, err
 		}
@@ -307,7 +395,57 @@ func (m *Miner) MineOR(keywords ...string) ([]Result, error) {
 	return m.Mine(keywords, OR, QueryOptions{})
 }
 
+// BatchItem is one query of a MineBatch call.
+type BatchItem struct {
+	Keywords []string
+	Op       Operator
+	Options  QueryOptions
+}
+
+// BatchResult is one query's outcome: Results is nil iff Err is non-nil.
+type BatchResult struct {
+	Results []Result
+	Err     error
+}
+
+// MineBatch answers many queries concurrently through the miner's bounded
+// worker pool (Config.Workers), returning one result per item in input
+// order. Per-query failures are reported per slot, so one bad query does
+// not discard the batch. It is itself safe for concurrent callers — the
+// pool bound is shared, so total fan-out stays capped.
+func (m *Miner) MineBatch(items []BatchItem) []BatchResult {
+	out := make([]BatchResult, len(items))
+	if len(items) == 0 {
+		return out
+	}
+	m.mu.RLock()
+	pool := m.ix.Pool()
+	workers := m.ix.Workers()
+	m.mu.RUnlock()
+	run := func(i int) {
+		res, err := m.Mine(items[i].Keywords, items[i].Op, items[i].Options)
+		out[i] = BatchResult{Results: res, Err: err}
+	}
+	if workers <= 1 {
+		// Workers=1 promises fully sequential execution; don't hand
+		// the batch to the pool (which would run one item on a spawned
+		// goroutine alongside the inline remainder).
+		for i := range items {
+			run(i)
+		}
+		return out
+	}
+	pool.RunN(len(items), run)
+	return out
+}
+
+// smjIndex returns the cached ID-ordered index for a fraction, building it
+// on first use. The cache has its own mutex (queries hold only the read
+// lock, so two concurrent SMJ queries may race here); holding it across
+// the build means the second caller waits instead of building a duplicate.
 func (m *Miner) smjIndex(frac float64) *core.SMJIndex {
+	m.smjMu.Lock()
+	defer m.smjMu.Unlock()
 	if s, ok := m.smjCache[frac]; ok {
 		return s
 	}
@@ -349,20 +487,27 @@ func (m *Miner) deltaActive() bool {
 
 // Add registers a new document without rebuilding the index: queries
 // consult the delta for corrected probabilities (Section 4.5.1). Phrases
-// not previously in the index become visible only after Flush.
+// not previously in the index become visible only after Flush. Add blocks
+// until in-flight queries drain (tokenization happens before the lock, so
+// queries are excluded only for the count update itself).
 func (m *Miner) Add(doc Document) {
+	tok := textproc.Tokenizer{EmitSentenceBreaks: true}
+	d := corpus.Document{
+		Tokens: tok.Tokenize(doc.Text),
+		Facets: doc.Facets,
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.delta == nil {
 		m.delta = m.ix.NewDelta()
 	}
-	tok := textproc.Tokenizer{EmitSentenceBreaks: true}
-	m.delta.AddDocument(corpus.Document{
-		Tokens: tok.Tokenize(doc.Text),
-		Facets: doc.Facets,
-	})
+	m.delta.AddDocument(d)
 }
 
 // Remove registers the deletion of the i-th indexed document.
 func (m *Miner) Remove(docIndex int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.delta == nil {
 		m.delta = m.ix.NewDelta()
 	}
@@ -371,6 +516,8 @@ func (m *Miner) Remove(docIndex int) error {
 
 // PendingUpdates reports the number of un-flushed document changes.
 func (m *Miner) PendingUpdates() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if m.delta == nil {
 		return 0
 	}
@@ -378,8 +525,12 @@ func (m *Miner) PendingUpdates() int {
 }
 
 // Flush rebuilds all indexes over the updated corpus, incorporating
-// pending additions/removals (and any newly frequent phrases).
+// pending additions/removals (and any newly frequent phrases). The rebuild
+// itself is parallel (Config.Workers); queries are excluded for its
+// duration and resume against the fresh index.
 func (m *Miner) Flush() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.delta == nil || m.delta.Size() == 0 {
 		return nil
 	}
@@ -389,7 +540,10 @@ func (m *Miner) Flush() error {
 	}
 	m.ix = ix
 	m.delta = nil
+	m.smjMu.Lock()
 	m.smjCache = make(map[float64]*core.SMJIndex)
+	m.smjMu.Unlock()
+	m.gmPool = &sync.Pool{} // clones of the old index must not be reused
 	return nil
 }
 

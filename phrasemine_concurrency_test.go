@@ -1,0 +1,196 @@
+package phrasemine
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// concurrencyQueries exercises every algorithm and both operators, at full
+// and truncated lists, against the newsCorpus topics.
+func concurrencyQueries() []BatchItem {
+	return []BatchItem{
+		{Keywords: []string{"trade"}, Op: OR},
+		{Keywords: []string{"trade", "reserves"}, Op: OR},
+		{Keywords: []string{"trade", "reserves"}, Op: AND},
+		{Keywords: []string{"database", "systems"}, Op: OR, Options: QueryOptions{Algorithm: AlgoSMJ}},
+		{Keywords: []string{"database", "systems"}, Op: AND, Options: QueryOptions{Algorithm: AlgoNRA}},
+		{Keywords: []string{"economic", "minister"}, Op: OR, Options: QueryOptions{ListFraction: 0.4}},
+		{Keywords: []string{"query", "optimization"}, Op: AND, Options: QueryOptions{Algorithm: AlgoGM}},
+		{Keywords: []string{"query", "optimization"}, Op: OR, Options: QueryOptions{Algorithm: AlgoExact}},
+	}
+}
+
+// TestConcurrentMineMatchesSequential hammers Mine from many goroutines
+// (run under -race in CI) and checks every concurrent answer equals the
+// sequentially computed reference.
+func TestConcurrentMineMatchesSequential(t *testing.T) {
+	m := newTestMiner(t)
+	items := concurrencyQueries()
+	want := make([][]Result, len(items))
+	for i, it := range items {
+		res, err := m.Mine(it.Keywords, it.Op, it.Options)
+		if err != nil {
+			t.Fatalf("reference query %d: %v", i, err)
+		}
+		want[i] = res
+	}
+
+	const goroutines = 16
+	const rounds = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (g + r) % len(items)
+				res, err := m.Mine(items[i].Keywords, items[i].Op, items[i].Options)
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d query %d: %w", g, i, err)
+					return
+				}
+				if !reflect.DeepEqual(res, want[i]) {
+					errs <- fmt.Errorf("goroutine %d query %d: concurrent result diverges: %v vs %v", g, i, res, want[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentMineWithUpdates interleaves queries with Add/Remove/Flush
+// from other goroutines: queries must never error or tear, and the final
+// flushed state must reflect every update.
+func TestConcurrentMineWithUpdates(t *testing.T) {
+	m := newTestMiner(t)
+	baseDocs := m.NumDocuments()
+	const writers = 2
+	const docsPerWriter = 6
+	const readers = 8
+
+	var readersWG, writersWG sync.WaitGroup
+	errs := make(chan error, readers+writers)
+	stop := make(chan struct{})
+	for g := 0; g < readers; g++ {
+		readersWG.Add(1)
+		go func(g int) {
+			defer readersWG.Done()
+			items := concurrencyQueries()
+			for r := 0; ; r++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				it := items[(g+r)%len(items)]
+				if _, err := m.Mine(it.Keywords, it.Op, it.Options); err != nil {
+					errs <- fmt.Errorf("reader %d: %w", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 0; i < docsPerWriter; i++ {
+				m.Add(Document{Text: "trade reserves economic minister statement figures"})
+			}
+			if err := m.Flush(); err != nil {
+				errs <- fmt.Errorf("writer %d flush: %w", w, err)
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	readersWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.NumDocuments(); got != baseDocs+writers*docsPerWriter {
+		t.Fatalf("after concurrent updates: %d documents, want %d", got, baseDocs+writers*docsPerWriter)
+	}
+}
+
+// TestMineBatch checks batch answers equal individual Mine calls, in input
+// order, and that a bad query fails only its own slot.
+func TestMineBatch(t *testing.T) {
+	m := newTestMiner(t)
+	items := concurrencyQueries()
+	items = append(items, BatchItem{Keywords: nil, Op: OR}) // invalid: no keywords
+
+	got := m.MineBatch(items)
+	if len(got) != len(items) {
+		t.Fatalf("MineBatch returned %d results for %d items", len(got), len(items))
+	}
+	for i, it := range items[:len(items)-1] {
+		want, err := m.Mine(it.Keywords, it.Op, it.Options)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if got[i].Err != nil {
+			t.Errorf("batch slot %d errored: %v", i, got[i].Err)
+			continue
+		}
+		if !reflect.DeepEqual(got[i].Results, want) {
+			t.Errorf("batch slot %d diverges from Mine: %v vs %v", i, got[i].Results, want)
+		}
+	}
+	if last := got[len(got)-1]; last.Err == nil {
+		t.Error("invalid query slot did not report an error")
+	}
+	if empty := m.MineBatch(nil); len(empty) != 0 {
+		t.Errorf("MineBatch(nil) = %v", empty)
+	}
+}
+
+// TestParallelMinerIdenticalResults builds the same corpus sequentially
+// and with many workers and requires identical public-API answers.
+func TestParallelMinerIdenticalResults(t *testing.T) {
+	cfg := Config{MinPhraseWords: 1, MaxPhraseWords: 4, MinDocFreq: 3, DropStopwordPhrases: true}
+	seqCfg, parCfg := cfg, cfg
+	seqCfg.Workers = 1
+	parCfg.Workers = 8
+	parCfg.Shards = 13
+
+	texts := newsCorpus()
+	seq, err := NewMinerFromTexts(texts, seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewMinerFromTexts(texts, parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.NumPhrases() != par.NumPhrases() || seq.VocabSize() != par.VocabSize() {
+		t.Fatalf("index shape diverges: |P| %d vs %d, |W| %d vs %d",
+			seq.NumPhrases(), par.NumPhrases(), seq.VocabSize(), par.VocabSize())
+	}
+	for i, it := range concurrencyQueries() {
+		a, err := seq.Mine(it.Keywords, it.Op, it.Options)
+		if err != nil {
+			t.Fatalf("sequential query %d: %v", i, err)
+		}
+		b, err := par.Mine(it.Keywords, it.Op, it.Options)
+		if err != nil {
+			t.Fatalf("parallel query %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("query %d: parallel-built miner diverges: %v vs %v", i, a, b)
+		}
+	}
+}
