@@ -1,7 +1,7 @@
 // Command phrasemine is the CLI for the interesting-phrase mining system:
-// it builds persistent indexes from text corpora, answers top-k
-// interesting-phrase queries (in-memory or against the on-disk index), and
-// reports index statistics.
+// it builds persistent indexes and miner snapshots from text corpora,
+// answers top-k interesting-phrase queries (in-memory or against the
+// on-disk index), serves queries over HTTP, and reports index statistics.
 //
 // A corpus file holds one document per line. Lines may start with
 // `key=value ...\t` facet headers, e.g.:
@@ -10,6 +10,8 @@
 //
 // Usage:
 //
+//	phrasemine build-index -in corpus.txt -out corpus.snap   # full miner snapshot
+//	phrasemine serve -index corpus.snap -addr :8080          # HTTP query server
 //	phrasemine index -in corpus.txt -out idx      # writes idx.dict, idx.lists
 //	phrasemine query -in corpus.txt -keywords "trade reserves" -op OR
 //	phrasemine query -index idx -keywords "trade reserves" -op AND
@@ -18,16 +20,24 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
+	"time"
 
+	"phrasemine"
 	"phrasemine/internal/core"
 	"phrasemine/internal/corpus"
 	"phrasemine/internal/phrasedict"
 	"phrasemine/internal/plist"
+	"phrasemine/internal/server"
 	"phrasemine/internal/textproc"
 	"phrasemine/internal/topk"
 )
@@ -39,6 +49,10 @@ func main() {
 	}
 	var err error
 	switch os.Args[1] {
+	case "build-index":
+		err = cmdBuildIndex(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "index":
 		err = cmdIndex(os.Args[2:])
 	case "query":
@@ -60,25 +74,32 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
+  phrasemine build-index -in corpus.txt -out corpus.snap [-mindf N] [-workers N]
+  phrasemine serve (-index corpus.snap | -in corpus.txt) [-addr :8080] [-cache N] [-timeout D] [-workers N]
   phrasemine index -in corpus.txt -out prefix [-mindf N] [-workers N]
   phrasemine query (-in corpus.txt | -index prefix) -keywords "w1 w2" [-op AND|OR] [-k N] [-algo nra|smj|gm|exact] [-frac F] [-workers N]
   phrasemine stats -in corpus.txt [-mindf N] [-workers N]
+
+build-index writes a versioned full-miner snapshot (corpus, indexes and
+phrase lists) that serve reloads without rebuilding; index writes the raw
+list/dictionary files for disk-resident NRA querying.
 
 -workers bounds build parallelism (0 = all cores, 1 = sequential); the
 built index is identical at every worker count. Querying a prebuilt
 -index reads from disk and does not build, so -workers is a no-op there.`)
 }
 
-// readCorpus parses a one-document-per-line corpus file with optional
-// facet headers.
-func readCorpus(path string) (*corpus.Corpus, error) {
+// forEachDocLine streams a one-document-per-line corpus file, calling fn
+// with each document's text and parsed facet header (nil when absent).
+// It errors if the file holds no documents, so every consumer shares one
+// definition of the corpus file format.
+func forEachDocLine(path string, fn func(text string, facets map[string]string)) error {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer f.Close()
-	c := corpus.New()
-	tok := textproc.Tokenizer{EmitSentenceBreaks: true}
+	n := 0
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
 	for sc.Scan() {
@@ -88,19 +109,32 @@ func readCorpus(path string) (*corpus.Corpus, error) {
 		}
 		var facets map[string]string
 		if tab := strings.IndexByte(line, '\t'); tab > 0 {
-			header := line[:tab]
-			if parsed, ok := parseFacets(header); ok {
+			if parsed, ok := parseFacets(line[:tab]); ok {
 				facets = parsed
 				line = line[tab+1:]
 			}
 		}
-		c.Add(corpus.Document{Tokens: tok.Tokenize(line), Facets: facets})
+		fn(line, facets)
+		n++
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return err
 	}
-	if c.Len() == 0 {
-		return nil, fmt.Errorf("no documents in %s", path)
+	if n == 0 {
+		return fmt.Errorf("no documents in %s", path)
+	}
+	return nil
+}
+
+// readCorpus parses a corpus file into tokenized internal documents.
+func readCorpus(path string) (*corpus.Corpus, error) {
+	c := corpus.New()
+	tok := textproc.Tokenizer{EmitSentenceBreaks: true}
+	err := forEachDocLine(path, func(text string, facets map[string]string) {
+		c.Add(corpus.Document{Tokens: tok.Tokenize(text), Facets: facets})
+	})
+	if err != nil {
+		return nil, err
 	}
 	return c, nil
 }
@@ -121,6 +155,131 @@ func parseFacets(header string) (map[string]string, bool) {
 		out[f[:eq]] = strings.ToLower(f[eq+1:])
 	}
 	return out, true
+}
+
+// readDocuments parses a corpus file into public API documents (raw text
+// plus facets; the miner tokenizes itself).
+func readDocuments(path string) ([]phrasemine.Document, error) {
+	var docs []phrasemine.Document
+	err := forEachDocLine(path, func(text string, facets map[string]string) {
+		docs = append(docs, phrasemine.Document{Text: text, Facets: facets})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return docs, nil
+}
+
+// buildMiner indexes a corpus file through the public API.
+func buildMiner(path string, minDF, workers int) (*phrasemine.Miner, error) {
+	docs, err := readDocuments(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := phrasemine.DefaultConfig()
+	cfg.MinDocFreq = minDF
+	cfg.Workers = workers
+	return phrasemine.NewMinerFromDocuments(docs, cfg)
+}
+
+// cmdBuildIndex builds a miner and persists it as a snapshot: the
+// build-once half of the build -> serve split.
+func cmdBuildIndex(args []string) error {
+	fs := flag.NewFlagSet("build-index", flag.ExitOnError)
+	in := fs.String("in", "", "corpus file (one document per line)")
+	out := fs.String("out", "corpus.snap", "snapshot output path")
+	minDF := fs.Int("mindf", 5, "minimum phrase document frequency")
+	workers := fs.Int("workers", 0, "build parallelism (0 = all cores, 1 = sequential)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	start := time.Now()
+	m, err := buildMiner(*in, *minDF, *workers)
+	if err != nil {
+		return err
+	}
+	built := time.Since(start)
+	if err := m.SaveFile(*out); err != nil {
+		return err
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("indexed %d docs in %v: |P|=%d phrases, |W|=%d features -> %s (%s)\n",
+		m.NumDocuments(), built.Round(time.Millisecond), m.NumPhrases(), m.VocabSize(),
+		*out, byteSize(info.Size()))
+	return nil
+}
+
+// cmdServe loads a snapshot (or builds from a corpus file) and serves the
+// HTTP JSON API until interrupted.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	index := fs.String("index", "", "miner snapshot written by `phrasemine build-index`")
+	in := fs.String("in", "", "corpus file (build in memory and serve)")
+	addr := fs.String("addr", ":8080", "listen address")
+	cache := fs.Int("cache", server.DefaultCacheSize, "result-cache entries (negative disables)")
+	timeout := fs.Duration("timeout", server.DefaultQueryTimeout, "per-query timeout")
+	minDF := fs.Int("mindf", 5, "minimum phrase document frequency (-in mode)")
+	workers := fs.Int("workers", 0, "query/build parallelism (0 = all cores)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		m     *phrasemine.Miner
+		err   error
+		start = time.Now()
+	)
+	switch {
+	case *index != "":
+		m, err = phrasemine.LoadMinerFile(*index, *workers)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded snapshot %s in %v: %d docs, |P|=%d phrases\n",
+			*index, time.Since(start).Round(time.Millisecond), m.NumDocuments(), m.NumPhrases())
+	case *in != "":
+		m, err = buildMiner(*in, *minDF, *workers)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("built index from %s in %v: %d docs, |P|=%d phrases\n",
+			*in, time.Since(start).Round(time.Millisecond), m.NumDocuments(), m.NumPhrases())
+	default:
+		return fmt.Errorf("one of -index or -in is required")
+	}
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: server.New(m, server.Options{CacheSize: *cache, QueryTimeout: *timeout}),
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("serving on %s (cache=%d, timeout=%v)\n", *addr, *cache, *timeout)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }
 
 func buildIndex(path string, minDF, workers int) (*core.Index, error) {

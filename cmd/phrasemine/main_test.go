@@ -1,10 +1,17 @@
 package main
 
 import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
+
+	"phrasemine"
+	"phrasemine/internal/server"
 )
 
 func TestParseFacets(t *testing.T) {
@@ -70,6 +77,55 @@ func TestReadCorpusErrors(t *testing.T) {
 	empty := writeTempCorpus(t, "\n\n")
 	if _, err := readCorpus(empty); err == nil {
 		t.Fatal("empty corpus should error")
+	}
+}
+
+// TestBuildIndexServeRoundTrip is the CLI-level smoke path: build-index
+// writes a snapshot, the snapshot loads, and the HTTP layer answers a
+// query over it.
+func TestBuildIndexServeRoundTrip(t *testing.T) {
+	var lines string
+	for i := 0; i < 10; i++ {
+		lines += "the economic minister discussed trade reserves\n"
+		lines += "query optimization in database systems\n"
+	}
+	corpusPath := writeTempCorpus(t, lines)
+	snapPath := filepath.Join(t.TempDir(), "corpus.snap")
+	if err := cmdBuildIndex([]string{"-in", corpusPath, "-out", snapPath, "-mindf", "3"}); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := phrasemine.LoadMinerFile(snapPath, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := server.New(m, server.Options{})
+	req := httptest.NewRequest(http.MethodPost, "/mine",
+		strings.NewReader(`{"keywords":["trade"],"k":3}`))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("mine over loaded snapshot = %d: %s", w.Code, w.Body)
+	}
+	var resp struct {
+		Results []struct {
+			Phrase string `json:"phrase"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) == 0 {
+		t.Fatal("no results from served snapshot")
+	}
+}
+
+func TestCmdBuildIndexErrors(t *testing.T) {
+	if err := cmdBuildIndex([]string{}); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if err := cmdBuildIndex([]string{"-in", "/nonexistent/corpus.txt", "-out", filepath.Join(t.TempDir(), "x.snap")}); err == nil {
+		t.Fatal("missing corpus accepted")
 	}
 }
 

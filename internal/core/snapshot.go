@@ -1,0 +1,325 @@
+package core
+
+// This file persists a fully built Index as a diskio snapshot and loads it
+// back without re-running any build stage. The snapshot holds every
+// structure the query paths need — the tokenized corpus, the feature
+// inverted index, the phrase dictionary, the phrase-doc lists (with their
+// document frequencies), the GM-style forward index, and the full
+// score-ordered word lists — each in its own checksummed section, plus a
+// JSON meta section recording the build options so a loaded index can keep
+// accepting deltas and Flush-rebuilds exactly like the original.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/diskio"
+	"phrasemine/internal/parallel"
+	"phrasemine/internal/phrasedict"
+	"phrasemine/internal/plist"
+	"phrasemine/internal/textproc"
+	"phrasemine/internal/topk"
+)
+
+// SnapshotVersion is the current snapshot format version. Readers reject
+// any other version, so incompatible format changes must bump it.
+const SnapshotVersion = 1
+
+// Snapshot section names.
+const (
+	sectionMeta       = "core/meta"
+	sectionCorpus     = "core/corpus"
+	sectionInverted   = "core/inverted"
+	sectionDict       = "core/dict"
+	sectionPhraseDocs = "core/phrasedocs"
+	sectionForward    = "core/forward"
+	sectionLists      = "core/lists"
+)
+
+// snapshotMeta is the JSON-encoded build provenance of a snapshot.
+type snapshotMeta struct {
+	Extractor    textproc.ExtractorOptions `json:"extractor"`
+	PhraseWidth  int                       `json:"phrase_width,omitempty"`
+	Restricted   bool                      `json:"restricted,omitempty"`
+	ListFeatures []string                  `json:"list_features,omitempty"`
+}
+
+// AddSnapshotSections appends the index's sections to a snapshot under
+// construction, so callers (the public Miner) can prepend sections of
+// their own in the same container.
+func (ix *Index) AddSnapshotSections(w *diskio.SnapshotWriter) error {
+	extractor := ix.opts.Extractor
+	// Concurrency knobs are runtime properties of the loading process,
+	// not of the persisted index.
+	extractor.Workers, extractor.Shards = 0, 0
+	meta, err := json.Marshal(snapshotMeta{
+		Extractor:    extractor,
+		PhraseWidth:  ix.opts.PhraseWidth,
+		Restricted:   ix.restricted,
+		ListFeatures: ix.opts.ListFeatures,
+	})
+	if err != nil {
+		return fmt.Errorf("core: encoding snapshot meta: %w", err)
+	}
+	if err := w.Add(sectionMeta, meta); err != nil {
+		return err
+	}
+	if err := w.Add(sectionCorpus, ix.Corpus.AppendBinary(nil)); err != nil {
+		return err
+	}
+	if err := w.Add(sectionInverted, ix.Inverted.AppendBinary(nil)); err != nil {
+		return err
+	}
+	var dict bytes.Buffer
+	if _, err := ix.Dict.WriteTo(&dict); err != nil {
+		return err
+	}
+	if err := w.Add(sectionDict, dict.Bytes()); err != nil {
+		return err
+	}
+	if err := w.Add(sectionPhraseDocs, appendIDLists(nil, ix.PhraseDocs)); err != nil {
+		return err
+	}
+	fwd := make([][]corpus.DocID, len(ix.Forward))
+	for d, phrases := range ix.Forward {
+		// Reuse the DocID-list codec; PhraseID and DocID are both uint32
+		// and both lists are strictly increasing.
+		fwd[d] = phraseIDsAsDocIDs(phrases)
+	}
+	if err := w.Add(sectionForward, appendIDLists(nil, fwd)); err != nil {
+		return err
+	}
+	var lists bytes.Buffer
+	if _, err := ix.WriteListIndex(&lists, 1.0); err != nil {
+		return err
+	}
+	return w.Add(sectionLists, lists.Bytes())
+}
+
+// WriteSnapshot serializes the index as a standalone snapshot.
+func (ix *Index) WriteSnapshot(w io.Writer) (int64, error) {
+	sw := diskio.NewSnapshotWriter(SnapshotVersion)
+	if err := ix.AddSnapshotSections(sw); err != nil {
+		return 0, err
+	}
+	return sw.WriteTo(w)
+}
+
+// LoadSnapshot reads a snapshot written by WriteSnapshot. workers bounds
+// the loaded index's query concurrency (0 selects GOMAXPROCS); it is a
+// runtime knob of the loading process, not part of the persisted state.
+func LoadSnapshot(r io.Reader, workers int) (*Index, error) {
+	snap, err := diskio.ReadSnapshot(r, SnapshotVersion)
+	if err != nil {
+		return nil, err
+	}
+	return LoadSnapshotSections(snap, workers)
+}
+
+// LoadSnapshotSections reconstructs an Index from an already parsed
+// snapshot container (whose checksums ReadSnapshot has verified).
+func LoadSnapshotSections(snap *diskio.Snapshot, workers int) (*Index, error) {
+	metaBytes, err := snap.MustSection(sectionMeta)
+	if err != nil {
+		return nil, err
+	}
+	var meta snapshotMeta
+	if err := json.Unmarshal(metaBytes, &meta); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot meta: %w", err)
+	}
+
+	corpusBytes, err := snap.MustSection(sectionCorpus)
+	if err != nil {
+		return nil, err
+	}
+	c, err := corpus.DecodeCorpus(corpusBytes)
+	if err != nil {
+		return nil, err
+	}
+	invBytes, err := snap.MustSection(sectionInverted)
+	if err != nil {
+		return nil, err
+	}
+	inv, err := corpus.DecodeInverted(invBytes)
+	if err != nil {
+		return nil, err
+	}
+	dictBytes, err := snap.MustSection(sectionDict)
+	if err != nil {
+		return nil, err
+	}
+	dict, err := phrasedict.ReadFrom(bytes.NewReader(dictBytes))
+	if err != nil {
+		return nil, err
+	}
+	pdBytes, err := snap.MustSection(sectionPhraseDocs)
+	if err != nil {
+		return nil, err
+	}
+	phraseDocs, err := decodeIDLists(pdBytes, uint64(c.Len()))
+	if err != nil {
+		return nil, fmt.Errorf("core: phrase-doc section: %w", err)
+	}
+	fwdBytes, err := snap.MustSection(sectionForward)
+	if err != nil {
+		return nil, err
+	}
+	fwdAsDocs, err := decodeIDLists(fwdBytes, uint64(dict.Len()))
+	if err != nil {
+		return nil, fmt.Errorf("core: forward section: %w", err)
+	}
+	listBytes, err := snap.MustSection(sectionLists)
+	if err != nil {
+		return nil, err
+	}
+	listReader, err := plist.OpenReader(bytes.NewReader(listBytes))
+	if err != nil {
+		return nil, err
+	}
+	lists, err := listReader.ReadAllScoreLists()
+	if err != nil {
+		return nil, err
+	}
+
+	// Cross-section consistency: a snapshot assembled from mismatched
+	// builds must not load.
+	if inv.NumDocs() != c.Len() {
+		return nil, fmt.Errorf("core: snapshot inconsistent: inverted index covers %d docs, corpus has %d", inv.NumDocs(), c.Len())
+	}
+	if len(phraseDocs) != dict.Len() {
+		return nil, fmt.Errorf("core: snapshot inconsistent: %d phrase-doc lists, dictionary has %d phrases", len(phraseDocs), dict.Len())
+	}
+	if len(fwdAsDocs) != c.Len() {
+		return nil, fmt.Errorf("core: snapshot inconsistent: forward index covers %d docs, corpus has %d", len(fwdAsDocs), c.Len())
+	}
+
+	resolved := parallel.Workers(workers)
+	ix := &Index{
+		Corpus:     c,
+		Inverted:   inv,
+		Dict:       dict,
+		PhraseDocs: phraseDocs,
+		PhraseDF:   make([]uint32, len(phraseDocs)),
+		Forward:    make([][]phrasedict.PhraseID, len(fwdAsDocs)),
+		Lists:      lists,
+		opts: BuildOptions{
+			Extractor:    meta.Extractor,
+			ListFeatures: meta.ListFeatures,
+			PhraseWidth:  meta.PhraseWidth,
+			Workers:      workers,
+		},
+		restricted: meta.Restricted,
+		workers:    resolved,
+		pool:       topk.NewPool(resolved),
+	}
+	for p, docs := range phraseDocs {
+		ix.PhraseDF[p] = uint32(len(docs))
+	}
+	for d, ids := range fwdAsDocs {
+		ix.Forward[d] = docIDsAsPhraseIDs(ids)
+	}
+	return ix, nil
+}
+
+// appendIDLists encodes a slice of strictly increasing uint32 ID lists:
+// numLists, then per list its length and gap-encoded IDs (first absolute).
+func appendIDLists(buf []byte, lists [][]corpus.DocID) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(lists)))
+	for _, list := range lists {
+		buf = binary.AppendUvarint(buf, uint64(len(list)))
+		prev := corpus.DocID(0)
+		for i, id := range list {
+			if i == 0 {
+				buf = binary.AppendUvarint(buf, uint64(id))
+			} else {
+				buf = binary.AppendUvarint(buf, uint64(id-prev))
+			}
+			prev = id
+		}
+	}
+	return buf
+}
+
+// decodeIDLists parses appendIDLists output, rejecting IDs >= limit.
+func decodeIDLists(data []byte, limit uint64) ([][]corpus.DocID, error) {
+	pos := 0
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("core: truncated ID list at offset %d", pos)
+		}
+		pos += n
+		return v, nil
+	}
+	numLists, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if numLists > uint64(len(data)) {
+		return nil, fmt.Errorf("core: implausible list count %d", numLists)
+	}
+	out := make([][]corpus.DocID, numLists)
+	for i := range out {
+		count, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if count > uint64(len(data)) {
+			return nil, fmt.Errorf("core: implausible list length %d", count)
+		}
+		if count == 0 {
+			continue
+		}
+		list := make([]corpus.DocID, count)
+		prev := uint64(0)
+		for j := range list {
+			gap, err := next()
+			if err != nil {
+				return nil, err
+			}
+			if j == 0 {
+				prev = gap
+			} else {
+				prev += gap
+			}
+			if prev >= limit {
+				return nil, fmt.Errorf("core: list %d entry %d: ID %d out of range %d", i, j, prev, limit)
+			}
+			list[j] = corpus.DocID(prev)
+		}
+		out[i] = list
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("core: %d trailing bytes after ID lists", len(data)-pos)
+	}
+	return out, nil
+}
+
+// phraseIDsAsDocIDs reinterprets a sorted PhraseID list for the shared
+// uint32 ID-list codec.
+func phraseIDsAsDocIDs(ids []phrasedict.PhraseID) []corpus.DocID {
+	if ids == nil {
+		return nil
+	}
+	out := make([]corpus.DocID, len(ids))
+	for i, id := range ids {
+		out[i] = corpus.DocID(id)
+	}
+	return out
+}
+
+// docIDsAsPhraseIDs is the inverse reinterpretation.
+func docIDsAsPhraseIDs(ids []corpus.DocID) []phrasedict.PhraseID {
+	if ids == nil {
+		return nil
+	}
+	out := make([]phrasedict.PhraseID, len(ids))
+	for i, id := range ids {
+		out[i] = phrasedict.PhraseID(id)
+	}
+	return out
+}

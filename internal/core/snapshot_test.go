@@ -1,0 +1,170 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/phrasedict"
+	"phrasemine/internal/synth"
+	"phrasemine/internal/textproc"
+	"phrasemine/internal/topk"
+)
+
+func buildTestIndex(t *testing.T) *Index {
+	t.Helper()
+	c, err := synth.ReutersLike().Scale(0.01).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(c, BuildOptions{
+		Extractor: textproc.ExtractorOptions{MinDocFreq: 3},
+		Workers:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func snapshotRoundTrip(t *testing.T, ix *Index, workers int) *Index {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := ix.WriteSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteSnapshot reported %d bytes, wrote %d", n, buf.Len())
+	}
+	loaded, err := LoadSnapshot(bytes.NewReader(buf.Bytes()), workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loaded
+}
+
+func TestSnapshotRoundTripStructures(t *testing.T) {
+	ix := buildTestIndex(t)
+	loaded := snapshotRoundTrip(t, ix, 1)
+
+	if loaded.Corpus.Len() != ix.Corpus.Len() {
+		t.Fatalf("corpus %d docs, want %d", loaded.Corpus.Len(), ix.Corpus.Len())
+	}
+	if loaded.NumPhrases() != ix.NumPhrases() {
+		t.Fatalf("|P| = %d, want %d", loaded.NumPhrases(), ix.NumPhrases())
+	}
+	if loaded.Inverted.VocabSize() != ix.Inverted.VocabSize() {
+		t.Fatalf("|W| = %d, want %d", loaded.Inverted.VocabSize(), ix.Inverted.VocabSize())
+	}
+	if !reflect.DeepEqual(loaded.PhraseDF, ix.PhraseDF) {
+		t.Fatal("PhraseDF mismatch")
+	}
+	if !reflect.DeepEqual(loaded.PhraseDocs, ix.PhraseDocs) {
+		t.Fatal("PhraseDocs mismatch")
+	}
+	if !reflect.DeepEqual(loaded.Forward, ix.Forward) {
+		t.Fatal("Forward mismatch")
+	}
+	if len(loaded.Lists) != len(ix.Lists) {
+		t.Fatalf("%d lists, want %d", len(loaded.Lists), len(ix.Lists))
+	}
+	for f, l := range ix.Lists {
+		if !reflect.DeepEqual(loaded.Lists[f], l) {
+			t.Fatalf("list %q mismatch", f)
+		}
+	}
+	for p := 0; p < ix.NumPhrases(); p++ {
+		want := ix.Dict.MustPhrase(phrasedict.PhraseID(p))
+		got := loaded.Dict.MustPhrase(phrasedict.PhraseID(p))
+		if got != want {
+			t.Fatalf("phrase %d = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestSnapshotRoundTripQueries(t *testing.T) {
+	ix := buildTestIndex(t)
+	loaded := snapshotRoundTrip(t, ix, 0)
+
+	features := ix.Inverted.TopFeaturesByDocFreq(6)
+	if len(features) < 2 {
+		t.Fatal("not enough features")
+	}
+	queries := []corpus.Query{
+		corpus.NewQuery(corpus.OpOR, features[0]),
+		corpus.NewQuery(corpus.OpOR, features[0], features[1]),
+		corpus.NewQuery(corpus.OpAND, features[0], features[1]),
+		corpus.NewQuery(corpus.OpAND, features[2], features[3], features[4]),
+	}
+	for _, q := range queries {
+		a, _, err := ix.QueryNRA(q, topk.NRAOptions{K: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := loaded.QueryNRA(q, topk.NRAOptions{K: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("NRA results diverge for %v:\noriginal %v\nloaded  %v", q, a, b)
+		}
+		sa, _, err := ix.QuerySMJ(ix.BuildSMJ(1.0), q, topk.SMJOptions{K: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, _, err := loaded.QuerySMJ(loaded.BuildSMJ(1.0), q, topk.SMJOptions{K: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sa, sb) {
+			t.Fatalf("SMJ results diverge for %v", q)
+		}
+	}
+}
+
+func TestSnapshotBytesDeterministic(t *testing.T) {
+	ix := buildTestIndex(t)
+	var a, b bytes.Buffer
+	if _, err := ix.WriteSnapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.WriteSnapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("snapshot bytes are not deterministic")
+	}
+}
+
+func TestSnapshotLoadedIndexSupportsDeltaAndFlush(t *testing.T) {
+	ix := buildTestIndex(t)
+	loaded := snapshotRoundTrip(t, ix, 1)
+	d := loaded.NewDelta()
+	d.AddDocument(loaded.Corpus.MustDoc(0))
+	if d.Size() != 1 {
+		t.Fatalf("delta size = %d", d.Size())
+	}
+	fresh, err := d.Flush()
+	if err != nil {
+		t.Fatalf("flush on loaded index: %v", err)
+	}
+	if fresh.Corpus.Len() != loaded.Corpus.Len()+1 {
+		t.Fatalf("flushed corpus has %d docs, want %d", fresh.Corpus.Len(), loaded.Corpus.Len()+1)
+	}
+}
+
+func TestSnapshotRejectsMismatchedSections(t *testing.T) {
+	ix := buildTestIndex(t)
+	var buf bytes.Buffer
+	if _, err := ix.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one payload byte: the container checksum must catch it.
+	data := append([]byte(nil), buf.Bytes()...)
+	data[len(data)/2] ^= 0xFF
+	if _, err := LoadSnapshot(bytes.NewReader(data), 1); err == nil {
+		t.Fatal("corrupted snapshot loaded")
+	}
+}

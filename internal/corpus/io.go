@@ -1,0 +1,249 @@
+package corpus
+
+// This file implements the binary codecs used by the miner snapshot
+// (internal/core's snapshot sections): a token-interned encoding of the
+// corpus and a delta-compressed encoding of the inverted index. Both are
+// deterministic — the same corpus always encodes to the same bytes — so
+// snapshots are reproducible and diffable.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// AppendBinary appends the corpus encoding to buf and returns the extended
+// slice. Layout (all integers are uvarints):
+//
+//	numDocs
+//	tableLen, then tableLen strings (len + bytes) — the distinct tokens in
+//	    first-occurrence order
+//	per document:
+//	    numTokens, then one table index per token
+//	    numFacets, then per facet (sorted by name): name, value (len + bytes)
+func (c *Corpus) AppendBinary(buf []byte) []byte {
+	table := make(map[string]uint64)
+	var tokens []string
+	for i := range c.docs {
+		for _, t := range c.docs[i].Tokens {
+			if _, ok := table[t]; !ok {
+				table[t] = uint64(len(tokens))
+				tokens = append(tokens, t)
+			}
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(c.docs)))
+	buf = binary.AppendUvarint(buf, uint64(len(tokens)))
+	for _, t := range tokens {
+		buf = appendString(buf, t)
+	}
+	for i := range c.docs {
+		d := &c.docs[i]
+		buf = binary.AppendUvarint(buf, uint64(len(d.Tokens)))
+		for _, t := range d.Tokens {
+			buf = binary.AppendUvarint(buf, table[t])
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(d.Facets)))
+		names := make([]string, 0, len(d.Facets))
+		for name := range d.Facets {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			buf = appendString(buf, name)
+			buf = appendString(buf, d.Facets[name])
+		}
+	}
+	return buf
+}
+
+// DecodeCorpus parses an encoding produced by AppendBinary. Token strings
+// are interned through the embedded table, so the decoded corpus shares
+// one string per distinct token like a freshly tokenized one.
+func DecodeCorpus(data []byte) (*Corpus, error) {
+	d := decoder{data: data}
+	numDocs := d.uvarint()
+	tableLen := d.uvarint()
+	if d.err != nil {
+		return nil, fmt.Errorf("corpus: decoding header: %w", d.err)
+	}
+	if tableLen > uint64(len(data)) {
+		return nil, fmt.Errorf("corpus: implausible token table size %d", tableLen)
+	}
+	table := make([]string, tableLen)
+	for i := range table {
+		table[i] = d.string()
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("corpus: decoding token table: %w", d.err)
+	}
+	if numDocs > uint64(len(data)) {
+		return nil, fmt.Errorf("corpus: implausible document count %d", numDocs)
+	}
+	c := &Corpus{docs: make([]Document, 0, numDocs)}
+	for i := uint64(0); i < numDocs; i++ {
+		numTokens := d.uvarint()
+		if d.err != nil || numTokens > uint64(len(data)) {
+			return nil, fmt.Errorf("corpus: doc %d: bad token count", i)
+		}
+		var toks []string
+		if numTokens > 0 {
+			toks = make([]string, numTokens)
+			for j := range toks {
+				idx := d.uvarint()
+				if d.err != nil {
+					return nil, fmt.Errorf("corpus: doc %d token %d: %w", i, j, d.err)
+				}
+				if idx >= tableLen {
+					return nil, fmt.Errorf("corpus: doc %d token %d: index %d out of table range %d", i, j, idx, tableLen)
+				}
+				toks[j] = table[idx]
+			}
+		}
+		numFacets := d.uvarint()
+		if d.err != nil || numFacets > uint64(len(data)) {
+			return nil, fmt.Errorf("corpus: doc %d: bad facet count", i)
+		}
+		var facets map[string]string
+		if numFacets > 0 {
+			facets = make(map[string]string, numFacets)
+			for j := uint64(0); j < numFacets; j++ {
+				name := d.string()
+				value := d.string()
+				if d.err != nil {
+					return nil, fmt.Errorf("corpus: doc %d facet %d: %w", i, j, d.err)
+				}
+				facets[name] = value
+			}
+		}
+		c.docs = append(c.docs, Document{Tokens: toks, Facets: facets})
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.pos != len(data) {
+		return nil, fmt.Errorf("corpus: %d trailing bytes after documents", len(data)-d.pos)
+	}
+	return c, nil
+}
+
+// AppendBinary appends the inverted-index encoding to buf. Layout:
+//
+//	numDocs, numFeatures
+//	per feature (sorted): name (len + bytes), count, then count DocIDs
+//	    (first absolute, the rest as gaps to the predecessor — posting
+//	    lists are strictly increasing)
+func (ix *Inverted) AppendBinary(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(ix.numDocs))
+	buf = binary.AppendUvarint(buf, uint64(len(ix.postings)))
+	for _, f := range ix.Features() {
+		list := ix.postings[f]
+		buf = appendString(buf, f)
+		buf = binary.AppendUvarint(buf, uint64(len(list)))
+		prev := DocID(0)
+		for i, id := range list {
+			if i == 0 {
+				buf = binary.AppendUvarint(buf, uint64(id))
+			} else {
+				buf = binary.AppendUvarint(buf, uint64(id-prev))
+			}
+			prev = id
+		}
+	}
+	return buf
+}
+
+// DecodeInverted parses an encoding produced by Inverted.AppendBinary.
+func DecodeInverted(data []byte) (*Inverted, error) {
+	d := decoder{data: data}
+	numDocs := d.uvarint()
+	numFeatures := d.uvarint()
+	if d.err != nil {
+		return nil, fmt.Errorf("corpus: decoding inverted header: %w", d.err)
+	}
+	if numFeatures > uint64(len(data)) {
+		return nil, fmt.Errorf("corpus: implausible feature count %d", numFeatures)
+	}
+	ix := &Inverted{
+		postings: make(map[string][]DocID, numFeatures),
+		numDocs:  int(numDocs),
+	}
+	for i := uint64(0); i < numFeatures; i++ {
+		f := d.string()
+		count := d.uvarint()
+		if d.err != nil {
+			return nil, fmt.Errorf("corpus: decoding feature %d: %w", i, d.err)
+		}
+		if count > uint64(len(data)) {
+			return nil, fmt.Errorf("corpus: feature %q: implausible posting count %d", f, count)
+		}
+		list := make([]DocID, count)
+		prev := uint64(0)
+		for j := range list {
+			gap := d.uvarint()
+			if d.err != nil {
+				return nil, fmt.Errorf("corpus: feature %q posting %d: %w", f, j, d.err)
+			}
+			if j == 0 {
+				prev = gap
+			} else {
+				prev += gap
+			}
+			if prev >= numDocs {
+				return nil, fmt.Errorf("corpus: feature %q posting %d: doc %d out of range %d", f, j, prev, numDocs)
+			}
+			list[j] = DocID(prev)
+		}
+		if _, dup := ix.postings[f]; dup {
+			return nil, fmt.Errorf("corpus: duplicate feature %q", f)
+		}
+		ix.postings[f] = list
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.pos != len(data) {
+		return nil, fmt.Errorf("corpus: %d trailing bytes after postings", len(data)-d.pos)
+	}
+	return ix, nil
+}
+
+// appendString appends a length-prefixed string.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// decoder is a sticky-error cursor over an encoded byte slice.
+type decoder struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		d.err = fmt.Errorf("truncated or malformed uvarint at offset %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.data)-d.pos) {
+		d.err = fmt.Errorf("string of %d bytes exceeds remaining %d at offset %d", n, len(d.data)-d.pos, d.pos)
+		return ""
+	}
+	s := string(d.data[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s
+}

@@ -1,0 +1,106 @@
+package corpus
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func testCorpus() *Corpus {
+	c := New()
+	c.Add(Document{Tokens: []string{"the", "quick", "brown", "fox", "\x00", "the", "fox"}})
+	c.Add(Document{
+		Tokens: []string{"query", "optimization", "in", "database", "systems"},
+		Facets: map[string]string{"venue": "sigmod", "year": "1997"},
+	})
+	c.Add(Document{Tokens: nil, Facets: map[string]string{"venue": "vldb"}})
+	c.Add(Document{Tokens: []string{"the", "quick", "database"}})
+	return c
+}
+
+func TestCorpusBinaryRoundTrip(t *testing.T) {
+	c := testCorpus()
+	data := c.AppendBinary(nil)
+	got, err := DecodeCorpus(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != c.Len() {
+		t.Fatalf("decoded %d docs, want %d", got.Len(), c.Len())
+	}
+	for i := 0; i < c.Len(); i++ {
+		want, _ := c.Doc(DocID(i))
+		d, _ := got.Doc(DocID(i))
+		if !reflect.DeepEqual(d.Tokens, want.Tokens) {
+			t.Fatalf("doc %d tokens = %v, want %v", i, d.Tokens, want.Tokens)
+		}
+		if !reflect.DeepEqual(d.Facets, want.Facets) {
+			t.Fatalf("doc %d facets = %v, want %v", i, d.Facets, want.Facets)
+		}
+	}
+}
+
+func TestCorpusBinaryDeterministic(t *testing.T) {
+	c := testCorpus()
+	a := c.AppendBinary(nil)
+	b := c.AppendBinary(nil)
+	if !bytes.Equal(a, b) {
+		t.Fatal("corpus encoding is not deterministic")
+	}
+}
+
+func TestDecodeCorpusRejectsGarbage(t *testing.T) {
+	c := testCorpus()
+	data := c.AppendBinary(nil)
+	if _, err := DecodeCorpus(data[:len(data)-3]); err == nil {
+		t.Fatal("truncated corpus accepted")
+	}
+	if _, err := DecodeCorpus(append(append([]byte(nil), data...), 0x01)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if _, err := DecodeCorpus([]byte{0xFF}); err == nil {
+		t.Fatal("malformed header accepted")
+	}
+}
+
+func TestInvertedBinaryRoundTrip(t *testing.T) {
+	c := testCorpus()
+	ix := BuildInverted(c)
+	data := ix.AppendBinary(nil)
+	got, err := DecodeInverted(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumDocs() != ix.NumDocs() {
+		t.Fatalf("numDocs = %d, want %d", got.NumDocs(), ix.NumDocs())
+	}
+	if !reflect.DeepEqual(got.Features(), ix.Features()) {
+		t.Fatalf("features = %v, want %v", got.Features(), ix.Features())
+	}
+	for _, f := range ix.Features() {
+		if !reflect.DeepEqual(got.Docs(f), ix.Docs(f)) {
+			t.Fatalf("postings for %q = %v, want %v", f, got.Docs(f), ix.Docs(f))
+		}
+	}
+	// Deterministic bytes.
+	if !bytes.Equal(data, ix.AppendBinary(nil)) {
+		t.Fatal("inverted encoding is not deterministic")
+	}
+}
+
+func TestDecodeInvertedRejectsGarbage(t *testing.T) {
+	c := testCorpus()
+	ix := BuildInverted(c)
+	data := ix.AppendBinary(nil)
+	if _, err := DecodeInverted(data[:len(data)-2]); err == nil {
+		t.Fatal("truncated inverted index accepted")
+	}
+	if _, err := DecodeInverted(append(append([]byte(nil), data...), 0x02)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	// A posting pointing past numDocs must be rejected.
+	bad := (&Inverted{postings: map[string][]DocID{"w": {9}}, numDocs: 3}).AppendBinary(nil)
+	if _, err := DecodeInverted(bad); err == nil {
+		t.Fatal("out-of-range posting accepted")
+	}
+}

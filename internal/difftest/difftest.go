@@ -139,18 +139,28 @@ func Run(opt Options) (*Report, error) {
 	return rep, nil
 }
 
-// runCorpus generates one corpus, harvests its workloads, builds the index
-// and runs every differential case.
-func runCorpus(rep *Report, cfg synth.Config, opt Options) error {
+// setup is one prepared differential corpus: the generated documents, the
+// built index, and the harvested query workloads.
+type setup struct {
+	c      *corpus.Corpus
+	ix     *core.Index
+	single [][]string
+	multi  [][]string
+}
+
+// prepare generates one corpus, harvests its workloads and builds the
+// (list-feature-restricted) index — the shared front half of every
+// differential mode.
+func prepare(cfg synth.Config, opt Options) (*setup, error) {
 	c, err := cfg.Generate()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	workers := parallel.Workers(opt.Workers)
 	extractor := textproc.ExtractorOptions{MinDocFreq: 3}
 	stats, err := textproc.Extract(c.TokenSlices(), extractor)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	wordIx := corpus.BuildInvertedParallel(c, workers)
 
@@ -160,7 +170,7 @@ func runCorpus(rep *Report, cfg synth.Config, opt Options) error {
 		Seed:       cfg.Seed + 1,
 	}, wordIx.DocFreq, c.Len())
 	if err != nil {
-		return err
+		return nil, err
 	}
 	single, err := synth.HarvestQueries(stats, synth.QuerySpec{
 		Quotas:     []synth.LengthQuota{{Words: 1, Count: opt.SingleCount}},
@@ -168,7 +178,7 @@ func runCorpus(rep *Report, cfg synth.Config, opt Options) error {
 		Seed:       cfg.Seed + 2,
 	}, wordIx.DocFreq, c.Len())
 	if err != nil {
-		return err
+		return nil, err
 	}
 	// Harvest fallbacks may pad the single-keyword quota with longer
 	// phrases; keep strictly single-keyword queries.
@@ -198,8 +208,19 @@ func runCorpus(rep *Report, cfg synth.Config, opt Options) error {
 		Workers:      opt.Workers,
 	})
 	if err != nil {
+		return nil, err
+	}
+	return &setup{c: c, ix: ix, single: single, multi: multi}, nil
+}
+
+// runCorpus generates one corpus, harvests its workloads, builds the index
+// and runs every differential case.
+func runCorpus(rep *Report, cfg synth.Config, opt Options) error {
+	s, err := prepare(cfg, opt)
+	if err != nil {
 		return err
 	}
+	ix, single, multi := s.ix, s.single, s.multi
 	ex, err := ix.Exact()
 	if err != nil {
 		return err

@@ -1,0 +1,131 @@
+package difftest
+
+// Snapshot round-trip mode: the persistence analogue of the differential
+// contract. A built index is serialized to a snapshot, loaded back, and
+// both indexes answer the harvested workload side by side. Persistence
+// must be invisible to queries — every algorithm, operator and fraction
+// must return bit-identical phrase IDs and scores on the loaded index —
+// so any divergence is a hard failure, recorded in Report.Failures.
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+
+	"phrasemine/internal/core"
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/synth"
+	"phrasemine/internal/topk"
+)
+
+// RunSnapshotRoundTrip executes the snapshot differential: for every
+// corpus in opt, build -> save -> load -> compare all query answers. The
+// returned report counts each compared (query, operator, fraction,
+// algorithm) evaluation as one case.
+func RunSnapshotRoundTrip(opt Options) (*Report, error) {
+	if opt.K <= 0 {
+		opt.K = 5
+	}
+	rep := &Report{
+		MeanPrecision: map[Key]float64{},
+		precisionSum:  map[Key]float64{},
+		precisionN:    map[Key]int{},
+	}
+	for _, cfg := range opt.Corpora {
+		if err := runSnapshotCorpus(rep, cfg, opt); err != nil {
+			return nil, fmt.Errorf("difftest: snapshot corpus %s: %w", cfg.Name, err)
+		}
+	}
+	return rep, nil
+}
+
+func runSnapshotCorpus(rep *Report, cfg synth.Config, opt Options) error {
+	s, err := prepare(cfg, opt)
+	if err != nil {
+		return err
+	}
+
+	var buf bytes.Buffer
+	if _, err := s.ix.WriteSnapshot(&buf); err != nil {
+		return err
+	}
+	// Determinism: saving the same index twice must produce the same bytes.
+	var again bytes.Buffer
+	if _, err := s.ix.WriteSnapshot(&again); err != nil {
+		return err
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		rep.failf("%s: snapshot serialization is not deterministic", cfg.Name)
+	}
+	loaded, err := core.LoadSnapshot(bytes.NewReader(buf.Bytes()), opt.Workers)
+	if err != nil {
+		return err
+	}
+
+	queries := append(append([][]string(nil), s.single...), s.multi...)
+	smjOrig := map[float64]*core.SMJIndex{}
+	smjLoaded := map[float64]*core.SMJIndex{}
+	for _, frac := range opt.Fractions {
+		smjOrig[frac] = s.ix.BuildSMJ(frac)
+		smjLoaded[frac] = loaded.BuildSMJ(frac)
+	}
+
+	for _, op := range []corpus.Operator{corpus.OpAND, corpus.OpOR} {
+		for _, kws := range queries {
+			q := corpus.NewQuery(op, kws...)
+			for _, frac := range opt.Fractions {
+				a, _, err := s.ix.QueryNRA(q, topk.NRAOptions{K: opt.K, Fraction: frac})
+				if err != nil {
+					rep.failf("%s %v@%g: NRA on original: %v", cfg.Name, q, frac, err)
+					continue
+				}
+				b, _, err := loaded.QueryNRA(q, topk.NRAOptions{K: opt.K, Fraction: frac})
+				if err != nil {
+					rep.failf("%s %v@%g: NRA on loaded: %v", cfg.Name, q, frac, err)
+					continue
+				}
+				if !reflect.DeepEqual(a, b) {
+					rep.failf("%s %v@%g: NRA diverges after round-trip: %v vs %v", cfg.Name, q, frac, a, b)
+				}
+				rep.Cases++
+
+				sa, _, err := s.ix.QuerySMJ(smjOrig[frac], q, topk.SMJOptions{K: opt.K})
+				if err != nil {
+					rep.failf("%s %v@%g: SMJ on original: %v", cfg.Name, q, frac, err)
+					continue
+				}
+				sb, _, err := loaded.QuerySMJ(smjLoaded[frac], q, topk.SMJOptions{K: opt.K})
+				if err != nil {
+					rep.failf("%s %v@%g: SMJ on loaded: %v", cfg.Name, q, frac, err)
+					continue
+				}
+				if !reflect.DeepEqual(sa, sb) {
+					rep.failf("%s %v@%g: SMJ diverges after round-trip: %v vs %v", cfg.Name, q, frac, sa, sb)
+				}
+				rep.Cases++
+			}
+
+			// GM is exact and fraction-independent; compare once per query.
+			ga, err := s.ix.GM()
+			if err != nil {
+				return err
+			}
+			gb, err := loaded.GM()
+			if err != nil {
+				rep.failf("%s %v: GM on loaded: %v", cfg.Name, q, err)
+				continue
+			}
+			ra, _, errA := ga.TopK(q, opt.K)
+			rb, _, errB := gb.TopK(q, opt.K)
+			if (errA == nil) != (errB == nil) {
+				rep.failf("%s %v: GM error asymmetry: %v vs %v", cfg.Name, q, errA, errB)
+				continue
+			}
+			if errA == nil && !reflect.DeepEqual(ra, rb) {
+				rep.failf("%s %v: GM diverges after round-trip", cfg.Name, q)
+			}
+			rep.Cases++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package difftest
+
+import "testing"
+
+// TestSnapshotRoundTripDifferential asserts that persistence is invisible
+// to queries: a saved-and-loaded index answers the full harvested workload
+// (NRA and SMJ at every fraction, plus GM) identically to the in-memory
+// index it was saved from.
+func TestSnapshotRoundTripDifferential(t *testing.T) {
+	rep, err := RunSnapshotRoundTrip(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cases < 100 {
+		t.Fatalf("only %d differential cases ran, want >= 100", rep.Cases)
+	}
+	for _, f := range rep.Failures {
+		t.Error(f)
+	}
+	if len(rep.Failures) > 0 {
+		t.Fatalf("%d snapshot round-trip violations", len(rep.Failures))
+	}
+}

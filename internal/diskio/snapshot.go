@@ -1,0 +1,232 @@
+package diskio
+
+// This file implements the snapshot container: a versioned, checksummed
+// collection of named byte sections used to persist a fully built miner
+// (corpus, indexes, phrase lists) so it can be reloaded without rebuilding.
+// The container knows nothing about the section contents — each package
+// serializes its own structures and hands the bytes to a SnapshotWriter;
+// ReadSnapshot gives them back after verifying integrity.
+//
+// File layout (all integers little-endian):
+//
+//	[0,8)    magic "PMSNAP01"
+//	[8,12)   format version uint32
+//	[12,16)  section count uint32
+//	then, per section, in the order they were added:
+//	         nameLen  uint16
+//	         name     nameLen bytes
+//	         size     uint64 (payload bytes)
+//	         crc32    uint32 (IEEE, of the payload)
+//	         payload  size bytes
+//
+// A snapshot whose magic, version, or any section checksum does not match
+// is rejected at read time, so stale or corrupted snapshots can never be
+// half-loaded into a serving process.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+var snapshotMagic = [8]byte{'P', 'M', 'S', 'N', 'A', 'P', '0', '1'}
+
+const (
+	snapshotHeaderSize  = 16
+	sectionHeaderFixed  = 2 + 8 + 4 // nameLen + size + crc32
+	maxSectionNameBytes = 1 << 12
+	maxSections         = 1 << 16
+)
+
+// SnapshotWriter assembles a snapshot from named sections. Sections are
+// written in the order they were added; names must be unique.
+type SnapshotWriter struct {
+	version  uint32
+	names    []string
+	payloads [][]byte
+	seen     map[string]bool
+}
+
+// NewSnapshotWriter starts an empty snapshot with the given format version.
+func NewSnapshotWriter(version uint32) *SnapshotWriter {
+	return &SnapshotWriter{version: version, seen: make(map[string]bool)}
+}
+
+// Add appends a named section. The writer keeps a reference to payload;
+// callers must not mutate it before WriteTo returns.
+func (w *SnapshotWriter) Add(name string, payload []byte) error {
+	if name == "" {
+		return fmt.Errorf("diskio: empty snapshot section name")
+	}
+	if len(name) > maxSectionNameBytes {
+		return fmt.Errorf("diskio: snapshot section name of %d bytes exceeds limit %d", len(name), maxSectionNameBytes)
+	}
+	if w.seen[name] {
+		return fmt.Errorf("diskio: duplicate snapshot section %q", name)
+	}
+	if len(w.names) >= maxSections {
+		return fmt.Errorf("diskio: snapshot section count exceeds limit %d", maxSections)
+	}
+	w.seen[name] = true
+	w.names = append(w.names, name)
+	w.payloads = append(w.payloads, payload)
+	return nil
+}
+
+// WriteTo serializes the snapshot. It may be called once; the writer is
+// not reusable afterwards only by convention (calling again rewrites the
+// same sections).
+func (w *SnapshotWriter) WriteTo(out io.Writer) (int64, error) {
+	var written int64
+	var hdr [snapshotHeaderSize]byte
+	copy(hdr[:8], snapshotMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], w.version)
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(w.names)))
+	n, err := out.Write(hdr[:])
+	written += int64(n)
+	if err != nil {
+		return written, fmt.Errorf("diskio: writing snapshot header: %w", err)
+	}
+	for i, name := range w.names {
+		payload := w.payloads[i]
+		sh := make([]byte, 2+len(name)+12)
+		binary.LittleEndian.PutUint16(sh[0:2], uint16(len(name)))
+		copy(sh[2:], name)
+		binary.LittleEndian.PutUint64(sh[2+len(name):], uint64(len(payload)))
+		binary.LittleEndian.PutUint32(sh[2+len(name)+8:], crc32.ChecksumIEEE(payload))
+		n, err = out.Write(sh)
+		written += int64(n)
+		if err != nil {
+			return written, fmt.Errorf("diskio: writing section header %q: %w", name, err)
+		}
+		n, err = out.Write(payload)
+		written += int64(n)
+		if err != nil {
+			return written, fmt.Errorf("diskio: writing section %q: %w", name, err)
+		}
+	}
+	return written, nil
+}
+
+// Snapshot is a parsed, integrity-checked snapshot.
+type Snapshot struct {
+	version  uint32
+	names    []string
+	sections map[string][]byte
+}
+
+// ReadSnapshot parses a snapshot, verifying the magic, the format version
+// and every section checksum. wantVersion is the version the caller was
+// compiled against; any other version is rejected as stale.
+func ReadSnapshot(r io.Reader, wantVersion uint32) (*Snapshot, error) {
+	var hdr [snapshotHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("diskio: reading snapshot header: %w", err)
+	}
+	if !bytes.Equal(hdr[:8], snapshotMagic[:]) {
+		return nil, fmt.Errorf("diskio: not a snapshot (bad magic %q)", hdr[:8])
+	}
+	version := binary.LittleEndian.Uint32(hdr[8:12])
+	if version != wantVersion {
+		return nil, fmt.Errorf("diskio: stale snapshot: format version %d, this build reads version %d (rebuild the snapshot)", version, wantVersion)
+	}
+	count := int(binary.LittleEndian.Uint32(hdr[12:16]))
+	if count > maxSections {
+		return nil, fmt.Errorf("diskio: implausible snapshot section count %d", count)
+	}
+	s := &Snapshot{
+		version:  version,
+		sections: make(map[string][]byte, count),
+	}
+	for i := 0; i < count; i++ {
+		var nl [2]byte
+		if _, err := io.ReadFull(r, nl[:]); err != nil {
+			return nil, fmt.Errorf("diskio: reading section %d header: %w", i, err)
+		}
+		nameLen := int(binary.LittleEndian.Uint16(nl[:]))
+		if nameLen == 0 || nameLen > maxSectionNameBytes {
+			return nil, fmt.Errorf("diskio: implausible section name length %d", nameLen)
+		}
+		rest := make([]byte, nameLen+12)
+		if _, err := io.ReadFull(r, rest); err != nil {
+			return nil, fmt.Errorf("diskio: reading section %d header: %w", i, err)
+		}
+		name := string(rest[:nameLen])
+		size := binary.LittleEndian.Uint64(rest[nameLen : nameLen+8])
+		sum := binary.LittleEndian.Uint32(rest[nameLen+8:])
+		if size > 1<<40 {
+			return nil, fmt.Errorf("diskio: implausible section %q size %d", name, size)
+		}
+		if _, dup := s.sections[name]; dup {
+			return nil, fmt.Errorf("diskio: duplicate snapshot section %q", name)
+		}
+		payload, err := readPayload(r, size)
+		if err != nil {
+			return nil, fmt.Errorf("diskio: reading section %q (%d bytes): %w", name, size, err)
+		}
+		if got := crc32.ChecksumIEEE(payload); got != sum {
+			return nil, fmt.Errorf("diskio: section %q checksum mismatch (corrupted snapshot)", name)
+		}
+		s.names = append(s.names, name)
+		s.sections[name] = payload
+	}
+	return s, nil
+}
+
+// payloadChunk bounds how much readPayload allocates ahead of the bytes
+// actually read, so a corrupted size field fails at the file's true end
+// instead of attempting one giant allocation (which would OOM the loader
+// rather than cleanly rejecting the snapshot).
+const payloadChunk = 4 << 20
+
+// readPayload reads exactly size bytes, growing the buffer chunk by chunk.
+func readPayload(r io.Reader, size uint64) ([]byte, error) {
+	if size <= payloadChunk {
+		buf := make([]byte, size)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	buf := make([]byte, 0, payloadChunk)
+	for remaining := size; remaining > 0; {
+		n := uint64(payloadChunk)
+		if n > remaining {
+			n = remaining
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, n)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, err
+		}
+		remaining -= n
+	}
+	return buf, nil
+}
+
+// Version reports the snapshot's format version.
+func (s *Snapshot) Version() uint32 { return s.version }
+
+// Sections lists the section names in file order.
+func (s *Snapshot) Sections() []string {
+	return append([]string(nil), s.names...)
+}
+
+// Section returns a section's payload. The second result reports presence,
+// mirroring map access.
+func (s *Snapshot) Section(name string) ([]byte, bool) {
+	b, ok := s.sections[name]
+	return b, ok
+}
+
+// MustSection returns a named section or an error naming it — the common
+// path for loaders whose sections are all mandatory.
+func (s *Snapshot) MustSection(name string) ([]byte, error) {
+	b, ok := s.sections[name]
+	if !ok {
+		return nil, fmt.Errorf("diskio: snapshot has no %q section", name)
+	}
+	return b, nil
+}

@@ -1,0 +1,147 @@
+package diskio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	w := NewSnapshotWriter(3)
+	sections := map[string][]byte{
+		"meta":   []byte(`{"k":1}`),
+		"corpus": bytes.Repeat([]byte{0xAB, 0x00, 0x7F}, 1000),
+		"empty":  nil,
+	}
+	for _, name := range []string{"meta", "corpus", "empty"} {
+		if err := w.Add(name, sections[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	n, err := w.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	s, err := ReadSnapshot(bytes.NewReader(buf.Bytes()), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Version() != 3 {
+		t.Fatalf("version = %d, want 3", s.Version())
+	}
+	if got := s.Sections(); len(got) != 3 || got[0] != "meta" || got[1] != "corpus" || got[2] != "empty" {
+		t.Fatalf("sections = %v", got)
+	}
+	for name, want := range sections {
+		got, ok := s.Section(name)
+		if !ok {
+			t.Fatalf("section %q missing", name)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("section %q payload mismatch", name)
+		}
+	}
+	if _, ok := s.Section("nope"); ok {
+		t.Fatal("absent section reported present")
+	}
+	if _, err := s.MustSection("nope"); err == nil {
+		t.Fatal("MustSection on absent section should error")
+	}
+}
+
+func TestSnapshotWriterRejectsBadSections(t *testing.T) {
+	w := NewSnapshotWriter(1)
+	if err := w.Add("", nil); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := w.Add("dup", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add("dup", nil); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if err := w.Add(strings.Repeat("x", maxSectionNameBytes+1), nil); err == nil {
+		t.Fatal("oversized name accepted")
+	}
+}
+
+func snapshotBytes(t *testing.T, version uint32) []byte {
+	t.Helper()
+	w := NewSnapshotWriter(version)
+	if err := w.Add("data", []byte("hello snapshot payload")); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadSnapshotRejectsStaleVersion(t *testing.T) {
+	data := snapshotBytes(t, 1)
+	_, err := ReadSnapshot(bytes.NewReader(data), 2)
+	if err == nil || !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("version mismatch not rejected as stale: %v", err)
+	}
+}
+
+func TestReadSnapshotRejectsBadMagic(t *testing.T) {
+	data := snapshotBytes(t, 1)
+	data[0] ^= 0xFF
+	if _, err := ReadSnapshot(bytes.NewReader(data), 1); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReadSnapshotRejectsCorruption(t *testing.T) {
+	data := snapshotBytes(t, 1)
+	// Flip a byte in the payload (the last byte of the file).
+	data[len(data)-1] ^= 0xFF
+	_, err := ReadSnapshot(bytes.NewReader(data), 1)
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corruption not detected: %v", err)
+	}
+}
+
+func TestReadSnapshotRejectsCorruptedSizeField(t *testing.T) {
+	data := snapshotBytes(t, 1)
+	// The section's uint64 size field sits after the 16-byte header, the
+	// 2-byte name length and the 4-byte name. Corrupt it to a huge value:
+	// the reader must fail cleanly at the file's true end, not attempt a
+	// giant allocation.
+	off := snapshotHeaderSize + 2 + len("data")
+	binary.LittleEndian.PutUint64(data[off:], 1<<38)
+	if _, err := ReadSnapshot(bytes.NewReader(data), 1); err == nil {
+		t.Fatal("corrupted size field accepted")
+	}
+}
+
+func TestReadPayloadChunked(t *testing.T) {
+	big := bytes.Repeat([]byte{7}, payloadChunk+1234)
+	got, err := readPayload(bytes.NewReader(big), uint64(len(big)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatal("chunked payload read mismatch")
+	}
+	if _, err := readPayload(bytes.NewReader(big[:100]), uint64(len(big))); err == nil {
+		t.Fatal("short input accepted")
+	}
+}
+
+func TestReadSnapshotRejectsTruncation(t *testing.T) {
+	data := snapshotBytes(t, 1)
+	for _, cut := range []int{len(data) - 5, snapshotHeaderSize + 3, snapshotHeaderSize, 4} {
+		if _, err := ReadSnapshot(bytes.NewReader(data[:cut]), 1); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

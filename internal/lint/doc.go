@@ -1,0 +1,6 @@
+// Package lint holds repository-hygiene checks that run as ordinary Go
+// tests: godoc presence on every package and on each exported identifier
+// of the public API, and link integrity of the markdown documentation
+// (README.md and docs/). It contains no production code — the tests are
+// the product — and backs CI's docs/lint job.
+package lint

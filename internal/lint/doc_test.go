@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot is the module root relative to this package's directory.
+const repoRoot = "../.."
+
+// packageDirs returns every directory under root (inclusive) containing
+// non-test Go files, excluding testdata.
+func packageDirs(t *testing.T) []string {
+	t.Helper()
+	var dirs []string
+	err := filepath.WalkDir(repoRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if name == "testdata" || strings.HasPrefix(name, ".") && path != repoRoot {
+			return filepath.SkipDir
+		}
+		matches, err := filepath.Glob(filepath.Join(path, "*.go"))
+		if err != nil {
+			return err
+		}
+		for _, m := range matches {
+			if !strings.HasSuffix(m, "_test.go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dirs
+}
+
+// TestEveryPackageHasGodoc enforces that every package in the repository
+// (the public API, every internal package, every command and example)
+// carries a package-level doc comment in at least one of its files.
+func TestEveryPackageHasGodoc(t *testing.T) {
+	for _, dir := range packageDirs(t) {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for name, pkg := range pkgs {
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				t.Errorf("package %s (in %s) has no package-level doc comment", name, dir)
+			}
+		}
+	}
+}
+
+// TestPublicAPIExportedIdentifiersDocumented enforces doc comments on
+// every exported identifier of the root phrasemine package — the API
+// surface library users read through godoc.
+func TestPublicAPIExportedIdentifiersDocumented(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join(repoRoot, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, path := range matches {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := filepath.Base(path)
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && !hasDoc(d.Doc) {
+					t.Errorf("%s: exported %s %s has no doc comment", base, funcKind(d), funcName(d))
+				}
+			case *ast.GenDecl:
+				checkGenDecl(t, base, d)
+			}
+		}
+	}
+}
+
+// checkGenDecl flags undocumented exported names in a const/var/type
+// declaration: either the declaration or the individual spec must carry a
+// doc comment.
+func checkGenDecl(t *testing.T, file string, d *ast.GenDecl) {
+	t.Helper()
+	declDocumented := hasDoc(d.Doc)
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && !declDocumented && !hasDoc(s.Doc) {
+				t.Errorf("%s: exported type %s has no doc comment", file, s.Name.Name)
+			}
+			if st, ok := s.Type.(*ast.StructType); ok && s.Name.IsExported() {
+				for _, field := range st.Fields.List {
+					for _, n := range field.Names {
+						if n.IsExported() && !hasDoc(field.Doc) && field.Comment == nil {
+							t.Errorf("%s: exported field %s.%s has no doc comment", file, s.Name.Name, n.Name)
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, n := range s.Names {
+				if n.IsExported() && !declDocumented && !hasDoc(s.Doc) && s.Comment == nil {
+					t.Errorf("%s: exported %s %s has no doc comment", file, declKind(d.Tok), n.Name)
+				}
+			}
+		}
+	}
+}
+
+func hasDoc(g *ast.CommentGroup) bool {
+	return g != nil && strings.TrimSpace(g.Text()) != ""
+}
+
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+func funcName(d *ast.FuncDecl) string {
+	if d.Recv != nil && len(d.Recv.List) == 1 {
+		return fmt.Sprintf("(%s).%s", typeName(d.Recv.List[0].Type), d.Name.Name)
+	}
+	return d.Name.Name
+}
+
+func typeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return "*" + typeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+func declKind(tok token.Token) string {
+	return strings.ToLower(tok.String())
+}

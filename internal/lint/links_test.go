@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// markdownFiles lists the documentation files whose links are checked.
+func markdownFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{filepath.Join(repoRoot, "README.md")}
+	docs, err := filepath.Glob(filepath.Join(repoRoot, "docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(files, docs...)
+}
+
+// linkPattern matches inline markdown links [text](target), skipping
+// images' leading bang via the capture of the target only.
+var linkPattern = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinksResolve checks that every relative link in README.md
+// and docs/*.md points at a file or directory that exists. External links
+// (http, https, mailto) are skipped — CI has no network — and pure
+// fragment links are checked against the current file's headings.
+func TestMarkdownLinksResolve(t *testing.T) {
+	for _, md := range markdownFiles(t) {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatalf("%s: %v (is the documentation file missing?)", md, err)
+		}
+		content := string(data)
+		for _, m := range linkPattern.FindAllStringSubmatch(content, -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"):
+				continue
+			case strings.HasPrefix(target, "#"):
+				if !anchorExists(content, target[1:]) {
+					t.Errorf("%s: fragment link %q has no matching heading", md, target)
+				}
+				continue
+			}
+			path := target
+			if i := strings.IndexByte(path, '#'); i >= 0 {
+				path = path[:i]
+			}
+			resolved := filepath.Join(filepath.Dir(md), path)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved to %s)", md, target, resolved)
+			}
+		}
+	}
+}
+
+// headingPattern matches ATX headings.
+var headingPattern = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*$`)
+
+// anchorExists reports whether a GitHub-style anchor slug matches one of
+// the document's headings.
+func anchorExists(content, anchor string) bool {
+	for _, h := range headingPattern.FindAllStringSubmatch(content, -1) {
+		if slugify(h[1]) == anchor {
+			return true
+		}
+	}
+	return false
+}
+
+// slugify approximates GitHub's heading-anchor algorithm: lowercase, drop
+// everything but letters/digits/spaces/hyphens, spaces to hyphens.
+func slugify(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// TestRequiredDocsExist pins the documentation suite: the quickstart
+// README and the architecture document must both be present and
+// non-trivial.
+func TestRequiredDocsExist(t *testing.T) {
+	for _, f := range []string{
+		filepath.Join(repoRoot, "README.md"),
+		filepath.Join(repoRoot, "docs", "ARCHITECTURE.md"),
+	} {
+		info, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("required documentation missing: %v", err)
+		}
+		if info.Size() < 1024 {
+			t.Errorf("%s is implausibly small (%d bytes)", f, info.Size())
+		}
+	}
+}

@@ -242,6 +242,29 @@ func (r *Reader) ReadList(word string) ([]Entry, error) {
 	return DecodeEntries(data)
 }
 
+// ReadAllScoreLists bulk-loads every list of a score-ordered index file
+// back into the in-memory map form consumed by query processing — the
+// snapshot-load path. It validates each list's ordering invariant so a
+// corrupted index cannot silently mis-answer queries.
+func (r *Reader) ReadAllScoreLists() (map[string]ScoreList, error) {
+	if r.ordering != OrderScore {
+		return nil, fmt.Errorf("plist: index is %v-ordered, want score-ordered", r.ordering)
+	}
+	out := make(map[string]ScoreList, len(r.words))
+	for _, word := range r.words {
+		entries, err := r.ReadList(word)
+		if err != nil {
+			return nil, err
+		}
+		l := ScoreList(entries)
+		if err := l.Validate(); err != nil {
+			return nil, fmt.Errorf("plist: list %q: %w", word, err)
+		}
+		out[word] = l
+	}
+	return out, nil
+}
+
 // FileCursor iterates one list entry at a time through the underlying
 // ReaderAt. Per-entry reads deliberately mirror how the NRA algorithm
 // consumes lists ("the first entries of each of the r lists are read,

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"phrasemine"
+)
+
+// CacheStats is a point-in-time summary of result-cache effectiveness,
+// reported by /stats.
+type CacheStats struct {
+	Capacity      int   `json:"capacity"`
+	Entries       int   `json:"entries"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Invalidations int64 `json:"invalidations"`
+}
+
+// resultCache is a bounded, mutex-guarded LRU of successful query results
+// keyed on the normalized query string. Only successful responses are
+// cached — errors are cheap to recompute and must not be pinned.
+type resultCache struct {
+	mu            sync.Mutex
+	capacity      int
+	entries       map[string]*list.Element
+	order         *list.List // front = most recently used
+	hits          int64
+	misses        int64
+	invalidations int64
+	// gen counts invalidations; Put drops results computed before the
+	// latest one (see Generation).
+	gen int64
+}
+
+type cacheEntry struct {
+	key     string
+	results []phrasemine.Result
+}
+
+// newResultCache creates a cache holding up to capacity entries. A
+// capacity <= 0 disables caching: Get always misses and Put is a no-op.
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// Get returns the cached results for key, marking them most recently used.
+func (c *resultCache) Get(key string) ([]phrasemine.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).results, true
+}
+
+// Generation returns the invalidation counter. Callers snapshot it before
+// computing a result and hand it back to Put, which discards results from
+// a superseded generation — without this, a query that started before a
+// corpus mutation could insert its stale answer after the invalidation
+// and poison the cache until the next mutation.
+func (c *resultCache) Generation() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// Put stores results computed at generation gen under key, evicting the
+// least recently used entry when the cache is full. Results from an older
+// generation (the corpus changed while the query ran) are dropped.
+func (c *resultCache) Put(key string, results []phrasemine.Result, gen int64) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).results = results
+		c.order.MoveToFront(el)
+		return
+	}
+	for len(c.entries) >= c.capacity {
+		lru := c.order.Back()
+		c.order.Remove(lru)
+		delete(c.entries, lru.Value.(*cacheEntry).key)
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, results: results})
+}
+
+// Invalidate drops every entry. Called whenever the corpus changes
+// (Add/Remove/Flush), since any cached answer may now be stale.
+func (c *resultCache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) > 0 {
+		c.entries = make(map[string]*list.Element)
+		c.order.Init()
+	}
+	c.invalidations++
+	c.gen++
+}
+
+// Stats snapshots the cache counters.
+func (c *resultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Capacity:      c.capacity,
+		Entries:       len(c.entries),
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Invalidations: c.invalidations,
+	}
+}

@@ -1,0 +1,476 @@
+// Package server exposes a loaded phrasemine.Miner over an HTTP JSON API,
+// turning the library into a deployable query service. The expensive
+// indexing pass happens once (at build time or snapshot load); the server
+// amortizes it across many cheap queries.
+//
+// Endpoints:
+//
+//	POST   /mine        one top-k interesting-phrase query
+//	POST   /mine/batch  many queries through the miner's bounded pool
+//	GET    /stats       corpus, index, and cache statistics
+//	GET    /healthz     liveness probe
+//	POST   /docs        register a document (delta update, visible at flush)
+//	DELETE /docs/{id}   register a document removal
+//	POST   /flush       rebuild indexes over the updated corpus
+//
+// Every successful /mine answer is cached in a bounded LRU keyed on the
+// normalized query (keywords after phrasemine.NormalizeKeywords, sorted
+// and deduplicated, plus operator, k, algorithm, and list fraction), so
+// repeated identical queries cost a map lookup. Any corpus mutation
+// (/docs, /flush) invalidates the whole cache: a stale answer is worse
+// than a recomputed one.
+//
+// Queries run under a per-request timeout. A query that exceeds it gets a
+// 504 response; its goroutine finishes in the background (the miner has no
+// internal cancellation points) and its result is discarded.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"phrasemine"
+)
+
+// Options configures a Server.
+type Options struct {
+	// CacheSize bounds the result cache in entries. Zero selects
+	// DefaultCacheSize; negative disables caching.
+	CacheSize int
+	// QueryTimeout bounds one /mine call (and one whole /mine/batch
+	// call). Zero selects DefaultQueryTimeout.
+	QueryTimeout time.Duration
+	// MaxBatch bounds the number of queries in one /mine/batch request.
+	// Zero selects DefaultMaxBatch.
+	MaxBatch int
+	// MaxBodyBytes bounds request body size. Zero selects
+	// DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+}
+
+// Defaults for the zero Options values.
+const (
+	DefaultCacheSize    = 1024
+	DefaultQueryTimeout = 10 * time.Second
+	DefaultMaxBatch     = 64
+	DefaultMaxBodyBytes = 1 << 20
+)
+
+// Server serves phrase-mining queries over a Miner. Create one with New;
+// it is an http.Handler.
+type Server struct {
+	miner *phrasemine.Miner
+	opts  Options
+	cache *resultCache
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New wraps a miner in an HTTP handler. Mutations must go through the
+// server's endpoints (or InvalidateCache must be called) for the result
+// cache to stay consistent with the corpus.
+func New(m *phrasemine.Miner, opts Options) *Server {
+	if opts.CacheSize == 0 {
+		opts.CacheSize = DefaultCacheSize
+	}
+	if opts.QueryTimeout <= 0 {
+		opts.QueryTimeout = DefaultQueryTimeout
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = DefaultMaxBatch
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	s := &Server{
+		miner: m,
+		opts:  opts,
+		cache: newResultCache(opts.CacheSize),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("POST /mine", s.handleMine)
+	s.mux.HandleFunc("POST /mine/batch", s.handleMineBatch)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /docs", s.handleAddDoc)
+	s.mux.HandleFunc("DELETE /docs/{id}", s.handleRemoveDoc)
+	s.mux.HandleFunc("POST /flush", s.handleFlush)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// InvalidateCache drops every cached result. Exposed for callers that
+// mutate the miner outside the server's endpoints.
+func (s *Server) InvalidateCache() {
+	s.cache.Invalidate()
+}
+
+// MineRequest is the /mine request body (and one element of a batch).
+type MineRequest struct {
+	// Keywords are the query keywords; facet queries use "name:value".
+	Keywords []string `json:"keywords"`
+	// Op is "AND" or "OR" (case-insensitive; default "OR").
+	Op string `json:"op,omitempty"`
+	// K is the result depth (0 selects the miner's default of 5).
+	K int `json:"k,omitempty"`
+	// Algorithm is "", "auto", "nra", "smj", "gm", or "exact".
+	Algorithm string `json:"algorithm,omitempty"`
+	// Fraction is the partial-list fraction in (0,1]; 0 means full lists.
+	Fraction float64 `json:"fraction,omitempty"`
+}
+
+// MineResult is one phrase of a /mine response.
+type MineResult struct {
+	Phrase          string  `json:"phrase"`
+	Score           float64 `json:"score"`
+	Interestingness float64 `json:"interestingness"`
+}
+
+// MineResponse is the /mine response body.
+type MineResponse struct {
+	Results []MineResult `json:"results"`
+	// Cached reports whether the answer came from the result cache.
+	Cached bool `json:"cached"`
+}
+
+// BatchRequest is the /mine/batch request body.
+type BatchRequest struct {
+	Queries []MineRequest `json:"queries"`
+}
+
+// BatchItemResponse is one slot of a /mine/batch response: Error is empty
+// iff the query succeeded.
+type BatchItemResponse struct {
+	Results []MineResult `json:"results,omitempty"`
+	Cached  bool         `json:"cached,omitempty"`
+	Error   string       `json:"error,omitempty"`
+}
+
+// BatchResponse is the /mine/batch response body.
+type BatchResponse struct {
+	Results []BatchItemResponse `json:"results"`
+}
+
+// StatsResponse is the /stats response body.
+type StatsResponse struct {
+	Documents      int        `json:"documents"`
+	Phrases        int        `json:"phrases"`
+	VocabSize      int        `json:"vocab_size"`
+	PendingUpdates int        `json:"pending_updates"`
+	UptimeSeconds  float64    `json:"uptime_seconds"`
+	Cache          CacheStats `json:"cache"`
+}
+
+// errorResponse is the JSON body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// parsedQuery is a validated MineRequest ready for the miner.
+type parsedQuery struct {
+	keywords []string
+	op       phrasemine.Operator
+	opt      phrasemine.QueryOptions
+	cacheKey string
+}
+
+// parseMineRequest validates one request and computes its cache key.
+func parseMineRequest(req MineRequest) (parsedQuery, error) {
+	var p parsedQuery
+	normalized := phrasemine.NormalizeKeywords(req.Keywords)
+	if len(normalized) == 0 {
+		return p, fmt.Errorf("no keywords given")
+	}
+	switch strings.ToUpper(strings.TrimSpace(req.Op)) {
+	case "", "OR":
+		p.op = phrasemine.OR
+	case "AND":
+		p.op = phrasemine.AND
+	default:
+		return p, fmt.Errorf("unknown op %q (want AND or OR)", req.Op)
+	}
+	switch strings.ToLower(strings.TrimSpace(req.Algorithm)) {
+	case "", "auto":
+		p.opt.Algorithm = phrasemine.AlgoAuto
+	case "nra":
+		p.opt.Algorithm = phrasemine.AlgoNRA
+	case "smj":
+		p.opt.Algorithm = phrasemine.AlgoSMJ
+	case "gm":
+		p.opt.Algorithm = phrasemine.AlgoGM
+	case "exact":
+		p.opt.Algorithm = phrasemine.AlgoExact
+	default:
+		return p, fmt.Errorf("unknown algorithm %q (want auto, nra, smj, gm, or exact)", req.Algorithm)
+	}
+	if req.K < 0 {
+		return p, fmt.Errorf("k must be non-negative, got %d", req.K)
+	}
+	p.opt.K = req.K
+	if req.Fraction < 0 || req.Fraction > 1 {
+		return p, fmt.Errorf("fraction must be in [0,1], got %v", req.Fraction)
+	}
+	p.opt.ListFraction = req.Fraction
+	p.keywords = req.Keywords
+
+	// Cache key: the normalized keyword set is sorted and deduplicated —
+	// AND and OR are commutative and the miner deduplicates too, so
+	// "trade oil" and "oil trade" share one entry.
+	key := append([]string(nil), normalized...)
+	sort.Strings(key)
+	key = slices.Compact(key)
+	k := p.opt.K
+	if k == 0 {
+		k = 5
+	}
+	frac := p.opt.ListFraction
+	if frac == 0 {
+		frac = 1
+	}
+	p.cacheKey = fmt.Sprintf("%s|%s|%d|%s|%g",
+		strings.Join(key, "\x1f"), p.op, k, p.opt.Algorithm, frac)
+	return p, nil
+}
+
+func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	var req MineRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	p, err := parseMineRequest(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Snapshot the cache generation before computing: if a mutation
+	// invalidates the cache while this query runs, Put discards the
+	// now-stale result instead of poisoning the fresh cache.
+	gen := s.cache.Generation()
+	if results, ok := s.cache.Get(p.cacheKey); ok {
+		writeJSON(w, http.StatusOK, MineResponse{Results: toMineResults(results), Cached: true})
+		return
+	}
+	results, err := s.mineWithTimeout(r, p)
+	if err != nil {
+		s.writeMineError(w, err)
+		return
+	}
+	s.cache.Put(p.cacheKey, results, gen)
+	writeJSON(w, http.StatusOK, MineResponse{Results: toMineResults(results)})
+}
+
+func (s *Server) handleMineBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	if len(req.Queries) > s.opts.MaxBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d queries exceeds limit %d", len(req.Queries), s.opts.MaxBatch))
+		return
+	}
+	gen := s.cache.Generation()
+	out := make([]BatchItemResponse, len(req.Queries))
+	parsed := make([]parsedQuery, len(req.Queries))
+	var missItems []phrasemine.BatchItem
+	var missSlots []int
+	for i, q := range req.Queries {
+		p, err := parseMineRequest(q)
+		if err != nil {
+			out[i] = BatchItemResponse{Error: err.Error()}
+			continue
+		}
+		parsed[i] = p
+		if results, ok := s.cache.Get(p.cacheKey); ok {
+			out[i] = BatchItemResponse{Results: toMineResults(results), Cached: true}
+			continue
+		}
+		missItems = append(missItems, phrasemine.BatchItem{
+			Keywords: p.keywords, Op: p.op, Options: p.opt,
+		})
+		missSlots = append(missSlots, i)
+	}
+	if len(missItems) > 0 {
+		batch, err := s.batchWithTimeout(r, missItems)
+		if err != nil {
+			s.writeMineError(w, err)
+			return
+		}
+		for j, br := range batch {
+			slot := missSlots[j]
+			if br.Err != nil {
+				out[slot] = BatchItemResponse{Error: br.Err.Error()}
+				continue
+			}
+			s.cache.Put(parsed[slot].cacheKey, br.Results, gen)
+			out[slot] = BatchItemResponse{Results: toMineResults(br.Results)}
+		}
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: out})
+}
+
+// errQueryTimeout marks a query that exceeded Options.QueryTimeout.
+var errQueryTimeout = errors.New("query timed out")
+
+// mineWithTimeout runs one Mine call bounded by the configured timeout and
+// the request's own cancellation.
+func (s *Server) mineWithTimeout(r *http.Request, p parsedQuery) ([]phrasemine.Result, error) {
+	type outcome struct {
+		results []phrasemine.Result
+		err     error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := s.miner.Mine(p.keywords, p.op, p.opt)
+		done <- outcome{res, err}
+	}()
+	timer := time.NewTimer(s.opts.QueryTimeout)
+	defer timer.Stop()
+	select {
+	case o := <-done:
+		return o.results, o.err
+	case <-timer.C:
+		return nil, errQueryTimeout
+	case <-r.Context().Done():
+		return nil, r.Context().Err()
+	}
+}
+
+// batchWithTimeout is mineWithTimeout for a whole batch.
+func (s *Server) batchWithTimeout(r *http.Request, items []phrasemine.BatchItem) ([]phrasemine.BatchResult, error) {
+	done := make(chan []phrasemine.BatchResult, 1)
+	go func() { done <- s.miner.MineBatch(items) }()
+	timer := time.NewTimer(s.opts.QueryTimeout)
+	defer timer.Stop()
+	select {
+	case res := <-done:
+		return res, nil
+	case <-timer.C:
+		return nil, errQueryTimeout
+	case <-r.Context().Done():
+		return nil, r.Context().Err()
+	}
+}
+
+// writeMineError maps query-execution failures to HTTP statuses.
+func (s *Server) writeMineError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errQueryTimeout):
+		writeError(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, http.ErrAbortHandler):
+		// unreachable; kept for symmetry
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		writeError(w, http.StatusUnprocessableEntity, err)
+	}
+}
+
+// AddDocRequest is the /docs request body.
+type AddDocRequest struct {
+	Text   string            `json:"text"`
+	Facets map[string]string `json:"facets,omitempty"`
+}
+
+func (s *Server) handleAddDoc(w http.ResponseWriter, r *http.Request) {
+	var req AddDocRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Text) == "" && len(req.Facets) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty document"))
+		return
+	}
+	s.miner.Add(phrasemine.Document{Text: req.Text, Facets: req.Facets})
+	s.cache.Invalidate()
+	writeJSON(w, http.StatusAccepted, map[string]int{"pending_updates": s.miner.PendingUpdates()})
+}
+
+func (s *Server) handleRemoveDoc(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid document id %q", r.PathValue("id")))
+		return
+	}
+	if err := s.miner.Remove(id); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.cache.Invalidate()
+	writeJSON(w, http.StatusAccepted, map[string]int{"pending_updates": s.miner.PendingUpdates()})
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if err := s.miner.Flush(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.cache.Invalidate()
+	writeJSON(w, http.StatusOK, map[string]int{"pending_updates": s.miner.PendingUpdates()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Documents:      s.miner.NumDocuments(),
+		Phrases:        s.miner.NumPhrases(),
+		VocabSize:      s.miner.VocabSize(),
+		PendingUpdates: s.miner.PendingUpdates(),
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Cache:          s.cache.Stats(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// decodeBody parses a JSON request body, rejecting oversized, malformed,
+// or trailing-garbage payloads with a 400. It reports whether decoding
+// succeeded (the error response has already been written otherwise).
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("trailing data after JSON body"))
+		return false
+	}
+	return true
+}
+
+func toMineResults(results []phrasemine.Result) []MineResult {
+	out := make([]MineResult, len(results))
+	for i, r := range results {
+		out[i] = MineResult{Phrase: r.Phrase, Score: r.Score, Interestingness: r.Interestingness}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

@@ -46,13 +46,17 @@
 package phrasemine
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"os"
 	"strings"
 	"sync"
 
 	"phrasemine/internal/baseline"
 	"phrasemine/internal/core"
 	"phrasemine/internal/corpus"
+	"phrasemine/internal/diskio"
 	"phrasemine/internal/parallel"
 	"phrasemine/internal/textproc"
 	"phrasemine/internal/topk"
@@ -107,18 +111,26 @@ const (
 
 // Document is one input document: raw text plus optional metadata facets.
 type Document struct {
-	Text   string
+	// Text is the raw document text; the miner tokenizes it.
+	Text string
+	// Facets are metadata name/value pairs ("venue" -> "sigmod"),
+	// queryable alongside keywords via Facet.
 	Facets map[string]string
 }
 
-// Config controls corpus indexing.
+// Config controls corpus indexing. The zero value selects the documented
+// default for every field, so Config{} and DefaultConfig() index
+// identically; NewMinerFromTexts and NewMinerFromDocuments reject invalid
+// settings through Validate.
 type Config struct {
-	// MinPhraseWords..MaxPhraseWords bound phrase length in words
-	// (defaults 1..6, the paper's setting).
+	// MinPhraseWords bounds phrase length in words from below (zero
+	// defaults to 1, the paper's setting).
 	MinPhraseWords int
+	// MaxPhraseWords bounds phrase length in words from above (zero
+	// defaults to 6, the paper's setting).
 	MaxPhraseWords int
 	// MinDocFreq is the minimum number of documents a phrase must appear
-	// in to be indexed (default 5).
+	// in to be indexed (zero defaults to 5).
 	MinDocFreq int
 	// DropStopwordPhrases discards phrases consisting solely of
 	// stopwords (default true; the interestingness measure already
@@ -148,6 +160,43 @@ func DefaultConfig() Config {
 	}
 }
 
+// Validate reports configuration errors with actionable messages. Zero
+// values are valid (they select the documented defaults); negative counts
+// and inverted bounds are not.
+func (c Config) Validate() error {
+	if c.MinPhraseWords < 0 {
+		return fmt.Errorf("phrasemine: MinPhraseWords must be non-negative, got %d (0 selects the default of 1)", c.MinPhraseWords)
+	}
+	if c.MaxPhraseWords < 0 {
+		return fmt.Errorf("phrasemine: MaxPhraseWords must be non-negative, got %d (0 selects the default of 6)", c.MaxPhraseWords)
+	}
+	minWords, maxWords := c.MinPhraseWords, c.MaxPhraseWords
+	if minWords == 0 {
+		minWords = 1
+	}
+	if maxWords == 0 {
+		maxWords = 6
+	}
+	if maxWords < minWords {
+		return fmt.Errorf("phrasemine: phrase length bounds inverted: MinPhraseWords=%d > MaxPhraseWords=%d", minWords, maxWords)
+	}
+	if c.MinDocFreq < 0 {
+		return fmt.Errorf("phrasemine: MinDocFreq must be non-negative, got %d (0 selects the default of 5)", c.MinDocFreq)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("phrasemine: Workers must be non-negative, got %d (0 selects GOMAXPROCS, 1 forces sequential)", c.Workers)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("phrasemine: Shards must be non-negative, got %d (0 selects 4*Workers)", c.Shards)
+	}
+	for i, k := range c.Keywords {
+		if strings.TrimSpace(k) == "" {
+			return fmt.Errorf("phrasemine: Keywords[%d] is empty", i)
+		}
+	}
+	return nil
+}
+
 // Result is one mined phrase.
 type Result struct {
 	// Phrase is the mined phrase text.
@@ -163,7 +212,8 @@ type Result struct {
 
 // QueryOptions tunes one Mine call.
 type QueryOptions struct {
-	// K is the number of phrases to return (default 5, the paper's k).
+	// K is the number of phrases to return (0 selects the paper's
+	// default of 5; negative values are an error).
 	K int
 	// Algorithm selects the strategy (default AlgoAuto).
 	Algorithm Algorithm
@@ -210,6 +260,9 @@ func NewMinerFromTexts(texts []string, cfg Config) (*Miner, error) {
 func NewMinerFromDocuments(docs []Document, cfg Config) (*Miner, error) {
 	if len(docs) == 0 {
 		return nil, fmt.Errorf("phrasemine: no documents")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	workers := parallel.Workers(cfg.Workers)
 	tokenized := make([]corpus.Document, len(docs))
@@ -298,7 +351,10 @@ func (m *Miner) Mine(keywords []string, op Operator, opt QueryOptions) ([]Result
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	if opt.K <= 0 {
+	if opt.K < 0 {
+		return nil, fmt.Errorf("phrasemine: K must be non-negative, got %d (0 selects the default of 5)", opt.K)
+	}
+	if opt.K == 0 {
 		opt.K = 5
 	}
 	frac := opt.ListFraction
@@ -397,15 +453,20 @@ func (m *Miner) MineOR(keywords ...string) ([]Result, error) {
 
 // BatchItem is one query of a MineBatch call.
 type BatchItem struct {
+	// Keywords are the query keywords (facets as Facet(name, value)).
 	Keywords []string
-	Op       Operator
-	Options  QueryOptions
+	// Op combines the per-keyword document sets.
+	Op Operator
+	// Options tunes the query like a Mine call.
+	Options QueryOptions
 }
 
 // BatchResult is one query's outcome: Results is nil iff Err is non-nil.
 type BatchResult struct {
+	// Results holds the mined phrases on success.
 	Results []Result
-	Err     error
+	// Err reports this query's failure, leaving other slots unaffected.
+	Err error
 }
 
 // MineBatch answers many queries concurrently through the miner's bounded
@@ -545,6 +606,130 @@ func (m *Miner) Flush() error {
 	m.smjMu.Unlock()
 	m.gmPool = &sync.Pool{} // clones of the old index must not be reused
 	return nil
+}
+
+// SnapshotVersion is the on-disk snapshot format version written by Save
+// and required by LoadMiner. Snapshots of any other version are rejected
+// as stale at load time.
+const SnapshotVersion = core.SnapshotVersion
+
+// minerConfigSection is the snapshot section holding the public Config.
+const minerConfigSection = "phrasemine/config"
+
+// Save serializes the miner — corpus, inverted index, phrase dictionary,
+// phrase-document lists, forward index, word-specific phrase lists, and
+// the indexing Config — into a versioned, checksummed snapshot that
+// LoadMiner restores without re-running any build stage.
+//
+// Save refuses to run while document updates are pending (Add/Remove
+// without a Flush): call Flush first, so a snapshot always captures a
+// consistent, fully indexed state.
+func (m *Miner) Save(w io.Writer) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.deltaActive() {
+		return fmt.Errorf("phrasemine: %d document updates pending; call Flush before Save", m.delta.Size())
+	}
+	sw := diskio.NewSnapshotWriter(SnapshotVersion)
+	saved := m.cfg
+	// Concurrency knobs are runtime properties of the loading process
+	// (LoadMiner takes its own workers bound); leaving them out keeps
+	// snapshot bytes identical across worker counts, like the index
+	// itself.
+	saved.Workers, saved.Shards = 0, 0
+	cfg, err := json.Marshal(saved)
+	if err != nil {
+		return fmt.Errorf("phrasemine: encoding config: %w", err)
+	}
+	if err := sw.Add(minerConfigSection, cfg); err != nil {
+		return err
+	}
+	if err := m.ix.AddSnapshotSections(sw); err != nil {
+		return err
+	}
+	if _, err := sw.WriteTo(w); err != nil {
+		return err
+	}
+	return nil
+}
+
+// SaveFile writes a snapshot to path via Save, creating or truncating the
+// file.
+func (m *Miner) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadMiner restores a miner from a snapshot written by Save. No build
+// stage re-runs: loading is pure deserialization, so a corpus that takes
+// minutes to index loads in milliseconds. The snapshot's magic, format
+// version and per-section checksums are verified; stale or corrupted
+// snapshots are rejected rather than half-loaded.
+//
+// workers bounds the loaded miner's query/rebuild concurrency exactly like
+// Config.Workers (0 selects GOMAXPROCS); it is a property of the loading
+// process, not of the snapshot.
+func LoadMiner(r io.Reader, workers int) (*Miner, error) {
+	if workers < 0 {
+		return nil, fmt.Errorf("phrasemine: workers must be non-negative, got %d (0 selects GOMAXPROCS)", workers)
+	}
+	snap, err := diskio.ReadSnapshot(r, SnapshotVersion)
+	if err != nil {
+		return nil, err
+	}
+	cfgBytes, ok := snap.Section(minerConfigSection)
+	if !ok {
+		return nil, fmt.Errorf("phrasemine: snapshot has no %q section (not written by Miner.Save?)", minerConfigSection)
+	}
+	var cfg Config
+	if err := json.Unmarshal(cfgBytes, &cfg); err != nil {
+		return nil, fmt.Errorf("phrasemine: decoding config: %w", err)
+	}
+	cfg.Workers = workers
+	ix, err := core.LoadSnapshotSections(snap, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Miner{
+		ix:       ix,
+		cfg:      cfg,
+		smjCache: make(map[float64]*core.SMJIndex),
+		gmPool:   &sync.Pool{},
+	}, nil
+}
+
+// LoadMinerFile restores a miner from a snapshot file via LoadMiner.
+func LoadMinerFile(path string, workers int) (*Miner, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadMiner(f, workers)
+}
+
+// Config returns the indexing configuration the miner was built (or
+// loaded) with.
+func (m *Miner) Config() Config {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.cfg
+}
+
+// NormalizeKeywords exposes the keyword normalization Mine applies —
+// trimming, lowercasing, and tokenizer-identical splitting, with facet
+// features (name:value) passed through — so callers layered above the
+// miner (result caches, request routers) can canonicalize queries exactly
+// the way the engine will.
+func NormalizeKeywords(keywords []string) []string {
+	return normalizeKeywords(keywords)
 }
 
 // normalizeKeywords lowercases and tokenizes keywords the way the indexer

@@ -1,0 +1,210 @@
+package phrasemine
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// snapshotCorpus builds a deterministic corpus with enough repetition for
+// phrases to clear the document-frequency threshold.
+func snapshotCorpus() []Document {
+	topics := [][2]string{
+		{"trade", "the ministry reported foreign trade reserves rising against the dollar"},
+		{"oil", "crude oil production quotas were discussed at the energy summit"},
+		{"grain", "wheat and grain exports fell sharply after the harvest report"},
+		{"tech", "database query optimization improves system throughput substantially"},
+	}
+	var docs []Document
+	for round := 0; round < 8; round++ {
+		for i, tp := range topics {
+			docs = append(docs, Document{
+				Text: fmt.Sprintf("%s in period %d", tp[1], round%3),
+				Facets: map[string]string{
+					"topic": tp[0],
+					"desk":  fmt.Sprintf("d%d", i%2),
+				},
+			})
+		}
+	}
+	return docs
+}
+
+func TestMinerSaveLoadRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinDocFreq = 3
+	m, err := NewMinerFromDocuments(snapshotCorpus(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMiner(bytes.NewReader(buf.Bytes()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if loaded.NumDocuments() != m.NumDocuments() {
+		t.Fatalf("documents = %d, want %d", loaded.NumDocuments(), m.NumDocuments())
+	}
+	if loaded.NumPhrases() != m.NumPhrases() {
+		t.Fatalf("phrases = %d, want %d", loaded.NumPhrases(), m.NumPhrases())
+	}
+	if loaded.VocabSize() != m.VocabSize() {
+		t.Fatalf("vocab = %d, want %d", loaded.VocabSize(), m.VocabSize())
+	}
+	got := loaded.Config()
+	if got.MinDocFreq != cfg.MinDocFreq || got.MaxPhraseWords != cfg.MaxPhraseWords {
+		t.Fatalf("config not restored: %+v", got)
+	}
+
+	queries := []struct {
+		kws []string
+		op  Operator
+	}{
+		{[]string{"trade"}, OR},
+		{[]string{"trade", "reserves"}, AND},
+		{[]string{"oil", "grain"}, OR},
+		{[]string{Facet("topic", "tech")}, OR},
+		{[]string{Facet("desk", "d0"), "oil"}, AND},
+	}
+	for _, algo := range []Algorithm{AlgoNRA, AlgoSMJ, AlgoGM, AlgoExact} {
+		for _, q := range queries {
+			opt := QueryOptions{K: 5, Algorithm: algo}
+			want, err := m.Mine(q.kws, q.op, opt)
+			if err != nil {
+				t.Fatalf("%s %v: %v", algo, q.kws, err)
+			}
+			gotRes, err := loaded.Mine(q.kws, q.op, opt)
+			if err != nil {
+				t.Fatalf("loaded %s %v: %v", algo, q.kws, err)
+			}
+			if !reflect.DeepEqual(want, gotRes) {
+				t.Fatalf("algo %s query %v %s diverges:\noriginal %v\nloaded  %v",
+					algo, q.kws, q.op, want, gotRes)
+			}
+		}
+	}
+}
+
+func TestMinerSaveFileLoadMinerFile(t *testing.T) {
+	m, err := NewMinerFromTexts(textsFromDocs(snapshotCorpus()), Config{MinDocFreq: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "miner.snap")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMinerFile(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumPhrases() != m.NumPhrases() {
+		t.Fatalf("phrases = %d, want %d", loaded.NumPhrases(), m.NumPhrases())
+	}
+}
+
+func textsFromDocs(docs []Document) []string {
+	out := make([]string, len(docs))
+	for i, d := range docs {
+		out[i] = d.Text
+	}
+	return out
+}
+
+func TestSaveRefusesPendingUpdates(t *testing.T) {
+	m, err := NewMinerFromTexts(textsFromDocs(snapshotCorpus()), Config{MinDocFreq: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Add(Document{Text: "a freshly added document about trade reserves"})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err == nil || !strings.Contains(err.Error(), "Flush") {
+		t.Fatalf("Save with pending updates: err = %v, want Flush guidance", err)
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("Save after Flush: %v", err)
+	}
+	if _, err := LoadMiner(bytes.NewReader(buf.Bytes()), 1); err != nil {
+		t.Fatalf("loading flushed snapshot: %v", err)
+	}
+}
+
+func TestLoadMinerRejectsGarbage(t *testing.T) {
+	if _, err := LoadMiner(bytes.NewReader([]byte("not a snapshot at all")), 0); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadMiner(bytes.NewReader(nil), 0); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	m, err := NewMinerFromTexts(textsFromDocs(snapshotCorpus()), Config{MinDocFreq: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadMiner(bytes.NewReader(buf.Bytes()), -1); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	valid := []Config{
+		{},
+		DefaultConfig(),
+		{MinPhraseWords: 2, MaxPhraseWords: 4, MinDocFreq: 1, Workers: 3},
+	}
+	for _, c := range valid {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", c, err)
+		}
+	}
+	invalid := []Config{
+		{Workers: -1},
+		{Shards: -2},
+		{MinDocFreq: -5},
+		{MinPhraseWords: -1},
+		{MaxPhraseWords: -1},
+		{MinPhraseWords: 4, MaxPhraseWords: 2},
+		{MinPhraseWords: 7}, // exceeds the default MaxPhraseWords of 6
+		{Keywords: []string{"ok", " "}},
+	}
+	for _, c := range invalid {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted an invalid config", c)
+		}
+	}
+	// Constructors must reject invalid configs with the same errors.
+	if _, err := NewMinerFromTexts([]string{"some text"}, Config{Workers: -1}); err == nil {
+		t.Fatal("NewMinerFromTexts accepted negative Workers")
+	}
+}
+
+func TestMineRejectsNegativeK(t *testing.T) {
+	m, err := NewMinerFromTexts(textsFromDocs(snapshotCorpus()), Config{MinDocFreq: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Mine([]string{"trade"}, OR, QueryOptions{K: -1}); err == nil {
+		t.Fatal("negative K accepted")
+	}
+	// K = 0 still selects the default of 5.
+	res, err := m.Mine([]string{"trade"}, OR, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("default-K query returned nothing")
+	}
+}
