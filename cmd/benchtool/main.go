@@ -1,0 +1,274 @@
+// Command benchtool turns `go test -bench` output into a committed JSON
+// baseline and gates CI on it — the repo's benchmark-regression harness.
+//
+// Subcommands:
+//
+//	benchtool tojson -in bench.out -out BENCH.json [-label text]
+//	    Parse standard `go test -bench -benchmem` output into a stable
+//	    JSON document (one record per benchmark, custom b.ReportMetric
+//	    values included).
+//
+//	benchtool compare -baseline BENCH.json -current BENCH2.json \
+//	    [-max-alloc-regression 0.20] [-max-time-regression 0]
+//	    Compare two tojson documents benchmark by benchmark and exit
+//	    non-zero when an enforced metric regressed beyond its tolerance.
+//	    allocs/op is enforced by default (it is deterministic, so a 20%
+//	    budget catches real regressions without flaking); ns/op is
+//	    reported but only enforced when -max-time-regression > 0, because
+//	    shared CI runners make wall-clock comparisons noisy.
+//
+// No external dependencies (benchstat is nice for local A/Bs but is not
+// vendored here); the comparison is a plain per-benchmark ratio check.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the JSON file benchtool reads and writes.
+type Document struct {
+	Label      string      `json:"label,omitempty"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "tojson":
+		err = cmdToJSON(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtool:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  benchtool tojson -in bench.out -out BENCH.json [-label text]
+  benchtool compare -baseline BENCH.json -current BENCH2.json [-max-alloc-regression F] [-max-time-regression F]`)
+}
+
+// cpuSuffix strips the -N GOMAXPROCS suffix go test appends to parallel
+// benchmark names, so baselines match across machines with different core
+// counts.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// benchLine matches "BenchmarkName<tab>iterations<tab>value unit ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// Parse reads `go test -bench` output into a Document.
+func Parse(r io.Reader) (*Document, error) {
+	doc := &Document{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing iterations of %q: %w", line, err)
+		}
+		b := Benchmark{
+			Name:       cpuSuffix.ReplaceAllString(m[1], ""),
+			Iterations: iters,
+		}
+		fields := strings.Fields(m[3])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("odd value/unit fields in %q", line)
+		}
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing value %q in %q: %w", fields[i], line, err)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found")
+	}
+	return doc, nil
+}
+
+func cmdToJSON(args []string) error {
+	fs := flag.NewFlagSet("tojson", flag.ExitOnError)
+	in := fs.String("in", "", "go test -bench output file (default stdin)")
+	out := fs.String("out", "", "JSON output file (default stdout)")
+	label := fs.String("label", "", "free-form label recorded in the document")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	doc, err := Parse(r)
+	if err != nil {
+		return err
+	}
+	doc.Label = *label
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(*out, enc, 0o644)
+}
+
+func readDoc(path string) (*Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	basePath := fs.String("baseline", "", "committed baseline JSON")
+	curPath := fs.String("current", "", "freshly measured JSON")
+	maxAlloc := fs.Float64("max-alloc-regression", 0.20, "fail when allocs/op grows beyond this fraction (negative disables)")
+	maxTime := fs.Float64("max-time-regression", 0, "fail when ns/op grows beyond this fraction (0 or negative disables)")
+	allocSlack := fs.Float64("alloc-slack", 2, "absolute allocs/op headroom added to the relative budget (keeps near-zero baselines from gating on pool warm-up noise)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *basePath == "" || *curPath == "" {
+		return fmt.Errorf("-baseline and -current are required")
+	}
+	base, err := readDoc(*basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := readDoc(*curPath)
+	if err != nil {
+		return err
+	}
+	baseByName := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseByName[b.Name] = b
+	}
+
+	failed := false
+	matched := 0
+	for _, c := range cur.Benchmarks {
+		b, ok := baseByName[c.Name]
+		if !ok {
+			fmt.Printf("%-40s (no baseline — skipped)\n", c.Name)
+			continue
+		}
+		matched++
+		allocStatus := check("allocs/op", b.AllocsPerOp, c.AllocsPerOp, *maxAlloc, *allocSlack)
+		timeStatus := check("ns/op", b.NsPerOp, c.NsPerOp, *maxTime, 0)
+		failed = failed || allocStatus.failed || timeStatus.failed
+		fmt.Printf("%-40s %s | %s\n", c.Name, allocStatus.text, timeStatus.text)
+	}
+	if matched == 0 {
+		return fmt.Errorf("no benchmarks in %s matched the baseline %s", *curPath, *basePath)
+	}
+	if failed {
+		return fmt.Errorf("benchmark regression beyond tolerance (alloc %+.0f%%, time %+.0f%%)",
+			*maxAlloc*100, *maxTime*100)
+	}
+	fmt.Printf("ok: %d benchmarks within tolerance\n", matched)
+	return nil
+}
+
+type checkResult struct {
+	failed bool
+	text   string
+}
+
+// check compares one metric against its budget: the current value must not
+// exceed base*(1+tol)+slack. tol <= 0 means report-only; the absolute
+// slack keeps tiny baselines (1 alloc/op) from turning sync.Pool warm-up
+// noise on shared CI runners into spurious failures.
+func check(unit string, base, cur, tol, slack float64) checkResult {
+	var text string
+	if base == 0 {
+		text = fmt.Sprintf("%s 0 -> %.0f", unit, cur)
+	} else {
+		text = fmt.Sprintf("%s %.0f -> %.0f (%+.1f%%)", unit, base, cur, (cur/base-1)*100)
+	}
+	if tol > 0 && cur > base*(1+tol)+slack {
+		return checkResult{failed: true, text: text + " REGRESSION"}
+	}
+	return checkResult{text: text}
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: phrasemine
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig7SMJ20AndReuters  	   15746	    147048 ns/op	     922 B/op	      15 allocs/op
+BenchmarkFig9NRADisk20Reuters 	     100	  23415956 ns/op	       21.93 diskms/query	 5750081 B/op	   85806 allocs/op
+BenchmarkConcurrentMine-8     	   15759	    148341 ns/op	   59513 B/op	     867 allocs/op
+PASS
+ok  	phrasemine	18.830s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || !strings.Contains(doc.CPU, "Xeon") {
+		t.Fatalf("header mismatch: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkFig7SMJ20AndReuters" || b.Iterations != 15746 ||
+		b.NsPerOp != 147048 || b.BytesPerOp != 922 || b.AllocsPerOp != 15 {
+		t.Fatalf("benchmark 0 mismatch: %+v", b)
+	}
+	if got := doc.Benchmarks[1].Metrics["diskms/query"]; got != 21.93 {
+		t.Fatalf("custom metric = %v, want 21.93", got)
+	}
+	// The -8 GOMAXPROCS suffix is stripped so baselines are portable.
+	if doc.Benchmarks[2].Name != "BenchmarkConcurrentMine" {
+		t.Fatalf("cpu suffix not stripped: %q", doc.Benchmarks[2].Name)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok pkg 1s\n")); err == nil {
+		t.Fatal("want error on output without benchmark lines")
+	}
+}
+
+func TestCheckTolerance(t *testing.T) {
+	if r := check("allocs/op", 100, 115, 0.20, 0); r.failed {
+		t.Fatalf("15%% growth under a 20%% budget must pass: %+v", r)
+	}
+	if r := check("allocs/op", 100, 125, 0.20, 0); !r.failed {
+		t.Fatalf("25%% growth over a 20%% budget must fail: %+v", r)
+	}
+	if r := check("ns/op", 100, 1000, 0, 0); r.failed {
+		t.Fatalf("disabled tolerance must never fail: %+v", r)
+	}
+	if r := check("allocs/op", 0, 5, 0.20, 2); !r.failed {
+		t.Fatalf("zero baseline growth beyond the slack must fail: %+v", r)
+	}
+	if r := check("allocs/op", 0, 0, 0.20, 2); r.failed {
+		t.Fatalf("zero to zero must pass: %+v", r)
+	}
+	// The absolute slack absorbs pool warm-up noise on tiny baselines: a
+	// 1 alloc/op baseline measuring 3 (20%% would allow only 1.2) passes,
+	// but a real regression to 10 still fails.
+	if r := check("allocs/op", 1, 3, 0.20, 2); r.failed {
+		t.Fatalf("tiny-baseline jitter within slack must pass: %+v", r)
+	}
+	if r := check("allocs/op", 1, 10, 0.20, 2); !r.failed {
+		t.Fatalf("regression beyond slack on a tiny baseline must fail: %+v", r)
+	}
+}

@@ -75,7 +75,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   phrasemine build-index -in corpus.txt -out corpus.snap [-mindf N] [-workers N]
-  phrasemine serve (-index corpus.snap | -in corpus.txt) [-addr :8080] [-cache N] [-timeout D] [-workers N]
+  phrasemine serve (-index corpus.snap | -in corpus.txt) [-addr :8080] [-cache N] [-timeout D] [-workers N] [-pprof]
   phrasemine index -in corpus.txt -out prefix [-mindf N] [-workers N]
   phrasemine query (-in corpus.txt | -index prefix) -keywords "w1 w2" [-op AND|OR] [-k N] [-algo nra|smj|gm|exact] [-frac F] [-workers N]
   phrasemine stats -in corpus.txt [-mindf N] [-workers N]
@@ -226,6 +226,7 @@ func cmdServe(args []string) error {
 	timeout := fs.Duration("timeout", server.DefaultQueryTimeout, "per-query timeout")
 	minDF := fs.Int("mindf", 5, "minimum phrase document frequency (-in mode)")
 	workers := fs.Int("workers", 0, "query/build parallelism (0 = all cores)")
+	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof and /debug/vars (profiling + expvar counters)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -254,9 +255,18 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("one of -index or -in is required")
 	}
 
+	var handler http.Handler = server.New(m, server.Options{CacheSize: *cache, QueryTimeout: *timeout})
+	if *pprofOn {
+		// Profiling is an opt-in flag, not a build variant, so production
+		// profiles can be captured without a rebuild.
+		mux := http.NewServeMux()
+		server.RegisterDebug(mux)
+		mux.Handle("/", handler)
+		handler = mux
+	}
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: server.New(m, server.Options{CacheSize: *cache, QueryTimeout: *timeout}),
+		Handler: handler,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

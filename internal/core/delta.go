@@ -271,7 +271,10 @@ func (d *Delta) QueryNRA(q corpus.Query, opt topk.NRAOptions) ([]topk.Result, to
 		return nil, topk.NRAStats{}, err
 	}
 	opt.Op = q.Op
-	cursors := make([]plist.Cursor, len(q.Features))
+	pool := d.ix.ScratchPool()
+	s := pool.Get()
+	defer pool.Put(s)
+	cursors := s.Cursors(len(q.Features))
 	errs := make([]error, len(q.Features))
 	d.ix.fanOut(len(q.Features), func(i int) {
 		f := q.Features[i]
@@ -297,7 +300,7 @@ func (d *Delta) QueryNRA(q corpus.Query, opt topk.NRAOptions) ([]topk.Result, to
 			return nil, topk.NRAStats{}, err
 		}
 	}
-	return topk.NRA(cursors, opt)
+	return topk.NRAScratch(cursors, opt, s)
 }
 
 // QuerySMJ answers a query with SMJ over delta-adjusted ID-ordered lists.
@@ -306,7 +309,10 @@ func (d *Delta) QuerySMJ(s *SMJIndex, q corpus.Query, opt topk.SMJOptions) ([]to
 		return nil, topk.SMJStats{}, err
 	}
 	opt.Op = q.Op
-	cursors := make([]plist.Cursor, len(q.Features))
+	pool := d.ix.ScratchPool()
+	scratch := pool.Get()
+	defer pool.Put(scratch)
+	cursors := scratch.Cursors(len(q.Features))
 	errs := make([]error, len(q.Features))
 	d.ix.fanOut(len(q.Features), func(i int) {
 		f := q.Features[i]
@@ -327,7 +333,7 @@ func (d *Delta) QuerySMJ(s *SMJIndex, q corpus.Query, opt topk.SMJOptions) ([]to
 			return nil, topk.SMJStats{}, err
 		}
 	}
-	return topk.SMJ(cursors, opt)
+	return topk.SMJScratch(cursors, opt, scratch)
 }
 
 // Flush rebuilds the index offline over the updated corpus (base documents

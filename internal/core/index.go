@@ -75,6 +75,12 @@ type Index struct {
 	workers    int
 	pool       *topk.Pool
 
+	// scratchOnce lazily builds the query-scratch pool so every Index
+	// construction path (Build, snapshot load, tests assembling literals)
+	// gets one without extra wiring.
+	scratchOnce sync.Once
+	scratch     *topk.ScratchPool
+
 	// baseMu guards the lazily built baseline caches so concurrent
 	// queries can share one Index.
 	baseMu sync.Mutex
@@ -211,6 +217,17 @@ func (ix *Index) Workers() int { return ix.workers }
 // query on this index, so total fan-out stays bounded under concurrent
 // callers).
 func (ix *Index) Pool() *topk.Pool { return ix.pool }
+
+// ScratchPool returns the index's query-scratch pool: reusable flat
+// candidate tables and cursor buffers sized to the phrase-dictionary
+// cardinality, handed out per query so steady-state serving allocates
+// next to nothing on the hot path.
+func (ix *Index) ScratchPool() *topk.ScratchPool {
+	ix.scratchOnce.Do(func() {
+		ix.scratch = topk.NewScratchPool(ix.Dict.Len())
+	})
+	return ix.scratch
+}
 
 // NumPhrases reports |P|.
 func (ix *Index) NumPhrases() int { return ix.Dict.Len() }

@@ -24,8 +24,10 @@ type MinedPhrase struct {
 
 // Resolve converts raw topk results into displayable phrases, attaching
 // interestingness estimates computed against the query's sub-collection.
+// Only |D'| is needed for the estimates, so the sub-collection is counted
+// (SelectCount), not materialized.
 func (ix *Index) Resolve(results []topk.Result, q corpus.Query) ([]MinedPhrase, error) {
-	dPrime, err := ix.Inverted.Select(q)
+	dPrimeSize, err := ix.Inverted.SelectCount(q)
 	if err != nil {
 		return nil, err
 	}
@@ -40,7 +42,7 @@ func (ix *Index) Resolve(results []topk.Result, q corpus.Query) ([]MinedPhrase, 
 			Phrase: text,
 			Score:  r.Score,
 			Estimate: topk.EstimatedInterestingness(
-				r.Score, q.Op, len(dPrime), ix.Corpus.Len()),
+				r.Score, q.Op, dPrimeSize, ix.Corpus.Len()),
 		}
 	}
 	return out, nil
@@ -48,21 +50,27 @@ func (ix *Index) Resolve(results []topk.Result, q corpus.Query) ([]MinedPhrase, 
 
 // QueryNRA answers a query with the NRA algorithm over in-memory
 // score-ordered lists. Partial-list operation is selected through
-// opt.Fraction (a query-time decision for NRA).
+// opt.Fraction (a query-time decision for NRA). Candidate tables and
+// cursors come from the index's scratch pool, so repeated queries run
+// allocation-free apart from the returned results.
 func (ix *Index) QueryNRA(q corpus.Query, opt topk.NRAOptions) ([]topk.Result, topk.NRAStats, error) {
 	if err := q.Validate(); err != nil {
 		return nil, topk.NRAStats{}, err
 	}
 	opt.Op = q.Op
-	cursors := make([]plist.Cursor, len(q.Features))
+	pool := ix.ScratchPool()
+	s := pool.Get()
+	defer pool.Put(s)
+	cursors, mem := s.MemCursors(len(q.Features))
 	for i, f := range q.Features {
 		l, err := ix.featureList(f)
 		if err != nil {
 			return nil, topk.NRAStats{}, err
 		}
-		cursors[i] = plist.NewMemCursor(l)
+		mem[i].Reset(l)
+		cursors[i] = &mem[i]
 	}
-	return topk.NRA(cursors, opt)
+	return topk.NRAScratch(cursors, opt, s)
 }
 
 // QueryNRADisk answers a query with NRA over a disk-resident list index
@@ -75,14 +83,17 @@ func (ix *Index) QueryNRADisk(r *plist.Reader, q corpus.Query, opt topk.NRAOptio
 		return nil, topk.NRAStats{}, fmt.Errorf("core: NRA requires a score-ordered index, got %v", r.Ordering())
 	}
 	opt.Op = q.Op
-	cursors := make([]plist.Cursor, len(q.Features))
+	pool := ix.ScratchPool()
+	s := pool.Get()
+	defer pool.Put(s)
+	cursors := s.Cursors(len(q.Features))
 	for i, f := range q.Features {
 		if !r.Has(f) && ix.restricted && ix.Inverted.Has(f) {
 			return nil, topk.NRAStats{}, fmt.Errorf("core: disk index has no list for %q", f)
 		}
 		cursors[i] = r.Cursor(f)
 	}
-	return topk.NRA(cursors, opt)
+	return topk.NRAScratch(cursors, opt, s)
 }
 
 // OpenSimDiskIndex serializes the index's lists (truncated to fraction)
@@ -152,19 +163,25 @@ func (s *SMJIndex) SizeBytes() int64 {
 }
 
 // QuerySMJ answers a query with the SMJ algorithm over a prepared
-// ID-ordered index.
+// ID-ordered index. Merger state and cursors come from the index's scratch
+// pool, so repeated queries run allocation-free apart from the returned
+// results.
 func (ix *Index) QuerySMJ(s *SMJIndex, q corpus.Query, opt topk.SMJOptions) ([]topk.Result, topk.SMJStats, error) {
 	if err := q.Validate(); err != nil {
 		return nil, topk.SMJStats{}, err
 	}
 	opt.Op = q.Op
-	cursors := make([]plist.Cursor, len(q.Features))
+	pool := ix.ScratchPool()
+	scratch := pool.Get()
+	defer pool.Put(scratch)
+	cursors, mem := scratch.MemCursors(len(q.Features))
 	for i, f := range q.Features {
 		l, ok := s.Lists[f]
 		if !ok && ix.restricted && ix.Inverted.Has(f) {
 			return nil, topk.SMJStats{}, fmt.Errorf("core: SMJ index has no list for %q", f)
 		}
-		cursors[i] = plist.NewMemCursor(l)
+		mem[i].Reset(l)
+		cursors[i] = &mem[i]
 	}
-	return topk.SMJ(cursors, opt)
+	return topk.SMJScratch(cursors, opt, scratch)
 }

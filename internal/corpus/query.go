@@ -3,6 +3,7 @@ package corpus
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Operator aggregates per-feature document collections into one
@@ -93,6 +94,13 @@ func (q Query) Validate() error {
 // Select materializes D' for the query per Equation 2: the union (OR) or
 // intersection (AND) of the per-feature document lists.
 func (ix *Inverted) Select(q Query) ([]DocID, error) {
+	return ix.SelectInto(nil, q)
+}
+
+// SelectInto is Select appending D' to dst (which must not alias any
+// posting list), so callers with a reusable buffer avoid the per-query
+// materialization allocation.
+func (ix *Inverted) SelectInto(dst []DocID, q Query) ([]DocID, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -101,7 +109,71 @@ func (ix *Inverted) Select(q Query) ([]DocID, error) {
 		lists[i] = ix.Docs(f)
 	}
 	if q.Op == OpAND {
-		return Intersect(lists...), nil
+		return IntersectInto(dst, lists...), nil
 	}
-	return Union(lists...), nil
+	return UnionInto(dst, lists...), nil
+}
+
+// selectScratch recycles the buffers SelectCount materializes into.
+var selectScratch = sync.Pool{New: func() any { return new(selectBufs) }}
+
+type selectBufs struct {
+	docs  []DocID
+	spare []DocID
+	lists [][]DocID
+}
+
+// SelectCount reports |D'| for the query. Single-feature queries and
+// two-feature AND queries are answered without materializing D' at all;
+// the remaining shapes fold pairwise through two pooled ping-pong buffers
+// (not the k-way wrappers, whose internal intermediates would allocate per
+// call), so steady-state callers — result resolution computes only the
+// sub-collection size — allocate nothing.
+func (ix *Inverted) SelectCount(q Query) (int, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	if len(q.Features) == 1 {
+		return len(ix.Docs(q.Features[0])), nil
+	}
+	if q.Op == OpAND && len(q.Features) == 2 {
+		return IntersectCount2(ix.Docs(q.Features[0]), ix.Docs(q.Features[1])), nil
+	}
+	bufs := selectScratch.Get().(*selectBufs)
+	defer selectScratch.Put(bufs)
+	if cap(bufs.lists) < len(q.Features) {
+		bufs.lists = make([][]DocID, len(q.Features))
+	}
+	lists := bufs.lists[:len(q.Features)]
+	for i, f := range q.Features {
+		lists[i] = ix.Docs(f)
+	}
+	if q.Op == OpAND {
+		// Smallest-first keeps intermediates shrinking fast.
+		for i := 1; i < len(lists); i++ {
+			for j := i; j > 0 && len(lists[j]) < len(lists[j-1]); j-- {
+				lists[j], lists[j-1] = lists[j-1], lists[j]
+			}
+		}
+	}
+	combine2 := Union2Into
+	if q.Op == OpAND {
+		combine2 = Intersect2Into
+	}
+	acc := combine2(bufs.docs[:0], lists[0], lists[1])
+	spare := bufs.spare
+	for _, l := range lists[2:] {
+		if q.Op == OpAND && len(acc) == 0 {
+			break
+		}
+		spare = combine2(spare[:0], acc, l)
+		acc, spare = spare, acc
+	}
+	// Hand the (possibly grown) backing arrays to the pool, whichever
+	// role they ended up in.
+	bufs.docs, bufs.spare = acc, spare
+	for i := range lists {
+		lists[i] = nil // do not retain posting lists in the pool
+	}
+	return len(acc), nil
 }

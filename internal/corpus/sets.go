@@ -7,20 +7,35 @@ import "container/heap"
 // cardinality, and a bitmap set for O(1) membership probes. All list inputs
 // and outputs are strictly increasing DocID slices.
 
-// Intersect2 returns the intersection of two sorted lists. When the lists
-// have very different lengths it gallops through the longer one.
+// Intersect2 returns the intersection of two sorted lists in a fresh
+// slice. When the lists have very different lengths it gallops through the
+// longer one.
 func Intersect2(a, b []DocID) []DocID {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	return Intersect2Into(make([]DocID, 0, n), a, b)
+}
+
+// Intersect2Into appends the intersection of two sorted lists to dst and
+// returns the extended slice, allocating only when dst lacks capacity. dst
+// must not alias a or b. This is the composable form the k-way wrappers
+// use, so multi-level set algebra produces no per-level garbage.
+func Intersect2Into(dst, a, b []DocID) []DocID {
 	if len(a) > len(b) {
 		a, b = b, a
 	}
 	if len(a) == 0 {
-		return nil
+		return dst
 	}
 	// Galloping pays off when b is much longer than a.
 	if len(b) >= len(a)*8 {
-		return intersectGallop(a, b)
+		return intersectGallopInto(dst, a, b)
 	}
-	out := make([]DocID, 0, len(a))
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -29,18 +44,18 @@ func Intersect2(a, b []DocID) []DocID {
 		case a[i] > b[j]:
 			j++
 		default:
-			out = append(out, a[i])
+			dst = append(dst, a[i])
 			i++
 			j++
 		}
 	}
-	return out
+	return dst
 }
 
-// intersectGallop intersects short list a against long list b using
-// exponential search.
-func intersectGallop(a, b []DocID) []DocID {
-	out := make([]DocID, 0, len(a))
+// intersectGallopInto intersects short list a against long list b using
+// exponential search, appending matches to dst.
+func intersectGallopInto(dst, a, b []DocID) []DocID {
+	out := dst
 	lo := 0
 	for _, x := range a {
 		// Exponential probe from lo for the first b[idx] >= x.
@@ -105,11 +120,20 @@ func IntersectCount2(a, b []DocID) int {
 // intersected smallest-first so intermediate results shrink fast.
 // Intersect of zero lists is defined as the empty list.
 func Intersect(lists ...[]DocID) []DocID {
+	return IntersectInto(nil, lists...)
+}
+
+// IntersectInto is Intersect appending its result to dst (which must not
+// alias any input). Intermediate levels of the k-way reduction ping-pong
+// between dst and one spare buffer instead of allocating per level.
+func IntersectInto(dst []DocID, lists ...[]DocID) []DocID {
 	switch len(lists) {
 	case 0:
-		return nil
+		return dst
 	case 1:
-		return append([]DocID(nil), lists[0]...)
+		return append(dst, lists[0]...)
+	case 2:
+		return Intersect2Into(dst, lists[0], lists[1])
 	}
 	ordered := append([][]DocID(nil), lists...)
 	for i := 1; i < len(ordered); i++ {
@@ -117,37 +141,49 @@ func Intersect(lists ...[]DocID) []DocID {
 			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
 		}
 	}
-	acc := Intersect2(ordered[0], ordered[1])
-	for _, l := range ordered[2:] {
+	// Reduce through two scratch buffers; the final level lands in dst.
+	acc := Intersect2Into(make([]DocID, 0, len(ordered[0])), ordered[0], ordered[1])
+	spare := make([]DocID, 0, len(acc))
+	for li, l := range ordered[2:] {
 		if len(acc) == 0 {
-			return nil
+			return dst
 		}
-		acc = Intersect2(acc, l)
+		if li == len(ordered)-3 { // final level
+			return Intersect2Into(dst, acc, l)
+		}
+		spare = Intersect2Into(spare[:0], acc, l)
+		acc, spare = spare, acc
 	}
-	return acc
+	return append(dst, acc...) // unreachable for >= 3 lists; kept for totality
 }
 
-// Union2 returns the union of two sorted lists.
+// Union2 returns the union of two sorted lists in a fresh slice.
 func Union2(a, b []DocID) []DocID {
-	out := make([]DocID, 0, len(a)+len(b))
+	return Union2Into(make([]DocID, 0, len(a)+len(b)), a, b)
+}
+
+// Union2Into appends the union of two sorted lists to dst and returns the
+// extended slice, allocating only when dst lacks capacity. dst must not
+// alias a or b.
+func Union2Into(dst, a, b []DocID) []DocID {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
 		case a[i] < b[j]:
-			out = append(out, a[i])
+			dst = append(dst, a[i])
 			i++
 		case a[i] > b[j]:
-			out = append(out, b[j])
+			dst = append(dst, b[j])
 			j++
 		default:
-			out = append(out, a[i])
+			dst = append(dst, a[i])
 			i++
 			j++
 		}
 	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
 }
 
 // listHeap is a min-heap of cursors over sorted lists, keyed by the current
@@ -177,13 +213,19 @@ func (h *listHeap) Pop() any {
 
 // Union returns the k-way union of sorted lists via a heap merge.
 func Union(lists ...[]DocID) []DocID {
+	return UnionInto(nil, lists...)
+}
+
+// UnionInto is Union appending its result to dst (which must not alias any
+// input and must not already end above the smallest merged DocID).
+func UnionInto(dst []DocID, lists ...[]DocID) []DocID {
 	switch len(lists) {
 	case 0:
-		return nil
+		return dst
 	case 1:
-		return append([]DocID(nil), lists[0]...)
+		return append(dst, lists[0]...)
 	case 2:
-		return Union2(lists[0], lists[1])
+		return Union2Into(dst, lists[0], lists[1])
 	}
 	h := &listHeap{}
 	total := 0
@@ -195,10 +237,16 @@ func Union(lists ...[]DocID) []DocID {
 		}
 	}
 	heap.Init(h)
-	out := make([]DocID, 0, total)
+	out := dst
+	if need := len(out) + total; cap(out) < need {
+		grown := make([]DocID, len(out), need)
+		copy(grown, out)
+		out = grown
+	}
+	base := len(out)
 	for h.Len() > 0 {
 		top := h.lists[0][h.pos[0]]
-		if n := len(out); n == 0 || out[n-1] != top {
+		if n := len(out); n == base || out[n-1] != top {
 			out = append(out, top)
 		}
 		h.pos[0]++

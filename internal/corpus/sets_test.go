@@ -95,6 +95,95 @@ func TestKWayUnion(t *testing.T) {
 	}
 }
 
+func TestIntoVariantsAppendSemantics(t *testing.T) {
+	// *Into appends after existing content and reuses capacity.
+	dst := make([]DocID, 0, 16)
+	dst = append(dst, 0)
+	got := Intersect2Into(dst, ids(1, 3, 5), ids(3, 5, 7))
+	if !reflect.DeepEqual(got, ids(0, 3, 5)) {
+		t.Fatalf("Intersect2Into = %v", got)
+	}
+	if &got[0] != &dst[0] {
+		t.Fatal("Intersect2Into reallocated despite sufficient capacity")
+	}
+	got = Union2Into(got[:0], ids(1, 3), ids(2, 3))
+	if !reflect.DeepEqual(got, ids(1, 2, 3)) {
+		t.Fatalf("Union2Into = %v", got)
+	}
+	if &got[0] != &dst[:1][0] {
+		t.Fatal("Union2Into reallocated despite sufficient capacity")
+	}
+}
+
+func TestIntoVariantsGallopPath(t *testing.T) {
+	long := make([]DocID, 800)
+	for i := range long {
+		long[i] = DocID(i * 3)
+	}
+	short := ids(0, 3, 100, 300, 2397)
+	buf := make([]DocID, 0, 8)
+	got := Intersect2Into(buf, short, long)
+	want := ids(0, 3, 300, 2397)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("gallop Intersect2Into = %v, want %v", got, want)
+	}
+}
+
+func TestKWayIntoMatchesKWay(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		k := 1 + rng.Intn(5)
+		lists := make([][]DocID, k)
+		for i := range lists {
+			lists[i] = randomSortedList(rng, 30, 50)
+		}
+		buf := make([]DocID, 0, 4)
+		if got, want := IntersectInto(buf, lists...), Intersect(lists...); !reflect.DeepEqual(setOf(got), setOf(want)) {
+			t.Fatalf("trial %d: IntersectInto = %v, want %v", trial, got, want)
+		}
+		if got, want := UnionInto(buf[:0], lists...), Union(lists...); !reflect.DeepEqual(setOf(got), setOf(want)) {
+			t.Fatalf("trial %d: UnionInto = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestSelectCountMatchesSelect(t *testing.T) {
+	c := New()
+	docs := [][]string{
+		{"a", "b", "c"},
+		{"b", "c"},
+		{"a", "c", "d"},
+		{"d"},
+		{"a", "b", "c", "d"},
+	}
+	for _, toks := range docs {
+		c.Add(Document{Tokens: toks})
+	}
+	ix := BuildInverted(c)
+	queries := []Query{
+		NewQuery(OpAND, "a"),
+		NewQuery(OpOR, "a"),
+		NewQuery(OpAND, "a", "b"),
+		NewQuery(OpOR, "a", "b"),
+		NewQuery(OpAND, "a", "b", "c"),
+		NewQuery(OpOR, "a", "b", "d"),
+		NewQuery(OpAND, "a", "zzz"),
+	}
+	for _, q := range queries {
+		want, err := ix.Select(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ix.SelectCount(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != len(want) {
+			t.Fatalf("SelectCount(%v) = %d, want %d", q, got, len(want))
+		}
+	}
+}
+
 // randomSortedList produces a strictly increasing DocID list.
 func randomSortedList(rng *rand.Rand, maxLen, universe int) []DocID {
 	n := rng.Intn(maxLen + 1)

@@ -20,6 +20,11 @@
 //     sets must be identical at every fraction (Section 5.3 notes the two
 //     "return the same result sets").
 //
+//   - Cross-implementation: the flat, scratch-pooled NRA must answer
+//     bit-identically (result IDs, score/bound float bits, and stats) to
+//     the retained map-based topk.NRAReference on every query the harness
+//     generates.
+//
 // Hard violations land in Report.Failures; quality aggregates land in
 // Report and are asserted by the calling test.
 package difftest
@@ -35,6 +40,7 @@ import (
 	"phrasemine/internal/eval"
 	"phrasemine/internal/parallel"
 	"phrasemine/internal/phrasedict"
+	"phrasemine/internal/plist"
 	"phrasemine/internal/synth"
 	"phrasemine/internal/textproc"
 	"phrasemine/internal/topk"
@@ -235,6 +241,7 @@ func runCorpus(rep *Report, cfg synth.Config, opt Options) error {
 		for _, kws := range single {
 			q := corpus.NewQuery(op, kws...)
 			checkSingle(rep, cfg.Name, ix, ex, q, opt.K)
+			checkFlatVsReference(rep, cfg.Name, ix, q, opt.K, 1.0)
 			rep.Cases++
 			rep.SingleCases++
 		}
@@ -242,12 +249,57 @@ func runCorpus(rep *Report, cfg synth.Config, opt Options) error {
 			for _, kws := range multi {
 				q := corpus.NewQuery(op, kws...)
 				checkMulti(rep, Key{cfg.Name, op, frac}, ix, ex, smj[frac], q, opt.K)
+				checkFlatVsReference(rep, cfg.Name, ix, q, opt.K, frac)
 				rep.Cases++
 				rep.MultiCases++
 			}
 		}
 	}
 	return nil
+}
+
+// checkFlatVsReference enforces the cross-implementation contract: the
+// production flat NRA and the retained map-based reference must return
+// bit-identical answers and telemetry over the same lists.
+func checkFlatVsReference(rep *Report, name string, ix *core.Index, q corpus.Query, k int, frac float64) {
+	mk := func() []plist.Cursor {
+		cursors := make([]plist.Cursor, len(q.Features))
+		for i, f := range q.Features {
+			cursors[i] = plist.NewMemCursor(ix.Lists[f])
+		}
+		return cursors
+	}
+	opt := topk.NRAOptions{K: k, Op: q.Op, Fraction: frac}
+	flat, flatStats, flatErr := topk.NRA(mk(), opt)
+	ref, refStats, refErr := topk.NRAReference(mk(), opt)
+	if (flatErr == nil) != (refErr == nil) {
+		rep.failf("%s flat-vs-ref %v@%g: error mismatch: flat=%v ref=%v", name, q, frac, flatErr, refErr)
+		return
+	}
+	if flatErr != nil {
+		return
+	}
+	if len(flat) != len(ref) {
+		rep.failf("%s flat-vs-ref %v@%g: %d results vs %d", name, q, frac, len(flat), len(ref))
+		return
+	}
+	for i := range flat {
+		f, r := flat[i], ref[i]
+		if f.Phrase != r.Phrase ||
+			math.Float64bits(f.Score) != math.Float64bits(r.Score) ||
+			math.Float64bits(f.Lower) != math.Float64bits(r.Lower) ||
+			math.Float64bits(f.Upper) != math.Float64bits(r.Upper) {
+			rep.failf("%s flat-vs-ref %v@%g: result %d differs: flat=%+v ref=%+v", name, q, frac, i, f, r)
+			return
+		}
+	}
+	if flatStats.Iterations != refStats.Iterations ||
+		flatStats.MaxCandidates != refStats.MaxCandidates ||
+		flatStats.PrunedCandidates != refStats.PrunedCandidates ||
+		flatStats.StoppedEarly != refStats.StoppedEarly ||
+		flatStats.CheckNewOffAt != refStats.CheckNewOffAt {
+		rep.failf("%s flat-vs-ref %v@%g: stats differ: flat=%+v ref=%+v", name, q, frac, flatStats, refStats)
+	}
 }
 
 // checkSingle enforces the exactness contract for a single-keyword query:

@@ -314,6 +314,13 @@ func NewMemCursor(entries []Entry) *MemCursor {
 	return &MemCursor{entries: entries}
 }
 
+// Reset repoints the cursor at a new entry slice and rewinds it, so pooled
+// cursors can be reused across queries without reallocation.
+func (c *MemCursor) Reset(entries []Entry) {
+	c.entries = entries
+	c.pos = 0
+}
+
 // Len reports the total number of entries.
 func (c *MemCursor) Len() int { return len(c.entries) }
 

@@ -1,0 +1,55 @@
+// This file holds the debug and observability endpoints: net/http/pprof
+// profiling handlers and expvar counters (including allocation counters),
+// mountable on demand so production profiles can be captured without a
+// rebuild — the serve command exposes them behind its -pprof flag.
+
+package server
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+)
+
+// Exported expvar counters. expvar also publishes the full runtime
+// "memstats" map by default; the explicit mallocs/frees pair below gives
+// scrapers a cheap allocation-rate signal without parsing it.
+var (
+	statQueries   = expvar.NewInt("phrasemine_queries_total")
+	statBatches   = expvar.NewInt("phrasemine_batch_queries_total")
+	statCacheHits = expvar.NewInt("phrasemine_cache_hits_total")
+	statErrors    = expvar.NewInt("phrasemine_query_errors_total")
+	statMutations = expvar.NewInt("phrasemine_mutations_total")
+)
+
+func init() {
+	expvar.Publish("phrasemine_mallocs_total", expvar.Func(mallocs))
+	expvar.Publish("phrasemine_frees_total", expvar.Func(frees))
+	expvar.Publish("phrasemine_heap_alloc_bytes", expvar.Func(heapAlloc))
+}
+
+func readMemStats() runtime.MemStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms
+}
+
+func mallocs() any   { ms := readMemStats(); return ms.Mallocs }
+func frees() any     { ms := readMemStats(); return ms.Frees }
+func heapAlloc() any { ms := readMemStats(); return ms.HeapAlloc }
+
+// RegisterDebug mounts the pprof profiling handlers and the expvar variable
+// dump on mux under the conventional /debug/ paths. It is deliberately not
+// part of Server's own mux: callers opt in (the CLI's -pprof flag) because
+// profiling endpoints should not be reachable on an unadorned public
+// deployment.
+func RegisterDebug(mux *http.ServeMux) {
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("POST /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestRegisterDebugEndpoints(t *testing.T) {
+	srv := newTestServer(t, Options{})
+	mux := http.NewServeMux()
+	RegisterDebug(mux)
+	mux.Handle("/", srv)
+
+	// Application endpoints still work behind the debug mux.
+	if w := doJSON(t, mux, http.MethodGet, "/healthz", nil); w.Code != http.StatusOK {
+		t.Fatalf("/healthz through debug mux: %d", w.Code)
+	}
+
+	// The expvar dump is valid JSON and includes the allocation counters
+	// and the query counters.
+	w := doJSON(t, mux, http.MethodGet, "/debug/vars", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/debug/vars: %d", w.Code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(w.Body.Bytes(), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	for _, key := range []string{
+		"phrasemine_queries_total",
+		"phrasemine_cache_hits_total",
+		"phrasemine_query_errors_total",
+		"phrasemine_mallocs_total",
+		"phrasemine_heap_alloc_bytes",
+	} {
+		if _, ok := vars[key]; !ok {
+			t.Fatalf("/debug/vars missing %q", key)
+		}
+	}
+
+	// The pprof index answers.
+	w = doJSON(t, mux, http.MethodGet, "/debug/pprof/", nil)
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "goroutine") {
+		t.Fatalf("/debug/pprof/: code=%d body=%q", w.Code, w.Body.String()[:min(len(w.Body.String()), 120)])
+	}
+}
+
+func TestQueryCountersAdvance(t *testing.T) {
+	srv := newTestServer(t, Options{})
+	before := statQueries.Value()
+	hitsBefore := statCacheHits.Value()
+	req := MineRequest{Keywords: []string{"trade"}, K: 3}
+	if w := doJSON(t, srv, http.MethodPost, "/mine", req); w.Code != http.StatusOK {
+		t.Fatalf("/mine: %d %s", w.Code, w.Body.String())
+	}
+	if w := doJSON(t, srv, http.MethodPost, "/mine", req); w.Code != http.StatusOK {
+		t.Fatalf("/mine (repeat): %d", w.Code)
+	}
+	if got := statQueries.Value() - before; got != 2 {
+		t.Fatalf("queries counter advanced by %d, want 2", got)
+	}
+	if got := statCacheHits.Value() - hitsBefore; got != 1 {
+		t.Fatalf("cache-hit counter advanced by %d, want 1", got)
+	}
+}

@@ -254,16 +254,19 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	statQueries.Add(1)
 	// Snapshot the cache generation before computing: if a mutation
 	// invalidates the cache while this query runs, Put discards the
 	// now-stale result instead of poisoning the fresh cache.
 	gen := s.cache.Generation()
 	if results, ok := s.cache.Get(p.cacheKey); ok {
+		statCacheHits.Add(1)
 		writeJSON(w, http.StatusOK, MineResponse{Results: toMineResults(results), Cached: true})
 		return
 	}
 	results, err := s.mineWithTimeout(r, p)
 	if err != nil {
+		statErrors.Add(1)
 		s.writeMineError(w, err)
 		return
 	}
@@ -285,6 +288,7 @@ func (s *Server) handleMineBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("batch of %d queries exceeds limit %d", len(req.Queries), s.opts.MaxBatch))
 		return
 	}
+	statBatches.Add(int64(len(req.Queries)))
 	gen := s.cache.Generation()
 	out := make([]BatchItemResponse, len(req.Queries))
 	parsed := make([]parsedQuery, len(req.Queries))
@@ -298,6 +302,7 @@ func (s *Server) handleMineBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		parsed[i] = p
 		if results, ok := s.cache.Get(p.cacheKey); ok {
+			statCacheHits.Add(1)
 			out[i] = BatchItemResponse{Results: toMineResults(results), Cached: true}
 			continue
 		}
@@ -397,6 +402,7 @@ func (s *Server) handleAddDoc(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.miner.Add(phrasemine.Document{Text: req.Text, Facets: req.Facets})
+	statMutations.Add(1)
 	s.cache.Invalidate()
 	writeJSON(w, http.StatusAccepted, map[string]int{"pending_updates": s.miner.PendingUpdates()})
 }
@@ -411,6 +417,7 @@ func (s *Server) handleRemoveDoc(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	statMutations.Add(1)
 	s.cache.Invalidate()
 	writeJSON(w, http.StatusAccepted, map[string]int{"pending_updates": s.miner.PendingUpdates()})
 }
@@ -420,6 +427,7 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	statMutations.Add(1)
 	s.cache.Invalidate()
 	writeJSON(w, http.StatusOK, map[string]int{"pending_updates": s.miner.PendingUpdates()})
 }

@@ -1,0 +1,59 @@
+package topk
+
+import (
+	"testing"
+
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/plist"
+)
+
+// Steady-state allocation budgets for the scratch-backed hot path. The only
+// allowed allocations per query are the escaping outputs (the results slice
+// and the two NRAStats slices); the candidate tables, heaps, mergers and
+// cursors must all come from the arena. A generous budget keeps the test
+// robust to Go runtime accounting changes while still catching any
+// reintroduction of per-candidate or per-entry allocation.
+
+func TestNRAScratchSteadyStateAllocs(t *testing.T) {
+	lists := genLists(5, 3, 400)
+	s := NewScratch(512)
+	opt := NRAOptions{K: 5, Op: corpus.OpOR, BatchSize: 64}
+	cursors, mem := s.MemCursors(len(lists))
+	run := func() {
+		for i := range lists {
+			mem[i].Reset(lists[i])
+			cursors[i] = &mem[i]
+		}
+		if _, _, err := NRAScratch(cursors, opt, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the arena
+	if avg := testing.AllocsPerRun(50, run); avg > 8 {
+		t.Errorf("NRAScratch allocates %.1f objects per steady-state query, want <= 8", avg)
+	}
+}
+
+func TestSMJScratchSteadyStateAllocs(t *testing.T) {
+	raw := genLists(9, 3, 400)
+	lists := make([][]plist.Entry, len(raw))
+	for i, l := range raw {
+		lists[i] = plist.ScoreList(l).ToIDOrdered()
+	}
+	s := NewScratch(512)
+	opt := SMJOptions{K: 5, Op: corpus.OpOR}
+	cursors, mem := s.MemCursors(len(lists))
+	run := func() {
+		for i := range lists {
+			mem[i].Reset(lists[i])
+			cursors[i] = &mem[i]
+		}
+		if _, _, err := SMJScratch(cursors, opt, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	if avg := testing.AllocsPerRun(50, run); avg > 4 {
+		t.Errorf("SMJScratch allocates %.1f objects per steady-state query, want <= 4", avg)
+	}
+}

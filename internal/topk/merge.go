@@ -38,13 +38,28 @@ type loserTree struct {
 
 // newLoserTree builds the tournament over the cursors' first entries.
 func newLoserTree(cursors []plist.Cursor) *loserTree {
+	t := &loserTree{}
+	t.reset(cursors)
+	return t
+}
+
+// reset re-seats the tree over a new cursor set, reusing its internal
+// slices — the pooled-scratch entry point.
+func (t *loserTree) reset(cursors []plist.Cursor) *loserTree {
 	n := len(cursors)
-	t := &loserTree{
-		cursors: cursors,
-		heads:   make([]mergeSource, n),
-		tree:    make([]int, n),
-		n:       n,
+	t.cursors = cursors
+	if cap(t.heads) < n {
+		t.heads = make([]mergeSource, n)
+	} else {
+		t.heads = t.heads[:n]
 	}
+	if cap(t.tree) < n {
+		t.tree = make([]int, n)
+	} else {
+		t.tree = t.tree[:n]
+	}
+	t.n = n
+	t.readErr = nil
 	for i := range cursors {
 		t.heads[i] = t.pull(i)
 	}
@@ -56,6 +71,16 @@ func newLoserTree(cursors []plist.Cursor) *loserTree {
 		t.replay(i)
 	}
 	return t
+}
+
+// release drops cursor references so a pooled tree cannot retain caller
+// data across queries.
+func (t *loserTree) release() {
+	t.cursors = nil
+	t.n = 0
+	t.heads = t.heads[:0]
+	t.tree = t.tree[:0]
+	t.readErr = nil
 }
 
 // pull advances cursor i and packages its next entry.
@@ -134,7 +159,17 @@ type heapMerger struct {
 }
 
 func newHeapMerger(cursors []plist.Cursor) *heapMerger {
-	m := &heapMerger{cursors: cursors}
+	m := &heapMerger{}
+	m.reset(cursors)
+	return m
+}
+
+// reset re-seats the merger over a new cursor set, reusing its heap slice —
+// the pooled-scratch entry point.
+func (m *heapMerger) reset(cursors []plist.Cursor) *heapMerger {
+	m.cursors = cursors
+	m.heap = m.heap[:0]
+	m.readErr = nil
 	for i := range cursors {
 		src := m.pull(i)
 		if src.ok {
@@ -143,6 +178,14 @@ func newHeapMerger(cursors []plist.Cursor) *heapMerger {
 		}
 	}
 	return m
+}
+
+// release drops cursor references so a pooled merger cannot retain caller
+// data across queries.
+func (m *heapMerger) release() {
+	m.cursors = nil
+	m.heap = m.heap[:0]
+	m.readErr = nil
 }
 
 func (m *heapMerger) pull(i int) mergeSource {

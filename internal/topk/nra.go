@@ -3,10 +3,10 @@ package topk
 import (
 	"fmt"
 	"math"
-	"sort"
+	"math/bits"
+	"slices"
 
 	"phrasemine/internal/corpus"
-	"phrasemine/internal/phrasedict"
 	"phrasemine/internal/plist"
 )
 
@@ -21,9 +21,11 @@ type NRAOptions struct {
 	K int
 	// Op selects the AND or OR scoring (Eqs. 8 and 12).
 	Op corpus.Operator
-	// Fraction, when in (0,1), makes the algorithm stop after reading
-	// that fraction of each list — the query-time partial lists of
-	// Section 4.3. Values <= 0 or >= 1 mean full lists.
+	// Fraction selects query-time partial lists (Section 4.3). The
+	// accepted range is [0, +inf): values in (0,1) stop after reading
+	// that fraction of each list; 0 and values >= 1 mean full lists.
+	// NaN and negative values are rejected by Validate — they used to
+	// silently mean "full lists", which hid caller bugs.
 	Fraction float64
 	// BatchSize is the pruning batch b: candidate pruning and the stop
 	// test run once every BatchSize entry reads. Zero selects
@@ -46,13 +48,18 @@ func (o NRAOptions) withDefaults() NRAOptions {
 	return o
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. It runs on the options as given
+// (before defaulting), so out-of-range values are rejected instead of being
+// silently reinterpreted.
 func (o NRAOptions) Validate() error {
 	if o.K <= 0 {
 		return fmt.Errorf("topk: K must be positive, got %d", o.K)
 	}
 	if o.Op != corpus.OpAND && o.Op != corpus.OpOR {
 		return fmt.Errorf("topk: invalid operator %d", o.Op)
+	}
+	if math.IsNaN(o.Fraction) || o.Fraction < 0 {
+		return fmt.Errorf("topk: Fraction must be in [0, +inf) (0 or >= 1 selects full lists), got %v", o.Fraction)
 	}
 	return nil
 }
@@ -70,23 +77,30 @@ type NRAStats struct {
 	FractionTraversed float64 // mean over lists of EntriesRead/ListLens
 }
 
-// nraCand is one candidate's bookkeeping: the sum of scores seen so far
-// (its lower bound) plus a bitmask of the lists it was seen on.
-type nraCand struct {
-	lower float64
-	seen  uint64
-}
-
 // NRA runs Algorithm 1 of the paper over score-ordered list cursors, one
 // per query feature. Cursors may be memory- or disk-backed; entries are
 // consumed round-robin. It returns the top-k phrases ranked by their score
 // upper bounds (the paper's output rule), the run telemetry, and any cursor
 // error.
+//
+// Candidate bookkeeping lives in a pooled Scratch arena (flat arrays
+// indexed by phrase ID, no per-candidate heap objects); results are
+// bit-identical to the retained map-based NRAReference. Callers holding a
+// Scratch should prefer NRAScratch.
 func NRA(cursors []plist.Cursor, opt NRAOptions) ([]Result, NRAStats, error) {
-	opt = opt.withDefaults()
+	s := defaultScratchPool.Get()
+	defer defaultScratchPool.Put(s)
+	return NRAScratch(cursors, opt, s)
+}
+
+// NRAScratch is NRA running on a caller-provided scratch arena. The arena
+// must not be shared with a concurrently executing query; it is left
+// reusable (not released) on return.
+func NRAScratch(cursors []plist.Cursor, opt NRAOptions, s *Scratch) ([]Result, NRAStats, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, NRAStats{}, err
 	}
+	opt = opt.withDefaults()
 	r := len(cursors)
 	if r == 0 {
 		return nil, NRAStats{}, fmt.Errorf("topk: no lists given")
@@ -95,12 +109,15 @@ func NRA(cursors []plist.Cursor, opt NRAOptions) ([]Result, NRAStats, error) {
 		return nil, NRAStats{}, fmt.Errorf("topk: %d lists exceed the supported maximum of 64", r)
 	}
 
+	// Stats slices escape with the return value, so they are the one
+	// per-run allocation besides the results themselves.
 	stats := NRAStats{
 		EntriesRead: make([]int, r),
 		ListLens:    make([]int, r),
 	}
+	s.beginQuery(r)
 	// maxRead caps per-list consumption for partial-list operation.
-	maxRead := make([]int, r)
+	maxRead := s.maxRead
 	for i, c := range cursors {
 		stats.ListLens[i] = c.Len()
 		maxRead[i] = c.Len()
@@ -114,59 +131,59 @@ func NRA(cursors []plist.Cursor, opt NRAOptions) ([]Result, NRAStats, error) {
 	// score above it. Before the first read it is +inf (no bound yet).
 	// After exhaustion (or cutoff) it drops to missingScore(op), because
 	// any phrase not yet seen on list i will never be seen there.
-	lastSeen := make([]float64, r)
+	lastSeen := s.lastSeen
 	for i := range lastSeen {
 		lastSeen[i] = math.Inf(1)
 	}
-	exhausted := make([]bool, r)
+	exhausted := s.exhausted
 	live := r
 	miss := missingScore(opt.Op)
 	allSeen := uint64(1)<<r - 1
-
-	cands := make(map[phrasedict.PhraseID]*nraCand)
+	isAND := opt.Op == corpus.OpAND
 	checkNew := true
 
-	// unseenBound is the best score any not-yet-admitted phrase could
-	// reach: the sum of per-list global bounds.
-	unseenBound := func() float64 {
-		s := 0.0
-		for i := 0; i < r; i++ {
-			if exhausted[i] {
-				s += miss
-			} else {
-				s += lastSeen[i]
-			}
-		}
-		return s
-	}
-	// upper computes a candidate's score upper bound: its seen sum plus
-	// the global bounds of its unseen lists.
-	upper := func(c *nraCand) float64 {
-		u := c.lower
-		if c.seen == allSeen {
+	// bound caches the per-list global bound (lastSeen, or the missing
+	// score once a list is exhausted). It is refreshed once per
+	// maintenance batch — O(changed lists) — instead of being re-derived
+	// per candidate per list as the reference implementation does.
+	bound := s.bound
+
+	// upperOf computes a candidate's score upper bound: its seen sum plus
+	// the global bounds of its unseen lists, added in ascending list
+	// order (the same summation order as the reference, so bounds are
+	// bit-identical). Cost is O(popcount of unseen lists), not O(r).
+	upperOf := func(id int) float64 {
+		u := s.lower[id]
+		sn := s.seen[id]
+		if sn == allSeen {
 			return u
 		}
-		for i := 0; i < r; i++ {
-			if c.seen&(1<<i) == 0 {
-				if exhausted[i] {
-					u += miss
-				} else {
-					u += lastSeen[i]
-				}
-			}
+		for m := ^sn & allSeen; m != 0; m &= m - 1 {
+			u += bound[bits.TrailingZeros64(m)]
 		}
 		return u
 	}
-	// lowerBound is a candidate's guaranteed-score lower bound. Under OR
+	// lowerOf is a candidate's guaranteed-score lower bound. Under OR
 	// a missing list contributes at least 0, so the seen sum qualifies.
 	// Under AND a partially seen candidate may be absent from an unseen
 	// list (probability zero, log = -inf), so only fully seen candidates
 	// have a finite lower bound.
-	lowerBound := func(c *nraCand) float64 {
-		if opt.Op == corpus.OpAND && c.seen != allSeen {
+	lowerOf := func(id int) float64 {
+		if isAND && s.seen[id] != allSeen {
 			return math.Inf(-1)
 		}
-		return c.lower
+		return s.lower[id]
+	}
+	// kth is the k-th best lower bound among candidates, maintained
+	// incrementally: the size-k min-heap s.kheap holds the k candidates
+	// with the largest (finite) lower bounds, updated on every candidate
+	// score change instead of re-selected over all candidates per batch.
+	// Fewer than k finite lower bounds means the k-th largest is -inf.
+	kth := func() float64 {
+		if len(s.ids) < opt.K || len(s.kheap) < opt.K {
+			return math.Inf(-1)
+		}
+		return s.lower[s.kheap[0]]
 	}
 
 	// maintenance runs the batched Alg. 1 lines 10-13: refresh the
@@ -174,27 +191,42 @@ func NRA(cursors []plist.Cursor, opt NRAOptions) ([]Result, NRAStats, error) {
 	// bound, and test whether the top-k is final. It reports whether the
 	// algorithm may stop.
 	maintenance := func() bool {
-		ub := unseenBound()
+		// Refresh per-list bounds and the unseen-candidate bound (the
+		// sum of per-list bounds, in list order).
+		ub := 0.0
+		for i := 0; i < r; i++ {
+			if exhausted[i] {
+				bound[i] = miss
+			} else {
+				bound[i] = lastSeen[i]
+			}
+			ub += bound[i]
+		}
 
-		// Determine the k-th best lower bound among candidates.
-		kth := kthLargestLower(cands, opt.K, lowerBound)
+		kb := kth()
 
 		// Alg. 1 line 11: once no unseen candidate can beat the k-th
 		// lower bound, stop admitting new candidates.
-		if checkNew && !opt.DisableCheckNew && !math.IsInf(kth, -1) && kth >= ub {
+		if checkNew && !opt.DisableCheckNew && !math.IsInf(kb, -1) && kb >= ub {
 			checkNew = false
 			stats.CheckNewOffAt = stats.Iterations
 		}
 
 		// Alg. 1 line 12: prune candidates whose upper bound cannot
-		// reach the current top-k.
-		if len(cands) > opt.K && !math.IsInf(kth, -1) {
-			for id, c := range cands {
-				if upper(c) < kth {
-					delete(cands, id)
+		// reach the current top-k. Heap members are never pruned: a
+		// member's lower bound is >= the heap minimum kb, hence so is
+		// its upper bound.
+		if len(s.ids) > opt.K && !math.IsInf(kb, -1) {
+			kept := s.ids[:0]
+			for _, id := range s.ids {
+				if upperOf(int(id)) < kb {
+					s.drop(id)
 					stats.PrunedCandidates++
+				} else {
+					kept = append(kept, id)
 				}
 			}
+			s.ids = kept
 		}
 
 		if opt.DisableEarlyStop {
@@ -203,15 +235,15 @@ func NRA(cursors []plist.Cursor, opt NRAOptions) ([]Result, NRAStats, error) {
 		// Alg. 1 line 13: the current top-k is final when no unseen
 		// candidate and no candidate outside the top-k (by lower
 		// bound) can exceed the k-th lower bound.
-		if math.IsInf(kth, -1) || ub > kth {
+		if math.IsInf(kb, -1) || ub > kb {
 			return false
 		}
 		// The result is final if every candidate either cannot exceed
 		// the k-th lower bound (upper <= kth) or is safely inside the
 		// top-k (lower >= kth); otherwise some candidate keeps the
 		// race open.
-		for _, c := range cands {
-			if lowerBound(c) < kth && upper(c) > kth {
+		for _, id := range s.ids {
+			if lowerOf(int(id)) < kb && upperOf(int(id)) > kb {
 				return false
 			}
 		}
@@ -244,14 +276,23 @@ func NRA(cursors []plist.Cursor, opt NRAOptions) ([]Result, NRAStats, error) {
 			score := entryScore(opt.Op, e.Prob)
 			lastSeen[i] = score
 
-			if c, known := cands[e.Phrase]; known {
-				c.lower += score
-				c.seen |= 1 << i
+			if s.live(e.Phrase) {
+				s.lower[e.Phrase] += score
+				s.seen[e.Phrase] |= 1 << i
 			} else if checkNew || opt.DisableCheckNew {
-				cands[e.Phrase] = &nraCand{lower: score, seen: 1 << i}
-				if len(cands) > stats.MaxCandidates {
-					stats.MaxCandidates = len(cands)
+				s.admit(e.Phrase, score, 1<<i)
+				if len(s.ids) > stats.MaxCandidates {
+					stats.MaxCandidates = len(s.ids)
 				}
+			} else {
+				continue
+			}
+			// Keep the k-th-lower-bound heap current: under OR every
+			// candidate has a finite lower bound; under AND only fully
+			// seen candidates do (and a fully seen candidate's sum is
+			// final — each list holds a phrase at most once).
+			if !isAND || s.seen[e.Phrase] == allSeen {
+				s.kthOffer(e.Phrase, opt.K)
 			}
 		}
 		if sinceMaintenance >= opt.BatchSize {
@@ -274,34 +315,43 @@ func NRA(cursors []plist.Cursor, opt NRAOptions) ([]Result, NRAStats, error) {
 	}
 
 	// Rank candidates by upper bound (Alg. 1 line 14 commentary), ties by
-	// lower bound then phrase ID for determinism.
-	type ranked struct {
-		id    phrasedict.PhraseID
-		lower float64
-		upper float64
-	}
-	out := make([]ranked, 0, len(cands))
-	for id, c := range cands {
-		u := upper(c)
+	// lower bound then phrase ID for determinism. bound[] is current: every
+	// exit path above runs maintenance last.
+	ranked := s.ranked[:0]
+	for _, id := range s.ids {
+		u := upperOf(int(id))
 		if math.IsInf(u, -1) {
 			continue // provably zero-scored under AND
 		}
-		out = append(out, ranked{id: id, lower: lowerBound(c), upper: u})
+		ranked = append(ranked, rankedCand{id: id, lower: lowerOf(int(id)), upper: u})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].upper != out[j].upper {
-			return out[i].upper > out[j].upper
+	s.ranked = ranked
+	slices.SortFunc(ranked, func(a, b rankedCand) int {
+		switch {
+		case a.upper != b.upper:
+			if a.upper > b.upper {
+				return -1
+			}
+			return 1
+		case a.lower != b.lower:
+			if a.lower > b.lower {
+				return -1
+			}
+			return 1
+		case a.id != b.id:
+			if a.id < b.id {
+				return -1
+			}
+			return 1
+		default:
+			return 0
 		}
-		if out[i].lower != out[j].lower {
-			return out[i].lower > out[j].lower
-		}
-		return out[i].id < out[j].id
 	})
-	if len(out) > opt.K {
-		out = out[:opt.K]
+	if len(ranked) > opt.K {
+		ranked = ranked[:opt.K]
 	}
-	results := make([]Result, len(out))
-	for i, c := range out {
+	results := make([]Result, len(ranked))
+	for i, c := range ranked {
 		// Score is the best available point estimate: the guaranteed
 		// lower bound when finite (for fully seen candidates it equals
 		// the exact aggregate), otherwise the upper bound that ranked
@@ -326,54 +376,4 @@ func NRA(cursors []plist.Cursor, opt NRAOptions) ([]Result, NRAStats, error) {
 		stats.FractionTraversed = frac / float64(counted)
 	}
 	return results, stats, nil
-}
-
-// kthLargestLower returns the k-th largest lower bound among candidates
-// (as computed by lowerOf), or -inf when there are fewer than k candidates.
-func kthLargestLower(cands map[phrasedict.PhraseID]*nraCand, k int, lowerOf func(*nraCand) float64) float64 {
-	if len(cands) < k {
-		return math.Inf(-1)
-	}
-	// Selection via a size-k min-heap over lower bounds.
-	heap := make([]float64, 0, k)
-	push := func(v float64) {
-		heap = append(heap, v)
-		i := len(heap) - 1
-		for i > 0 {
-			parent := (i - 1) / 2
-			if heap[parent] <= heap[i] {
-				break
-			}
-			heap[parent], heap[i] = heap[i], heap[parent]
-			i = parent
-		}
-	}
-	replaceMin := func(v float64) {
-		heap[0] = v
-		i := 0
-		for {
-			l, r := 2*i+1, 2*i+2
-			smallest := i
-			if l < len(heap) && heap[l] < heap[smallest] {
-				smallest = l
-			}
-			if r < len(heap) && heap[r] < heap[smallest] {
-				smallest = r
-			}
-			if smallest == i {
-				break
-			}
-			heap[i], heap[smallest] = heap[smallest], heap[i]
-			i = smallest
-		}
-	}
-	for _, c := range cands {
-		lo := lowerOf(c)
-		if len(heap) < k {
-			push(lo)
-		} else if lo > heap[0] {
-			replaceMin(lo)
-		}
-	}
-	return heap[0]
 }

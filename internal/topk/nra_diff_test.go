@@ -1,0 +1,180 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/phrasedict"
+	"phrasemine/internal/plist"
+)
+
+// genLists derives a deterministic set of score-ordered lists from a seed:
+// r lists over a phrase universe of size up to 256, with probabilities
+// drawn from a few-valued grid so score ties (the hard ranking cases) are
+// common.
+func genLists(seed int64, r, maxLen int) [][]plist.Entry {
+	rng := rand.New(rand.NewSource(seed))
+	universe := 8 + rng.Intn(248)
+	// A small probability grid makes duplicate scores frequent.
+	grid := make([]float64, 1+rng.Intn(12))
+	for i := range grid {
+		grid[i] = float64(1+rng.Intn(1000)) / 1000.0
+	}
+	lists := make([][]plist.Entry, r)
+	for i := range lists {
+		n := rng.Intn(maxLen + 1)
+		seen := make(map[phrasedict.PhraseID]bool, n)
+		entries := make([]plist.Entry, 0, n)
+		for len(entries) < n {
+			id := phrasedict.PhraseID(rng.Intn(universe))
+			if seen[id] {
+				n-- // duplicate draw; shrink target instead of spinning
+				continue
+			}
+			seen[id] = true
+			entries = append(entries, plist.Entry{Phrase: id, Prob: grid[rng.Intn(len(grid))]})
+		}
+		plist.SortScoreOrder(entries)
+		lists[i] = entries
+	}
+	return lists
+}
+
+func cursorsFor(lists [][]plist.Entry) []plist.Cursor {
+	out := make([]plist.Cursor, len(lists))
+	for i, l := range lists {
+		out[i] = plist.NewMemCursor(l)
+	}
+	return out
+}
+
+// compareNRA runs the flat implementation and the map-based reference on
+// identical inputs and fails the test unless results and telemetry are
+// bit-identical.
+func compareNRA(t *testing.T, lists [][]plist.Entry, opt NRAOptions) {
+	t.Helper()
+	flat, flatStats, flatErr := NRA(cursorsFor(lists), opt)
+	ref, refStats, refErr := NRAReference(cursorsFor(lists), opt)
+	if (flatErr == nil) != (refErr == nil) {
+		t.Fatalf("error mismatch: flat=%v reference=%v (opt=%+v)", flatErr, refErr, opt)
+	}
+	if flatErr != nil {
+		return
+	}
+	if len(flat) != len(ref) {
+		t.Fatalf("result length mismatch: flat=%d reference=%d (opt=%+v)\nflat: %v\nref:  %v",
+			len(flat), len(ref), opt, flat, ref)
+	}
+	for i := range flat {
+		f, r := flat[i], ref[i]
+		if f.Phrase != r.Phrase ||
+			math.Float64bits(f.Score) != math.Float64bits(r.Score) ||
+			math.Float64bits(f.Lower) != math.Float64bits(r.Lower) ||
+			math.Float64bits(f.Upper) != math.Float64bits(r.Upper) {
+			t.Fatalf("result %d mismatch (opt=%+v):\nflat: %+v\nref:  %+v", i, opt, f, r)
+		}
+	}
+	if flatStats.Iterations != refStats.Iterations ||
+		flatStats.MaxCandidates != refStats.MaxCandidates ||
+		flatStats.PrunedCandidates != refStats.PrunedCandidates ||
+		flatStats.StoppedEarly != refStats.StoppedEarly ||
+		flatStats.CheckNewOffAt != refStats.CheckNewOffAt ||
+		math.Float64bits(flatStats.FractionTraversed) != math.Float64bits(refStats.FractionTraversed) {
+		t.Fatalf("stats mismatch (opt=%+v):\nflat: %+v\nref:  %+v", opt, flatStats, refStats)
+	}
+	for i := range flatStats.EntriesRead {
+		if flatStats.EntriesRead[i] != refStats.EntriesRead[i] || flatStats.ListLens[i] != refStats.ListLens[i] {
+			t.Fatalf("per-list stats mismatch at %d (opt=%+v):\nflat: %+v\nref:  %+v", i, opt, flatStats, refStats)
+		}
+	}
+}
+
+// optionsGrid is the ablation cross-product the issue calls for:
+// AND/OR × fraction × checknew (plus early-stop and small batch sizes so
+// maintenance runs often on short fuzz lists).
+func optionsGrid(k int) []NRAOptions {
+	var out []NRAOptions
+	for _, op := range []corpus.Operator{corpus.OpAND, corpus.OpOR} {
+		for _, frac := range []float64{0, 0.3, 0.7, 1} {
+			for _, noCheckNew := range []bool{false, true} {
+				for _, noEarlyStop := range []bool{false, true} {
+					out = append(out, NRAOptions{
+						K: k, Op: op, Fraction: frac, BatchSize: 8,
+						DisableCheckNew:  noCheckNew,
+						DisableEarlyStop: noEarlyStop,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestNRAFlatMatchesReference is the deterministic slice of the fuzz
+// contract, so every ordinary `go test` run exercises the differential.
+func TestNRAFlatMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		r := 1 + int(seed%5)
+		lists := genLists(seed, r, 80)
+		for _, k := range []int{1, 3, 10} {
+			for _, opt := range optionsGrid(k) {
+				compareNRA(t, lists, opt)
+			}
+		}
+	}
+}
+
+// TestNRAScratchReuseAcrossQueries drives many different queries through
+// one explicit scratch arena and checks each against the reference: stale
+// generation state leaking between queries would break bit-identity.
+func TestNRAScratchReuseAcrossQueries(t *testing.T) {
+	s := NewScratch(0)
+	for seed := int64(100); seed < 130; seed++ {
+		lists := genLists(seed, 1+int(seed%4), 60)
+		opt := NRAOptions{K: 4, Op: corpus.OpOR, BatchSize: 8}
+		if seed%2 == 0 {
+			opt.Op = corpus.OpAND
+		}
+		flat, flatStats, err := NRAScratch(cursorsFor(lists), opt, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, refStats, err := NRAReference(cursorsFor(lists), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(flat) != len(ref) {
+			t.Fatalf("seed %d: length mismatch flat=%d ref=%d", seed, len(flat), len(ref))
+		}
+		for i := range flat {
+			if flat[i] != ref[i] {
+				t.Fatalf("seed %d result %d: flat=%+v ref=%+v", seed, i, flat[i], ref[i])
+			}
+		}
+		if flatStats.MaxCandidates != refStats.MaxCandidates || flatStats.StoppedEarly != refStats.StoppedEarly {
+			t.Fatalf("seed %d stats mismatch: flat=%+v ref=%+v", seed, flatStats, refStats)
+		}
+	}
+}
+
+// FuzzNRAFlatVsReference fuzzes the flat NRA against the retained map-based
+// reference over random score lists and the AND/OR × fraction × checknew
+// ablation grid, asserting bit-identical top-k results, stats counters and
+// early-stop behavior.
+func FuzzNRAFlatVsReference(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(40), uint8(5))
+	f.Add(int64(7), uint8(1), uint8(3), uint8(1))
+	f.Add(int64(42), uint8(4), uint8(90), uint8(10))
+	f.Add(int64(-9), uint8(6), uint8(20), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, r, maxLen, k uint8) {
+		nLists := 1 + int(r%6)
+		depth := int(maxLen) % 101
+		kk := 1 + int(k%12)
+		lists := genLists(seed, nLists, depth)
+		for _, opt := range optionsGrid(kk) {
+			compareNRA(t, lists, opt)
+		}
+	})
+}

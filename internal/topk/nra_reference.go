@@ -1,0 +1,326 @@
+package topk
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/phrasedict"
+	"phrasemine/internal/plist"
+)
+
+// This file retains the original map-based NRA implementation as the
+// differential-testing reference for the flat, generation-stamped rewrite
+// in nra.go. It allocates one heap object per candidate and re-selects the
+// k-th lower bound from scratch every maintenance batch — exactly the costs
+// the flat implementation removes — and is kept bit-identical in behavior:
+// the fuzz target (FuzzNRAFlatVsReference) and the internal/difftest
+// harness assert that both implementations return identical results, stats
+// and early-stop decisions on arbitrary inputs.
+
+// nraCand is one reference candidate's bookkeeping: the sum of scores seen
+// so far (its lower bound) plus a bitmask of the lists it was seen on.
+type nraCand struct {
+	lower float64
+	seen  uint64
+}
+
+// NRAReference runs Algorithm 1 with the original map-of-pointers candidate
+// set. Semantics are identical to NRA; performance is not. Use NRA in
+// production paths — this entry point exists for differential tests.
+func NRAReference(cursors []plist.Cursor, opt NRAOptions) ([]Result, NRAStats, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, NRAStats{}, err
+	}
+	opt = opt.withDefaults()
+	r := len(cursors)
+	if r == 0 {
+		return nil, NRAStats{}, fmt.Errorf("topk: no lists given")
+	}
+	if r > 64 {
+		return nil, NRAStats{}, fmt.Errorf("topk: %d lists exceed the supported maximum of 64", r)
+	}
+
+	stats := NRAStats{
+		EntriesRead: make([]int, r),
+		ListLens:    make([]int, r),
+	}
+	// maxRead caps per-list consumption for partial-list operation.
+	maxRead := make([]int, r)
+	for i, c := range cursors {
+		stats.ListLens[i] = c.Len()
+		maxRead[i] = c.Len()
+		if opt.Fraction > 0 && opt.Fraction < 1 {
+			maxRead[i] = int(math.Ceil(opt.Fraction * float64(c.Len())))
+		}
+	}
+
+	// lastSeen[i] is the score of the most recently read entry of list i
+	// (the global bound of Section 4.3): no unseen entry of list i can
+	// score above it. Before the first read it is +inf (no bound yet).
+	// After exhaustion (or cutoff) it drops to missingScore(op), because
+	// any phrase not yet seen on list i will never be seen there.
+	lastSeen := make([]float64, r)
+	for i := range lastSeen {
+		lastSeen[i] = math.Inf(1)
+	}
+	exhausted := make([]bool, r)
+	live := r
+	miss := missingScore(opt.Op)
+	allSeen := uint64(1)<<r - 1
+
+	cands := make(map[phrasedict.PhraseID]*nraCand)
+	checkNew := true
+
+	// unseenBound is the best score any not-yet-admitted phrase could
+	// reach: the sum of per-list global bounds.
+	unseenBound := func() float64 {
+		s := 0.0
+		for i := 0; i < r; i++ {
+			if exhausted[i] {
+				s += miss
+			} else {
+				s += lastSeen[i]
+			}
+		}
+		return s
+	}
+	// upper computes a candidate's score upper bound: its seen sum plus
+	// the global bounds of its unseen lists.
+	upper := func(c *nraCand) float64 {
+		u := c.lower
+		if c.seen == allSeen {
+			return u
+		}
+		for i := 0; i < r; i++ {
+			if c.seen&(1<<i) == 0 {
+				if exhausted[i] {
+					u += miss
+				} else {
+					u += lastSeen[i]
+				}
+			}
+		}
+		return u
+	}
+	// lowerBound is a candidate's guaranteed-score lower bound. Under OR
+	// a missing list contributes at least 0, so the seen sum qualifies.
+	// Under AND a partially seen candidate may be absent from an unseen
+	// list (probability zero, log = -inf), so only fully seen candidates
+	// have a finite lower bound.
+	lowerBound := func(c *nraCand) float64 {
+		if opt.Op == corpus.OpAND && c.seen != allSeen {
+			return math.Inf(-1)
+		}
+		return c.lower
+	}
+
+	// maintenance runs the batched Alg. 1 lines 10-13: refresh the
+	// checknew flag, prune candidates against the current top-k lower
+	// bound, and test whether the top-k is final. It reports whether the
+	// algorithm may stop.
+	maintenance := func() bool {
+		ub := unseenBound()
+
+		// Determine the k-th best lower bound among candidates.
+		kth := kthLargestLower(cands, opt.K, lowerBound)
+
+		// Alg. 1 line 11: once no unseen candidate can beat the k-th
+		// lower bound, stop admitting new candidates.
+		if checkNew && !opt.DisableCheckNew && !math.IsInf(kth, -1) && kth >= ub {
+			checkNew = false
+			stats.CheckNewOffAt = stats.Iterations
+		}
+
+		// Alg. 1 line 12: prune candidates whose upper bound cannot
+		// reach the current top-k.
+		if len(cands) > opt.K && !math.IsInf(kth, -1) {
+			for id, c := range cands {
+				if upper(c) < kth {
+					delete(cands, id)
+					stats.PrunedCandidates++
+				}
+			}
+		}
+
+		if opt.DisableEarlyStop {
+			return false
+		}
+		// Alg. 1 line 13: the current top-k is final when no unseen
+		// candidate and no candidate outside the top-k (by lower
+		// bound) can exceed the k-th lower bound.
+		if math.IsInf(kth, -1) || ub > kth {
+			return false
+		}
+		// The result is final if every candidate either cannot exceed
+		// the k-th lower bound (upper <= kth) or is safely inside the
+		// top-k (lower >= kth); otherwise some candidate keeps the
+		// race open.
+		for _, c := range cands {
+			if lowerBound(c) < kth && upper(c) > kth {
+				return false
+			}
+		}
+		return true
+	}
+
+	sinceMaintenance := 0
+	for live > 0 {
+		for i := 0; i < r; i++ {
+			if exhausted[i] {
+				continue
+			}
+			if stats.EntriesRead[i] >= maxRead[i] {
+				exhausted[i] = true
+				live--
+				continue
+			}
+			e, ok := cursors[i].Next()
+			if !ok {
+				if err := cursors[i].Err(); err != nil {
+					return nil, stats, err
+				}
+				exhausted[i] = true
+				live--
+				continue
+			}
+			stats.EntriesRead[i]++
+			stats.Iterations++
+			sinceMaintenance++
+			score := entryScore(opt.Op, e.Prob)
+			lastSeen[i] = score
+
+			if c, known := cands[e.Phrase]; known {
+				c.lower += score
+				c.seen |= 1 << i
+			} else if checkNew || opt.DisableCheckNew {
+				cands[e.Phrase] = &nraCand{lower: score, seen: 1 << i}
+				if len(cands) > stats.MaxCandidates {
+					stats.MaxCandidates = len(cands)
+				}
+			}
+		}
+		if sinceMaintenance >= opt.BatchSize {
+			sinceMaintenance = 0
+			if maintenance() {
+				stats.StoppedEarly = true
+				break
+			}
+		}
+	}
+	// Final maintenance pass so bounds and stats are settled even when
+	// the loop ended by exhaustion between batches.
+	if !stats.StoppedEarly {
+		for i := 0; i < r; i++ {
+			if stats.EntriesRead[i] >= maxRead[i] {
+				exhausted[i] = true
+			}
+		}
+		maintenance()
+	}
+
+	// Rank candidates by upper bound (Alg. 1 line 14 commentary), ties by
+	// lower bound then phrase ID for determinism.
+	type ranked struct {
+		id    phrasedict.PhraseID
+		lower float64
+		upper float64
+	}
+	out := make([]ranked, 0, len(cands))
+	for id, c := range cands {
+		u := upper(c)
+		if math.IsInf(u, -1) {
+			continue // provably zero-scored under AND
+		}
+		out = append(out, ranked{id: id, lower: lowerBound(c), upper: u})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].upper != out[j].upper {
+			return out[i].upper > out[j].upper
+		}
+		if out[i].lower != out[j].lower {
+			return out[i].lower > out[j].lower
+		}
+		return out[i].id < out[j].id
+	})
+	if len(out) > opt.K {
+		out = out[:opt.K]
+	}
+	results := make([]Result, len(out))
+	for i, c := range out {
+		// Score is the best available point estimate: the guaranteed
+		// lower bound when finite (for fully seen candidates it equals
+		// the exact aggregate), otherwise the upper bound that ranked
+		// the candidate.
+		score := c.lower
+		if math.IsInf(score, -1) {
+			score = c.upper
+		}
+		results[i] = Result{Phrase: c.id, Score: score, Lower: c.lower, Upper: c.upper}
+	}
+
+	// Fraction of (full) lists traversed, averaged over lists (Fig. 11).
+	frac := 0.0
+	counted := 0
+	for i := 0; i < r; i++ {
+		if stats.ListLens[i] > 0 {
+			frac += float64(stats.EntriesRead[i]) / float64(stats.ListLens[i])
+			counted++
+		}
+	}
+	if counted > 0 {
+		stats.FractionTraversed = frac / float64(counted)
+	}
+	return results, stats, nil
+}
+
+// kthLargestLower returns the k-th largest lower bound among candidates
+// (as computed by lowerOf), or -inf when there are fewer than k candidates.
+func kthLargestLower(cands map[phrasedict.PhraseID]*nraCand, k int, lowerOf func(*nraCand) float64) float64 {
+	if len(cands) < k {
+		return math.Inf(-1)
+	}
+	// Selection via a size-k min-heap over lower bounds.
+	heap := make([]float64, 0, k)
+	push := func(v float64) {
+		heap = append(heap, v)
+		i := len(heap) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if heap[parent] <= heap[i] {
+				break
+			}
+			heap[parent], heap[i] = heap[i], heap[parent]
+			i = parent
+		}
+	}
+	replaceMin := func(v float64) {
+		heap[0] = v
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < len(heap) && heap[l] < heap[smallest] {
+				smallest = l
+			}
+			if r < len(heap) && heap[r] < heap[smallest] {
+				smallest = r
+			}
+			if smallest == i {
+				break
+			}
+			heap[i], heap[smallest] = heap[smallest], heap[i]
+			i = smallest
+		}
+	}
+	for _, c := range cands {
+		lo := lowerOf(c)
+		if len(heap) < k {
+			push(lo)
+		} else if lo > heap[0] {
+			replaceMin(lo)
+		}
+	}
+	return heap[0]
+}

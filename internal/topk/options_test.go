@@ -1,0 +1,42 @@
+package topk
+
+import (
+	"math"
+	"testing"
+
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/plist"
+)
+
+func TestNRAOptionsValidateFraction(t *testing.T) {
+	base := NRAOptions{K: 1, Op: corpus.OpOR}
+	for _, frac := range []float64{0, 0.25, 1, 2.5} {
+		opt := base
+		opt.Fraction = frac
+		if err := opt.Validate(); err != nil {
+			t.Fatalf("Fraction=%v: unexpected error %v", frac, err)
+		}
+	}
+	for _, frac := range []float64{-0.1, -1, math.NaN(), math.Inf(-1)} {
+		opt := base
+		opt.Fraction = frac
+		if err := opt.Validate(); err == nil {
+			t.Fatalf("Fraction=%v: want error, got nil", frac)
+		}
+	}
+}
+
+func TestNRARejectsInvalidFraction(t *testing.T) {
+	cursors := []plist.Cursor{plist.NewMemCursor([]plist.Entry{{Phrase: 1, Prob: 0.5}})}
+	for _, fn := range map[string]func([]plist.Cursor, NRAOptions) ([]Result, NRAStats, error){
+		"flat":      NRA,
+		"reference": NRAReference,
+	} {
+		if _, _, err := fn(cursors, NRAOptions{K: 1, Op: corpus.OpOR, Fraction: math.NaN()}); err == nil {
+			t.Fatal("NaN fraction accepted")
+		}
+		if _, _, err := fn(cursors, NRAOptions{K: 1, Op: corpus.OpOR, Fraction: -0.5}); err == nil {
+			t.Fatal("negative fraction accepted")
+		}
+	}
+}

@@ -2,7 +2,7 @@ package topk
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"phrasemine/internal/corpus"
 	"phrasemine/internal/phrasedict"
@@ -59,7 +59,18 @@ type SMJStats struct {
 // scores are aggregated without any hash map: a running (phrase, sum,
 // listCount) accumulator is flushed whenever the merge moves to a larger
 // phrase ID.
+//
+// Merger state and the bounded selection heap come from a pooled Scratch
+// arena; callers holding one should prefer SMJScratch.
 func SMJ(cursors []plist.Cursor, opt SMJOptions) ([]Result, SMJStats, error) {
+	s := defaultScratchPool.Get()
+	defer defaultScratchPool.Put(s)
+	return SMJScratch(cursors, opt, s)
+}
+
+// SMJScratch is SMJ running on a caller-provided scratch arena. The arena
+// must not be shared with a concurrently executing query.
+func SMJScratch(cursors []plist.Cursor, opt SMJOptions, s *Scratch) ([]Result, SMJStats, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, SMJStats{}, err
 	}
@@ -68,17 +79,13 @@ func SMJ(cursors []plist.Cursor, opt SMJOptions) ([]Result, SMJStats, error) {
 	}
 	var m merger
 	if opt.UseHeapMerge {
-		m = newHeapMerger(cursors)
+		m = s.hm.reset(cursors)
 	} else {
-		m = newLoserTree(cursors)
+		m = s.lt.reset(cursors)
 	}
 
 	r := len(cursors)
 	var stats SMJStats
-	type scored struct {
-		id    phrasedict.PhraseID
-		score float64
-	}
 
 	// top is a size-K min-heap over (score, id): the bounded selection
 	// behind the paper's O(lr + k log(lr)) SMJ complexity. worse reports
@@ -90,7 +97,7 @@ func SMJ(cursors []plist.Cursor, opt SMJOptions) ([]Result, SMJStats, error) {
 		}
 		return a.id > b.id
 	}
-	var top []scored
+	top := s.top[:0]
 	heapDown := func(i int) {
 		for {
 			l, rr, smallest := 2*i+1, 2*i+2, i
@@ -107,9 +114,9 @@ func SMJ(cursors []plist.Cursor, opt SMJOptions) ([]Result, SMJStats, error) {
 			i = smallest
 		}
 	}
-	offer := func(s scored) {
+	offer := func(sc scored) {
 		if len(top) < opt.K {
-			top = append(top, s)
+			top = append(top, sc)
 			for i := len(top) - 1; i > 0; {
 				parent := (i - 1) / 2
 				if !worse(top[i], top[parent]) {
@@ -120,10 +127,10 @@ func SMJ(cursors []plist.Cursor, opt SMJOptions) ([]Result, SMJStats, error) {
 			}
 			return
 		}
-		if worse(s, top[0]) {
+		if worse(sc, top[0]) {
 			return
 		}
-		top[0] = s
+		top[0] = sc
 		heapDown(0)
 	}
 
@@ -160,21 +167,33 @@ func SMJ(cursors []plist.Cursor, opt SMJOptions) ([]Result, SMJStats, error) {
 			flush()
 			curID, curSum, curSumSq, curCount, active = e.Phrase, 0, 0, 0, true
 		}
-		s := entryScore(opt.Op, e.Prob)
-		curSum += s
-		curSumSq += s * s
+		sc := entryScore(opt.Op, e.Prob)
+		curSum += sc
+		curSumSq += sc * sc
 		curCount++
 	}
+	s.top = top // retain the (possibly grown) buffer for reuse
 	if err := m.err(); err != nil {
 		return nil, stats, err
 	}
 	flush()
+	s.top = top
 
-	results := append([]scored(nil), top...)
-	sort.Slice(results, func(i, j int) bool { return worse(results[j], results[i]) })
-	out := make([]Result, len(results))
-	for i, s := range results {
-		out[i] = Result{Phrase: s.id, Score: s.score, Lower: s.score, Upper: s.score}
+	// The heap is no longer needed once every candidate has been offered,
+	// so sort its backing storage in place instead of copying it out.
+	slices.SortFunc(top, func(a, b scored) int {
+		switch {
+		case worse(b, a):
+			return -1
+		case worse(a, b):
+			return 1
+		default:
+			return 0
+		}
+	})
+	out := make([]Result, len(top))
+	for i, sc := range top {
+		out[i] = Result{Phrase: sc.id, Score: sc.score, Lower: sc.score, Upper: sc.score}
 	}
 	return out, stats, nil
 }

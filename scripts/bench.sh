@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# bench.sh — run the figure benchmarks with -benchmem and capture them as a
+# JSON perf record (BENCH_pr3.json by default), starting the repo's
+# benchmark trajectory: every perf PR measures the same set and commits the
+# updated baseline, and CI gates on it (see the bench-regression job).
+#
+# Usage:
+#   scripts/bench.sh [output.json]
+#
+# Environment knobs:
+#   BENCH      benchmark regexp      (default: the PR-3 acceptance set)
+#   BENCHTIME  go test -benchtime    (default: 2s)
+#   BENCHSCALE dataset scale         (default: 0.1, the bench_test default)
+#   LABEL      free-form label embedded in the JSON
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_pr3.json}
+BENCH=${BENCH:-'^(BenchmarkFig7SMJ20AndReuters|BenchmarkFig9NRADisk20Reuters|BenchmarkConcurrentMine|BenchmarkFig7SMJ20OrReuters|BenchmarkFig10NRADisk20Pubmed|BenchmarkMineBatch)$'}
+BENCHTIME=${BENCHTIME:-2s}
+BENCHSCALE=${BENCHSCALE:-0.1}
+LABEL=${LABEL:-"$(git rev-parse --short HEAD 2>/dev/null || echo unversioned)"}
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "running: go test -bench '$BENCH' -benchmem -benchtime $BENCHTIME -benchscale $BENCHSCALE" >&2
+go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -benchscale "$BENCHSCALE" . | tee "$tmp"
+go run ./cmd/benchtool tojson -in "$tmp" -out "$OUT" -label "$LABEL"
+echo "wrote $OUT" >&2
