@@ -9,12 +9,16 @@ package phrasemine
 import (
 	"flag"
 	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
 	"phrasemine/internal/core"
 	"phrasemine/internal/corpus"
 	"phrasemine/internal/experiments"
+	"phrasemine/internal/phrasedict"
 	"phrasemine/internal/plist"
 	"phrasemine/internal/synth"
 	"phrasemine/internal/textproc"
@@ -442,6 +446,175 @@ func BenchmarkParallelIndexBuild(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			benchmarkIndexBuild(b, w)
 		})
+	}
+}
+
+// --- Tentpole: block-compressed lists and zero-copy snapshots ----------------
+
+// benchCompressedList builds a block-compressed list with realistic shape:
+// dense ascending IDs with small-ratio probabilities.
+func benchCompressedList(n int, ord plist.Ordering) plist.BlockList {
+	rng := rand.New(rand.NewSource(42))
+	entries := make([]plist.Entry, n)
+	id := uint32(0)
+	for i := range entries {
+		id += uint32(1 + rng.Intn(8))
+		den := 1 + rng.Intn(24)
+		num := 1 + rng.Intn(den)
+		entries[i] = plist.Entry{Phrase: phrasedict.PhraseID(id), Prob: float64(num) / float64(den)}
+	}
+	if ord == plist.OrderScore {
+		plist.SortScoreOrder(entries)
+	}
+	data, err := plist.AppendBlockList(nil, entries, ord)
+	if err != nil {
+		panic(err)
+	}
+	l, err := plist.NewBlockList(data, n, ord)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// BenchmarkCompressedCursorNext measures sequential decode throughput of
+// the block cursor (the per-entry cost NRA/SMJ pay on a compressed index).
+func BenchmarkCompressedCursorNext(b *testing.B) {
+	l := benchCompressedList(1<<16, plist.OrderScore)
+	c := plist.NewBlockCursor(l)
+	b.SetBytes(plist.EntrySize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, ok := c.Next()
+		if !ok {
+			c.Reset(l)
+			continue
+		}
+		_ = e
+	}
+}
+
+// BenchmarkCompressedCursorSkipTo measures galloping skip performance over
+// the skip table (blocks between cursor and target are never decoded).
+func BenchmarkCompressedCursorSkipTo(b *testing.B) {
+	const n = 1 << 16
+	l := benchCompressedList(n, plist.OrderID)
+	c := plist.NewBlockCursor(l)
+	// Ascending targets with a stride crossing ~8 blocks per skip.
+	stride := phrasedict.PhraseID(8 * plist.BlockLen * 4)
+	target := phrasedict.PhraseID(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, ok := c.SkipTo(target)
+		if !ok {
+			c.Reset(l)
+			target = 0
+			continue
+		}
+		target = e.Phrase + stride
+	}
+}
+
+// benchSnapshotFile persists the shared Reuters index once per process.
+var benchSnapshotPath string
+
+func benchSnapshot(b *testing.B) string {
+	b.Helper()
+	if benchSnapshotPath != "" {
+		return benchSnapshotPath
+	}
+	ds := benchDataset(b, experiments.Reuters)
+	dir, err := os.MkdirTemp("", "phrasemine-bench-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(dir, "bench.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := ds.Index.WriteSnapshot(f); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	benchSnapshotPath = path
+	return path
+}
+
+// BenchmarkSnapshotLoad measures the fully verified heap deserialization
+// (the pre-existing load path): every section is checksummed and decoded.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	path := benchSnapshot(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := os.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix, err := core.LoadSnapshot(f, 1)
+		f.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = ix
+	}
+}
+
+// BenchmarkSnapshotOpenMmap measures the zero-copy open: O(section
+// directories), no decode, no checksum pass. The acceptance target is
+// >= 10x faster than BenchmarkSnapshotLoad on the smoke corpus.
+func BenchmarkSnapshotOpenMmap(b *testing.B) {
+	path := benchSnapshot(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix, err := core.OpenSnapshotFile(path, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix.Close()
+	}
+}
+
+// BenchmarkCompressedNRAReuters runs the Fig 7 NRA workload over the
+// block-compressed index — the steady-state query cost of the compressed
+// layout (compare with the uncompressed BenchmarkAblationFraction/frac=1).
+func BenchmarkCompressedNRAReuters(b *testing.B) {
+	ds := benchDataset(b, experiments.Reuters)
+	opts := core.BuildOptions{
+		Extractor:   textproc.ExtractorOptions{MinDocFreq: 3},
+		Compression: true,
+	}
+	ix, err := core.Build(ds.Corpus, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := ds.Queries(corpus.OpOR)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.QueryNRA(rotate(queries, i), topk.NRAOptions{K: experiments.K}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMmapQueryReuters serves the Fig 7 NRA workload straight out of
+// a mapped snapshot: blocks decode from the mapping into pooled scratch.
+func BenchmarkMmapQueryReuters(b *testing.B) {
+	ds := benchDataset(b, experiments.Reuters)
+	path := benchSnapshot(b)
+	ix, err := core.OpenSnapshotFile(path, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ix.Close()
+	queries := ds.Queries(corpus.OpOR)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.QueryNRA(rotate(queries, i), topk.NRAOptions{K: experiments.K}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

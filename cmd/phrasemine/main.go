@@ -74,8 +74,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  phrasemine build-index -in corpus.txt -out corpus.snap [-mindf N] [-workers N]
-  phrasemine serve (-index corpus.snap | -in corpus.txt) [-addr :8080] [-cache N] [-timeout D] [-workers N] [-pprof]
+  phrasemine build-index -in corpus.txt -out corpus.snap [-mindf N] [-workers N] [-compress]
+  phrasemine serve (-index corpus.snap | -in corpus.txt) [-addr :8080] [-cache N] [-timeout D] [-workers N] [-pprof] [-mmap] [-compress]
   phrasemine index -in corpus.txt -out prefix [-mindf N] [-workers N]
   phrasemine query (-in corpus.txt | -index prefix) -keywords "w1 w2" [-op AND|OR] [-k N] [-algo nra|smj|gm|exact] [-frac F] [-workers N]
   phrasemine stats -in corpus.txt [-mindf N] [-workers N]
@@ -86,7 +86,12 @@ list/dictionary files for disk-resident NRA querying.
 
 -workers bounds build parallelism (0 = all cores, 1 = sequential); the
 built index is identical at every worker count. Querying a prebuilt
--index reads from disk and does not build, so -workers is a no-op there.`)
+-index reads from disk and does not build, so -workers is a no-op there.
+
+-compress keeps the query-time lists block-compressed in memory (results
+are bit-identical). serve -mmap opens the snapshot zero-copy via mmap:
+startup is O(directories) and resident memory is demand-paged and shared
+across processes; the mapping is unmapped cleanly on SIGINT.`)
 }
 
 // forEachDocLine streams a one-document-per-line corpus file, calling fn
@@ -171,7 +176,7 @@ func readDocuments(path string) ([]phrasemine.Document, error) {
 }
 
 // buildMiner indexes a corpus file through the public API.
-func buildMiner(path string, minDF, workers int) (*phrasemine.Miner, error) {
+func buildMiner(path string, minDF, workers int, compress bool) (*phrasemine.Miner, error) {
 	docs, err := readDocuments(path)
 	if err != nil {
 		return nil, err
@@ -179,6 +184,7 @@ func buildMiner(path string, minDF, workers int) (*phrasemine.Miner, error) {
 	cfg := phrasemine.DefaultConfig()
 	cfg.MinDocFreq = minDF
 	cfg.Workers = workers
+	cfg.Compression = compress
 	return phrasemine.NewMinerFromDocuments(docs, cfg)
 }
 
@@ -190,6 +196,7 @@ func cmdBuildIndex(args []string) error {
 	out := fs.String("out", "corpus.snap", "snapshot output path")
 	minDF := fs.Int("mindf", 5, "minimum phrase document frequency")
 	workers := fs.Int("workers", 0, "build parallelism (0 = all cores, 1 = sequential)")
+	compress := fs.Bool("compress", false, "record block-compressed in-memory operation in the snapshot config")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -197,7 +204,7 @@ func cmdBuildIndex(args []string) error {
 		return fmt.Errorf("-in is required")
 	}
 	start := time.Now()
-	m, err := buildMiner(*in, *minDF, *workers)
+	m, err := buildMiner(*in, *minDF, *workers, *compress)
 	if err != nil {
 		return err
 	}
@@ -227,6 +234,8 @@ func cmdServe(args []string) error {
 	minDF := fs.Int("mindf", 5, "minimum phrase document frequency (-in mode)")
 	workers := fs.Int("workers", 0, "query/build parallelism (0 = all cores)")
 	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof and /debug/vars (profiling + expvar counters)")
+	useMmap := fs.Bool("mmap", false, "open -index zero-copy via mmap (O(header) startup, demand-paged shared memory)")
+	compress := fs.Bool("compress", false, "block-compressed in-memory lists (-in mode; heap -index mode follows the snapshot's own setting, -mmap is always compressed)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -237,6 +246,15 @@ func cmdServe(args []string) error {
 		start = time.Now()
 	)
 	switch {
+	case *index != "" && *useMmap:
+		m, err = phrasemine.OpenMinerMapped(*index, *workers)
+		if err != nil {
+			return err
+		}
+		st := m.IndexStats()
+		fmt.Printf("mapped snapshot %s in %v: %d docs, |P|=%d phrases, %s shared mapping\n",
+			*index, time.Since(start).Round(time.Microsecond), m.NumDocuments(), m.NumPhrases(),
+			byteSize(st.MappedBytes))
 	case *index != "":
 		m, err = phrasemine.LoadMinerFile(*index, *workers)
 		if err != nil {
@@ -245,7 +263,7 @@ func cmdServe(args []string) error {
 		fmt.Printf("loaded snapshot %s in %v: %d docs, |P|=%d phrases\n",
 			*index, time.Since(start).Round(time.Millisecond), m.NumDocuments(), m.NumPhrases())
 	case *in != "":
-		m, err = buildMiner(*in, *minDF, *workers)
+		m, err = buildMiner(*in, *minDF, *workers, *compress)
 		if err != nil {
 			return err
 		}
@@ -289,6 +307,13 @@ func cmdServe(args []string) error {
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	// In-flight queries have drained (Shutdown waited for them); release
+	// the snapshot mapping before exit so -mmap serves unmap cleanly on
+	// SIGINT/SIGTERM rather than relying on process teardown.
+	if err := m.Close(); err != nil {
+		return err
+	}
+	fmt.Println("closed index")
 	return nil
 }
 

@@ -36,8 +36,14 @@ type featurePhrase struct {
 	phrase  phrasedict.PhraseID
 }
 
-// NewDelta starts an empty delta over the index.
+// NewDelta starts an empty delta over the index. On a mapped index this
+// materializes the phrase-doc and forward sections (delta corrections need
+// them); a corrupt mapped snapshot panics here rather than admitting
+// updates it cannot score.
 func (ix *Index) NewDelta() *Delta {
+	if err := ix.materializeDocs(); err != nil {
+		panic(err)
+	}
 	return &Delta{
 		ix:      ix,
 		removed: make(map[corpus.DocID]bool),
@@ -278,7 +284,7 @@ func (d *Delta) QueryNRA(q corpus.Query, opt topk.NRAOptions) ([]topk.Result, to
 	errs := make([]error, len(q.Features))
 	d.ix.fanOut(len(q.Features), func(i int) {
 		f := q.Features[i]
-		l, err := d.ix.featureList(f)
+		inner, err := d.ix.featureScoreCursor(f)
 		if err != nil {
 			errs[i] = err
 			return
@@ -291,7 +297,7 @@ func (d *Delta) QueryNRA(q corpus.Query, opt topk.NRAOptions) ([]topk.Result, to
 			return extras[a].Phrase < extras[b].Phrase
 		})
 		cursors[i] = &chainCursor{
-			inner: &adjustedCursor{inner: plist.NewMemCursor(l), delta: d, feature: f},
+			inner: &adjustedCursor{inner: inner, delta: d, feature: f},
 			tail:  extras,
 		}
 	})
@@ -316,15 +322,15 @@ func (d *Delta) QuerySMJ(s *SMJIndex, q corpus.Query, opt topk.SMJOptions) ([]to
 	errs := make([]error, len(q.Features))
 	d.ix.fanOut(len(q.Features), func(i int) {
 		f := q.Features[i]
-		l, ok := s.Lists[f]
-		if !ok && d.ix.restricted && d.ix.Inverted.Has(f) {
-			errs[i] = fmt.Errorf("core: SMJ index has no list for %q", f)
+		inner, err := d.ix.smjFeatureCursor(s, f)
+		if err != nil {
+			errs[i] = err
 			return
 		}
 		extras := d.extras(f)
 		sort.Slice(extras, func(a, b int) bool { return extras[a].Phrase < extras[b].Phrase })
 		cursors[i] = &mergeByIDCursor{
-			inner:  &adjustedCursor{inner: plist.NewMemCursor(l), delta: d, feature: f},
+			inner:  &adjustedCursor{inner: inner, delta: d, feature: f},
 			extras: extras,
 		}
 	})

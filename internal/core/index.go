@@ -52,6 +52,15 @@ type BuildOptions struct {
 	// (with its own Shards) wins for that stage, and the remaining build
 	// stages always follow Workers.
 	Shards int
+	// Compression selects the block-compressed physical layout for the
+	// query-time structures: the score-ordered word lists are held as a
+	// plist.BlockSet (delta/varint blocks with skip entries) instead of
+	// raw []Entry slices, and snapshot loads keep inverted postings in
+	// their compressed block form with lazy per-feature decoding. Queries
+	// answer bit-identically to the uncompressed layout (locked by
+	// internal/difftest's RunCompressedEquivalence); the trade is ~4-6x
+	// less list memory for a per-block decode on the query path.
+	Compression bool
 }
 
 // Index is the built system state over a static corpus D.
@@ -67,13 +76,29 @@ type Index struct {
 	// Forward[d] holds the sorted phrase IDs present in document d (the
 	// GM-style forward index, also used to build word lists).
 	Forward [][]phrasedict.PhraseID
-	// Lists maps each built feature to its full score-ordered list.
+	// Lists maps each built feature to its full score-ordered list. It is
+	// nil when the index runs compressed (see Blocks).
 	Lists map[string]plist.ScoreList
+	// Blocks holds the block-compressed score-ordered lists when the
+	// index was built or loaded with Compression (or opened from a mapped
+	// snapshot, where the set's data region aliases the mapping). Exactly
+	// one of Lists and Blocks is the query source.
+	Blocks *plist.BlockSet
 
 	opts       BuildOptions
 	restricted bool
 	workers    int
 	pool       *topk.Pool
+
+	// Lazily decoded sections of a mapped snapshot: phrase-doc lists and
+	// the forward index stay as raw encoded bytes until a consumer (GM,
+	// Exact, delta updates, Save) needs them. lazyMu guards the one-shot
+	// decode; closer unmaps the snapshot on Close.
+	lazyMu      sync.Mutex
+	lazyPD      []byte
+	lazyFwd     []byte
+	closer      io.Closer
+	mappedBytes int64
 
 	// scratchOnce lazily builds the query-scratch pool so every Index
 	// construction path (Build, snapshot load, tests assembling literals)
@@ -156,7 +181,68 @@ func Build(c *corpus.Corpus, opt BuildOptions) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: word-specific lists: %w", err)
 	}
+	if opt.Compression {
+		ix.Blocks, err = plist.BuildBlockSet(ix.Lists)
+		if err != nil {
+			return nil, fmt.Errorf("core: compressing word lists: %w", err)
+		}
+		ix.Lists = nil
+	}
 	return ix, nil
+}
+
+// Compressed reports whether the index queries block-compressed lists.
+func (ix *Index) Compressed() bool { return ix.Blocks != nil }
+
+// Mapped reports whether the index is backed by a memory-mapped snapshot.
+func (ix *Index) Mapped() bool { return ix.closer != nil }
+
+// Close releases resources held by a mapped index (the snapshot mapping).
+// It must only be called once no query is in flight: open cursors read
+// straight out of the mapping. Close on a heap-resident index is a no-op.
+func (ix *Index) Close() error {
+	if ix.closer == nil {
+		return nil
+	}
+	c := ix.closer
+	ix.closer = nil
+	return c.Close()
+}
+
+// materializeDocs decodes the lazily held phrase-doc and forward sections
+// of a mapped index. Built and heap-loaded indexes populate these fields
+// eagerly, so this is a no-op for them.
+func (ix *Index) materializeDocs() error {
+	ix.lazyMu.Lock()
+	defer ix.lazyMu.Unlock()
+	if ix.lazyPD == nil && ix.lazyFwd == nil {
+		return nil
+	}
+	phraseDocs, err := decodeIDLists(ix.lazyPD, uint64(ix.Corpus.Len()))
+	if err != nil {
+		return fmt.Errorf("core: phrase-doc section: %w", err)
+	}
+	fwdAsDocs, err := decodeIDLists(ix.lazyFwd, uint64(ix.Dict.Len()))
+	if err != nil {
+		return fmt.Errorf("core: forward section: %w", err)
+	}
+	if len(phraseDocs) != ix.Dict.Len() {
+		return fmt.Errorf("core: snapshot inconsistent: %d phrase-doc lists, dictionary has %d phrases", len(phraseDocs), ix.Dict.Len())
+	}
+	if len(fwdAsDocs) != ix.Corpus.Len() {
+		return fmt.Errorf("core: snapshot inconsistent: forward index covers %d docs, corpus has %d", len(fwdAsDocs), ix.Corpus.Len())
+	}
+	ix.PhraseDocs = phraseDocs
+	ix.PhraseDF = make([]uint32, len(phraseDocs))
+	for p, docs := range phraseDocs {
+		ix.PhraseDF[p] = uint32(len(docs))
+	}
+	ix.Forward = make([][]phrasedict.PhraseID, len(fwdAsDocs))
+	for d, ids := range fwdAsDocs {
+		ix.Forward[d] = docIDsAsPhraseIDs(ids)
+	}
+	ix.lazyPD, ix.lazyFwd = nil, nil
+	return nil
 }
 
 // buildForward inverts PhraseDocs into per-document forward lists. Phrase
@@ -213,6 +299,11 @@ func (ix *Index) buildForward(workers int) {
 // Workers reports the resolved construction/query concurrency bound.
 func (ix *Index) Workers() int { return ix.workers }
 
+// BuildOptions returns the options the index was built (or loaded) with,
+// so harnesses can construct physically different twins of the same
+// logical index (e.g. difftest's compressed-equivalence mode).
+func (ix *Index) BuildOptions() BuildOptions { return ix.opts }
+
 // Pool returns the index's bounded query-time worker pool (shared by every
 // query on this index, so total fan-out stays bounded under concurrent
 // callers).
@@ -249,10 +340,44 @@ func (ix *Index) featureList(f string) (plist.ScoreList, error) {
 	return l, nil
 }
 
+// featureBlockList is featureList for a compressed index: it returns the
+// feature's block-compressed list view (empty when the feature never
+// occurs), with the same restricted-build error semantics.
+func (ix *Index) featureBlockList(f string) (plist.BlockList, error) {
+	l, err := ix.Blocks.List(f)
+	if err != nil {
+		return plist.BlockList{}, err
+	}
+	if l.Len() == 0 && !ix.Blocks.Has(f) && ix.restricted && ix.Inverted.Has(f) {
+		return plist.BlockList{}, fmt.Errorf("core: no list built for feature %q (restricted build)", f)
+	}
+	return l, nil
+}
+
+// ScoreLists returns the full score-ordered lists, decoding them from the
+// compressed block set when the index runs compressed. The decode
+// materializes every list, so this is for cold paths (SMJ index builds,
+// disk-index serialization, diagnostics), not per-query use.
+func (ix *Index) ScoreLists() (map[string]plist.ScoreList, error) {
+	if ix.Blocks == nil {
+		return ix.Lists, nil
+	}
+	return ix.Blocks.DecodeAllScoreLists()
+}
+
 // ListIndexSize reports the serialized size in bytes of the word-specific
-// lists truncated to the given fraction — the Table 5 index-size analysis.
+// lists truncated to the given fraction, at the paper's 12-bytes-per-entry
+// accounting — the Table 5 index-size analysis. Entry counts come from the
+// block directory on a compressed index, so nothing is decoded.
 func (ix *Index) ListIndexSize(fraction float64) int64 {
 	var total int64
+	if ix.Blocks != nil {
+		for _, w := range ix.Blocks.Words() {
+			n := ix.Blocks.NumEntries(w)
+			total += plist.SizeBytes(plist.TruncatedLen(n, fraction))
+		}
+		return total
+	}
 	for _, l := range ix.Lists {
 		total += plist.SizeBytes(len(l.Truncate(fraction)))
 	}
@@ -263,17 +388,77 @@ func (ix *Index) ListIndexSize(fraction float64) int64 {
 // fraction from the average built list length, as the paper's Table 5 does
 // ("assuming 12 bytes per entry" over the whole vocabulary).
 func (ix *Index) EstimateFullIndexSize(fraction float64) int64 {
-	if len(ix.Lists) == 0 {
+	var avg float64
+	switch {
+	case ix.Blocks != nil && ix.Blocks.NumWords() > 0:
+		avg = float64(ix.Blocks.TotalEntries()) / float64(ix.Blocks.NumWords())
+	case len(ix.Lists) > 0:
+		avg = plist.AverageListLen(ix.Lists)
+	default:
 		return 0
 	}
-	avg := plist.AverageListLen(ix.Lists) * math.Max(0, math.Min(1, fraction))
+	avg *= math.Max(0, math.Min(1, fraction))
 	return int64(avg * plist.EntrySize * float64(ix.Inverted.VocabSize()))
 }
 
 // WriteListIndex serializes the score-ordered lists (truncated to fraction)
 // into the plist index-file format, for disk-resident operation.
 func (ix *Index) WriteListIndex(w io.Writer, fraction float64) (int64, error) {
-	return plist.WriteIndex(w, plist.TruncateAll(ix.Lists, fraction))
+	lists, err := ix.ScoreLists()
+	if err != nil {
+		return 0, err
+	}
+	return plist.WriteIndex(w, plist.TruncateAll(lists, fraction))
+}
+
+// MemStats describes the physical footprint of the index's query-time list
+// structures, the quantities surfaced by the server's /stats endpoint and
+// expvar gauges so compression and mmap wins are observable in serving.
+type MemStats struct {
+	// ListEntries and ListBytes cover the score-ordered word lists:
+	// compressed block bytes when compression is on, 16 bytes per in-heap
+	// entry otherwise. BytesPerEntry = ListBytes / ListEntries.
+	ListEntries   int     `json:"list_entries"`
+	ListBytes     int64   `json:"list_bytes"`
+	BytesPerEntry float64 `json:"bytes_per_entry"`
+	// Postings and PostingBytes cover the feature inverted index, with
+	// BytesPerPosting = PostingBytes / Postings.
+	Postings        int     `json:"postings"`
+	PostingBytes    int64   `json:"posting_bytes"`
+	BytesPerPosting float64 `json:"bytes_per_posting"`
+	// Compressed reports the block-compressed layout; Mapped reports a
+	// mmap-backed snapshot, with MappedBytes the size of the shared
+	// mapping (resident on demand, not all heap).
+	Compressed  bool  `json:"compressed"`
+	Mapped      bool  `json:"mapped"`
+	MappedBytes int64 `json:"mapped_bytes,omitempty"`
+}
+
+// entryHeapSize is the in-memory footprint of one uncompressed list entry
+// (a 4-byte ID padded + an 8-byte float in a 16-byte struct).
+const entryHeapSize = 16
+
+// MemStats reports the index's physical list footprint.
+func (ix *Index) MemStats() MemStats {
+	var s MemStats
+	if ix.Blocks != nil {
+		s.ListEntries = ix.Blocks.TotalEntries()
+		s.ListBytes = ix.Blocks.SizeBytes()
+		s.Compressed = true
+	} else {
+		s.ListEntries = plist.TotalEntries(ix.Lists)
+		s.ListBytes = int64(s.ListEntries) * entryHeapSize
+	}
+	if s.ListEntries > 0 {
+		s.BytesPerEntry = float64(s.ListBytes) / float64(s.ListEntries)
+	}
+	s.Postings, s.PostingBytes, _ = ix.Inverted.PostingStats()
+	if s.Postings > 0 {
+		s.BytesPerPosting = float64(s.PostingBytes) / float64(s.Postings)
+	}
+	s.Mapped = ix.Mapped()
+	s.MappedBytes = ix.mappedBytes
+	return s
 }
 
 // WritePhraseDict serializes the fixed-width phrase list.
@@ -287,6 +472,9 @@ func (ix *Index) WritePhraseDict(w io.Writer) (int64, error) {
 // reuses scratch space and is not safe for concurrent use; Clone it per
 // goroutine.
 func (ix *Index) GM() (*baseline.GM, error) {
+	if err := ix.materializeDocs(); err != nil {
+		return nil, err
+	}
 	ix.baseMu.Lock()
 	defer ix.baseMu.Unlock()
 	if ix.gm == nil {
@@ -303,6 +491,9 @@ func (ix *Index) GM() (*baseline.GM, error) {
 // construction is mutex-guarded; the returned scorer allocates per query
 // and is safe for concurrent use.
 func (ix *Index) Exact() (*baseline.Exact, error) {
+	if err := ix.materializeDocs(); err != nil {
+		return nil, err
+	}
 	ix.baseMu.Lock()
 	defer ix.baseMu.Unlock()
 	if ix.exact == nil {
@@ -317,6 +508,9 @@ func (ix *Index) Exact() (*baseline.Exact, error) {
 
 // Simitsis builds the phrase-list baseline with the given pool multiple.
 func (ix *Index) Simitsis(poolMultiple int) (*baseline.Simitsis, error) {
+	if err := ix.materializeDocs(); err != nil {
+		return nil, err
+	}
 	return baseline.NewSimitsis(ix.Inverted, ix.PhraseDocs, poolMultiple)
 }
 
@@ -325,5 +519,8 @@ func (ix *Index) Simitsis(poolMultiple int) (*baseline.Simitsis, error) {
 // Results are identical to GM; the forward index is smaller and queries pay
 // a chain-expansion cost.
 func (ix *Index) GMCompressed() (*baseline.GMCompressed, error) {
+	if err := ix.materializeDocs(); err != nil {
+		return nil, err
+	}
 	return baseline.NewGMCompressed(ix.Inverted, ix.Forward, ix.PhraseDF, ix.Dict)
 }

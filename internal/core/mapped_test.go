@@ -1,0 +1,258 @@
+package core
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/synth"
+	"phrasemine/internal/textproc"
+	"phrasemine/internal/topk"
+)
+
+// writeSnapshotFile persists ix to a temp snapshot file.
+func writeSnapshotFile(t *testing.T, ix *Index) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "index.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.WriteSnapshot(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// queryWorkload harvests a few single- and multi-feature queries from the
+// index's own vocabulary.
+func queryWorkload(ix *Index) []corpus.Query {
+	feats := ix.Inverted.TopFeaturesByDocFreq(6)
+	var qs []corpus.Query
+	for _, op := range []corpus.Operator{corpus.OpAND, corpus.OpOR} {
+		for _, f := range feats {
+			qs = append(qs, corpus.NewQuery(op, f))
+		}
+		if len(feats) >= 2 {
+			qs = append(qs, corpus.NewQuery(op, feats[0], feats[1]))
+		}
+		if len(feats) >= 4 {
+			qs = append(qs, corpus.NewQuery(op, feats[1], feats[2], feats[3]))
+		}
+	}
+	return qs
+}
+
+func sameResults(t *testing.T, label string, a, b []topk.Result) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d results vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Phrase != b[i].Phrase ||
+			math.Float64bits(a[i].Score) != math.Float64bits(b[i].Score) ||
+			math.Float64bits(a[i].Lower) != math.Float64bits(b[i].Lower) ||
+			math.Float64bits(a[i].Upper) != math.Float64bits(b[i].Upper) {
+			t.Fatalf("%s: result %d differs: %+v vs %+v", label, i, a[i], b[i])
+		}
+	}
+}
+
+func TestOpenSnapshotFileAnswersIdentically(t *testing.T) {
+	ix := buildTestIndex(t)
+	path := writeSnapshotFile(t, ix)
+
+	mapped, err := OpenSnapshotFile(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+
+	if !mapped.Compressed() || !mapped.Mapped() {
+		t.Fatalf("mapped index: Compressed=%v Mapped=%v", mapped.Compressed(), mapped.Mapped())
+	}
+	if mapped.Corpus.Len() != ix.Corpus.Len() || mapped.NumPhrases() != ix.NumPhrases() {
+		t.Fatalf("headers: %d docs |P|=%d, want %d/%d",
+			mapped.Corpus.Len(), mapped.NumPhrases(), ix.Corpus.Len(), ix.NumPhrases())
+	}
+
+	smjBase := ix.BuildSMJ(0.5)
+	smjMapped := mapped.BuildSMJ(0.5)
+	for _, q := range queryWorkload(ix) {
+		for _, frac := range []float64{1.0, 0.4} {
+			a, _, err := ix.QueryNRA(q, topk.NRAOptions{K: 5, Fraction: frac})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _, err := mapped.QueryNRA(q, topk.NRAOptions{K: 5, Fraction: frac})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResults(t, q.String()+"/NRA", a, b)
+		}
+		sa, _, err := ix.QuerySMJ(smjBase, q, topk.SMJOptions{K: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, _, err := mapped.QuerySMJ(smjMapped, q, topk.SMJOptions{K: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, q.String()+"/SMJ", sa, sb)
+
+		// Resolve exercises the lazy inverted index (SelectCount) and the
+		// zero-copy dictionary.
+		ra, err := ix.Resolve(a5(ix, q, t), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := mapped.Resolve(a5(mapped, q, t), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("%v: Resolve diverges", q)
+		}
+	}
+
+	// GM materializes the lazy phrase-doc/forward sections.
+	q := queryWorkload(ix)[0]
+	ga, err := ix.GM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := mapped.GM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wa, _, err := ga.TopK(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, _, err := gb.TopK(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wa, wb) {
+		t.Fatal("GM diverges on mapped index")
+	}
+
+	stats := mapped.MemStats()
+	if !stats.Compressed || !stats.Mapped || stats.MappedBytes == 0 {
+		t.Fatalf("MemStats = %+v", stats)
+	}
+	if stats.BytesPerPosting >= 2 {
+		t.Fatalf("bytes/posting %.2f did not drop at least 2x vs raw 4-byte postings", stats.BytesPerPosting)
+	}
+	if stats.BytesPerEntry*2 > 12 {
+		t.Fatalf("bytes/entry %.2f did not drop at least 2x vs raw 12-byte entries", stats.BytesPerEntry)
+	}
+}
+
+// a5 runs a K=5 NRA query, failing the test on error.
+func a5(ix *Index, q corpus.Query, t *testing.T) []topk.Result {
+	t.Helper()
+	r, _, err := ix.QueryNRA(q, topk.NRAOptions{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCompressedBuildAnswersIdentically(t *testing.T) {
+	c, err := synth.ReutersLike().Scale(0.01).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := BuildOptions{
+		Extractor: textproc.ExtractorOptions{MinDocFreq: 3},
+		Workers:   2,
+	}
+	plain, err := Build(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Compression = true
+	packed, err := Build(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !packed.Compressed() || packed.Lists != nil {
+		t.Fatal("compressed build kept raw lists")
+	}
+	smjA := plain.BuildSMJ(0.3)
+	smjB := packed.BuildSMJ(0.3)
+	for _, q := range queryWorkload(plain) {
+		a, _, err := plain.QueryNRA(q, topk.NRAOptions{K: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := packed.QueryNRA(q, topk.NRAOptions{K: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, q.String()+"/NRA", a, b)
+		sa, _, err := plain.QuerySMJ(smjA, q, topk.SMJOptions{K: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, _, err := packed.QuerySMJ(smjB, q, topk.SMJOptions{K: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, q.String()+"/SMJ", sa, sb)
+	}
+}
+
+func TestMappedIndexSupportsDeltaAndFlush(t *testing.T) {
+	ix := buildTestIndex(t)
+	path := writeSnapshotFile(t, ix)
+	mapped, err := OpenSnapshotFile(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+
+	feats := ix.Inverted.TopFeaturesByDocFreq(2)
+	q := corpus.NewQuery(corpus.OpOR, feats...)
+
+	dA := ix.NewDelta()
+	dB := mapped.NewDelta() // materializes the lazy sections
+	doc := ix.Corpus.MustDoc(0)
+	dA.AddDocument(doc)
+	dB.AddDocument(doc)
+
+	a, _, err := dA.QueryNRA(q, topk.NRAOptions{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := dB.QueryNRA(q, topk.NRAOptions{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "delta NRA", a, b)
+
+	flushed, err := dB.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flushed.Corpus.Len() != ix.Corpus.Len()+1 {
+		t.Fatalf("flushed corpus has %d docs", flushed.Corpus.Len())
+	}
+}
+
+func TestOpenSnapshotFileRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.snap")
+	if err := os.WriteFile(path, []byte("not a snapshot at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSnapshotFile(path, 1); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

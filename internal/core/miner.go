@@ -52,7 +52,10 @@ func (ix *Index) Resolve(results []topk.Result, q corpus.Query) ([]MinedPhrase, 
 // score-ordered lists. Partial-list operation is selected through
 // opt.Fraction (a query-time decision for NRA). Candidate tables and
 // cursors come from the index's scratch pool, so repeated queries run
-// allocation-free apart from the returned results.
+// allocation-free apart from the returned results. On a compressed index
+// the cursors decode blocks on demand — straight out of the mapped region
+// when the snapshot was opened with OpenSnapshotFile — into pooled scratch
+// buffers; results are bit-identical to the uncompressed path.
 func (ix *Index) QueryNRA(q corpus.Query, opt topk.NRAOptions) ([]topk.Result, topk.NRAStats, error) {
 	if err := q.Validate(); err != nil {
 		return nil, topk.NRAStats{}, err
@@ -61,6 +64,18 @@ func (ix *Index) QueryNRA(q corpus.Query, opt topk.NRAOptions) ([]topk.Result, t
 	pool := ix.ScratchPool()
 	s := pool.Get()
 	defer pool.Put(s)
+	if ix.Blocks != nil {
+		cursors, blk := s.BlockCursors(len(q.Features))
+		for i, f := range q.Features {
+			l, err := ix.featureBlockList(f)
+			if err != nil {
+				return nil, topk.NRAStats{}, err
+			}
+			blk[i].Reset(l)
+			cursors[i] = &blk[i]
+		}
+		return topk.NRAScratch(cursors, opt, s)
+	}
 	cursors, mem := s.MemCursors(len(q.Features))
 	for i, f := range q.Features {
 		l, err := ix.featureList(f)
@@ -128,19 +143,79 @@ func (w *writerBuffer) Write(p []byte) (int, error) {
 // the construction-time partial lists of Section 4.4.1 ("once the
 // ID-ordered lists have been constructed using a pre-specified fraction,
 // we cannot, at run-time, decide to work with a larger or smaller one").
+// Exactly one of Lists (raw slices) and Blocks (block-compressed, for
+// compressed indexes) is populated.
 type SMJIndex struct {
 	Fraction float64
 	Lists    map[string]plist.IDList
+	Blocks   *plist.BlockSet
 }
 
 // BuildSMJ materializes an SMJ index at the given fraction from the full
 // score-ordered lists, fanning the per-feature copy+sort across the
-// index's worker bound.
+// index's worker bound. On a compressed index the score lists are decoded
+// once here (a construction-time cost, like the sort itself) and the
+// resulting ID-ordered lists are re-compressed, so the SMJ index inherits
+// the compact layout.
 func (ix *Index) BuildSMJ(fraction float64) *SMJIndex {
+	if ix.Blocks != nil {
+		lists, err := ix.Blocks.DecodeAllScoreLists()
+		if err != nil {
+			// A block set that passed open-time validation only fails
+			// decode on corruption; queries against the SMJ index will
+			// surface the same corruption, so fail loudly here.
+			panic(fmt.Sprintf("core: decoding compressed lists for SMJ build: %v", err))
+		}
+		idLists := plist.ToIDOrderedAllParallel(plist.TruncateAll(lists, fraction), ix.workers)
+		blocks, err := plist.BuildIDBlockSet(idLists)
+		if err != nil {
+			panic(fmt.Sprintf("core: compressing SMJ lists: %v", err))
+		}
+		return &SMJIndex{Fraction: fraction, Blocks: blocks}
+	}
 	return &SMJIndex{
 		Fraction: fraction,
 		Lists:    plist.ToIDOrderedAllParallel(plist.TruncateAll(ix.Lists, fraction), ix.workers),
 	}
+}
+
+// featureScoreCursor returns a fresh cursor over the feature's full
+// score-ordered list from whichever backing store the index uses — raw
+// slices or compressed blocks. It allocates; the scratch-pooled paths in
+// QueryNRA are for the no-delta hot path, while delta queries (which wrap
+// cursors in adjustment layers anyway) use this.
+func (ix *Index) featureScoreCursor(f string) (plist.Cursor, error) {
+	if ix.Blocks != nil {
+		l, err := ix.featureBlockList(f)
+		if err != nil {
+			return nil, err
+		}
+		return plist.NewBlockCursor(l), nil
+	}
+	l, err := ix.featureList(f)
+	if err != nil {
+		return nil, err
+	}
+	return plist.NewMemCursor(l), nil
+}
+
+// smjFeatureCursor is featureScoreCursor for a prepared SMJ index.
+func (ix *Index) smjFeatureCursor(s *SMJIndex, f string) (plist.Cursor, error) {
+	if s.Blocks != nil {
+		l, err := s.Blocks.List(f)
+		if err != nil {
+			return nil, err
+		}
+		if !s.Blocks.Has(f) && ix.restricted && ix.Inverted.Has(f) {
+			return nil, fmt.Errorf("core: SMJ index has no list for %q", f)
+		}
+		return plist.NewBlockCursor(l), nil
+	}
+	l, ok := s.Lists[f]
+	if !ok && ix.restricted && ix.Inverted.Has(f) {
+		return nil, fmt.Errorf("core: SMJ index has no list for %q", f)
+	}
+	return plist.NewMemCursor(l), nil
 }
 
 // fanOut runs fn(i) for i in [0, n) through the index's bounded query
@@ -157,8 +232,12 @@ func (ix *Index) fanOut(n int, fn func(i int)) {
 	ix.pool.RunN(n, fn)
 }
 
-// SizeBytes reports the serialized size of the SMJ index's lists.
+// SizeBytes reports the serialized size of the SMJ index's lists at the
+// paper's 12-bytes-per-entry accounting.
 func (s *SMJIndex) SizeBytes() int64 {
+	if s.Blocks != nil {
+		return plist.SizeBytes(s.Blocks.TotalEntries())
+	}
 	return plist.SizeBytes(plist.TotalEntries(s.Lists))
 }
 
@@ -174,6 +253,21 @@ func (ix *Index) QuerySMJ(s *SMJIndex, q corpus.Query, opt topk.SMJOptions) ([]t
 	pool := ix.ScratchPool()
 	scratch := pool.Get()
 	defer pool.Put(scratch)
+	if s.Blocks != nil {
+		cursors, blk := scratch.BlockCursors(len(q.Features))
+		for i, f := range q.Features {
+			l, err := s.Blocks.List(f)
+			if err != nil {
+				return nil, topk.SMJStats{}, err
+			}
+			if !s.Blocks.Has(f) && ix.restricted && ix.Inverted.Has(f) {
+				return nil, topk.SMJStats{}, fmt.Errorf("core: SMJ index has no list for %q", f)
+			}
+			blk[i].Reset(l)
+			cursors[i] = &blk[i]
+		}
+		return topk.SMJScratch(cursors, opt, scratch)
+	}
 	cursors, mem := scratch.MemCursors(len(q.Features))
 	for i, f := range q.Features {
 		l, ok := s.Lists[f]

@@ -27,7 +27,13 @@ import (
 
 // SnapshotVersion is the current snapshot format version. Readers reject
 // any other version, so incompatible format changes must bump it.
-const SnapshotVersion = 1
+//
+// Version 2 switched the inverted-index and word-list sections to the
+// block-compressed physical layout (corpus.AppendBlockIndex and
+// plist.BlockSet) inside the page-aligned diskio container, enabling the
+// zero-copy mmap open (OpenSnapshotFile) alongside the fully verified
+// heap load (LoadSnapshot).
+const SnapshotVersion = 2
 
 // Snapshot section names.
 const (
@@ -46,12 +52,16 @@ type snapshotMeta struct {
 	PhraseWidth  int                       `json:"phrase_width,omitempty"`
 	Restricted   bool                      `json:"restricted,omitempty"`
 	ListFeatures []string                  `json:"list_features,omitempty"`
+	Compression  bool                      `json:"compression,omitempty"`
 }
 
 // AddSnapshotSections appends the index's sections to a snapshot under
 // construction, so callers (the public Miner) can prepend sections of
 // their own in the same container.
 func (ix *Index) AddSnapshotSections(w *diskio.SnapshotWriter) error {
+	if err := ix.materializeDocs(); err != nil {
+		return err
+	}
 	extractor := ix.opts.Extractor
 	// Concurrency knobs are runtime properties of the loading process,
 	// not of the persisted index.
@@ -61,6 +71,7 @@ func (ix *Index) AddSnapshotSections(w *diskio.SnapshotWriter) error {
 		PhraseWidth:  ix.opts.PhraseWidth,
 		Restricted:   ix.restricted,
 		ListFeatures: ix.opts.ListFeatures,
+		Compression:  ix.opts.Compression,
 	})
 	if err != nil {
 		return fmt.Errorf("core: encoding snapshot meta: %w", err)
@@ -71,7 +82,11 @@ func (ix *Index) AddSnapshotSections(w *diskio.SnapshotWriter) error {
 	if err := w.Add(sectionCorpus, ix.Corpus.AppendBinary(nil)); err != nil {
 		return err
 	}
-	if err := w.Add(sectionInverted, ix.Inverted.AppendBinary(nil)); err != nil {
+	inv, err := ix.Inverted.AppendBlockIndex(nil)
+	if err != nil {
+		return err
+	}
+	if err := w.Add(sectionInverted, inv); err != nil {
 		return err
 	}
 	var dict bytes.Buffer
@@ -93,11 +108,19 @@ func (ix *Index) AddSnapshotSections(w *diskio.SnapshotWriter) error {
 	if err := w.Add(sectionForward, appendIDLists(nil, fwd)); err != nil {
 		return err
 	}
-	var lists bytes.Buffer
-	if _, err := ix.WriteListIndex(&lists, 1.0); err != nil {
-		return err
+	// The word lists persist in their block-compressed form regardless of
+	// the in-memory Compression knob: a compressed index hands over its
+	// BlockSet bytes directly; an uncompressed one compresses on the way
+	// out. Both produce identical bytes for identical lists, so snapshot
+	// determinism is preserved across the knob.
+	blocks := ix.Blocks
+	if blocks == nil {
+		blocks, err = plist.BuildBlockSet(ix.Lists)
+		if err != nil {
+			return fmt.Errorf("core: compressing word lists: %w", err)
+		}
 	}
-	return w.Add(sectionLists, lists.Bytes())
+	return w.Add(sectionLists, blocks.AppendTo(nil))
 }
 
 // WriteSnapshot serializes the index as a standalone snapshot.
@@ -121,7 +144,9 @@ func LoadSnapshot(r io.Reader, workers int) (*Index, error) {
 }
 
 // LoadSnapshotSections reconstructs an Index from an already parsed
-// snapshot container (whose checksums ReadSnapshot has verified).
+// snapshot container (whose checksums ReadSnapshot has verified). Every
+// section is decoded eagerly; the snapshot's Compression flag decides
+// whether the word lists stay block-compressed or decode to raw slices.
 func LoadSnapshotSections(snap *diskio.Snapshot, workers int) (*Index, error) {
 	metaBytes, err := snap.MustSection(sectionMeta)
 	if err != nil {
@@ -144,9 +169,16 @@ func LoadSnapshotSections(snap *diskio.Snapshot, workers int) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	inv, err := corpus.DecodeInverted(invBytes)
+	inv, err := corpus.OpenBlockInverted(invBytes)
 	if err != nil {
 		return nil, err
+	}
+	if !meta.Compression {
+		// Uncompressed operation decodes postings eagerly, restoring the
+		// exact pre-compression memory layout and access costs.
+		if err := inv.MaterializeAll(); err != nil {
+			return nil, err
+		}
 	}
 	dictBytes, err := snap.MustSection(sectionDict)
 	if err != nil {
@@ -176,11 +208,7 @@ func LoadSnapshotSections(snap *diskio.Snapshot, workers int) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	listReader, err := plist.OpenReader(bytes.NewReader(listBytes))
-	if err != nil {
-		return nil, err
-	}
-	lists, err := listReader.ReadAllScoreLists()
+	blocks, err := plist.OpenBlockSet(listBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -205,16 +233,25 @@ func LoadSnapshotSections(snap *diskio.Snapshot, workers int) (*Index, error) {
 		PhraseDocs: phraseDocs,
 		PhraseDF:   make([]uint32, len(phraseDocs)),
 		Forward:    make([][]phrasedict.PhraseID, len(fwdAsDocs)),
-		Lists:      lists,
 		opts: BuildOptions{
 			Extractor:    meta.Extractor,
 			ListFeatures: meta.ListFeatures,
 			PhraseWidth:  meta.PhraseWidth,
 			Workers:      workers,
+			Compression:  meta.Compression,
 		},
 		restricted: meta.Restricted,
 		workers:    resolved,
 		pool:       topk.NewPool(resolved),
+	}
+	if meta.Compression {
+		ix.Blocks = blocks
+	} else {
+		lists, err := blocks.DecodeAllScoreLists()
+		if err != nil {
+			return nil, err
+		}
+		ix.Lists = lists
 	}
 	for p, docs := range phraseDocs {
 		ix.PhraseDF[p] = uint32(len(docs))
@@ -223,6 +260,115 @@ func LoadSnapshotSections(snap *diskio.Snapshot, workers int) (*Index, error) {
 		ix.Forward[d] = docIDsAsPhraseIDs(ids)
 	}
 	return ix, nil
+}
+
+// OpenSnapshotFile memory-maps a snapshot written by WriteSnapshot and
+// builds a query-ready Index over the mapping without decoding any list:
+// the word lists and inverted postings stay in their block-compressed
+// mapped form (cursors decode blocks on demand into pooled scratch), the
+// phrase dictionary resolves IDs by offset arithmetic in place, and the
+// corpus documents plus phrase-doc/forward sections decode lazily on first
+// use (GM/Exact baselines, delta updates, document endpoints). Open cost is
+// O(section directories); resident memory is demand-paged and shared
+// across processes mapping the same file.
+//
+// Unlike LoadSnapshot, section checksums are not verified (that would read
+// the whole file); the block codecs validate structure as they decode, so
+// corruption surfaces as query errors. Call Close when done — after it, no
+// query may run on the index.
+func OpenSnapshotFile(path string, workers int) (*Index, error) {
+	snap, err := diskio.MapSnapshotFile(path, SnapshotVersion)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := OpenSnapshotSections(snap, workers)
+	if err != nil {
+		snap.Close()
+		return nil, err
+	}
+	return ix, nil
+}
+
+// OpenSnapshotSections assembles the lazy Index over an already mapped
+// snapshot (whose additional sections the caller — e.g. the public Miner —
+// may have consumed). The index takes ownership of the mapping: its Close
+// unmaps it.
+func OpenSnapshotSections(snap *diskio.MappedSnapshot, workers int) (*Index, error) {
+	metaBytes, err := snap.MustSection(sectionMeta)
+	if err != nil {
+		return nil, err
+	}
+	var meta snapshotMeta
+	if err := json.Unmarshal(metaBytes, &meta); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot meta: %w", err)
+	}
+	corpusBytes, err := snap.MustSection(sectionCorpus)
+	if err != nil {
+		return nil, err
+	}
+	c, err := corpus.DecodeCorpusLazy(corpusBytes)
+	if err != nil {
+		return nil, err
+	}
+	invBytes, err := snap.MustSection(sectionInverted)
+	if err != nil {
+		return nil, err
+	}
+	inv, err := corpus.OpenBlockInverted(invBytes)
+	if err != nil {
+		return nil, err
+	}
+	dictBytes, err := snap.MustSection(sectionDict)
+	if err != nil {
+		return nil, err
+	}
+	dict, err := phrasedict.FromBytes(dictBytes)
+	if err != nil {
+		return nil, err
+	}
+	pdBytes, err := snap.MustSection(sectionPhraseDocs)
+	if err != nil {
+		return nil, err
+	}
+	fwdBytes, err := snap.MustSection(sectionForward)
+	if err != nil {
+		return nil, err
+	}
+	listBytes, err := snap.MustSection(sectionLists)
+	if err != nil {
+		return nil, err
+	}
+	blocks, err := plist.OpenBlockSet(listBytes)
+	if err != nil {
+		return nil, err
+	}
+	// Header-level consistency (deep counts are checked lazily when the
+	// corresponding sections materialize).
+	if inv.NumDocs() != c.Len() {
+		return nil, fmt.Errorf("core: snapshot inconsistent: inverted index covers %d docs, corpus has %d", inv.NumDocs(), c.Len())
+	}
+
+	resolved := parallel.Workers(workers)
+	return &Index{
+		Corpus:   c,
+		Inverted: inv,
+		Dict:     dict,
+		Blocks:   blocks,
+		opts: BuildOptions{
+			Extractor:    meta.Extractor,
+			ListFeatures: meta.ListFeatures,
+			PhraseWidth:  meta.PhraseWidth,
+			Workers:      workers,
+			Compression:  true,
+		},
+		restricted:  meta.Restricted,
+		workers:     resolved,
+		pool:        topk.NewPool(resolved),
+		lazyPD:      pdBytes,
+		lazyFwd:     fwdBytes,
+		closer:      snap,
+		mappedBytes: snap.SizeBytes(),
+	}, nil
 }
 
 // appendIDLists encodes a slice of strictly increasing uint32 ID lists:

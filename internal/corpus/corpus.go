@@ -8,6 +8,7 @@ package corpus
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // DocID identifies a document by its position in the corpus. IDs are dense:
@@ -35,8 +36,20 @@ func FacetFeature(name, value string) string {
 
 // Corpus is an append-only collection of documents (the paper's static
 // corpus D).
+//
+// A corpus opened from a snapshot in lazy mode (DecodeCorpusLazy) defers
+// document decoding: Len answers from the encoded header, and the first
+// access to document contents (Doc, MustDoc, TokenSlices, Add) decodes the
+// whole corpus once. Serving paths that never touch document text — query
+// processing reads only indexes — therefore never pay the decode.
 type Corpus struct {
 	docs []Document
+
+	// Lazy backing (nil for eagerly built corpora).
+	raw      []byte
+	rawDocs  int
+	lazyOnce sync.Once
+	lazyErr  error
 }
 
 // New returns an empty corpus.
@@ -44,19 +57,53 @@ func New() *Corpus {
 	return &Corpus{}
 }
 
+// materialize decodes a lazily opened corpus on first use.
+func (c *Corpus) materialize() error {
+	if c.raw == nil {
+		return nil
+	}
+	c.lazyOnce.Do(func() {
+		decoded, err := DecodeCorpus(c.raw)
+		if err != nil {
+			c.lazyErr = fmt.Errorf("corpus: lazy decode: %w", err)
+			return
+		}
+		c.docs = decoded.docs
+	})
+	return c.lazyErr
+}
+
+// mustMaterialize is materialize for accessors whose signatures cannot
+// report errors; a corrupt lazily opened snapshot panics here rather than
+// silently serving an empty corpus.
+func (c *Corpus) mustMaterialize() {
+	if err := c.materialize(); err != nil {
+		panic(err)
+	}
+}
+
 // Add appends a document and returns its DocID.
 func (c *Corpus) Add(d Document) DocID {
+	c.mustMaterialize()
+	c.raw, c.rawDocs = nil, 0
 	c.docs = append(c.docs, d)
 	return DocID(len(c.docs) - 1)
 }
 
-// Len reports the number of documents.
+// Len reports the number of documents. On a lazily opened corpus it answers
+// from the encoded header without decoding any document.
 func (c *Corpus) Len() int {
+	if c.raw != nil {
+		return c.rawDocs
+	}
 	return len(c.docs)
 }
 
 // Doc returns the document with the given ID.
 func (c *Corpus) Doc(id DocID) (Document, error) {
+	if err := c.materialize(); err != nil {
+		return Document{}, err
+	}
 	if int(id) >= len(c.docs) {
 		return Document{}, fmt.Errorf("corpus: doc %d out of range [0,%d)", id, len(c.docs))
 	}
@@ -65,12 +112,14 @@ func (c *Corpus) Doc(id DocID) (Document, error) {
 
 // MustDoc is Doc for callers that have already validated the ID.
 func (c *Corpus) MustDoc(id DocID) Document {
+	c.mustMaterialize()
 	return c.docs[id]
 }
 
 // TokenSlices returns one token slice per document, in DocID order, for use
 // by textproc.Extract. The returned slices alias corpus memory.
 func (c *Corpus) TokenSlices() [][]string {
+	c.mustMaterialize()
 	out := make([][]string, len(c.docs))
 	for i := range c.docs {
 		out[i] = c.docs[i].Tokens

@@ -1,7 +1,9 @@
 package corpus
 
 import (
+	"fmt"
 	"sort"
+	"sync"
 
 	"phrasemine/internal/parallel"
 )
@@ -10,13 +12,32 @@ import (
 // metadata facet) it stores docs(D, w), the sorted list of documents
 // containing w. It is the substrate behind sub-collection selection (Eq. 2)
 // and behind the word-specific list construction of Section 4.2.2.
+//
+// The index has two backing stores. Built indexes hold eager []DocID
+// slices in postings. Indexes opened from a block-compressed snapshot
+// section (OpenBlockInverted) instead hold BlockPostings views over the
+// encoded region — possibly memory-mapped — and decode each feature's list
+// lazily on its first Docs access, caching the result; directory-only
+// queries (Has, DocFreq, VocabSize) never decode. Both forms are safe for
+// concurrent readers.
 type Inverted struct {
 	postings map[string][]DocID
 	numDocs  int
+
+	// Block-compressed backing (nil for built/materialized indexes).
+	blocks        map[string]BlockPostings
+	blockBytes    int64
+	blockPostings int
+
+	// cacheMu guards cache, the lazily decoded posting lists of a
+	// block-backed index.
+	cacheMu sync.RWMutex
+	cache   map[string][]DocID
 }
 
 // BuildInverted indexes every document of the corpus.
 func BuildInverted(c *Corpus) *Inverted {
+	c.mustMaterialize()
 	ix := &Inverted{
 		postings: make(map[string][]DocID),
 		numDocs:  c.Len(),
@@ -49,6 +70,7 @@ func BuildInvertedParallel(c *Corpus, workers int) *Inverted {
 	if workers <= 1 {
 		return BuildInverted(c)
 	}
+	c.mustMaterialize()
 	ranges := parallel.Shards(c.Len(), 4*workers)
 	partials := make([]map[string][]DocID, len(ranges))
 	parallel.ForEachOf(ranges, workers, func(s int, r parallel.Range) {
@@ -91,34 +113,88 @@ func (ix *Inverted) NumDocs() int {
 
 // Docs returns docs(D, feature): the sorted DocIDs of documents containing
 // the feature. The returned slice is shared; callers must not modify it.
-// A feature absent from the corpus yields an empty (nil) list.
+// A feature absent from the corpus yields an empty (nil) list. On a
+// block-backed index the first access decodes the compressed list and
+// caches it for subsequent calls; a structurally corrupt stored list
+// panics (the mmap open skips checksums by design, and silently treating
+// a present feature as empty would mis-answer queries — corruption must
+// surface, not degrade).
 func (ix *Inverted) Docs(feature string) []DocID {
-	return ix.postings[feature]
+	if ix.blocks == nil {
+		return ix.postings[feature]
+	}
+	bp, ok := ix.blocks[feature]
+	if !ok {
+		return nil
+	}
+	ix.cacheMu.RLock()
+	list, hit := ix.cache[feature]
+	ix.cacheMu.RUnlock()
+	if hit {
+		return list
+	}
+	list, err := bp.DecodeAll(make([]DocID, 0, bp.Len()))
+	if err != nil {
+		panic(fmt.Sprintf("corpus: corrupt posting list %q: %v", feature, err))
+	}
+	ix.cacheMu.Lock()
+	if prior, raced := ix.cache[feature]; raced {
+		list = prior // keep the first decode so callers share one slice
+	} else {
+		ix.cache[feature] = list
+	}
+	ix.cacheMu.Unlock()
+	return list
 }
 
 // DocFreq reports |docs(D, feature)|.
 func (ix *Inverted) DocFreq(feature string) int {
+	if ix.blocks != nil {
+		return ix.blocks[feature].Len()
+	}
 	return len(ix.postings[feature])
 }
 
 // Has reports whether the feature occurs anywhere in the corpus.
 func (ix *Inverted) Has(feature string) bool {
+	if ix.blocks != nil {
+		_, ok := ix.blocks[feature]
+		return ok
+	}
 	_, ok := ix.postings[feature]
 	return ok
+}
+
+// Postings returns the feature's compressed posting-list view and whether
+// this index is block-backed; cursors over it decode block by block.
+func (ix *Inverted) Postings(feature string) (BlockPostings, bool) {
+	bp, ok := ix.blocks[feature]
+	return bp, ok && ix.blocks != nil
 }
 
 // VocabSize reports the number of distinct indexed features (the |W| of the
 // paper's index-size analysis).
 func (ix *Inverted) VocabSize() int {
+	if ix.blocks != nil {
+		return len(ix.blocks)
+	}
 	return len(ix.postings)
 }
 
 // Features returns all indexed features in sorted order. It allocates; it is
 // meant for index construction and diagnostics, not per-query paths.
 func (ix *Inverted) Features() []string {
-	out := make([]string, 0, len(ix.postings))
-	for f := range ix.postings {
-		out = append(out, f)
+	var out []string
+	if ix.blocks != nil {
+		out = make([]string, 0, len(ix.blocks))
+		for f := range ix.blocks {
+			out = append(out, f)
+		}
+	} else {
+		out = make([]string, 0, len(ix.postings))
+		for f := range ix.postings {
+			out = append(out, f)
+		}
 	}
 	sort.Strings(out)
 	return out
@@ -130,7 +206,7 @@ func (ix *Inverted) Features() []string {
 func (ix *Inverted) TopFeaturesByDocFreq(n int) []string {
 	feats := ix.Features()
 	sort.SliceStable(feats, func(i, j int) bool {
-		di, dj := len(ix.postings[feats[i]]), len(ix.postings[feats[j]])
+		di, dj := ix.DocFreq(feats[i]), ix.DocFreq(feats[j])
 		if di != dj {
 			return di > dj
 		}

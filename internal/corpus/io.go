@@ -22,6 +22,7 @@ import (
 //	    numTokens, then one table index per token
 //	    numFacets, then per facet (sorted by name): name, value (len + bytes)
 func (c *Corpus) AppendBinary(buf []byte) []byte {
+	c.mustMaterialize()
 	table := make(map[string]uint64)
 	var tokens []string
 	for i := range c.docs {
@@ -127,6 +128,22 @@ func DecodeCorpus(data []byte) (*Corpus, error) {
 	return c, nil
 }
 
+// DecodeCorpusLazy wraps an encoding produced by AppendBinary without
+// decoding any document: only the document count is parsed eagerly, so the
+// returned corpus answers Len immediately while document contents decode on
+// first access (see Corpus). data must stay valid and immutable for the
+// corpus's lifetime — it may be a memory-mapped snapshot section.
+func DecodeCorpusLazy(data []byte) (*Corpus, error) {
+	numDocs, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("corpus: truncated document count")
+	}
+	if numDocs > uint64(len(data)) {
+		return nil, fmt.Errorf("corpus: implausible document count %d", numDocs)
+	}
+	return &Corpus{raw: data, rawDocs: int(numDocs)}, nil
+}
+
 // AppendBinary appends the inverted-index encoding to buf. Layout:
 //
 //	numDocs, numFeatures
@@ -135,9 +152,9 @@ func DecodeCorpus(data []byte) (*Corpus, error) {
 //	    lists are strictly increasing)
 func (ix *Inverted) AppendBinary(buf []byte) []byte {
 	buf = binary.AppendUvarint(buf, uint64(ix.numDocs))
-	buf = binary.AppendUvarint(buf, uint64(len(ix.postings)))
+	buf = binary.AppendUvarint(buf, uint64(ix.VocabSize()))
 	for _, f := range ix.Features() {
-		list := ix.postings[f]
+		list := ix.Docs(f)
 		buf = appendString(buf, f)
 		buf = binary.AppendUvarint(buf, uint64(len(list)))
 		prev := DocID(0)

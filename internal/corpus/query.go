@@ -134,7 +134,9 @@ func (ix *Inverted) SelectCount(q Query) (int, error) {
 		return 0, err
 	}
 	if len(q.Features) == 1 {
-		return len(ix.Docs(q.Features[0])), nil
+		// DocFreq answers from the directory on a block-backed index, so
+		// single-keyword resolution never decodes a posting list.
+		return ix.DocFreq(q.Features[0]), nil
 	}
 	if q.Op == OpAND && len(q.Features) == 2 {
 		return IntersectCount2(ix.Docs(q.Features[0]), ix.Docs(q.Features[1])), nil

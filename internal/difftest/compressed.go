@@ -1,0 +1,182 @@
+package difftest
+
+// Compressed-equivalence mode: the physical-layout analogue of the
+// differential contract. The same corpus is indexed twice — once with raw
+// slice lists, once with the block-compressed layout — and a third time by
+// saving the raw index to a snapshot file and reopening it zero-copy via
+// mmap. All three indexes must answer the harvested NRA, SMJ, and GM
+// workloads bit-identically: compression and mmap are physical-layer
+// decisions that must be invisible to query semantics. Any divergence is a
+// hard failure recorded in Report.Failures.
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+
+	"phrasemine/internal/core"
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/synth"
+	"phrasemine/internal/topk"
+)
+
+// RunCompressedEquivalence executes the compressed-vs-uncompressed (and
+// mapped-vs-heap) differential over every corpus in opt.
+func RunCompressedEquivalence(opt Options) (*Report, error) {
+	if opt.K <= 0 {
+		opt.K = 5
+	}
+	rep := &Report{
+		MeanPrecision: map[Key]float64{},
+		precisionSum:  map[Key]float64{},
+		precisionN:    map[Key]int{},
+	}
+	for _, cfg := range opt.Corpora {
+		if err := runCompressedCorpus(rep, cfg, opt); err != nil {
+			return nil, fmt.Errorf("difftest: compressed corpus %s: %w", cfg.Name, err)
+		}
+	}
+	return rep, nil
+}
+
+// variant is one physical layout of the shared logical index.
+type variant struct {
+	name string
+	ix   *core.Index
+	smj  map[float64]*core.SMJIndex
+}
+
+func runCompressedCorpus(rep *Report, cfg synth.Config, opt Options) error {
+	s, err := prepare(cfg, opt)
+	if err != nil {
+		return err
+	}
+
+	// Compressed twin: identical build inputs, block-compressed layout.
+	buildOpts := s.ix.BuildOptions()
+	buildOpts.Compression = true
+	compressed, err := core.Build(s.c, buildOpts)
+	if err != nil {
+		return err
+	}
+
+	// Mapped twin: the raw index persisted and reopened zero-copy.
+	dir, err := os.MkdirTemp("", "difftest-mmap-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "index.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := s.ix.WriteSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	mapped, err := core.OpenSnapshotFile(path, opt.Workers)
+	if err != nil {
+		return err
+	}
+	defer mapped.Close()
+
+	variants := []*variant{
+		{name: "uncompressed", ix: s.ix},
+		{name: "compressed", ix: compressed},
+		{name: "mapped", ix: mapped},
+	}
+	for _, v := range variants {
+		v.smj = map[float64]*core.SMJIndex{}
+		for _, frac := range opt.Fractions {
+			v.smj[frac] = v.ix.BuildSMJ(frac)
+		}
+	}
+
+	base := variants[0]
+	queries := append(append([][]string(nil), s.single...), s.multi...)
+	for _, op := range []corpus.Operator{corpus.OpAND, corpus.OpOR} {
+		for _, kws := range queries {
+			q := corpus.NewQuery(op, kws...)
+			for _, frac := range opt.Fractions {
+				want, _, err := base.ix.QueryNRA(q, topk.NRAOptions{K: opt.K, Fraction: frac})
+				if err != nil {
+					rep.failf("%s %v@%g: NRA on %s: %v", cfg.Name, q, frac, base.name, err)
+					continue
+				}
+				wantSMJ, _, err := base.ix.QuerySMJ(base.smj[frac], q, topk.SMJOptions{K: opt.K})
+				if err != nil {
+					rep.failf("%s %v@%g: SMJ on %s: %v", cfg.Name, q, frac, base.name, err)
+					continue
+				}
+				for _, v := range variants[1:] {
+					got, _, err := v.ix.QueryNRA(q, topk.NRAOptions{K: opt.K, Fraction: frac})
+					if err != nil {
+						rep.failf("%s %v@%g: NRA on %s: %v", cfg.Name, q, frac, v.name, err)
+						continue
+					}
+					if !bitIdentical(want, got) {
+						rep.failf("%s %v@%g: NRA on %s diverges: %v vs %v", cfg.Name, q, frac, v.name, want, got)
+					}
+					gotSMJ, _, err := v.ix.QuerySMJ(v.smj[frac], q, topk.SMJOptions{K: opt.K})
+					if err != nil {
+						rep.failf("%s %v@%g: SMJ on %s: %v", cfg.Name, q, frac, v.name, err)
+						continue
+					}
+					if !bitIdentical(wantSMJ, gotSMJ) {
+						rep.failf("%s %v@%g: SMJ on %s diverges: %v vs %v", cfg.Name, q, frac, v.name, wantSMJ, gotSMJ)
+					}
+				}
+				rep.Cases++
+			}
+
+			// GM never touches the word lists; comparing it across the
+			// variants exercises the lazily materialized forward/phrase-doc
+			// sections of the mapped index instead.
+			ga, err := base.ix.GM()
+			if err != nil {
+				return err
+			}
+			want, _, errA := ga.TopK(q, opt.K)
+			for _, v := range variants[1:] {
+				gb, err := v.ix.GM()
+				if err != nil {
+					rep.failf("%s %v: GM on %s: %v", cfg.Name, q, v.name, err)
+					continue
+				}
+				got, _, errB := gb.TopK(q, opt.K)
+				if (errA == nil) != (errB == nil) {
+					rep.failf("%s %v: GM error asymmetry on %s: %v vs %v", cfg.Name, q, v.name, errA, errB)
+					continue
+				}
+				if errA == nil && !reflect.DeepEqual(want, got) {
+					rep.failf("%s %v: GM on %s diverges", cfg.Name, q, v.name)
+				}
+			}
+			rep.Cases++
+		}
+	}
+	return nil
+}
+
+// bitIdentical compares result slices with float64 bit equality, the
+// strictest possible physical-layout contract.
+func bitIdentical(a, b []topk.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Phrase != b[i].Phrase ||
+			math.Float64bits(a[i].Score) != math.Float64bits(b[i].Score) ||
+			math.Float64bits(a[i].Lower) != math.Float64bits(b[i].Lower) ||
+			math.Float64bits(a[i].Upper) != math.Float64bits(b[i].Upper) {
+			return false
+		}
+	}
+	return true
+}

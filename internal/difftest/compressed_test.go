@@ -1,0 +1,23 @@
+package difftest
+
+import "testing"
+
+// TestCompressedEquivalence asserts that the physical list layout is
+// invisible to queries: a block-compressed index and a zero-copy mapped
+// snapshot of the same corpus answer the full harvested workload (NRA and
+// SMJ at every fraction, plus GM) bit-identically to the raw-slice index.
+func TestCompressedEquivalence(t *testing.T) {
+	rep, err := RunCompressedEquivalence(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cases < 100 {
+		t.Fatalf("only %d differential cases ran, want >= 100", rep.Cases)
+	}
+	for _, f := range rep.Failures {
+		t.Error(f)
+	}
+	if len(rep.Failures) > 0 {
+		t.Fatalf("%d compressed-equivalence violations", len(rep.Failures))
+	}
+}

@@ -1,0 +1,185 @@
+package diskio
+
+// This file implements the zero-copy snapshot open: the whole snapshot file
+// is memory-mapped read-only and sections are returned as subslices of the
+// mapping. Nothing is decoded or copied at open time — cost is O(section
+// directory) — and because the mapping is shared, the index's resident
+// memory is shared across every process serving the same snapshot file,
+// with the kernel paging sections in on first touch and evicting them under
+// pressure (the paper's disk-based NRA regime, supplied by the OS instead
+// of a user-space buffer pool).
+//
+// Trust model: MapSnapshotFile validates structure (magic, version, section
+// directory, bounds) but deliberately does NOT verify section checksums —
+// that would fault in every page and defeat the O(header) open. Call
+// Verify to checksum explicitly, or use ReadSnapshot for the fully
+// verified heap-resident load. Downstream codecs (block-compressed lists,
+// gap-coded ID lists) validate structure as they decode, so corruption
+// surfaces loudly — as query errors on the cursor paths, as panics on the
+// accessor paths whose signatures cannot carry one — never as silent
+// wrong answers.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// mappedSection locates one section inside the mapping.
+type mappedSection struct {
+	off  int64
+	size int64
+	crc  uint32
+}
+
+// MappedSnapshot is a snapshot opened via mmap. Section returns subslices
+// of the mapping: they are valid until Close and must be treated as
+// read-only (the mapping is PROT_READ; writing faults).
+type MappedSnapshot struct {
+	data     []byte
+	unmap    func() error
+	version  uint32
+	names    []string
+	sections map[string]mappedSection
+}
+
+// MapSnapshotFile memory-maps a snapshot file and parses its section
+// directory. wantVersion semantics match ReadSnapshot. On platforms
+// without mmap support the file is read into the heap instead — the same
+// API, without the sharing (see mmapFile's fallback).
+func MapSnapshotFile(path string, wantVersion uint32) (*MappedSnapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if info.Size() < snapshotHeaderSize {
+		return nil, fmt.Errorf("diskio: %s: %d bytes is shorter than a snapshot header", path, info.Size())
+	}
+	data, unmap, err := mmapFile(f, info.Size())
+	if err != nil {
+		return nil, fmt.Errorf("diskio: mapping %s: %w", path, err)
+	}
+	s, err := parseMapped(data, wantVersion)
+	if err != nil {
+		_ = unmap()
+		return nil, fmt.Errorf("diskio: %s: %w", path, err)
+	}
+	s.unmap = unmap
+	return s, nil
+}
+
+// parseMapped walks the section directory of an in-memory snapshot image.
+func parseMapped(data []byte, wantVersion uint32) (*MappedSnapshot, error) {
+	if string(data[:8]) != string(snapshotMagic[:]) {
+		return nil, fmt.Errorf("not a snapshot (bad magic %q)", data[:8])
+	}
+	version := binary.LittleEndian.Uint32(data[8:12])
+	if version != wantVersion {
+		return nil, fmt.Errorf("stale snapshot: format version %d, this build reads version %d (rebuild the snapshot)", version, wantVersion)
+	}
+	count := int(binary.LittleEndian.Uint32(data[12:16]))
+	if count > maxSections {
+		return nil, fmt.Errorf("implausible snapshot section count %d", count)
+	}
+	s := &MappedSnapshot{
+		data:     data,
+		version:  version,
+		sections: make(map[string]mappedSection, count),
+	}
+	off := int64(snapshotHeaderSize)
+	for i := 0; i < count; i++ {
+		if off+2 > int64(len(data)) {
+			return nil, fmt.Errorf("truncated section %d header", i)
+		}
+		nameLen := int(binary.LittleEndian.Uint16(data[off:]))
+		if nameLen == 0 || nameLen > maxSectionNameBytes {
+			return nil, fmt.Errorf("implausible section name length %d", nameLen)
+		}
+		if off+2+int64(nameLen)+12 > int64(len(data)) {
+			return nil, fmt.Errorf("truncated section %d header", i)
+		}
+		name := string(data[off+2 : off+2+int64(nameLen)])
+		size := binary.LittleEndian.Uint64(data[off+2+int64(nameLen):])
+		crc := binary.LittleEndian.Uint32(data[off+2+int64(nameLen)+8:])
+		off += 2 + int64(nameLen) + 12
+		if size > 0 {
+			off += int64(alignPad(off))
+			if off%SnapshotAlign != 0 {
+				return nil, fmt.Errorf("section %q payload misaligned at offset %d", name, off)
+			}
+		}
+		if size > uint64(int64(len(data))-off) {
+			return nil, fmt.Errorf("section %q of %d bytes exceeds file", name, size)
+		}
+		if _, dup := s.sections[name]; dup {
+			return nil, fmt.Errorf("duplicate snapshot section %q", name)
+		}
+		s.sections[name] = mappedSection{off: off, size: int64(size), crc: crc}
+		s.names = append(s.names, name)
+		off += int64(size)
+	}
+	return s, nil
+}
+
+// Version reports the snapshot's format version.
+func (s *MappedSnapshot) Version() uint32 { return s.version }
+
+// Sections lists the section names in file order.
+func (s *MappedSnapshot) Sections() []string {
+	return append([]string(nil), s.names...)
+}
+
+// Section returns a section's payload as a subslice of the mapping (valid
+// until Close, read-only). The second result reports presence.
+func (s *MappedSnapshot) Section(name string) ([]byte, bool) {
+	sec, ok := s.sections[name]
+	if !ok {
+		return nil, false
+	}
+	return s.data[sec.off : sec.off+sec.size : sec.off+sec.size], true
+}
+
+// MustSection returns a named section or an error naming it.
+func (s *MappedSnapshot) MustSection(name string) ([]byte, error) {
+	b, ok := s.Section(name)
+	if !ok {
+		return nil, fmt.Errorf("diskio: snapshot has no %q section", name)
+	}
+	return b, nil
+}
+
+// SizeBytes reports the mapped file size.
+func (s *MappedSnapshot) SizeBytes() int64 { return int64(len(s.data)) }
+
+// Verify checksums every section against its stored CRC. It touches every
+// page of the mapping (a sequential read of the file), so it is an explicit
+// opt-in rather than part of the open.
+func (s *MappedSnapshot) Verify() error {
+	for _, name := range s.names {
+		sec := s.sections[name]
+		if got := crc32.ChecksumIEEE(s.data[sec.off : sec.off+sec.size]); got != sec.crc {
+			return fmt.Errorf("diskio: section %q checksum mismatch (corrupted snapshot)", name)
+		}
+	}
+	return nil
+}
+
+// Close unmaps the snapshot. Every slice previously returned by Section —
+// and every structure still referencing one, such as open cursors — becomes
+// invalid; callers must drain readers first.
+func (s *MappedSnapshot) Close() error {
+	if s.unmap == nil {
+		return nil
+	}
+	u := s.unmap
+	s.unmap = nil
+	s.data = nil
+	s.sections = nil
+	return u()
+}

@@ -1,0 +1,20 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd)
+
+package diskio
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without a wired syscall.Mmap falls back to reading
+// the file into the heap: the MappedSnapshot API keeps working (including
+// zero-copy sections over the buffer), only the cross-process page sharing
+// is lost.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

@@ -1,0 +1,129 @@
+package diskio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTestSnapshot(t *testing.T, version uint32) (string, map[string][]byte) {
+	t.Helper()
+	sections := map[string][]byte{
+		"meta":  []byte(`{"v":2}`),
+		"lists": bytes.Repeat([]byte{0x42, 0x01, 0xFE}, 5000),
+		"empty": nil,
+	}
+	w := NewSnapshotWriter(version)
+	for _, name := range []string{"meta", "lists", "empty"} {
+		if err := w.Add(name, sections[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "test.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, sections
+}
+
+func TestMapSnapshotFile(t *testing.T) {
+	path, sections := writeTestSnapshot(t, 7)
+	m, err := MapSnapshotFile(path, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Version() != 7 {
+		t.Fatalf("version = %d", m.Version())
+	}
+	if got := m.Sections(); len(got) != 3 || got[0] != "meta" || got[1] != "lists" || got[2] != "empty" {
+		t.Fatalf("sections = %v", got)
+	}
+	for name, want := range sections {
+		got, err := m.MustSection(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("section %q mismatch", name)
+		}
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if _, ok := m.Section("nope"); ok {
+		t.Fatal("absent section reported present")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal("double Close must be a no-op")
+	}
+}
+
+func TestMapSnapshotPayloadsAreAligned(t *testing.T) {
+	path, _ := writeTestSnapshot(t, 7)
+	m, err := MapSnapshotFile(path, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for name, sec := range m.sections {
+		if sec.size > 0 && sec.off%SnapshotAlign != 0 {
+			t.Fatalf("section %q payload at offset %d, not %d-aligned", name, sec.off, SnapshotAlign)
+		}
+	}
+	// The mapped view and the verified reader view must agree byte for byte.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s, err := ReadSnapshot(f, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range s.Sections() {
+		a, _ := s.Section(name)
+		b, _ := m.Section(name)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("section %q differs between reader and mapping", name)
+		}
+	}
+}
+
+func TestMapSnapshotRejectsStaleVersion(t *testing.T) {
+	path, _ := writeTestSnapshot(t, 7)
+	if _, err := MapSnapshotFile(path, 8); err == nil {
+		t.Fatal("stale version accepted")
+	}
+}
+
+func TestMapSnapshotVerifyDetectsCorruption(t *testing.T) {
+	path, _ := writeTestSnapshot(t, 7)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := MapSnapshotFile(path, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Verify(); err == nil {
+		t.Fatal("corruption not detected by Verify")
+	}
+}

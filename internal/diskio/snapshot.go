@@ -9,7 +9,7 @@ package diskio
 //
 // File layout (all integers little-endian):
 //
-//	[0,8)    magic "PMSNAP01"
+//	[0,8)    magic "PMSNAP02"
 //	[8,12)   format version uint32
 //	[12,16)  section count uint32
 //	then, per section, in the order they were added:
@@ -17,11 +17,21 @@ package diskio
 //	         name     nameLen bytes
 //	         size     uint64 (payload bytes)
 //	         crc32    uint32 (IEEE, of the payload)
+//	         padding  zero bytes up to the next SnapshotAlign boundary
 //	         payload  size bytes
+//
+// Every payload starts on a SnapshotAlign (4 KiB) file-offset boundary —
+// the padding length is derived from the running offset by both writer and
+// reader, never stored. Page alignment is what makes the mmap path
+// (MapSnapshotFile) zero-copy friendly: section payloads coincide with page
+// ranges, so structures that parse the payload in place (block-compressed
+// lists, fixed-width dictionaries) read naturally aligned fields and the
+// kernel can fault, share, and evict each section independently.
 //
 // A snapshot whose magic, version, or any section checksum does not match
 // is rejected at read time, so stale or corrupted snapshots can never be
-// half-loaded into a serving process.
+// half-loaded into a serving process. (The mmap open skips checksums by
+// design — see MapSnapshotFile.)
 
 import (
 	"bytes"
@@ -31,7 +41,10 @@ import (
 	"io"
 )
 
-var snapshotMagic = [8]byte{'P', 'M', 'S', 'N', 'A', 'P', '0', '1'}
+var snapshotMagic = [8]byte{'P', 'M', 'S', 'N', 'A', 'P', '0', '2'}
+
+// SnapshotAlign is the file-offset alignment of every section payload.
+const SnapshotAlign = 4096
 
 const (
 	snapshotHeaderSize  = 16
@@ -39,6 +52,12 @@ const (
 	maxSectionNameBytes = 1 << 12
 	maxSections         = 1 << 16
 )
+
+// alignPad reports the zero-padding needed to advance off to the next
+// SnapshotAlign boundary.
+func alignPad(off int64) int {
+	return int((SnapshotAlign - off%SnapshotAlign) % SnapshotAlign)
+}
 
 // SnapshotWriter assembles a snapshot from named sections. Sections are
 // written in the order they were added; names must be unique.
@@ -89,6 +108,7 @@ func (w *SnapshotWriter) WriteTo(out io.Writer) (int64, error) {
 	if err != nil {
 		return written, fmt.Errorf("diskio: writing snapshot header: %w", err)
 	}
+	var pad [SnapshotAlign]byte
 	for i, name := range w.names {
 		payload := w.payloads[i]
 		sh := make([]byte, 2+len(name)+12)
@@ -100,6 +120,13 @@ func (w *SnapshotWriter) WriteTo(out io.Writer) (int64, error) {
 		written += int64(n)
 		if err != nil {
 			return written, fmt.Errorf("diskio: writing section header %q: %w", name, err)
+		}
+		if len(payload) > 0 { // empty payloads need no alignment
+			n, err = out.Write(pad[:alignPad(written)])
+			written += int64(n)
+			if err != nil {
+				return written, fmt.Errorf("diskio: writing section padding %q: %w", name, err)
+			}
 		}
 		n, err = out.Write(payload)
 		written += int64(n)
@@ -140,6 +167,8 @@ func ReadSnapshot(r io.Reader, wantVersion uint32) (*Snapshot, error) {
 		version:  version,
 		sections: make(map[string][]byte, count),
 	}
+	off := int64(snapshotHeaderSize)
+	var pad [SnapshotAlign]byte
 	for i := 0; i < count; i++ {
 		var nl [2]byte
 		if _, err := io.ReadFull(r, nl[:]); err != nil {
@@ -153,6 +182,7 @@ func ReadSnapshot(r io.Reader, wantVersion uint32) (*Snapshot, error) {
 		if _, err := io.ReadFull(r, rest); err != nil {
 			return nil, fmt.Errorf("diskio: reading section %d header: %w", i, err)
 		}
+		off += int64(2 + len(rest))
 		name := string(rest[:nameLen])
 		size := binary.LittleEndian.Uint64(rest[nameLen : nameLen+8])
 		sum := binary.LittleEndian.Uint32(rest[nameLen+8:])
@@ -162,10 +192,17 @@ func ReadSnapshot(r io.Reader, wantVersion uint32) (*Snapshot, error) {
 		if _, dup := s.sections[name]; dup {
 			return nil, fmt.Errorf("diskio: duplicate snapshot section %q", name)
 		}
+		if p := alignPad(off); p > 0 && size > 0 {
+			if _, err := io.ReadFull(r, pad[:p]); err != nil {
+				return nil, fmt.Errorf("diskio: reading section %q padding: %w", name, err)
+			}
+			off += int64(p)
+		}
 		payload, err := readPayload(r, size)
 		if err != nil {
 			return nil, fmt.Errorf("diskio: reading section %q (%d bytes): %w", name, size, err)
 		}
+		off += int64(size)
 		if got := crc32.ChecksumIEEE(payload); got != sum {
 			return nil, fmt.Errorf("diskio: section %q checksum mismatch (corrupted snapshot)", name)
 		}

@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // PhraseID identifies a phrase by its position in the phrase list.
@@ -37,6 +38,14 @@ type Dict struct {
 	n        int
 	data     []byte // n*width bytes
 	byPhrase map[string]PhraseID
+
+	// mapOnce defers building byPhrase for dictionaries opened with
+	// FromBytes: ID-to-phrase lookups are pure offset arithmetic over data
+	// (which may alias a mapped snapshot section), so the O(|P|) reverse
+	// map is only built if a phrase-to-ID lookup ever happens (delta
+	// updates); plain serving never pays it.
+	mapOnce sync.Once
+	mapErr  error
 }
 
 // Build creates a dictionary from phrases in the given order (the slice
@@ -103,10 +112,69 @@ func (d *Dict) record(i int) string {
 	return string(trimPadding(rec))
 }
 
-// ID resolves a phrase string to its ID.
+// ID resolves a phrase string to its ID. On a dictionary opened with
+// FromBytes the first call builds the reverse map (and panics on a corrupt
+// record set, which ReadFrom would have rejected eagerly). Once's own fast
+// path is a single atomic load, so the unconditional Do keeps concurrent
+// ID calls race-free without a mutex around the map pointer.
 func (d *Dict) ID(phrase string) (PhraseID, bool) {
+	d.mapOnce.Do(d.buildMapIfMissing)
+	if d.mapErr != nil {
+		panic(d.mapErr)
+	}
 	id, ok := d.byPhrase[phrase]
 	return id, ok
+}
+
+// buildMapIfMissing is the Once body for dictionaries whose map was built
+// eagerly (Build, ReadFrom): it leaves the existing map untouched.
+func (d *Dict) buildMapIfMissing() {
+	if d.byPhrase == nil {
+		d.buildMap()
+	}
+}
+
+// buildMap materializes the phrase-to-ID map, validating record contents.
+func (d *Dict) buildMap() {
+	m := make(map[string]PhraseID, d.n)
+	for i := 0; i < d.n; i++ {
+		p := d.record(i)
+		if p == "" {
+			d.mapErr = fmt.Errorf("phrasedict: empty record %d", i)
+			return
+		}
+		if prev, dup := m[p]; dup {
+			d.mapErr = fmt.Errorf("phrasedict: duplicate phrase %q at %d and %d", p, prev, i)
+			return
+		}
+		m[p] = PhraseID(i)
+	}
+	d.byPhrase = m
+}
+
+// FromBytes opens a serialized dictionary (the WriteTo format) directly
+// over data without copying records or building the reverse lookup map:
+// cost is O(header). data must stay valid and immutable for the Dict's
+// lifetime — it may be a memory-mapped snapshot section. ID-to-phrase
+// resolution reads records in place; the phrase-to-ID map materializes
+// lazily on the first ID call.
+func FromBytes(data []byte) (*Dict, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("phrasedict: %d bytes is shorter than the header", len(data))
+	}
+	if !bytes.Equal(data[:8], magic[:]) {
+		return nil, fmt.Errorf("phrasedict: bad magic %q", data[:8])
+	}
+	width := int(binary.LittleEndian.Uint32(data[8:12]))
+	count := int(binary.LittleEndian.Uint32(data[12:16]))
+	if width < 1 || width > 1<<16 {
+		return nil, fmt.Errorf("phrasedict: implausible width %d", width)
+	}
+	records := data[headerSize:]
+	if int64(len(records)) != int64(width)*int64(count) {
+		return nil, fmt.Errorf("phrasedict: %d record bytes for %d records of width %d", len(records), count, width)
+	}
+	return &Dict{width: width, n: count, data: records}, nil
 }
 
 // trimPadding strips the trailing zero padding of a record.

@@ -1,0 +1,181 @@
+package plist
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"phrasemine/internal/phrasedict"
+)
+
+// fuzzEntries derives a structurally valid ID-ordered entry list from raw
+// fuzz bytes: each entry consumes a uvarint ID gap and one byte selecting a
+// probability from a small ratio pool (the shape real lists have — P(q|p)
+// is a ratio of small integers). The same bytes also yield SkipTo probe
+// targets, so the fuzzer steers both the list shape and the access pattern.
+func fuzzEntries(data []byte) (entries IDList, probes []phrasedict.PhraseID) {
+	// A fixed pool of distinct probabilities in (0, 1], including exact
+	// and non-representable ratios.
+	pool := [...]float64{1, 0.5, 1.0 / 3.0, 0.25, 2.0 / 3.0, 0.1, 3.0 / 7.0, 0.999}
+	pos := 0
+	id := uint64(0)
+	for pos < len(data) && len(entries) < 4096 {
+		gap, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			break
+		}
+		pos += n
+		if pos >= len(data) {
+			break
+		}
+		sel := data[pos]
+		pos++
+		id += gap%(1<<20) + 1
+		if id > math.MaxUint32 {
+			break
+		}
+		if sel&1 == 0 || len(probes) >= 48 {
+			entries = append(entries, Entry{Phrase: phrasedict.PhraseID(id), Prob: pool[(sel>>1)%8]})
+		} else {
+			probes = append(probes, phrasedict.PhraseID(id+uint64(sel>>1)))
+		}
+	}
+	return entries, probes
+}
+
+// FuzzBlockCodec locks the block-compressed list codec against its
+// uncompressed reference: every derived list must round-trip encode->decode
+// with bit-identical entries (both orderings), the block cursor must
+// enumerate exactly the original entries, and SkipTo must agree with a
+// linear scan over the raw slice at every probe target.
+func FuzzBlockCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 2, 2, 3, 4, 1, 1})
+	f.Add(func() []byte {
+		// A multi-block list: 300 entries with varied gaps and probs,
+		// interleaved with probes.
+		var b []byte
+		for i := 0; i < 300; i++ {
+			b = binary.AppendUvarint(b, uint64(i%7+1))
+			b = append(b, byte(i%16))
+		}
+		return b
+	}())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, probes := fuzzEntries(data)
+
+		// Round trip, ID-ordered.
+		enc, err := AppendBlockList(nil, entries, OrderID)
+		if err != nil {
+			t.Fatalf("encode (valid input): %v", err)
+		}
+		list, err := NewBlockList(enc, len(entries), OrderID)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		dec, err := list.DecodeAll(nil)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		requireSameEntries(t, "id round trip", dec, entries)
+
+		// Round trip, score-ordered (canonical order derived from the
+		// same entries).
+		score := make(ScoreList, len(entries))
+		copy(score, entries)
+		SortScoreOrder(score)
+		encS, err := AppendBlockList(nil, score, OrderScore)
+		if err != nil {
+			t.Fatalf("encode score: %v", err)
+		}
+		listS, err := NewBlockList(encS, len(score), OrderScore)
+		if err != nil {
+			t.Fatalf("open score: %v", err)
+		}
+		decS, err := listS.DecodeAll(nil)
+		if err != nil {
+			t.Fatalf("decode score: %v", err)
+		}
+		requireSameEntries(t, "score round trip", decS, score)
+
+		// Cursor enumeration == slice contents.
+		cur := NewBlockCursor(list)
+		for i, want := range entries {
+			got, ok := cur.Next()
+			if !ok || got != want {
+				t.Fatalf("cursor entry %d = (%+v,%v), want %+v", i, got, ok, want)
+			}
+		}
+		if _, ok := cur.Next(); ok || cur.Err() != nil {
+			t.Fatalf("cursor did not end cleanly: %v", cur.Err())
+		}
+
+		// SkipTo == linear scan, on a fresh cursor pair per probe plus one
+		// cursor shared across all probes (ascending-target reuse).
+		shared := NewBlockCursor(list)
+		ref := NewMemCursor(entries)
+		for _, id := range probes {
+			fresh := NewBlockCursor(list)
+			fe, fok := fresh.SkipTo(id)
+			se, sok := skipToLinear(NewMemCursor(entries), id)
+			if fok != sok || (fok && fe != se) {
+				t.Fatalf("fresh SkipTo(%d) = (%+v,%v), linear = (%+v,%v)", id, fe, fok, se, sok)
+			}
+			ge, gok := shared.SkipTo(id)
+			we, wok := skipToLinear(ref, id)
+			if gok != wok || (gok && ge != we) {
+				t.Fatalf("shared SkipTo(%d) = (%+v,%v), linear = (%+v,%v)", id, ge, gok, we, wok)
+			}
+			if shared.Err() != nil {
+				t.Fatalf("shared cursor error: %v", shared.Err())
+			}
+		}
+	})
+}
+
+func requireSameEntries(t *testing.T, label string, got, want []Entry) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d entries, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Phrase != want[i].Phrase ||
+			math.Float64bits(got[i].Prob) != math.Float64bits(want[i].Prob) {
+			t.Fatalf("%s: entry %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// FuzzBlockListDecode hardens the decoder against arbitrary bytes: opening
+// and decoding attacker-controlled data must never panic or loop — it
+// either errors or yields a structurally valid list.
+func FuzzBlockListDecode(f *testing.F) {
+	valid, _ := AppendBlockList(nil, IDList{{Phrase: 3, Prob: 0.5}, {Phrase: 9, Prob: 1}}, OrderID)
+	f.Add(valid, uint16(2), true)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}, uint16(300), false)
+	f.Fuzz(func(t *testing.T, data []byte, count16 uint16, idOrder bool) {
+		ord := OrderScore
+		if idOrder {
+			ord = OrderID
+		}
+		list, err := NewBlockList(data, int(count16), ord)
+		if err != nil {
+			return
+		}
+		dec, err := list.DecodeAll(nil)
+		if err != nil {
+			return
+		}
+		if len(dec) != int(count16) {
+			t.Fatalf("decoded %d entries, want %d", len(dec), count16)
+		}
+		for i, e := range dec {
+			if math.IsNaN(e.Prob) || e.Prob <= 0 || e.Prob > 1 {
+				t.Fatalf("entry %d prob %v outside (0,1]", i, e.Prob)
+			}
+			if ord == OrderID && i > 0 && dec[i].Phrase <= dec[i-1].Phrase {
+				t.Fatalf("ID order violated at %d", i)
+			}
+		}
+	})
+}

@@ -52,11 +52,24 @@ func (l ScoreList) Truncate(frac float64) ScoreList {
 	if frac <= 0 || len(l) == 0 {
 		return nil
 	}
-	n := int(math.Ceil(frac * float64(len(l))))
-	if n > len(l) {
-		n = len(l)
+	return l[:TruncatedLen(len(l), frac)]
+}
+
+// TruncatedLen reports the entry count a list of n entries keeps when
+// truncated to frac — the Truncate arithmetic without a list in hand (block
+// directories know counts without decoding).
+func TruncatedLen(n int, frac float64) int {
+	if frac >= 1 {
+		return n
 	}
-	return l[:n]
+	if frac <= 0 || n == 0 {
+		return 0
+	}
+	t := int(math.Ceil(frac * float64(n)))
+	if t > n {
+		t = n
+	}
+	return t
 }
 
 // ToIDOrdered re-orders a (possibly truncated) score list by ascending

@@ -10,6 +10,9 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync/atomic"
+
+	"phrasemine"
 )
 
 // Exported expvar counters. expvar also publishes the full runtime
@@ -23,10 +26,33 @@ var (
 	statMutations = expvar.NewInt("phrasemine_mutations_total")
 )
 
+// gaugeMiner is the miner behind the index-memory gauges: the most
+// recently constructed Server's (expvar names are process-global, so the
+// gauges follow the newest server — in a deployment there is exactly one).
+var gaugeMiner atomic.Pointer[phrasemine.Miner]
+
+// registerIndexGauges points the index-memory gauges at m.
+func registerIndexGauges(m *phrasemine.Miner) {
+	gaugeMiner.Store(m)
+}
+
 func init() {
 	expvar.Publish("phrasemine_mallocs_total", expvar.Func(mallocs))
 	expvar.Publish("phrasemine_frees_total", expvar.Func(frees))
 	expvar.Publish("phrasemine_heap_alloc_bytes", expvar.Func(heapAlloc))
+	// Index-memory gauges, published as one variable so a /debug/vars
+	// scrape computes IndexStats exactly once (it takes the miner read
+	// lock and, on heap indexes, walks the postings map): physical bytes
+	// per index section, the bytes/posting and bytes/entry ratios
+	// compression is judged by, and the mmap-vs-heap split (mapped bytes
+	// are demand-paged and shared, not process-private heap).
+	expvar.Publish("phrasemine_index_stats", expvar.Func(func() any {
+		m := gaugeMiner.Load()
+		if m == nil {
+			return phrasemine.IndexStats{}
+		}
+		return m.IndexStats()
+	}))
 }
 
 func readMemStats() runtime.MemStats {

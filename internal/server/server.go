@@ -96,6 +96,7 @@ func New(m *phrasemine.Miner, opts Options) *Server {
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 	}
+	registerIndexGauges(m)
 	s.mux.HandleFunc("POST /mine", s.handleMine)
 	s.mux.HandleFunc("POST /mine/batch", s.handleMineBatch)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -165,12 +166,16 @@ type BatchResponse struct {
 
 // StatsResponse is the /stats response body.
 type StatsResponse struct {
-	Documents      int        `json:"documents"`
-	Phrases        int        `json:"phrases"`
-	VocabSize      int        `json:"vocab_size"`
-	PendingUpdates int        `json:"pending_updates"`
-	UptimeSeconds  float64    `json:"uptime_seconds"`
-	Cache          CacheStats `json:"cache"`
+	Documents      int     `json:"documents"`
+	Phrases        int     `json:"phrases"`
+	VocabSize      int     `json:"vocab_size"`
+	PendingUpdates int     `json:"pending_updates"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	// Index reports the physical index footprint: bytes per section
+	// (lists, postings), bytes/posting, and whether the index is
+	// block-compressed and/or served from a shared mmap region.
+	Index phrasemine.IndexStats `json:"index"`
+	Cache CacheStats            `json:"cache"`
 }
 
 // errorResponse is the JSON body of every non-2xx response.
@@ -439,6 +444,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		VocabSize:      s.miner.VocabSize(),
 		PendingUpdates: s.miner.PendingUpdates(),
 		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Index:          s.miner.IndexStats(),
 		Cache:          s.cache.Stats(),
 	})
 }

@@ -55,6 +55,7 @@ type Scratch struct {
 	// Cursor reuse for core-layer callers.
 	cursors []plist.Cursor
 	mem     []plist.MemCursor
+	blk     []plist.BlockCursor
 
 	// SMJ reuse: bounded selection heap and the two k-way mergers.
 	top []scored
@@ -248,6 +249,24 @@ func (s *Scratch) MemCursors(n int) ([]plist.Cursor, []plist.MemCursor) {
 	return cursors, s.mem
 }
 
+// BlockCursors returns a reusable cursor slice of length n together with n
+// reusable block cursors (each retaining its per-block decode buffer, so
+// steady-state queries over compressed lists decode without allocating).
+// Callers Reset each block cursor onto its BlockList and place &blk[i]
+// into the cursor slice — the compressed-path analogue of MemCursors.
+func (s *Scratch) BlockCursors(n int) ([]plist.Cursor, []plist.BlockCursor) {
+	cursors := s.Cursors(n)
+	if cap(s.blk) < n {
+		blk := make([]plist.BlockCursor, n)
+		// Keep previously grown decode buffers alive across growth.
+		copy(blk, s.blk)
+		s.blk = blk
+	} else {
+		s.blk = s.blk[:n]
+	}
+	return cursors, s.blk
+}
+
 // release drops references a pooled Scratch must not retain across queries
 // (cursors point into caller-owned lists). Numeric tables keep their
 // capacity — that is the point of pooling.
@@ -257,6 +276,10 @@ func (s *Scratch) release() {
 	}
 	for i := range s.mem {
 		s.mem[i].Reset(nil)
+	}
+	for i := range s.blk {
+		// Drop references into caller-owned (possibly mapped) regions.
+		s.blk[i].Reset(plist.BlockList{})
 	}
 	s.lt.release()
 	s.hm.release()

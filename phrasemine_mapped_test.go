@@ -1,0 +1,128 @@
+package phrasemine
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestOpenMinerMapped locks the public mmap path: a mapped miner must
+// answer every algorithm identically to the miner it was saved from,
+// support mutations (which materialize the lazy sections), report its
+// footprint through IndexStats, and close cleanly.
+func TestOpenMinerMapped(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinDocFreq = 3
+	m, err := NewMinerFromDocuments(snapshotCorpus(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "miner.snap")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := OpenMinerMapped(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if mapped.NumDocuments() != m.NumDocuments() || mapped.NumPhrases() != m.NumPhrases() {
+		t.Fatalf("mapped: %d docs |P|=%d, want %d/%d",
+			mapped.NumDocuments(), mapped.NumPhrases(), m.NumDocuments(), m.NumPhrases())
+	}
+	st := mapped.IndexStats()
+	if !st.Mapped || !st.Compressed || st.MappedBytes == 0 {
+		t.Fatalf("IndexStats = %+v", st)
+	}
+	if hs := m.IndexStats(); hs.Mapped || hs.Compressed {
+		t.Fatalf("heap miner IndexStats = %+v", hs)
+	}
+
+	queries := [][]string{{"trade"}, {"oil"}, {"trade", "reserves"}, {Facet("topic", "oil")}}
+	for _, kw := range queries {
+		for _, op := range []Operator{AND, OR} {
+			for _, algo := range []Algorithm{AlgoNRA, AlgoSMJ, AlgoGM, AlgoExact} {
+				a, err := m.Mine(kw, op, QueryOptions{Algorithm: algo})
+				if err != nil {
+					t.Fatalf("%v %v %s heap: %v", kw, op, algo, err)
+				}
+				b, err := mapped.Mine(kw, op, QueryOptions{Algorithm: algo})
+				if err != nil {
+					t.Fatalf("%v %v %s mapped: %v", kw, op, algo, err)
+				}
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("%v %v %s: mapped diverges:\n%v\nvs\n%v", kw, op, algo, a, b)
+				}
+			}
+		}
+	}
+
+	// Mutations work on a mapped miner (delta updates materialize the
+	// lazy sections; Flush rebuilds in heap and releases the mapping).
+	mapped.Add(Document{Text: "new trade reserves announcement today"})
+	if pending := mapped.PendingUpdates(); pending != 1 {
+		t.Fatalf("pending = %d", pending)
+	}
+	if _, err := mapped.Mine([]string{"trade"}, OR, QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mapped.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if mapped.NumDocuments() != m.NumDocuments()+1 {
+		t.Fatalf("post-flush documents = %d", mapped.NumDocuments())
+	}
+	if err := mapped.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompressionConfigRoundTrips locks that Config.Compression selects the
+// compressed in-memory layout, survives Save/Load, and answers identically.
+func TestCompressionConfigRoundTrips(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinDocFreq = 3
+	plain, err := NewMinerFromDocuments(snapshotCorpus(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Compression = true
+	packed, err := NewMinerFromDocuments(snapshotCorpus(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := packed.IndexStats(); !st.Compressed {
+		t.Fatalf("compressed miner IndexStats = %+v", st)
+	}
+	path := filepath.Join(t.TempDir(), "packed.snap")
+	if err := packed.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMinerFile(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Config().Compression {
+		t.Fatal("Compression flag lost through the snapshot")
+	}
+	if st := loaded.IndexStats(); !st.Compressed {
+		t.Fatalf("loaded IndexStats = %+v", st)
+	}
+	for _, kw := range [][]string{{"trade"}, {"oil", "production"}} {
+		a, err := plain.Mine(kw, OR, QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := packed.Mine(kw, OR, QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := loaded.Mine(kw, OR, QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) || !reflect.DeepEqual(b, c) {
+			t.Fatalf("%v: compressed/loaded answers diverge", kw)
+		}
+	}
+}

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # bench.sh — run the figure benchmarks with -benchmem and capture them as a
-# JSON perf record (BENCH_pr3.json by default), starting the repo's
+# JSON perf record (BENCH_pr4.json by default), continuing the repo's
 # benchmark trajectory: every perf PR measures the same set and commits the
 # updated baseline, and CI gates on it (see the bench-regression job).
+# The PR-4 set adds the compressed-cursor, snapshot-load, and mmap-open
+# benchmarks alongside the PR-3 figure set.
 #
 # Usage:
 #   scripts/bench.sh [output.json]
@@ -15,8 +17,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_pr3.json}
-BENCH=${BENCH:-'^(BenchmarkFig7SMJ20AndReuters|BenchmarkFig9NRADisk20Reuters|BenchmarkConcurrentMine|BenchmarkFig7SMJ20OrReuters|BenchmarkFig10NRADisk20Pubmed|BenchmarkMineBatch)$'}
+OUT=${1:-BENCH_pr4.json}
+BENCH=${BENCH:-'^(BenchmarkFig7SMJ20AndReuters|BenchmarkFig9NRADisk20Reuters|BenchmarkConcurrentMine|BenchmarkFig7SMJ20OrReuters|BenchmarkFig10NRADisk20Pubmed|BenchmarkMineBatch|BenchmarkCompressedCursorNext|BenchmarkCompressedCursorSkipTo|BenchmarkCompressedNRAReuters|BenchmarkMmapQueryReuters|BenchmarkSnapshotLoad|BenchmarkSnapshotOpenMmap)$'}
 BENCHTIME=${BENCHTIME:-2s}
 BENCHSCALE=${BENCHSCALE:-0.1}
 LABEL=${LABEL:-"$(git rev-parse --short HEAD 2>/dev/null || echo unversioned)"}
