@@ -106,6 +106,126 @@ func BenchmarkFig8SMJ20OrPubmed(b *testing.B) {
 func BenchmarkFig8GMAndPubmed(b *testing.B) { benchmarkGM(b, experiments.Pubmed, corpus.OpAND) }
 func BenchmarkFig8GMOrPubmed(b *testing.B)  { benchmarkGM(b, experiments.Pubmed, corpus.OpOR) }
 
+// --- Sharded engine: scatter-gather queries and segmented builds -------------
+
+// shardedBenchK is the result depth of the sharded acceptance benchmark
+// (k=20 multi-keyword queries per the PR-5 criterion).
+const shardedBenchK = 20
+
+// shardedBenchQueries selects the multi-keyword OR workload: the shape
+// that exercises the adaptive per-shard NRA scatter.
+func shardedBenchQueries(b *testing.B, ds *experiments.Dataset) []corpus.Query {
+	var out []corpus.Query
+	for _, f := range ds.Features {
+		if len(f) >= 2 {
+			out = append(out, corpus.NewQuery(corpus.OpOR, f...))
+		}
+	}
+	if len(out) == 0 {
+		b.Fatal("no multi-keyword queries in the harvested workload")
+	}
+	return out
+}
+
+// benchmarkShardedMine measures sustained serving: each iteration answers
+// a sweep of k=20 multi-keyword queries while absorbing a document update
+// through Add + Flush — the mixed read/write workload the write-segment
+// routing exists for. On the monolithic layout (one segment) every flush
+// rebuilds the whole corpus; at four segments only the write segment
+// rebuilds, so the sharded engine sustains the same query stream at a
+// fraction of the maintenance cost regardless of core count. (Pure query
+// latency is recorded separately by BenchmarkShardedQuery*.)
+func benchmarkShardedMine(b *testing.B, segments int) {
+	ds := benchDataset(b, experiments.Reuters)
+	sx, err := core.BuildSharded(ds.Corpus, ds.Index.BuildOptions(), segments)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := shardedBenchQueries(b, ds)
+	doc := ds.Corpus.MustDoc(0)
+	// Each iteration removes the previous iteration's document and adds a
+	// fresh one, so the corpus size is stationary and s/op does not depend
+	// on b.N.
+	serve := func(first bool) {
+		if !first {
+			if err := sx.RemoveDocument(corpus.DocID(sx.NumDocs() - 1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sx.AddDocument(corpus.Document{Tokens: doc.Tokens})
+		if err := sx.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 10; j++ {
+			if _, err := sx.QueryNRA(rotate(queries, j), shardedBenchK, 1.0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	serve(true) // warm caches and tallies; corpus settles at |D|+1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serve(false)
+	}
+}
+
+// BenchmarkShardedMineSeg1Reuters is the single-segment baseline the
+// 4-segment run is gated against (>= 2x speedup, recorded in
+// BENCH_pr5.json).
+func BenchmarkShardedMineSeg1Reuters(b *testing.B) { benchmarkShardedMine(b, 1) }
+
+// BenchmarkShardedMineSeg4Reuters is the 4-segment run of the acceptance
+// criterion.
+func BenchmarkShardedMineSeg4Reuters(b *testing.B) { benchmarkShardedMine(b, 4) }
+
+// benchmarkShardedQuery measures pure query latency on a static sharded
+// engine: the adaptive per-shard NRA scatter plus the exact completion
+// gather. On multi-core hardware the per-segment work proceeds in
+// parallel; on a single core the extra segments are pure overhead (the
+// committed baseline records a single-core container).
+func benchmarkShardedQuery(b *testing.B, segments int) {
+	ds := benchDataset(b, experiments.Reuters)
+	sx, err := core.BuildSharded(ds.Corpus, ds.Index.BuildOptions(), segments)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := shardedBenchQueries(b, ds)
+	for _, q := range queries {
+		if _, err := sx.QueryNRA(q, shardedBenchK, 1.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sx.QueryNRA(rotate(queries, i), shardedBenchK, 1.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardedQuerySeg1Reuters is pure query latency at one segment.
+func BenchmarkShardedQuerySeg1Reuters(b *testing.B) { benchmarkShardedQuery(b, 1) }
+
+// BenchmarkShardedQuerySeg4Reuters is pure query latency at four segments.
+func BenchmarkShardedQuerySeg4Reuters(b *testing.B) { benchmarkShardedQuery(b, 4) }
+
+func benchmarkShardedBuild(b *testing.B, segments int) {
+	ds := benchDataset(b, experiments.Reuters)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildSharded(ds.Corpus, ds.Index.BuildOptions(), segments); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardedBuildSeg1Reuters builds a one-segment sharded engine
+// (the segmented pipeline's overhead baseline).
+func BenchmarkShardedBuildSeg1Reuters(b *testing.B) { benchmarkShardedBuild(b, 1) }
+
+// BenchmarkShardedBuildSeg4Reuters builds four segments in parallel.
+func BenchmarkShardedBuildSeg4Reuters(b *testing.B) { benchmarkShardedBuild(b, 4) }
+
 // --- Figures 9/10: disk-resident NRA cost break-up --------------------------
 
 func benchmarkNRADisk(b *testing.B, kind experiments.DatasetKind, frac float64) {

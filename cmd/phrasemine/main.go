@@ -74,8 +74,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  phrasemine build-index -in corpus.txt -out corpus.snap [-mindf N] [-workers N] [-compress]
-  phrasemine serve (-index corpus.snap | -in corpus.txt) [-addr :8080] [-cache N] [-timeout D] [-workers N] [-pprof] [-mmap] [-compress]
+  phrasemine build-index -in corpus.txt -out corpus.snap [-mindf N] [-workers N] [-compress] [-segments N]
+  phrasemine serve (-index corpus.snap | -manifest dir | -in corpus.txt) [-addr :8080] [-cache N] [-timeout D] [-workers N] [-pprof] [-mmap] [-compress] [-segments N]
   phrasemine index -in corpus.txt -out prefix [-mindf N] [-workers N]
   phrasemine query (-in corpus.txt | -index prefix) -keywords "w1 w2" [-op AND|OR] [-k N] [-algo nra|smj|gm|exact] [-frac F] [-workers N]
   phrasemine stats -in corpus.txt [-mindf N] [-workers N]
@@ -91,7 +91,13 @@ built index is identical at every worker count. Querying a prebuilt
 -compress keeps the query-time lists block-compressed in memory (results
 are bit-identical). serve -mmap opens the snapshot zero-copy via mmap:
 startup is O(directories) and resident memory is demand-paged and shared
-across processes; the mapping is unmapped cleanly on SIGINT.`)
+across processes; the mapping is unmapped cleanly on SIGINT.
+
+-segments N > 1 selects the sharded multi-segment engine: build-index
+then treats -out as a directory and writes one snapshot per segment plus
+a manifest.json, and serve -manifest opens it with every segment
+memory-mapped. Sharded answers are bit-identical to the monolithic
+engine over the same corpus.`)
 }
 
 // forEachDocLine streams a one-document-per-line corpus file, calling fn
@@ -175,8 +181,9 @@ func readDocuments(path string) ([]phrasemine.Document, error) {
 	return docs, nil
 }
 
-// buildMiner indexes a corpus file through the public API.
-func buildMiner(path string, minDF, workers int, compress bool) (*phrasemine.Miner, error) {
+// buildMiner indexes a corpus file through the public API. segments > 1
+// selects the sharded multi-segment engine.
+func buildMiner(path string, minDF, workers int, compress bool, segments int) (*phrasemine.Miner, error) {
 	docs, err := readDocuments(path)
 	if err != nil {
 		return nil, err
@@ -185,6 +192,7 @@ func buildMiner(path string, minDF, workers int, compress bool) (*phrasemine.Min
 	cfg.MinDocFreq = minDF
 	cfg.Workers = workers
 	cfg.Compression = compress
+	cfg.Segments = segments
 	return phrasemine.NewMinerFromDocuments(docs, cfg)
 }
 
@@ -193,10 +201,11 @@ func buildMiner(path string, minDF, workers int, compress bool) (*phrasemine.Min
 func cmdBuildIndex(args []string) error {
 	fs := flag.NewFlagSet("build-index", flag.ExitOnError)
 	in := fs.String("in", "", "corpus file (one document per line)")
-	out := fs.String("out", "corpus.snap", "snapshot output path")
+	out := fs.String("out", "corpus.snap", "snapshot output path (a directory with -segments > 1)")
 	minDF := fs.Int("mindf", 5, "minimum phrase document frequency")
 	workers := fs.Int("workers", 0, "build parallelism (0 = all cores, 1 = sequential)")
 	compress := fs.Bool("compress", false, "record block-compressed in-memory operation in the snapshot config")
+	segments := fs.Int("segments", 0, "build a sharded engine with this many segments (writes a manifest directory; <= 1 builds the monolithic snapshot)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -204,11 +213,20 @@ func cmdBuildIndex(args []string) error {
 		return fmt.Errorf("-in is required")
 	}
 	start := time.Now()
-	m, err := buildMiner(*in, *minDF, *workers, *compress)
+	m, err := buildMiner(*in, *minDF, *workers, *compress, *segments)
 	if err != nil {
 		return err
 	}
 	built := time.Since(start)
+	if *segments > 1 {
+		if err := m.SaveManifest(*out); err != nil {
+			return err
+		}
+		fmt.Printf("indexed %d docs in %v: |P|=%d phrases, |W|=%d features -> %s (%d-segment manifest)\n",
+			m.NumDocuments(), built.Round(time.Millisecond), m.NumPhrases(), m.VocabSize(),
+			*out, m.Segments())
+		return nil
+	}
 	if err := m.SaveFile(*out); err != nil {
 		return err
 	}
@@ -227,6 +245,7 @@ func cmdBuildIndex(args []string) error {
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	index := fs.String("index", "", "miner snapshot written by `phrasemine build-index`")
+	manifest := fs.String("manifest", "", "sharded manifest directory (or manifest.json) written by `phrasemine build-index -segments N`")
 	in := fs.String("in", "", "corpus file (build in memory and serve)")
 	addr := fs.String("addr", ":8080", "listen address")
 	cache := fs.Int("cache", server.DefaultCacheSize, "result-cache entries (negative disables)")
@@ -236,6 +255,7 @@ func cmdServe(args []string) error {
 	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof and /debug/vars (profiling + expvar counters)")
 	useMmap := fs.Bool("mmap", false, "open -index zero-copy via mmap (O(header) startup, demand-paged shared memory)")
 	compress := fs.Bool("compress", false, "block-compressed in-memory lists (-in mode; heap -index mode follows the snapshot's own setting, -mmap is always compressed)")
+	segments := fs.Int("segments", 0, "sharded engine segment count (-in mode; <= 1 is monolithic)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -246,6 +266,15 @@ func cmdServe(args []string) error {
 		start = time.Now()
 	)
 	switch {
+	case *manifest != "":
+		m, err = phrasemine.OpenShardedMiner(*manifest, *workers)
+		if err != nil {
+			return err
+		}
+		st := m.IndexStats()
+		fmt.Printf("opened %d-segment manifest %s in %v: %d docs, |P|=%d phrases, %s mapped\n",
+			m.Segments(), *manifest, time.Since(start).Round(time.Millisecond),
+			m.NumDocuments(), m.NumPhrases(), byteSize(st.MappedBytes))
 	case *index != "" && *useMmap:
 		m, err = phrasemine.OpenMinerMapped(*index, *workers)
 		if err != nil {
@@ -263,14 +292,14 @@ func cmdServe(args []string) error {
 		fmt.Printf("loaded snapshot %s in %v: %d docs, |P|=%d phrases\n",
 			*index, time.Since(start).Round(time.Millisecond), m.NumDocuments(), m.NumPhrases())
 	case *in != "":
-		m, err = buildMiner(*in, *minDF, *workers, *compress)
+		m, err = buildMiner(*in, *minDF, *workers, *compress, *segments)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("built index from %s in %v: %d docs, |P|=%d phrases\n",
 			*in, time.Since(start).Round(time.Millisecond), m.NumDocuments(), m.NumPhrases())
 	default:
-		return fmt.Errorf("one of -index or -in is required")
+		return fmt.Errorf("one of -index, -manifest or -in is required")
 	}
 
 	var handler http.Handler = server.New(m, server.Options{CacheSize: *cache, QueryTimeout: *timeout})

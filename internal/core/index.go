@@ -137,6 +137,23 @@ func Build(c *corpus.Corpus, opt BuildOptions) (*Index, error) {
 	if len(stats) == 0 {
 		return nil, fmt.Errorf("core: no phrases cleared the document-frequency threshold")
 	}
+	return BuildFromStats(c, stats, opt)
+}
+
+// BuildFromStats constructs every index structure from a corpus and
+// pre-extracted phrase statistics, skipping the extraction stage of Build.
+// stats must be in the canonical textproc.Extract order — sorted by
+// (word count, phrase) — because the slice position becomes the PhraseID,
+// and each entry's Docs must be the sorted documents of this corpus that
+// contain the phrase. The sharded engine uses this entry point to build
+// segment indexes over externally filtered phrase universes; unlike Build,
+// an empty stats slice is allowed (a segment may contain none of the
+// global universe's phrases) and yields an index with an empty dictionary.
+func BuildFromStats(c *corpus.Corpus, stats []textproc.PhraseStats, opt BuildOptions) (*Index, error) {
+	if c == nil || c.Len() == 0 {
+		return nil, fmt.Errorf("core: empty corpus")
+	}
+	workers := parallel.Workers(opt.Workers)
 
 	phrases := make([]string, len(stats))
 	for i, s := range stats {

@@ -1,0 +1,87 @@
+package corpus
+
+import "fmt"
+
+// DocRemap maps between the global document-ID space of a sharded engine
+// and the per-segment local spaces. Segments hold contiguous global ranges:
+// segment s owns global IDs [bases[s], bases[s+1]), and the local ID of a
+// document is its offset within that range. The mapping is therefore pure
+// arithmetic — no per-document table — and is rebuilt from the segment
+// sizes whenever a flush changes them.
+type DocRemap struct {
+	// bases[s] is the global DocID of segment s's first document;
+	// bases[len(sizes)] is the total document count (the exclusive end of
+	// the last segment).
+	bases []DocID
+}
+
+// NewDocRemap builds a remap from per-segment document counts, in segment
+// order.
+func NewDocRemap(sizes []int) DocRemap {
+	bases := make([]DocID, len(sizes)+1)
+	for i, n := range sizes {
+		bases[i+1] = bases[i] + DocID(n)
+	}
+	return DocRemap{bases: bases}
+}
+
+// NumDocs reports the total document count across all segments.
+func (r DocRemap) NumDocs() int {
+	if len(r.bases) == 0 {
+		return 0
+	}
+	return int(r.bases[len(r.bases)-1])
+}
+
+// NumSegments reports the segment count.
+func (r DocRemap) NumSegments() int {
+	if len(r.bases) == 0 {
+		return 0
+	}
+	return len(r.bases) - 1
+}
+
+// SegmentLen reports the number of documents segment s holds.
+func (r DocRemap) SegmentLen(s int) int {
+	return int(r.bases[s+1] - r.bases[s])
+}
+
+// Global converts a segment-local document ID to its global ID.
+func (r DocRemap) Global(segment int, local DocID) DocID {
+	return r.bases[segment] + local
+}
+
+// Split converts a global document ID to its (segment, local) pair. IDs at
+// or beyond the total document count are an error.
+func (r DocRemap) Split(global DocID) (segment int, local DocID, err error) {
+	n := r.NumSegments()
+	if n == 0 || global >= r.bases[n] {
+		return 0, 0, fmt.Errorf("corpus: doc %d out of range [0,%d)", global, r.NumDocs())
+	}
+	// Binary search for the owning segment: the last base <= global.
+	lo, hi := 0, n-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if r.bases[mid] <= global {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, global - r.bases[lo], nil
+}
+
+// Slice returns a new corpus holding documents [lo, hi) of c, sharing the
+// document values (tokens and facets are not copied). It is the
+// corpus-partitioning primitive of the sharded engine: segment corpora are
+// contiguous slices of the source corpus, so global document IDs are
+// segment bases plus local IDs.
+func (c *Corpus) Slice(lo, hi int) *Corpus {
+	c.mustMaterialize()
+	if lo < 0 || hi > len(c.docs) || lo > hi {
+		panic(fmt.Sprintf("corpus: invalid slice [%d,%d) of %d docs", lo, hi, len(c.docs)))
+	}
+	out := New()
+	out.docs = append(out.docs, c.docs[lo:hi]...)
+	return out
+}

@@ -1,0 +1,71 @@
+package corpus
+
+import "testing"
+
+func TestDocRemapRoundTrip(t *testing.T) {
+	sizes := []int{3, 0, 5, 1}
+	r := NewDocRemap(sizes)
+	if r.NumDocs() != 9 {
+		t.Fatalf("NumDocs = %d, want 9", r.NumDocs())
+	}
+	if r.NumSegments() != 4 {
+		t.Fatalf("NumSegments = %d, want 4", r.NumSegments())
+	}
+	for s, n := range sizes {
+		if r.SegmentLen(s) != n {
+			t.Fatalf("SegmentLen(%d) = %d, want %d", s, r.SegmentLen(s), n)
+		}
+	}
+	next := DocID(0)
+	for s, n := range sizes {
+		for l := 0; l < n; l++ {
+			g := r.Global(s, DocID(l))
+			if g != next {
+				t.Fatalf("Global(%d,%d) = %d, want %d", s, l, g, next)
+			}
+			gs, gl, err := r.Split(g)
+			if err != nil {
+				t.Fatalf("Split(%d): %v", g, err)
+			}
+			if gs != s || gl != DocID(l) {
+				t.Fatalf("Split(%d) = (%d,%d), want (%d,%d)", g, gs, gl, s, l)
+			}
+			next++
+		}
+	}
+	if _, _, err := r.Split(9); err == nil {
+		t.Fatal("Split past the end did not error")
+	}
+}
+
+func TestDocRemapEmpty(t *testing.T) {
+	r := NewDocRemap(nil)
+	if r.NumDocs() != 0 || r.NumSegments() != 0 {
+		t.Fatalf("empty remap: docs=%d segments=%d", r.NumDocs(), r.NumSegments())
+	}
+	if _, _, err := r.Split(0); err == nil {
+		t.Fatal("Split on empty remap did not error")
+	}
+}
+
+func TestCorpusSlice(t *testing.T) {
+	c := New()
+	for i := 0; i < 5; i++ {
+		c.Add(Document{Tokens: []string{"doc", string(rune('a' + i))}})
+	}
+	s := c.Slice(1, 4)
+	if s.Len() != 3 {
+		t.Fatalf("slice length %d, want 3", s.Len())
+	}
+	for i := 0; i < 3; i++ {
+		want := c.MustDoc(DocID(i + 1)).Tokens[1]
+		if got := s.MustDoc(DocID(i)).Tokens[1]; got != want {
+			t.Fatalf("slice doc %d = %q, want %q", i, got, want)
+		}
+	}
+	// Appending to the slice must not disturb the source corpus.
+	s.Add(Document{Tokens: []string{"extra"}})
+	if c.Len() != 5 {
+		t.Fatalf("source corpus grew to %d docs", c.Len())
+	}
+}

@@ -25,6 +25,13 @@
 //     the retained map-based topk.NRAReference on every query the harness
 //     generates.
 //
+//   - Cross-topology: the sharded multi-segment engine must answer
+//     bit-identically to the monolithic index at every tested segment
+//     count (RunShardedEquivalence; see sharded.go for the exact
+//     contract), just as the compressed/mapped physical layouts must
+//     (RunCompressedEquivalence) and snapshot round-trips must
+//     (RunSnapshotRoundTrip).
+//
 // Hard violations land in Report.Failures; quality aggregates land in
 // Report and are asserted by the calling test.
 package difftest

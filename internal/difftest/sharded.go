@@ -1,0 +1,165 @@
+package difftest
+
+// Sharded-equivalence mode: the scale-out analogue of the differential
+// contract. The same corpus is indexed monolithically and as a sharded
+// multi-segment engine at several segment counts, and the sharded engine
+// must answer the harvested workloads bit-identically to the monolith:
+//
+//   - The canonical list-algorithm contract: the sharded engine's NRA and
+//     SMJ answers (adaptive per-shard scatter and exhaustive scan) must be
+//     bit-identical — phrase IDs, score float bits, and ordering — to the
+//     monolithic SMJ answer, which is the canonical exact evaluation of
+//     the papers' scoring over full lists. (The monolithic NRA reports the
+//     same result set but accumulates scores in traversal order, so its
+//     float bits are traversal-dependent; it is locked to the sharded
+//     answers at result-set level, and to SMJ by the main harness.)
+//
+//   - GM: the sharded scatter-gather of the forward-index baseline must be
+//     bit-identical to the monolithic GM, result order included.
+//
+//   - Structure: the global phrase universe, vocabulary size, and
+//     sub-collection sizes |D'| must be identical at every segment count.
+//
+// Any divergence is a hard failure recorded in Report.Failures.
+
+import (
+	"fmt"
+	"math"
+
+	"phrasemine/internal/baseline"
+	"phrasemine/internal/core"
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/synth"
+	"phrasemine/internal/topk"
+)
+
+// RunShardedEquivalence executes the sharded differential over every
+// corpus in opt, building one sharded engine per segment count and
+// checking it against the monolithic index. Fractions are pinned to full
+// lists (the bit-identity contract is defined over them; partial-list
+// fractions truncate per segment and are a documented approximation).
+func RunShardedEquivalence(opt Options, segmentCounts []int) (*Report, error) {
+	if opt.K <= 0 {
+		opt.K = 5
+	}
+	if len(segmentCounts) == 0 {
+		segmentCounts = []int{1, 2, 4, 7}
+	}
+	rep := &Report{
+		MeanPrecision: map[Key]float64{},
+		precisionSum:  map[Key]float64{},
+		precisionN:    map[Key]int{},
+	}
+	for _, cfg := range opt.Corpora {
+		if err := runShardedCorpus(rep, cfg, opt, segmentCounts); err != nil {
+			return nil, fmt.Errorf("difftest: sharded corpus %s: %w", cfg.Name, err)
+		}
+	}
+	return rep, nil
+}
+
+func runShardedCorpus(rep *Report, cfg synth.Config, opt Options, segmentCounts []int) error {
+	s, err := prepare(cfg, opt)
+	if err != nil {
+		return err
+	}
+	smj := s.ix.BuildSMJ(1.0)
+	gm, err := s.ix.GM()
+	if err != nil {
+		return err
+	}
+	queries := append(append([][]string(nil), s.single...), s.multi...)
+
+	for _, n := range segmentCounts {
+		sx, err := core.BuildSharded(s.c, s.ix.BuildOptions(), n)
+		if err != nil {
+			return fmt.Errorf("segments=%d: %w", n, err)
+		}
+		if sx.NumPhrases() != s.ix.NumPhrases() {
+			rep.failf("%s N=%d: phrase universe %d vs monolithic %d", cfg.Name, n, sx.NumPhrases(), s.ix.NumPhrases())
+			continue
+		}
+		if sx.VocabSize() != s.ix.Inverted.VocabSize() {
+			rep.failf("%s N=%d: vocabulary %d vs monolithic %d", cfg.Name, n, sx.VocabSize(), s.ix.Inverted.VocabSize())
+		}
+		for _, op := range []corpus.Operator{corpus.OpAND, corpus.OpOR} {
+			for _, kws := range queries {
+				q := corpus.NewQuery(op, kws...)
+				checkShardedQuery(rep, cfg.Name, n, s.ix, smj, gm, sx, q, opt.K)
+				rep.Cases++
+			}
+		}
+	}
+	return nil
+}
+
+// checkShardedQuery runs one query through every compared engine pair.
+func checkShardedQuery(rep *Report, name string, n int, mono *core.Index, smj *core.SMJIndex, gm *baseline.GM, sx *core.ShardedIndex, q corpus.Query, k int) {
+	want, _, err := mono.QuerySMJ(smj, q, topk.SMJOptions{K: k})
+	if err != nil {
+		rep.failf("%s N=%d %v: monolithic SMJ: %v", name, n, q, err)
+		return
+	}
+	gotSMJ, err := sx.QuerySMJ(q, k, 1.0)
+	if err != nil {
+		rep.failf("%s N=%d %v: sharded SMJ: %v", name, n, q, err)
+		return
+	}
+	if !bitIdentical(want, gotSMJ) {
+		rep.failf("%s N=%d %v: sharded SMJ diverges: %v vs %v", name, n, q, want, gotSMJ)
+	}
+	gotNRA, err := sx.QueryNRA(q, k, 1.0)
+	if err != nil {
+		rep.failf("%s N=%d %v: sharded NRA: %v", name, n, q, err)
+		return
+	}
+	if !bitIdentical(want, gotNRA) {
+		rep.failf("%s N=%d %v: sharded NRA diverges from canonical: %v vs %v", name, n, q, want, gotNRA)
+	}
+	// The monolithic NRA's score bits are traversal-order dependent; lock
+	// it to the sharded answer at result-set level.
+	monoNRA, _, err := mono.QueryNRA(q, topk.NRAOptions{K: k})
+	if err != nil {
+		rep.failf("%s N=%d %v: monolithic NRA: %v", name, n, q, err)
+		return
+	}
+	if a, b := idSet(monoNRA), idSet(gotNRA); !equalIDs(a, b) {
+		rep.failf("%s N=%d %v: sharded NRA result set %v != monolithic NRA set %v", name, n, q, b, a)
+	}
+
+	wantGM, _, err := gm.TopK(q, k)
+	if err != nil {
+		rep.failf("%s N=%d %v: monolithic GM: %v", name, n, q, err)
+		return
+	}
+	gotGM, err := sx.QueryGM(q, k)
+	if err != nil {
+		rep.failf("%s N=%d %v: sharded GM: %v", name, n, q, err)
+		return
+	}
+	if len(wantGM) != len(gotGM) {
+		rep.failf("%s N=%d %v: sharded GM returned %d results, monolithic %d", name, n, q, len(gotGM), len(wantGM))
+		return
+	}
+	for i := range wantGM {
+		if wantGM[i].Phrase != gotGM[i].Phrase ||
+			math.Float64bits(wantGM[i].Score) != math.Float64bits(gotGM[i].Score) {
+			rep.failf("%s N=%d %v: sharded GM row %d diverges: %+v vs %+v", name, n, q, i, wantGM[i], gotGM[i])
+			return
+		}
+	}
+
+	wantCount, err := mono.Inverted.SelectCount(q)
+	if err != nil {
+		rep.failf("%s N=%d %v: monolithic SelectCount: %v", name, n, q, err)
+		return
+	}
+	gotCount, err := sx.SelectCount(q)
+	if err != nil {
+		rep.failf("%s N=%d %v: sharded SelectCount: %v", name, n, q, err)
+		return
+	}
+	if wantCount != gotCount {
+		rep.failf("%s N=%d %v: |D'| %d vs monolithic %d", name, n, q, gotCount, wantCount)
+	}
+}

@@ -1,0 +1,29 @@
+package difftest
+
+import "testing"
+
+// TestShardedEquivalence locks the sharded engine bit-identical to the
+// monolithic index at every tested segment count: NRA/SMJ answers must
+// match the canonical monolithic SMJ answer float-bit for float-bit
+// (ordering included), GM must match the monolithic GM, and the phrase
+// universe, vocabulary and sub-collection sizes must agree — the
+// acceptance contract of the sharded engine.
+func TestShardedEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded differential is not a -short test")
+	}
+	opt := DefaultOptions()
+	rep, err := RunShardedEquivalence(opt, []int{1, 2, 4, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Failures {
+		t.Error(f)
+	}
+	// Two corpora x two operators x 4 segment counts over the full
+	// workload: well over a hundred differential cases.
+	if rep.Cases < 100 {
+		t.Fatalf("only %d sharded differential cases ran", rep.Cases)
+	}
+	t.Logf("sharded differential: %d cases, %d failures", rep.Cases, len(rep.Failures))
+}

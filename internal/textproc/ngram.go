@@ -7,6 +7,12 @@ import (
 	"phrasemine/internal/parallel"
 )
 
+// DefaultMinDocFreq is the document-frequency threshold a zero
+// ExtractorOptions.MinDocFreq selects (the paper's setting). Exported so
+// layers that apply the threshold themselves — the sharded engine filters
+// globally over per-segment threshold-1 extractions — share one default.
+const DefaultMinDocFreq = 5
+
 // ExtractorOptions configures phrase extraction.
 type ExtractorOptions struct {
 	// MinWords and MaxWords bound phrase length in words. The paper uses
@@ -46,7 +52,7 @@ func (o ExtractorOptions) withDefaults() ExtractorOptions {
 		o.MaxWords = 6
 	}
 	if o.MinDocFreq <= 0 {
-		o.MinDocFreq = 5
+		o.MinDocFreq = DefaultMinDocFreq
 	}
 	if o.MaxPhraseBytes <= 0 {
 		o.MaxPhraseBytes = 50

@@ -1,0 +1,112 @@
+package topk
+
+import (
+	"testing"
+
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/phrasedict"
+)
+
+// decodePartialCase deterministically decodes a fuzz byte stream into a
+// valid MergePartials input: options, a DF table, and per-shard partial
+// lists with strictly ascending IDs (gaps are decoded as gap+1). Returns
+// ok=false when the stream is too short to describe a case.
+func decodePartialCase(data []byte) (parts []PartialList, opt MergeOptions, ok bool) {
+	if len(data) < 4 {
+		return nil, MergeOptions{}, false
+	}
+	r := 1 + int(data[0])%4
+	k := 1 + int(data[1])%8
+	op := corpus.OpOR
+	if data[2]%2 == 1 {
+		op = corpus.OpAND
+	}
+	nShards := 1 + int(data[3])%6
+	pos := 4
+	next := func() (byte, bool) {
+		if pos >= len(data) {
+			return 0, false
+		}
+		b := data[pos]
+		pos++
+		return b, true
+	}
+	maxID := phrasedict.PhraseID(0)
+	parts = make([]PartialList, nShards)
+	for s := 0; s < nShards; s++ {
+		nb, more := next()
+		if !more {
+			break
+		}
+		entries := int(nb) % 24
+		id := phrasedict.PhraseID(0)
+		for e := 0; e < entries; e++ {
+			gap, more := next()
+			if !more {
+				break
+			}
+			if e == 0 {
+				id = phrasedict.PhraseID(gap % 16)
+			} else {
+				id += phrasedict.PhraseID(gap%8) + 1
+			}
+			row := make([]uint32, r)
+			for f := 0; f < r; f++ {
+				c, more := next()
+				if !more {
+					c = byte(e + f) // deterministic padding
+				}
+				row[f] = uint32(c % 13)
+			}
+			parts[s].IDs = append(parts[s].IDs, id)
+			parts[s].Counts = append(parts[s].Counts, row...)
+			if id > maxID {
+				maxID = id
+			}
+		}
+	}
+	df := make([]uint32, int(maxID)+1)
+	for i := range df {
+		b, more := next()
+		if !more {
+			b = byte(3*i + 7) // deterministic fill beyond the stream
+		}
+		df[i] = uint32(b % 29) // zeros included: the skip path must hold
+	}
+	return parts, MergeOptions{K: k, Op: op, R: r, DF: df}, true
+}
+
+// FuzzShardedTopKMerge locks the pooled loser-tree partial merger to a
+// sort-based reference: for arbitrary valid per-shard partial lists the
+// merged top-k must equal the reference's map-sum + full-sort answer bit
+// for bit, ordering and tie-breaks included.
+func FuzzShardedTopKMerge(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	// Two shards, R=2, OR: overlapping IDs with count splits.
+	f.Add([]byte{1, 4, 0, 1, 3, 0, 5, 6, 1, 2, 3, 2, 9, 9, 10, 4, 6})
+	// AND with a zero-count feature: candidates must drop.
+	f.Add([]byte{1, 2, 1, 1, 2, 0, 0, 7, 1, 5, 0, 11, 3})
+	// Single shard, R=4, deep k.
+	f.Add([]byte{3, 7, 0, 0, 12, 1, 1, 2, 3, 4, 2, 5, 6, 7, 8, 1, 9, 8, 7, 6, 3, 5, 4, 3, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parts, opt, ok := decodePartialCase(data)
+		if !ok {
+			t.Skip()
+		}
+		got, err := MergePartials(parts, opt)
+		if err != nil {
+			t.Fatalf("valid-by-construction input rejected: %v", err)
+		}
+		want := referenceMergePartials(parts, opt)
+		if !resultsBitEqual(got, want) {
+			t.Fatalf("merge diverges from reference:\nparts: %+v\nopt: %+v\ngot:  %v\nwant: %v", parts, opt, got, want)
+		}
+		// Idempotence under scratch reuse: a second run over the same input
+		// through the pooled path must not be affected by retained state.
+		again, err := MergePartials(parts, opt)
+		if err != nil || !resultsBitEqual(got, again) {
+			t.Fatalf("pooled rerun diverges: %v vs %v (err %v)", got, again, err)
+		}
+	})
+}

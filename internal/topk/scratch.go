@@ -61,6 +61,12 @@ type Scratch struct {
 	top []scored
 	lt  loserTree
 	hm  heapMerger
+
+	// Sharded scatter-gather reuse: the partial-result loser tree plus the
+	// per-feature count and probability buffers of MergePartials/ScanGroups.
+	pm    partialMerger
+	sums  []uint32
+	probs []float64
 }
 
 // rankedCand is one candidate in NRA's final upper-bound ranking.
@@ -283,6 +289,33 @@ func (s *Scratch) release() {
 	}
 	s.lt.release()
 	s.hm.release()
+	s.pm.release()
+}
+
+// countSums returns a zeroed reusable uint32 buffer of length r for the
+// partial merge's per-feature count accumulation.
+func (s *Scratch) countSums(r int) []uint32 {
+	if cap(s.sums) < r {
+		s.sums = make([]uint32, r)
+	} else {
+		s.sums = s.sums[:r]
+		for i := range s.sums {
+			s.sums[i] = 0
+		}
+	}
+	return s.sums
+}
+
+// groupProbs returns a reusable float64 buffer of length r for ScanGroups'
+// per-list probabilities (validity is tracked by the seen bitmask, so the
+// buffer is not zeroed).
+func (s *Scratch) groupProbs(r int) []float64 {
+	if cap(s.probs) < r {
+		s.probs = make([]float64, r)
+	} else {
+		s.probs = s.probs[:r]
+	}
+	return s.probs
 }
 
 // ScratchPool hands out Scratch arenas for concurrent queries. It wraps a

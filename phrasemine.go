@@ -49,7 +49,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 
@@ -157,6 +159,18 @@ type Config struct {
 	// when building or loading (miners opened with OpenMinerMapped are
 	// always compressed — the mapping is the index).
 	Compression bool
+	// Segments selects the sharded multi-segment engine: the corpus is
+	// partitioned into this many contiguous document segments, each a full
+	// independently built (and independently persisted) index, and queries
+	// scatter across segments and gather through a merger whose answers
+	// are bit-identical to the monolithic engine over the same corpus.
+	// Values <= 1 select the monolithic engine. Sharded miners differ from
+	// monolithic ones in two documented ways: pending Add/Remove updates
+	// become visible only at Flush (whose cost is proportional to the
+	// touched segments, typically just the write segment, instead of the
+	// corpus), and persistence goes through SaveManifest/OpenShardedMiner
+	// (one snapshot per segment behind a manifest) instead of Save.
+	Segments int
 }
 
 // DefaultConfig returns the paper's indexing configuration.
@@ -197,6 +211,9 @@ func (c Config) Validate() error {
 	}
 	if c.Shards < 0 {
 		return fmt.Errorf("phrasemine: Shards must be non-negative, got %d (0 selects 4*Workers)", c.Shards)
+	}
+	if c.Segments < 0 {
+		return fmt.Errorf("phrasemine: Segments must be non-negative, got %d (0 or 1 selects the monolithic engine)", c.Segments)
 	}
 	for i, k := range c.Keywords {
 		if strings.TrimSpace(k) == "" {
@@ -239,8 +256,11 @@ type Miner struct {
 	// mu serializes document updates (Add/Remove/Flush, write lock)
 	// against queries (read lock). Queries only read the index and the
 	// pending delta, so any number may run concurrently.
-	mu       sync.RWMutex
-	ix       *core.Index
+	mu sync.RWMutex
+	ix *core.Index
+	// sh is the sharded multi-segment engine; exactly one of ix and sh is
+	// non-nil (Config.Segments > 1 selects sh).
+	sh       *core.ShardedIndex
 	cfg      Config
 	smjMu    sync.Mutex
 	smjCache map[float64]*core.SMJIndex
@@ -292,7 +312,7 @@ func NewMinerFromDocuments(docs []Document, cfg Config) (*Miner, error) {
 }
 
 func newMiner(c *corpus.Corpus, cfg Config) (*Miner, error) {
-	ix, err := core.Build(c, core.BuildOptions{
+	opt := core.BuildOptions{
 		Extractor: textproc.ExtractorOptions{
 			MinWords:               cfg.MinPhraseWords,
 			MaxWords:               cfg.MaxPhraseWords,
@@ -303,7 +323,18 @@ func newMiner(c *corpus.Corpus, cfg Config) (*Miner, error) {
 		Workers:      cfg.Workers,
 		Shards:       cfg.Shards,
 		Compression:  cfg.Compression,
-	})
+	}
+	if cfg.Segments > 1 {
+		sh, err := core.BuildSharded(c, opt, cfg.Segments)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Segments = sh.NumSegments() // record the clamped count
+		// The monolithic SMJ/GM caches (smjCache, gmPool) stay nil: the
+		// sharded engine owns its own per-segment caches.
+		return &Miner{sh: sh, cfg: cfg}, nil
+	}
+	ix, err := core.Build(c, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -319,6 +350,9 @@ func newMiner(c *corpus.Corpus, cfg Config) (*Miner, error) {
 func (m *Miner) NumDocuments() int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
+	if m.sh != nil {
+		return m.sh.NumDocs()
+	}
 	return m.ix.Corpus.Len()
 }
 
@@ -326,6 +360,9 @@ func (m *Miner) NumDocuments() int {
 func (m *Miner) NumPhrases() int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
+	if m.sh != nil {
+		return m.sh.NumPhrases()
+	}
 	return m.ix.NumPhrases()
 }
 
@@ -333,7 +370,21 @@ func (m *Miner) NumPhrases() int {
 func (m *Miner) VocabSize() int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
+	if m.sh != nil {
+		return m.sh.VocabSize()
+	}
 	return m.ix.Inverted.VocabSize()
+}
+
+// Segments reports the segment count of a sharded miner, or zero for the
+// monolithic engine.
+func (m *Miner) Segments() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.sh != nil {
+		return m.sh.NumSegments()
+	}
+	return 0
 }
 
 // Facet renders a metadata facet as a query keyword, e.g.
@@ -367,6 +418,12 @@ func (m *Miner) Mine(keywords []string, op Operator, opt QueryOptions) ([]Result
 	if opt.K == 0 {
 		opt.K = 5
 	}
+	if math.IsNaN(opt.ListFraction) {
+		// NaN slips through every range guard (all comparisons are false)
+		// and would poison the fraction-keyed SMJ caches; reject it like
+		// the other invalid options.
+		return nil, fmt.Errorf("phrasemine: ListFraction must not be NaN")
+	}
 	frac := opt.ListFraction
 	if frac <= 0 || frac > 1 {
 		frac = 1
@@ -386,6 +443,10 @@ func (m *Miner) Mine(keywords []string, op Operator, opt QueryOptions) ([]Result
 		} else {
 			algo = AlgoNRA
 		}
+	}
+
+	if m.sh != nil {
+		return m.mineSharded(q, algo, opt.K, frac)
 	}
 
 	switch algo {
@@ -451,6 +512,60 @@ func (m *Miner) Mine(keywords []string, op Operator, opt QueryOptions) ([]Result
 	}
 }
 
+// mineSharded answers a query on the sharded engine. The list algorithms
+// (NRA selects the adaptive per-shard scatter where sound, SMJ the
+// exhaustive per-segment scan) both gather to the canonical global top-k —
+// bit-identical to the monolithic SMJ answer; GM and Exact scatter-gather
+// the exact forward-index counts. Called with the read lock held.
+func (m *Miner) mineSharded(q corpus.Query, algo Algorithm, k int, frac float64) ([]Result, error) {
+	switch algo {
+	case AlgoNRA:
+		results, err := m.sh.QueryNRA(q, k, frac)
+		if err != nil {
+			return nil, err
+		}
+		return m.resolveSharded(results, q)
+	case AlgoSMJ:
+		results, err := m.sh.QuerySMJ(q, k, frac)
+		if err != nil {
+			return nil, err
+		}
+		return m.resolveSharded(results, q)
+	case AlgoGM, AlgoExact:
+		// Both baselines compute the same exact interestingness; the
+		// sharded engine serves them through one scatter-gather.
+		results, err := m.sh.QueryGM(q, k)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Result, len(results))
+		for i, r := range results {
+			text, err := m.sh.PhraseText(r.Phrase)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = Result{Phrase: text, Score: r.Score, Interestingness: r.Score}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("phrasemine: unknown algorithm %q", algo)
+	}
+}
+
+// resolveSharded attaches phrase texts and interestingness estimates to
+// sharded list-algorithm results, mirroring resolve.
+func (m *Miner) resolveSharded(results []topk.Result, q corpus.Query) ([]Result, error) {
+	mined, err := m.sh.Resolve(results, q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(mined))
+	for i, r := range mined {
+		out[i] = Result{Phrase: r.Phrase, Score: r.Score, Interestingness: r.Estimate}
+	}
+	return out, nil
+}
+
 // MineAND is Mine with the AND operator and default options.
 func (m *Miner) MineAND(keywords ...string) ([]Result, error) {
 	return m.Mine(keywords, AND, QueryOptions{})
@@ -490,8 +605,15 @@ func (m *Miner) MineBatch(items []BatchItem) []BatchResult {
 		return out
 	}
 	m.mu.RLock()
-	pool := m.ix.Pool()
-	workers := m.ix.Workers()
+	var (
+		pool    *topk.Pool
+		workers int
+	)
+	if m.sh != nil {
+		pool, workers = m.sh.Pool(), m.sh.Workers()
+	} else {
+		pool, workers = m.ix.Pool(), m.ix.Workers()
+	}
 	m.mu.RUnlock()
 	run := func(i int) {
 		res, err := m.Mine(items[i].Keywords, items[i].Op, items[i].Options)
@@ -556,11 +678,15 @@ func (m *Miner) deltaActive() bool {
 	return m.delta != nil && m.delta.Size() > 0
 }
 
-// Add registers a new document without rebuilding the index: queries
-// consult the delta for corrected probabilities (Section 4.5.1). Phrases
-// not previously in the index become visible only after Flush. Add blocks
-// until in-flight queries drain (tokenization happens before the lock, so
-// queries are excluded only for the count update itself).
+// Add registers a new document without rebuilding the index. On a
+// monolithic miner queries consult the delta for corrected probabilities
+// (Section 4.5.1), with phrases not previously in the index becoming
+// visible only after Flush. On a sharded miner (Config.Segments > 1) the
+// document is routed to the write segment at the next Flush and is not
+// visible to queries before it — the documented trade for a Flush whose
+// cost is proportional to the touched segments. Add blocks until
+// in-flight queries drain (tokenization happens before the lock, so
+// queries are excluded only for the update registration itself).
 func (m *Miner) Add(doc Document) {
 	tok := textproc.Tokenizer{EmitSentenceBreaks: true}
 	d := corpus.Document{
@@ -569,6 +695,12 @@ func (m *Miner) Add(doc Document) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.sh != nil {
+		// Sharded engines route additions to the write segment at Flush;
+		// pending documents are not visible to queries before it.
+		m.sh.AddDocument(d)
+		return
+	}
 	if m.delta == nil {
 		m.delta = m.ix.NewDelta()
 	}
@@ -579,16 +711,36 @@ func (m *Miner) Add(doc Document) {
 func (m *Miner) Remove(docIndex int) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.sh != nil {
+		return m.sh.RemoveDocument(corpus.DocID(docIndex))
+	}
 	if m.delta == nil {
 		m.delta = m.ix.NewDelta()
 	}
 	return m.delta.RemoveDocument(corpus.DocID(docIndex))
 }
 
+// DiscardPendingUpdates drops every un-applied document change without
+// touching the index — the recovery path when a Flush is refused (on a
+// sharded miner, a removal set that would empty a segment) and the
+// pending updates would otherwise block Flush and persistence forever.
+func (m *Miner) DiscardPendingUpdates() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.sh != nil {
+		m.sh.DiscardPendingUpdates()
+		return
+	}
+	m.delta = nil
+}
+
 // PendingUpdates reports the number of un-flushed document changes.
 func (m *Miner) PendingUpdates() int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
+	if m.sh != nil {
+		return m.sh.PendingUpdates()
+	}
 	if m.delta == nil {
 		return 0
 	}
@@ -602,6 +754,13 @@ func (m *Miner) PendingUpdates() int {
 func (m *Miner) Flush() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.sh != nil {
+		// Sharded flush rebuilds only the touched segments (typically just
+		// the write segment) plus any segment whose phrases crossed the
+		// global document-frequency threshold; the engine invalidates its
+		// own per-segment caches.
+		return m.sh.Flush()
+	}
 	if m.delta == nil || m.delta.Size() == 0 {
 		return nil
 	}
@@ -644,6 +803,12 @@ const minerConfigSection = "phrasemine/config"
 func (m *Miner) Save(w io.Writer) error {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
+	if m.sh != nil {
+		// A single snapshot cannot represent a multi-segment engine;
+		// silently persisting one segment would lose the rest of the
+		// corpus. Refuse loudly and point at the manifest path.
+		return fmt.Errorf("phrasemine: miner is sharded (%d segments); use SaveManifest to persist one snapshot per segment behind a manifest", m.sh.NumSegments())
+	}
 	if m.deltaActive() {
 		return fmt.Errorf("phrasemine: %d document updates pending; call Flush before Save", m.delta.Size())
 	}
@@ -682,6 +847,60 @@ func (m *Miner) SaveFile(path string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// SaveManifest persists a sharded miner into dir: one v2 snapshot per
+// segment plus a manifest.json referencing them (and recording the
+// indexing Config), so segments can be written, shipped and memory-mapped
+// individually. Like Save, it refuses while document updates are pending.
+// Calling it on a monolithic miner is an error — use Save.
+func (m *Miner) SaveManifest(dir string) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.sh == nil {
+		return fmt.Errorf("phrasemine: miner is not sharded; use Save for a single snapshot")
+	}
+	man, err := m.sh.SaveSegments(dir)
+	if err != nil {
+		return err
+	}
+	saved := m.cfg
+	// Concurrency knobs are runtime properties of the loading process.
+	saved.Workers, saved.Shards = 0, 0
+	cfg, err := json.Marshal(saved)
+	if err != nil {
+		return fmt.Errorf("phrasemine: encoding config: %w", err)
+	}
+	man.Config = cfg
+	return diskio.WriteManifest(filepath.Join(dir, diskio.ManifestFileName), man)
+}
+
+// OpenShardedMiner opens a sharded miner persisted by SaveManifest. path
+// may be the manifest file or the directory containing it. Every segment
+// snapshot opens zero-copy via mmap (see OpenMinerMapped for the
+// trade-offs); workers bounds query concurrency like Config.Workers. Call
+// Close when the miner is retired.
+func OpenShardedMiner(path string, workers int) (*Miner, error) {
+	if workers < 0 {
+		return nil, fmt.Errorf("phrasemine: workers must be non-negative, got %d (0 selects GOMAXPROCS)", workers)
+	}
+	man, dir, err := diskio.ReadManifest(path)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if len(man.Config) > 0 {
+		if err := json.Unmarshal(man.Config, &cfg); err != nil {
+			return nil, fmt.Errorf("phrasemine: decoding manifest config: %w", err)
+		}
+	}
+	sh, err := core.OpenSharded(dir, man, workers)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Workers = workers
+	cfg.Segments = sh.NumSegments()
+	return &Miner{sh: sh, cfg: cfg}, nil
 }
 
 // LoadMiner restores a miner from a snapshot written by Save. No build
@@ -784,6 +1003,9 @@ func OpenMinerMapped(path string, workers int) (*Miner, error) {
 func (m *Miner) Close() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.sh != nil {
+		return m.sh.Close()
+	}
 	return m.ix.Close()
 }
 
@@ -816,14 +1038,28 @@ type IndexStats struct {
 	// MappedBytes is the size of the snapshot mapping (resident on
 	// demand, shared across processes), zero for heap-resident miners.
 	MappedBytes int64 `json:"mapped_bytes,omitempty"`
+	// Segments is the segment count of a sharded miner (zero for the
+	// monolithic engine).
+	Segments int `json:"segments,omitempty"`
 }
 
-// IndexStats reports the miner's current index footprint.
+// IndexStats reports the miner's current index footprint, aggregated over
+// segments on a sharded miner.
 func (m *Miner) IndexStats() IndexStats {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	s := m.ix.MemStats()
+	var (
+		s        core.MemStats
+		segments int
+	)
+	if m.sh != nil {
+		s = m.sh.MemStats()
+		segments = m.sh.NumSegments()
+	} else {
+		s = m.ix.MemStats()
+	}
 	return IndexStats{
+		Segments:        segments,
 		ListEntries:     s.ListEntries,
 		ListBytes:       s.ListBytes,
 		BytesPerEntry:   s.BytesPerEntry,

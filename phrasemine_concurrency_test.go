@@ -158,6 +158,149 @@ func TestMineBatch(t *testing.T) {
 	}
 }
 
+// TestConcurrentShardedMineWithUpdates hammers one sharded miner with
+// concurrent Mine and MineBatch calls while writers Add documents and
+// Flush the write segment (run under -race in CI): queries must never
+// error or tear across the segment swap, and the final flushed state must
+// reflect every update.
+func TestConcurrentShardedMineWithUpdates(t *testing.T) {
+	m, err := NewMinerFromTexts(newsCorpus(), shardedTestConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseDocs := m.NumDocuments()
+	const writers = 2
+	const docsPerWriter = 5
+	const readers = 8
+
+	var readersWG, writersWG sync.WaitGroup
+	errs := make(chan error, readers+writers)
+	stop := make(chan struct{})
+	for g := 0; g < readers; g++ {
+		readersWG.Add(1)
+		go func(g int) {
+			defer readersWG.Done()
+			items := concurrencyQueries()
+			for r := 0; ; r++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if g%2 == 0 {
+					it := items[(g+r)%len(items)]
+					if _, err := m.Mine(it.Keywords, it.Op, it.Options); err != nil {
+						errs <- fmt.Errorf("sharded reader %d: %w", g, err)
+						return
+					}
+					continue
+				}
+				for i, br := range m.MineBatch(items) {
+					if br.Err != nil {
+						errs <- fmt.Errorf("sharded batch reader %d item %d: %w", g, i, br.Err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 0; i < docsPerWriter; i++ {
+				m.Add(Document{Text: "trade reserves economic minister statement figures"})
+			}
+			if err := m.Flush(); err != nil {
+				errs <- fmt.Errorf("sharded writer %d flush: %w", w, err)
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	readersWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.NumDocuments(); got != baseDocs+writers*docsPerWriter {
+		t.Fatalf("after concurrent sharded updates: %d documents, want %d", got, baseDocs+writers*docsPerWriter)
+	}
+
+	// Post-update answers still match a monolithic miner over the same
+	// logical corpus (updates appended to the write segment).
+	ref := append(newsCorpus(), make([]string, 0)...)
+	for i := 0; i < writers*docsPerWriter; i++ {
+		ref = append(ref, "trade reserves economic minister statement figures")
+	}
+	mono, err := NewMinerFromTexts(ref, Config{
+		MinPhraseWords: 1, MaxPhraseWords: 4, MinDocFreq: 3, DropStopwordPhrases: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mono.Mine([]string{"trade", "reserves"}, OR, QueryOptions{K: 8, Algorithm: AlgoSMJ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Mine([]string{"trade", "reserves"}, OR, QueryOptions{K: 8, Algorithm: AlgoNRA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sharded post-update answer diverges:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestConcurrentShardedMineMatchesSequential checks concurrent sharded
+// answers against sequentially computed references across all algorithms.
+func TestConcurrentShardedMineMatchesSequential(t *testing.T) {
+	m, err := NewMinerFromTexts(newsCorpus(), shardedTestConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := concurrencyQueries()
+	want := make([][]Result, len(items))
+	for i, it := range items {
+		res, err := m.Mine(it.Keywords, it.Op, it.Options)
+		if err != nil {
+			t.Fatalf("reference query %d: %v", i, err)
+		}
+		want[i] = res
+	}
+	const goroutines = 12
+	const rounds = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (g + r) % len(items)
+				res, err := m.Mine(items[i].Keywords, items[i].Op, items[i].Options)
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d query %d: %w", g, i, err)
+					return
+				}
+				if !reflect.DeepEqual(res, want[i]) {
+					errs <- fmt.Errorf("goroutine %d query %d: concurrent sharded result diverges", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
 // TestParallelMinerIdenticalResults builds the same corpus sequentially
 // and with many workers and requires identical public-API answers.
 func TestParallelMinerIdenticalResults(t *testing.T) {

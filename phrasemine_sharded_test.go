@@ -1,0 +1,287 @@
+package phrasemine
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// shardedTestConfig is newTestMiner's configuration with the sharded
+// engine enabled.
+func shardedTestConfig(segments int) Config {
+	return Config{
+		MinPhraseWords:      1,
+		MaxPhraseWords:      4,
+		MinDocFreq:          3,
+		DropStopwordPhrases: true,
+		Segments:            segments,
+	}
+}
+
+func newShardedTestMiner(t *testing.T, segments int) *Miner {
+	t.Helper()
+	m, err := NewMinerFromTexts(newsCorpus(), shardedTestConfig(segments))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestShardedMinerMatchesMonolithic locks the public sharded answers to
+// the monolithic miner: identical corpus statistics, identical SMJ/GM/
+// Exact answers (the sharded list algorithms gather to the canonical SMJ
+// scores), and NRA answers identical to the sharded SMJ answers.
+func TestShardedMinerMatchesMonolithic(t *testing.T) {
+	mono := newTestMiner(t)
+	for _, segments := range []int{2, 3, 5} {
+		sh := newShardedTestMiner(t, segments)
+		if sh.Segments() != segments {
+			t.Fatalf("Segments() = %d, want %d", sh.Segments(), segments)
+		}
+		if mono.Segments() != 0 {
+			t.Fatalf("monolithic Segments() = %d, want 0", mono.Segments())
+		}
+		if sh.NumDocuments() != mono.NumDocuments() ||
+			sh.NumPhrases() != mono.NumPhrases() ||
+			sh.VocabSize() != mono.VocabSize() {
+			t.Fatalf("segments=%d: shape %d/%d/%d vs %d/%d/%d", segments,
+				sh.NumDocuments(), sh.NumPhrases(), sh.VocabSize(),
+				mono.NumDocuments(), mono.NumPhrases(), mono.VocabSize())
+		}
+		queries := [][]string{
+			{"trade"},
+			{"trade", "reserves"},
+			{"economic", "minister", "statement"},
+			{"query", "optimization"},
+		}
+		for _, op := range []Operator{AND, OR} {
+			for _, kws := range queries {
+				want, err := mono.Mine(kws, op, QueryOptions{K: 8, Algorithm: AlgoSMJ})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, algo := range []Algorithm{AlgoNRA, AlgoSMJ} {
+					got, err := sh.Mine(kws, op, QueryOptions{K: 8, Algorithm: algo})
+					if err != nil {
+						t.Fatalf("segments=%d %v %v %s: %v", segments, kws, op, algo, err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("segments=%d %v %v %s diverges:\n got %v\nwant %v", segments, kws, op, algo, got, want)
+					}
+				}
+				for _, algo := range []Algorithm{AlgoGM, AlgoExact} {
+					want, err := mono.Mine(kws, op, QueryOptions{K: 8, Algorithm: AlgoGM})
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := sh.Mine(kws, op, QueryOptions{K: 8, Algorithm: algo})
+					if err != nil {
+						t.Fatalf("segments=%d %v %v %s: %v", segments, kws, op, algo, err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("segments=%d %v %v %s diverges:\n got %v\nwant %v", segments, kws, op, algo, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedSaveRefusal is the regression test for the persistence
+// mismatch: Save on a sharded miner must refuse loudly (a single snapshot
+// would silently drop every segment but one), and SaveManifest on a
+// monolithic miner must refuse symmetrically.
+func TestShardedSaveRefusal(t *testing.T) {
+	sh := newShardedTestMiner(t, 3)
+	var buf bytes.Buffer
+	err := sh.Save(&buf)
+	if err == nil {
+		t.Fatal("Save on a sharded miner did not refuse")
+	}
+	if !strings.Contains(err.Error(), "SaveManifest") {
+		t.Fatalf("refusal does not point at SaveManifest: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("refused Save still wrote %d bytes", buf.Len())
+	}
+	if err := sh.SaveFile(filepath.Join(t.TempDir(), "x.snap")); err == nil {
+		t.Fatal("SaveFile on a sharded miner did not refuse")
+	}
+
+	mono := newTestMiner(t)
+	if err := mono.SaveManifest(t.TempDir()); err == nil {
+		t.Fatal("SaveManifest on a monolithic miner did not refuse")
+	}
+
+	// Pending updates also block manifest persistence.
+	sh.Add(Document{Text: "trade reserves statement"})
+	if err := sh.SaveManifest(t.TempDir()); err == nil {
+		t.Fatal("SaveManifest with pending updates did not refuse")
+	}
+}
+
+// TestShardedManifestRoundTrip persists a sharded miner and reopens it
+// (each segment memory-mapped): answers, statistics and config must
+// survive the round trip.
+func TestShardedManifestRoundTrip(t *testing.T) {
+	sh := newShardedTestMiner(t, 3)
+	dir := t.TempDir()
+	if err := sh.SaveManifest(dir); err != nil {
+		t.Fatal(err)
+	}
+	opened, err := OpenShardedMiner(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opened.Close()
+	if opened.Segments() != 3 {
+		t.Fatalf("reopened Segments() = %d, want 3", opened.Segments())
+	}
+	if opened.NumDocuments() != sh.NumDocuments() || opened.NumPhrases() != sh.NumPhrases() {
+		t.Fatalf("reopened shape %d/%d vs %d/%d",
+			opened.NumDocuments(), opened.NumPhrases(), sh.NumDocuments(), sh.NumPhrases())
+	}
+	if cfg := opened.Config(); cfg.MinDocFreq != 3 || cfg.Segments != 3 {
+		t.Fatalf("reopened config %+v", cfg)
+	}
+	st := opened.IndexStats()
+	if !st.Mapped || st.Segments != 3 || st.MappedBytes == 0 {
+		t.Fatalf("reopened stats %+v: want mapped, 3 segments", st)
+	}
+	for _, it := range concurrencyQueries() {
+		want, err := sh.Mine(it.Keywords, it.Op, it.Options)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := opened.Mine(it.Keywords, it.Op, it.Options)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%v %v: reopened miner diverges:\n got %v\nwant %v", it.Keywords, it.Op, got, want)
+		}
+	}
+	// Opening via the manifest file path (not just the directory) works too.
+	byFile, err := OpenShardedMiner(filepath.Join(dir, "manifest.json"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byFile.Close()
+}
+
+// TestShardedUpdatesFlush exercises the write-segment routing: additions
+// and removals are pending until Flush, then the flushed engine matches a
+// monolithic miner built over the same logical corpus.
+func TestShardedUpdatesFlush(t *testing.T) {
+	texts := newsCorpus()
+	sh, err := NewMinerFromTexts(texts, shardedTestConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseDocs := sh.NumDocuments()
+
+	const extra = "trade reserves economic minister trade reserves statement"
+	for i := 0; i < 4; i++ {
+		sh.Add(Document{Text: extra})
+	}
+	if err := sh.Remove(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Remove(baseDocs - 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := sh.PendingUpdates(); got != 6 {
+		t.Fatalf("PendingUpdates = %d, want 6", got)
+	}
+	// Pending updates are not visible before Flush on the sharded engine.
+	if got := sh.NumDocuments(); got != baseDocs {
+		t.Fatalf("NumDocuments before flush = %d, want %d", got, baseDocs)
+	}
+	if err := sh.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sh.PendingUpdates(); got != 0 {
+		t.Fatalf("PendingUpdates after flush = %d", got)
+	}
+	if got := sh.NumDocuments(); got != baseDocs+4-2 {
+		t.Fatalf("NumDocuments after flush = %d, want %d", got, baseDocs+2)
+	}
+
+	// Reference: the same logical corpus, monolithically.
+	ref := append([]string{}, texts[1:len(texts)-1]...)
+	for i := 0; i < 4; i++ {
+		ref = append(ref, extra)
+	}
+	mono, err := NewMinerFromTexts(ref, Config{
+		MinPhraseWords: 1, MaxPhraseWords: 4, MinDocFreq: 3, DropStopwordPhrases: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.NumPhrases() != mono.NumPhrases() {
+		t.Fatalf("|P| after flush: %d vs %d", sh.NumPhrases(), mono.NumPhrases())
+	}
+	for _, op := range []Operator{AND, OR} {
+		want, err := mono.Mine([]string{"trade", "reserves"}, op, QueryOptions{K: 8, Algorithm: AlgoSMJ})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sh.Mine([]string{"trade", "reserves"}, op, QueryOptions{K: 8, Algorithm: AlgoNRA})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%v after flush diverges:\n got %v\nwant %v", op, got, want)
+		}
+	}
+
+	// Double removal of the same doc must error.
+	if err := sh.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Remove(1); err == nil {
+		t.Fatal("double Remove did not error")
+	}
+	// Out-of-range removal must error.
+	if err := sh.Remove(10_000); err == nil {
+		t.Fatal("out-of-range Remove did not error")
+	}
+}
+
+// TestShardedConfigValidation covers the Segments knob's validation and
+// clamping.
+func TestShardedConfigValidation(t *testing.T) {
+	cfg := shardedTestConfig(-1)
+	if _, err := NewMinerFromTexts(newsCorpus(), cfg); err == nil {
+		t.Fatal("negative Segments accepted")
+	}
+	// More segments than documents clamps rather than failing.
+	m, err := NewMinerFromTexts([]string{
+		"trade reserves trade reserves trade reserves",
+		"trade reserves economic minister trade reserves",
+		"economic minister economic minister trade",
+	}, Config{MinDocFreq: 2, Segments: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Segments() != 3 {
+		t.Fatalf("Segments clamped to %d, want 3", m.Segments())
+	}
+}
+
+// TestMineRejectsNaNFraction locks the NaN guard on both engines: NaN
+// slips through ordinary range checks and previously poisoned the
+// fraction-keyed caches.
+func TestMineRejectsNaNFraction(t *testing.T) {
+	nan := math.NaN()
+	for _, m := range []*Miner{newTestMiner(t), newShardedTestMiner(t, 3)} {
+		for _, algo := range []Algorithm{AlgoNRA, AlgoSMJ} {
+			if _, err := m.Mine([]string{"trade"}, OR, QueryOptions{K: 3, Algorithm: algo, ListFraction: nan}); err == nil {
+				t.Errorf("%s accepted NaN ListFraction (segments=%d)", algo, m.Segments())
+			}
+		}
+	}
+}
