@@ -60,7 +60,10 @@ func BenchmarkFig6QualityPubmed(b *testing.B)  { benchmarkQuality(b, experiments
 
 func benchmarkSMJ(b *testing.B, kind experiments.DatasetKind, frac float64, op corpus.Operator) {
 	ds := benchDataset(b, kind)
-	smj := ds.Index.BuildSMJ(frac)
+	smj, err := ds.Index.BuildSMJ(frac)
+	if err != nil {
+		b.Fatal(err)
+	}
 	queries := ds.Queries(op)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -370,7 +373,10 @@ func BenchmarkAblationCheckNew(b *testing.B) {
 // binary-heap variant.
 func BenchmarkAblationMerge(b *testing.B) {
 	ds := benchDataset(b, experiments.Reuters)
-	smj := ds.Index.BuildSMJ(1.0)
+	smj, err := ds.Index.BuildSMJ(1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
 	queries := ds.Queries(corpus.OpOR)
 	for _, heap := range []bool{false, true} {
 		name := "losertree"
@@ -496,7 +502,10 @@ func BenchmarkAblationForwardCompression(b *testing.B) {
 // scoring (Eq. 12) with the second-order truncation of Eq. 11.
 func BenchmarkAblationInclusionExclusion(b *testing.B) {
 	ds := benchDataset(b, experiments.Reuters)
-	smj := ds.Index.BuildSMJ(1.0)
+	smj, err := ds.Index.BuildSMJ(1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
 	queries := ds.Queries(corpus.OpOR)
 	for _, second := range []bool{false, true} {
 		name := "first-order"

@@ -261,15 +261,19 @@ func cmdServe(args []string) error {
 	}
 
 	var (
-		m     *phrasemine.Miner
-		err   error
-		start = time.Now()
+		m      *phrasemine.Miner
+		err    error
+		start  = time.Now()
+		reload func() (*phrasemine.Miner, error)
 	)
 	switch {
 	case *manifest != "":
 		m, err = phrasemine.OpenShardedMiner(*manifest, *workers)
 		if err != nil {
 			return err
+		}
+		reload = func() (*phrasemine.Miner, error) {
+			return phrasemine.OpenShardedMiner(*manifest, *workers)
 		}
 		st := m.IndexStats()
 		fmt.Printf("opened %d-segment manifest %s in %v: %d docs, |P|=%d phrases, %s mapped\n",
@@ -280,6 +284,9 @@ func cmdServe(args []string) error {
 		if err != nil {
 			return err
 		}
+		reload = func() (*phrasemine.Miner, error) {
+			return phrasemine.OpenMinerMapped(*index, *workers)
+		}
 		st := m.IndexStats()
 		fmt.Printf("mapped snapshot %s in %v: %d docs, |P|=%d phrases, %s shared mapping\n",
 			*index, time.Since(start).Round(time.Microsecond), m.NumDocuments(), m.NumPhrases(),
@@ -288,6 +295,9 @@ func cmdServe(args []string) error {
 		m, err = phrasemine.LoadMinerFile(*index, *workers)
 		if err != nil {
 			return err
+		}
+		reload = func() (*phrasemine.Miner, error) {
+			return phrasemine.LoadMinerFile(*index, *workers)
 		}
 		fmt.Printf("loaded snapshot %s in %v: %d docs, |P|=%d phrases\n",
 			*index, time.Since(start).Round(time.Millisecond), m.NumDocuments(), m.NumPhrases())
@@ -302,7 +312,10 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("one of -index, -manifest or -in is required")
 	}
 
-	var handler http.Handler = server.New(m, server.Options{CacheSize: *cache, QueryTimeout: *timeout})
+	// An -in miner has no on-disk generation to reopen; reload stays nil
+	// and POST /reload answers 501.
+	srvr := server.New(m, server.Options{CacheSize: *cache, QueryTimeout: *timeout, Reload: reload})
+	var handler http.Handler = srvr
 	if *pprofOn {
 		// Profiling is an opt-in flag, not a build variant, so production
 		// profiles can be captured without a rebuild.
@@ -317,6 +330,23 @@ func cmdServe(args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if reload != nil {
+		// SIGHUP hot-reloads the on-disk generation, the conventional
+		// "re-read your config" signal: swap in the fresh snapshot/manifest
+		// and retire the old mapping once its queries drain.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for range hup {
+				if err := srvr.Reload(); err != nil {
+					fmt.Fprintf(os.Stderr, "reload: %v\n", err)
+					continue
+				}
+				fmt.Println("reloaded index generation")
+			}
+		}()
+	}
 	errc := make(chan error, 1)
 	go func() {
 		fmt.Printf("serving on %s (cache=%d, timeout=%v)\n", *addr, *cache, *timeout)
@@ -338,8 +368,10 @@ func cmdServe(args []string) error {
 	}
 	// In-flight queries have drained (Shutdown waited for them); release
 	// the snapshot mapping before exit so -mmap serves unmap cleanly on
-	// SIGINT/SIGTERM rather than relying on process teardown.
-	if err := m.Close(); err != nil {
+	// SIGINT/SIGTERM rather than relying on process teardown. Close the
+	// server's current miner, not the one opened above — a reload may have
+	// swapped generations (each swap closes its predecessor).
+	if err := srvr.Miner().Close(); err != nil {
 		return err
 	}
 	fmt.Println("closed index")
@@ -490,7 +522,12 @@ func queryInMemory(path string, q corpus.Query, k int, algo string, frac float64
 	case "nra":
 		results, _, err = ix.QueryNRA(q, topk.NRAOptions{K: k, Fraction: frac})
 	case "smj":
-		results, _, err = ix.QuerySMJ(ix.BuildSMJ(frac), q, topk.SMJOptions{K: k})
+		var smj *core.SMJIndex
+		smj, err = ix.BuildSMJ(frac)
+		if err != nil {
+			return err
+		}
+		results, _, err = ix.QuerySMJ(smj, q, topk.SMJOptions{K: k})
 	case "gm", "exact":
 		return queryBaseline(ix, q, k, algo)
 	default:

@@ -143,7 +143,7 @@ func TestBuildIndexEndToEnd(t *testing.T) {
 	if ix.NumPhrases() == 0 {
 		t.Fatal("no phrases")
 	}
-	if _, ok := ix.Dict.ID("economic minister"); !ok {
+	if _, ok, err := ix.Dict.ID("economic minister"); err != nil || !ok {
 		t.Fatal("expected phrase missing")
 	}
 }

@@ -28,11 +28,18 @@ func main() {
 	extractor := textproc.ExtractorOptions{
 		MinWords: 1, MaxWords: 6, MinDocFreq: 3, DropAllStopwordPhrases: true,
 	}
-	stats, err := textproc.Extract(c.TokenSlices(), extractor)
+	tokens, err := c.TokenSlices()
 	if err != nil {
 		log.Fatal(err)
 	}
-	wordIx := corpus.BuildInverted(c)
+	stats, err := textproc.Extract(tokens, extractor)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wordIx, err := corpus.BuildInverted(c)
+	if err != nil {
+		log.Fatal(err)
+	}
 	queries, err := synth.HarvestQueries(stats, synth.QuerySpec{
 		Quotas:     []synth.LengthQuota{{Words: 2, Count: 10}, {Words: 3, Count: 5}},
 		MinDocFreq: 3,
@@ -56,7 +63,10 @@ func main() {
 	fmt.Println("partial-list sweep (AND queries, k=5):")
 	fmt.Printf("%-8s %-14s %-14s %-10s\n", "lists", "mean latency", "overlap@5", "entries")
 	for _, frac := range []float64{0.1, 0.2, 0.5, 1.0} {
-		smj := ix.BuildSMJ(frac)
+		smj, err := ix.BuildSMJ(frac)
+		if err != nil {
+			log.Fatal(err)
+		}
 		var totalDur time.Duration
 		var overlap, total, entries int
 		for _, words := range queries {
@@ -88,7 +98,11 @@ func main() {
 
 	// Show one query's actual phrases next to ground truth.
 	q := corpus.NewQuery(corpus.OpAND, queries[0]...)
-	res, _, err := ix.QuerySMJ(ix.BuildSMJ(0.2), q, topk.SMJOptions{K: 5})
+	smj20, err := ix.BuildSMJ(0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, _, err := ix.QuerySMJ(smj20, q, topk.SMJOptions{K: 5})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -35,7 +35,7 @@ func makeFixture(rng *rand.Rand, numDocs, vocab, numPhrases int) *fixture {
 	}
 	f := &fixture{
 		corpus:     c,
-		inverted:   corpus.BuildInverted(c),
+		inverted:   mustInverted(c),
 		phraseDocs: make([][]corpus.DocID, numPhrases),
 		forward:    make([][]phrasedict.PhraseID, numDocs),
 		phraseDF:   make([]uint32, numPhrases),
@@ -131,7 +131,7 @@ func TestGMKnownCorpus(t *testing.T) {
 	c.Add(corpus.Document{Tokens: []string{"trade", "pact"}})   // 1
 	c.Add(corpus.Document{Tokens: []string{"trade"}})           // 2
 	c.Add(corpus.Document{Tokens: []string{"farm", "exports"}}) // 3
-	ix := corpus.BuildInverted(c)
+	ix := mustInverted(c)
 	forward := [][]phrasedict.PhraseID{{0, 1}, {0, 1}, {1}, {1, 2}}
 	df := []uint32{2, 4, 1}
 	g, err := NewGM(ix, forward, df)
@@ -195,7 +195,7 @@ func TestGMValidation(t *testing.T) {
 	}
 	c := corpus.New()
 	c.Add(corpus.Document{Tokens: []string{"a"}})
-	ix := corpus.BuildInverted(c)
+	ix := mustInverted(c)
 	if _, err := NewGM(ix, nil, nil); err == nil {
 		t.Fatal("mismatched forward index should error")
 	}
@@ -286,7 +286,7 @@ func TestSimitsisPhase1PrefersFrequent(t *testing.T) {
 	}
 	c.Add(corpus.Document{Tokens: []string{"common", "rare"}}) // doc 10
 	c.Add(corpus.Document{Tokens: []string{"other"}})          // doc 11, outside D'(common)
-	ix := corpus.BuildInverted(c)
+	ix := mustInverted(c)
 	// Phrases 0..2: df 11 = docs 0..9 plus doc 11, so their intersection
 	// with D'(common) is 10 and their interestingness 10/11 < 1.
 	// Phrase 3: df 1 (only doc 10), interestingness 1.0.
@@ -340,7 +340,7 @@ func TestSimitsisValidation(t *testing.T) {
 	}
 	c := corpus.New()
 	c.Add(corpus.Document{Tokens: []string{"a"}})
-	ix := corpus.BuildInverted(c)
+	ix := mustInverted(c)
 	if _, err := NewSimitsis(ix, nil, 0); err == nil {
 		t.Fatal("poolMultiple=0 should error")
 	}

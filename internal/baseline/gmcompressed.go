@@ -65,7 +65,11 @@ func NewGMCompressed(inverted *corpus.Inverted, forward [][]phrasedict.PhraseID,
 		g.parent[p] = -1
 		words := textproc.SplitPhrase(dict.MustPhrase(phrasedict.PhraseID(p)))
 		for n := len(words) - 1; n >= 1; n-- {
-			if id, ok := dict.ID(textproc.JoinPhrase(words[:n])); ok {
+			id, ok, err := dict.ID(textproc.JoinPhrase(words[:n]))
+			if err != nil {
+				return nil, err
+			}
+			if ok {
 				g.parent[p] = int32(id)
 				break
 			}

@@ -21,7 +21,7 @@ func prefixFixture(t *testing.T) (*corpus.Corpus, *corpus.Inverted, [][]phrasedi
 	add("a", "b", "d") // doc 1: a, a b
 	add("a", "x")      // doc 2: a, x
 	add("x", "y")      // doc 3: x
-	ix := corpus.BuildInverted(c)
+	ix := mustInverted(c)
 	dict, err := phrasedict.Build([]string{"a", "a b", "a b c", "x"}, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -149,7 +149,7 @@ func prefixClosedFixture(rng *rand.Rand, numDocs int) (*corpus.Corpus, *corpus.I
 			}
 		}
 	}
-	return c, corpus.BuildInverted(c), forward, df, dict, nil
+	return c, mustInverted(c), forward, df, dict, nil
 }
 
 func TestGMCompressedMatchesGMRandomized(t *testing.T) {

@@ -1,0 +1,13 @@
+package baseline
+
+import "phrasemine/internal/corpus"
+
+// mustInverted builds a feature index over a heap-resident test corpus,
+// where decode errors are impossible.
+func mustInverted(c *corpus.Corpus) *corpus.Inverted {
+	ix, err := corpus.BuildInverted(c)
+	if err != nil {
+		panic(err)
+	}
+	return ix
+}

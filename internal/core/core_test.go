@@ -100,7 +100,7 @@ func TestBuildStructuralInvariants(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		id, ok := ix.Dict.ID(text)
+		id, ok := mustID(ix.Dict, text)
 		if !ok || id != phrasedict.PhraseID(p) {
 			t.Fatalf("dict round trip failed for %d (%q)", p, text)
 		}
@@ -122,7 +122,11 @@ func TestListsMatchEq13(t *testing.T) {
 	// word.
 	q := someQuery(t, ix, corpus.OpOR, 1)
 	word := q.Features[0]
-	wordDocs := corpus.BitmapFromList(ix.Inverted.Docs(word), ix.Corpus.Len())
+	wordList, err := ix.Inverted.Docs(word)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wordDocs := corpus.BitmapFromList(wordList, ix.Corpus.Len())
 	list := ix.Lists[word]
 	if len(list) == 0 {
 		t.Fatalf("no list for %q", word)
@@ -138,7 +142,7 @@ func TestListsMatchEq13(t *testing.T) {
 
 func TestNRAvsSMJvsFullAggregation(t *testing.T) {
 	ix := getIndex(t)
-	smjFull := ix.BuildSMJ(1.0)
+	smjFull := mustSMJ(ix, 1.0)
 	for _, op := range []corpus.Operator{corpus.OpAND, corpus.OpOR} {
 		for _, n := range []int{2, 3} {
 			q := someQuery(t, ix, op, n)
@@ -267,7 +271,7 @@ func TestDiskIndexAgreesWithMemory(t *testing.T) {
 func TestDiskIndexRejectsIDOrdering(t *testing.T) {
 	ix := getIndex(t)
 	var buf bytes.Buffer
-	smj := ix.BuildSMJ(0.5)
+	smj := mustSMJ(ix, 0.5)
 	if _, err := plist.WriteIDIndex(&buf, smj.Lists); err != nil {
 		t.Fatal(err)
 	}

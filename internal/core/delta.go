@@ -38,18 +38,18 @@ type featurePhrase struct {
 
 // NewDelta starts an empty delta over the index. On a mapped index this
 // materializes the phrase-doc and forward sections (delta corrections need
-// them); a corrupt mapped snapshot panics here rather than admitting
-// updates it cannot score.
-func (ix *Index) NewDelta() *Delta {
+// them); a corrupt mapped snapshot surfaces here as an error rather than
+// admitting updates it cannot score.
+func (ix *Index) NewDelta() (*Delta, error) {
 	if err := ix.materializeDocs(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	return &Delta{
 		ix:      ix,
 		removed: make(map[corpus.DocID]bool),
 		dDF:     make(map[phrasedict.PhraseID]int),
 		dCo:     make(map[featurePhrase]int),
-	}
+	}, nil
 }
 
 // Size reports the number of pending document updates (inserts + deletes),
@@ -60,7 +60,7 @@ func (d *Delta) Size() int {
 
 // docPhrases finds the distinct dictionary phrases present in a token
 // stream by scanning its n-grams against the phrase dictionary.
-func (d *Delta) docPhrases(tokens []string) []phrasedict.PhraseID {
+func (d *Delta) docPhrases(tokens []string) ([]phrasedict.PhraseID, error) {
 	maxWords := d.ix.opts.Extractor.MaxWords
 	if maxWords <= 0 {
 		maxWords = 6
@@ -72,7 +72,11 @@ func (d *Delta) docPhrases(tokens []string) []phrasedict.PhraseID {
 			if crossesBreak(window) {
 				continue
 			}
-			if id, ok := d.ix.Dict.ID(textproc.JoinPhrase(window)); ok {
+			id, ok, err := d.ix.Dict.ID(textproc.JoinPhrase(window))
+			if err != nil {
+				return nil, err
+			}
+			if ok {
 				seen[id] = struct{}{}
 			}
 		}
@@ -81,7 +85,7 @@ func (d *Delta) docPhrases(tokens []string) []phrasedict.PhraseID {
 	for id := range seen {
 		out = append(out, id)
 	}
-	return out
+	return out, nil
 }
 
 func crossesBreak(window []string) bool {
@@ -119,9 +123,14 @@ func (d *Delta) apply(doc corpus.Document, phrases []phrasedict.PhraseID, sign i
 }
 
 // AddDocument registers an inserted document.
-func (d *Delta) AddDocument(doc corpus.Document) {
+func (d *Delta) AddDocument(doc corpus.Document) error {
+	phrases, err := d.docPhrases(doc.Tokens)
+	if err != nil {
+		return err
+	}
 	d.added = append(d.added, doc)
-	d.apply(doc, d.docPhrases(doc.Tokens), +1)
+	d.apply(doc, phrases, +1)
+	return nil
 }
 
 // RemoveDocument registers the deletion of a base-corpus document.
@@ -132,8 +141,11 @@ func (d *Delta) RemoveDocument(id corpus.DocID) error {
 	if d.removed[id] {
 		return fmt.Errorf("core: document %d already removed", id)
 	}
+	doc, err := d.ix.Corpus.Doc(id)
+	if err != nil {
+		return err
+	}
 	d.removed[id] = true
-	doc := d.ix.Corpus.MustDoc(id)
 	d.apply(doc, d.ix.Forward[id], -1)
 	return nil
 }
@@ -164,9 +176,12 @@ func (d *Delta) AdjustedProb(feature string, p phrasedict.PhraseID, stored float
 // list, which omits zero probabilities) but whose pending updates give them
 // a positive adjusted probability. This realizes the paper's "additional
 // query ... on the separate index" for pairs the stored lists cannot serve.
-func (d *Delta) extras(feature string) []plist.Entry {
+func (d *Delta) extras(feature string) ([]plist.Entry, error) {
 	var out []plist.Entry
-	featureDocs := d.ix.Inverted.Docs(feature)
+	featureDocs, err := d.ix.Inverted.Docs(feature)
+	if err != nil {
+		return nil, err
+	}
 	for key, dco := range d.dCo {
 		if key.feature != feature || dco <= 0 {
 			continue
@@ -178,7 +193,7 @@ func (d *Delta) extras(feature string) []plist.Entry {
 			out = append(out, plist.Entry{Phrase: key.phrase, Prob: prob})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // adjustedCursor rewrites cursor probabilities through the delta. Entries
@@ -289,7 +304,11 @@ func (d *Delta) QueryNRA(q corpus.Query, opt topk.NRAOptions) ([]topk.Result, to
 			errs[i] = err
 			return
 		}
-		extras := d.extras(f)
+		extras, err := d.extras(f)
+		if err != nil {
+			errs[i] = err
+			return
+		}
 		sort.Slice(extras, func(a, b int) bool {
 			if extras[a].Prob != extras[b].Prob {
 				return extras[a].Prob > extras[b].Prob
@@ -327,7 +346,11 @@ func (d *Delta) QuerySMJ(s *SMJIndex, q corpus.Query, opt topk.SMJOptions) ([]to
 			errs[i] = err
 			return
 		}
-		extras := d.extras(f)
+		extras, err := d.extras(f)
+		if err != nil {
+			errs[i] = err
+			return
+		}
 		sort.Slice(extras, func(a, b int) bool { return extras[a].Phrase < extras[b].Phrase })
 		cursors[i] = &mergeByIDCursor{
 			inner:  &adjustedCursor{inner: inner, delta: d, feature: f},
@@ -352,10 +375,18 @@ func (d *Delta) Flush() (*Index, error) {
 		if d.removed[id] {
 			continue
 		}
-		merged.Add(d.ix.Corpus.MustDoc(id))
+		doc, err := d.ix.Corpus.Doc(id)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := merged.Add(doc); err != nil {
+			return nil, err
+		}
 	}
 	for _, doc := range d.added {
-		merged.Add(doc)
+		if _, err := merged.Add(doc); err != nil {
+			return nil, err
+		}
 	}
 	return Build(merged, d.ix.opts)
 }

@@ -38,9 +38,9 @@ func deltaFixture(t *testing.T) *Index {
 
 func TestDeltaAddDocumentAdjustsProbabilities(t *testing.T) {
 	ix := deltaFixture(t)
-	d := ix.NewDelta()
+	d := mustDelta(ix)
 
-	abID, ok := ix.Dict.ID("alpha beta")
+	abID, ok := mustID(ix.Dict, "alpha beta")
 	if !ok {
 		t.Fatal("bigram missing from dictionary")
 	}
@@ -63,8 +63,8 @@ func TestDeltaAddDocumentAdjustsProbabilities(t *testing.T) {
 
 func TestDeltaRemoveDocumentAdjustsProbabilities(t *testing.T) {
 	ix := deltaFixture(t)
-	d := ix.NewDelta()
-	abID, _ := ix.Dict.ID("alpha beta")
+	d := mustDelta(ix)
+	abID, _ := mustID(ix.Dict, "alpha beta")
 
 	// Remove doc 0 (contains alpha beta and gamma):
 	// df(alpha beta) 2->1, co(gamma, alpha beta) 1->0 => 0.
@@ -82,7 +82,7 @@ func TestDeltaRemoveDocumentAdjustsProbabilities(t *testing.T) {
 
 func TestDeltaRemoveValidation(t *testing.T) {
 	ix := deltaFixture(t)
-	d := ix.NewDelta()
+	d := mustDelta(ix)
 	if err := d.RemoveDocument(99); err == nil {
 		t.Fatal("out-of-range removal should error")
 	}
@@ -96,7 +96,7 @@ func TestDeltaRemoveValidation(t *testing.T) {
 
 func TestDeltaQueriesMatchFlushedIndex(t *testing.T) {
 	ix := deltaFixture(t)
-	d := ix.NewDelta()
+	d := mustDelta(ix)
 	// A few updates that only touch existing phrases.
 	d.AddDocument(corpus.Document{Tokens: []string{"alpha", "beta", "gamma"}})
 	d.AddDocument(corpus.Document{Tokens: []string{"beta", "gamma"}})
@@ -117,18 +117,18 @@ func TestDeltaQueriesMatchFlushedIndex(t *testing.T) {
 	const bigK = 100
 	for _, op := range []corpus.Operator{corpus.OpAND, corpus.OpOR} {
 		q := corpus.NewQuery(op, "alpha", "beta")
-		adjusted, _, err := d.QuerySMJ(ix.BuildSMJ(1.0), q, topk.SMJOptions{K: bigK})
+		adjusted, _, err := d.QuerySMJ(mustSMJ(ix, 1.0), q, topk.SMJOptions{K: bigK})
 		if err != nil {
 			t.Fatal(err)
 		}
-		fresh, _, err := flushed.QuerySMJ(flushed.BuildSMJ(1.0), q, topk.SMJOptions{K: bigK})
+		fresh, _, err := flushed.QuerySMJ(mustSMJ(flushed, 1.0), q, topk.SMJOptions{K: bigK})
 		if err != nil {
 			t.Fatal(err)
 		}
 		adjScores := scoreMap(t, ix, adjusted)
 		freshScores := scoreMap(t, flushed, fresh)
 		for text := range freshScores {
-			if _, ok := ix.Dict.ID(text); !ok {
+			if _, ok := mustID(ix.Dict, text); !ok {
 				delete(freshScores, text) // phrase minted at flush
 			}
 		}
@@ -162,7 +162,7 @@ func scoreMap(t *testing.T, ix *Index, rs []topk.Result) map[string]float64 {
 
 func TestDeltaFlushIncorporatesNewDocuments(t *testing.T) {
 	ix := deltaFixture(t)
-	d := ix.NewDelta()
+	d := mustDelta(ix)
 	// Add enough new docs to mint a brand-new phrase "zeta eta".
 	for i := 0; i < 3; i++ {
 		d.AddDocument(corpus.Document{Tokens: []string{"zeta", "eta"}})
@@ -174,19 +174,19 @@ func TestDeltaFlushIncorporatesNewDocuments(t *testing.T) {
 	if flushed.Corpus.Len() != ix.Corpus.Len()+3 {
 		t.Fatalf("flushed corpus has %d docs", flushed.Corpus.Len())
 	}
-	if _, ok := flushed.Dict.ID("zeta eta"); !ok {
+	if _, ok := mustID(flushed.Dict, "zeta eta"); !ok {
 		t.Fatal("flush did not mint the new phrase")
 	}
 	// The delta itself cannot see the new phrase (paper semantics).
-	if _, ok := ix.Dict.ID("zeta eta"); ok {
+	if _, ok := mustID(ix.Dict, "zeta eta"); ok {
 		t.Fatal("base dictionary mutated")
 	}
 }
 
 func TestDeltaProbClamping(t *testing.T) {
 	ix := deltaFixture(t)
-	d := ix.NewDelta()
-	abID, _ := ix.Dict.ID("alpha beta")
+	d := mustDelta(ix)
+	abID, _ := mustID(ix.Dict, "alpha beta")
 	// Remove both docs containing the bigram: df -> 0.
 	if err := d.RemoveDocument(0); err != nil {
 		t.Fatal(err)

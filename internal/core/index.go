@@ -14,6 +14,7 @@ import (
 
 	"phrasemine/internal/baseline"
 	"phrasemine/internal/corpus"
+	"phrasemine/internal/diskio"
 	"phrasemine/internal/parallel"
 	"phrasemine/internal/phrasedict"
 	"phrasemine/internal/plist"
@@ -130,7 +131,11 @@ func Build(c *corpus.Corpus, opt BuildOptions) (*Index, error) {
 		extractor.Workers = workers
 		extractor.Shards = opt.Shards
 	}
-	stats, err := textproc.Extract(c.TokenSlices(), extractor)
+	tokens, err := c.TokenSlices()
+	if err != nil {
+		return nil, err
+	}
+	stats, err := textproc.Extract(tokens, extractor)
 	if err != nil {
 		return nil, fmt.Errorf("core: phrase extraction: %w", err)
 	}
@@ -187,7 +192,10 @@ func BuildFromStats(c *corpus.Corpus, stats []textproc.PhraseStats, opt BuildOpt
 		}
 	})
 	ix.buildForward(workers)
-	ix.Inverted = corpus.BuildInvertedParallel(c, workers)
+	ix.Inverted, err = corpus.BuildInvertedParallel(c, workers)
+	if err != nil {
+		return nil, err
+	}
 
 	src := &plist.Source{
 		Inverted:      ix.Inverted,
@@ -237,17 +245,17 @@ func (ix *Index) materializeDocs() error {
 	}
 	phraseDocs, err := decodeIDLists(ix.lazyPD, uint64(ix.Corpus.Len()))
 	if err != nil {
-		return fmt.Errorf("core: phrase-doc section: %w", err)
+		return diskio.Corruptf("core: phrase-doc section: %v", err)
 	}
 	fwdAsDocs, err := decodeIDLists(ix.lazyFwd, uint64(ix.Dict.Len()))
 	if err != nil {
-		return fmt.Errorf("core: forward section: %w", err)
+		return diskio.Corruptf("core: forward section: %v", err)
 	}
 	if len(phraseDocs) != ix.Dict.Len() {
-		return fmt.Errorf("core: snapshot inconsistent: %d phrase-doc lists, dictionary has %d phrases", len(phraseDocs), ix.Dict.Len())
+		return diskio.Corruptf("core: snapshot inconsistent: %d phrase-doc lists, dictionary has %d phrases", len(phraseDocs), ix.Dict.Len())
 	}
 	if len(fwdAsDocs) != ix.Corpus.Len() {
-		return fmt.Errorf("core: snapshot inconsistent: forward index covers %d docs, corpus has %d", len(fwdAsDocs), ix.Corpus.Len())
+		return diskio.Corruptf("core: snapshot inconsistent: forward index covers %d docs, corpus has %d", len(fwdAsDocs), ix.Corpus.Len())
 	}
 	ix.PhraseDocs = phraseDocs
 	ix.PhraseDF = make([]uint32, len(phraseDocs))

@@ -82,8 +82,8 @@ func TestOpenSnapshotFileAnswersIdentically(t *testing.T) {
 			mapped.Corpus.Len(), mapped.NumPhrases(), ix.Corpus.Len(), ix.NumPhrases())
 	}
 
-	smjBase := ix.BuildSMJ(0.5)
-	smjMapped := mapped.BuildSMJ(0.5)
+	smjBase := mustSMJ(ix, 0.5)
+	smjMapped := mustSMJ(mapped, 0.5)
 	for _, q := range queryWorkload(ix) {
 		for _, frac := range []float64{1.0, 0.4} {
 			a, _, err := ix.QueryNRA(q, topk.NRAOptions{K: 5, Fraction: frac})
@@ -186,8 +186,8 @@ func TestCompressedBuildAnswersIdentically(t *testing.T) {
 	if !packed.Compressed() || packed.Lists != nil {
 		t.Fatal("compressed build kept raw lists")
 	}
-	smjA := plain.BuildSMJ(0.3)
-	smjB := packed.BuildSMJ(0.3)
+	smjA := mustSMJ(plain, 0.3)
+	smjB := mustSMJ(packed, 0.3)
 	for _, q := range queryWorkload(plain) {
 		a, _, err := plain.QueryNRA(q, topk.NRAOptions{K: 5})
 		if err != nil {
@@ -222,8 +222,8 @@ func TestMappedIndexSupportsDeltaAndFlush(t *testing.T) {
 	feats := ix.Inverted.TopFeaturesByDocFreq(2)
 	q := corpus.NewQuery(corpus.OpOR, feats...)
 
-	dA := ix.NewDelta()
-	dB := mapped.NewDelta() // materializes the lazy sections
+	dA := mustDelta(ix)
+	dB := mustDelta(mapped) // materializes the lazy sections
 	doc := ix.Corpus.MustDoc(0)
 	dA.AddDocument(doc)
 	dB.AddDocument(doc)

@@ -157,26 +157,26 @@ type SMJIndex struct {
 // once here (a construction-time cost, like the sort itself) and the
 // resulting ID-ordered lists are re-compressed, so the SMJ index inherits
 // the compact layout.
-func (ix *Index) BuildSMJ(fraction float64) *SMJIndex {
+func (ix *Index) BuildSMJ(fraction float64) (*SMJIndex, error) {
 	if ix.Blocks != nil {
+		// A block set that passed open-time validation only fails decode
+		// on corruption; queries against the SMJ index would surface the
+		// same corruption, so classify it here.
 		lists, err := ix.Blocks.DecodeAllScoreLists()
 		if err != nil {
-			// A block set that passed open-time validation only fails
-			// decode on corruption; queries against the SMJ index will
-			// surface the same corruption, so fail loudly here.
-			panic(fmt.Sprintf("core: decoding compressed lists for SMJ build: %v", err))
+			return nil, diskio.Corruptf("core: decoding compressed lists for SMJ build: %v", err)
 		}
 		idLists := plist.ToIDOrderedAllParallel(plist.TruncateAll(lists, fraction), ix.workers)
 		blocks, err := plist.BuildIDBlockSet(idLists)
 		if err != nil {
-			panic(fmt.Sprintf("core: compressing SMJ lists: %v", err))
+			return nil, diskio.Corruptf("core: compressing SMJ lists: %v", err)
 		}
-		return &SMJIndex{Fraction: fraction, Blocks: blocks}
+		return &SMJIndex{Fraction: fraction, Blocks: blocks}, nil
 	}
 	return &SMJIndex{
 		Fraction: fraction,
 		Lists:    plist.ToIDOrderedAllParallel(plist.TruncateAll(ix.Lists, fraction), ix.workers),
-	}
+	}, nil
 }
 
 // featureScoreCursor returns a fresh cursor over the feature's full

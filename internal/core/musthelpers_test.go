@@ -1,0 +1,33 @@
+package core
+
+import (
+	"phrasemine/internal/phrasedict"
+)
+
+// Helpers bridging the error-returning decode API for tests built over
+// heap-resident fixtures, where decode errors mean the fixture itself is
+// broken and warrant a panic.
+
+func mustSMJ(ix *Index, frac float64) *SMJIndex {
+	s, err := ix.BuildSMJ(frac)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func mustDelta(ix *Index) *Delta {
+	d, err := ix.NewDelta()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func mustID(d *phrasedict.Dict, phrase string) (phrasedict.PhraseID, bool) {
+	id, ok, err := d.ID(phrase)
+	if err != nil {
+		panic(err)
+	}
+	return id, ok
+}

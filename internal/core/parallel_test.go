@@ -82,7 +82,15 @@ func TestParallelBuildByteIdentical(t *testing.T) {
 			t.Errorf("workers=%d: Forward index diverges", tc.workers)
 		}
 		for _, f := range seq.Inverted.Features() {
-			if !reflect.DeepEqual(seq.Inverted.Docs(f), par.Inverted.Docs(f)) {
+			seqDocs, err := seq.Inverted.Docs(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parDocs, err := par.Inverted.Docs(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seqDocs, parDocs) {
 				t.Fatalf("workers=%d: inverted postings diverge for %q", tc.workers, f)
 			}
 		}
@@ -112,7 +120,7 @@ func TestParallelBuildIdenticalQueryResults(t *testing.T) {
 		t.Fatal("no queries harvested")
 	}
 
-	smjSeq, smjPar := seq.BuildSMJ(0.5), par.BuildSMJ(0.5)
+	smjSeq, smjPar := mustSMJ(seq, 0.5), mustSMJ(par, 0.5)
 	if !reflect.DeepEqual(smjSeq.Lists, smjPar.Lists) {
 		t.Error("SMJ index (fraction 0.5) diverges between sequential and parallel builds")
 	}

@@ -169,7 +169,11 @@ func BuildSharded(c *corpus.Corpus, opt BuildOptions, segments int) (*ShardedInd
 	}
 	sx.segs = make([]*segment, len(ranges))
 	for i, r := range ranges {
-		sx.segs[i] = &segment{c: c.Slice(r.Lo, r.Hi)}
+		sc, err := c.Slice(r.Lo, r.Hi)
+		if err != nil {
+			return nil, err
+		}
+		sx.segs[i] = &segment{c: sc}
 	}
 
 	// Pass 1 (parallel over segments): extract each segment's phrases at
@@ -230,7 +234,11 @@ func extractSegment(c *corpus.Corpus, opt BuildOptions, workers int) ([]textproc
 	ext.MinDocFreq = 1
 	ext.Workers = workers
 	ext.Shards = 0
-	return textproc.Extract(c.TokenSlices(), ext)
+	tokens, err := c.TokenSlices()
+	if err != nil {
+		return nil, err
+	}
+	return textproc.Extract(tokens, ext)
 }
 
 // tallyOf condenses extraction stats into the phrase -> document-frequency
@@ -350,7 +358,10 @@ func (sx *ShardedIndex) buildSegment(i int, stats []textproc.PhraseStats, opt Bu
 	filtered := make([]textproc.PhraseStats, 0, len(stats))
 	l2g := make([]phrasedict.PhraseID, 0, len(stats))
 	for _, s := range stats {
-		g, ok := sx.dict.ID(s.Phrase)
+		g, ok, err := sx.dict.ID(s.Phrase)
+		if err != nil {
+			return err
+		}
 		if !ok {
 			continue
 		}
@@ -476,10 +487,12 @@ func (sx *ShardedIndex) fanOut(n int, fn func(i int)) {
 
 // smjSlot lazily holds one segment's ID-ordered list index at one
 // fraction; the Once lets concurrent queries build different slots in
-// parallel.
+// parallel. A build failure (corrupt compressed lists) is cached in err,
+// so every query against the slot observes the same outcome.
 type smjSlot struct {
 	once sync.Once
 	smj  *SMJIndex
+	err  error
 }
 
 // globSlot lazily holds one feature's per-segment globalized score lists.
@@ -491,7 +504,7 @@ type globSlot struct {
 
 // segSMJ returns segment i's cached ID-ordered list index at a fraction,
 // building it on first use (outside the cache mutex).
-func (sx *ShardedIndex) segSMJ(i int, frac float64) *SMJIndex {
+func (sx *ShardedIndex) segSMJ(i int, frac float64) (*SMJIndex, error) {
 	sx.smjMu.Lock()
 	row, ok := sx.smjCache[frac]
 	if !ok {
@@ -504,9 +517,9 @@ func (sx *ShardedIndex) segSMJ(i int, frac float64) *SMJIndex {
 	slot := row[i]
 	sx.smjMu.Unlock()
 	slot.once.Do(func() {
-		slot.smj = sx.segs[i].ix.BuildSMJ(frac)
+		slot.smj, slot.err = sx.segs[i].ix.BuildSMJ(frac)
 	})
-	return slot.smj
+	return slot.smj, slot.err
 }
 
 // SelectCount reports |D'| for the query, summed over segments. Segments
@@ -686,7 +699,10 @@ func (sx *ShardedIndex) scanSegment(i int, q corpus.Query, frac float64, out *to
 	if ix.Dict.Len() == 0 {
 		return nil // segment holds none of the universe phrases
 	}
-	smj := sx.segSMJ(i, frac)
+	smj, err := sx.segSMJ(i, frac)
+	if err != nil {
+		return err
+	}
 	pool := ix.ScratchPool()
 	s := pool.Get()
 	defer pool.Put(s)
@@ -992,7 +1008,10 @@ func (sx *ShardedIndex) completeSegment(i int, q corpus.Query, cands []phrasedic
 		return out, nil
 	}
 	out.Counts = make([]uint32, len(globals)*r)
-	smj := sx.segSMJ(i, 1.0)
+	smj, err := sx.segSMJ(i, 1.0)
+	if err != nil {
+		return out, err
+	}
 	for fi, f := range q.Features {
 		if smj.Blocks != nil {
 			l, err := smj.Blocks.List(f)
@@ -1214,11 +1233,19 @@ func (sx *ShardedIndex) Flush() error {
 			if removed[s] != nil && removed[s][corpus.DocID(i)] {
 				continue
 			}
-			nc.Add(old.MustDoc(corpus.DocID(i)))
+			doc, err := old.Doc(corpus.DocID(i))
+			if err != nil {
+				return err
+			}
+			if _, err := nc.Add(doc); err != nil {
+				return err
+			}
 		}
 		if s == writeSeg {
 			for _, d := range sx.pendingAdd {
-				nc.Add(d)
+				if _, err := nc.Add(d); err != nil {
+					return err
+				}
 			}
 		}
 		if nc.Len() == 0 {
@@ -1335,7 +1362,10 @@ func (sx *ShardedIndex) Flush() error {
 		seg := sx.segs[s]
 		l2g := make([]phrasedict.PhraseID, seg.ix.Dict.Len())
 		for local := 0; local < seg.ix.Dict.Len(); local++ {
-			g, ok := sx.dict.ID(seg.ix.Dict.MustPhrase(phrasedict.PhraseID(local)))
+			g, ok, err := sx.dict.ID(seg.ix.Dict.MustPhrase(phrasedict.PhraseID(local)))
+			if err != nil {
+				return sx.failFlush(err)
+			}
 			if !ok {
 				return sx.failFlush(fmt.Errorf("core: segment %d phrase %q vanished from the universe without a rebuild", s, seg.ix.Dict.MustPhrase(phrasedict.PhraseID(local))))
 			}

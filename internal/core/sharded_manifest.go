@@ -63,6 +63,14 @@ func (sx *ShardedIndex) SaveSegments(dir string) (diskio.Manifest, error) {
 			errs[i] = err
 			return
 		}
+		// Flush the segment to stable storage before the rename below makes
+		// it visible: a power cut after rename must not leave a manifest
+		// pointing at a segment whose bytes never hit the disk.
+		if err := f.Sync(); err != nil {
+			f.Close()
+			errs[i] = err
+			return
+		}
 		if err := f.Close(); err != nil {
 			errs[i] = err
 			return
@@ -80,6 +88,11 @@ func (sx *ShardedIndex) SaveSegments(dir string) (diskio.Manifest, error) {
 		if err := os.Rename(filepath.Join(dir, name+".tmp"), filepath.Join(dir, name)); err != nil {
 			return diskio.Manifest{}, err
 		}
+	}
+	// Persist the renames themselves (the directory entries) so the segment
+	// files survive a crash immediately after SaveSegments returns.
+	if err := diskio.SyncDir(dir); err != nil {
+		return diskio.Manifest{}, err
 	}
 	return man, nil
 }
@@ -208,7 +221,10 @@ func (sx *ShardedIndex) mergeSegmentDicts() error {
 	for si, seg := range sx.segs {
 		l2g := make([]phrasedict.PhraseID, seg.ix.Dict.Len())
 		for i := 0; i < seg.ix.Dict.Len(); i++ {
-			g, ok := dict.ID(seg.ix.Dict.MustPhrase(phrasedict.PhraseID(i)))
+			g, ok, err := dict.ID(seg.ix.Dict.MustPhrase(phrasedict.PhraseID(i)))
+			if err != nil {
+				return err
+			}
 			if !ok {
 				return fmt.Errorf("core: segment %d phrase missing from merged dictionary", si)
 			}

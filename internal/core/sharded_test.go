@@ -34,7 +34,7 @@ func TestShardedSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	smj := mono.BuildSMJ(1.0)
+	smj := mustSMJ(mono, 1.0)
 	for _, nseg := range []int{1, 2, 4, 7} {
 		sx, err := BuildSharded(c, opt, nseg)
 		if err != nil {
@@ -159,7 +159,7 @@ func TestShardedFlushSmoke(t *testing.T) {
 	if sx.NumPhrases() != mono.NumPhrases() {
 		t.Fatalf("|P| %d vs %d after flush", sx.NumPhrases(), mono.NumPhrases())
 	}
-	smj := mono.BuildSMJ(1.0)
+	smj := mustSMJ(mono, 1.0)
 	for _, op := range []corpus.Operator{corpus.OpAND, corpus.OpOR} {
 		for _, kws := range [][]string{{"trade"}, {"trade", "reserves"}, {"query", "optimization", "systems"}} {
 			q := corpus.NewQuery(op, kws...)

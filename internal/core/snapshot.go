@@ -79,7 +79,11 @@ func (ix *Index) AddSnapshotSections(w *diskio.SnapshotWriter) error {
 	if err := w.Add(sectionMeta, meta); err != nil {
 		return err
 	}
-	if err := w.Add(sectionCorpus, ix.Corpus.AppendBinary(nil)); err != nil {
+	corpusBytes, err := ix.Corpus.AppendBinary(nil)
+	if err != nil {
+		return err
+	}
+	if err := w.Add(sectionCorpus, corpusBytes); err != nil {
 		return err
 	}
 	inv, err := ix.Inverted.AppendBlockIndex(nil)

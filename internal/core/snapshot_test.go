@@ -110,11 +110,11 @@ func TestSnapshotRoundTripQueries(t *testing.T) {
 		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("NRA results diverge for %v:\noriginal %v\nloaded  %v", q, a, b)
 		}
-		sa, _, err := ix.QuerySMJ(ix.BuildSMJ(1.0), q, topk.SMJOptions{K: 5})
+		sa, _, err := ix.QuerySMJ(mustSMJ(ix, 1.0), q, topk.SMJOptions{K: 5})
 		if err != nil {
 			t.Fatal(err)
 		}
-		sb, _, err := loaded.QuerySMJ(loaded.BuildSMJ(1.0), q, topk.SMJOptions{K: 5})
+		sb, _, err := loaded.QuerySMJ(mustSMJ(loaded, 1.0), q, topk.SMJOptions{K: 5})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -141,7 +141,7 @@ func TestSnapshotBytesDeterministic(t *testing.T) {
 func TestSnapshotLoadedIndexSupportsDeltaAndFlush(t *testing.T) {
 	ix := buildTestIndex(t)
 	loaded := snapshotRoundTrip(t, ix, 1)
-	d := loaded.NewDelta()
+	d := mustDelta(loaded)
 	d.AddDocument(loaded.Corpus.MustDoc(0))
 	if d.Size() != 1 {
 		t.Fatalf("delta size = %d", d.Size())

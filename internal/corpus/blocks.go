@@ -369,10 +369,13 @@ func (ix *Inverted) AppendBlockIndex(buf []byte) ([]byte, error) {
 	buf = append(buf, make([]byte, dirSize)...)
 	dataStart := len(buf)
 	dirPos := dirStart
-	var err error
 	for _, f := range feats {
 		start := len(buf)
-		buf, err = AppendBlockPostings(buf, ix.Docs(f))
+		list, err := ix.Docs(f)
+		if err != nil {
+			return nil, err
+		}
+		buf, err = AppendBlockPostings(buf, list)
 		if err != nil {
 			return nil, fmt.Errorf("corpus: compressing postings of %q: %w", f, err)
 		}

@@ -111,7 +111,7 @@ func buildTestInverted(t *testing.T) *Inverted {
 	for _, d := range docs {
 		c.Add(Document{Tokens: splitWords(d)})
 	}
-	return BuildInverted(c)
+	return mustInverted(c)
 }
 
 func splitWords(s string) []string {
@@ -162,16 +162,16 @@ func TestBlockInvertedRoundTrip(t *testing.T) {
 		if opened.DocFreq(f) != ix.DocFreq(f) {
 			t.Fatalf("DocFreq(%q) = %d, want %d", f, opened.DocFreq(f), ix.DocFreq(f))
 		}
-		if !reflect.DeepEqual(opened.Docs(f), ix.Docs(f)) {
+		if !reflect.DeepEqual(mustDocs(opened, f), mustDocs(ix, f)) {
 			t.Fatalf("Docs(%q) mismatch", f)
 		}
 		// Second access must hit the cache and return the same slice.
-		a, b := opened.Docs(f), opened.Docs(f)
+		a, b := mustDocs(opened, f), mustDocs(opened, f)
 		if len(a) > 0 && &a[0] != &b[0] {
 			t.Fatalf("Docs(%q) not cached", f)
 		}
 	}
-	if opened.Has("nonexistent") || opened.Docs("nonexistent") != nil {
+	if opened.Has("nonexistent") || mustDocs(opened, "nonexistent") != nil {
 		t.Fatal("phantom feature")
 	}
 
@@ -202,7 +202,7 @@ func TestBlockInvertedRoundTrip(t *testing.T) {
 		t.Fatalf("PostingStats = (%d,%d), want %d postings", p, bytes, wantP)
 	}
 	for _, f := range ix.Features() {
-		if !reflect.DeepEqual(opened.Docs(f), ix.Docs(f)) {
+		if !reflect.DeepEqual(mustDocs(opened, f), mustDocs(ix, f)) {
 			t.Fatalf("Docs(%q) mismatch after materialize", f)
 		}
 	}
@@ -231,7 +231,7 @@ func TestDecodeCorpusLazy(t *testing.T) {
 	c := New()
 	c.Add(Document{Tokens: []string{"alpha", "beta"}, Facets: map[string]string{"venue": "edbt"}})
 	c.Add(Document{Tokens: []string{"gamma"}})
-	data := c.AppendBinary(nil)
+	data := mustCorpusBytes(c)
 
 	lazy, err := DecodeCorpusLazy(data)
 	if err != nil {

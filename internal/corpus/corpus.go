@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"phrasemine/internal/diskio"
 )
 
 // DocID identifies a document by its position in the corpus. IDs are dense:
@@ -57,15 +59,20 @@ func New() *Corpus {
 	return &Corpus{}
 }
 
-// materialize decodes a lazily opened corpus on first use.
-func (c *Corpus) materialize() error {
+// Materialize decodes a lazily opened corpus, idempotently. Every accessor
+// that touches document contents calls it; callers that want the decode
+// cost (and any corruption error) up front may call it directly. A decode
+// failure is sticky and wraps diskio.ErrCorruptSnapshot: the backing bytes
+// are a snapshot section that passed open-time validation, so bad bytes
+// here mean the stored corpus is corrupt.
+func (c *Corpus) Materialize() error {
 	if c.raw == nil {
 		return nil
 	}
 	c.lazyOnce.Do(func() {
 		decoded, err := DecodeCorpus(c.raw)
 		if err != nil {
-			c.lazyErr = fmt.Errorf("corpus: lazy decode: %w", err)
+			c.lazyErr = diskio.Corruptf("corpus: lazy decode: %v", err)
 			return
 		}
 		c.docs = decoded.docs
@@ -73,21 +80,16 @@ func (c *Corpus) materialize() error {
 	return c.lazyErr
 }
 
-// mustMaterialize is materialize for accessors whose signatures cannot
-// report errors; a corrupt lazily opened snapshot panics here rather than
-// silently serving an empty corpus.
-func (c *Corpus) mustMaterialize() {
-	if err := c.materialize(); err != nil {
-		panic(err)
+// Add appends a document and returns its DocID. On a lazily opened corpus
+// the first Add materializes the stored documents, so a corrupt snapshot
+// surfaces here as an error rather than later as a partial corpus.
+func (c *Corpus) Add(d Document) (DocID, error) {
+	if err := c.Materialize(); err != nil {
+		return 0, err
 	}
-}
-
-// Add appends a document and returns its DocID.
-func (c *Corpus) Add(d Document) DocID {
-	c.mustMaterialize()
 	c.raw, c.rawDocs = nil, 0
 	c.docs = append(c.docs, d)
-	return DocID(len(c.docs) - 1)
+	return DocID(len(c.docs) - 1), nil
 }
 
 // Len reports the number of documents. On a lazily opened corpus it answers
@@ -101,7 +103,7 @@ func (c *Corpus) Len() int {
 
 // Doc returns the document with the given ID.
 func (c *Corpus) Doc(id DocID) (Document, error) {
-	if err := c.materialize(); err != nil {
+	if err := c.Materialize(); err != nil {
 		return Document{}, err
 	}
 	if int(id) >= len(c.docs) {
@@ -110,21 +112,28 @@ func (c *Corpus) Doc(id DocID) (Document, error) {
 	return c.docs[id], nil
 }
 
-// MustDoc is Doc for callers that have already validated the ID.
+// MustDoc is Doc for callers that have already validated the ID against an
+// eagerly built or already materialized corpus. Calling it first on a lazy
+// corpus whose backing bytes are corrupt is a programming error and
+// panics; serving paths use Doc (or Materialize up front) instead.
 func (c *Corpus) MustDoc(id DocID) Document {
-	c.mustMaterialize()
+	if err := c.Materialize(); err != nil {
+		panic(err)
+	}
 	return c.docs[id]
 }
 
 // TokenSlices returns one token slice per document, in DocID order, for use
 // by textproc.Extract. The returned slices alias corpus memory.
-func (c *Corpus) TokenSlices() [][]string {
-	c.mustMaterialize()
+func (c *Corpus) TokenSlices() ([][]string, error) {
+	if err := c.Materialize(); err != nil {
+		return nil, err
+	}
 	out := make([][]string, len(c.docs))
 	for i := range c.docs {
 		out[i] = c.docs[i].Tokens
 	}
-	return out
+	return out, nil
 }
 
 // distinctFeatures returns the sorted distinct features (word tokens plus

@@ -18,7 +18,7 @@ func buildTestCorpus() (*Corpus, *Inverted) {
 	c.Add(docOf("trade", "trade", "trade"))                // 4 (dupes)
 	c.Add(Document{Tokens: []string{"earnings", "report"}, // 5
 		Facets: map[string]string{"venue": "sigmod", "year": "1997"}})
-	return c, BuildInverted(c)
+	return c, mustInverted(c)
 }
 
 func TestCorpusAddLenDoc(t *testing.T) {
@@ -26,11 +26,11 @@ func TestCorpusAddLenDoc(t *testing.T) {
 	if c.Len() != 0 {
 		t.Fatalf("new corpus Len = %d", c.Len())
 	}
-	id := c.Add(docOf("a"))
+	id := mustAdd(c, docOf("a"))
 	if id != 0 {
 		t.Fatalf("first DocID = %d, want 0", id)
 	}
-	id = c.Add(docOf("b"))
+	id = mustAdd(c, docOf("b"))
 	if id != 1 {
 		t.Fatalf("second DocID = %d, want 1", id)
 	}
@@ -48,7 +48,7 @@ func TestCorpusAddLenDoc(t *testing.T) {
 
 func TestInvertedPostingsSortedDeduped(t *testing.T) {
 	_, ix := buildTestCorpus()
-	got := ix.Docs("trade")
+	got := mustDocs(ix, "trade")
 	want := []DocID{0, 1, 4}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("Docs(trade) = %v, want %v", got, want)
@@ -64,7 +64,7 @@ func TestInvertedPostingsSortedDeduped(t *testing.T) {
 func TestInvertedDuplicateTokensCountOnce(t *testing.T) {
 	_, ix := buildTestCorpus()
 	// Doc 4 contains "trade" three times but must appear once in postings.
-	got := ix.Docs("trade")
+	got := mustDocs(ix, "trade")
 	seen := map[DocID]int{}
 	for _, id := range got {
 		seen[id]++
@@ -76,10 +76,10 @@ func TestInvertedDuplicateTokensCountOnce(t *testing.T) {
 
 func TestInvertedFacets(t *testing.T) {
 	_, ix := buildTestCorpus()
-	if got := ix.Docs(FacetFeature("venue", "sigmod")); !reflect.DeepEqual(got, []DocID{5}) {
+	if got := mustDocs(ix, FacetFeature("venue", "sigmod")); !reflect.DeepEqual(got, []DocID{5}) {
 		t.Fatalf("Docs(venue:sigmod) = %v, want [5]", got)
 	}
-	if got := ix.Docs(FacetFeature("year", "1997")); !reflect.DeepEqual(got, []DocID{5}) {
+	if got := mustDocs(ix, FacetFeature("year", "1997")); !reflect.DeepEqual(got, []DocID{5}) {
 		t.Fatalf("Docs(year:1997) = %v, want [5]", got)
 	}
 	if !ix.Has("venue:sigmod") {
@@ -90,7 +90,7 @@ func TestInvertedFacets(t *testing.T) {
 func TestInvertedSentenceBreakNotIndexed(t *testing.T) {
 	c := New()
 	c.Add(docOf("a", "\x00", "b"))
-	ix := BuildInverted(c)
+	ix := mustInverted(c)
 	if ix.Has("\x00") {
 		t.Fatal("sentence break marker leaked into the index")
 	}

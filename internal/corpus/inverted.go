@@ -1,10 +1,10 @@
 package corpus
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 
+	"phrasemine/internal/diskio"
 	"phrasemine/internal/parallel"
 )
 
@@ -29,15 +29,21 @@ type Inverted struct {
 	blockBytes    int64
 	blockPostings int
 
-	// cacheMu guards cache, the lazily decoded posting lists of a
-	// block-backed index.
-	cacheMu sync.RWMutex
-	cache   map[string][]DocID
+	// cacheMu guards cache and cacheErr, the lazily decoded posting lists
+	// (and sticky decode failures) of a block-backed index. Exactly one of
+	// cache[f]/cacheErr[f] is ever populated per feature, first decode
+	// wins: concurrent first touches of a corrupt feature all observe the
+	// same error, never a mix of failure and success.
+	cacheMu  sync.RWMutex
+	cache    map[string][]DocID
+	cacheErr map[string]error
 }
 
 // BuildInverted indexes every document of the corpus.
-func BuildInverted(c *Corpus) *Inverted {
-	c.mustMaterialize()
+func BuildInverted(c *Corpus) (*Inverted, error) {
+	if err := c.Materialize(); err != nil {
+		return nil, err
+	}
 	ix := &Inverted{
 		postings: make(map[string][]DocID),
 		numDocs:  c.Len(),
@@ -58,7 +64,7 @@ func BuildInverted(c *Corpus) *Inverted {
 			ix.postings[f] = trimmed
 		}
 	}
-	return ix
+	return ix, nil
 }
 
 // BuildInvertedParallel indexes the corpus across workers concurrent
@@ -66,11 +72,13 @@ func BuildInverted(c *Corpus) *Inverted {
 // BuildInverted (which it delegates to for workers <= 1): shards partition
 // the DocID range, so concatenating per-shard posting lists in shard order
 // reproduces the sorted, duplicate-free sequential lists.
-func BuildInvertedParallel(c *Corpus, workers int) *Inverted {
+func BuildInvertedParallel(c *Corpus, workers int) (*Inverted, error) {
 	if workers <= 1 {
 		return BuildInverted(c)
 	}
-	c.mustMaterialize()
+	if err := c.Materialize(); err != nil {
+		return nil, err
+	}
 	ranges := parallel.Shards(c.Len(), 4*workers)
 	partials := make([]map[string][]DocID, len(ranges))
 	parallel.ForEachOf(ranges, workers, func(s int, r parallel.Range) {
@@ -103,7 +111,7 @@ func BuildInvertedParallel(c *Corpus, workers int) *Inverted {
 			ix.postings[f] = append(ix.postings[f], list...)
 		}
 	}
-	return ix
+	return ix, nil
 }
 
 // NumDocs reports the number of documents the index was built over.
@@ -115,36 +123,49 @@ func (ix *Inverted) NumDocs() int {
 // the feature. The returned slice is shared; callers must not modify it.
 // A feature absent from the corpus yields an empty (nil) list. On a
 // block-backed index the first access decodes the compressed list and
-// caches it for subsequent calls; a structurally corrupt stored list
-// panics (the mmap open skips checksums by design, and silently treating
-// a present feature as empty would mis-answer queries — corruption must
-// surface, not degrade).
-func (ix *Inverted) Docs(feature string) []DocID {
+// caches the outcome — slice or error — for subsequent calls; a
+// structurally corrupt stored list returns an error wrapping
+// diskio.ErrCorruptSnapshot (the mmap open skips checksums by design, and
+// silently treating a present feature as empty would mis-answer queries —
+// corruption must surface, not degrade).
+func (ix *Inverted) Docs(feature string) ([]DocID, error) {
 	if ix.blocks == nil {
-		return ix.postings[feature]
+		return ix.postings[feature], nil
 	}
 	bp, ok := ix.blocks[feature]
 	if !ok {
-		return nil
+		return nil, nil
 	}
 	ix.cacheMu.RLock()
 	list, hit := ix.cache[feature]
+	cachedErr, errHit := ix.cacheErr[feature]
 	ix.cacheMu.RUnlock()
-	if hit {
-		return list
+	if hit || errHit {
+		return list, cachedErr
 	}
 	list, err := bp.DecodeAll(make([]DocID, 0, bp.Len()))
 	if err != nil {
-		panic(fmt.Sprintf("corpus: corrupt posting list %q: %v", feature, err))
+		list = nil
+		err = diskio.Corruptf("corpus: corrupt posting list %q: %v", feature, err)
 	}
+	// First decode wins — for the error exactly as for the slice, so
+	// racing first touches of a corrupt feature never split into one
+	// error and one success.
 	ix.cacheMu.Lock()
 	if prior, raced := ix.cache[feature]; raced {
-		list = prior // keep the first decode so callers share one slice
+		list, err = prior, nil
+	} else if priorErr, raced := ix.cacheErr[feature]; raced {
+		list, err = nil, priorErr
+	} else if err != nil {
+		if ix.cacheErr == nil {
+			ix.cacheErr = make(map[string]error)
+		}
+		ix.cacheErr[feature] = err
 	} else {
 		ix.cache[feature] = list
 	}
 	ix.cacheMu.Unlock()
-	return list
+	return list, err
 }
 
 // DocFreq reports |docs(D, feature)|.

@@ -21,8 +21,10 @@ import (
 //	per document:
 //	    numTokens, then one table index per token
 //	    numFacets, then per facet (sorted by name): name, value (len + bytes)
-func (c *Corpus) AppendBinary(buf []byte) []byte {
-	c.mustMaterialize()
+func (c *Corpus) AppendBinary(buf []byte) ([]byte, error) {
+	if err := c.Materialize(); err != nil {
+		return nil, err
+	}
 	table := make(map[string]uint64)
 	var tokens []string
 	for i := range c.docs {
@@ -55,7 +57,7 @@ func (c *Corpus) AppendBinary(buf []byte) []byte {
 			buf = appendString(buf, d.Facets[name])
 		}
 	}
-	return buf
+	return buf, nil
 }
 
 // DecodeCorpus parses an encoding produced by AppendBinary. Token strings
@@ -150,11 +152,14 @@ func DecodeCorpusLazy(data []byte) (*Corpus, error) {
 //	per feature (sorted): name (len + bytes), count, then count DocIDs
 //	    (first absolute, the rest as gaps to the predecessor — posting
 //	    lists are strictly increasing)
-func (ix *Inverted) AppendBinary(buf []byte) []byte {
+func (ix *Inverted) AppendBinary(buf []byte) ([]byte, error) {
 	buf = binary.AppendUvarint(buf, uint64(ix.numDocs))
 	buf = binary.AppendUvarint(buf, uint64(ix.VocabSize()))
 	for _, f := range ix.Features() {
-		list := ix.Docs(f)
+		list, err := ix.Docs(f)
+		if err != nil {
+			return nil, err
+		}
 		buf = appendString(buf, f)
 		buf = binary.AppendUvarint(buf, uint64(len(list)))
 		prev := DocID(0)
@@ -167,7 +172,7 @@ func (ix *Inverted) AppendBinary(buf []byte) []byte {
 			prev = id
 		}
 	}
-	return buf
+	return buf, nil
 }
 
 // DecodeInverted parses an encoding produced by Inverted.AppendBinary.

@@ -20,7 +20,7 @@ func testCorpus() *Corpus {
 
 func TestCorpusBinaryRoundTrip(t *testing.T) {
 	c := testCorpus()
-	data := c.AppendBinary(nil)
+	data := mustCorpusBytes(c)
 	got, err := DecodeCorpus(data)
 	if err != nil {
 		t.Fatal(err)
@@ -42,8 +42,8 @@ func TestCorpusBinaryRoundTrip(t *testing.T) {
 
 func TestCorpusBinaryDeterministic(t *testing.T) {
 	c := testCorpus()
-	a := c.AppendBinary(nil)
-	b := c.AppendBinary(nil)
+	a := mustCorpusBytes(c)
+	b := mustCorpusBytes(c)
 	if !bytes.Equal(a, b) {
 		t.Fatal("corpus encoding is not deterministic")
 	}
@@ -51,7 +51,7 @@ func TestCorpusBinaryDeterministic(t *testing.T) {
 
 func TestDecodeCorpusRejectsGarbage(t *testing.T) {
 	c := testCorpus()
-	data := c.AppendBinary(nil)
+	data := mustCorpusBytes(c)
 	if _, err := DecodeCorpus(data[:len(data)-3]); err == nil {
 		t.Fatal("truncated corpus accepted")
 	}
@@ -65,8 +65,8 @@ func TestDecodeCorpusRejectsGarbage(t *testing.T) {
 
 func TestInvertedBinaryRoundTrip(t *testing.T) {
 	c := testCorpus()
-	ix := BuildInverted(c)
-	data := ix.AppendBinary(nil)
+	ix := mustInverted(c)
+	data := mustInvertedBytes(ix)
 	got, err := DecodeInverted(data)
 	if err != nil {
 		t.Fatal(err)
@@ -78,20 +78,20 @@ func TestInvertedBinaryRoundTrip(t *testing.T) {
 		t.Fatalf("features = %v, want %v", got.Features(), ix.Features())
 	}
 	for _, f := range ix.Features() {
-		if !reflect.DeepEqual(got.Docs(f), ix.Docs(f)) {
-			t.Fatalf("postings for %q = %v, want %v", f, got.Docs(f), ix.Docs(f))
+		if !reflect.DeepEqual(mustDocs(got, f), mustDocs(ix, f)) {
+			t.Fatalf("postings for %q = %v, want %v", f, mustDocs(got, f), mustDocs(ix, f))
 		}
 	}
 	// Deterministic bytes.
-	if !bytes.Equal(data, ix.AppendBinary(nil)) {
+	if !bytes.Equal(data, mustInvertedBytes(ix)) {
 		t.Fatal("inverted encoding is not deterministic")
 	}
 }
 
 func TestDecodeInvertedRejectsGarbage(t *testing.T) {
 	c := testCorpus()
-	ix := BuildInverted(c)
-	data := ix.AppendBinary(nil)
+	ix := mustInverted(c)
+	data := mustInvertedBytes(ix)
 	if _, err := DecodeInverted(data[:len(data)-2]); err == nil {
 		t.Fatal("truncated inverted index accepted")
 	}
@@ -99,7 +99,7 @@ func TestDecodeInvertedRejectsGarbage(t *testing.T) {
 		t.Fatal("trailing bytes accepted")
 	}
 	// A posting pointing past numDocs must be rejected.
-	bad := (&Inverted{postings: map[string][]DocID{"w": {9}}, numDocs: 3}).AppendBinary(nil)
+	bad := mustInvertedBytes(&Inverted{postings: map[string][]DocID{"w": {9}}, numDocs: 3})
 	if _, err := DecodeInverted(bad); err == nil {
 		t.Fatal("out-of-range posting accepted")
 	}

@@ -106,7 +106,10 @@ func (ix *Inverted) SelectInto(dst []DocID, q Query) ([]DocID, error) {
 	}
 	lists := make([][]DocID, len(q.Features))
 	for i, f := range q.Features {
-		lists[i] = ix.Docs(f)
+		var err error
+		if lists[i], err = ix.Docs(f); err != nil {
+			return nil, err
+		}
 	}
 	if q.Op == OpAND {
 		return IntersectInto(dst, lists...), nil
@@ -139,7 +142,15 @@ func (ix *Inverted) SelectCount(q Query) (int, error) {
 		return ix.DocFreq(q.Features[0]), nil
 	}
 	if q.Op == OpAND && len(q.Features) == 2 {
-		return IntersectCount2(ix.Docs(q.Features[0]), ix.Docs(q.Features[1])), nil
+		a, err := ix.Docs(q.Features[0])
+		if err != nil {
+			return 0, err
+		}
+		b, err := ix.Docs(q.Features[1])
+		if err != nil {
+			return 0, err
+		}
+		return IntersectCount2(a, b), nil
 	}
 	bufs := selectScratch.Get().(*selectBufs)
 	defer selectScratch.Put(bufs)
@@ -148,7 +159,13 @@ func (ix *Inverted) SelectCount(q Query) (int, error) {
 	}
 	lists := bufs.lists[:len(q.Features)]
 	for i, f := range q.Features {
-		lists[i] = ix.Docs(f)
+		var err error
+		if lists[i], err = ix.Docs(f); err != nil {
+			for j := range lists {
+				lists[j] = nil
+			}
+			return 0, err
+		}
 	}
 	if q.Op == OpAND {
 		// Smallest-first keeps intermediates shrinking fast.

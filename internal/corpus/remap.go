@@ -75,13 +75,17 @@ func (r DocRemap) Split(global DocID) (segment int, local DocID, err error) {
 // document values (tokens and facets are not copied). It is the
 // corpus-partitioning primitive of the sharded engine: segment corpora are
 // contiguous slices of the source corpus, so global document IDs are
-// segment bases plus local IDs.
-func (c *Corpus) Slice(lo, hi int) *Corpus {
-	c.mustMaterialize()
+// segment bases plus local IDs. Slicing a lazily opened corpus
+// materializes it first; a corrupt backing snapshot surfaces here as an
+// error.
+func (c *Corpus) Slice(lo, hi int) (*Corpus, error) {
+	if err := c.Materialize(); err != nil {
+		return nil, err
+	}
 	if lo < 0 || hi > len(c.docs) || lo > hi {
-		panic(fmt.Sprintf("corpus: invalid slice [%d,%d) of %d docs", lo, hi, len(c.docs)))
+		return nil, fmt.Errorf("corpus: invalid slice [%d,%d) of %d docs", lo, hi, len(c.docs))
 	}
 	out := New()
 	out.docs = append(out.docs, c.docs[lo:hi]...)
-	return out
+	return out, nil
 }

@@ -53,7 +53,7 @@ func TestCorpusSlice(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		c.Add(Document{Tokens: []string{"doc", string(rune('a' + i))}})
 	}
-	s := c.Slice(1, 4)
+	s := mustSlice(c, 1, 4)
 	if s.Len() != 3 {
 		t.Fatalf("slice length %d, want 3", s.Len())
 	}

@@ -159,7 +159,7 @@ func TestSelectCountMatchesSelect(t *testing.T) {
 	for _, toks := range docs {
 		c.Add(Document{Tokens: toks})
 	}
-	ix := BuildInverted(c)
+	ix := mustInverted(c)
 	queries := []Query{
 		NewQuery(OpAND, "a"),
 		NewQuery(OpOR, "a"),

@@ -94,7 +94,10 @@ func runCompressedCorpus(rep *Report, cfg synth.Config, opt Options) error {
 	for _, v := range variants {
 		v.smj = map[float64]*core.SMJIndex{}
 		for _, frac := range opt.Fractions {
-			v.smj[frac] = v.ix.BuildSMJ(frac)
+			v.smj[frac], err = v.ix.BuildSMJ(frac)
+			if err != nil {
+				return err
+			}
 		}
 	}
 

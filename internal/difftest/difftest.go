@@ -171,11 +171,18 @@ func prepare(cfg synth.Config, opt Options) (*setup, error) {
 	}
 	workers := parallel.Workers(opt.Workers)
 	extractor := textproc.ExtractorOptions{MinDocFreq: 3}
-	stats, err := textproc.Extract(c.TokenSlices(), extractor)
+	tokens, err := c.TokenSlices()
 	if err != nil {
 		return nil, err
 	}
-	wordIx := corpus.BuildInvertedParallel(c, workers)
+	stats, err := textproc.Extract(tokens, extractor)
+	if err != nil {
+		return nil, err
+	}
+	wordIx, err := corpus.BuildInvertedParallel(c, workers)
+	if err != nil {
+		return nil, err
+	}
 
 	multi, err := synth.HarvestQueries(stats, synth.QuerySpec{
 		Quotas:     opt.MultiQuotas,
@@ -241,7 +248,10 @@ func runCorpus(rep *Report, cfg synth.Config, opt Options) error {
 
 	smj := map[float64]*core.SMJIndex{}
 	for _, frac := range opt.Fractions {
-		smj[frac] = ix.BuildSMJ(frac)
+		smj[frac], err = ix.BuildSMJ(frac)
+		if err != nil {
+			return err
+		}
 	}
 
 	for _, op := range []corpus.Operator{corpus.OpAND, corpus.OpOR} {

@@ -63,7 +63,10 @@ func runShardedCorpus(rep *Report, cfg synth.Config, opt Options, segmentCounts 
 	if err != nil {
 		return err
 	}
-	smj := s.ix.BuildSMJ(1.0)
+	smj, err := s.ix.BuildSMJ(1.0)
+	if err != nil {
+		return err
+	}
 	gm, err := s.ix.GM()
 	if err != nil {
 		return err

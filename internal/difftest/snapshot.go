@@ -66,8 +66,12 @@ func runSnapshotCorpus(rep *Report, cfg synth.Config, opt Options) error {
 	smjOrig := map[float64]*core.SMJIndex{}
 	smjLoaded := map[float64]*core.SMJIndex{}
 	for _, frac := range opt.Fractions {
-		smjOrig[frac] = s.ix.BuildSMJ(frac)
-		smjLoaded[frac] = loaded.BuildSMJ(frac)
+		if smjOrig[frac], err = s.ix.BuildSMJ(frac); err != nil {
+			return err
+		}
+		if smjLoaded[frac], err = loaded.BuildSMJ(frac); err != nil {
+			return err
+		}
 	}
 
 	for _, op := range []corpus.Operator{corpus.OpAND, corpus.OpOR} {

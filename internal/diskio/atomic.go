@@ -1,0 +1,112 @@
+package diskio
+
+// Crash-safety primitives shared by every persistence path: the corruption
+// sentinel that decode layers wrap so servers can classify bad bytes, and
+// the fsync-then-rename file writer that makes snapshot and manifest
+// installation atomic against kill -9.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ErrCorruptSnapshot is the sentinel wrapped by every decode path that
+// discovers bad bytes in persisted index data after open-time validation
+// has passed — truncated or bit-flipped mapped sections, malformed posting
+// blocks, invalid dictionary records. Callers classify with
+// errors.Is(err, ErrCorruptSnapshot); the serving layer maps it to HTTP
+// 500 with the wrapped section detail. It deliberately lives in diskio,
+// the one package every index layer already depends on, so corpus,
+// phrasedict, plist and core can all wrap it without an import cycle.
+var ErrCorruptSnapshot = errors.New("corrupt snapshot")
+
+// Corruptf wraps ErrCorruptSnapshot with formatted section detail, keeping
+// any %w-wrapped cause visible to errors.Is/As as well.
+func Corruptf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrCorruptSnapshot)...)
+}
+
+// WriteFileAtomic writes data to path so that a crash (including kill -9)
+// at any point leaves either the previous file or the complete new one,
+// never a partial write: the data goes to a temporary file in the same
+// directory, is fsynced, renamed over path, and the directory is fsynced
+// so the rename itself is durable.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	return writeAtomic(path, perm, func(f *os.File) error {
+		_, err := f.Write(data)
+		return err
+	})
+}
+
+// WriteToFileAtomic is WriteFileAtomic for producers that stream through
+// an io.Writer (snapshot writers, encoders) instead of materializing one
+// []byte.
+func WriteToFileAtomic(path string, perm os.FileMode, write func(w io.Writer) error) error {
+	return writeAtomic(path, perm, func(f *os.File) error {
+		return write(f)
+	})
+}
+
+func writeAtomic(path string, perm os.FileMode, write func(f *os.File) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("diskio: creating temp file: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := tmp.Chmod(perm); err != nil {
+		return fmt.Errorf("diskio: setting mode on %s: %w", tmp.Name(), err)
+	}
+	if err := write(tmp); err != nil {
+		return fmt.Errorf("diskio: writing %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("diskio: syncing %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("diskio: closing %s: %w", tmp.Name(), err)
+	}
+	name := tmp.Name()
+	tmp = nil // disarm cleanup; rename owns the file now
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory so previously renamed entries survive a
+// crash. Some platforms (and some filesystems) reject fsync on
+// directories; those errors are ignored — the rename is still atomic,
+// only its durability ordering is best-effort there.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		// EINVAL/ENOTSUP-style failures mean the platform cannot fsync
+		// directories; anything else is a real durability problem.
+		if pe, ok := err.(*os.PathError); !ok || !isSyncUnsupported(pe) {
+			return fmt.Errorf("diskio: syncing directory %s: %w", dir, err)
+		}
+	}
+	return nil
+}
+
+// isSyncUnsupported reports whether a directory-fsync failure means "not
+// supported here" rather than "your data did not reach disk".
+func isSyncUnsupported(pe *os.PathError) bool {
+	msg := pe.Err.Error()
+	return msg == "invalid argument" || msg == "operation not supported" ||
+		msg == "not supported" || msg == "bad file descriptor"
+}

@@ -74,8 +74,8 @@ func (m Manifest) Validate() error {
 }
 
 // WriteManifest writes the manifest as indented JSON at path, via a
-// temporary file and rename so a crash mid-write never leaves a truncated
-// manifest over a previously good one.
+// temporary file, fsync and rename so a crash mid-write (even kill -9)
+// never leaves a truncated manifest over a previously good one.
 func WriteManifest(path string, m Manifest) error {
 	if err := m.Validate(); err != nil {
 		return err
@@ -84,11 +84,7 @@ func WriteManifest(path string, m Manifest) error {
 	if err != nil {
 		return fmt.Errorf("diskio: encoding manifest: %w", err)
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return WriteFileAtomic(path, append(data, '\n'), 0o644)
 }
 
 // ReadManifest reads and validates a manifest. path may be the manifest

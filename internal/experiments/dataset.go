@@ -98,12 +98,19 @@ func Load(kind DatasetKind, scale float64) (*Dataset, error) {
 	if scale < 0.5 {
 		extractor.MinDocFreq = 3
 	}
-	stats, err := textproc.Extract(c.TokenSlices(), extractor)
+	tokens, err := c.TokenSlices()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: tokenizing %s: %w", cfg.Name, err)
+	}
+	stats, err := textproc.Extract(tokens, extractor)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: extracting %s: %w", cfg.Name, err)
 	}
 	// The content-word filter needs per-word document frequencies.
-	wordIx := corpus.BuildInverted(c)
+	wordIx, err := corpus.BuildInverted(c)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: inverting %s: %w", cfg.Name, err)
+	}
 	features, err := synth.HarvestQueries(stats, spec, wordIx.DocFreq, c.Len())
 	if err != nil {
 		return nil, fmt.Errorf("experiments: harvesting queries for %s: %w", cfg.Name, err)

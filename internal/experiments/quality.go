@@ -73,7 +73,10 @@ func RunQuality(ds *Dataset, fractions []float64, k int) ([]QualityRow, error) {
 	}
 	var rows []QualityRow
 	for _, frac := range fractions {
-		smj := ds.Index.BuildSMJ(frac)
+		smj, err := ds.Index.BuildSMJ(frac)
+		if err != nil {
+			return nil, err
+		}
 		for _, op := range []corpus.Operator{corpus.OpAND, corpus.OpOR} {
 			var ms []eval.Metrics
 			for _, q := range ds.Queries(op) {

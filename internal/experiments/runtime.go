@@ -30,7 +30,10 @@ type RuntimeRow struct {
 func RunMemRuntime(ds *Dataset, fractions []float64, k int, includeGM, includeNRA bool) ([]RuntimeRow, error) {
 	var rows []RuntimeRow
 	for _, frac := range fractions {
-		smj := ds.Index.BuildSMJ(frac)
+		smj, err := ds.Index.BuildSMJ(frac)
+		if err != nil {
+			return nil, err
+		}
 		for _, op := range []corpus.Operator{corpus.OpAND, corpus.OpOR} {
 			queries := ds.Queries(op)
 

@@ -20,7 +20,10 @@ type SampleResult struct {
 // full lists. The paper shows a Pubmed AND query and a Reuters OR query;
 // this driver renders both operators for whichever dataset it is given.
 func RunSampleResults(ds *Dataset, k int) ([]SampleResult, error) {
-	smj := ds.Index.BuildSMJ(1.0)
+	smj, err := ds.Index.BuildSMJ(1.0)
+	if err != nil {
+		return nil, err
+	}
 	var out []SampleResult
 	for _, op := range []corpus.Operator{corpus.OpAND, corpus.OpOR} {
 		queries := ds.Queries(op)
@@ -106,7 +109,10 @@ func RunEstimateAccuracy(ds *Dataset, k int) ([]AccuracyRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	smj := ds.Index.BuildSMJ(1.0)
+	smj, err := ds.Index.BuildSMJ(1.0)
+	if err != nil {
+		return nil, err
+	}
 	var rows []AccuracyRow
 	for _, op := range []corpus.Operator{corpus.OpAND, corpus.OpOR} {
 		var estimates, exacts []float64

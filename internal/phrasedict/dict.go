@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"phrasemine/internal/diskio"
 )
 
 // PhraseID identifies a phrase by its position in the phrase list.
@@ -113,17 +115,18 @@ func (d *Dict) record(i int) string {
 }
 
 // ID resolves a phrase string to its ID. On a dictionary opened with
-// FromBytes the first call builds the reverse map (and panics on a corrupt
-// record set, which ReadFrom would have rejected eagerly). Once's own fast
-// path is a single atomic load, so the unconditional Do keeps concurrent
-// ID calls race-free without a mutex around the map pointer.
-func (d *Dict) ID(phrase string) (PhraseID, bool) {
+// FromBytes the first call builds the reverse map; a corrupt record set
+// (which ReadFrom would have rejected eagerly) returns an error wrapping
+// diskio.ErrCorruptSnapshot, sticky across calls. Once's own fast path is
+// a single atomic load, so the unconditional Do keeps concurrent ID calls
+// race-free without a mutex around the map pointer.
+func (d *Dict) ID(phrase string) (PhraseID, bool, error) {
 	d.mapOnce.Do(d.buildMapIfMissing)
 	if d.mapErr != nil {
-		panic(d.mapErr)
+		return 0, false, d.mapErr
 	}
 	id, ok := d.byPhrase[phrase]
-	return id, ok
+	return id, ok, nil
 }
 
 // buildMapIfMissing is the Once body for dictionaries whose map was built
@@ -135,16 +138,18 @@ func (d *Dict) buildMapIfMissing() {
 }
 
 // buildMap materializes the phrase-to-ID map, validating record contents.
+// Validation failures wrap diskio.ErrCorruptSnapshot: the records came
+// from a snapshot section, so an invalid record means bad stored bytes.
 func (d *Dict) buildMap() {
 	m := make(map[string]PhraseID, d.n)
 	for i := 0; i < d.n; i++ {
 		p := d.record(i)
 		if p == "" {
-			d.mapErr = fmt.Errorf("phrasedict: empty record %d", i)
+			d.mapErr = diskio.Corruptf("phrasedict: empty record %d", i)
 			return
 		}
 		if prev, dup := m[p]; dup {
-			d.mapErr = fmt.Errorf("phrasedict: duplicate phrase %q at %d and %d", p, prev, i)
+			d.mapErr = diskio.Corruptf("phrasedict: duplicate phrase %q at %d and %d", p, prev, i)
 			return
 		}
 		m[p] = PhraseID(i)

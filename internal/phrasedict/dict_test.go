@@ -28,12 +28,15 @@ func TestBuildAndLookup(t *testing.T) {
 		if got != p {
 			t.Fatalf("Phrase(%d) = %q, want %q", i, got, p)
 		}
-		id, ok := d.ID(p)
+		id, ok, err := d.ID(p)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !ok || id != PhraseID(i) {
 			t.Fatalf("ID(%q) = %d,%v", p, id, ok)
 		}
 	}
-	if _, ok := d.ID("absent phrase"); ok {
+	if _, ok, err := d.ID("absent phrase"); err != nil || ok {
 		t.Fatal("ID of absent phrase should be !ok")
 	}
 	if _, err := d.Phrase(3); err == nil {
@@ -110,8 +113,8 @@ func TestSerializationRoundTrip(t *testing.T) {
 		if got := d2.MustPhrase(PhraseID(i)); got != p {
 			t.Fatalf("round-trip Phrase(%d) = %q, want %q", i, got, p)
 		}
-		if id, ok := d2.ID(p); !ok || id != PhraseID(i) {
-			t.Fatalf("round-trip ID(%q) = %d,%v", p, id, ok)
+		if id, ok, err := d2.ID(p); err != nil || !ok || id != PhraseID(i) {
+			t.Fatalf("round-trip ID(%q) = %d,%v (%v)", p, id, ok, err)
 		}
 	}
 }

@@ -56,15 +56,19 @@ func (s *Source) Validate() error {
 // The construction iterates the feature's document list and counts phrase
 // occurrences through the forward lists, so its cost is
 // Σ_{d ∈ docs(q)} |Forward[d]| — independent of |P| and of vocabulary size.
-func BuildScoreList(src *Source, feature string) ScoreList {
+func BuildScoreList(src *Source, feature string) (ScoreList, error) {
+	docs, err := src.Inverted.Docs(feature)
+	if err != nil {
+		return nil, err
+	}
 	counts := make(map[phrasedict.PhraseID]uint32)
-	for _, doc := range src.Inverted.Docs(feature) {
+	for _, doc := range docs {
 		for _, p := range src.Forward[doc] {
 			counts[p]++
 		}
 	}
 	if len(counts) == 0 {
-		return nil
+		return nil, nil
 	}
 	out := make(ScoreList, 0, len(counts))
 	for p, co := range counts {
@@ -75,7 +79,7 @@ func BuildScoreList(src *Source, feature string) ScoreList {
 		out = append(out, Entry{Phrase: p, Prob: float64(co) / float64(df)})
 	}
 	SortScoreOrder(out)
-	return out
+	return out, nil
 }
 
 // BuildLists constructs score-ordered lists for the given features. When
@@ -93,9 +97,13 @@ func BuildLists(src *Source, features []string) (map[string]ScoreList, error) {
 // buildOne constructs one feature's score-ordered list using the caller's
 // counting scratch (counts must be all-zero, sized |P|; it is returned
 // all-zero). touched is recycled storage for the phrase IDs seen.
-func buildOne(src *Source, feature string, counts []uint32, touched []phrasedict.PhraseID) (ScoreList, []phrasedict.PhraseID) {
+func buildOne(src *Source, feature string, counts []uint32, touched []phrasedict.PhraseID) (ScoreList, []phrasedict.PhraseID, error) {
 	touched = touched[:0]
-	for _, doc := range src.Inverted.Docs(feature) {
+	docs, err := src.Inverted.Docs(feature)
+	if err != nil {
+		return nil, touched, err
+	}
+	for _, doc := range docs {
 		for _, p := range src.Forward[doc] {
 			if counts[p] == 0 {
 				touched = append(touched, p)
@@ -104,7 +112,7 @@ func buildOne(src *Source, feature string, counts []uint32, touched []phrasedict
 		}
 	}
 	if len(touched) == 0 {
-		return nil, touched
+		return nil, touched, nil
 	}
 	list := make(ScoreList, 0, len(touched))
 	for _, p := range touched {
@@ -115,7 +123,7 @@ func buildOne(src *Source, feature string, counts []uint32, touched []phrasedict
 		counts[p] = 0
 	}
 	SortScoreOrder(list)
-	return list, touched
+	return list, touched, nil
 }
 
 // BuildListsParallel is BuildLists with the per-feature builds fanned out
@@ -145,11 +153,15 @@ func BuildListsParallel(src *Source, features []string, workers int) (map[string
 
 	numPhrases := len(src.PhraseDocFreq)
 	results := make([]ScoreList, len(unique))
+	errs := make([]error, len(unique))
 	if workers <= 1 || len(unique) <= 1 {
 		counts := make([]uint32, numPhrases)
 		var touched []phrasedict.PhraseID
 		for i, feature := range unique {
-			results[i], touched = buildOne(src, feature, counts, touched)
+			results[i], touched, errs[i] = buildOne(src, feature, counts, touched)
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
 		}
 	} else {
 		if workers > len(unique) {
@@ -168,11 +180,16 @@ func BuildListsParallel(src *Source, features []string, workers int) (map[string
 					if i >= len(unique) {
 						return
 					}
-					results[i], touched = buildOne(src, unique[i], counts, touched)
+					results[i], touched, errs[i] = buildOne(src, unique[i], counts, touched)
 				}
 			}()
 		}
 		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	out := make(map[string]ScoreList, len(unique))

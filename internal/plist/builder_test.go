@@ -26,7 +26,10 @@ func buildTinySource(t *testing.T) *Source {
 	add("trade", "reserves")    // 3
 	add("query")                // 4
 	add("query")                // 5
-	ix := corpus.BuildInverted(c)
+	ix, err := corpus.BuildInverted(c)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	forward := [][]phrasedict.PhraseID{
 		{0, 1}, // doc 0
@@ -43,12 +46,23 @@ func buildTinySource(t *testing.T) *Source {
 	}
 }
 
+// mustScoreList builds one word's score list, failing the test on decode
+// errors (impossible on these heap-resident fixtures).
+func mustScoreList(t *testing.T, src *Source, word string) ScoreList {
+	t.Helper()
+	l, err := BuildScoreList(src, word)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
 func TestBuildScoreListProbabilities(t *testing.T) {
 	src := buildTinySource(t)
 	// P(trade|p0) = |{0,1,3} ∩ {0,1,2}| / 3 = 2/3
 	// P(trade|p1) = |{0,1,3} ∩ {0,3}| / 2 = 1
 	// P(trade|p2) = 0 -> omitted
-	l := BuildScoreList(src, "trade")
+	l := mustScoreList(t, src, "trade")
 	if err := l.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +74,7 @@ func TestBuildScoreListProbabilities(t *testing.T) {
 
 func TestBuildScoreListOmitsZeroProb(t *testing.T) {
 	src := buildTinySource(t)
-	l := BuildScoreList(src, "query")
+	l := mustScoreList(t, src, "query")
 	// Only phrase 2 co-occurs with "query": P = 2/2 = 1.
 	want := ScoreList{entry(2, 1.0)}
 	if !reflect.DeepEqual(l, want) {
@@ -70,7 +84,7 @@ func TestBuildScoreListOmitsZeroProb(t *testing.T) {
 
 func TestBuildScoreListUnknownWord(t *testing.T) {
 	src := buildTinySource(t)
-	if l := BuildScoreList(src, "absent"); l != nil {
+	if l := mustScoreList(t, src, "absent"); l != nil {
 		t.Fatalf("BuildScoreList(absent) = %v, want nil", l)
 	}
 }
@@ -83,7 +97,7 @@ func TestBuildListsMatchesSingle(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, w := range words {
-		single := BuildScoreList(src, w)
+		single := mustScoreList(t, src, w)
 		if !reflect.DeepEqual(all[w], single) {
 			t.Fatalf("BuildLists[%s] = %v, single = %v", w, all[w], single)
 		}
@@ -131,7 +145,11 @@ func TestBuildListsProbabilityInvariants(t *testing.T) {
 			// Cross-check against direct set computation (Eq. 13).
 			df := src.PhraseDocFreq[e.Phrase]
 			co := 0
-			for _, d := range src.Inverted.Docs(w) {
+			docs, err := src.Inverted.Docs(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range docs {
 				for _, p := range src.Forward[d] {
 					if p == e.Phrase {
 						co++

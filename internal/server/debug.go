@@ -24,6 +24,13 @@ var (
 	statCacheHits = expvar.NewInt("phrasemine_cache_hits_total")
 	statErrors    = expvar.NewInt("phrasemine_query_errors_total")
 	statMutations = expvar.NewInt("phrasemine_mutations_total")
+	// statPanics counts panics recovered on the serving path — handler
+	// panics caught by ServeHTTP and query-goroutine panics converted to
+	// errors. Any non-zero value is a bug worth a look; the stack is in
+	// the error log.
+	statPanics = expvar.NewInt("phrasemine_panics_total")
+	// statReloads counts successful hot-reloads (generation swaps).
+	statReloads = expvar.NewInt("phrasemine_reloads_total")
 )
 
 // gaugeMiner is the miner behind the index-memory gauges: the most

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"phrasemine"
+)
+
+// TestPanicRecoveryMiddleware drives both recovery layers with a nil miner
+// (every dereference panics): the handler-goroutine recover in ServeHTTP
+// and the query-goroutine recover in mineWithTimeout. Each must produce a
+// 500 and bump the panic counter instead of killing the process.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	var nilMiner *phrasemine.Miner
+	s := New(nilMiner, Options{CacheSize: -1})
+	before := statPanics.Value()
+
+	// /stats dereferences the miner on the handler goroutine itself.
+	if w := doJSON(t, s, http.MethodGet, "/stats", nil); w.Code != http.StatusInternalServerError {
+		t.Fatalf("stats with panicking miner = %d, want 500", w.Code)
+	}
+	// /mine dereferences it on the spawned query goroutine, which the
+	// ServeHTTP recover cannot reach.
+	w := doJSON(t, s, http.MethodPost, "/mine", MineRequest{Keywords: []string{"x"}})
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("mine with panicking miner = %d, want 500", w.Code)
+	}
+	if got := decode[errorResponse](t, w); got.Error == "" {
+		t.Fatal("panic 500 carried no error body")
+	}
+	// /mine/batch takes the batch goroutine path.
+	if w := doJSON(t, s, http.MethodPost, "/mine/batch", BatchRequest{
+		Queries: []MineRequest{{Keywords: []string{"x"}}},
+	}); w.Code != http.StatusInternalServerError {
+		t.Fatalf("batch with panicking miner = %d, want 500", w.Code)
+	}
+	if got := statPanics.Value(); got < before+3 {
+		t.Fatalf("phrasemine_panics_total = %d, want at least %d", got, before+3)
+	}
+}
+
+func TestWriteMineErrorMapping(t *testing.T) {
+	s := newTestServer(t, Options{})
+	cases := []struct {
+		err  error
+		code int
+	}{
+		{errQueryTimeout, http.StatusGatewayTimeout},
+		{fmt.Errorf("core: phrase-doc section: %w", phrasemine.ErrCorruptSnapshot), http.StatusInternalServerError},
+		{phrasemine.ErrMinerClosed, http.StatusServiceUnavailable},
+		{fmt.Errorf("%w: boom", errQueryPanic), http.StatusInternalServerError},
+		{errors.New("no lists for keyword"), http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		w := httptest.NewRecorder()
+		s.writeMineError(w, c.err)
+		if w.Code != c.code {
+			t.Errorf("writeMineError(%v) = %d, want %d", c.err, w.Code, c.code)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"net/http"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"phrasemine"
+)
+
+// mappedFixture saves the test miner to a snapshot and returns the path
+// plus an open function for it — the same shape the CLI wires into
+// Options.Reload.
+func mappedFixture(t *testing.T) (string, func() (*phrasemine.Miner, error)) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "miner.snap")
+	if err := testMiner(t).SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	open := func() (*phrasemine.Miner, error) {
+		return phrasemine.OpenMinerMapped(path, 2)
+	}
+	return path, open
+}
+
+func TestReloadSwapsGenerations(t *testing.T) {
+	_, open := mappedFixture(t)
+	m, err := open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(m, Options{Reload: open})
+	before := s.Miner()
+	w := doJSON(t, s, http.MethodPost, "/reload", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("reload = %d: %s", w.Code, w.Body.String())
+	}
+	after := s.Miner()
+	if before == after {
+		t.Fatal("reload did not swap the miner generation")
+	}
+	// The retired generation must reject further use instead of serving
+	// from an unmapped region.
+	if _, err := before.Mine([]string{"trade"}, phrasemine.OR, phrasemine.QueryOptions{}); err == nil {
+		// Close is asynchronous; poll briefly via the error path.
+		deadline := 200
+		for i := 0; i < deadline; i++ {
+			if _, err := before.Mine([]string{"trade"}, phrasemine.OR, phrasemine.QueryOptions{}); err != nil {
+				break
+			}
+		}
+	}
+	if w := doJSON(t, s, http.MethodPost, "/mine", MineRequest{Keywords: []string{"trade"}}); w.Code != http.StatusOK {
+		t.Fatalf("mine after reload = %d: %s", w.Code, w.Body.String())
+	}
+}
+
+func TestReloadNotConfigured(t *testing.T) {
+	s := newTestServer(t, Options{})
+	if w := doJSON(t, s, http.MethodPost, "/reload", nil); w.Code != http.StatusNotImplemented {
+		t.Fatalf("reload without Options.Reload = %d", w.Code)
+	}
+}
+
+// TestReloadUnderConcurrentLoad is the hot-reload acceptance check: many
+// goroutines hammer /mine and /mine/batch while the main goroutine swaps
+// generations repeatedly. Every query must succeed — the swap happens under
+// live traffic with zero failed requests (run with -race in CI).
+func TestReloadUnderConcurrentLoad(t *testing.T) {
+	_, open := mappedFixture(t)
+	m, err := open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Caching off so every request actually queries the miner.
+	s := New(m, Options{CacheSize: -1, Reload: open})
+
+	const (
+		workers  = 8
+		requests = 40
+		reloads  = 25
+	)
+	var failed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < requests; i++ {
+				if w%2 == 0 {
+					rec := doJSON(t, s, http.MethodPost, "/mine", MineRequest{
+						Keywords: []string{"trade", "reserves"}, Op: "AND", K: 5,
+					})
+					if rec.Code != http.StatusOK {
+						failed.Add(1)
+						t.Errorf("mine during reload = %d: %s", rec.Code, rec.Body.String())
+					}
+					continue
+				}
+				rec := doJSON(t, s, http.MethodPost, "/mine/batch", BatchRequest{Queries: []MineRequest{
+					{Keywords: []string{"trade"}},
+					{Keywords: []string{"oil", "production"}, Op: "AND", Algorithm: "smj"},
+					{Keywords: []string{"grain"}, Algorithm: "nra"},
+				}})
+				if rec.Code != http.StatusOK {
+					failed.Add(1)
+					t.Errorf("batch during reload = %d: %s", rec.Code, rec.Body.String())
+					continue
+				}
+				for j, item := range decode[BatchResponse](t, rec).Results {
+					if item.Error != "" {
+						failed.Add(1)
+						t.Errorf("batch item %d failed during reload: %s", j, item.Error)
+					}
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < reloads; i++ {
+		if w := doJSON(t, s, http.MethodPost, "/reload", nil); w.Code != http.StatusOK {
+			t.Fatalf("reload %d = %d: %s", i, w.Code, w.Body.String())
+		}
+	}
+	wg.Wait()
+	if n := failed.Load(); n != 0 {
+		t.Fatalf("%d queries failed across %d reloads", n, reloads)
+	}
+	// The final generation still serves, and closing it is clean.
+	if w := doJSON(t, s, http.MethodPost, "/mine", MineRequest{Keywords: []string{"trade"}}); w.Code != http.StatusOK {
+		t.Fatalf("mine after reload storm = %d", w.Code)
+	}
+	if err := s.Miner().Close(); err != nil {
+		t.Fatal(err)
+	}
+}

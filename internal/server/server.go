@@ -12,6 +12,7 @@
 //	POST   /docs        register a document (delta update, visible at flush)
 //	DELETE /docs/{id}   register a document removal
 //	POST   /flush       rebuild indexes over the updated corpus
+//	POST   /reload      hot-swap to a freshly opened miner generation
 //
 // Every successful /mine answer is cached in a bounded LRU keyed on the
 // normalized query (keywords after phrasemine.NormalizeKeywords, sorted
@@ -23,17 +24,29 @@
 // Queries run under a per-request timeout. A query that exceeds it gets a
 // 504 response; its goroutine finishes in the background (the miner has no
 // internal cancellation points) and its result is discarded.
+//
+// The serving miner is held behind an atomic pointer: /reload (when
+// Options.Reload is configured) opens the next generation beside the old
+// one, flips the pointer under live traffic, and closes the old generation
+// in the background once its in-flight queries drain — queries never block
+// on a reload and never observe a half-swapped state. Any panic escaping a
+// handler or query goroutine is converted into a 500 response and counted
+// (phrasemine_panics_total) instead of killing the process.
 package server
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"slices"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"phrasemine"
@@ -53,6 +66,13 @@ type Options struct {
 	// MaxBodyBytes bounds request body size. Zero selects
 	// DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// Reload, when set, enables POST /reload (and whatever signal handling
+	// the embedding process wires to Server.Reload): it opens and returns
+	// a fresh miner from the current snapshot or manifest on disk. The
+	// server swaps the new generation in atomically and closes the old one
+	// in the background once its in-flight queries drain. Nil disables the
+	// endpoint (501).
+	Reload func() (*phrasemine.Miner, error)
 }
 
 // Defaults for the zero Options values.
@@ -66,11 +86,18 @@ const (
 // Server serves phrase-mining queries over a Miner. Create one with New;
 // it is an http.Handler.
 type Server struct {
-	miner *phrasemine.Miner
-	opts  Options
-	cache *resultCache
-	mux   *http.ServeMux
-	start time.Time
+	// miner is the serving generation. Queries Load it per request; Reload
+	// Swaps it. The old generation's own read lock drains its in-flight
+	// queries before Close unmaps anything, so no refcount beyond the
+	// pointer itself is needed here.
+	miner atomic.Pointer[phrasemine.Miner]
+	// reloadMu serializes Reload calls (the swap itself is atomic; two
+	// concurrent reloads must not both close the same old generation).
+	reloadMu sync.Mutex
+	opts     Options
+	cache    *resultCache
+	mux      *http.ServeMux
+	start    time.Time
 }
 
 // New wraps a miner in an HTTP handler. Mutations must go through the
@@ -90,12 +117,12 @@ func New(m *phrasemine.Miner, opts Options) *Server {
 		opts.MaxBodyBytes = DefaultMaxBodyBytes
 	}
 	s := &Server{
-		miner: m,
 		opts:  opts,
 		cache: newResultCache(opts.CacheSize),
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 	}
+	s.miner.Store(m)
 	registerIndexGauges(m)
 	s.mux.HandleFunc("POST /mine", s.handleMine)
 	s.mux.HandleFunc("POST /mine/batch", s.handleMineBatch)
@@ -104,11 +131,64 @@ func New(m *phrasemine.Miner, opts Options) *Server {
 	s.mux.HandleFunc("POST /docs", s.handleAddDoc)
 	s.mux.HandleFunc("DELETE /docs/{id}", s.handleRemoveDoc)
 	s.mux.HandleFunc("POST /flush", s.handleFlush)
+	s.mux.HandleFunc("POST /reload", s.handleReload)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// Miner returns the currently serving miner generation. Callers embedding
+// the server (the CLI's shutdown path) close this, not the miner they
+// passed to New — a reload may have swapped it.
+func (s *Server) Miner() *phrasemine.Miner {
+	return s.miner.Load()
+}
+
+// Reload opens the next miner generation via Options.Reload, swaps it in
+// atomically, and closes the previous generation in the background once
+// its in-flight queries drain. On error the serving generation is
+// untouched. Concurrent Reload calls are serialized.
+func (s *Server) Reload() error {
+	if s.opts.Reload == nil {
+		return fmt.Errorf("server: reload is not configured")
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	fresh, err := s.opts.Reload()
+	if err != nil {
+		return fmt.Errorf("server: reload: %w", err)
+	}
+	old := s.miner.Swap(fresh)
+	registerIndexGauges(fresh)
+	// Results computed against the old generation must not answer queries
+	// against the new one.
+	s.cache.Invalidate()
+	statReloads.Add(1)
+	go func() {
+		// Close blocks until the old generation's in-flight queries
+		// release its read lock, then unmaps; late arrivals that loaded
+		// the old pointer pre-swap get ErrMinerClosed and retry against
+		// the fresh pointer (see mineOnce).
+		if err := old.Close(); err != nil {
+			log.Printf("server: closing previous miner generation: %v", err)
+		}
+	}()
+	return nil
+}
+
+// ServeHTTP implements http.Handler. It is also the last line of defense
+// against query-path panics: a panic escaping a handler is logged with its
+// stack, counted in phrasemine_panics_total, and converted into a 500 —
+// one bad request must not kill a process serving thousands of others.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if v := recover(); v != nil {
+			statPanics.Add(1)
+			statErrors.Add(1)
+			log.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+			// Best effort: if the handler already started a response this
+			// writes a harmless superfluous-WriteHeader log line.
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", v))
+		}
+	}()
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -338,6 +418,38 @@ func (s *Server) handleMineBatch(w http.ResponseWriter, r *http.Request) {
 // errQueryTimeout marks a query that exceeded Options.QueryTimeout.
 var errQueryTimeout = errors.New("query timed out")
 
+// reloadRetries bounds how often a query chases the serving pointer when
+// it keeps landing on generations a concurrent reload has already closed.
+const reloadRetries = 2
+
+// mineOnce runs one Mine call against the current generation, chasing the
+// serving pointer if a reload closed the generation between the Load and
+// the query taking its read lock.
+func (s *Server) mineOnce(p parsedQuery) ([]phrasemine.Result, error) {
+	for attempt := 0; ; attempt++ {
+		res, err := s.Miner().Mine(p.keywords, p.op, p.opt)
+		if errors.Is(err, phrasemine.ErrMinerClosed) && attempt < reloadRetries {
+			continue
+		}
+		return res, err
+	}
+}
+
+// errQueryPanic marks a query whose execution goroutine panicked.
+var errQueryPanic = errors.New("internal error: query panicked")
+
+// queryPanicError converts a recovered panic value on a spawned query
+// goroutine into an error (a panic there would otherwise kill the whole
+// process — the ServeHTTP recover only covers the handler's own
+// goroutine). Callers must invoke recover() directly in their own deferred
+// function and pass the value in; recover() called one frame deeper
+// returns nil.
+func queryPanicError(v any) error {
+	statPanics.Add(1)
+	log.Printf("server: panic in query execution: %v\n%s", v, debug.Stack())
+	return fmt.Errorf("%w: %v", errQueryPanic, v)
+}
+
 // mineWithTimeout runs one Mine call bounded by the configured timeout and
 // the request's own cancellation.
 func (s *Server) mineWithTimeout(r *http.Request, p parsedQuery) ([]phrasemine.Result, error) {
@@ -347,8 +459,14 @@ func (s *Server) mineWithTimeout(r *http.Request, p parsedQuery) ([]phrasemine.R
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		res, err := s.miner.Mine(p.keywords, p.op, p.opt)
-		done <- outcome{res, err}
+		var o outcome
+		defer func() {
+			if v := recover(); v != nil {
+				o.err = queryPanicError(v)
+			}
+			done <- o
+		}()
+		o.results, o.err = s.mineOnce(p)
 	}()
 	timer := time.NewTimer(s.opts.QueryTimeout)
 	defer timer.Stop()
@@ -362,15 +480,37 @@ func (s *Server) mineWithTimeout(r *http.Request, p parsedQuery) ([]phrasemine.R
 	}
 }
 
-// batchWithTimeout is mineWithTimeout for a whole batch.
-func (s *Server) batchWithTimeout(r *http.Request, items []phrasemine.BatchItem) ([]phrasemine.BatchResult, error) {
-	done := make(chan []phrasemine.BatchResult, 1)
-	go func() { done <- s.miner.MineBatch(items) }()
+// batchWithTimeout is mineWithTimeout for a whole batch. A reload landing
+// mid-batch can fail items with ErrMinerClosed; the whole batch is re-run
+// against the fresh generation (bounded, and rare enough that recomputing
+// the already-succeeded items does not matter).
+func (s *Server) batchWithTimeout(r *http.Request, items []phrasemine.BatchItem) (res []phrasemine.BatchResult, err error) {
+	type outcome struct {
+		results []phrasemine.BatchResult
+		err     error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		var o outcome
+		defer func() {
+			if v := recover(); v != nil {
+				o.err = queryPanicError(v)
+			}
+			done <- o
+		}()
+		for attempt := 0; ; attempt++ {
+			o.results = s.Miner().MineBatch(items)
+			if attempt < reloadRetries && batchHitClosed(o.results) {
+				continue
+			}
+			return
+		}
+	}()
 	timer := time.NewTimer(s.opts.QueryTimeout)
 	defer timer.Stop()
 	select {
-	case res := <-done:
-		return res, nil
+	case o := <-done:
+		return o.results, o.err
 	case <-timer.C:
 		return nil, errQueryTimeout
 	case <-r.Context().Done():
@@ -378,13 +518,29 @@ func (s *Server) batchWithTimeout(r *http.Request, items []phrasemine.BatchItem)
 	}
 }
 
-// writeMineError maps query-execution failures to HTTP statuses.
+func batchHitClosed(results []phrasemine.BatchResult) bool {
+	for _, r := range results {
+		if errors.Is(r.Err, phrasemine.ErrMinerClosed) {
+			return true
+		}
+	}
+	return false
+}
+
+// writeMineError maps query-execution failures to HTTP statuses. Corrupt
+// snapshot bytes are a server-side fault (500, with the failing section in
+// the message); a closed miner that outlasted every retry means the server
+// is shutting down (503); everything else is a query the index cannot
+// answer (422).
 func (s *Server) writeMineError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, errQueryTimeout):
 		writeError(w, http.StatusGatewayTimeout, err)
-	case errors.Is(err, http.ErrAbortHandler):
-		// unreachable; kept for symmetry
+	case errors.Is(err, phrasemine.ErrCorruptSnapshot):
+		writeError(w, http.StatusInternalServerError, err)
+	case errors.Is(err, phrasemine.ErrMinerClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, errQueryPanic):
 		writeError(w, http.StatusInternalServerError, err)
 	default:
 		writeError(w, http.StatusUnprocessableEntity, err)
@@ -406,10 +562,15 @@ func (s *Server) handleAddDoc(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("empty document"))
 		return
 	}
-	s.miner.Add(phrasemine.Document{Text: req.Text, Facets: req.Facets})
+	m := s.Miner()
+	if err := m.Add(phrasemine.Document{Text: req.Text, Facets: req.Facets}); err != nil {
+		statErrors.Add(1)
+		s.writeMineError(w, err)
+		return
+	}
 	statMutations.Add(1)
 	s.cache.Invalidate()
-	writeJSON(w, http.StatusAccepted, map[string]int{"pending_updates": s.miner.PendingUpdates()})
+	writeJSON(w, http.StatusAccepted, map[string]int{"pending_updates": m.PendingUpdates()})
 }
 
 func (s *Server) handleRemoveDoc(w http.ResponseWriter, r *http.Request) {
@@ -418,33 +579,53 @@ func (s *Server) handleRemoveDoc(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid document id %q", r.PathValue("id")))
 		return
 	}
-	if err := s.miner.Remove(id); err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+	m := s.Miner()
+	if err := m.Remove(id); err != nil {
+		statErrors.Add(1)
+		s.writeMineError(w, err)
 		return
 	}
 	statMutations.Add(1)
 	s.cache.Invalidate()
-	writeJSON(w, http.StatusAccepted, map[string]int{"pending_updates": s.miner.PendingUpdates()})
+	writeJSON(w, http.StatusAccepted, map[string]int{"pending_updates": m.PendingUpdates()})
 }
 
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
-	if err := s.miner.Flush(); err != nil {
+	m := s.Miner()
+	if err := m.Flush(); err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	statMutations.Add(1)
 	s.cache.Invalidate()
-	writeJSON(w, http.StatusOK, map[string]int{"pending_updates": s.miner.PendingUpdates()})
+	writeJSON(w, http.StatusOK, map[string]int{"pending_updates": m.PendingUpdates()})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Reload == nil {
+		writeError(w, http.StatusNotImplemented,
+			fmt.Errorf("reload is not configured (serve from a snapshot or manifest to enable it)"))
+		return
+	}
+	if err := s.Reload(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"documents": s.Miner().NumDocuments(),
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	m := s.Miner()
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Documents:      s.miner.NumDocuments(),
-		Phrases:        s.miner.NumPhrases(),
-		VocabSize:      s.miner.VocabSize(),
-		PendingUpdates: s.miner.PendingUpdates(),
+		Documents:      m.NumDocuments(),
+		Phrases:        m.NumPhrases(),
+		VocabSize:      m.VocabSize(),
+		PendingUpdates: m.PendingUpdates(),
 		UptimeSeconds:  time.Since(s.start).Seconds(),
-		Index:          s.miner.IndexStats(),
+		Index:          m.IndexStats(),
 		Cache:          s.cache.Stats(),
 	})
 }

@@ -122,7 +122,11 @@ func TestGenerateEmbedsCollocations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats, err := textproc.Extract(c.TokenSlices(), textproc.ExtractorOptions{
+	tokens, err := c.TokenSlices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := textproc.Extract(tokens, textproc.ExtractorOptions{
 		MinWords: 2, MaxWords: 6, MinDocFreq: 5,
 	})
 	if err != nil {
@@ -196,7 +200,11 @@ func harvestFixture(t *testing.T) []textproc.PhraseStats {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats, err := textproc.Extract(c.TokenSlices(), textproc.ExtractorOptions{
+	tokens, err := c.TokenSlices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := textproc.Extract(tokens, textproc.ExtractorOptions{
 		MinWords: 2, MaxWords: 6, MinDocFreq: 3,
 	})
 	if err != nil {

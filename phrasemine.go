@@ -64,6 +64,21 @@ import (
 	"phrasemine/internal/topk"
 )
 
+// ErrCorruptSnapshot classifies decode failures of persisted index data
+// that passed open-time validation — truncated or bit-flipped mapped
+// sections, malformed posting blocks, invalid dictionary records. Queries
+// against a corrupt mapped or sharded snapshot return an error matching
+// errors.Is(err, ErrCorruptSnapshot) (with section detail in the message)
+// instead of panicking, so a serving process degrades per-query rather
+// than crashing.
+var ErrCorruptSnapshot = diskio.ErrCorruptSnapshot
+
+// ErrMinerClosed is returned by operations on a miner whose Close has
+// already run. It signals a lost race between a query and a generation
+// swap (hot reload); callers holding a refreshed miner reference should
+// simply retry against it.
+var ErrMinerClosed = fmt.Errorf("phrasemine: miner is closed")
+
 // Operator combines the per-keyword document sets of a query.
 type Operator int
 
@@ -255,9 +270,16 @@ type QueryOptions struct {
 type Miner struct {
 	// mu serializes document updates (Add/Remove/Flush, write lock)
 	// against queries (read lock). Queries only read the index and the
-	// pending delta, so any number may run concurrently.
+	// pending delta, so any number may run concurrently. The read side is
+	// the generation refcount: Close write-acquires mu, so it drains every
+	// in-flight query before the mapping is released, and the closed flag
+	// below turns any later use into ErrMinerClosed instead of a read
+	// through an unmapped region.
 	mu sync.RWMutex
-	ix *core.Index
+	// closed latches Close. Guarded by mu; every entry point that touches
+	// index data checks it immediately after acquiring the lock.
+	closed bool
+	ix     *core.Index
 	// sh is the sharded multi-segment engine; exactly one of ix and sh is
 	// non-nil (Config.Segments > 1 selects sh).
 	sh       *core.ShardedIndex
@@ -306,7 +328,9 @@ func NewMinerFromDocuments(docs []Document, cfg Config) (*Miner, error) {
 	})
 	c := corpus.New()
 	for _, d := range tokenized {
-		c.Add(d)
+		if _, err := c.Add(d); err != nil {
+			return nil, err
+		}
 	}
 	return newMiner(c, cfg)
 }
@@ -430,9 +454,14 @@ func (m *Miner) Mine(keywords []string, op Operator, opt QueryOptions) ([]Result
 	}
 
 	// Queries only read the index and pending delta; the read lock
-	// excludes Add/Remove/Flush for the duration of the query.
+	// excludes Add/Remove/Flush for the duration of the query — and, on a
+	// mapped miner, keeps the mapping alive: Close write-acquires mu, so
+	// it cannot unmap under a running query.
 	m.mu.RLock()
 	defer m.mu.RUnlock()
+	if m.closed {
+		return nil, ErrMinerClosed
+	}
 
 	algo := opt.Algorithm
 	if algo == AlgoAuto {
@@ -465,11 +494,11 @@ func (m *Miner) Mine(keywords []string, op Operator, opt QueryOptions) ([]Result
 		}
 		return m.resolve(results, q)
 	case AlgoSMJ:
-		smj := m.smjIndex(frac)
-		var (
-			results []topk.Result
-			err     error
-		)
+		smj, err := m.smjIndex(frac)
+		if err != nil {
+			return nil, err
+		}
+		var results []topk.Result
 		if m.deltaActive() {
 			results, _, err = m.delta.QuerySMJ(smj, q, topk.SMJOptions{K: opt.K})
 		} else {
@@ -605,6 +634,13 @@ func (m *Miner) MineBatch(items []BatchItem) []BatchResult {
 		return out
 	}
 	m.mu.RLock()
+	if m.closed {
+		m.mu.RUnlock()
+		for i := range out {
+			out[i] = BatchResult{Err: ErrMinerClosed}
+		}
+		return out
+	}
 	var (
 		pool    *topk.Pool
 		workers int
@@ -636,15 +672,21 @@ func (m *Miner) MineBatch(items []BatchItem) []BatchResult {
 // on first use. The cache has its own mutex (queries hold only the read
 // lock, so two concurrent SMJ queries may race here); holding it across
 // the build means the second caller waits instead of building a duplicate.
-func (m *Miner) smjIndex(frac float64) *core.SMJIndex {
+// Build failures (corrupt compressed lists on a mapped miner) are not
+// cached: the underlying decode layers cache their own sticky errors, so
+// a retry fails fast with the same ErrCorruptSnapshot.
+func (m *Miner) smjIndex(frac float64) (*core.SMJIndex, error) {
 	m.smjMu.Lock()
 	defer m.smjMu.Unlock()
 	if s, ok := m.smjCache[frac]; ok {
-		return s
+		return s, nil
 	}
-	s := m.ix.BuildSMJ(frac)
+	s, err := m.ix.BuildSMJ(frac)
+	if err != nil {
+		return nil, err
+	}
 	m.smjCache[frac] = s
-	return s
+	return s, nil
 }
 
 func (m *Miner) resolve(results []topk.Result, q corpus.Query) ([]Result, error) {
@@ -687,7 +729,10 @@ func (m *Miner) deltaActive() bool {
 // cost is proportional to the touched segments. Add blocks until
 // in-flight queries drain (tokenization happens before the lock, so
 // queries are excluded only for the update registration itself).
-func (m *Miner) Add(doc Document) {
+//
+// On a mapped miner a corrupt forward or dictionary section surfaces here
+// as an error wrapping ErrCorruptSnapshot.
+func (m *Miner) Add(doc Document) error {
 	tok := textproc.Tokenizer{EmitSentenceBreaks: true}
 	d := corpus.Document{
 		Tokens: tok.Tokenize(doc.Text),
@@ -695,27 +740,41 @@ func (m *Miner) Add(doc Document) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		return ErrMinerClosed
+	}
 	if m.sh != nil {
 		// Sharded engines route additions to the write segment at Flush;
 		// pending documents are not visible to queries before it.
 		m.sh.AddDocument(d)
-		return
+		return nil
 	}
 	if m.delta == nil {
-		m.delta = m.ix.NewDelta()
+		delta, err := m.ix.NewDelta()
+		if err != nil {
+			return err
+		}
+		m.delta = delta
 	}
-	m.delta.AddDocument(d)
+	return m.delta.AddDocument(d)
 }
 
 // Remove registers the deletion of the i-th indexed document.
 func (m *Miner) Remove(docIndex int) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		return ErrMinerClosed
+	}
 	if m.sh != nil {
 		return m.sh.RemoveDocument(corpus.DocID(docIndex))
 	}
 	if m.delta == nil {
-		m.delta = m.ix.NewDelta()
+		delta, err := m.ix.NewDelta()
+		if err != nil {
+			return err
+		}
+		m.delta = delta
 	}
 	return m.delta.RemoveDocument(corpus.DocID(docIndex))
 }
@@ -754,6 +813,9 @@ func (m *Miner) PendingUpdates() int {
 func (m *Miner) Flush() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		return ErrMinerClosed
+	}
 	if m.sh != nil {
 		// Sharded flush rebuilds only the touched segments (typically just
 		// the write segment) plus any segment whose phrases crossed the
@@ -803,6 +865,9 @@ const minerConfigSection = "phrasemine/config"
 func (m *Miner) Save(w io.Writer) error {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
+	if m.closed {
+		return ErrMinerClosed
+	}
 	if m.sh != nil {
 		// A single snapshot cannot represent a multi-segment engine;
 		// silently persisting one segment would lose the rest of the
@@ -835,18 +900,14 @@ func (m *Miner) Save(w io.Writer) error {
 	return nil
 }
 
-// SaveFile writes a snapshot to path via Save, creating or truncating the
-// file.
+// SaveFile writes a snapshot to path via Save. The snapshot is staged in a
+// temporary file in the same directory, fsynced, and renamed into place, so
+// a crash mid-save (even kill -9 or power loss) leaves either the previous
+// file or the complete new one — never a truncated snapshot.
 func (m *Miner) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := m.Save(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return diskio.WriteToFileAtomic(path, 0o644, func(w io.Writer) error {
+		return m.Save(w)
+	})
 }
 
 // SaveManifest persists a sharded miner into dir: one v2 snapshot per
@@ -857,6 +918,9 @@ func (m *Miner) SaveFile(path string) error {
 func (m *Miner) SaveManifest(dir string) error {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
+	if m.closed {
+		return ErrMinerClosed
+	}
 	if m.sh == nil {
 		return fmt.Errorf("phrasemine: miner is not sharded; use Save for a single snapshot")
 	}
@@ -960,9 +1024,11 @@ func LoadMinerFile(path string, workers int) (*Miner, error) {
 //
 // Unlike LoadMinerFile, section checksums are not verified at open (that
 // would read the whole file); the block codecs validate structure as they
-// decode, so corruption surfaces loudly (query errors, or panics on
-// accessor paths that cannot carry one) rather than as wrong answers.
-// Call Close when the miner is retired — after it, no query may run.
+// decode, so corruption surfaces loudly as query errors wrapping
+// ErrCorruptSnapshot rather than as wrong answers or a process-killing
+// panic. Call Close when the miner is retired; Close drains in-flight
+// queries before releasing the mapping, and later queries return
+// ErrMinerClosed.
 func OpenMinerMapped(path string, workers int) (*Miner, error) {
 	if workers < 0 {
 		return nil, fmt.Errorf("phrasemine: workers must be non-negative, got %d (0 selects GOMAXPROCS)", workers)
@@ -998,11 +1064,16 @@ func OpenMinerMapped(path string, workers int) (*Miner, error) {
 
 // Close releases resources held by a miner opened with OpenMinerMapped
 // (the snapshot mapping); it is a no-op for built or heap-loaded miners.
-// Close must only run once queries have drained — open cursors read out of
-// the mapping — and the miner must not be used afterwards.
+// Acquiring the write lock drains in-flight queries first — open cursors
+// read out of the mapping, so the unmap must not race them. After Close,
+// every operation returns ErrMinerClosed; calling Close again is a no-op.
 func (m *Miner) Close() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
 	if m.sh != nil {
 		return m.sh.Close()
 	}

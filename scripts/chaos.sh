@@ -1,0 +1,150 @@
+#!/usr/bin/env bash
+# chaos.sh — crash-safety smoke for the serving path, run by CI's
+# chaos-smoke job. It drives the guarantees documented in
+# docs/ARCHITECTURE.md ("Error handling & reload lifecycle") end to end
+# against the real binary:
+#
+#   1. hot reload (POST /reload and SIGHUP) under concurrent query load,
+#      with zero failed requests across every generation swap;
+#   2. kill -9 while build-index is flushing a snapshot over the live
+#      artifact — the atomic temp+fsync+rename write must leave either
+#      the old or the new complete snapshot, never a torn one, so a
+#      restart on the survivor always serves;
+#   3. serving a truncated snapshot must be refused cleanly (non-zero
+#      exit, no panic), not crash or serve garbage.
+#
+# Usage: scripts/chaos.sh  (no arguments; builds into a temp dir)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+ADDR=127.0.0.1:18090
+BASE="http://$ADDR"
+
+log() { echo "chaos: $*" >&2; }
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    if curl -sf "$BASE/healthz" > /dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  log "server never became healthy"
+  return 1
+}
+
+log "building binaries"
+go build -o "$WORK/phrasemine" ./cmd/phrasemine
+go build -o "$WORK/datagen" ./cmd/datagen
+
+log "building snapshot"
+"$WORK/datagen" -dataset reuters -scale 0.02 -out "$WORK/corpus.txt"
+"$WORK/phrasemine" build-index -in "$WORK/corpus.txt" -out "$WORK/corpus.snap" -mindf 3
+
+# ---------------------------------------------------------------- 1. reload
+log "serving mmap + starting reload storm under load"
+"$WORK/phrasemine" serve -index "$WORK/corpus.snap" -addr "$ADDR" -mmap -pprof \
+  > "$WORK/serve.log" 2>&1 &
+SERVER_PID=$!
+wait_healthy
+
+WORKERS=4
+REQUESTS=40
+: > "$WORK/failures"
+WORKER_PIDS=()
+for w in $(seq 1 "$WORKERS"); do
+  (
+    for _ in $(seq 1 "$REQUESTS"); do
+      if ! curl -sf -X POST -d '{"keywords":["ba"],"k":3}' "$BASE/mine" > /dev/null; then
+        echo "mine" >> "$WORK/failures"
+      fi
+      if ! curl -sf -X POST \
+        -d '{"queries":[{"keywords":["ba"]},{"keywords":["co","ba"],"op":"AND"}]}' \
+        "$BASE/mine/batch" | grep -qv '"error"'; then
+        echo "batch" >> "$WORK/failures"
+      fi
+    done
+  ) &
+  WORKER_PIDS+=($!)
+done
+
+RELOADS=10
+for _ in $(seq 1 "$RELOADS"); do
+  curl -sf -X POST "$BASE/reload" > /dev/null
+  sleep 0.05
+done
+# SIGHUP takes the same path as POST /reload.
+kill -HUP "$SERVER_PID"
+wait "${WORKER_PIDS[@]}"
+
+if [ -s "$WORK/failures" ]; then
+  log "queries failed during reload storm: $(sort "$WORK/failures" | uniq -c | tr '\n' ' ')"
+  exit 1
+fi
+for _ in $(seq 1 50); do
+  reloads=$(curl -sf "$BASE/debug/vars" \
+    | sed -n 's/.*"phrasemine_reloads_total": \([0-9]*\).*/\1/p')
+  [ "${reloads:-0}" -ge $((RELOADS + 1)) ] && break
+  sleep 0.1
+done
+if [ "${reloads:-0}" -lt $((RELOADS + 1)) ]; then
+  log "expected >= $((RELOADS + 1)) reloads (POST + SIGHUP), counter shows ${reloads:-0}"
+  exit 1
+fi
+log "reload storm passed: ${reloads} generation swaps, zero failed queries"
+
+kill -INT "$SERVER_PID"
+wait "$SERVER_PID"
+SERVER_PID=""
+
+# --------------------------------------------------- 2. kill -9 mid-flush
+# Overwrite the live snapshot path while killing the indexer at varying
+# points mid-write. Whatever instant the kill lands, the path must hold a
+# complete snapshot (old or new) that a restarted server can serve.
+log "kill -9 mid-flush rounds"
+for delay in 0.05 0.15 0.30; do
+  "$WORK/phrasemine" build-index -in "$WORK/corpus.txt" -out "$WORK/corpus.snap" -mindf 3 \
+    > /dev/null 2>&1 &
+  BUILD_PID=$!
+  sleep "$delay"
+  kill -9 "$BUILD_PID" 2>/dev/null || true
+  wait "$BUILD_PID" 2>/dev/null || true
+
+  "$WORK/phrasemine" serve -index "$WORK/corpus.snap" -addr "$ADDR" -mmap \
+    > "$WORK/serve-survivor.log" 2>&1 &
+  SERVER_PID=$!
+  wait_healthy
+  curl -sf -X POST -d '{"keywords":["ba"],"k":3}' "$BASE/mine" | grep -q '"phrase"'
+  kill -INT "$SERVER_PID"
+  wait "$SERVER_PID"
+  SERVER_PID=""
+  log "  survivor after kill at ${delay}s serves"
+done
+
+# ------------------------------------------- 3. truncated snapshot refusal
+log "truncated snapshot must be refused cleanly"
+size=$(wc -c < "$WORK/corpus.snap")
+head -c $((size * 3 / 5)) "$WORK/corpus.snap" > "$WORK/trunc.snap"
+set +e
+"$WORK/phrasemine" serve -index "$WORK/trunc.snap" -addr "$ADDR" -mmap \
+  > "$WORK/trunc.log" 2>&1
+rc=$?
+set -e
+if [ "$rc" -eq 0 ]; then
+  log "serve accepted a truncated snapshot"
+  exit 1
+fi
+if grep -q 'panic:' "$WORK/trunc.log"; then
+  log "serve panicked on a truncated snapshot:"
+  cat "$WORK/trunc.log" >&2
+  exit 1
+fi
+log "truncated snapshot refused cleanly: $(tail -1 "$WORK/trunc.log")"
+
+log "all chaos legs passed"
