@@ -9,13 +9,21 @@
 //	    values included).
 //
 //	benchtool compare -baseline BENCH.json -current BENCH2.json \
-//	    [-max-alloc-regression 0.20] [-max-time-regression 0]
+//	    [-max-alloc-regression 0.20] [-max-time-regression 0] \
+//	    [-min-speedup slow:fast:metric:ratio]...
 //	    Compare two tojson documents benchmark by benchmark and exit
 //	    non-zero when an enforced metric regressed beyond its tolerance.
 //	    allocs/op is enforced by default (it is deterministic, so a 20%
 //	    budget catches real regressions without flaking); ns/op is
 //	    reported but only enforced when -max-time-regression > 0, because
 //	    shared CI runners make wall-clock comparisons noisy.
+//
+//	    -min-speedup gates a RATIO between two benchmarks measured in the
+//	    same run of the CURRENT document (e.g. packed vs varint decode):
+//	    slow.metric / fast.metric must be at least ratio. Because both
+//	    sides run on the same machine moments apart, the ratio is stable
+//	    even where absolute wall clock is not, so it can be enforced on
+//	    shared runners. Repeatable.
 //
 // No external dependencies (benchstat is nice for local A/Bs but is not
 // vendored here); the comparison is a plain per-benchmark ratio check.
@@ -79,7 +87,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   benchtool tojson -in bench.out -out BENCH.json [-label text]
-  benchtool compare -baseline BENCH.json -current BENCH2.json [-max-alloc-regression F] [-max-time-regression F]`)
+  benchtool compare -baseline BENCH.json -current BENCH2.json [-max-alloc-regression F] [-max-time-regression F] [-min-speedup slow:fast:metric:ratio]...`)
 }
 
 // cpuSuffix strips the -N GOMAXPROCS suffix go test appends to parallel
@@ -200,6 +208,56 @@ func readDoc(path string) (*Document, error) {
 	return &doc, nil
 }
 
+// speedupSpec is one -min-speedup gate: in the current document, the slow
+// benchmark's metric divided by the fast benchmark's metric must be at
+// least ratio.
+type speedupSpec struct {
+	slow, fast, metric string
+	ratio              float64
+}
+
+// speedupFlags parses repeated -min-speedup slow:fast:metric:ratio flags.
+type speedupFlags []speedupSpec
+
+func (s *speedupFlags) String() string {
+	parts := make([]string, len(*s))
+	for i, sp := range *s {
+		parts[i] = fmt.Sprintf("%s:%s:%s:%g", sp.slow, sp.fast, sp.metric, sp.ratio)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (s *speedupFlags) Set(v string) error {
+	parts := strings.Split(v, ":")
+	if len(parts) != 4 {
+		return fmt.Errorf("want slow:fast:metric:ratio, got %q", v)
+	}
+	ratio, err := strconv.ParseFloat(parts[3], 64)
+	if err != nil || ratio <= 0 {
+		return fmt.Errorf("bad ratio in %q", v)
+	}
+	if parts[0] == "" || parts[1] == "" || parts[2] == "" {
+		return fmt.Errorf("empty field in %q", v)
+	}
+	*s = append(*s, speedupSpec{slow: parts[0], fast: parts[1], metric: parts[2], ratio: ratio})
+	return nil
+}
+
+// metricOf resolves a metric name against a benchmark record, covering the
+// three standard units plus any custom b.ReportMetric unit.
+func metricOf(b Benchmark, metric string) (float64, bool) {
+	switch metric {
+	case "ns/op":
+		return b.NsPerOp, true
+	case "B/op":
+		return b.BytesPerOp, true
+	case "allocs/op":
+		return b.AllocsPerOp, true
+	}
+	v, ok := b.Metrics[metric]
+	return v, ok
+}
+
 func cmdCompare(args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	basePath := fs.String("baseline", "", "committed baseline JSON")
@@ -207,6 +265,8 @@ func cmdCompare(args []string) error {
 	maxAlloc := fs.Float64("max-alloc-regression", 0.20, "fail when allocs/op grows beyond this fraction (negative disables)")
 	maxTime := fs.Float64("max-time-regression", 0, "fail when ns/op grows beyond this fraction (0 or negative disables)")
 	allocSlack := fs.Float64("alloc-slack", 2, "absolute allocs/op headroom added to the relative budget (keeps near-zero baselines from gating on pool warm-up noise)")
+	var speedups speedupFlags
+	fs.Var(&speedups, "min-speedup", "slow:fast:metric:ratio same-run ratio gate on the current document (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -242,6 +302,31 @@ func cmdCompare(args []string) error {
 	}
 	if matched == 0 {
 		return fmt.Errorf("no benchmarks in %s matched the baseline %s", *curPath, *basePath)
+	}
+	curByName := make(map[string]Benchmark, len(cur.Benchmarks))
+	for _, c := range cur.Benchmarks {
+		curByName[c.Name] = c
+	}
+	for _, sp := range speedups {
+		slow, okS := curByName[sp.slow]
+		fast, okF := curByName[sp.fast]
+		if !okS || !okF {
+			return fmt.Errorf("min-speedup: benchmark missing from %s (%s: %v, %s: %v)",
+				*curPath, sp.slow, okS, sp.fast, okF)
+		}
+		slowV, okS := metricOf(slow, sp.metric)
+		fastV, okF := metricOf(fast, sp.metric)
+		if !okS || !okF || fastV <= 0 {
+			return fmt.Errorf("min-speedup: metric %q unavailable for %s/%s", sp.metric, sp.slow, sp.fast)
+		}
+		ratio := slowV / fastV
+		status := "ok"
+		if ratio < sp.ratio {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("speedup %s/%s on %s: %.2fx (want >= %.2fx) %s\n",
+			sp.slow, sp.fast, sp.metric, ratio, sp.ratio, status)
 	}
 	if failed {
 		return fmt.Errorf("benchmark regression beyond tolerance (alloc %+.0f%%, time %+.0f%%)",

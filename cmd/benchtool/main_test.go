@@ -73,3 +73,38 @@ func TestCheckTolerance(t *testing.T) {
 		t.Fatalf("regression beyond slack on a tiny baseline must fail: %+v", r)
 	}
 }
+
+func TestSpeedupFlagParsing(t *testing.T) {
+	var fl speedupFlags
+	if err := fl.Set("BenchmarkSlow:BenchmarkFast:ns/entry:2.0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.Set("A:B:ns/op:1.5"); err != nil {
+		t.Fatal(err)
+	}
+	if len(fl) != 2 || fl[0].slow != "BenchmarkSlow" || fl[0].fast != "BenchmarkFast" ||
+		fl[0].metric != "ns/entry" || fl[0].ratio != 2.0 {
+		t.Fatalf("parsed specs: %+v", fl)
+	}
+	for _, bad := range []string{"", "a:b:c", "a:b:c:d:e", "a:b:c:zero", "a:b:c:-1", ":b:c:2", "a::c:2", "a:b::2"} {
+		var f speedupFlags
+		if err := f.Set(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestMetricOf(t *testing.T) {
+	b := Benchmark{NsPerOp: 100, BytesPerOp: 64, AllocsPerOp: 3,
+		Metrics: map[string]float64{"ns/entry": 1.5}}
+	for metric, want := range map[string]float64{
+		"ns/op": 100, "B/op": 64, "allocs/op": 3, "ns/entry": 1.5,
+	} {
+		if got, ok := metricOf(b, metric); !ok || got != want {
+			t.Fatalf("metricOf(%q) = (%v, %v), want %v", metric, got, ok, want)
+		}
+	}
+	if _, ok := metricOf(b, "queries/s"); ok {
+		t.Fatal("missing custom metric must report !ok")
+	}
+}

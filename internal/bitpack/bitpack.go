@@ -1,0 +1,259 @@
+// Package bitpack implements the fixed bit-width packed value frames
+// shared by the plist and corpus block codecs: every value of a frame is
+// stored in the same b-bit slot (b = the width of the largest "normal"
+// value), and the few values too wide for the frame are patched in
+// afterwards from an exception list — the PFOR scheme. Decoding is
+// branch-free: value j lives at bit offset j*b, so an 8-byte little-endian
+// load at byte offset (j*b)/8 shifted right by (j*b)%8 and masked yields it
+// without any per-value conditionals, and the frame is padded so those wide
+// loads never run off the end.
+//
+// Frame layout (appended by AppendFrame, parsed by DecodeFrame):
+//
+//	width      uint8   bit width b of the packed slots, 0..32
+//	exceptions uint8   number of patched values
+//	packed     PaddedLen(n, b) bytes: n values of b bits each, LSB first
+//	           within a little-endian byte stream (exception slots hold 0)
+//	patches    exceptions × { pos uint8, value uvarint }, pos strictly
+//	           increasing
+//
+// The frame does not store n; callers recover it from their own block
+// geometry (entry counts live in list directories).
+package bitpack
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Codec selects the physical block codec at build time. The zero value
+// picks per block by encoded size, so builders stay deterministic; forcing
+// varint exists for differential testing (building a varint twin of a
+// packed index) and diagnostics.
+type Codec uint8
+
+const (
+	// CodecAuto chooses packed or varint per block, whichever encodes
+	// smaller (packed wins ties — it decodes faster at equal size).
+	CodecAuto Codec = iota
+	// CodecVarint forces the delta/varint encoding for every block.
+	CodecVarint
+)
+
+// Validate rejects codec values outside the defined set.
+func (c Codec) Validate() error {
+	if c != CodecAuto && c != CodecVarint {
+		return fmt.Errorf("bitpack: unknown codec %d", uint8(c))
+	}
+	return nil
+}
+
+// MaxWidth is the widest packed slot: values are uint32.
+const MaxWidth = 32
+
+// maxFrameValues bounds n so patch positions and the exception count both
+// fit their uint8 encodings.
+const maxFrameValues = 255
+
+// PaddedLen reports the byte length of the packed array holding n values
+// of b bits, including the tail padding that keeps the decoder's 8-byte
+// wide loads in bounds (the last value starts at bit (n-1)*b, so the load
+// covering it touches bytes [((n-1)*b)/8, ((n-1)*b)/8+8)).
+func PaddedLen(n int, b uint) int {
+	if n == 0 || b == 0 {
+		return 0
+	}
+	return int(uint(n-1)*b)>>3 + 8
+}
+
+// UvarintLen reports the encoded size of v in bytes.
+func UvarintLen(v uint64) int {
+	return (bits.Len64(v|1) + 6) / 7
+}
+
+// FrameSize reports the bytes AppendFrame would emit for vals: the chosen
+// width's packed array plus its exception patches and the 2-byte frame
+// header. It runs the same width selection as AppendFrame, so builders can
+// compare codecs without encoding twice.
+func FrameSize(vals []uint32) int {
+	_, size := chooseWidth(vals)
+	return size
+}
+
+// chooseWidth picks the frame width minimizing total encoded bytes over
+// b in [0, MaxWidth]: PaddedLen(n, b) for the packed array plus, for every
+// value wider than b, a 1-byte position and its uvarint bytes. Ties go to
+// the smaller width (smaller packed array, deterministic choice).
+func chooseWidth(vals []uint32) (width uint, size int) {
+	// exCost[L] aggregates the patch bytes and counts of values of exactly
+	// L significant bits; suffix sums then give the exception cost of any
+	// candidate width in one pass.
+	var exCost [MaxWidth + 1]int
+	for _, v := range vals {
+		exCost[bits.Len32(v)] += 1 + UvarintLen(uint64(v))
+	}
+	// suffixCost[b] = patch bytes for every value wider than b bits.
+	var suffixCost [MaxWidth + 1]int
+	for l := MaxWidth - 1; l >= 0; l-- {
+		suffixCost[l] = suffixCost[l+1] + exCost[l+1]
+	}
+	best, bestW := math.MaxInt, uint(0)
+	for b := uint(0); b <= MaxWidth; b++ {
+		cost := 2 + PaddedLen(len(vals), b) + suffixCost[b]
+		if cost < best {
+			best, bestW = cost, b
+		}
+	}
+	return bestW, best
+}
+
+// AppendFrame appends the packed frame encoding of vals to buf. len(vals)
+// must be at most 255 (patch positions and counts are single bytes); block
+// codecs call it with at most BlockLen-1 values.
+func AppendFrame(buf []byte, vals []uint32) []byte {
+	if len(vals) > maxFrameValues {
+		panic(fmt.Sprintf("bitpack: frame of %d values exceeds %d", len(vals), maxFrameValues))
+	}
+	b, _ := chooseWidth(vals)
+	nEx := 0
+	for _, v := range vals {
+		if uint(bits.Len32(v)) > b {
+			nEx++
+		}
+	}
+	buf = append(buf, uint8(b), uint8(nEx))
+	start := len(buf)
+	buf = append(buf, make([]byte, PaddedLen(len(vals), b))...)
+	if b > 0 {
+		dst := buf[start:]
+		for j, v := range vals {
+			if uint(bits.Len32(v)) > b {
+				continue // exception slot stays 0
+			}
+			off := uint(j) * b
+			idx := off >> 3
+			w := binary.LittleEndian.Uint64(dst[idx:])
+			w |= uint64(v) << (off & 7)
+			binary.LittleEndian.PutUint64(dst[idx:], w)
+		}
+	}
+	for j, v := range vals {
+		if uint(bits.Len32(v)) > b {
+			buf = append(buf, uint8(j))
+			buf = binary.AppendUvarint(buf, uint64(v))
+		}
+	}
+	return buf
+}
+
+// DecodeFrame decodes a frame of len(dst) values from src into dst and
+// returns the bytes consumed. It validates structural soundness — width and
+// exception-count ranges, in-bounds packed array, strictly increasing patch
+// positions, uint32-ranged patch values — so corrupt frames fail loudly.
+func DecodeFrame(dst []uint32, src []byte) (int, error) {
+	if len(src) < 2 {
+		return 0, fmt.Errorf("bitpack: truncated frame header (%d bytes)", len(src))
+	}
+	b := uint(src[0])
+	nEx := int(src[1])
+	if b > MaxWidth {
+		return 0, fmt.Errorf("bitpack: frame width %d exceeds %d", b, MaxWidth)
+	}
+	if nEx > len(dst) {
+		return 0, fmt.Errorf("bitpack: %d exceptions for %d values", nEx, len(dst))
+	}
+	pos := 2
+	packed := PaddedLen(len(dst), b)
+	if pos+packed > len(src) {
+		return 0, fmt.Errorf("bitpack: truncated packed array (%d of %d bytes)", len(src)-pos, packed)
+	}
+	unpack(dst, src[pos:pos+packed], b)
+	pos += packed
+	prev := -1
+	for e := 0; e < nEx; e++ {
+		if pos >= len(src) {
+			return 0, fmt.Errorf("bitpack: truncated exception %d", e)
+		}
+		slot := int(src[pos])
+		pos++
+		if slot >= len(dst) {
+			return 0, fmt.Errorf("bitpack: exception position %d out of range %d", slot, len(dst))
+		}
+		if slot <= prev {
+			return 0, fmt.Errorf("bitpack: exception positions not increasing (%d after %d)", slot, prev)
+		}
+		prev = slot
+		v, w := binary.Uvarint(src[pos:])
+		if w <= 0 {
+			return 0, fmt.Errorf("bitpack: truncated exception value at position %d", slot)
+		}
+		pos += w
+		if v > math.MaxUint32 {
+			return 0, fmt.Errorf("bitpack: exception value %d overflows uint32", v)
+		}
+		dst[slot] = uint32(v)
+	}
+	return pos, nil
+}
+
+// unpack decodes len(dst) fixed-width values from src (which must hold
+// PaddedLen(len(dst), b) bytes). The loop body is branch-free — one wide
+// load, shift and mask per value — and unrolled 8× so the block decode hot
+// path retires a block of slots per iteration.
+func unpack(dst []uint32, src []byte, b uint) {
+	if b == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	// For b = 32 the shift count 1<<b wraps to 0, so the mask wraps to
+	// ^uint32(0) — exactly the full-width mask needed.
+	mask := uint32(1)<<b - 1
+	n := len(dst)
+	i := 0
+	if b <= 7 {
+		// A group of 8 values is exactly b bytes, so groups start
+		// byte-aligned and (for b <= 7) span at most 56 bits: one wide
+		// load serves the whole group — one bounds check per 8 values
+		// instead of per value. Small widths are the common case (dense
+		// ID gaps), so this is the decode fast path.
+		g := uint(0)
+		for ; i+8 <= n; i += 8 {
+			w := binary.LittleEndian.Uint64(src[g:])
+			dst[i+0] = uint32(w) & mask
+			dst[i+1] = uint32(w>>(1*b)) & mask
+			dst[i+2] = uint32(w>>(2*b)) & mask
+			dst[i+3] = uint32(w>>(3*b)) & mask
+			dst[i+4] = uint32(w>>(4*b)) & mask
+			dst[i+5] = uint32(w>>(5*b)) & mask
+			dst[i+6] = uint32(w>>(6*b)) & mask
+			dst[i+7] = uint32(w>>(7*b)) & mask
+			g += b
+		}
+		off := uint(i) * b
+		for ; i < n; i++ {
+			dst[i] = uint32(binary.LittleEndian.Uint64(src[off>>3:])>>(off&7)) & mask
+			off += b
+		}
+		return
+	}
+	off := uint(0)
+	for ; i+8 <= n; i += 8 {
+		dst[i+0] = uint32(binary.LittleEndian.Uint64(src[(off+0*b)>>3:])>>((off+0*b)&7)) & mask
+		dst[i+1] = uint32(binary.LittleEndian.Uint64(src[(off+1*b)>>3:])>>((off+1*b)&7)) & mask
+		dst[i+2] = uint32(binary.LittleEndian.Uint64(src[(off+2*b)>>3:])>>((off+2*b)&7)) & mask
+		dst[i+3] = uint32(binary.LittleEndian.Uint64(src[(off+3*b)>>3:])>>((off+3*b)&7)) & mask
+		dst[i+4] = uint32(binary.LittleEndian.Uint64(src[(off+4*b)>>3:])>>((off+4*b)&7)) & mask
+		dst[i+5] = uint32(binary.LittleEndian.Uint64(src[(off+5*b)>>3:])>>((off+5*b)&7)) & mask
+		dst[i+6] = uint32(binary.LittleEndian.Uint64(src[(off+6*b)>>3:])>>((off+6*b)&7)) & mask
+		dst[i+7] = uint32(binary.LittleEndian.Uint64(src[(off+7*b)>>3:])>>((off+7*b)&7)) & mask
+		off += 8 * b
+	}
+	for ; i < n; i++ {
+		dst[i] = uint32(binary.LittleEndian.Uint64(src[off>>3:])>>(off&7)) & mask
+		off += b
+	}
+}

@@ -1,0 +1,211 @@
+package bitpack
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func roundTrip(t *testing.T, vals []uint32) []byte {
+	t.Helper()
+	frame := AppendFrame(nil, vals)
+	if got := FrameSize(vals); got != len(frame) {
+		t.Fatalf("FrameSize = %d, encoded %d bytes", got, len(frame))
+	}
+	dst := make([]uint32, len(vals))
+	n, err := DecodeFrame(dst, frame)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if n != len(frame) {
+		t.Fatalf("DecodeFrame consumed %d of %d bytes", n, len(frame))
+	}
+	for i := range vals {
+		if dst[i] != vals[i] {
+			t.Fatalf("value %d: got %d want %d (width %d)", i, dst[i], vals[i], frame[0])
+		}
+	}
+	return frame
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := map[string][]uint32{
+		"empty":        {},
+		"single-zero":  {0},
+		"single-max":   {math.MaxUint32},
+		"all-zero":     make([]uint32, 200),
+		"small":        {1, 2, 3, 4, 5, 6, 7},
+		"mixed-widths": {1, 1 << 10, 3, 1 << 20, 7, math.MaxUint32, 2},
+		"boundary-7":   {127, 127, 127, 127},
+		"boundary-8":   {128, 255, 129, 200},
+	}
+	for i := uint(1); i <= 32; i++ {
+		v := uint32(1)<<i - 1
+		cases["width-"+string(rune('a'+i%26))+"-"+string(rune('0'+i/10))+string(rune('0'+i%10))] =
+			[]uint32{v, v / 2, v, 0, v}
+	}
+	for name, vals := range cases {
+		t.Run(name, func(t *testing.T) { roundTrip(t, vals) })
+	}
+}
+
+func TestFrameRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(maxFrameValues + 1)
+		vals := make([]uint32, n)
+		shift := uint(rng.Intn(33))
+		for i := range vals {
+			vals[i] = uint32(rng.Uint64())
+			if shift < 32 {
+				vals[i] &= uint32(1)<<shift - 1
+			}
+			// Sprinkle outliers to exercise the exception path.
+			if rng.Intn(20) == 0 {
+				vals[i] = uint32(rng.Uint64())
+			}
+		}
+		roundTrip(t, vals)
+	}
+}
+
+func TestZeroWidthFrame(t *testing.T) {
+	vals := make([]uint32, 127)
+	frame := roundTrip(t, vals)
+	if frame[0] != 0 {
+		t.Fatalf("all-zero values packed at width %d, want 0", frame[0])
+	}
+	if len(frame) != 2 {
+		t.Fatalf("zero-width frame is %d bytes, want 2", len(frame))
+	}
+}
+
+func TestExceptionsPatched(t *testing.T) {
+	// 126 tiny values and one huge one: the huge value must become an
+	// exception rather than inflating the frame width to 32 bits.
+	vals := make([]uint32, 127)
+	for i := range vals {
+		vals[i] = uint32(i % 4)
+	}
+	vals[63] = math.MaxUint32
+	frame := roundTrip(t, vals)
+	if frame[0] >= 32 {
+		t.Fatalf("outlier inflated width to %d", frame[0])
+	}
+	if frame[1] != 1 {
+		t.Fatalf("expected 1 exception, frame has %d", frame[1])
+	}
+}
+
+func TestPaddedLen(t *testing.T) {
+	for n := 0; n <= 300; n++ {
+		for b := uint(0); b <= 32; b++ {
+			got := PaddedLen(n, b)
+			if n == 0 || b == 0 {
+				if got != 0 {
+					t.Fatalf("PaddedLen(%d,%d) = %d, want 0", n, b, got)
+				}
+				continue
+			}
+			// Must cover the 8-byte load at the last value's start byte.
+			need := int(uint(n-1)*b)>>3 + 8
+			if got != need {
+				t.Fatalf("PaddedLen(%d,%d) = %d, want %d", n, b, got, need)
+			}
+			// And must cover all value bits.
+			if got < (n*int(b)+7)/8 {
+				t.Fatalf("PaddedLen(%d,%d) = %d shorter than payload", n, b, got)
+			}
+		}
+	}
+}
+
+func TestUvarintLen(t *testing.T) {
+	var buf [binary.MaxVarintLen64]byte
+	for _, v := range []uint64{0, 1, 127, 128, 1 << 14, 1<<14 - 1, 1 << 21, math.MaxUint32, math.MaxUint64} {
+		if got, want := UvarintLen(v), binary.PutUvarint(buf[:], v); got != want {
+			t.Fatalf("UvarintLen(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestDecodeFrameCorrupt(t *testing.T) {
+	vals := []uint32{5, 1000000, 9, 12}
+	good := AppendFrame(nil, vals)
+	dst := make([]uint32, len(vals))
+	cases := map[string][]byte{
+		"empty":            {},
+		"header-only-byte": {8},
+		"width-too-wide":   {40, 0},
+		"too-many-ex":      {0, 200, 0, 0},
+		"truncated-packed": good[:len(good)-3],
+	}
+	// Exception position out of range.
+	bad := append([]byte(nil), good...)
+	// Find the exception section: width byte, count byte, packed array.
+	packed := PaddedLen(len(vals), uint(good[0]))
+	bad[2+packed] = 250
+	cases["ex-pos-out-of-range"] = bad
+	// Non-increasing positions: craft a frame with two exceptions manually.
+	two := []byte{0, 2, 3}
+	two = binary.AppendUvarint(two, 7)
+	two = append(two, 3)
+	two = binary.AppendUvarint(two, 8)
+	cases["ex-pos-not-increasing"] = two
+	// Exception value overflowing uint32.
+	over := []byte{0, 1, 0}
+	over = binary.AppendUvarint(over, math.MaxUint32+1)
+	cases["ex-value-overflow"] = over
+	// Truncated exception varint.
+	trunc := []byte{0, 1, 0, 0x80}
+	cases["ex-value-truncated"] = trunc
+
+	for name, src := range cases {
+		if _, err := DecodeFrame(dst, src); err == nil {
+			t.Errorf("%s: DecodeFrame accepted corrupt frame", name)
+		}
+	}
+}
+
+func TestDecodeFrameExtraBytesIgnored(t *testing.T) {
+	// DecodeFrame must consume exactly its own bytes so block decoders can
+	// detect trailing garbage themselves.
+	vals := []uint32{3, 9, 27}
+	frame := AppendFrame(nil, vals)
+	withTail := append(append([]byte(nil), frame...), 0xAA, 0xBB)
+	dst := make([]uint32, len(vals))
+	n, err := DecodeFrame(dst, withTail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(frame) {
+		t.Fatalf("consumed %d, want %d", n, len(frame))
+	}
+}
+
+func TestAppendFrameDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]uint32, 127)
+	for i := range vals {
+		vals[i] = uint32(rng.Intn(1 << 16))
+	}
+	a := AppendFrame(nil, vals)
+	b := AppendFrame(nil, vals)
+	if !bytes.Equal(a, b) {
+		t.Fatal("AppendFrame is not deterministic")
+	}
+}
+
+func TestCodecValidate(t *testing.T) {
+	if err := CodecAuto.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := CodecVarint.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Codec(9).Validate(); err == nil {
+		t.Fatal("Codec(9).Validate() accepted")
+	}
+}

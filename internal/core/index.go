@@ -62,6 +62,12 @@ type BuildOptions struct {
 	// internal/difftest's RunCompressedEquivalence); the trade is ~4-6x
 	// less list memory for a per-block decode on the query path.
 	Compression bool
+	// Codec selects the per-block physical codec of the compressed layout
+	// (word lists, SMJ lists, and snapshot posting blocks). The zero value
+	// (plist.CodecAuto) picks packed or varint per block by encoded size;
+	// plist.CodecVarint forces the delta/varint codec everywhere, which
+	// differential tests use to build physically distinct twins.
+	Codec plist.BlockCodec
 }
 
 // Index is the built system state over a static corpus D.
@@ -207,7 +213,7 @@ func BuildFromStats(c *corpus.Corpus, stats []textproc.PhraseStats, opt BuildOpt
 		return nil, fmt.Errorf("core: word-specific lists: %w", err)
 	}
 	if opt.Compression {
-		ix.Blocks, err = plist.BuildBlockSet(ix.Lists)
+		ix.Blocks, err = plist.BuildBlockSetCodec(ix.Lists, opt.Codec)
 		if err != nil {
 			return nil, fmt.Errorf("core: compressing word lists: %w", err)
 		}
@@ -457,6 +463,11 @@ type MemStats struct {
 	Compressed  bool  `json:"compressed"`
 	Mapped      bool  `json:"mapped"`
 	MappedBytes int64 `json:"mapped_bytes,omitempty"`
+	// PackedBlocks and PackedBytes report how much of the compressed
+	// layout chose the bit-packed codec (word-list and posting blocks
+	// combined); zero on varint-only or uncompressed indexes.
+	PackedBlocks int   `json:"packed_blocks,omitempty"`
+	PackedBytes  int64 `json:"packed_bytes,omitempty"`
 }
 
 // entryHeapSize is the in-memory footprint of one uncompressed list entry
@@ -470,6 +481,9 @@ func (ix *Index) MemStats() MemStats {
 		s.ListEntries = ix.Blocks.TotalEntries()
 		s.ListBytes = ix.Blocks.SizeBytes()
 		s.Compressed = true
+		packed := ix.Blocks.Packed()
+		s.PackedBlocks = packed.Blocks
+		s.PackedBytes = packed.Bytes
 	} else {
 		s.ListEntries = plist.TotalEntries(ix.Lists)
 		s.ListBytes = int64(s.ListEntries) * entryHeapSize
@@ -481,6 +495,9 @@ func (ix *Index) MemStats() MemStats {
 	if s.Postings > 0 {
 		s.BytesPerPosting = float64(s.PostingBytes) / float64(s.Postings)
 	}
+	pBlocks, pBytes := ix.Inverted.PackedPostingStats()
+	s.PackedBlocks += pBlocks
+	s.PackedBytes += pBytes
 	s.Mapped = ix.Mapped()
 	s.MappedBytes = ix.mappedBytes
 	return s

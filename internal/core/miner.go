@@ -1,7 +1,9 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 
 	"phrasemine/internal/corpus"
 	"phrasemine/internal/diskio"
@@ -88,6 +90,34 @@ func (ix *Index) QueryNRA(q corpus.Query, opt topk.NRAOptions) ([]topk.Result, t
 	return topk.NRAScratch(cursors, opt, s)
 }
 
+// QueryNRAShared is QueryNRA for shared-scan batch execution: block
+// decodes go through sc so that concurrent queries over the same
+// feature lists decode each block once. It requires a compressed index
+// (Blocks != nil) and a non-nil cache; callers fall back to QueryNRA
+// otherwise. Results are bit-identical to QueryNRA.
+func (ix *Index) QueryNRAShared(q corpus.Query, opt topk.NRAOptions, sc *plist.ShareCache) ([]topk.Result, topk.NRAStats, error) {
+	if ix.Blocks == nil || sc == nil {
+		return ix.QueryNRA(q, opt)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, topk.NRAStats{}, err
+	}
+	opt.Op = q.Op
+	pool := ix.ScratchPool()
+	s := pool.Get()
+	defer pool.Put(s)
+	cursors, blk := s.BlockCursors(len(q.Features))
+	for i, f := range q.Features {
+		l, err := ix.featureBlockList(f)
+		if err != nil {
+			return nil, topk.NRAStats{}, err
+		}
+		blk[i].ResetShared(l, "n\x00"+f, sc)
+		cursors[i] = &blk[i]
+	}
+	return topk.NRAScratch(cursors, opt, s)
+}
+
 // QueryNRADisk answers a query with NRA over a disk-resident list index
 // opened from a plist.Reader (typically backed by the diskio simulator).
 func (ix *Index) QueryNRADisk(r *plist.Reader, q corpus.Query, opt topk.NRAOptions) ([]topk.Result, topk.NRAStats, error) {
@@ -167,7 +197,7 @@ func (ix *Index) BuildSMJ(fraction float64) (*SMJIndex, error) {
 			return nil, diskio.Corruptf("core: decoding compressed lists for SMJ build: %v", err)
 		}
 		idLists := plist.ToIDOrderedAllParallel(plist.TruncateAll(lists, fraction), ix.workers)
-		blocks, err := plist.BuildIDBlockSet(idLists)
+		blocks, err := plist.BuildIDBlockSetCodec(idLists, ix.opts.Codec)
 		if err != nil {
 			return nil, diskio.Corruptf("core: compressing SMJ lists: %v", err)
 		}
@@ -276,6 +306,45 @@ func (ix *Index) QuerySMJ(s *SMJIndex, q corpus.Query, opt topk.SMJOptions) ([]t
 		}
 		mem[i].Reset(l)
 		cursors[i] = &mem[i]
+	}
+	return topk.SMJScratch(cursors, opt, scratch)
+}
+
+// smjShareKey builds the share-cache key for an SMJ feature list. The
+// fraction is part of the key because SMJ indexes at different fractions
+// hold different physical lists for the same feature.
+func smjShareKey(fraction float64, f string) string {
+	var fb [8]byte
+	binary.LittleEndian.PutUint64(fb[:], math.Float64bits(fraction))
+	return "s\x00" + string(fb[:]) + "\x00" + f
+}
+
+// QuerySMJShared is QuerySMJ for shared-scan batch execution, decoding
+// blocks through sc. It requires a block-compressed SMJ index and a
+// non-nil cache; callers fall back to QuerySMJ otherwise. Results are
+// bit-identical to QuerySMJ.
+func (ix *Index) QuerySMJShared(s *SMJIndex, q corpus.Query, opt topk.SMJOptions, sc *plist.ShareCache) ([]topk.Result, topk.SMJStats, error) {
+	if s.Blocks == nil || sc == nil {
+		return ix.QuerySMJ(s, q, opt)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, topk.SMJStats{}, err
+	}
+	opt.Op = q.Op
+	pool := ix.ScratchPool()
+	scratch := pool.Get()
+	defer pool.Put(scratch)
+	cursors, blk := scratch.BlockCursors(len(q.Features))
+	for i, f := range q.Features {
+		l, err := s.Blocks.List(f)
+		if err != nil {
+			return nil, topk.SMJStats{}, err
+		}
+		if !s.Blocks.Has(f) && ix.restricted && ix.Inverted.Has(f) {
+			return nil, topk.SMJStats{}, fmt.Errorf("core: SMJ index has no list for %q", f)
+		}
+		blk[i].ResetShared(l, smjShareKey(s.Fraction, f), sc)
+		cursors[i] = &blk[i]
 	}
 	return topk.SMJScratch(cursors, opt, scratch)
 }

@@ -44,6 +44,7 @@ import (
 	"sync"
 
 	"phrasemine/internal/corpus"
+	"phrasemine/internal/diskio"
 	"phrasemine/internal/parallel"
 	"phrasemine/internal/phrasedict"
 	"phrasemine/internal/plist"
@@ -456,6 +457,8 @@ func (sx *ShardedIndex) MemStats() MemStats {
 		out.Postings += s.Postings
 		out.PostingBytes += s.PostingBytes
 		out.MappedBytes += s.MappedBytes
+		out.PackedBlocks += s.PackedBlocks
+		out.PackedBytes += s.PackedBytes
 		if s.Mapped {
 			out.Mapped = true
 		}
@@ -656,7 +659,7 @@ func (sx *ShardedIndex) mergeParts(parts []topk.PartialList, opt topk.MergeOptio
 				results[j], errs[j] = topk.MergePartialsScratch(sub, opt, s)
 			})
 			if err := firstError(errs); err != nil {
-				return nil, err
+				return nil, diskio.Corruptf("core: gather: %v", err)
 			}
 			var merged []topk.Result
 			for _, r := range results {
@@ -674,7 +677,14 @@ func (sx *ShardedIndex) mergeParts(parts []topk.PartialList, opt topk.MergeOptio
 	}
 	s := sx.scratch.Get()
 	defer sx.scratch.Put(s)
-	return topk.MergePartialsScratch(parts, opt, s)
+	out, err := topk.MergePartialsScratch(parts, opt, s)
+	if err != nil {
+		// The scatter builds every partial stream itself, so a structural
+		// violation (non-ascending IDs, count shape) can only mean the
+		// per-segment data it decoded was corrupt.
+		return nil, diskio.Corruptf("core: gather: %v", err)
+	}
+	return out, nil
 }
 
 // listMergeOptions assembles the gather configuration of a list-algorithm

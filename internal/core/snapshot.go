@@ -53,6 +53,10 @@ type snapshotMeta struct {
 	Restricted   bool                      `json:"restricted,omitempty"`
 	ListFeatures []string                  `json:"list_features,omitempty"`
 	Compression  bool                      `json:"compression,omitempty"`
+	// Codec records the block-codec policy the index was built with, so a
+	// reloaded index rebuilds SMJ caches and delta flushes with the same
+	// policy. Old snapshots lack the field and unmarshal to CodecAuto (0).
+	Codec uint8 `json:"codec,omitempty"`
 }
 
 // AddSnapshotSections appends the index's sections to a snapshot under
@@ -72,6 +76,7 @@ func (ix *Index) AddSnapshotSections(w *diskio.SnapshotWriter) error {
 		Restricted:   ix.restricted,
 		ListFeatures: ix.opts.ListFeatures,
 		Compression:  ix.opts.Compression,
+		Codec:        uint8(ix.opts.Codec),
 	})
 	if err != nil {
 		return fmt.Errorf("core: encoding snapshot meta: %w", err)
@@ -86,7 +91,7 @@ func (ix *Index) AddSnapshotSections(w *diskio.SnapshotWriter) error {
 	if err := w.Add(sectionCorpus, corpusBytes); err != nil {
 		return err
 	}
-	inv, err := ix.Inverted.AppendBlockIndex(nil)
+	inv, err := ix.Inverted.AppendBlockIndexCodec(nil, ix.opts.Codec)
 	if err != nil {
 		return err
 	}
@@ -119,7 +124,7 @@ func (ix *Index) AddSnapshotSections(w *diskio.SnapshotWriter) error {
 	// determinism is preserved across the knob.
 	blocks := ix.Blocks
 	if blocks == nil {
-		blocks, err = plist.BuildBlockSet(ix.Lists)
+		blocks, err = plist.BuildBlockSetCodec(ix.Lists, ix.opts.Codec)
 		if err != nil {
 			return fmt.Errorf("core: compressing word lists: %w", err)
 		}
@@ -243,6 +248,7 @@ func LoadSnapshotSections(snap *diskio.Snapshot, workers int) (*Index, error) {
 			PhraseWidth:  meta.PhraseWidth,
 			Workers:      workers,
 			Compression:  meta.Compression,
+			Codec:        plist.BlockCodec(meta.Codec),
 		},
 		restricted: meta.Restricted,
 		workers:    resolved,
@@ -364,6 +370,7 @@ func OpenSnapshotSections(snap *diskio.MappedSnapshot, workers int) (*Index, err
 			PhraseWidth:  meta.PhraseWidth,
 			Workers:      workers,
 			Compression:  true,
+			Codec:        plist.BlockCodec(meta.Codec),
 		},
 		restricted:  meta.Restricted,
 		workers:     resolved,

@@ -12,11 +12,13 @@ package corpus
 //
 // Serialized index layout (all integers little-endian):
 //
-//	[0,8)    magic "PMINVBK1"
+//	[0,8)    magic "PMINVBK2" (v2, tagged blocks; "PMINVBK1" still opens)
 //	[8,12)   numDocs uint32
 //	[12,16)  numFeatures uint32
 //	[16,24)  directory size in bytes, uint64
-//	[24,24+dirSize)  directory, per feature in sorted order:
+//	[24,32)  packed-codec block count, uint64 (v2 only)
+//	[32,40)  packed-codec payload bytes, uint64 (v2 only)
+//	then the directory, per feature in sorted order:
 //	             nameLen uint16, name bytes,
 //	             offset  uint64 (into the data region),
 //	             size    uint32 (encoded list bytes),
@@ -27,15 +29,23 @@ package corpus
 //
 //	skip table: ceil(count/PostingBlockLen) entries of 8 bytes:
 //	    firstDoc uint32, offset uint32 (relative to payload start)
-//	payload blocks: DocIDs 1..n-1 of each block as uvarint gaps to the
-//	    predecessor (strictly increasing lists, so every gap >= 1); the
-//	    block's first DocID lives in its skip entry.
+//	payload blocks encoding DocIDs 1..n-1 of the block (the first DocID
+//	lives in the skip entry). v2 blocks start with a codec tag byte:
+//	    tag 0 (varint): uvarint gaps to the predecessor (strictly
+//	        increasing lists, so every gap >= 1)
+//	    tag 1 (packed): a bitpack frame of gap-1 values, fixed bit-width
+//	        with PFOR exceptions (gaps are >= 1, so dense runs pack at
+//	        zero width and a zero gap is inexpressible)
+//	v1 blocks are the varint encoding without the tag byte; the codec is
+//	chosen per block at build time by encoded size.
 
 import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"phrasemine/internal/bitpack"
 )
 
 // PostingBlockLen is the number of postings per compressed block.
@@ -44,13 +54,37 @@ const PostingBlockLen = 128
 // postingSkipSize is the fixed width of one posting skip entry.
 const postingSkipSize = 4 + 4
 
-var invertedBlockMagic = [8]byte{'P', 'M', 'I', 'N', 'V', 'B', 'K', '1'}
+var (
+	invertedBlockMagicV1 = [8]byte{'P', 'M', 'I', 'N', 'V', 'B', 'K', '1'}
+	invertedBlockMagicV2 = [8]byte{'P', 'M', 'I', 'N', 'V', 'B', 'K', '2'}
+)
 
-const invertedBlockHeaderSize = 24
+const (
+	invertedBlockHeaderSizeV1 = 24
+	invertedBlockHeaderSizeV2 = 40
+)
+
+// Per-block codec tags (first payload byte of tagged blocks), mirroring
+// internal/plist.
+const (
+	postingTagVarint = 0
+	postingTagPacked = 1
+)
 
 // AppendBlockPostings appends the block-compressed encoding of a strictly
-// increasing posting list to buf.
+// increasing posting list to buf, choosing the codec per block.
 func AppendBlockPostings(buf []byte, list []DocID) ([]byte, error) {
+	out, _, _, err := AppendBlockPostingsCodec(buf, list, bitpack.CodecAuto)
+	return out, err
+}
+
+// AppendBlockPostingsCodec is AppendBlockPostings with an explicit codec
+// policy, reporting how many blocks (and payload bytes) chose the packed
+// representation.
+func AppendBlockPostingsCodec(buf []byte, list []DocID, codec bitpack.Codec) (out []byte, packedBlocks int, packedBytes int64, err error) {
+	if err := codec.Validate(); err != nil {
+		return nil, 0, 0, err
+	}
 	numBlocks := (len(list) + PostingBlockLen - 1) / PostingBlockLen
 	skipStart := len(buf)
 	buf = append(buf, make([]byte, numBlocks*postingSkipSize)...)
@@ -63,36 +97,61 @@ func AppendBlockPostings(buf []byte, list []DocID) ([]byte, error) {
 		}
 		offset := len(buf) - payloadStart
 		if offset > math.MaxUint32 {
-			return nil, fmt.Errorf("corpus: compressed postings exceed 4GiB block offset range")
+			return nil, 0, 0, fmt.Errorf("corpus: compressed postings exceed 4GiB block offset range")
 		}
 		skip := buf[skipStart+b*postingSkipSize:]
 		binary.LittleEndian.PutUint32(skip[0:4], uint32(list[lo]))
 		binary.LittleEndian.PutUint32(skip[4:8], uint32(offset))
+		// Gather gap-1 values for the packed codec and cost both codecs.
+		var packedVals [PostingBlockLen]uint32
+		varintSize := 0
 		for j := lo + 1; j < hi; j++ {
 			if list[j] <= list[j-1] {
-				return nil, fmt.Errorf("corpus: posting order violated at %d: %d after %d", j, list[j], list[j-1])
+				return nil, 0, 0, fmt.Errorf("corpus: posting order violated at %d: %d after %d", j, list[j], list[j-1])
 			}
-			buf = binary.AppendUvarint(buf, uint64(list[j]-list[j-1]))
+			g := uint64(list[j] - list[j-1])
+			packedVals[j-lo-1] = uint32(g - 1)
+			varintSize += bitpack.UvarintLen(g)
+		}
+		vals := packedVals[:hi-lo-1]
+		blockStart := len(buf)
+		if codec == bitpack.CodecAuto && bitpack.FrameSize(vals) <= varintSize {
+			buf = append(buf, postingTagPacked)
+			buf = bitpack.AppendFrame(buf, vals)
+			packedBlocks++
+			packedBytes += int64(len(buf) - blockStart)
+		} else {
+			buf = append(buf, postingTagVarint)
+			for j := lo + 1; j < hi; j++ {
+				buf = binary.AppendUvarint(buf, uint64(list[j]-list[j-1]))
+			}
 		}
 	}
 	for b := 1; b < numBlocks; b++ {
 		if list[b*PostingBlockLen] <= list[b*PostingBlockLen-1] {
-			return nil, fmt.Errorf("corpus: posting order violated at block %d boundary", b)
+			return nil, 0, 0, fmt.Errorf("corpus: posting order violated at block %d boundary", b)
 		}
 	}
-	return buf, nil
+	return buf, packedBlocks, packedBytes, nil
 }
 
 // BlockPostings is a read-only view over one block-compressed posting list.
 // The zero value is an empty list.
 type BlockPostings struct {
-	data  []byte
-	count int
+	data   []byte
+	count  int
+	tagged bool // blocks carry a per-block codec tag byte (v2 containers)
 }
 
-// NewBlockPostings wraps an encoded posting list of count postings,
-// validating the skip-table bounds.
+// NewBlockPostings wraps an encoded posting list of count postings in the
+// tagged (v2) block format produced by AppendBlockPostings, validating the
+// skip-table bounds.
 func NewBlockPostings(data []byte, count int) (BlockPostings, error) {
+	return newBlockPostings(data, count, true)
+}
+
+// newBlockPostings wraps either a tagged (v2) or untagged (v1) list.
+func newBlockPostings(data []byte, count int, tagged bool) (BlockPostings, error) {
 	if count < 0 {
 		return BlockPostings{}, fmt.Errorf("corpus: negative posting count %d", count)
 	}
@@ -100,7 +159,7 @@ func NewBlockPostings(data []byte, count int) (BlockPostings, error) {
 		if len(data) != 0 {
 			return BlockPostings{}, fmt.Errorf("corpus: %d data bytes for an empty posting list", len(data))
 		}
-		return BlockPostings{}, nil
+		return BlockPostings{tagged: tagged}, nil
 	}
 	numBlocks := (count + PostingBlockLen - 1) / PostingBlockLen
 	skipSize := numBlocks * postingSkipSize
@@ -114,7 +173,7 @@ func NewBlockPostings(data []byte, count int) (BlockPostings, error) {
 			return BlockPostings{}, fmt.Errorf("corpus: posting block %d offset %d beyond payload of %d bytes", b, off, payloadSize)
 		}
 	}
-	return BlockPostings{data: data, count: count}, nil
+	return BlockPostings{data: data, count: count, tagged: tagged}, nil
 }
 
 // Len reports the number of postings.
@@ -172,20 +231,47 @@ func (p BlockPostings) DecodeBlock(b int, dst []DocID) ([]DocID, error) {
 	pos := 0
 	prev := uint64(p.FirstDoc(b))
 	dst[0] = DocID(prev)
-	for j := 1; j < n; j++ {
-		gap, w := binary.Uvarint(buf[pos:])
-		if w <= 0 {
-			return nil, fmt.Errorf("corpus: posting block %d: truncated gap at posting %d", b, j)
+	tag := uint8(postingTagVarint)
+	if p.tagged {
+		if len(buf) == 0 {
+			return nil, fmt.Errorf("corpus: posting block %d: missing codec tag", b)
+		}
+		tag = buf[0]
+		pos = 1
+	}
+	switch tag {
+	case postingTagVarint:
+		for j := 1; j < n; j++ {
+			gap, w := binary.Uvarint(buf[pos:])
+			if w <= 0 {
+				return nil, fmt.Errorf("corpus: posting block %d: truncated gap at posting %d", b, j)
+			}
+			pos += w
+			if gap == 0 {
+				return nil, fmt.Errorf("corpus: posting block %d: zero gap at posting %d", b, j)
+			}
+			prev += gap
+			if prev > math.MaxUint32 {
+				return nil, fmt.Errorf("corpus: posting block %d: DocID %d overflows uint32", b, prev)
+			}
+			dst[j] = DocID(prev)
+		}
+	case postingTagPacked:
+		var vals [PostingBlockLen]uint32
+		w, err := bitpack.DecodeFrame(vals[:n-1], buf[pos:])
+		if err != nil {
+			return nil, fmt.Errorf("corpus: posting block %d: %w", b, err)
 		}
 		pos += w
-		if gap == 0 {
-			return nil, fmt.Errorf("corpus: posting block %d: zero gap at posting %d", b, j)
+		for j := 1; j < n; j++ {
+			prev += uint64(vals[j-1]) + 1
+			if prev > math.MaxUint32 {
+				return nil, fmt.Errorf("corpus: posting block %d: DocID %d overflows uint32", b, prev)
+			}
+			dst[j] = DocID(prev)
 		}
-		prev += gap
-		if prev > math.MaxUint32 {
-			return nil, fmt.Errorf("corpus: posting block %d: DocID %d overflows uint32", b, prev)
-		}
-		dst[j] = DocID(prev)
+	default:
+		return nil, fmt.Errorf("corpus: posting block %d: unknown codec tag %d", b, tag)
 	}
 	if pos != len(buf) {
 		return nil, fmt.Errorf("corpus: posting block %d: %d trailing bytes", b, len(buf)-pos)
@@ -348,11 +434,17 @@ func (c *PostingCursor) SkipTo(id DocID) (DocID, bool) {
 
 // AppendBlockIndex appends the block-compressed inverted-index encoding to
 // buf: feature directory plus per-feature compressed posting lists, in
-// sorted feature order (deterministic bytes for identical indexes).
+// sorted feature order (deterministic bytes for identical indexes), with
+// the codec chosen per block.
 func (ix *Inverted) AppendBlockIndex(buf []byte) ([]byte, error) {
+	return ix.AppendBlockIndexCodec(buf, bitpack.CodecAuto)
+}
+
+// AppendBlockIndexCodec is AppendBlockIndex with an explicit codec policy.
+func (ix *Inverted) AppendBlockIndexCodec(buf []byte, codec bitpack.Codec) ([]byte, error) {
 	feats := ix.Features()
-	var hdr [invertedBlockHeaderSize]byte
-	copy(hdr[:8], invertedBlockMagic[:])
+	var hdr [invertedBlockHeaderSizeV2]byte
+	copy(hdr[:8], invertedBlockMagicV2[:])
 	binary.LittleEndian.PutUint32(hdr[8:12], uint32(ix.numDocs))
 	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(feats)))
 	dirSize := 0
@@ -363,22 +455,29 @@ func (ix *Inverted) AppendBlockIndex(buf []byte) ([]byte, error) {
 		dirSize += 2 + len(f) + 8 + 4 + 4
 	}
 	binary.LittleEndian.PutUint64(hdr[16:24], uint64(dirSize))
+	hdrStart := len(buf)
 	buf = append(buf, hdr[:]...)
 
 	dirStart := len(buf)
 	buf = append(buf, make([]byte, dirSize)...)
 	dataStart := len(buf)
 	dirPos := dirStart
+	packedBlocks := 0
+	packedBytes := int64(0)
 	for _, f := range feats {
 		start := len(buf)
 		list, err := ix.Docs(f)
 		if err != nil {
 			return nil, err
 		}
-		buf, err = AppendBlockPostings(buf, list)
+		var pb int
+		var pby int64
+		buf, pb, pby, err = AppendBlockPostingsCodec(buf, list, codec)
 		if err != nil {
 			return nil, fmt.Errorf("corpus: compressing postings of %q: %w", f, err)
 		}
+		packedBlocks += pb
+		packedBytes += pby
 		binary.LittleEndian.PutUint16(buf[dirPos:], uint16(len(f)))
 		dirPos += 2
 		copy(buf[dirPos:], f)
@@ -390,6 +489,9 @@ func (ix *Inverted) AppendBlockIndex(buf []byte) ([]byte, error) {
 		binary.LittleEndian.PutUint32(buf[dirPos:], uint32(ix.DocFreq(f)))
 		dirPos += 4
 	}
+	// The packed totals are only known after encoding; patch the header.
+	binary.LittleEndian.PutUint64(buf[hdrStart+24:], uint64(packedBlocks))
+	binary.LittleEndian.PutUint64(buf[hdrStart+32:], uint64(packedBytes))
 	return buf, nil
 }
 
@@ -399,24 +501,42 @@ func (ix *Inverted) AppendBlockIndex(buf []byte) ([]byte, error) {
 // first Docs call for each feature and are then cached, so repeated queries
 // on the same features pay the decode once.
 func OpenBlockInverted(data []byte) (*Inverted, error) {
-	if len(data) < invertedBlockHeaderSize {
+	if len(data) < invertedBlockHeaderSizeV1 {
 		return nil, fmt.Errorf("corpus: block inverted index of %d bytes is shorter than its header", len(data))
 	}
-	if !bytes.Equal(data[:8], invertedBlockMagic[:]) {
+	var hdrSize int
+	var tagged bool
+	switch {
+	case bytes.Equal(data[:8], invertedBlockMagicV2[:]):
+		hdrSize, tagged = invertedBlockHeaderSizeV2, true
+	case bytes.Equal(data[:8], invertedBlockMagicV1[:]):
+		hdrSize, tagged = invertedBlockHeaderSizeV1, false
+	default:
 		return nil, fmt.Errorf("corpus: bad block inverted magic %q", data[:8])
+	}
+	if len(data) < hdrSize {
+		return nil, fmt.Errorf("corpus: block inverted index of %d bytes is shorter than its %d-byte header", len(data), hdrSize)
 	}
 	numDocs := int(binary.LittleEndian.Uint32(data[8:12]))
 	numFeatures := int(binary.LittleEndian.Uint32(data[12:16]))
 	dirSize := binary.LittleEndian.Uint64(data[16:24])
-	if dirSize > uint64(len(data)-invertedBlockHeaderSize) {
+	var packedBlocks int
+	var packedBytes int64
+	if tagged {
+		packedBlocks = int(binary.LittleEndian.Uint64(data[24:32]))
+		packedBytes = int64(binary.LittleEndian.Uint64(data[32:40]))
+	}
+	if dirSize > uint64(len(data)-hdrSize) {
 		return nil, fmt.Errorf("corpus: inverted directory of %d bytes exceeds payload", dirSize)
 	}
-	dirBytes := data[invertedBlockHeaderSize : invertedBlockHeaderSize+int(dirSize)]
-	region := data[invertedBlockHeaderSize+int(dirSize):]
+	dirBytes := data[hdrSize : hdrSize+int(dirSize)]
+	region := data[hdrSize+int(dirSize):]
 	ix := &Inverted{
-		numDocs: numDocs,
-		blocks:  make(map[string]BlockPostings, numFeatures),
-		cache:   make(map[string][]DocID),
+		numDocs:      numDocs,
+		blocks:       make(map[string]BlockPostings, numFeatures),
+		cache:        make(map[string][]DocID),
+		packedBlocks: packedBlocks,
+		packedBytes:  packedBytes,
 	}
 	pos := 0
 	for i := 0; i < numFeatures; i++ {
@@ -443,7 +563,7 @@ func OpenBlockInverted(data []byte) (*Inverted, error) {
 		if _, dup := ix.blocks[name]; dup {
 			return nil, fmt.Errorf("corpus: duplicate feature %q", name)
 		}
-		bp, err := NewBlockPostings(region[off:off+uint64(size)], count)
+		bp, err := newBlockPostings(region[off:off+uint64(size)], count, tagged)
 		if err != nil {
 			return nil, fmt.Errorf("corpus: feature %q: %w", name, err)
 		}
@@ -478,6 +598,8 @@ func (ix *Inverted) MaterializeAll() error {
 	ix.postings = postings
 	ix.blocks = nil
 	ix.cache = nil
+	ix.packedBlocks = 0
+	ix.packedBytes = 0
 	return nil
 }
 
@@ -493,4 +615,10 @@ func (ix *Inverted) PostingStats() (postings int, bytes int64, compressed bool) 
 		postings += len(l)
 	}
 	return postings, int64(postings) * 4, false
+}
+
+// PackedPostingStats reports the packed-codec share of a block-backed
+// index (zeros for eager indexes and v1 containers).
+func (ix *Inverted) PackedPostingStats() (blocks int, bytes int64) {
+	return ix.packedBlocks, ix.packedBytes
 }

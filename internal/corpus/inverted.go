@@ -28,6 +28,9 @@ type Inverted struct {
 	blocks        map[string]BlockPostings
 	blockBytes    int64
 	blockPostings int
+	// Packed-codec share of the block backing, from the container header.
+	packedBlocks int
+	packedBytes  int64
 
 	// cacheMu guards cache and cacheErr, the lazily decoded posting lists
 	// (and sticky decode failures) of a block-backed index. Exactly one of

@@ -1,0 +1,25 @@
+package difftest
+
+import "testing"
+
+// TestPackedEquivalence asserts the per-block packed codec is invisible to
+// query semantics: the varint-only build, the packed build, and a mapped
+// snapshot of the packed build answer the full harvested workload (NRA and
+// SMJ at every fraction, shared-scan variants included, plus GM)
+// bit-identically — and MineBatch's shared-scan grouping matches per-query
+// Mine calls exactly.
+func TestPackedEquivalence(t *testing.T) {
+	rep, err := RunPackedEquivalence(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cases < 100 {
+		t.Fatalf("only %d differential cases ran, want >= 100", rep.Cases)
+	}
+	for _, f := range rep.Failures {
+		t.Error(f)
+	}
+	if len(rep.Failures) > 0 {
+		t.Fatalf("%d packed-equivalence violations", len(rep.Failures))
+	}
+}

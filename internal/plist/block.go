@@ -16,27 +16,38 @@ package plist
 //	    firstID uint32 LE   (phrase ID of the block's first entry)
 //	    maxProb float64 LE  (maximum probability within the block)
 //	    offset  uint32 LE   (block payload offset, relative to payload start)
-//	payload blocks, each encoding n entries (n = BlockLen except the last):
-//	    IDs of entries 1..n-1 as uvarints (entry 0's ID is the skip entry's
-//	        firstID): deltas to the predecessor for ID-ordered lists
-//	        (strictly increasing, so every delta >= 1), raw IDs for
-//	        score-ordered lists (IDs vary haphazardly there)
+//	payload blocks, each encoding n entries (n = BlockLen except the last).
+//	Tagged (v2) blocks start with a codec tag byte:
+//	    tag 0 (varint): IDs of entries 1..n-1 as uvarints (entry 0's ID is
+//	        the skip entry's firstID): deltas to the predecessor for
+//	        ID-ordered lists (strictly increasing, so every delta >= 1),
+//	        raw IDs for score-ordered lists (IDs vary haphazardly there)
+//	    tag 1 (packed): a bitpack frame (see internal/bitpack) of the n-1
+//	        values delta-1 (ID order; deltas are >= 1, so consecutive IDs
+//	        pack at zero width and a zero delta is inexpressible) or raw
+//	        IDs (score order), fixed bit-width with PFOR exceptions,
+//	        decoded branch-free 8 values at a time
+//	Untagged (v1) blocks, still readable from PMBLSET1 containers, are the
+//	varint encoding without the tag byte. Either codec is followed by:
 //	    nDistinct uint8     (number of distinct probability values, 1..n)
 //	    nDistinct float64s  (the distinct values, in first-occurrence order)
 //	    if nDistinct > 1: n uint8 dictionary indexes, one per entry
 //
-// The probability dictionary exploits that P(q|p) = co/df is a ratio of two
-// small integers, so a block rarely holds more than a handful of distinct
-// float64 values; storing each distinct value once and 1-byte indexes per
-// entry compresses the 8-byte probabilities by 4-8x while round-tripping
-// the exact float64 bits (queries over compressed lists are bit-identical
-// to uncompressed ones).
+// The codec is chosen per block at build time (packed when its frame is no
+// larger than the varint bytes, so the choice is deterministic and packed
+// wins ties because it decodes faster). The probability dictionary exploits
+// that P(q|p) = co/df is a ratio of two small integers, so a block rarely
+// holds more than a handful of distinct float64 values; storing each
+// distinct value once and 1-byte indexes per entry compresses the 8-byte
+// probabilities by 4-8x while round-tripping the exact float64 bits
+// (queries over compressed lists are bit-identical to uncompressed ones).
 
 import (
 	"encoding/binary"
 	"fmt"
 	"math"
 
+	"phrasemine/internal/bitpack"
 	"phrasemine/internal/phrasedict"
 )
 
@@ -48,13 +59,44 @@ const BlockLen = 128
 // skipEntrySize is the fixed width of one skip-table entry.
 const skipEntrySize = 4 + 8 + 4
 
+// BlockCodec selects the physical block codec at build time; see
+// bitpack.Codec for the values.
+type BlockCodec = bitpack.Codec
+
+// Re-exported codec constants so builders outside plist need not import
+// internal/bitpack.
+const (
+	CodecAuto   = bitpack.CodecAuto
+	CodecVarint = bitpack.CodecVarint
+)
+
+// Per-block codec tags (first payload byte of tagged blocks).
+const (
+	tagVarint = 0
+	tagPacked = 1
+)
+
+// PackedStats counts how much of an encoded artifact chose the packed
+// codec — surfaced through index stats so operators can see whether their
+// corpus actually bit-packs.
+type PackedStats struct {
+	Blocks int   // blocks encoded with the packed codec
+	Bytes  int64 // payload bytes of those blocks (tag byte included)
+}
+
+func (s *PackedStats) add(o PackedStats) {
+	s.Blocks += o.Blocks
+	s.Bytes += o.Bytes
+}
+
 // BlockList is a read-only view over one block-compressed list. The zero
 // value is an empty list. The data slice may point into a memory-mapped
 // region; BlockList never writes to it.
 type BlockList struct {
-	data  []byte
-	count int
-	ord   Ordering
+	data   []byte
+	count  int
+	ord    Ordering
+	tagged bool // blocks carry a per-block codec tag byte (v2 containers)
 }
 
 // NumBlocksFor reports the number of blocks a list of count entries
@@ -64,10 +106,23 @@ func NumBlocksFor(count int) int {
 }
 
 // AppendBlockList appends the block-compressed encoding of entries to buf
-// and returns the extended slice. ord declares the entry ordering; ID-
-// ordered input must be strictly increasing by phrase ID (delta encoding
-// relies on it) and is validated here.
+// and returns the extended slice, choosing the codec per block (CodecAuto).
+// ord declares the entry ordering; ID-ordered input must be strictly
+// increasing by phrase ID (delta encoding relies on it) and is validated
+// here.
 func AppendBlockList(buf []byte, entries []Entry, ord Ordering) ([]byte, error) {
+	out, _, err := AppendBlockListCodec(buf, entries, ord, CodecAuto)
+	return out, err
+}
+
+// AppendBlockListCodec is AppendBlockList with an explicit codec policy,
+// reporting how many blocks chose the packed representation. CodecVarint
+// forces the delta/varint codec for every block (differential testing).
+func AppendBlockListCodec(buf []byte, entries []Entry, ord Ordering, codec BlockCodec) ([]byte, PackedStats, error) {
+	if err := codec.Validate(); err != nil {
+		return nil, PackedStats{}, err
+	}
+	var stats PackedStats
 	numBlocks := NumBlocksFor(len(entries))
 	skipStart := len(buf)
 	buf = append(buf, make([]byte, numBlocks*skipEntrySize)...)
@@ -81,7 +136,7 @@ func AppendBlockList(buf []byte, entries []Entry, ord Ordering) ([]byte, error) 
 		block := entries[lo:hi]
 		offset := len(buf) - payloadStart
 		if offset > math.MaxUint32 {
-			return nil, fmt.Errorf("plist: compressed list exceeds 4GiB block offset range")
+			return nil, PackedStats{}, fmt.Errorf("plist: compressed list exceeds 4GiB block offset range")
 		}
 		maxProb := block[0].Prob
 		for _, e := range block[1:] {
@@ -94,16 +149,39 @@ func AppendBlockList(buf []byte, entries []Entry, ord Ordering) ([]byte, error) 
 		binary.LittleEndian.PutUint64(skip[4:12], math.Float64bits(maxProb))
 		binary.LittleEndian.PutUint32(skip[12:16], uint32(offset))
 
-		// Entry IDs (entry 0's ID lives in the skip entry).
+		// Entry IDs (entry 0's ID lives in the skip entry). Gather the
+		// values both codecs would store and cost them: packedVals holds
+		// delta-1 (ID order) or the raw ID (score order) per entry 1..n-1.
+		var packedVals [BlockLen]uint32
+		varintSize := 0
 		for j := 1; j < len(block); j++ {
 			if ord == OrderID {
 				if block[j].Phrase <= block[j-1].Phrase {
-					return nil, fmt.Errorf("plist: ID order violated at entry %d: %d after %d",
+					return nil, PackedStats{}, fmt.Errorf("plist: ID order violated at entry %d: %d after %d",
 						lo+j, block[j].Phrase, block[j-1].Phrase)
 				}
-				buf = binary.AppendUvarint(buf, uint64(block[j].Phrase-block[j-1].Phrase))
+				d := uint64(block[j].Phrase - block[j-1].Phrase)
+				packedVals[j-1] = uint32(d - 1)
+				varintSize += bitpack.UvarintLen(d)
 			} else {
-				buf = binary.AppendUvarint(buf, uint64(block[j].Phrase))
+				packedVals[j-1] = uint32(block[j].Phrase)
+				varintSize += bitpack.UvarintLen(uint64(block[j].Phrase))
+			}
+		}
+		vals := packedVals[:len(block)-1]
+		usePacked := codec == CodecAuto && bitpack.FrameSize(vals) <= varintSize
+		blockStart := len(buf)
+		if usePacked {
+			buf = append(buf, tagPacked)
+			buf = bitpack.AppendFrame(buf, vals)
+		} else {
+			buf = append(buf, tagVarint)
+			for j := 1; j < len(block); j++ {
+				if ord == OrderID {
+					buf = binary.AppendUvarint(buf, uint64(block[j].Phrase-block[j-1].Phrase))
+				} else {
+					buf = binary.AppendUvarint(buf, uint64(block[j].Phrase))
+				}
 			}
 		}
 		// Probability dictionary: distinct float64 bit patterns in
@@ -134,22 +212,32 @@ func AppendBlockList(buf []byte, entries []Entry, ord Ordering) ([]byte, error) 
 		if nDistinct > 1 {
 			buf = append(buf, idx[:len(block)]...)
 		}
+		if usePacked {
+			stats.Blocks++
+			stats.Bytes += int64(len(buf) - blockStart)
+		}
 	}
 	// Cross-block ID ordering (within-block ordering was validated above).
 	if ord == OrderID {
 		for b := 1; b < numBlocks; b++ {
 			if entries[b*BlockLen].Phrase <= entries[b*BlockLen-1].Phrase {
-				return nil, fmt.Errorf("plist: ID order violated at block %d boundary", b)
+				return nil, PackedStats{}, fmt.Errorf("plist: ID order violated at block %d boundary", b)
 			}
 		}
 	}
-	return buf, nil
+	return buf, stats, nil
 }
 
-// NewBlockList wraps an encoded list of count entries. It validates that
-// data is large enough to hold the skip table and that block offsets lie
-// within the payload; block contents are validated lazily at decode time.
+// NewBlockList wraps an encoded list of count entries in the tagged (v2)
+// block format produced by AppendBlockList. It validates that data is large
+// enough to hold the skip table and that block offsets lie within the
+// payload; block contents are validated lazily at decode time.
 func NewBlockList(data []byte, count int, ord Ordering) (BlockList, error) {
+	return newBlockList(data, count, ord, true)
+}
+
+// newBlockList wraps either a tagged (v2) or untagged (v1) encoded list.
+func newBlockList(data []byte, count int, ord Ordering, tagged bool) (BlockList, error) {
 	if count < 0 {
 		return BlockList{}, fmt.Errorf("plist: negative entry count %d", count)
 	}
@@ -157,7 +245,7 @@ func NewBlockList(data []byte, count int, ord Ordering) (BlockList, error) {
 		if len(data) != 0 {
 			return BlockList{}, fmt.Errorf("plist: %d data bytes for an empty list", len(data))
 		}
-		return BlockList{ord: ord}, nil
+		return BlockList{ord: ord, tagged: tagged}, nil
 	}
 	numBlocks := NumBlocksFor(count)
 	skipSize := numBlocks * skipEntrySize
@@ -171,7 +259,7 @@ func NewBlockList(data []byte, count int, ord Ordering) (BlockList, error) {
 			return BlockList{}, fmt.Errorf("plist: block %d offset %d beyond payload of %d bytes", b, off, payloadSize)
 		}
 	}
-	return BlockList{data: data, count: count, ord: ord}, nil
+	return BlockList{data: data, count: count, ord: ord, tagged: tagged}, nil
 }
 
 // Len reports the number of entries in the list.
@@ -237,25 +325,59 @@ func (l BlockList) DecodeBlock(b int, dst []Entry) ([]Entry, error) {
 
 	firstID, _ := l.Skip(b)
 	dst[0].Phrase = firstID
-	prev := uint64(firstID)
-	for j := 1; j < n; j++ {
-		v, w := binary.Uvarint(p[pos:])
-		if w <= 0 {
-			return nil, fmt.Errorf("plist: block %d: truncated ID varint at entry %d", b, j)
+	tag := uint8(tagVarint)
+	if l.tagged {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("plist: block %d: missing codec tag", b)
+		}
+		tag = p[0]
+		pos = 1
+	}
+	switch tag {
+	case tagVarint:
+		prev := uint64(firstID)
+		for j := 1; j < n; j++ {
+			v, w := binary.Uvarint(p[pos:])
+			if w <= 0 {
+				return nil, fmt.Errorf("plist: block %d: truncated ID varint at entry %d", b, j)
+			}
+			pos += w
+			if l.ord == OrderID {
+				if v == 0 {
+					return nil, fmt.Errorf("plist: block %d: zero ID delta at entry %d", b, j)
+				}
+				prev += v
+			} else {
+				prev = v
+			}
+			if prev > math.MaxUint32 {
+				return nil, fmt.Errorf("plist: block %d: phrase ID %d overflows uint32", b, prev)
+			}
+			dst[j].Phrase = phrasedict.PhraseID(prev)
+		}
+	case tagPacked:
+		var vals [BlockLen]uint32
+		w, err := bitpack.DecodeFrame(vals[:n-1], p[pos:])
+		if err != nil {
+			return nil, fmt.Errorf("plist: block %d: %w", b, err)
 		}
 		pos += w
 		if l.ord == OrderID {
-			if v == 0 {
-				return nil, fmt.Errorf("plist: block %d: zero ID delta at entry %d", b, j)
+			prev := uint64(firstID)
+			for j := 1; j < n; j++ {
+				prev += uint64(vals[j-1]) + 1
+				if prev > math.MaxUint32 {
+					return nil, fmt.Errorf("plist: block %d: phrase ID %d overflows uint32", b, prev)
+				}
+				dst[j].Phrase = phrasedict.PhraseID(prev)
 			}
-			prev += v
 		} else {
-			prev = v
+			for j := 1; j < n; j++ {
+				dst[j].Phrase = phrasedict.PhraseID(vals[j-1])
+			}
 		}
-		if prev > math.MaxUint32 {
-			return nil, fmt.Errorf("plist: block %d: phrase ID %d overflows uint32", b, prev)
-		}
-		dst[j].Phrase = phrasedict.PhraseID(prev)
+	default:
+		return nil, fmt.Errorf("plist: block %d: unknown codec tag %d", b, tag)
 	}
 
 	if pos >= len(p) {
@@ -321,13 +443,21 @@ func (l BlockList) DecodeAll(dst []Entry) ([]Entry, error) {
 // at a time into an internal scratch buffer (retained across Resets, so
 // pooled cursors decode allocation-free in steady state). It implements
 // Cursor; for ID-ordered lists it additionally supports SkipTo.
+//
+// A cursor may alternatively run in shared mode (ResetShared): block
+// decodes then go through a ShareCache keyed by list and block, so a batch
+// of queries touching the same lists decodes each block once. In shared
+// mode buf aliases cache-owned memory and is never written through.
 type BlockCursor struct {
-	list BlockList
-	buf  []Entry // decoded entries of block blk
-	blk  int     // index of the decoded block, -1 before the first decode
-	i    int     // next entry within buf
-	pos  int     // entries consumed overall
-	err  error
+	list      BlockList
+	buf       []Entry // decoded entries of block blk
+	blk       int     // index of the decoded block, -1 before the first decode
+	i         int     // next entry within buf
+	pos       int     // entries consumed overall
+	err       error
+	share     *ShareCache // nil in unshared mode
+	shareList *shareList  // the cache's slot vector for list (shared mode only)
+	priv      []Entry     // shared mode: cursor-owned scratch for busy-slot bypass decodes
 }
 
 // NewBlockCursor returns a cursor positioned at the start of the list.
@@ -341,12 +471,38 @@ func NewBlockCursor(l BlockList) *BlockCursor {
 // decode buffer. Resetting to the zero BlockList releases any reference to
 // the previous list's backing memory (e.g. a mapped snapshot region).
 func (c *BlockCursor) Reset(l BlockList) {
+	if c.share != nil {
+		// Leaving shared mode: buf aliases cache-owned memory, so drop it
+		// entirely rather than reuse it as decode scratch.
+		c.buf = nil
+		c.share = nil
+		c.shareList = nil
+	}
 	c.list = l
 	c.blk = -1
 	c.i = 0
 	c.pos = 0
 	c.err = nil
 	c.buf = c.buf[:0]
+}
+
+// ResetShared repoints the cursor at a new list in shared mode: block
+// decodes are served from (and populate) sc under the given cache key,
+// which must uniquely identify the list within the cache (e.g. its word
+// plus an index-generation prefix). The cursor only ever reads the cached
+// entries, so any number of cursors may share one cache concurrently.
+func (c *BlockCursor) ResetShared(l BlockList, key string, sc *ShareCache) {
+	// Whether entering shared mode or moving between shared lists, buf
+	// must not carry over: it either aliases cache-owned memory (never to
+	// be written) or is a private buffer about to be shadowed.
+	c.buf = nil
+	c.list = l
+	c.blk = -1
+	c.i = 0
+	c.pos = 0
+	c.err = nil
+	c.share = sc
+	c.shareList = sc.list(l, key)
 }
 
 // Len reports the total number of entries in the list.
@@ -358,8 +514,33 @@ func (c *BlockCursor) Pos() int { return c.pos }
 // Err reports a decode error encountered by Next or SkipTo, if any.
 func (c *BlockCursor) Err() error { return c.err }
 
-// loadBlock decodes block b into the scratch buffer.
+// loadBlock decodes block b into the scratch buffer (or fetches it from
+// the share cache in shared mode).
 func (c *BlockCursor) loadBlock(b int) bool {
+	if c.share != nil {
+		buf, err, ok := c.shareList.block(c.share, c.list, b)
+		if ok {
+			if err != nil {
+				c.err = err
+				return false
+			}
+			c.buf = buf
+			c.blk = b
+			return true
+		}
+		// The slot's decode is in flight: decode privately into
+		// cursor-owned scratch instead of waiting (priv never aliases
+		// cache memory, so reusing it across blocks is safe).
+		buf, err = c.list.DecodeBlock(b, c.priv[:0])
+		if err != nil {
+			c.err = err
+			return false
+		}
+		c.priv = buf
+		c.buf = buf
+		c.blk = b
+		return true
+	}
 	buf, err := c.list.DecodeBlock(b, c.buf[:0])
 	if err != nil {
 		c.err = err

@@ -9,18 +9,22 @@ package plist
 //
 // Serialized layout (all integers little-endian):
 //
-//	[0,8)    magic "PMBLSET1"
+//	[0,8)    magic "PMBLSET2" (v2, tagged blocks; "PMBLSET1" still opens)
 //	[8]      ordering byte
 //	[9,12)   zero padding
 //	[12,16)  numWords uint32
 //	[16,24)  directory size in bytes, uint64
-//	[24,24+dirSize)  directory, per word in sorted order:
+//	[24,32)  packed-codec block count, uint64 (v2 only)
+//	[32,40)  packed-codec payload bytes, uint64 (v2 only)
+//	then the directory, per word in sorted order:
 //	             wordLen uint16, word bytes,
 //	             offset  uint64 (into the data region),
 //	             size    uint32 (encoded list bytes),
 //	             count   uint32 (entries)
 //	then the data region: per-word encodings (see block.go) in directory
-//	order, contiguous.
+//	order, contiguous. v1 containers have a 24-byte header (no packed
+//	stats) and untagged varint-only blocks; v2 blocks each start with a
+//	codec tag byte. Writers always emit v2.
 
 import (
 	"bytes"
@@ -29,9 +33,15 @@ import (
 	"sort"
 )
 
-var blockSetMagic = [8]byte{'P', 'M', 'B', 'L', 'S', 'E', 'T', '1'}
+var (
+	blockSetMagicV1 = [8]byte{'P', 'M', 'B', 'L', 'S', 'E', 'T', '1'}
+	blockSetMagicV2 = [8]byte{'P', 'M', 'B', 'L', 'S', 'E', 'T', '2'}
+)
 
-const blockSetHeaderSize = 24
+const (
+	blockSetHeaderSizeV1 = 24
+	blockSetHeaderSizeV2 = 40
+)
 
 // blockExtent locates one word's encoded list inside the data region.
 type blockExtent struct {
@@ -50,19 +60,34 @@ type BlockSet struct {
 	data    []byte
 	entries int
 	dirSize int
+	hdrSize int
+	tagged  bool // per-block codec tags present (v2)
+	packed  PackedStats
 }
 
-// BuildBlockSet compresses score-ordered lists into a BlockSet.
+// BuildBlockSet compresses score-ordered lists into a BlockSet, choosing
+// the codec per block.
 func BuildBlockSet(lists map[string]ScoreList) (*BlockSet, error) {
-	return buildBlockSet(OrderScore, toEntryMap(lists))
+	return buildBlockSet(OrderScore, toEntryMap(lists), CodecAuto)
 }
 
-// BuildIDBlockSet compresses ID-ordered lists into a BlockSet.
+// BuildIDBlockSet compresses ID-ordered lists into a BlockSet, choosing
+// the codec per block.
 func BuildIDBlockSet(lists map[string]IDList) (*BlockSet, error) {
-	return buildBlockSet(OrderID, toEntryMap(lists))
+	return buildBlockSet(OrderID, toEntryMap(lists), CodecAuto)
 }
 
-func buildBlockSet(ord Ordering, lists map[string][]Entry) (*BlockSet, error) {
+// BuildBlockSetCodec is BuildBlockSet with an explicit codec policy.
+func BuildBlockSetCodec(lists map[string]ScoreList, codec BlockCodec) (*BlockSet, error) {
+	return buildBlockSet(OrderScore, toEntryMap(lists), codec)
+}
+
+// BuildIDBlockSetCodec is BuildIDBlockSet with an explicit codec policy.
+func BuildIDBlockSetCodec(lists map[string]IDList, codec BlockCodec) (*BlockSet, error) {
+	return buildBlockSet(OrderID, toEntryMap(lists), codec)
+}
+
+func buildBlockSet(ord Ordering, lists map[string][]Entry, codec BlockCodec) (*BlockSet, error) {
 	words := make([]string, 0, len(lists))
 	for w := range lists {
 		if len(w) > 1<<16-1 {
@@ -72,20 +97,24 @@ func buildBlockSet(ord Ordering, lists map[string][]Entry) (*BlockSet, error) {
 	}
 	sort.Strings(words)
 	bs := &BlockSet{
-		ord:   ord,
-		words: words,
-		dir:   make(map[string]blockExtent, len(words)),
+		ord:     ord,
+		words:   words,
+		dir:     make(map[string]blockExtent, len(words)),
+		hdrSize: blockSetHeaderSizeV2,
+		tagged:  true,
 	}
 	var data []byte
-	var err error
 	for _, w := range words {
 		start := len(data)
-		data, err = AppendBlockList(data, lists[w], ord)
+		var stats PackedStats
+		var err error
+		data, stats, err = AppendBlockListCodec(data, lists[w], ord, codec)
 		if err != nil {
 			return nil, fmt.Errorf("plist: compressing list %q: %w", w, err)
 		}
 		bs.dir[w] = blockExtent{off: int64(start), size: len(data) - start, count: len(lists[w])}
 		bs.entries += len(lists[w])
+		bs.packed.add(stats)
 	}
 	bs.data = data
 	bs.dirSize = serializedDirSize(bs)
@@ -100,13 +129,20 @@ func serializedDirSize(bs *BlockSet) int {
 	return n
 }
 
-// AppendTo appends the serialized BlockSet to buf.
+// AppendTo appends the serialized BlockSet to buf, always in the v2
+// format. A BlockSet opened from a v1 container cannot be re-serialized
+// here (its blocks are untagged); v1 data is rewritten by rebuilding.
 func (bs *BlockSet) AppendTo(buf []byte) []byte {
-	var hdr [blockSetHeaderSize]byte
-	copy(hdr[:8], blockSetMagic[:])
+	if !bs.tagged {
+		panic("plist: AppendTo on a v1 (untagged) BlockSet; rebuild it instead")
+	}
+	var hdr [blockSetHeaderSizeV2]byte
+	copy(hdr[:8], blockSetMagicV2[:])
 	hdr[8] = byte(bs.ord)
 	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(bs.words)))
 	binary.LittleEndian.PutUint64(hdr[16:24], uint64(bs.dirSize))
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(bs.packed.Blocks))
+	binary.LittleEndian.PutUint64(hdr[32:40], uint64(bs.packed.Bytes))
 	buf = append(buf, hdr[:]...)
 	var tmp [8]byte
 	for _, w := range bs.words {
@@ -129,11 +165,21 @@ func (bs *BlockSet) AppendTo(buf []byte) []byte {
 // valid and immutable for the BlockSet's lifetime). Cost is O(#words): only
 // the directory is materialized.
 func OpenBlockSet(data []byte) (*BlockSet, error) {
-	if len(data) < blockSetHeaderSize {
+	if len(data) < blockSetHeaderSizeV1 {
 		return nil, fmt.Errorf("plist: block set of %d bytes is shorter than its header", len(data))
 	}
-	if !bytes.Equal(data[:8], blockSetMagic[:]) {
+	var hdrSize int
+	var tagged bool
+	switch {
+	case bytes.Equal(data[:8], blockSetMagicV2[:]):
+		hdrSize, tagged = blockSetHeaderSizeV2, true
+	case bytes.Equal(data[:8], blockSetMagicV1[:]):
+		hdrSize, tagged = blockSetHeaderSizeV1, false
+	default:
 		return nil, fmt.Errorf("plist: bad block-set magic %q", data[:8])
+	}
+	if len(data) < hdrSize {
+		return nil, fmt.Errorf("plist: block set of %d bytes is shorter than its %d-byte header", len(data), hdrSize)
 	}
 	ord := Ordering(data[8])
 	if ord != OrderScore && ord != OrderID {
@@ -141,17 +187,25 @@ func OpenBlockSet(data []byte) (*BlockSet, error) {
 	}
 	numWords := int(binary.LittleEndian.Uint32(data[12:16]))
 	dirSize := binary.LittleEndian.Uint64(data[16:24])
-	if dirSize > uint64(len(data)-blockSetHeaderSize) {
+	var packed PackedStats
+	if tagged {
+		packed.Blocks = int(binary.LittleEndian.Uint64(data[24:32]))
+		packed.Bytes = int64(binary.LittleEndian.Uint64(data[32:40]))
+	}
+	if dirSize > uint64(len(data)-hdrSize) {
 		return nil, fmt.Errorf("plist: directory of %d bytes exceeds file", dirSize)
 	}
-	dirBytes := data[blockSetHeaderSize : blockSetHeaderSize+int(dirSize)]
-	region := data[blockSetHeaderSize+int(dirSize):]
+	dirBytes := data[hdrSize : hdrSize+int(dirSize)]
+	region := data[hdrSize+int(dirSize):]
 	bs := &BlockSet{
 		ord:     ord,
 		words:   make([]string, 0, numWords),
 		dir:     make(map[string]blockExtent, numWords),
 		data:    region,
 		dirSize: int(dirSize),
+		hdrSize: hdrSize,
+		tagged:  tagged,
+		packed:  packed,
 	}
 	pos := 0
 	for i := 0; i < numWords; i++ {
@@ -214,8 +268,12 @@ func (bs *BlockSet) TotalEntries() int { return bs.entries }
 // region (the serialized size, which equals the resident size for a mapped
 // set).
 func (bs *BlockSet) SizeBytes() int64 {
-	return int64(blockSetHeaderSize + bs.dirSize + len(bs.data))
+	return int64(bs.hdrSize + bs.dirSize + len(bs.data))
 }
+
+// Packed reports how much of the set is packed-codec encoded (zero for v1
+// containers, which predate the packed codec).
+func (bs *BlockSet) Packed() PackedStats { return bs.packed }
 
 // Words returns the directory's words in sorted order. The returned slice
 // is shared; callers must not modify it.
@@ -230,7 +288,7 @@ func (bs *BlockSet) List(word string) (BlockList, error) {
 	if !ok {
 		return BlockList{ord: bs.ord}, nil
 	}
-	l, err := NewBlockList(bs.data[ext.off:ext.off+int64(ext.size)], ext.count, bs.ord)
+	l, err := newBlockList(bs.data[ext.off:ext.off+int64(ext.size)], ext.count, bs.ord, bs.tagged)
 	if err != nil {
 		return BlockList{ord: bs.ord}, fmt.Errorf("plist: list %q: %w", word, err)
 	}

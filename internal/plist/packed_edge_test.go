@@ -1,0 +1,181 @@
+package plist
+
+import (
+	"math"
+	"testing"
+
+	"phrasemine/internal/phrasedict"
+)
+
+// packedEdgeCases are the list shapes that stress frame-codec boundaries:
+// empty lists, single-entry blocks, consecutive IDs (zero bit-width
+// frames), maximal uvarint exception values, and block-boundary lengths.
+func packedEdgeCases() []struct {
+	name    string
+	entries IDList
+} {
+	consecutive := make(IDList, 3*BlockLen+1)
+	for i := range consecutive {
+		consecutive[i] = Entry{Phrase: phrasedict.PhraseID(i + 1), Prob: 0.5}
+	}
+	wide := make(IDList, BlockLen)
+	for i := range wide {
+		// Gaps near 1<<24: every delta needs 24 bits packed or 4 uvarint
+		// bytes, so the packed-vs-varint choice is genuinely contested.
+		wide[i] = Entry{Phrase: phrasedict.PhraseID((i + 1) << 24), Prob: 1}
+	}
+	return []struct {
+		name    string
+		entries IDList
+	}{
+		{"empty", nil},
+		{"single", IDList{{Phrase: 42, Prob: 0.25}}},
+		{"single block exactly", consecutive[:BlockLen]},
+		{"block plus one", consecutive[:BlockLen+1]},
+		{"consecutive ids zero width", consecutive},
+		{"wide gaps", wide},
+		{"max uvarint exception", IDList{
+			{Phrase: 1, Prob: 0.5},
+			{Phrase: 2, Prob: 0.5},
+			{Phrase: 3, Prob: 0.5},
+			// Delta of MaxUint32-3 forces a maximal packed exception.
+			{Phrase: math.MaxUint32, Prob: 0.5},
+		}},
+		{"alternating tiny and huge", func() IDList {
+			var l IDList
+			id := uint64(0)
+			for i := 0; i < 2*BlockLen; i++ {
+				if i%2 == 0 {
+					id += 1
+				} else {
+					id += 1 << 22
+				}
+				l = append(l, Entry{Phrase: phrasedict.PhraseID(id), Prob: 1.0 / 3.0})
+			}
+			return l
+		}()},
+	}
+}
+
+// TestPackedBlockCursorEdgeCases drives every edge-shaped list through
+// both codecs and both access patterns, asserting the packed build is
+// indistinguishable from the varint build and from the raw slice.
+func TestPackedBlockCursorEdgeCases(t *testing.T) {
+	for _, tc := range packedEdgeCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			encAuto, statsAuto, err := AppendBlockListCodec(nil, tc.entries, OrderID, CodecAuto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			encVar, _, err := AppendBlockListCodec(nil, tc.entries, OrderID, CodecVarint)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(encAuto) > len(encVar) {
+				t.Fatalf("auto build (%d bytes) larger than varint build (%d bytes)", len(encAuto), len(encVar))
+			}
+			if int64(len(tc.entries)) >= int64(BlockLen) && statsAuto.Blocks == 0 && tc.name == "consecutive ids zero width" {
+				t.Fatal("consecutive IDs did not select the packed codec")
+			}
+			for name, enc := range map[string][]byte{"auto": encAuto, "varint": encVar} {
+				list, err := NewBlockList(enc, len(tc.entries), OrderID)
+				if err != nil {
+					t.Fatalf("%s open: %v", name, err)
+				}
+				dec, err := list.DecodeAll(nil)
+				if err != nil {
+					t.Fatalf("%s decode: %v", name, err)
+				}
+				requireSameEntries(t, name, dec, tc.entries)
+
+				// Next enumerates exactly the source entries.
+				cur := NewBlockCursor(list)
+				for i, want := range tc.entries {
+					got, ok := cur.Next()
+					if !ok || got != want {
+						t.Fatalf("%s: entry %d = (%+v,%v), want %+v", name, i, got, ok, want)
+					}
+				}
+				if _, ok := cur.Next(); ok || cur.Err() != nil {
+					t.Fatalf("%s: cursor did not end cleanly: %v", name, cur.Err())
+				}
+
+				// SkipTo to each present ID, between IDs, and past the end.
+				probe := NewBlockCursor(list)
+				for _, e := range tc.entries {
+					fresh := NewBlockCursor(list)
+					got, ok := fresh.SkipTo(e.Phrase)
+					if !ok || got.Phrase != e.Phrase {
+						t.Fatalf("%s: SkipTo(%d) = (%+v,%v)", name, e.Phrase, got, ok)
+					}
+					if got, ok := probe.SkipTo(e.Phrase); !ok || got.Phrase != e.Phrase {
+						t.Fatalf("%s: reused SkipTo(%d) = (%+v,%v)", name, e.Phrase, got, ok)
+					}
+				}
+				past := NewBlockCursor(list)
+				var target phrasedict.PhraseID = math.MaxUint32
+				if n := len(tc.entries); n > 0 && tc.entries[n-1].Phrase == math.MaxUint32 {
+					// The list ends at the ID ceiling; skipping to it must
+					// still land on it, and the cursor then ends cleanly.
+					if got, ok := past.SkipTo(target); !ok || got.Phrase != target {
+						t.Fatalf("%s: SkipTo(max) = (%+v,%v)", name, got, ok)
+					}
+				} else if _, ok := past.SkipTo(target); ok {
+					t.Fatalf("%s: SkipTo past end returned an entry", name)
+				}
+				if _, ok := past.Next(); ok || past.Err() != nil {
+					t.Fatalf("%s: cursor not cleanly exhausted after past-end skip: %v", name, past.Err())
+				}
+			}
+		})
+	}
+}
+
+// TestSharedCursorEdgeCases runs the same edge shapes through ShareCache-
+// routed cursors, including a Reset back to private mode — the cursor must
+// never reuse cache-owned memory as private scratch.
+func TestSharedCursorEdgeCases(t *testing.T) {
+	for _, tc := range packedEdgeCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			enc, _, err := AppendBlockListCodec(nil, tc.entries, OrderID, CodecAuto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			list, err := NewBlockList(enc, len(tc.entries), OrderID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := NewShareCache()
+			var cur BlockCursor
+			cur.ResetShared(list, "edge", sc)
+			for i, want := range tc.entries {
+				got, ok := cur.Next()
+				if !ok || got != want {
+					t.Fatalf("shared entry %d = (%+v,%v), want %+v", i, got, ok, want)
+				}
+			}
+			if _, ok := cur.Next(); ok || cur.Err() != nil {
+				t.Fatalf("shared cursor did not end cleanly: %v", cur.Err())
+			}
+
+			// Leaving shared mode: the private decode must not scribble on
+			// the cache's slices (a second shared cursor still sees the
+			// cached entries intact).
+			cur.Reset(list)
+			for i, want := range tc.entries {
+				got, ok := cur.Next()
+				if !ok || got != want {
+					t.Fatalf("post-reset entry %d = (%+v,%v), want %+v", i, got, ok, want)
+				}
+			}
+			var again BlockCursor
+			again.ResetShared(list, "edge", sc)
+			for i, want := range tc.entries {
+				got, ok := again.Next()
+				if !ok || got != want {
+					t.Fatalf("cached entry %d = (%+v,%v), want %+v", i, got, ok, want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,161 @@
+package plist
+
+import (
+	"math"
+	"testing"
+
+	"phrasemine/internal/bitpack"
+)
+
+// FuzzPackedBlockCodec locks the bit-packed block codec three ways:
+//
+//   - Frame level: the ID gaps derived from the fuzz input must survive
+//     AppendFrame -> DecodeFrame bit-identically, with FrameSize agreeing
+//     with the bytes actually produced.
+//   - List level: the CodecAuto build (packed frames where they win) and
+//     the CodecVarint build of the same entries must both decode to the
+//     source entries bit-identically, in both orderings.
+//   - Cursor level: SkipTo over the packed build must agree with a linear
+//     scan of the raw slice at every derived probe target, and a cursor
+//     routed through a ShareCache must enumerate the same stream as a
+//     private one.
+func FuzzPackedBlockCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 2, 2, 3, 4, 1, 1})
+	f.Add([]byte{0xFF, 0x7F, 0x00, 0xFF, 0xFF, 0x03, 0x02, 0x01, 0x01})
+	f.Add(func() []byte {
+		// Dense run with tiny gaps (low bit-widths, zero-width blocks)
+		// punctuated by rare huge gaps (PFOR exceptions).
+		var b []byte
+		for i := 0; i < 600; i++ {
+			if i%97 == 0 {
+				b = append(b, 0xFF, 0xFF, 0x3F) // gap ~1<<20
+			} else {
+				b = append(b, byte(i%4)) // gaps 1..4
+			}
+			b = append(b, byte(i%32)<<1) // even: always an entry
+		}
+		return b
+	}())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, probes := fuzzEntries(data)
+
+		// Frame-level round trip of the raw gap stream, chunked the way
+		// the list codec chunks blocks.
+		gaps := make([]uint32, 0, len(entries))
+		prev := uint64(0)
+		for _, e := range entries {
+			gaps = append(gaps, uint32(uint64(e.Phrase)-prev-1))
+			prev = uint64(e.Phrase)
+		}
+		for lo := 0; lo < len(gaps); lo += BlockLen {
+			hi := min(lo+BlockLen, len(gaps))
+			vals := gaps[lo:hi]
+			frame := bitpack.AppendFrame(nil, vals)
+			if got := bitpack.FrameSize(vals); got != len(frame) {
+				t.Fatalf("FrameSize = %d, frame is %d bytes", got, len(frame))
+			}
+			dec := make([]uint32, len(vals))
+			n, err := bitpack.DecodeFrame(dec, frame)
+			if err != nil {
+				t.Fatalf("DecodeFrame: %v", err)
+			}
+			if n != len(frame) {
+				t.Fatalf("DecodeFrame consumed %d of %d bytes", n, len(frame))
+			}
+			for i := range vals {
+				if dec[i] != vals[i] {
+					t.Fatalf("frame value %d = %d, want %d", i, dec[i], vals[i])
+				}
+			}
+		}
+
+		// List-level: packed-capable vs varint-only builds of the same
+		// entries, both orderings, all bit-identical to the source.
+		score := make(ScoreList, len(entries))
+		copy(score, entries)
+		SortScoreOrder(score)
+		for _, c := range []struct {
+			ord  Ordering
+			list IDList
+		}{{OrderID, entries}, {OrderScore, IDList(score)}} {
+			encAuto, _, err := AppendBlockListCodec(nil, c.list, c.ord, CodecAuto)
+			if err != nil {
+				t.Fatalf("%v auto encode: %v", c.ord, err)
+			}
+			encVar, statsVar, err := AppendBlockListCodec(nil, c.list, c.ord, CodecVarint)
+			if err != nil {
+				t.Fatalf("%v varint encode: %v", c.ord, err)
+			}
+			if statsVar.Blocks != 0 || statsVar.Bytes != 0 {
+				t.Fatalf("%v varint build reports packed stats %+v", c.ord, statsVar)
+			}
+			for name, enc := range map[string][]byte{"auto": encAuto, "varint": encVar} {
+				list, err := NewBlockList(enc, len(c.list), c.ord)
+				if err != nil {
+					t.Fatalf("%v %s open: %v", c.ord, name, err)
+				}
+				dec, err := list.DecodeAll(nil)
+				if err != nil {
+					t.Fatalf("%v %s decode: %v", c.ord, name, err)
+				}
+				requireSameEntries(t, name, dec, c.list)
+			}
+		}
+
+		// Cursor-level over the packed ID-ordered build.
+		enc, _, err := AppendBlockListCodec(nil, entries, OrderID, CodecAuto)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		list, err := NewBlockList(enc, len(entries), OrderID)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		reused := NewBlockCursor(list)
+		ref := NewMemCursor(entries)
+		for _, id := range probes {
+			fresh := NewBlockCursor(list)
+			fe, fok := fresh.SkipTo(id)
+			we, wok := skipToLinear(NewMemCursor(entries), id)
+			if fok != wok || (fok && fe != we) {
+				t.Fatalf("SkipTo(%d) = (%+v,%v), linear = (%+v,%v)", id, fe, fok, we, wok)
+			}
+			ge, gok := reused.SkipTo(id)
+			le, lok := skipToLinear(ref, id)
+			if gok != lok || (gok && ge != le) {
+				t.Fatalf("reused SkipTo(%d) = (%+v,%v), linear = (%+v,%v)", id, ge, gok, le, lok)
+			}
+			if reused.Err() != nil {
+				t.Fatalf("reused cursor error: %v", reused.Err())
+			}
+		}
+
+		// ShareCache-routed cursor == private cursor, and a second pass
+		// over the same cache (all hits) still matches.
+		sc := NewShareCache()
+		for pass := 0; pass < 2; pass++ {
+			var cached BlockCursor
+			cached.ResetShared(list, "fuzz", sc)
+			priv := NewBlockCursor(list)
+			for {
+				ge, gok := cached.Next()
+				we, wok := priv.Next()
+				if gok != wok || (gok && (ge.Phrase != we.Phrase ||
+					math.Float64bits(ge.Prob) != math.Float64bits(we.Prob))) {
+					t.Fatalf("pass %d: shared cursor = (%+v,%v), private = (%+v,%v)", pass, ge, gok, we, wok)
+				}
+				if !gok {
+					break
+				}
+			}
+			if cached.Err() != nil {
+				t.Fatalf("pass %d: shared cursor error: %v", pass, cached.Err())
+			}
+		}
+		hits, misses := sc.Stats()
+		if nb := NumBlocksFor(len(entries)); int64(nb) != misses || hits != misses {
+			t.Fatalf("share stats (hits=%d, misses=%d) for %d blocks x 2 passes", hits, misses, nb)
+		}
+	})
+}

@@ -1,0 +1,169 @@
+package plist
+
+// This file implements the shared-scan block cache: when a batch of queries
+// touches overlapping keyword lists, each (list, block) pair is decoded
+// once into cache-owned memory and every member query's cursor reads the
+// same decoded slice. The cache is scoped to one batch group (it dies with
+// the group), so it needs no eviction — its size is bounded by the blocks
+// the group actually touches, and SkipTo's galloping keeps that to the
+// blocks a query would have decoded anyway.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// sharedBlock is one cache slot: the first cursor to reach it claims the
+// decode (empty → decoding → ready); later cursors read the published
+// result, and cursors arriving mid-decode bypass the slot entirely.
+type sharedBlock struct {
+	state atomic.Uint32 // blockEmpty → blockDecoding → blockReady
+	dst   []Entry       // arena-carved decode target (len 0, cap BlockLen)
+	buf   []Entry
+	err   error
+}
+
+const (
+	blockEmpty    = 0
+	blockDecoding = 1
+	blockReady    = 2
+)
+
+// shareList is the cache's per-list slot vector, one slot pointer per
+// block. Cursors resolve it once per ResetShared, so the per-block fetch
+// path is an atomic load — no map lookup, no string hash, no mutex.
+type shareList struct {
+	slots []atomic.Pointer[sharedBlock]
+}
+
+// arenaBlocks sizes the cache's slab allocations: decode targets are
+// carved BlockLen at a time from chunks of this many blocks, so a scan
+// touching thousands of blocks costs dozens of allocations, not
+// thousands (the private cursor path decodes into pooled scratch for
+// free; the cache must not give that back as allocator pressure).
+const arenaBlocks = 128
+
+// Slabs are fixed-size arrays so the package-level pools recycle them
+// across groups without boxing slice headers; Release returns them.
+type entrySlab [arenaBlocks * BlockLen]Entry
+type slotSlab [arenaBlocks]sharedBlock
+
+var entrySlabPool = sync.Pool{New: func() any { return new(entrySlab) }}
+var slotSlabPool = sync.Pool{New: func() any { return new(slotSlab) }}
+
+// ShareCache memoizes decoded blocks across the cursors of one shared-scan
+// group. All methods are safe for concurrent use; cached slices are owned
+// by the cache and must only be read.
+type ShareCache struct {
+	mu         sync.Mutex
+	lists      map[string]*shareList // list identity (word plus caller prefix)
+	arena      []Entry               // current entry slab, carved BlockLen per slot
+	slots      []sharedBlock         // current slot slab
+	entrySlabs []*entrySlab
+	slotSlabs  []*slotSlab
+	hits       atomic.Int64
+	misses     atomic.Int64
+}
+
+// NewShareCache returns an empty cache.
+func NewShareCache() *ShareCache {
+	return &ShareCache{lists: make(map[string]*shareList)}
+}
+
+// list resolves (or creates) the slot vector for one list. Called once
+// per ResetShared; key must uniquely identify the list within the cache.
+func (sc *ShareCache) list(l BlockList, key string) *shareList {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sl, ok := sc.lists[key]
+	if !ok {
+		sl = &shareList{slots: make([]atomic.Pointer[sharedBlock], l.NumBlocks())}
+		sc.lists[key] = sl
+	}
+	return sl
+}
+
+// newSlot carves a slot and its decode target from the slabs.
+func (sc *ShareCache) newSlot() *sharedBlock {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if len(sc.slots) == 0 {
+		slab := slotSlabPool.Get().(*slotSlab)
+		sc.slotSlabs = append(sc.slotSlabs, slab)
+		sc.slots = slab[:]
+	}
+	sb := &sc.slots[0]
+	sc.slots = sc.slots[1:]
+	if len(sc.arena) < BlockLen {
+		slab := entrySlabPool.Get().(*entrySlab)
+		sc.entrySlabs = append(sc.entrySlabs, slab)
+		sc.arena = slab[:]
+	}
+	sb.dst = sc.arena[0:0:BlockLen]
+	sc.arena = sc.arena[BlockLen:]
+	return sb
+}
+
+// Release returns the cache's slabs to the package pools for reuse by
+// later shared-scan groups. The caller must guarantee every cursor of
+// the group has finished (queries completed, scratch released) — cached
+// slices alias slab memory. The cache must not be used after Release;
+// a released cache's Stats remain readable.
+func (sc *ShareCache) Release() {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	for _, s := range sc.slotSlabs {
+		// Zeroing resets every slot to blockEmpty and drops buf
+		// references into the entry slabs being recycled alongside.
+		*s = slotSlab{}
+		slotSlabPool.Put(s)
+	}
+	for _, s := range sc.entrySlabs {
+		entrySlabPool.Put(s)
+	}
+	sc.slotSlabs, sc.entrySlabs = nil, nil
+	sc.arena, sc.slots = nil, nil
+	sc.lists = nil
+}
+
+// block returns the decoded entries of list block b. The first cursor to
+// touch a slot claims and publishes the decode; every later cursor reads
+// the published slice (cache-owned: callers must treat it as immutable,
+// ok true). A cursor arriving while the decode is still in flight gets
+// ok false and must decode privately — parking on a futex costs more
+// than a packed block decode, so the cache never blocks. The hit path is
+// two atomic loads.
+func (sl *shareList) block(sc *ShareCache, l BlockList, b int) (entries []Entry, err error, ok bool) {
+	sb := sl.slots[b].Load()
+	if sb == nil {
+		nsb := sc.newSlot()
+		if sl.slots[b].CompareAndSwap(nil, nsb) {
+			sb = nsb
+		} else {
+			sb = sl.slots[b].Load()
+		}
+	}
+	switch {
+	case sb.state.Load() == blockReady:
+		sc.hits.Add(1)
+		return sb.buf, sb.err, true
+	case sb.state.CompareAndSwap(blockEmpty, blockDecoding):
+		sc.misses.Add(1)
+		sb.buf, sb.err = l.DecodeBlock(b, sb.dst)
+		// The release store publishes buf and err to the hit path's
+		// acquire load above.
+		sb.state.Store(blockReady)
+		return sb.buf, sb.err, true
+	default:
+		// Mid-decode: the caller pays a private (bypassing) decode.
+		sc.misses.Add(1)
+		return nil, nil, false
+	}
+}
+
+// Stats reports how many block fetches hit already-decoded blocks and how
+// many paid a decode (populating the cache, or bypassing a slot whose
+// decode was still in flight).
+func (sc *ShareCache) Stats() (hits, misses int64) {
+	return sc.hits.Load(), sc.misses.Load()
+}

@@ -2,9 +2,12 @@ package server
 
 import (
 	"encoding/json"
+	"expvar"
 	"net/http"
 	"strings"
 	"testing"
+
+	"phrasemine"
 )
 
 func TestRegisterDebugEndpoints(t *testing.T) {
@@ -44,6 +47,74 @@ func TestRegisterDebugEndpoints(t *testing.T) {
 	w = doJSON(t, mux, http.MethodGet, "/debug/pprof/", nil)
 	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "goroutine") {
 		t.Fatalf("/debug/pprof/: code=%d body=%q", w.Code, w.Body.String()[:min(len(w.Body.String()), 120)])
+	}
+}
+
+// scrapeIndexGauge reads the phrasemine_index_stats expvar the way a
+// metrics scraper would: through its JSON string form.
+func scrapeIndexGauge(t *testing.T) phrasemine.IndexStats {
+	t.Helper()
+	v := expvar.Get("phrasemine_index_stats")
+	if v == nil {
+		t.Fatal("phrasemine_index_stats is not published")
+	}
+	var stats phrasemine.IndexStats
+	if err := json.Unmarshal([]byte(v.String()), &stats); err != nil {
+		t.Fatalf("gauge is not IndexStats JSON: %v", err)
+	}
+	return stats
+}
+
+// TestIndexGaugesTrackReload locks the PR-6 regression surface: the
+// packed-codec and shared-scan gauges must follow the serving generation
+// across hot reloads — they are expvar.Funcs reading an atomic miner
+// pointer, so a reload must re-point them (not leave them on the retired,
+// closed generation, and not panic on double registration).
+func TestIndexGaugesTrackReload(t *testing.T) {
+	_, open := mappedFixture(t)
+	m, err := open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Caching off so batch queries reach the miner and exercise sharing.
+	s := New(m, Options{CacheSize: -1, Reload: open})
+
+	stats := scrapeIndexGauge(t)
+	if !stats.Compressed || stats.PackedBlocks <= 0 || stats.PackedBytes <= 0 {
+		t.Fatalf("mapped miner gauge missing packed stats: %+v", stats)
+	}
+	if stats.SharedScanHits != 0 {
+		t.Fatalf("fresh miner reports %d shared-scan hits", stats.SharedScanHits)
+	}
+
+	// A batch of identical queries forms one shared-scan group; every
+	// block decode past the first per list is a cache hit.
+	batch := BatchRequest{Queries: []MineRequest{
+		{Keywords: []string{"trade", "reserves"}, Op: "AND"},
+		{Keywords: []string{"trade", "reserves"}, Op: "AND"},
+		{Keywords: []string{"trade", "reserves"}, Op: "OR"},
+		{Keywords: []string{"trade", "reserves"}, Op: "OR", K: 3},
+	}}
+	if w := doJSON(t, s, http.MethodPost, "/mine/batch", batch); w.Code != http.StatusOK {
+		t.Fatalf("/mine/batch: %d %s", w.Code, w.Body.String())
+	}
+	stats = scrapeIndexGauge(t)
+	if stats.SharedScanHits <= 0 {
+		t.Fatalf("shared-scan batch produced no gauge hits: %+v", stats)
+	}
+
+	// After a hot reload the gauges must read the fresh generation:
+	// packed stats still live (not zeroed or stale-pointer panicking),
+	// shared-scan counters back at the new miner's zero.
+	if w := doJSON(t, s, http.MethodPost, "/reload", nil); w.Code != http.StatusOK {
+		t.Fatalf("/reload: %d %s", w.Code, w.Body.String())
+	}
+	stats = scrapeIndexGauge(t)
+	if !stats.Compressed || stats.PackedBlocks <= 0 {
+		t.Fatalf("gauge lost packed stats after reload: %+v", stats)
+	}
+	if stats.SharedScanHits != 0 {
+		t.Fatalf("gauge still reads retired generation after reload: %d shared-scan hits", stats.SharedScanHits)
 	}
 }
 

@@ -1,0 +1,27 @@
+package topk
+
+// BatchGroups partitions batch-query indexes into shared-scan groups.
+// sigs[i] is an opaque signature for query i (typically its sorted,
+// deduplicated keyword set); queries with equal signatures touch the same
+// physical lists and can share block decodes. Groups are emitted in
+// first-appearance order of their signature and each is capped at
+// maxGroup members — oversized signature classes are chunked, preserving
+// index order within each chunk — so the memory held by one shared
+// decode cache stays bounded. maxGroup must be positive.
+func BatchGroups(sigs []string, maxGroup int) [][]int {
+	if maxGroup <= 0 {
+		panic("topk: BatchGroups maxGroup must be positive")
+	}
+	bynSig := make(map[string]int, len(sigs)) // signature -> slot in groups holding its open chunk
+	var groups [][]int
+	for i, sig := range sigs {
+		slot, ok := bynSig[sig]
+		if !ok || len(groups[slot]) >= maxGroup {
+			groups = append(groups, []int{i})
+			bynSig[sig] = len(groups) - 1
+			continue
+		}
+		groups[slot] = append(groups[slot], i)
+	}
+	return groups
+}

@@ -1,0 +1,71 @@
+package topk
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestBatchGroups(t *testing.T) {
+	cases := []struct {
+		name     string
+		sigs     []string
+		maxGroup int
+		want     [][]int
+	}{
+		{"empty", nil, 4, nil},
+		{"single", []string{"a"}, 4, [][]int{{0}}},
+		{"all same", []string{"a", "a", "a"}, 4, [][]int{{0, 1, 2}}},
+		{"all distinct", []string{"a", "b", "c"}, 4, [][]int{{0}, {1}, {2}}},
+		{
+			"interleaved keeps first-appearance order",
+			[]string{"b", "a", "b", "a", "c"}, 4,
+			[][]int{{0, 2}, {1, 3}, {4}},
+		},
+		{
+			"oversized class is chunked",
+			[]string{"a", "a", "a", "a", "a"}, 2,
+			[][]int{{0, 1}, {2, 3}, {4}},
+		},
+		{
+			"chunking interacts with other signatures",
+			[]string{"a", "b", "a", "a", "b"}, 2,
+			[][]int{{0, 2}, {1, 4}, {3}},
+		},
+		{"maxGroup one", []string{"a", "a"}, 1, [][]int{{0}, {1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := BatchGroups(tc.sigs, tc.maxGroup)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("BatchGroups(%v, %d) = %v, want %v", tc.sigs, tc.maxGroup, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestBatchGroupsCoversEveryIndexOnce(t *testing.T) {
+	sigs := []string{"x", "y", "x", "z", "x", "y", "x", "x"}
+	seen := make([]bool, len(sigs))
+	for _, g := range BatchGroups(sigs, 3) {
+		for _, i := range g {
+			if seen[i] {
+				t.Fatalf("index %d appears twice", i)
+			}
+			seen[i] = true
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("index %d missing from groups", i)
+		}
+	}
+}
+
+func TestBatchGroupsRejectsNonPositiveMax(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BatchGroups(_, 0) did not panic")
+		}
+	}()
+	BatchGroups([]string{"a"}, 0)
+}

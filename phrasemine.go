@@ -52,14 +52,17 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"phrasemine/internal/baseline"
 	"phrasemine/internal/core"
 	"phrasemine/internal/corpus"
 	"phrasemine/internal/diskio"
 	"phrasemine/internal/parallel"
+	"phrasemine/internal/plist"
 	"phrasemine/internal/textproc"
 	"phrasemine/internal/topk"
 )
@@ -293,6 +296,11 @@ type Miner struct {
 	// Flush: clones are bound to the index they were cloned from.
 	// Accessed under mu (read lock in Mine, write lock in Flush).
 	gmPool *sync.Pool
+	// sharedHits/sharedMisses accumulate shared-scan block-decode cache
+	// outcomes across MineBatch calls. Atomic rather than mu-guarded:
+	// batches tally them after releasing the read lock.
+	sharedHits   atomic.Int64
+	sharedMisses atomic.Int64
 }
 
 // NewMinerFromTexts tokenizes and indexes plain-text documents.
@@ -428,16 +436,35 @@ func Facet(name, value string) string {
 // Mine is safe for concurrent callers; see the package-level Concurrency
 // section.
 func (m *Miner) Mine(keywords []string, op Operator, opt QueryOptions) ([]Result, error) {
-	iop, err := op.internal()
+	p, err := prepareQuery(keywords, op, opt)
 	if err != nil {
 		return nil, err
 	}
+	return m.mineOne(p, nil, nil)
+}
+
+// preparedQuery is a validated, normalized Mine request with its defaults
+// and algorithm selection already resolved — everything that can be
+// decided without touching index state.
+type preparedQuery struct {
+	q    corpus.Query
+	algo Algorithm
+	k    int
+	frac float64
+}
+
+// prepareQuery normalizes and validates one Mine request.
+func prepareQuery(keywords []string, op Operator, opt QueryOptions) (preparedQuery, error) {
+	iop, err := op.internal()
+	if err != nil {
+		return preparedQuery{}, err
+	}
 	q := corpus.NewQuery(iop, normalizeKeywords(keywords)...)
 	if err := q.Validate(); err != nil {
-		return nil, err
+		return preparedQuery{}, err
 	}
 	if opt.K < 0 {
-		return nil, fmt.Errorf("phrasemine: K must be non-negative, got %d (0 selects the default of 5)", opt.K)
+		return preparedQuery{}, fmt.Errorf("phrasemine: K must be non-negative, got %d (0 selects the default of 5)", opt.K)
 	}
 	if opt.K == 0 {
 		opt.K = 5
@@ -446,23 +473,12 @@ func (m *Miner) Mine(keywords []string, op Operator, opt QueryOptions) ([]Result
 		// NaN slips through every range guard (all comparisons are false)
 		// and would poison the fraction-keyed SMJ caches; reject it like
 		// the other invalid options.
-		return nil, fmt.Errorf("phrasemine: ListFraction must not be NaN")
+		return preparedQuery{}, fmt.Errorf("phrasemine: ListFraction must not be NaN")
 	}
 	frac := opt.ListFraction
 	if frac <= 0 || frac > 1 {
 		frac = 1
 	}
-
-	// Queries only read the index and pending delta; the read lock
-	// excludes Add/Remove/Flush for the duration of the query — and, on a
-	// mapped miner, keeps the mapping alive: Close write-acquires mu, so
-	// it cannot unmap under a running query.
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	if m.closed {
-		return nil, ErrMinerClosed
-	}
-
 	algo := opt.Algorithm
 	if algo == AlgoAuto {
 		// The paper's Section 5.5 guidance: SMJ wins on short
@@ -473,41 +489,70 @@ func (m *Miner) Mine(keywords []string, op Operator, opt QueryOptions) ([]Result
 			algo = AlgoNRA
 		}
 	}
+	return preparedQuery{q: q, algo: algo, k: opt.K, frac: frac}, nil
+}
 
-	if m.sh != nil {
-		return m.mineSharded(q, algo, opt.K, frac)
+// mineOne answers one prepared query. When sc is non-nil the list
+// algorithms route block decodes through the shared cache so that batch
+// queries over the same keyword lists decode each block once — but only
+// if the miner still serves the index generation (want) the batch was
+// planned against and no delta is pending; otherwise the query silently
+// falls back to the unshared path. Results are bit-identical either way.
+func (m *Miner) mineOne(p preparedQuery, sc *plist.ShareCache, want *core.Index) ([]Result, error) {
+	// Queries only read the index and pending delta; the read lock
+	// excludes Add/Remove/Flush for the duration of the query — and, on a
+	// mapped miner, keeps the mapping alive: Close write-acquires mu, so
+	// it cannot unmap under a running query.
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return nil, ErrMinerClosed
 	}
 
-	switch algo {
+	if m.sh != nil {
+		return m.mineSharded(p.q, p.algo, p.k, p.frac)
+	}
+	if sc != nil && (m.ix != want || m.deltaActive()) {
+		// A hot reload or pending update landed between batch planning
+		// and this query; sharing keys were minted for another physical
+		// index, so decode privately.
+		sc = nil
+	}
+
+	switch p.algo {
 	case AlgoNRA:
 		var (
 			results []topk.Result
 			err     error
 		)
 		if m.deltaActive() {
-			results, _, err = m.delta.QueryNRA(q, topk.NRAOptions{K: opt.K, Fraction: frac})
+			results, _, err = m.delta.QueryNRA(p.q, topk.NRAOptions{K: p.k, Fraction: p.frac})
+		} else if sc != nil {
+			results, _, err = m.ix.QueryNRAShared(p.q, topk.NRAOptions{K: p.k, Fraction: p.frac}, sc)
 		} else {
-			results, _, err = m.ix.QueryNRA(q, topk.NRAOptions{K: opt.K, Fraction: frac})
+			results, _, err = m.ix.QueryNRA(p.q, topk.NRAOptions{K: p.k, Fraction: p.frac})
 		}
 		if err != nil {
 			return nil, err
 		}
-		return m.resolve(results, q)
+		return m.resolve(results, p.q)
 	case AlgoSMJ:
-		smj, err := m.smjIndex(frac)
+		smj, err := m.smjIndex(p.frac)
 		if err != nil {
 			return nil, err
 		}
 		var results []topk.Result
 		if m.deltaActive() {
-			results, _, err = m.delta.QuerySMJ(smj, q, topk.SMJOptions{K: opt.K})
+			results, _, err = m.delta.QuerySMJ(smj, p.q, topk.SMJOptions{K: p.k})
+		} else if sc != nil {
+			results, _, err = m.ix.QuerySMJShared(smj, p.q, topk.SMJOptions{K: p.k}, sc)
 		} else {
-			results, _, err = m.ix.QuerySMJ(smj, q, topk.SMJOptions{K: opt.K})
+			results, _, err = m.ix.QuerySMJ(smj, p.q, topk.SMJOptions{K: p.k})
 		}
 		if err != nil {
 			return nil, err
 		}
-		return m.resolve(results, q)
+		return m.resolve(results, p.q)
 	case AlgoGM:
 		g, err := m.ix.GM()
 		if err != nil {
@@ -520,7 +565,7 @@ func (m *Miner) Mine(keywords []string, op Operator, opt QueryOptions) ([]Result
 		if clone == nil {
 			clone = g.Clone()
 		}
-		scored, _, err := clone.TopK(q, opt.K)
+		scored, _, err := clone.TopK(p.q, p.k)
 		m.gmPool.Put(clone)
 		if err != nil {
 			return nil, err
@@ -531,13 +576,13 @@ func (m *Miner) Mine(keywords []string, op Operator, opt QueryOptions) ([]Result
 		if err != nil {
 			return nil, err
 		}
-		scored, err := e.TopK(q, opt.K)
+		scored, err := e.TopK(p.q, p.k)
 		if err != nil {
 			return nil, err
 		}
 		return m.resolveScored(scored)
 	default:
-		return nil, fmt.Errorf("phrasemine: unknown algorithm %q", algo)
+		return nil, fmt.Errorf("phrasemine: unknown algorithm %q", p.algo)
 	}
 }
 
@@ -623,15 +668,59 @@ type BatchResult struct {
 	Err error
 }
 
+// BatchOptions tunes shared-scan execution in MineBatchOpts.
+type BatchOptions struct {
+	// MaxGroupSize caps how many queries share one block-decode cache.
+	// Larger groups decode each shared block fewer times but hold the
+	// decoded entries live until the whole group drains. Must be
+	// positive; DefaultBatchOptions selects 64.
+	MaxGroupSize int
+	// DisableSharing turns shared-scan grouping off entirely; every
+	// query decodes privately, exactly like a standalone Mine call.
+	DisableSharing bool
+}
+
+// DefaultBatchOptions returns the batch tuning MineBatch itself uses.
+func DefaultBatchOptions() BatchOptions {
+	return BatchOptions{MaxGroupSize: 64}
+}
+
+// Validate rejects unusable batch options.
+func (o BatchOptions) Validate() error {
+	if o.MaxGroupSize <= 0 {
+		return fmt.Errorf("phrasemine: BatchOptions.MaxGroupSize must be positive, got %d", o.MaxGroupSize)
+	}
+	return nil
+}
+
 // MineBatch answers many queries concurrently through the miner's bounded
 // worker pool (Config.Workers), returning one result per item in input
 // order. Per-query failures are reported per slot, so one bad query does
 // not discard the batch. It is itself safe for concurrent callers — the
-// pool bound is shared, so total fan-out stays capped.
+// pool bound is shared, so total fan-out stays capped. Equivalent to
+// MineBatchOpts with DefaultBatchOptions.
 func (m *Miner) MineBatch(items []BatchItem) []BatchResult {
+	out, err := m.MineBatchOpts(items, DefaultBatchOptions())
+	if err != nil {
+		// DefaultBatchOptions always validates.
+		panic(err)
+	}
+	return out
+}
+
+// MineBatchOpts is MineBatch with explicit batch tuning. On a compressed
+// monolithic miner with no pending updates, queries over the same keyword
+// set are grouped to share block decodes: each block of a shared keyword
+// list is decoded once per group and the entries fanned to every member.
+// Results are bit-identical to per-query Mine calls. The error reports
+// invalid opt only; per-query failures stay in their slots.
+func (m *Miner) MineBatchOpts(items []BatchItem, opt BatchOptions) ([]BatchResult, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	out := make([]BatchResult, len(items))
 	if len(items) == 0 {
-		return out
+		return out, nil
 	}
 	m.mu.RLock()
 	if m.closed {
@@ -639,33 +728,109 @@ func (m *Miner) MineBatch(items []BatchItem) []BatchResult {
 		for i := range out {
 			out[i] = BatchResult{Err: ErrMinerClosed}
 		}
-		return out
+		return out, nil
 	}
 	var (
-		pool    *topk.Pool
-		workers int
+		pool     *topk.Pool
+		workers  int
+		sharable bool
+		want     *core.Index
 	)
 	if m.sh != nil {
 		pool, workers = m.sh.Pool(), m.sh.Workers()
 	} else {
 		pool, workers = m.ix.Pool(), m.ix.Workers()
+		// Sharing needs block-compressed lists (the share cache keys
+		// physical blocks) and an index that won't consult the delta.
+		// mineOne re-checks both under its own read lock and falls back
+		// if a reload or update lands mid-batch.
+		sharable = m.ix.Compressed() && !m.deltaActive() && !opt.DisableSharing
+		want = m.ix
 	}
 	m.mu.RUnlock()
-	run := func(i int) {
-		res, err := m.Mine(items[i].Keywords, items[i].Op, items[i].Options)
+
+	// Validate and normalize every item up front; failures fill their
+	// slot and drop out of group planning.
+	prepared := make([]preparedQuery, len(items))
+	var (
+		valid []int
+		sigs  []string
+	)
+	for i, it := range items {
+		p, err := prepareQuery(it.Keywords, it.Op, it.Options)
+		if err != nil {
+			out[i] = BatchResult{Err: err}
+			continue
+		}
+		prepared[i] = p
+		valid = append(valid, i)
+		sigs = append(sigs, batchSignature(p.q))
+	}
+	if len(valid) == 0 {
+		return out, nil
+	}
+
+	// Plan shared-scan groups: queries with the same keyword signature
+	// touch the same physical lists. Singleton groups skip the cache —
+	// nothing to share, and a private decode avoids retaining entries.
+	type job struct {
+		item int
+		sc   *plist.ShareCache
+	}
+	jobs := make([]job, 0, len(valid))
+	var caches []*plist.ShareCache
+	if sharable {
+		for _, g := range topk.BatchGroups(sigs, opt.MaxGroupSize) {
+			var sc *plist.ShareCache
+			if len(g) > 1 {
+				sc = plist.NewShareCache()
+				caches = append(caches, sc)
+			}
+			for _, vi := range g {
+				jobs = append(jobs, job{item: valid[vi], sc: sc})
+			}
+		}
+	} else {
+		for _, i := range valid {
+			jobs = append(jobs, job{item: i})
+		}
+	}
+
+	run := func(j int) {
+		i := jobs[j].item
+		res, err := m.mineOne(prepared[i], jobs[j].sc, want)
 		out[i] = BatchResult{Results: res, Err: err}
 	}
 	if workers <= 1 {
 		// Workers=1 promises fully sequential execution; don't hand
 		// the batch to the pool (which would run one item on a spawned
 		// goroutine alongside the inline remainder).
-		for i := range items {
-			run(i)
+		for j := range jobs {
+			run(j)
 		}
-		return out
+	} else {
+		pool.RunN(len(jobs), run)
 	}
-	pool.RunN(len(items), run)
-	return out
+	for _, sc := range caches {
+		hits, misses := sc.Stats()
+		m.sharedHits.Add(hits)
+		m.sharedMisses.Add(misses)
+		// Every group member has returned (and released its scratch), so
+		// no cursor references cache memory: recycle the decode slabs.
+		sc.Release()
+	}
+	return out, nil
+}
+
+// batchSignature is the shared-scan grouping key: the query's feature
+// set, order-insensitively. Features are already normalized; two queries
+// with equal signatures read exactly the same physical lists (operator
+// and options may still differ — they only affect how the shared decodes
+// are consumed).
+func batchSignature(q corpus.Query) string {
+	fs := append([]string(nil), q.Features...)
+	sort.Strings(fs)
+	return strings.Join(fs, "\x00")
 }
 
 // smjIndex returns the cached ID-ordered index for a fraction, building it
@@ -1112,6 +1277,19 @@ type IndexStats struct {
 	// Segments is the segment count of a sharded miner (zero for the
 	// monolithic engine).
 	Segments int `json:"segments,omitempty"`
+	// PackedBlocks counts list and posting blocks stored in the
+	// bit-packed frame codec (the rest are varint); zero on
+	// uncompressed miners.
+	PackedBlocks int `json:"packed_blocks,omitempty"`
+	// PackedBytes is the physical bytes of those packed blocks.
+	PackedBytes int64 `json:"packed_bytes,omitempty"`
+	// SharedScanHits counts block decodes served from a MineBatch
+	// shared-scan cache instead of decoding again. Cumulative over the
+	// miner's lifetime.
+	SharedScanHits int64 `json:"shared_scan_hits,omitempty"`
+	// SharedScanMisses counts the block decodes that populated those
+	// shared-scan caches. Cumulative over the miner's lifetime.
+	SharedScanMisses int64 `json:"shared_scan_misses,omitempty"`
 }
 
 // IndexStats reports the miner's current index footprint, aggregated over
@@ -1130,16 +1308,20 @@ func (m *Miner) IndexStats() IndexStats {
 		s = m.ix.MemStats()
 	}
 	return IndexStats{
-		Segments:        segments,
-		ListEntries:     s.ListEntries,
-		ListBytes:       s.ListBytes,
-		BytesPerEntry:   s.BytesPerEntry,
-		Postings:        s.Postings,
-		PostingBytes:    s.PostingBytes,
-		BytesPerPosting: s.BytesPerPosting,
-		Compressed:      s.Compressed,
-		Mapped:          s.Mapped,
-		MappedBytes:     s.MappedBytes,
+		Segments:         segments,
+		ListEntries:      s.ListEntries,
+		ListBytes:        s.ListBytes,
+		BytesPerEntry:    s.BytesPerEntry,
+		Postings:         s.Postings,
+		PostingBytes:     s.PostingBytes,
+		BytesPerPosting:  s.BytesPerPosting,
+		Compressed:       s.Compressed,
+		Mapped:           s.Mapped,
+		MappedBytes:      s.MappedBytes,
+		PackedBlocks:     s.PackedBlocks,
+		PackedBytes:      s.PackedBytes,
+		SharedScanHits:   m.sharedHits.Load(),
+		SharedScanMisses: m.sharedMisses.Load(),
 	}
 }
 

@@ -1,0 +1,173 @@
+package phrasemine
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// newCompressedTestMiner builds the news-corpus miner in the
+// block-compressed layout, the precondition for shared-scan batching.
+func newCompressedTestMiner(t *testing.T) *Miner {
+	t.Helper()
+	m, err := NewMinerFromTexts(newsCorpus(), Config{
+		MinPhraseWords:      1,
+		MaxPhraseWords:      4,
+		MinDocFreq:          3,
+		DropStopwordPhrases: true,
+		Compression:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBatchOptionsValidate(t *testing.T) {
+	if err := DefaultBatchOptions().Validate(); err != nil {
+		t.Fatalf("default options invalid: %v", err)
+	}
+	for _, bad := range []int{0, -1, -64} {
+		opt := BatchOptions{MaxGroupSize: bad}
+		if err := opt.Validate(); err == nil {
+			t.Fatalf("MaxGroupSize=%d accepted", bad)
+		}
+		if _, err := newCompressedTestMiner(t).MineBatchOpts(concurrencyQueries(), opt); err == nil {
+			t.Fatalf("MineBatchOpts accepted MaxGroupSize=%d", bad)
+		}
+		break // one miner build is enough; Validate covers the rest
+	}
+	opt := BatchOptions{MaxGroupSize: 0}
+	if err := opt.Validate(); err == nil || !strings.Contains(err.Error(), "MaxGroupSize") {
+		t.Fatalf("zero MaxGroupSize error = %v", err)
+	}
+}
+
+// TestMineBatchSharingMatchesMine asserts the shared-scan fast path is
+// semantically invisible: a batch full of duplicate queries (maximal
+// sharing) answers exactly like per-query Mine, and the shared-scan hit
+// gauge confirms sharing actually engaged.
+func TestMineBatchSharingMatchesMine(t *testing.T) {
+	m := newCompressedTestMiner(t)
+	defer m.Close()
+	base := concurrencyQueries()
+	var items []BatchItem
+	for r := 0; r < 3; r++ {
+		items = append(items, base...)
+	}
+	want := make([][]Result, len(items))
+	for i, it := range items {
+		res, err := m.Mine(it.Keywords, it.Op, it.Options)
+		if err != nil {
+			t.Fatalf("reference query %d: %v", i, err)
+		}
+		want[i] = res
+	}
+	for _, opt := range []BatchOptions{
+		DefaultBatchOptions(),
+		{MaxGroupSize: 2},
+		{MaxGroupSize: 64, DisableSharing: true},
+	} {
+		out, err := m.MineBatchOpts(items, opt)
+		if err != nil {
+			t.Fatalf("%+v: %v", opt, err)
+		}
+		for i, got := range out {
+			if got.Err != nil {
+				t.Fatalf("%+v: batch slot %d: %v", opt, i, got.Err)
+			}
+			if !reflect.DeepEqual(got.Results, want[i]) {
+				t.Fatalf("%+v: batch slot %d diverges: %v vs %v", opt, i, got.Results, want[i])
+			}
+		}
+	}
+	if hits := m.IndexStats().SharedScanHits; hits == 0 {
+		t.Fatal("duplicate-query batches recorded no shared-scan hits")
+	}
+}
+
+// TestMineBatchSharingUncompressedFallback: sharing silently degrades to
+// private decodes on an uncompressed miner — same answers, zero hits.
+func TestMineBatchSharingUncompressedFallback(t *testing.T) {
+	m := newTestMiner(t)
+	items := concurrencyQueries()
+	out, err := m.MineBatchOpts(append(items, items...), DefaultBatchOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range out {
+		if got.Err != nil {
+			t.Fatalf("slot %d: %v", i, got.Err)
+		}
+	}
+	if hits := m.IndexStats().SharedScanHits; hits != 0 {
+		t.Fatalf("uncompressed miner recorded %d shared-scan hits", hits)
+	}
+}
+
+// TestMineBatchSharedScanRacesUpdates hammers shared-scan batches from
+// many goroutines while the main goroutine streams Add/Flush cycles (run
+// under -race in CI). Every query must succeed: batches planned against a
+// retired index generation must fall back to private decodes, never read
+// a stale cache or tear on the swap.
+func TestMineBatchSharedScanRacesUpdates(t *testing.T) {
+	m := newCompressedTestMiner(t)
+	defer m.Close()
+	base := concurrencyQueries()
+	var items []BatchItem
+	for r := 0; r < 2; r++ {
+		items = append(items, base...)
+	}
+
+	const goroutines = 8
+	const rounds = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				opt := DefaultBatchOptions()
+				if (g+r)%3 == 0 {
+					opt.MaxGroupSize = 3
+				}
+				out, err := m.MineBatchOpts(items, opt)
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d round %d: %w", g, r, err)
+					return
+				}
+				for i, got := range out {
+					if got.Err != nil {
+						errs <- fmt.Errorf("goroutine %d round %d slot %d: %w", g, r, i, got.Err)
+						return
+					}
+					if len(got.Results) == 0 && len(items[i].Keywords) == 1 {
+						// Single-keyword news queries always have matches.
+						errs <- fmt.Errorf("goroutine %d round %d slot %d: empty result", g, r, i)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	for r := 0; r < 10; r++ {
+		if err := m.Add(Document{Text: fmt.Sprintf("trade reserves update number %d for the oil sector", r)}); err != nil {
+			errs <- fmt.Errorf("add %d: %w", r, err)
+			break
+		}
+		if r%2 == 1 {
+			if err := m.Flush(); err != nil {
+				errs <- fmt.Errorf("flush %d: %w", r, err)
+				break
+			}
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

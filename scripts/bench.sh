@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
 # bench.sh — run the figure benchmarks with -benchmem and capture them as a
-# JSON perf record (BENCH_pr5.json by default), continuing the repo's
+# JSON perf record (BENCH_pr7.json by default), continuing the repo's
 # benchmark trajectory: every perf PR measures the same set and commits the
 # updated baseline, and CI gates on it (see the bench-regression job).
-# The PR-5 set adds the sharded-engine benchmarks alongside the PR-3/PR-4
-# sets: BenchmarkShardedMineSeg{1,4} (sustained mine+update serving — the
-# 4-segment run must stay >= 2x faster than single-segment, the write-
-# segment flush-locality win), BenchmarkShardedQuerySeg{1,4} (pure
-# scatter-gather query latency) and BenchmarkShardedBuildSeg{1,4}.
+# The PR-7 set adds the decode-throughput suite alongside the PR-3..PR-5
+# sets: BenchmarkBlockDecode{Packed,Varint} and
+# BenchmarkListDecode{Packed,Varint} report ns/entry (the packed frame
+# decode must stay >= 2x faster per entry than varint — the -min-speedup
+# gate in CI), and BenchmarkMineBatch{Shared,Independent} measure
+# shared-scan batch execution against per-query decoding (queries/s).
 #
 # Usage:
 #   scripts/bench.sh [output.json]
@@ -20,8 +21,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_pr5.json}
-BENCH=${BENCH:-'^(BenchmarkFig7SMJ20AndReuters|BenchmarkFig9NRADisk20Reuters|BenchmarkConcurrentMine|BenchmarkFig7SMJ20OrReuters|BenchmarkFig10NRADisk20Pubmed|BenchmarkMineBatch|BenchmarkCompressedCursorNext|BenchmarkCompressedCursorSkipTo|BenchmarkCompressedNRAReuters|BenchmarkMmapQueryReuters|BenchmarkSnapshotLoad|BenchmarkSnapshotOpenMmap|BenchmarkShardedMineSeg1Reuters|BenchmarkShardedMineSeg4Reuters|BenchmarkShardedQuerySeg1Reuters|BenchmarkShardedQuerySeg4Reuters|BenchmarkShardedBuildSeg1Reuters|BenchmarkShardedBuildSeg4Reuters)$'}
+OUT=${1:-BENCH_pr7.json}
+BENCH=${BENCH:-'^(BenchmarkFig7SMJ20AndReuters|BenchmarkFig9NRADisk20Reuters|BenchmarkConcurrentMine|BenchmarkFig7SMJ20OrReuters|BenchmarkFig10NRADisk20Pubmed|BenchmarkMineBatch|BenchmarkCompressedCursorNext|BenchmarkCompressedCursorSkipTo|BenchmarkCompressedNRAReuters|BenchmarkMmapQueryReuters|BenchmarkSnapshotLoad|BenchmarkSnapshotOpenMmap|BenchmarkShardedMineSeg1Reuters|BenchmarkShardedMineSeg4Reuters|BenchmarkShardedQuerySeg1Reuters|BenchmarkShardedQuerySeg4Reuters|BenchmarkShardedBuildSeg1Reuters|BenchmarkShardedBuildSeg4Reuters|BenchmarkBlockDecodePacked|BenchmarkBlockDecodeVarint|BenchmarkListDecodePacked|BenchmarkListDecodeVarint|BenchmarkMineBatchShared|BenchmarkMineBatchIndependent)$'}
 BENCHTIME=${BENCHTIME:-2s}
 BENCHSCALE=${BENCHSCALE:-0.1}
 LABEL=${LABEL:-"$(git rev-parse --short HEAD 2>/dev/null || echo unversioned)"}
