@@ -7,6 +7,7 @@
 package phrasemine
 
 import (
+	"context"
 	"encoding/binary"
 	"flag"
 	"fmt"
@@ -162,7 +163,7 @@ func benchmarkShardedMine(b *testing.B, segments int) {
 			b.Fatal(err)
 		}
 		for j := 0; j < 10; j++ {
-			if _, err := sx.QueryNRA(rotate(queries, j), shardedBenchK, 1.0); err != nil {
+			if _, err := sx.QueryNRA(context.Background(), rotate(queries, j), shardedBenchK, 1.0); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -196,13 +197,13 @@ func benchmarkShardedQuery(b *testing.B, segments int) {
 	}
 	queries := shardedBenchQueries(b, ds)
 	for _, q := range queries {
-		if _, err := sx.QueryNRA(q, shardedBenchK, 1.0); err != nil {
+		if _, err := sx.QueryNRA(context.Background(), q, shardedBenchK, 1.0); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sx.QueryNRA(rotate(queries, i), shardedBenchK, 1.0); err != nil {
+		if _, err := sx.QueryNRA(context.Background(), rotate(queries, i), shardedBenchK, 1.0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -958,3 +959,38 @@ func benchmarkMineBatchSharing(b *testing.B, disable bool) {
 
 func BenchmarkMineBatchShared(b *testing.B)      { benchmarkMineBatchSharing(b, false) }
 func BenchmarkMineBatchIndependent(b *testing.B) { benchmarkMineBatchSharing(b, true) }
+
+// BenchmarkCanceledMine prices cancellation: the "canceled" series runs
+// every query under an already-canceled context, so its cost is pure
+// admission overhead — prepare, the entry cancellation check, and the
+// error return. Comparing it to the "full" series (same queries,
+// background context) shows a canceled query costs a small bounded
+// fraction of a completed one; the cooperative checks make mid-run
+// cancellation land within one check interval (~1024 entries) of that
+// floor.
+func BenchmarkCanceledMine(b *testing.B) {
+	ds := benchDataset(b, experiments.Reuters)
+	m, err := newMiner(ds.Corpus, Config{MinDocFreq: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := ds.Features
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			kw := queries[i%len(queries)]
+			if _, err := m.Mine(kw, OR, QueryOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("canceled", func(b *testing.B) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		for i := 0; i < b.N; i++ {
+			kw := queries[i%len(queries)]
+			if _, err := m.MineCtx(ctx, kw, OR, QueryOptions{}); err == nil {
+				b.Fatal("canceled query returned no error")
+			}
+		}
+	})
+}

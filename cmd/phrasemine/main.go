@@ -75,7 +75,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   phrasemine build-index -in corpus.txt -out corpus.snap [-mindf N] [-workers N] [-compress] [-segments N]
-  phrasemine serve (-index corpus.snap | -manifest dir | -in corpus.txt) [-addr :8080] [-cache N] [-timeout D] [-workers N] [-pprof] [-mmap] [-compress] [-segments N]
+  phrasemine serve (-index corpus.snap | -manifest dir | -in corpus.txt) [-addr :8080] [-cache N] [-query-timeout D] [-max-inflight N] [-queue-timeout D] [-tenant-qps F] [-slow-query D] [-workers N] [-pprof] [-mmap] [-compress] [-segments N]
   phrasemine index -in corpus.txt -out prefix [-mindf N] [-workers N]
   phrasemine query (-in corpus.txt | -index prefix) -keywords "w1 w2" [-op AND|OR] [-k N] [-algo nra|smj|gm|exact] [-frac F] [-workers N]
   phrasemine stats -in corpus.txt [-mindf N] [-workers N]
@@ -250,6 +250,11 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	cache := fs.Int("cache", server.DefaultCacheSize, "result-cache entries (negative disables)")
 	timeout := fs.Duration("timeout", server.DefaultQueryTimeout, "per-query timeout")
+	queryTimeout := fs.Duration("query-timeout", 0, "alias for -timeout; takes precedence when set")
+	maxInflight := fs.Int("max-inflight", 0, "max concurrently executing queries (0 disables admission control)")
+	queueTimeout := fs.Duration("queue-timeout", server.DefaultQueueTimeout, "max wait for an admission slot before shedding with 503")
+	tenantQPS := fs.Float64("tenant-qps", 0, "per-tenant sustained queries/sec, keyed on the X-Tenant header (0 disables quotas)")
+	slowQuery := fs.Duration("slow-query", 0, "log queries at least this slow (0 disables)")
 	minDF := fs.Int("mindf", 5, "minimum phrase document frequency (-in mode)")
 	workers := fs.Int("workers", 0, "query/build parallelism (0 = all cores)")
 	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof and /debug/vars (profiling + expvar counters)")
@@ -312,9 +317,24 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("one of -index, -manifest or -in is required")
 	}
 
+	if *queryTimeout > 0 {
+		*timeout = *queryTimeout
+	}
+	opts := server.Options{
+		CacheSize:          *cache,
+		QueryTimeout:       *timeout,
+		Reload:             reload,
+		MaxInflight:        *maxInflight,
+		QueueTimeout:       *queueTimeout,
+		TenantQPS:          *tenantQPS,
+		SlowQueryThreshold: *slowQuery,
+	}
+	if err := opts.Validate(); err != nil {
+		return err
+	}
 	// An -in miner has no on-disk generation to reopen; reload stays nil
 	// and POST /reload answers 501.
-	srvr := server.New(m, server.Options{CacheSize: *cache, QueryTimeout: *timeout, Reload: reload})
+	srvr := server.New(m, opts)
 	var handler http.Handler = srvr
 	if *pprofOn {
 		// Profiling is an opt-in flag, not a build variant, so production
@@ -349,7 +369,7 @@ func cmdServe(args []string) error {
 	}
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("serving on %s (cache=%d, timeout=%v)\n", *addr, *cache, *timeout)
+		fmt.Printf("serving on %s (cache=%d, timeout=%v, max-inflight=%d)\n", *addr, *cache, *timeout, *maxInflight)
 		errc <- srv.ListenAndServe()
 	}()
 	select {
@@ -358,6 +378,9 @@ func cmdServe(args []string) error {
 	case <-ctx.Done():
 	}
 	fmt.Println("shutting down")
+	// Reject queued and newly arriving queries immediately so the
+	// graceful-shutdown window below is spent finishing admitted work.
+	srvr.BeginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

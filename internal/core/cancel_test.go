@@ -1,0 +1,140 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/textproc"
+	"phrasemine/internal/topk"
+)
+
+func buildShardedForCancel(t *testing.T, nseg int) *ShardedIndex {
+	t.Helper()
+	c := smokeCorpus(11, 300)
+	opt := BuildOptions{Extractor: textproc.ExtractorOptions{MinDocFreq: 3, MaxWords: 3, DropAllStopwordPhrases: true}}
+	sx, err := BuildSharded(c, opt, nseg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sx
+}
+
+func TestShardedCanceledBeforeStart(t *testing.T) {
+	sx := buildShardedForCancel(t, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := corpus.NewQuery(corpus.OpOR, "trade", "bank")
+	if _, err := sx.QuerySMJ(ctx, q, 5, 1.0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("QuerySMJ err = %v, want context.Canceled", err)
+	}
+	if _, err := sx.QueryNRA(ctx, q, 5, 1.0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryNRA err = %v, want context.Canceled", err)
+	}
+	if _, err := sx.QueryGM(ctx, q, 5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryGM err = %v, want context.Canceled", err)
+	}
+	// The partial path has nothing to degrade to: zero completed segments
+	// is a plain ctx error, not an empty answer.
+	if _, done, err := sx.QuerySMJPartial(ctx, q, 5, 1.0); !errors.Is(err, context.Canceled) || done != 0 {
+		t.Fatalf("QuerySMJPartial = (done=%d, err=%v), want (0, context.Canceled)", done, err)
+	}
+}
+
+// TestShardedPartialGather forces a degraded gather deterministically:
+// every segment except 0 stalls in ScanSegmentStartHook until the query
+// deadline has expired, so exactly segment 0 (plus any segment whose scan
+// never consults the context because it holds no phrases) completes. The
+// degraded answer must be bit-identical to a clean gather over exactly
+// those segments — the acceptance property of the partial path.
+func TestShardedPartialGather(t *testing.T) {
+	sx := buildShardedForCancel(t, 4)
+	q := corpus.NewQuery(corpus.OpOR, "trade", "bank")
+	const k, frac = 5, 1.0
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	ScanSegmentStartHook = func(seg int) {
+		if seg != 0 {
+			<-ctx.Done()
+		}
+	}
+	defer func() { ScanSegmentStartHook = nil }()
+
+	got, done, err := sx.QuerySMJPartial(ctx, q, k, frac)
+	if err != nil {
+		t.Fatalf("QuerySMJPartial: %v", err)
+	}
+	// Segments that hold no universe phrases return before the first
+	// context check, so they count as done even when stalled.
+	wantDone := 1
+	completed := []int{0}
+	for i := 1; i < len(sx.segs); i++ {
+		if sx.segs[i].ix.Dict.Len() == 0 {
+			wantDone++
+			completed = append(completed, i)
+		}
+	}
+	if done != wantDone {
+		t.Fatalf("segmentsDone = %d, want %d", done, wantDone)
+	}
+	if done >= len(sx.segs) {
+		t.Fatalf("every segment completed (%d); the stall did not degrade the gather", done)
+	}
+
+	// Reference: a clean, deadline-free gather over exactly the completed
+	// segments.
+	ScanSegmentStartHook = nil
+	parts := make([]topk.PartialList, len(sx.segs))
+	for _, i := range completed {
+		if err := sx.scanSegment(context.Background(), i, q, frac, &parts[i]); err != nil {
+			t.Fatalf("reference scan of segment %d: %v", i, err)
+		}
+	}
+	want, err := sx.mergeParts(parts, sx.listMergeOptions(q, k))
+	if err != nil {
+		t.Fatalf("reference merge: %v", err)
+	}
+	if !bitEq(got, want) {
+		t.Fatalf("degraded answer diverged from gather over completed segments:\n got %v\nwant %v", got, want)
+	}
+
+	// The non-partial path under the same stall fails whole instead of
+	// answering from a subset.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel2()
+	ScanSegmentStartHook = func(seg int) {
+		if seg != 0 {
+			<-ctx2.Done()
+		}
+	}
+	if _, err := sx.QuerySMJ(ctx2, q, k, frac); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("non-partial QuerySMJ under stall = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestShardedPartialFullCompletion pins that the partial path with a
+// generous deadline returns the ordinary full answer: done equals the
+// segment count and the results match the non-partial query bit for bit.
+func TestShardedPartialFullCompletion(t *testing.T) {
+	sx := buildShardedForCancel(t, 4)
+	q := corpus.NewQuery(corpus.OpOR, "trade", "bank")
+	want, err := sx.QuerySMJ(context.Background(), q, 5, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	got, done, err := sx.QuerySMJPartial(ctx, q, 5, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != len(sx.segs) {
+		t.Fatalf("segmentsDone = %d, want %d", done, len(sx.segs))
+	}
+	if !bitEq(got, want) {
+		t.Fatalf("full-completion partial answer diverged:\n got %v\nwant %v", got, want)
+	}
+}

@@ -37,6 +37,8 @@ package core
 // additively, so AND queries use the exhaustive per-segment scan.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"slices"
@@ -569,13 +571,33 @@ func (sx *ShardedIndex) Resolve(results []topk.Result, q corpus.Query) ([]MinedP
 // partial count stream, and the gather merges the streams into the global
 // top-k. At full lists the answer is bit-identical to the monolithic SMJ
 // answer; at frac < 1 the truncation applies per segment rather than to
-// the global lists, a documented approximation.
-func (sx *ShardedIndex) QuerySMJ(q corpus.Query, k int, frac float64) ([]topk.Result, error) {
+// the global lists, a documented approximation. A canceled ctx stops every
+// segment scan cooperatively and returns ctx.Err(); nil means no
+// cancellation.
+func (sx *ShardedIndex) QuerySMJ(ctx context.Context, q corpus.Query, k int, frac float64) ([]topk.Result, error) {
+	results, _, err := sx.querySMJ(ctx, q, k, frac, false)
+	return results, err
+}
+
+// QuerySMJPartial is QuerySMJ with graceful degradation: when ctx expires
+// mid-scatter, segments whose scans completed still gather into a merged
+// answer instead of the whole query failing. The returned segmentsDone
+// reports how many of NumSegments() contributed; when it equals the
+// segment count the answer is the ordinary full answer. A partial answer
+// is bit-identical to a full gather over exactly the completed segments —
+// a scan either streams its segment completely or is dropped whole, so
+// degradation never mixes torn streams in. Zero completed segments fail
+// with ctx.Err() like the non-partial path.
+func (sx *ShardedIndex) QuerySMJPartial(ctx context.Context, q corpus.Query, k int, frac float64) (results []topk.Result, segmentsDone int, err error) {
+	return sx.querySMJ(ctx, q, k, frac, true)
+}
+
+func (sx *ShardedIndex) querySMJ(ctx context.Context, q corpus.Query, k int, frac float64, allowPartial bool) ([]topk.Result, int, error) {
 	if err := q.Validate(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if k <= 0 {
-		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+		return nil, 0, fmt.Errorf("core: k must be positive, got %d", k)
 	}
 	if frac <= 0 || frac > 1 {
 		frac = 1
@@ -583,14 +605,35 @@ func (sx *ShardedIndex) QuerySMJ(q corpus.Query, k int, frac float64) ([]topk.Re
 	parts := make([]topk.PartialList, len(sx.segs))
 	errs := make([]error, len(sx.segs))
 	sx.fanOut(len(sx.segs), func(i int) {
-		errs[i] = sx.scanSegment(i, q, frac, &parts[i])
+		errs[i] = sx.scanSegment(ctx, i, q, frac, &parts[i])
 	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	done := 0
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			done++
+		case allowPartial && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)):
+			// Deadline expired mid-scan: drop this segment's torn stream
+			// and gather what completed. Any other failure (corruption,
+			// structural errors) still fails the whole query.
+			parts[i] = topk.PartialList{}
+		default:
+			return nil, 0, err
 		}
 	}
-	return sx.mergeParts(parts, sx.listMergeOptions(q, k))
+	if done == 0 {
+		// Nothing completed before the deadline; there is no answer to
+		// degrade to.
+		return nil, 0, ctx.Err()
+	}
+	// The gather itself runs to completion even on a degraded query — it
+	// merges only completed streams and is the cheap final step that turns
+	// them into the answer the deadline was spent producing.
+	results, err := sx.mergeParts(parts, sx.listMergeOptions(q, k))
+	if err != nil {
+		return nil, 0, err
+	}
+	return results, done, nil
 }
 
 // gatherParallelCutoff is the total partial-entry count below which the
@@ -698,12 +741,21 @@ func (sx *ShardedIndex) listMergeOptions(q corpus.Query, k int) topk.MergeOption
 	}
 }
 
+// ScanSegmentStartHook, when non-nil, is invoked at the start of every
+// per-segment exhaustive scan with the segment number. It exists so tests
+// can stall chosen segments deterministically (e.g. to force a partial
+// gather); production code must leave it nil.
+var ScanSegmentStartHook func(segment int)
+
 // scanSegment scans one segment's ID-ordered lists and emits its partial
 // count stream: for every phrase group the per-feature probabilities
 // convert back to exact integer co-occurrence counts (Prob was built as
 // count/df, so round(Prob*df) recovers the count exactly — the relative
 // error of one float64 division and multiplication is far below 1/2).
-func (sx *ShardedIndex) scanSegment(i int, q corpus.Query, frac float64, out *topk.PartialList) error {
+func (sx *ShardedIndex) scanSegment(ctx context.Context, i int, q corpus.Query, frac float64, out *topk.PartialList) error {
+	if hook := ScanSegmentStartHook; hook != nil {
+		hook(i)
+	}
 	seg := sx.segs[i]
 	ix := seg.ix
 	if ix.Dict.Len() == 0 {
@@ -744,7 +796,7 @@ func (sx *ShardedIndex) scanSegment(i int, q corpus.Query, frac float64, out *to
 		cursors = cs
 	}
 	r := len(q.Features)
-	return topk.ScanGroups(cursors, s, func(local phrasedict.PhraseID, probs []float64, seen uint64) {
+	return topk.ScanGroupsCtx(ctx, cursors, s, func(local phrasedict.PhraseID, probs []float64, seen uint64) {
 		df := float64(ix.PhraseDF[local])
 		out.IDs = append(out.IDs, seg.localToGlobal[local])
 		for fi := 0; fi < r; fi++ {
@@ -763,8 +815,9 @@ func (sx *ShardedIndex) scanSegment(i int, q corpus.Query, frac float64, out *to
 // exact global scores, and shards whose local bound could still beat the
 // global k-th score re-run with a raised k'. AND queries and partial-list
 // fractions fall back to the exhaustive scan. Either way the answer is the
-// canonical (SMJ-identical) global top-k.
-func (sx *ShardedIndex) QueryNRA(q corpus.Query, k int, frac float64) ([]topk.Result, error) {
+// canonical (SMJ-identical) global top-k. A canceled ctx stops the local
+// NRA runs, the completion lookups and the re-issue loop cooperatively.
+func (sx *ShardedIndex) QueryNRA(ctx context.Context, q corpus.Query, k int, frac float64) ([]topk.Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -772,9 +825,9 @@ func (sx *ShardedIndex) QueryNRA(q corpus.Query, k int, frac float64) ([]topk.Re
 		return nil, fmt.Errorf("core: k must be positive, got %d", k)
 	}
 	if q.Op != corpus.OpOR || (frac > 0 && frac < 1) {
-		return sx.QuerySMJ(q, k, frac)
+		return sx.QuerySMJ(ctx, q, k, frac)
 	}
-	return sx.queryNRAAdaptive(q, k)
+	return sx.queryNRAAdaptive(ctx, q, k)
 }
 
 // globalizedLists returns, for one query feature, every segment's score
@@ -880,7 +933,7 @@ func (sx *ShardedIndex) globalizeSegmentList(seg *segment, f string) (plist.Scor
 // score θ, re-issues every non-exhausted shard with k' raised by
 // shardedKGrowth (the stop test is the aggregate bound, not a per-shard
 // one: a single shard's λ cannot bound a phrase hidden across several).
-func (sx *ShardedIndex) queryNRAAdaptive(q corpus.Query, k int) ([]topk.Result, error) {
+func (sx *ShardedIndex) queryNRAAdaptive(ctx context.Context, q corpus.Query, k int) ([]topk.Result, error) {
 	n := len(sx.segs)
 	r := len(q.Features)
 	perFeature := make([][]plist.ScoreList, r)
@@ -917,7 +970,7 @@ func (sx *ShardedIndex) queryNRAAdaptive(q corpus.Query, k int) ([]topk.Result, 
 				mem[fi].Reset(perFeature[fi][i])
 				cursors[fi] = &mem[fi]
 			}
-			localRes[i], _, errs[i] = topk.NRAScratch(cursors, topk.NRAOptions{K: kLocal[i], Op: corpus.OpOR}, s)
+			localRes[i], _, errs[i] = topk.NRAScratch(cursors, topk.NRAOptions{K: kLocal[i], Op: corpus.OpOR, Ctx: ctx}, s)
 		})
 		for _, i := range active {
 			if errs[i] != nil {
@@ -944,7 +997,7 @@ func (sx *ShardedIndex) queryNRAAdaptive(q corpus.Query, k int) ([]topk.Result, 
 			cands = append(cands, id)
 		}
 		slices.Sort(cands)
-		results, err := sx.completeAndMerge(q, k, cands)
+		results, err := sx.completeAndMerge(ctx, q, k, cands)
 		if err != nil {
 			return nil, err
 		}
@@ -972,6 +1025,13 @@ func (sx *ShardedIndex) queryNRAAdaptive(q corpus.Query, k int) ([]topk.Result, 
 		if len(reissue) == 0 {
 			return results, nil
 		}
+		// A re-issue round is a fresh batch of segment scans; stop here if
+		// the query was canceled while the gather was merging.
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		active = reissue
 	}
 }
@@ -982,11 +1042,11 @@ func (sx *ShardedIndex) queryNRAAdaptive(q corpus.Query, k int) ([]topk.Result, 
 // Re-issue rounds re-complete the whole accumulated candidate set (a
 // deliberate simplicity trade-off: rounds are bounded by the geometric k'
 // growth, and per-candidate completion is a handful of log-time lookups).
-func (sx *ShardedIndex) completeAndMerge(q corpus.Query, k int, cands []phrasedict.PhraseID) ([]topk.Result, error) {
+func (sx *ShardedIndex) completeAndMerge(ctx context.Context, q corpus.Query, k int, cands []phrasedict.PhraseID) ([]topk.Result, error) {
 	parts := make([]topk.PartialList, len(sx.segs))
 	errs := make([]error, len(sx.segs))
 	sx.fanOut(len(sx.segs), func(i int) {
-		parts[i], errs[i] = sx.completeSegment(i, q, cands)
+		parts[i], errs[i] = sx.completeSegment(ctx, i, q, cands)
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -999,7 +1059,14 @@ func (sx *ShardedIndex) completeAndMerge(q corpus.Query, k int, cands []phrasedi
 // completeSegment looks up each candidate's per-feature co-occurrence
 // counts in one segment's full ID-ordered lists: binary search on raw
 // lists, skip-table gallops (SkipTo) on block-compressed ones.
-func (sx *ShardedIndex) completeSegment(i int, q corpus.Query, cands []phrasedict.PhraseID) (topk.PartialList, error) {
+func (sx *ShardedIndex) completeSegment(ctx context.Context, i int, q corpus.Query, cands []phrasedict.PhraseID) (topk.PartialList, error) {
+	// One check per segment visit suffices: completion is a bounded number
+	// of log-time lookups, orders of magnitude cheaper than a list scan.
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return topk.PartialList{}, err
+		}
+	}
 	seg := sx.segs[i]
 	l2g := seg.localToGlobal
 	var (
@@ -1084,7 +1151,7 @@ func probCount(prob float64, df uint32) uint32 {
 // D' (GM's merge-count), and the gather sums the integer frequencies and
 // divides by the global document frequency — the identical arithmetic and
 // (score, ID) tie ordering as the monolithic GM/Exact baselines.
-func (sx *ShardedIndex) QueryGM(q corpus.Query, k int) ([]topk.Result, error) {
+func (sx *ShardedIndex) QueryGM(ctx context.Context, q corpus.Query, k int) ([]topk.Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -1094,7 +1161,7 @@ func (sx *ShardedIndex) QueryGM(q corpus.Query, k int) ([]topk.Result, error) {
 	parts := make([]topk.PartialList, len(sx.segs))
 	errs := make([]error, len(sx.segs))
 	sx.fanOut(len(sx.segs), func(i int) {
-		parts[i], errs[i] = sx.gmSegment(i, q)
+		parts[i], errs[i] = sx.gmSegment(ctx, i, q)
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -1111,10 +1178,15 @@ func (sx *ShardedIndex) QueryGM(q corpus.Query, k int) ([]topk.Result, error) {
 
 // gmSegment merge-counts phrase frequencies over one segment's slice of
 // the sub-collection, GM-style.
-func (sx *ShardedIndex) gmSegment(i int, q corpus.Query) (topk.PartialList, error) {
+func (sx *ShardedIndex) gmSegment(ctx context.Context, i int, q corpus.Query) (topk.PartialList, error) {
 	seg := sx.segs[i]
 	ix := seg.ix
 	var out topk.PartialList
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+	}
 	if ix.Dict.Len() == 0 {
 		return out, nil
 	}

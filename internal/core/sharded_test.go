@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -54,14 +55,14 @@ func TestShardedSmoke(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				got, err := sx.QuerySMJ(q, 5, 1.0)
+				got, err := sx.QuerySMJ(context.Background(), q, 5, 1.0)
 				if err != nil {
 					t.Fatal(err)
 				}
 				if !bitEq(want, got) {
 					t.Fatalf("N=%d %v SMJ: want %v got %v", nseg, q, want, got)
 				}
-				gotN, err := sx.QueryNRA(q, 5, 1.0)
+				gotN, err := sx.QueryNRA(context.Background(), q, 5, 1.0)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -76,7 +77,7 @@ func TestShardedSmoke(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				gg, err := sx.QueryGM(q, 5)
+				gg, err := sx.QueryGM(context.Background(), q, 5)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -167,7 +168,7 @@ func TestShardedFlushSmoke(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := sx.QueryNRA(q, 5, 1.0)
+			got, err := sx.QueryNRA(context.Background(), q, 5, 1.0)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -201,22 +202,22 @@ func TestShardedManifestSmoke(t *testing.T) {
 	for _, op := range []corpus.Operator{corpus.OpAND, corpus.OpOR} {
 		for _, kws := range [][]string{{"trade", "reserves"}, {"query", "optimization", "systems"}} {
 			q := corpus.NewQuery(op, kws...)
-			want, err := sx.QueryNRA(q, 5, 1.0)
+			want, err := sx.QueryNRA(context.Background(), q, 5, 1.0)
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := opened.QueryNRA(q, 5, 1.0)
+			got, err := opened.QueryNRA(context.Background(), q, 5, 1.0)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if !bitEq(want, got) {
 				t.Fatalf("%v reopened: %v vs %v", q, want, got)
 			}
-			wg, err := sx.QueryGM(q, 5)
+			wg, err := sx.QueryGM(context.Background(), q, 5)
 			if err != nil {
 				t.Fatal(err)
 			}
-			gg, err := opened.QueryGM(q, 5)
+			gg, err := opened.QueryGM(context.Background(), q, 5)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -249,7 +250,7 @@ func TestShardedFlushRefusalLeavesStateIntact(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := corpus.NewQuery(corpus.OpOR, "trade", "reserves")
-	before, err := sx.QueryNRA(q, 5, 1.0)
+	before, err := sx.QueryNRA(context.Background(), q, 5, 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +276,7 @@ func TestShardedFlushRefusalLeavesStateIntact(t *testing.T) {
 	if got := sx.PendingUpdates(); got != pending {
 		t.Fatalf("refused flush changed pending updates: %d vs %d", got, pending)
 	}
-	after, err := sx.QueryNRA(q, 5, 1.0)
+	after, err := sx.QueryNRA(context.Background(), q, 5, 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +297,7 @@ func TestShardedFlushRefusalLeavesStateIntact(t *testing.T) {
 	if err := sx.Flush(); err != nil {
 		t.Fatalf("flush after discard: %v", err)
 	}
-	recovered, err := sx.QueryNRA(q, 5, 1.0)
+	recovered, err := sx.QueryNRA(context.Background(), q, 5, 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,153 @@
+package difftest
+
+// Deadline-equivalence mode: the cancellation analogue of the
+// differential contract. Threading a live context through a query must
+// never change its answer — cancellation either replaces the whole result
+// with ctx.Err() or leaves it untouched, bit for bit. The harvested
+// workloads run twice on the same miners, once with context.Background()
+// and once under a generous-but-finite deadline, across both engines the
+// cancellation plumbing touches:
+//
+//   - A packed compressed monolithic miner (the cursor-level NRA/SMJ
+//     cancellation points).
+//   - A sharded multi-segment miner (the scatter-gather path), including
+//     the Partial query knob: with an unexpired deadline a
+//     partial-capable query must return the complete answer, unmarked.
+//
+// A pre-canceled leg pins the other half of the contract: a canceled
+// context yields ctx.Err() and no results on every engine and algorithm.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"phrasemine"
+	"phrasemine/internal/synth"
+)
+
+// deadlineGenerous is the finite deadline the equivalence leg runs
+// under: long enough that no test-sized query expires (expiry would
+// surface as an error, failing the run), short enough to prove the
+// deadline plumbing is live on every path.
+const deadlineGenerous = 5 * time.Minute
+
+// RunDeadlineEquivalence executes the deadline differential over every
+// corpus in opt.
+func RunDeadlineEquivalence(opt Options) (*Report, error) {
+	if opt.K <= 0 {
+		opt.K = 5
+	}
+	rep := &Report{
+		MeanPrecision: map[Key]float64{},
+		precisionSum:  map[Key]float64{},
+		precisionN:    map[Key]int{},
+	}
+	for _, cfg := range opt.Corpora {
+		if err := runDeadlineCorpus(rep, cfg, opt); err != nil {
+			return nil, fmt.Errorf("difftest: deadline corpus %s: %w", cfg.Name, err)
+		}
+	}
+	return rep, nil
+}
+
+func runDeadlineCorpus(rep *Report, cfg synth.Config, opt Options) error {
+	s, err := prepare(cfg, opt)
+	if err != nil {
+		return err
+	}
+	tokens, err := s.c.TokenSlices()
+	if err != nil {
+		return err
+	}
+	texts := make([]string, len(tokens))
+	for d, ts := range tokens {
+		texts[d] = strings.Join(ts, " ")
+	}
+
+	packed, err := phrasemine.NewMinerFromTexts(texts, phrasemine.Config{
+		Compression: true,
+		Workers:     opt.Workers,
+	})
+	if err != nil {
+		return err
+	}
+	defer packed.Close()
+	sharded, err := phrasemine.NewMinerFromTexts(texts, phrasemine.Config{
+		Segments: 4,
+		Workers:  opt.Workers,
+	})
+	if err != nil {
+		return err
+	}
+	defer sharded.Close()
+
+	miners := []struct {
+		name string
+		m    *phrasemine.Miner
+	}{
+		{"packed", packed},
+		{"sharded", sharded},
+	}
+	algos := []phrasemine.Algorithm{phrasemine.AlgoNRA, phrasemine.AlgoSMJ}
+	queries := append(append([][]string(nil), s.single...), s.multi...)
+
+	canceled, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+
+	for _, op := range []phrasemine.Operator{phrasemine.AND, phrasemine.OR} {
+		for _, kws := range queries {
+			for _, eng := range miners {
+				for _, algo := range algos {
+					qopt := phrasemine.QueryOptions{K: opt.K, Algorithm: algo}
+					want, wantErr := eng.m.Mine(kws, op, qopt)
+
+					ctx, cancel := context.WithTimeout(context.Background(), deadlineGenerous)
+					got, gotErr := eng.m.MineCtx(ctx, kws, op, qopt)
+					cancel()
+					if (wantErr == nil) != (gotErr == nil) {
+						rep.failf("%s %s/%s %v: error asymmetry under deadline: %v vs %v",
+							cfg.Name, eng.name, algo, kws, wantErr, gotErr)
+						continue
+					}
+					if wantErr == nil && !sameResults(want, got) {
+						rep.failf("%s %s/%s %v: deadline run diverges from background run",
+							cfg.Name, eng.name, algo, kws)
+					}
+
+					// The pre-canceled half: ctx.Err() and nothing else.
+					if _, err := eng.m.MineCtx(canceled, kws, op, qopt); !errors.Is(err, context.Canceled) {
+						rep.failf("%s %s/%s %v: canceled context returned %v, want context.Canceled",
+							cfg.Name, eng.name, algo, kws, err)
+					}
+				}
+
+				// Partial knob under an unexpired deadline: the complete
+				// answer, unmarked, identical to the plain run.
+				qopt := phrasemine.QueryOptions{K: opt.K, Algorithm: phrasemine.AlgoSMJ, Partial: true}
+				want, wantErr := eng.m.Mine(kws, op, phrasemine.QueryOptions{K: opt.K, Algorithm: phrasemine.AlgoSMJ})
+				ctx, cancel := context.WithTimeout(context.Background(), deadlineGenerous)
+				mined, gotErr := eng.m.MineDetailed(ctx, kws, op, qopt)
+				cancel()
+				if (wantErr == nil) != (gotErr == nil) {
+					rep.failf("%s %s partial %v: error asymmetry: %v vs %v", cfg.Name, eng.name, kws, wantErr, gotErr)
+					continue
+				}
+				if wantErr != nil {
+					continue
+				}
+				if mined.Degraded {
+					rep.failf("%s %s partial %v: unexpired deadline marked degraded (%d/%d segments)",
+						cfg.Name, eng.name, kws, mined.SegmentsDone, mined.SegmentsTotal)
+				}
+				if !sameResults(want, mined.Results) {
+					rep.failf("%s %s partial %v: partial-capable run diverges from plain run", cfg.Name, eng.name, kws)
+				}
+			}
+			rep.Cases++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+package difftest
+
+import "testing"
+
+func TestDeadlineEquivalence(t *testing.T) {
+	rep, err := RunDeadlineEquivalence(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Failures {
+		t.Error(f)
+	}
+	if rep.Cases == 0 {
+		t.Fatal("deadline differential ran zero cases")
+	}
+	t.Logf("deadline differential: %d cases, %d failures", rep.Cases, len(rep.Failures))
+}

@@ -23,6 +23,7 @@ package difftest
 // Any divergence is a hard failure recorded in Report.Failures.
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -103,7 +104,7 @@ func checkShardedQuery(rep *Report, name string, n int, mono *core.Index, smj *c
 		rep.failf("%s N=%d %v: monolithic SMJ: %v", name, n, q, err)
 		return
 	}
-	gotSMJ, err := sx.QuerySMJ(q, k, 1.0)
+	gotSMJ, err := sx.QuerySMJ(context.Background(), q, k, 1.0)
 	if err != nil {
 		rep.failf("%s N=%d %v: sharded SMJ: %v", name, n, q, err)
 		return
@@ -111,7 +112,7 @@ func checkShardedQuery(rep *Report, name string, n int, mono *core.Index, smj *c
 	if !bitIdentical(want, gotSMJ) {
 		rep.failf("%s N=%d %v: sharded SMJ diverges: %v vs %v", name, n, q, want, gotSMJ)
 	}
-	gotNRA, err := sx.QueryNRA(q, k, 1.0)
+	gotNRA, err := sx.QueryNRA(context.Background(), q, k, 1.0)
 	if err != nil {
 		rep.failf("%s N=%d %v: sharded NRA: %v", name, n, q, err)
 		return
@@ -135,7 +136,7 @@ func checkShardedQuery(rep *Report, name string, n int, mono *core.Index, smj *c
 		rep.failf("%s N=%d %v: monolithic GM: %v", name, n, q, err)
 		return
 	}
-	gotGM, err := sx.QueryGM(q, k)
+	gotGM, err := sx.QueryGM(context.Background(), q, k)
 	if err != nil {
 		rep.failf("%s N=%d %v: sharded GM: %v", name, n, q, err)
 		return

@@ -1,0 +1,232 @@
+// This file holds the admission-control pipeline: the bounded concurrency
+// gate with its deadline-aware wait queue, the per-tenant token-bucket
+// quotas, and the drain switch the shutdown path flips. Every /mine and
+// /mine/batch request passes through admit before any query work starts,
+// so overload turns into fast, explicit 503/429 responses instead of a
+// goroutine pile-up.
+
+package server
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// admitOutcome classifies one admission attempt.
+type admitOutcome int
+
+const (
+	// admitted grants a slot; the caller must invoke the release func.
+	admitted admitOutcome = iota
+	// admitShed rejects for overload: the gate is full and the request
+	// either found the wait queue full or waited QueueTimeout without a
+	// slot freeing up. Maps to 503 + Retry-After.
+	admitShed
+	// admitQuota rejects for a drained per-tenant token bucket. Maps to
+	// 429 + Retry-After.
+	admitQuota
+	// admitCanceled means the client went away while the request was
+	// queued; there is nobody left to answer.
+	admitCanceled
+	// admitDraining rejects because the server is shutting down: queued
+	// and newly arriving requests fail fast so admitted ones can finish.
+	admitDraining
+)
+
+// maxTenantBuckets bounds the quota map so an attacker minting fresh
+// X-Tenant values cannot grow it without bound. On overflow, buckets that
+// have fully refilled (idle tenants) are swept; if every tenant is hot the
+// whole map resets — coarse, but bounded, and only reachable under abuse.
+const maxTenantBuckets = 4096
+
+// tenantQuotas is a per-tenant token-bucket table: each tenant accrues
+// qps tokens per second up to burst, and each admitted query spends one.
+// Refill happens on demand from the elapsed wall-clock time, so idle
+// tenants cost nothing.
+type tenantQuotas struct {
+	qps   float64
+	burst float64
+	mu    sync.Mutex
+	bkts  map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newTenantQuotas(qps float64, burst int) *tenantQuotas {
+	if qps <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if burst <= 0 {
+		b = math.Max(1, math.Ceil(2*qps))
+	}
+	return &tenantQuotas{qps: qps, burst: b, bkts: make(map[string]*tokenBucket)}
+}
+
+// allow spends one token from tenant's bucket, reporting false when the
+// bucket is dry.
+func (t *tenantQuotas) allow(tenant string, now time.Time) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.bkts[tenant]
+	if b == nil {
+		if len(t.bkts) >= maxTenantBuckets {
+			t.sweepLocked(now)
+		}
+		b = &tokenBucket{tokens: t.burst, last: now}
+		t.bkts[tenant] = b
+	} else {
+		b.tokens = math.Min(t.burst, b.tokens+t.qps*now.Sub(b.last).Seconds())
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// sweepLocked evicts buckets that would be full if refilled now — tenants
+// idle long enough to have recovered their whole burst lose their entry
+// (recreating it grants exactly the same full bucket, so eviction is
+// invisible to them). Resets the map if nothing is evictable.
+func (t *tenantQuotas) sweepLocked(now time.Time) {
+	for k, b := range t.bkts {
+		if b.tokens+t.qps*now.Sub(b.last).Seconds() >= t.burst {
+			delete(t.bkts, k)
+		}
+	}
+	if len(t.bkts) >= maxTenantBuckets {
+		t.bkts = make(map[string]*tokenBucket)
+	}
+}
+
+// retryAfterSeconds is the Retry-After hint for a rejection: the time after
+// which one retry plausibly succeeds, rounded up to whole seconds (minimum
+// 1 — the header speaks integer seconds).
+func retryAfterSeconds(d time.Duration) int {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// admission is the gate every query-serving request passes through. The
+// zero-configured form (no gate, no quotas) still tracks the in-flight
+// gauge, so observability does not depend on limits being set.
+type admission struct {
+	// sem holds MaxInflight slots; nil disables the concurrency gate.
+	sem chan struct{}
+	// maxQueue bounds how many requests may wait for a slot at once.
+	maxQueue     int64
+	queueTimeout time.Duration
+	// inflight and queued are the live gauges behind
+	// phrasemine_inflight_queries / phrasemine_queued_queries.
+	inflight atomic.Int64
+	queued   atomic.Int64
+	// drainCh is closed by beginDrain: queued waiters and new arrivals
+	// fail fast with admitDraining while admitted queries run to
+	// completion.
+	drainCh   chan struct{}
+	drainOnce sync.Once
+	// quotas is the per-tenant token-bucket table; nil disables quotas.
+	quotas *tenantQuotas
+}
+
+func newAdmission(opts Options) *admission {
+	a := &admission{
+		queueTimeout: opts.QueueTimeout,
+		drainCh:      make(chan struct{}),
+		quotas:       newTenantQuotas(opts.TenantQPS, opts.TenantBurst),
+	}
+	if opts.MaxInflight > 0 {
+		a.sem = make(chan struct{}, opts.MaxInflight)
+		a.maxQueue = int64(opts.MaxQueue)
+		if a.maxQueue <= 0 {
+			a.maxQueue = int64(4 * opts.MaxInflight)
+		}
+	}
+	return a
+}
+
+// draining reports whether beginDrain has run.
+func (a *admission) draining() bool {
+	select {
+	case <-a.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// beginDrain flips the gate into shutdown mode: every queued waiter is
+// released with admitDraining and later admit calls reject immediately,
+// while already-admitted queries keep their slots until release. Safe to
+// call more than once.
+func (a *admission) beginDrain() {
+	a.drainOnce.Do(func() { close(a.drainCh) })
+}
+
+// admit runs the pipeline for one request: drain check, tenant quota,
+// then the concurrency gate with its bounded wait queue. On admitted it
+// returns a release func the caller must invoke when the query finishes;
+// on any rejection release is nil.
+func (a *admission) admit(ctx context.Context, tenant string) (release func(), outcome admitOutcome) {
+	if a.draining() {
+		return nil, admitDraining
+	}
+	// Quota before queueing: an over-quota tenant must not occupy wait-
+	// queue capacity other tenants could use, and must burn its token
+	// budget at request rate, not at slot-availability rate.
+	if a.quotas != nil && !a.quotas.allow(tenant, time.Now()) {
+		return nil, admitQuota
+	}
+	if a.sem == nil {
+		a.inflight.Add(1)
+		return a.releaseUngated, admitted
+	}
+	select {
+	case a.sem <- struct{}{}:
+		a.inflight.Add(1)
+		return a.releaseGated, admitted
+	default:
+	}
+	// The gate is full: wait for a slot, bounded by the queue capacity
+	// and QueueTimeout. The counter admits a brief overshoot past
+	// maxQueue under a stampede (check-then-increment), which only makes
+	// the queue marginally more generous — never unbounded.
+	if a.queued.Load() >= a.maxQueue {
+		return nil, admitShed
+	}
+	a.queued.Add(1)
+	defer a.queued.Add(-1)
+	timer := time.NewTimer(a.queueTimeout)
+	defer timer.Stop()
+	select {
+	case a.sem <- struct{}{}:
+		a.inflight.Add(1)
+		return a.releaseGated, admitted
+	case <-timer.C:
+		return nil, admitShed
+	case <-ctx.Done():
+		return nil, admitCanceled
+	case <-a.drainCh:
+		return nil, admitDraining
+	}
+}
+
+func (a *admission) releaseUngated() {
+	a.inflight.Add(-1)
+}
+
+func (a *admission) releaseGated() {
+	a.inflight.Add(-1)
+	<-a.sem
+}

@@ -1,0 +1,204 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestAdmissionUngatedTracksInflight(t *testing.T) {
+	a := newAdmission(Options{})
+	rel1, out1 := a.admit(context.Background(), "")
+	rel2, out2 := a.admit(context.Background(), "")
+	if out1 != admitted || out2 != admitted {
+		t.Fatalf("ungated admit outcomes = %v, %v; want admitted", out1, out2)
+	}
+	if got := a.inflight.Load(); got != 2 {
+		t.Fatalf("inflight = %d, want 2", got)
+	}
+	rel1()
+	rel2()
+	if got := a.inflight.Load(); got != 0 {
+		t.Fatalf("inflight after release = %d, want 0", got)
+	}
+}
+
+func TestAdmissionGateFastPathAndQueue(t *testing.T) {
+	a := newAdmission(Options{MaxInflight: 1, QueueTimeout: time.Second})
+	rel, out := a.admit(context.Background(), "")
+	if out != admitted {
+		t.Fatalf("first admit = %v, want admitted", out)
+	}
+	// A second request queues; release the slot from another goroutine
+	// and the waiter must get it.
+	done := make(chan admitOutcome, 1)
+	go func() {
+		rel2, out2 := a.admit(context.Background(), "")
+		if rel2 != nil {
+			defer rel2()
+		}
+		done <- out2
+	}()
+	// Wait until the second request is visibly queued before releasing.
+	deadline := time.Now().Add(5 * time.Second)
+	for a.queued.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rel()
+	if out2 := <-done; out2 != admitted {
+		t.Fatalf("queued admit = %v, want admitted", out2)
+	}
+	if got := a.inflight.Load(); got != 0 {
+		t.Fatalf("inflight after both released = %d, want 0", got)
+	}
+}
+
+func TestAdmissionShedOnQueueTimeout(t *testing.T) {
+	a := newAdmission(Options{MaxInflight: 1, QueueTimeout: time.Millisecond})
+	rel, _ := a.admit(context.Background(), "")
+	defer rel()
+	rel2, out := a.admit(context.Background(), "")
+	if out != admitShed || rel2 != nil {
+		t.Fatalf("admit with held slot = (%v, release=%v), want (admitShed, nil)", out, rel2 != nil)
+	}
+	if got := a.queued.Load(); got != 0 {
+		t.Fatalf("queued gauge after timeout = %d, want 0", got)
+	}
+}
+
+func TestAdmissionShedOnFullQueue(t *testing.T) {
+	a := newAdmission(Options{MaxInflight: 1, MaxQueue: 1, QueueTimeout: time.Minute})
+	rel, _ := a.admit(context.Background(), "")
+	defer rel()
+	// Occupy the single queue slot.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	queued := make(chan admitOutcome, 1)
+	go func() {
+		_, out := a.admit(ctx, "")
+		queued <- out
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for a.queued.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The queue is full: the next arrival is shed immediately.
+	if _, out := a.admit(context.Background(), ""); out != admitShed {
+		t.Fatalf("admit with full queue = %v, want admitShed", out)
+	}
+	cancel()
+	if out := <-queued; out != admitCanceled {
+		t.Fatalf("canceled waiter = %v, want admitCanceled", out)
+	}
+}
+
+func TestAdmissionDrain(t *testing.T) {
+	a := newAdmission(Options{MaxInflight: 1, QueueTimeout: time.Minute})
+	rel, _ := a.admit(context.Background(), "")
+	// Queue a waiter, then drain: the waiter is released with
+	// admitDraining and new arrivals reject immediately.
+	waiter := make(chan admitOutcome, 1)
+	go func() {
+		_, out := a.admit(context.Background(), "")
+		waiter <- out
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for a.queued.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	a.beginDrain()
+	if out := <-waiter; out != admitDraining {
+		t.Fatalf("queued waiter under drain = %v, want admitDraining", out)
+	}
+	if _, out := a.admit(context.Background(), ""); out != admitDraining {
+		t.Fatalf("new arrival under drain = %v, want admitDraining", out)
+	}
+	// The admitted query still finishes and releases normally.
+	rel()
+	if got := a.inflight.Load(); got != 0 {
+		t.Fatalf("inflight after drain+release = %d, want 0", got)
+	}
+	a.beginDrain() // idempotent
+}
+
+func TestTenantQuotaBucket(t *testing.T) {
+	q := newTenantQuotas(1, 2)
+	now := time.Now()
+	// Burst of 2, then dry.
+	if !q.allow("a", now) || !q.allow("a", now) {
+		t.Fatal("burst tokens denied")
+	}
+	if q.allow("a", now) {
+		t.Fatal("third request within burst window allowed")
+	}
+	// Tenants are independent.
+	if !q.allow("b", now) {
+		t.Fatal("fresh tenant denied")
+	}
+	// Refill: 1 qps means one token after a second.
+	if !q.allow("a", now.Add(1100*time.Millisecond)) {
+		t.Fatal("refilled token denied")
+	}
+	if q.allow("a", now.Add(1100*time.Millisecond)) {
+		t.Fatal("second token granted before refill")
+	}
+}
+
+func TestTenantQuotaDefaults(t *testing.T) {
+	if q := newTenantQuotas(0, 5); q != nil {
+		t.Fatal("qps=0 should disable quotas")
+	}
+	// Default burst is ceil(2*qps), minimum 1.
+	if q := newTenantQuotas(3, 0); q.burst != 6 {
+		t.Fatalf("burst for qps=3 = %v, want 6", q.burst)
+	}
+	if q := newTenantQuotas(0.1, 0); q.burst != 1 {
+		t.Fatalf("burst for qps=0.1 = %v, want 1", q.burst)
+	}
+}
+
+func TestTenantQuotaSweep(t *testing.T) {
+	q := newTenantQuotas(100, 1)
+	now := time.Now()
+	for i := 0; i < maxTenantBuckets; i++ {
+		q.allow(string(rune('a'+i%26))+string(rune('0'+i/26%10))+string(rune('0'+i/260)), now)
+	}
+	if got := len(q.bkts); got != maxTenantBuckets {
+		t.Fatalf("bucket count before sweep = %d, want %d", got, maxTenantBuckets)
+	}
+	// Far enough in the future every bucket has refilled: the sweep
+	// evicts them all and the new tenant gets a fresh bucket.
+	if !q.allow("newcomer", now.Add(time.Hour)) {
+		t.Fatal("newcomer denied after sweep")
+	}
+	if got := len(q.bkts); got > 2 {
+		t.Fatalf("bucket count after sweep = %d, want <= 2", got)
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{10 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1500 * time.Millisecond, 2},
+		{5 * time.Second, 5},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.d); got != c.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}

@@ -7,10 +7,12 @@ package server
 
 import (
 	"expvar"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"phrasemine"
 )
@@ -31,6 +33,20 @@ var (
 	statPanics = expvar.NewInt("phrasemine_panics_total")
 	// statReloads counts successful hot-reloads (generation swaps).
 	statReloads = expvar.NewInt("phrasemine_reloads_total")
+	// statCanceled counts queries abandoned because the client went away
+	// before the answer (the 499 path) — their goroutines stopped at the
+	// next cancellation point instead of computing a discarded result.
+	statCanceled = expvar.NewInt("phrasemine_canceled_total")
+	// statShed counts requests rejected by the admission gate (503): the
+	// concurrency limit was reached and the request found the wait queue
+	// full or timed out in it.
+	statShed = expvar.NewInt("phrasemine_shed_total")
+	// statQuotaRejects counts requests rejected by a per-tenant token
+	// bucket (429).
+	statQuotaRejects = expvar.NewInt("phrasemine_quota_rejects_total")
+	// statDegraded counts Partial queries answered from a subset of
+	// segments because the deadline expired mid-gather.
+	statDegraded = expvar.NewInt("phrasemine_degraded_total")
 )
 
 // gaugeMiner is the miner behind the index-memory gauges: the most
@@ -41,6 +57,70 @@ var gaugeMiner atomic.Pointer[phrasemine.Miner]
 // registerIndexGauges points the index-memory gauges at m.
 func registerIndexGauges(m *phrasemine.Miner) {
 	gaugeMiner.Store(m)
+}
+
+// gaugeAdmission is the admission gate behind the in-flight/queued
+// gauges, following the newest server like gaugeMiner.
+var gaugeAdmission atomic.Pointer[admission]
+
+// registerAdmissionGauges points the load gauges at a.
+func registerAdmissionGauges(a *admission) {
+	gaugeAdmission.Store(a)
+}
+
+// latencyBucketsMs are the fixed upper bounds (milliseconds, cumulative)
+// of the query latency histograms; observations above the last bound land
+// in the +Inf bucket.
+var latencyBucketsMs = [...]int64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// latencyHist is one lock-free latency histogram: per-bucket atomic
+// counters plus a sum, snapshotted cumulatively for scrapers.
+type latencyHist struct {
+	buckets [len(latencyBucketsMs) + 1]atomic.Int64
+	sumMs   atomic.Int64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	ms := d.Milliseconds()
+	i := 0
+	for i < len(latencyBucketsMs) && ms > latencyBucketsMs[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.sumMs.Add(ms)
+}
+
+func (h *latencyHist) snapshot() map[string]int64 {
+	out := make(map[string]int64, len(latencyBucketsMs)+2)
+	var cum int64
+	for i, ub := range latencyBucketsMs {
+		cum += h.buckets[i].Load()
+		out[fmt.Sprintf("le_%d", ub)] = cum
+	}
+	cum += h.buckets[len(latencyBucketsMs)].Load()
+	out["le_inf"] = cum
+	out["sum_ms"] = h.sumMs.Load()
+	return out
+}
+
+// queryLatencies holds one histogram per query algorithm (the request's
+// selection, so "auto" is its own series) plus one for whole /mine/batch
+// calls. Process-global like the counters above.
+var queryLatencies = map[string]*latencyHist{
+	"auto":  {},
+	"nra":   {},
+	"smj":   {},
+	"gm":    {},
+	"exact": {},
+	"batch": {},
+}
+
+// observeLatency records one successful query's duration in its
+// algorithm's histogram.
+func observeLatency(algo string, d time.Duration) {
+	if h := queryLatencies[algo]; h != nil {
+		h.observe(d)
+	}
 }
 
 func init() {
@@ -59,6 +139,30 @@ func init() {
 			return phrasemine.IndexStats{}
 		}
 		return m.IndexStats()
+	}))
+	// Load gauges: queries currently executing and currently waiting in
+	// the admission queue. Read through the pointer so they survive server
+	// reconstruction (tests, embedding) like the index gauges.
+	expvar.Publish("phrasemine_inflight_queries", expvar.Func(func() any {
+		if a := gaugeAdmission.Load(); a != nil {
+			return a.inflight.Load()
+		}
+		return int64(0)
+	}))
+	expvar.Publish("phrasemine_queued_queries", expvar.Func(func() any {
+		if a := gaugeAdmission.Load(); a != nil {
+			return a.queued.Load()
+		}
+		return int64(0)
+	}))
+	// Latency histograms, one map per algorithm with cumulative bucket
+	// counts (le_<ms>) and a millisecond sum.
+	expvar.Publish("phrasemine_query_latency_ms", expvar.Func(func() any {
+		out := make(map[string]map[string]int64, len(queryLatencies))
+		for algo, h := range queryLatencies {
+			out[algo] = h.snapshot()
+		}
+		return out
 	}))
 }
 

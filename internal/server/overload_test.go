@@ -1,0 +1,202 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// jsonBody marshals v for tests that need to build the request by hand
+// (custom headers or contexts doJSON cannot attach).
+func jsonBody(t *testing.T, v any) io.Reader {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(b)
+}
+
+// mineBody is the canonical storm payload — a keyword the test miner
+// indexes, so admitted requests answer 200.
+var mineBody = MineRequest{Keywords: []string{"trade"}, K: 5}
+
+// TestOverloadStorm floods a MaxInflight=1 server with far more
+// concurrent requests than it admits and asserts the overload contract:
+// every request gets exactly one response, and it is 200, 503 with a
+// Retry-After header, or 429 — never a hang, never a panic — and the
+// server answers normally once the storm passes. Run under -race in CI.
+func TestOverloadStorm(t *testing.T) {
+	s := newTestServer(t, Options{
+		MaxInflight:  1,
+		MaxQueue:     1,
+		QueueTimeout: time.Millisecond,
+		CacheSize:    -1, // no cache: every request does real admission + work
+	})
+	panicsBefore := statPanics.Value()
+
+	const n = 40
+	codes := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := doJSON(t, s, http.MethodPost, "/mine", mineBody)
+			codes[i] = w.Code
+			if w.Code == http.StatusServiceUnavailable && w.Header().Get("Retry-After") == "" {
+				t.Errorf("request %d: 503 without Retry-After", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	counts := map[int]int{}
+	for i, c := range codes {
+		switch c {
+		case http.StatusOK, http.StatusServiceUnavailable, http.StatusTooManyRequests:
+			counts[c]++
+		default:
+			t.Fatalf("request %d: unexpected status %d", i, c)
+		}
+	}
+	if total := counts[200] + counts[503] + counts[429]; total != n {
+		t.Fatalf("responses = %d, want %d (%v)", total, n, counts)
+	}
+	if counts[200] == 0 {
+		t.Fatalf("no request succeeded during the storm: %v", counts)
+	}
+	if got := statPanics.Value(); got != panicsBefore {
+		t.Fatalf("storm caused %d panics", got-panicsBefore)
+	}
+	if got := s.adm.inflight.Load(); got != 0 {
+		t.Fatalf("inflight after storm = %d, want 0", got)
+	}
+	// Post-storm the server answers normally.
+	if w := doJSON(t, s, http.MethodPost, "/mine", mineBody); w.Code != http.StatusOK {
+		t.Fatalf("post-storm query = %d, want 200: %s", w.Code, w.Body.String())
+	}
+}
+
+// TestShedDeterministic pins the 503 path without racing: the single
+// slot is held, so every arrival sheds after the 1ms queue wait.
+func TestShedDeterministic(t *testing.T) {
+	s := newTestServer(t, Options{MaxInflight: 1, MaxQueue: 1, QueueTimeout: time.Millisecond, CacheSize: -1})
+	release, outcome := s.adm.admit(context.Background(), "")
+	if outcome != admitted {
+		t.Fatalf("setup admit = %v", outcome)
+	}
+	shedBefore := statShed.Value()
+	for i := 0; i < 3; i++ {
+		w := doJSON(t, s, http.MethodPost, "/mine", mineBody)
+		if w.Code != http.StatusServiceUnavailable {
+			t.Fatalf("request %d with held slot = %d, want 503", i, w.Code)
+		}
+		if w.Header().Get("Retry-After") == "" {
+			t.Fatalf("request %d: 503 without Retry-After", i)
+		}
+	}
+	if got := statShed.Value(); got != shedBefore+3 {
+		t.Fatalf("phrasemine_shed_total moved by %d, want 3", got-shedBefore)
+	}
+	release()
+	if w := doJSON(t, s, http.MethodPost, "/mine", mineBody); w.Code != http.StatusOK {
+		t.Fatalf("query after release = %d, want 200", w.Code)
+	}
+}
+
+func TestTenantQuota429(t *testing.T) {
+	s := newTestServer(t, Options{TenantQPS: 0.001, TenantBurst: 1, CacheSize: -1})
+	rejectsBefore := statQuotaRejects.Value()
+	send := func(tenant string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		r := httptest.NewRequest(http.MethodPost, "/mine", jsonBody(t, mineBody))
+		r.Header.Set("Content-Type", "application/json")
+		if tenant != "" {
+			r.Header.Set("X-Tenant", tenant)
+		}
+		s.ServeHTTP(w, r)
+		return w
+	}
+	if w := send("acme"); w.Code != http.StatusOK {
+		t.Fatalf("first acme query = %d, want 200: %s", w.Code, w.Body.String())
+	}
+	w := send("acme")
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("second acme query = %d, want 429", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// A different tenant has its own bucket.
+	if w := send("globex"); w.Code != http.StatusOK {
+		t.Fatalf("globex query = %d, want 200", w.Code)
+	}
+	if got := statQuotaRejects.Value(); got != rejectsBefore+1 {
+		t.Fatalf("phrasemine_quota_rejects_total moved by %d, want 1", got-rejectsBefore)
+	}
+}
+
+// TestLeakedWorkAfterTimeout is the leaked-work regression test: a query
+// whose deadline expires must answer 504 and leave nothing running — the
+// in-flight gauge drains to zero as soon as the handler returns, because
+// cancellation stops the query on the handler goroutine itself.
+func TestLeakedWorkAfterTimeout(t *testing.T) {
+	s := newTestServer(t, Options{QueryTimeout: time.Nanosecond, CacheSize: -1})
+	w := doJSON(t, s, http.MethodPost, "/mine", mineBody)
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("expired query = %d, want 504: %s", w.Code, w.Body.String())
+	}
+	if got := s.adm.inflight.Load(); got != 0 {
+		t.Fatalf("inflight after 504 = %d, want 0", got)
+	}
+}
+
+// TestLeakedWorkAfterDisconnect covers the other reclaim path: the client
+// goes away mid-request, the handler observes the canceled request
+// context and returns 499 promptly, and the gauge drains.
+func TestLeakedWorkAfterDisconnect(t *testing.T) {
+	s := newTestServer(t, Options{CacheSize: -1})
+	canceledBefore := statCanceled.Value()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // client already gone when the handler runs
+	w := httptest.NewRecorder()
+	r := httptest.NewRequest(http.MethodPost, "/mine", jsonBody(t, mineBody)).WithContext(ctx)
+	r.Header.Set("Content-Type", "application/json")
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.ServeHTTP(w, r)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler did not return after client disconnect")
+	}
+	if w.Code != statusClientClosedRequest {
+		t.Fatalf("disconnected query = %d, want %d", w.Code, statusClientClosedRequest)
+	}
+	if got := statCanceled.Value(); got != canceledBefore+1 {
+		t.Fatalf("phrasemine_canceled_total moved by %d, want 1", got-canceledBefore)
+	}
+	if got := s.adm.inflight.Load(); got != 0 {
+		t.Fatalf("inflight after disconnect = %d, want 0", got)
+	}
+}
+
+// TestDrainRejectsNewQueries covers BeginDrain: queued and new requests
+// fail fast with 503 while the server shuts down.
+func TestDrainRejectsNewQueries(t *testing.T) {
+	s := newTestServer(t, Options{CacheSize: -1})
+	s.BeginDrain()
+	if w := doJSON(t, s, http.MethodPost, "/mine", mineBody); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("query under drain = %d, want 503", w.Code)
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -10,10 +11,11 @@ import (
 	"phrasemine"
 )
 
-// TestPanicRecoveryMiddleware drives both recovery layers with a nil miner
-// (every dereference panics): the handler-goroutine recover in ServeHTTP
-// and the query-goroutine recover in mineWithTimeout. Each must produce a
-// 500 and bump the panic counter instead of killing the process.
+// TestPanicRecoveryMiddleware drives the recovery layer with a nil miner
+// (every dereference panics). Queries now run on the handler goroutine
+// itself (cancellation replaced the spawned query goroutine), so the
+// ServeHTTP recover covers every path; each must produce a 500 and bump
+// the panic counter instead of killing the process.
 func TestPanicRecoveryMiddleware(t *testing.T) {
 	var nilMiner *phrasemine.Miner
 	s := New(nilMiner, Options{CacheSize: -1})
@@ -23,8 +25,7 @@ func TestPanicRecoveryMiddleware(t *testing.T) {
 	if w := doJSON(t, s, http.MethodGet, "/stats", nil); w.Code != http.StatusInternalServerError {
 		t.Fatalf("stats with panicking miner = %d, want 500", w.Code)
 	}
-	// /mine dereferences it on the spawned query goroutine, which the
-	// ServeHTTP recover cannot reach.
+	// /mine dereferences it inside the query execution path.
 	w := doJSON(t, s, http.MethodPost, "/mine", MineRequest{Keywords: []string{"x"}})
 	if w.Code != http.StatusInternalServerError {
 		t.Fatalf("mine with panicking miner = %d, want 500", w.Code)
@@ -49,15 +50,16 @@ func TestWriteMineErrorMapping(t *testing.T) {
 		err  error
 		code int
 	}{
-		{errQueryTimeout, http.StatusGatewayTimeout},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{fmt.Errorf("mining: %w", context.Canceled), statusClientClosedRequest},
 		{fmt.Errorf("core: phrase-doc section: %w", phrasemine.ErrCorruptSnapshot), http.StatusInternalServerError},
 		{phrasemine.ErrMinerClosed, http.StatusServiceUnavailable},
-		{fmt.Errorf("%w: boom", errQueryPanic), http.StatusInternalServerError},
 		{errors.New("no lists for keyword"), http.StatusUnprocessableEntity},
 	}
 	for _, c := range cases {
 		w := httptest.NewRecorder()
-		s.writeMineError(w, c.err)
+		r := httptest.NewRequest(http.MethodPost, "/mine", nil)
+		s.writeMineError(w, r, c.err)
 		if w.Code != c.code {
 			t.Errorf("writeMineError(%v) = %d, want %d", c.err, w.Code, c.code)
 		}

@@ -21,9 +21,21 @@
 // (/docs, /flush) invalidates the whole cache: a stale answer is worse
 // than a recomputed one.
 //
-// Queries run under a per-request timeout. A query that exceeds it gets a
-// 504 response; its goroutine finishes in the background (the miner has no
-// internal cancellation points) and its result is discarded.
+// Queries run under a context deadline derived from the request: a query
+// that exceeds Options.QueryTimeout gets a 504 and a client that
+// disconnects gets a 499, and in both cases the miner's cooperative
+// cancellation points stop the query's goroutine within about a
+// millisecond — the worker is reclaimed, not leaked into the background.
+// A request with "partial": true on a sharded miner degrades instead of
+// timing out: the segments that completed before the deadline merge into
+// an answer marked "degraded".
+//
+// Query-serving requests pass an admission pipeline before any work
+// starts: per-tenant token-bucket quotas (X-Tenant header, 429 when dry),
+// then a bounded concurrency gate whose overflow waits in a bounded,
+// deadline-aware queue and is shed with 503 + Retry-After when the wait
+// exceeds Options.QueueTimeout. See docs/ARCHITECTURE.md ("Overload
+// control & cancellation") for the full pipeline.
 //
 // The serving miner is held behind an atomic pointer: /reload (when
 // Options.Reload is configured) opens the next generation beside the old
@@ -35,10 +47,12 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"runtime/debug"
 	"slices"
@@ -73,6 +87,30 @@ type Options struct {
 	// in the background once its in-flight queries drain. Nil disables the
 	// endpoint (501).
 	Reload func() (*phrasemine.Miner, error)
+	// MaxInflight bounds concurrently executing /mine and /mine/batch
+	// requests. Arrivals past the limit wait in a bounded queue (MaxQueue,
+	// QueueTimeout) and are shed with 503 + Retry-After when it overflows
+	// or their wait times out. Zero disables the gate.
+	MaxInflight int
+	// MaxQueue bounds how many over-limit requests may wait for a slot at
+	// once; beyond it requests are shed immediately. Zero selects
+	// 4*MaxInflight. Only meaningful with MaxInflight > 0.
+	MaxQueue int
+	// QueueTimeout bounds one request's wait for an admission slot. Zero
+	// selects DefaultQueueTimeout.
+	QueueTimeout time.Duration
+	// TenantQPS enables per-tenant token-bucket quotas keyed on the
+	// X-Tenant request header (absent header = the "" tenant): each tenant
+	// sustains this many queries per second, bursting to TenantBurst;
+	// over-quota requests get 429 + Retry-After. Zero disables quotas.
+	TenantQPS float64
+	// TenantBurst is the token-bucket capacity per tenant. Zero selects
+	// max(1, ceil(2*TenantQPS)).
+	TenantBurst int
+	// SlowQueryThreshold logs any query at least this slow (keywords,
+	// operator, k, algorithm, segment completion, duration). Zero disables
+	// the slow-query log.
+	SlowQueryThreshold time.Duration
 }
 
 // Defaults for the zero Options values.
@@ -81,7 +119,35 @@ const (
 	DefaultQueryTimeout = 10 * time.Second
 	DefaultMaxBatch     = 64
 	DefaultMaxBodyBytes = 1 << 20
+	DefaultQueueTimeout = time.Second
 )
+
+// Validate reports option errors with actionable messages — the CLI calls
+// it on flag values before New (which only normalizes zeros to defaults).
+func (o Options) Validate() error {
+	if o.QueryTimeout < 0 {
+		return fmt.Errorf("server: QueryTimeout must be non-negative, got %v", o.QueryTimeout)
+	}
+	if o.MaxInflight < 0 {
+		return fmt.Errorf("server: MaxInflight must be non-negative, got %d (0 disables the admission gate)", o.MaxInflight)
+	}
+	if o.MaxQueue < 0 {
+		return fmt.Errorf("server: MaxQueue must be non-negative, got %d (0 selects 4*MaxInflight)", o.MaxQueue)
+	}
+	if o.QueueTimeout < 0 {
+		return fmt.Errorf("server: QueueTimeout must be non-negative, got %v", o.QueueTimeout)
+	}
+	if math.IsNaN(o.TenantQPS) || math.IsInf(o.TenantQPS, 0) || o.TenantQPS < 0 {
+		return fmt.Errorf("server: TenantQPS must be a non-negative finite number, got %v (0 disables quotas)", o.TenantQPS)
+	}
+	if o.TenantBurst < 0 {
+		return fmt.Errorf("server: TenantBurst must be non-negative, got %d (0 selects max(1, ceil(2*TenantQPS)))", o.TenantBurst)
+	}
+	if o.SlowQueryThreshold < 0 {
+		return fmt.Errorf("server: SlowQueryThreshold must be non-negative, got %v (0 disables the slow-query log)", o.SlowQueryThreshold)
+	}
+	return nil
+}
 
 // Server serves phrase-mining queries over a Miner. Create one with New;
 // it is an http.Handler.
@@ -98,6 +164,10 @@ type Server struct {
 	cache    *resultCache
 	mux      *http.ServeMux
 	start    time.Time
+	// adm is the admission pipeline every query-serving request passes
+	// through; always non-nil (an unconfigured gate still tracks the
+	// in-flight gauge).
+	adm *admission
 }
 
 // New wraps a miner in an HTTP handler. Mutations must go through the
@@ -116,14 +186,19 @@ func New(m *phrasemine.Miner, opts Options) *Server {
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if opts.QueueTimeout <= 0 {
+		opts.QueueTimeout = DefaultQueueTimeout
+	}
 	s := &Server{
 		opts:  opts,
 		cache: newResultCache(opts.CacheSize),
 		mux:   http.NewServeMux(),
 		start: time.Now(),
+		adm:   newAdmission(opts),
 	}
 	s.miner.Store(m)
 	registerIndexGauges(m)
+	registerAdmissionGauges(s.adm)
 	s.mux.HandleFunc("POST /mine", s.handleMine)
 	s.mux.HandleFunc("POST /mine/batch", s.handleMineBatch)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -140,6 +215,15 @@ func New(m *phrasemine.Miner, opts Options) *Server {
 // passed to New — a reload may have swapped it.
 func (s *Server) Miner() *phrasemine.Miner {
 	return s.miner.Load()
+}
+
+// BeginDrain flips the server into shutdown mode: requests waiting in the
+// admission queue and new arrivals are rejected with 503 immediately,
+// while already-admitted queries run to completion. The embedding
+// process calls this before http.Server.Shutdown so the graceful-shutdown
+// window is spent finishing admitted work, not admitting more.
+func (s *Server) BeginDrain() {
+	s.adm.beginDrain()
 }
 
 // Reload opens the next miner generation via Options.Reload, swaps it in
@@ -210,6 +294,10 @@ type MineRequest struct {
 	Algorithm string `json:"algorithm,omitempty"`
 	// Fraction is the partial-list fraction in (0,1]; 0 means full lists.
 	Fraction float64 `json:"fraction,omitempty"`
+	// Partial opts into graceful degradation on a sharded miner: if the
+	// query deadline expires mid-gather, the completed segments' merged
+	// answer comes back marked "degraded" instead of a 504.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // MineResult is one phrase of a /mine response.
@@ -224,6 +312,15 @@ type MineResponse struct {
 	Results []MineResult `json:"results"`
 	// Cached reports whether the answer came from the result cache.
 	Cached bool `json:"cached"`
+	// Degraded marks a partial-gather answer: the deadline expired and
+	// Results covers only SegmentsDone of SegmentsTotal segments (only
+	// possible with "partial": true on a sharded miner). Degraded answers
+	// are never cached.
+	Degraded bool `json:"degraded,omitempty"`
+	// SegmentsDone and SegmentsTotal report segment completion for
+	// partial requests against a sharded miner; both omitted otherwise.
+	SegmentsDone  int `json:"segments_done,omitempty"`
+	SegmentsTotal int `json:"segments_total,omitempty"`
 }
 
 // BatchRequest is the /mine/batch request body.
@@ -237,6 +334,11 @@ type BatchItemResponse struct {
 	Results []MineResult `json:"results,omitempty"`
 	Cached  bool         `json:"cached,omitempty"`
 	Error   string       `json:"error,omitempty"`
+	// Degraded, SegmentsDone and SegmentsTotal mirror MineResponse for a
+	// partial query whose gather the batch deadline cut short.
+	Degraded      bool `json:"degraded,omitempty"`
+	SegmentsDone  int  `json:"segments_done,omitempty"`
+	SegmentsTotal int  `json:"segments_total,omitempty"`
 }
 
 // BatchResponse is the /mine/batch response body.
@@ -308,11 +410,15 @@ func parseMineRequest(req MineRequest) (parsedQuery, error) {
 		return p, fmt.Errorf("fraction must be in [0,1], got %v", req.Fraction)
 	}
 	p.opt.ListFraction = req.Fraction
+	p.opt.Partial = req.Partial
 	p.keywords = req.Keywords
 
 	// Cache key: the normalized keyword set is sorted and deduplicated —
 	// AND and OR are commutative and the miner deduplicates too, so
-	// "trade oil" and "oil trade" share one entry.
+	// "trade oil" and "oil trade" share one entry. Partial is deliberately
+	// not in the key: cached answers are always full answers (degraded
+	// results are never cached), and a full answer satisfies a partial
+	// request.
 	key := append([]string(nil), normalized...)
 	sort.Strings(key)
 	key = slices.Compact(key)
@@ -329,7 +435,72 @@ func parseMineRequest(req MineRequest) (parsedQuery, error) {
 	return p, nil
 }
 
+// statusClientClosedRequest is the non-standard (nginx-conventional)
+// status for a request abandoned by its client; nobody receives the
+// response, but the access log keeps the distinct code.
+const statusClientClosedRequest = 499
+
+// admit runs the admission pipeline for one query-serving request. On
+// rejection it writes the response (503 shed / 429 quota / 499 gone) and
+// returns nil; on admission it returns the release func the handler must
+// defer.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) func() {
+	release, outcome := s.adm.admit(r.Context(), r.Header.Get("X-Tenant"))
+	switch outcome {
+	case admitted:
+		return release
+	case admitShed:
+		statShed.Add(1)
+		statErrors.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.opts.QueueTimeout)))
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("server overloaded: %d queries in flight and the wait queue is saturated; retry later", s.opts.MaxInflight))
+	case admitQuota:
+		statQuotaRejects.Add(1)
+		statErrors.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(time.Duration(float64(time.Second)/s.opts.TenantQPS))))
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("tenant %q over quota (%g queries/sec sustained)", r.Header.Get("X-Tenant"), s.opts.TenantQPS))
+	case admitCanceled:
+		statCanceled.Add(1)
+		writeError(w, statusClientClosedRequest, fmt.Errorf("client closed request while queued"))
+	case admitDraining:
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is shutting down"))
+	}
+	return nil
+}
+
+// queryContext derives one query's context: the request's own (so a
+// client disconnect cancels the work) bounded by the configured timeout.
+func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.opts.QueryTimeout)
+}
+
+// algoLabel is the latency-histogram series for a requested algorithm.
+func algoLabel(a phrasemine.Algorithm) string {
+	if a == phrasemine.AlgoAuto {
+		return "auto"
+	}
+	return string(a)
+}
+
+// logSlow emits the slow-query log line when the threshold is configured
+// and exceeded.
+func (s *Server) logSlow(p parsedQuery, d time.Duration, mined phrasemine.Mined) {
+	if s.opts.SlowQueryThreshold <= 0 || d < s.opts.SlowQueryThreshold {
+		return
+	}
+	log.Printf("server: slow query: keywords=%q op=%s k=%d algo=%s frac=%g segments=%d/%d degraded=%t duration=%s",
+		p.keywords, p.op, p.opt.K, algoLabel(p.opt.Algorithm), p.opt.ListFraction,
+		mined.SegmentsDone, mined.SegmentsTotal, mined.Degraded, d)
+}
+
 func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	release := s.admit(w, r)
+	if release == nil {
+		return
+	}
+	defer release()
 	var req MineRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -349,17 +520,39 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, MineResponse{Results: toMineResults(results), Cached: true})
 		return
 	}
-	results, err := s.mineWithTimeout(r, p)
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	start := time.Now()
+	mined, err := s.mineOnce(ctx, p)
+	elapsed := time.Since(start)
 	if err != nil {
 		statErrors.Add(1)
-		s.writeMineError(w, err)
+		s.writeMineError(w, r, err)
 		return
 	}
-	s.cache.Put(p.cacheKey, results, gen)
-	writeJSON(w, http.StatusOK, MineResponse{Results: toMineResults(results)})
+	observeLatency(algoLabel(p.opt.Algorithm), elapsed)
+	s.logSlow(p, elapsed, mined)
+	if mined.Degraded {
+		// A degraded answer reflects this deadline's luck, not the
+		// query's true result; it must never be served from cache.
+		statDegraded.Add(1)
+	} else {
+		s.cache.Put(p.cacheKey, mined.Results, gen)
+	}
+	writeJSON(w, http.StatusOK, MineResponse{
+		Results:       toMineResults(mined.Results),
+		Degraded:      mined.Degraded,
+		SegmentsDone:  mined.SegmentsDone,
+		SegmentsTotal: mined.SegmentsTotal,
+	})
 }
 
 func (s *Server) handleMineBatch(w http.ResponseWriter, r *http.Request) {
+	release := s.admit(w, r)
+	if release == nil {
+		return
+	}
+	defer release()
 	var req BatchRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -397,124 +590,77 @@ func (s *Server) handleMineBatch(w http.ResponseWriter, r *http.Request) {
 		missSlots = append(missSlots, i)
 	}
 	if len(missItems) > 0 {
-		batch, err := s.batchWithTimeout(r, missItems)
-		if err != nil {
-			s.writeMineError(w, err)
+		ctx, cancel := s.queryContext(r)
+		defer cancel()
+		start := time.Now()
+		batch := s.batchOnce(ctx, missItems)
+		elapsed := time.Since(start)
+		// The deadline expiring (or the client leaving) mid-batch fails
+		// the whole request with 504/499 only when nothing succeeded;
+		// with any completed slots — including degraded partial answers,
+		// which exist precisely because the deadline hit — the batch
+		// returns 200 and reports the context error in the failed slots.
+		if err := ctx.Err(); err != nil && batchAllFailed(batch) {
+			statErrors.Add(1)
+			s.writeMineError(w, r, err)
 			return
 		}
+		observeLatency("batch", elapsed)
 		for j, br := range batch {
 			slot := missSlots[j]
 			if br.Err != nil {
+				statErrors.Add(1)
 				out[slot] = BatchItemResponse{Error: br.Err.Error()}
 				continue
 			}
-			s.cache.Put(parsed[slot].cacheKey, br.Results, gen)
-			out[slot] = BatchItemResponse{Results: toMineResults(br.Results)}
+			if br.Degraded {
+				statDegraded.Add(1)
+			} else {
+				s.cache.Put(parsed[slot].cacheKey, br.Results, gen)
+			}
+			out[slot] = BatchItemResponse{
+				Results:       toMineResults(br.Results),
+				Degraded:      br.Degraded,
+				SegmentsDone:  br.SegmentsDone,
+				SegmentsTotal: br.SegmentsTotal,
+			}
 		}
 	}
 	writeJSON(w, http.StatusOK, BatchResponse{Results: out})
 }
 
-// errQueryTimeout marks a query that exceeded Options.QueryTimeout.
-var errQueryTimeout = errors.New("query timed out")
-
 // reloadRetries bounds how often a query chases the serving pointer when
 // it keeps landing on generations a concurrent reload has already closed.
 const reloadRetries = 2
 
-// mineOnce runs one Mine call against the current generation, chasing the
+// mineOnce runs one query against the current generation, chasing the
 // serving pointer if a reload closed the generation between the Load and
-// the query taking its read lock.
-func (s *Server) mineOnce(p parsedQuery) ([]phrasemine.Result, error) {
+// the query taking its read lock. The context bounds the query (see
+// queryContext); the miner's cooperative cancellation points make the
+// handler goroutine return promptly on expiry — no background goroutine
+// keeps computing a discarded answer.
+func (s *Server) mineOnce(ctx context.Context, p parsedQuery) (phrasemine.Mined, error) {
 	for attempt := 0; ; attempt++ {
-		res, err := s.Miner().Mine(p.keywords, p.op, p.opt)
+		mined, err := s.Miner().MineDetailed(ctx, p.keywords, p.op, p.opt)
 		if errors.Is(err, phrasemine.ErrMinerClosed) && attempt < reloadRetries {
 			continue
 		}
-		return res, err
+		return mined, err
 	}
 }
 
-// errQueryPanic marks a query whose execution goroutine panicked.
-var errQueryPanic = errors.New("internal error: query panicked")
-
-// queryPanicError converts a recovered panic value on a spawned query
-// goroutine into an error (a panic there would otherwise kill the whole
-// process — the ServeHTTP recover only covers the handler's own
-// goroutine). Callers must invoke recover() directly in their own deferred
-// function and pass the value in; recover() called one frame deeper
-// returns nil.
-func queryPanicError(v any) error {
-	statPanics.Add(1)
-	log.Printf("server: panic in query execution: %v\n%s", v, debug.Stack())
-	return fmt.Errorf("%w: %v", errQueryPanic, v)
-}
-
-// mineWithTimeout runs one Mine call bounded by the configured timeout and
-// the request's own cancellation.
-func (s *Server) mineWithTimeout(r *http.Request, p parsedQuery) ([]phrasemine.Result, error) {
-	type outcome struct {
-		results []phrasemine.Result
-		err     error
-	}
-	done := make(chan outcome, 1)
-	go func() {
-		var o outcome
-		defer func() {
-			if v := recover(); v != nil {
-				o.err = queryPanicError(v)
-			}
-			done <- o
-		}()
-		o.results, o.err = s.mineOnce(p)
-	}()
-	timer := time.NewTimer(s.opts.QueryTimeout)
-	defer timer.Stop()
-	select {
-	case o := <-done:
-		return o.results, o.err
-	case <-timer.C:
-		return nil, errQueryTimeout
-	case <-r.Context().Done():
-		return nil, r.Context().Err()
-	}
-}
-
-// batchWithTimeout is mineWithTimeout for a whole batch. A reload landing
-// mid-batch can fail items with ErrMinerClosed; the whole batch is re-run
-// against the fresh generation (bounded, and rare enough that recomputing
-// the already-succeeded items does not matter).
-func (s *Server) batchWithTimeout(r *http.Request, items []phrasemine.BatchItem) (res []phrasemine.BatchResult, err error) {
-	type outcome struct {
-		results []phrasemine.BatchResult
-		err     error
-	}
-	done := make(chan outcome, 1)
-	go func() {
-		var o outcome
-		defer func() {
-			if v := recover(); v != nil {
-				o.err = queryPanicError(v)
-			}
-			done <- o
-		}()
-		for attempt := 0; ; attempt++ {
-			o.results = s.Miner().MineBatch(items)
-			if attempt < reloadRetries && batchHitClosed(o.results) {
-				continue
-			}
-			return
+// batchOnce is mineOnce for a whole batch. A reload landing mid-batch can
+// fail items with ErrMinerClosed; the whole batch is re-run against the
+// fresh generation (bounded, and rare enough that recomputing the
+// already-succeeded items does not matter). The context check keeps a
+// canceled batch from burning its remaining retries.
+func (s *Server) batchOnce(ctx context.Context, items []phrasemine.BatchItem) []phrasemine.BatchResult {
+	for attempt := 0; ; attempt++ {
+		results := s.Miner().MineBatchCtx(ctx, items)
+		if attempt < reloadRetries && ctx.Err() == nil && batchHitClosed(results) {
+			continue
 		}
-	}()
-	timer := time.NewTimer(s.opts.QueryTimeout)
-	defer timer.Stop()
-	select {
-	case o := <-done:
-		return o.results, o.err
-	case <-timer.C:
-		return nil, errQueryTimeout
-	case <-r.Context().Done():
-		return nil, r.Context().Err()
+		return results
 	}
 }
 
@@ -527,21 +673,35 @@ func batchHitClosed(results []phrasemine.BatchResult) bool {
 	return false
 }
 
-// writeMineError maps query-execution failures to HTTP statuses. Corrupt
+func batchAllFailed(results []phrasemine.BatchResult) bool {
+	for _, r := range results {
+		if r.Err == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// writeMineError maps query-execution failures to HTTP statuses. A blown
+// deadline is a 504 and an abandoned request a 499 (each counted); corrupt
 // snapshot bytes are a server-side fault (500, with the failing section in
 // the message); a closed miner that outlasted every retry means the server
 // is shutting down (503); everything else is a query the index cannot
 // answer (422).
-func (s *Server) writeMineError(w http.ResponseWriter, err error) {
+func (s *Server) writeMineError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
-	case errors.Is(err, errQueryTimeout):
-		writeError(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, fmt.Errorf("query timed out after %v", s.opts.QueryTimeout))
+	case errors.Is(err, context.Canceled):
+		// The request context died before the server's own deadline:
+		// the client disconnected. The canceled query already stopped at
+		// its next cancellation point; record the reclaimed worker.
+		statCanceled.Add(1)
+		writeError(w, statusClientClosedRequest, fmt.Errorf("client closed request"))
 	case errors.Is(err, phrasemine.ErrCorruptSnapshot):
 		writeError(w, http.StatusInternalServerError, err)
 	case errors.Is(err, phrasemine.ErrMinerClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
-	case errors.Is(err, errQueryPanic):
-		writeError(w, http.StatusInternalServerError, err)
 	default:
 		writeError(w, http.StatusUnprocessableEntity, err)
 	}
@@ -565,7 +725,7 @@ func (s *Server) handleAddDoc(w http.ResponseWriter, r *http.Request) {
 	m := s.Miner()
 	if err := m.Add(phrasemine.Document{Text: req.Text, Facets: req.Facets}); err != nil {
 		statErrors.Add(1)
-		s.writeMineError(w, err)
+		s.writeMineError(w, r, err)
 		return
 	}
 	statMutations.Add(1)
@@ -582,7 +742,7 @@ func (s *Server) handleRemoveDoc(w http.ResponseWriter, r *http.Request) {
 	m := s.Miner()
 	if err := m.Remove(id); err != nil {
 		statErrors.Add(1)
-		s.writeMineError(w, err)
+		s.writeMineError(w, r, err)
 		return
 	}
 	statMutations.Add(1)

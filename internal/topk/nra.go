@@ -1,6 +1,7 @@
 package topk
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -39,6 +40,13 @@ type NRAOptions struct {
 	// fraction-limited) lists instead of stopping when the top-k is
 	// final (ablation switch for Alg. 1 line 13).
 	DisableEarlyStop bool
+	// Ctx, when non-nil, cancels the run cooperatively: the algorithm
+	// tests it once per maintenance batch (every BatchSize entry reads)
+	// and returns ctx.Err() instead of running to completion. A canceled
+	// run never returns a partial answer. NRAReference ignores Ctx (it
+	// exists to pin the flat implementation's results, which cancellation
+	// never alters — it only replaces them with an error).
+	Ctx context.Context
 }
 
 func (o NRAOptions) withDefaults() NRAOptions {
@@ -107,6 +115,9 @@ func NRAScratch(cursors []plist.Cursor, opt NRAOptions, s *Scratch) ([]Result, N
 	}
 	if r > 64 {
 		return nil, NRAStats{}, fmt.Errorf("topk: %d lists exceed the supported maximum of 64", r)
+	}
+	if err := ctxErr(opt.Ctx); err != nil {
+		return nil, NRAStats{}, err
 	}
 
 	// Stats slices escape with the return value, so they are the one
@@ -297,6 +308,12 @@ func NRAScratch(cursors []plist.Cursor, opt NRAOptions, s *Scratch) ([]Result, N
 		}
 		if sinceMaintenance >= opt.BatchSize {
 			sinceMaintenance = 0
+			// The batch boundary is the cancellation point: one context
+			// check per BatchSize entry reads keeps a canceled query from
+			// burning more than one batch's worth of extra work.
+			if err := ctxErr(opt.Ctx); err != nil {
+				return nil, stats, err
+			}
 			if maintenance() {
 				stats.StoppedEarly = true
 				break

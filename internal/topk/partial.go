@@ -1,6 +1,7 @@
 package topk
 
 import (
+	"context"
 	"fmt"
 	"slices"
 
@@ -386,13 +387,26 @@ func (m *partialMerger) error() error { return m.err }
 // is set) in a reused buffer the callback must not retain. It is the
 // scatter half of the sharded engine: a segment scans its own ID-ordered
 // lists and converts each group's probabilities back to integer counts.
+// Equivalent to ScanGroupsCtx with a nil context.
 func ScanGroups(cursors []plist.Cursor, s *Scratch, emit func(id phrasedict.PhraseID, probs []float64, seen uint64)) error {
+	return ScanGroupsCtx(nil, cursors, s, emit)
+}
+
+// ScanGroupsCtx is ScanGroups with cooperative cancellation: the merge
+// loop tests ctx once per cancelCheckInterval consumed entries and returns
+// ctx.Err() instead of exhausting the lists. A canceled scan never emits a
+// torn group — the check runs on group boundaries' raw entry stream, and
+// callers must discard the whole partial stream on error.
+func ScanGroupsCtx(ctx context.Context, cursors []plist.Cursor, s *Scratch, emit func(id phrasedict.PhraseID, probs []float64, seen uint64)) error {
 	r := len(cursors)
 	if r == 0 {
 		return fmt.Errorf("topk: no lists given")
 	}
 	if r > 64 {
 		return fmt.Errorf("topk: %d lists exceed the supported maximum of 64", r)
+	}
+	if err := ctxErr(ctx); err != nil {
+		return err
 	}
 	m := s.lt.reset(cursors)
 	probs := s.groupProbs(r)
@@ -401,10 +415,17 @@ func ScanGroups(cursors []plist.Cursor, s *Scratch, emit func(id phrasedict.Phra
 		seen   uint64
 		active bool
 	)
+	checkIn := cancelCheckInterval
 	for {
 		e, li, ok := m.next()
 		if !ok {
 			break
+		}
+		if checkIn--; checkIn == 0 {
+			checkIn = cancelCheckInterval
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
 		}
 		if !active || e.Phrase != cur {
 			if active {

@@ -1,6 +1,7 @@
 package topk
 
 import (
+	"context"
 	"fmt"
 	"slices"
 
@@ -30,6 +31,11 @@ type SMJOptions struct {
 	// corrected score is no longer a monotone sum of per-list terms, so
 	// NRA's bound arithmetic does not carry over.
 	SecondOrderOR bool
+	// Ctx, when non-nil, cancels the run cooperatively: the merge loop
+	// tests it once per cancelCheckInterval consumed entries and returns
+	// ctx.Err() instead of exhausting the lists. A canceled run never
+	// returns a partial answer.
+	Ctx context.Context
 }
 
 // Validate reports configuration errors.
@@ -76,6 +82,9 @@ func SMJScratch(cursors []plist.Cursor, opt SMJOptions, s *Scratch) ([]Result, S
 	}
 	if len(cursors) == 0 {
 		return nil, SMJStats{}, fmt.Errorf("topk: no lists given")
+	}
+	if err := ctxErr(opt.Ctx); err != nil {
+		return nil, SMJStats{}, err
 	}
 	var m merger
 	if opt.UseHeapMerge {
@@ -157,12 +166,20 @@ func SMJScratch(cursors []plist.Cursor, opt SMJOptions, s *Scratch) ([]Result, S
 		}
 		offer(scored{id: curID, score: score})
 	}
+	checkIn := cancelCheckInterval
 	for {
 		e, _, ok := m.next()
 		if !ok {
 			break
 		}
 		stats.EntriesRead++
+		if checkIn--; checkIn == 0 {
+			checkIn = cancelCheckInterval
+			if err := ctxErr(opt.Ctx); err != nil {
+				s.top = top
+				return nil, stats, err
+			}
+		}
 		if !active || e.Phrase != curID {
 			flush()
 			curID, curSum, curSumSq, curCount, active = e.Phrase, 0, 0, 0, true

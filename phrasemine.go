@@ -43,9 +43,22 @@
 // prepare their per-keyword delta-adjusted lists through it (on the
 // no-update path per-keyword preparation is a map lookup, so it stays
 // inline).
+//
+// # Cancellation
+//
+// MineCtx, MineDetailed and MineBatchOptsCtx take a context whose expiry
+// stops the query cooperatively: the list algorithms test it about once per
+// thousand entry reads and return ctx.Err() within roughly a millisecond of
+// cancellation instead of running to completion. A canceled query never
+// returns a partial answer — except that QueryOptions.Partial opts a
+// sharded miner into graceful degradation, merging the segments that
+// completed before the deadline into an answer marked Degraded. The GM and
+// Exact baselines check the context only on entry and between segment
+// scatters; once a baseline scan is underway it runs to completion.
 package phrasemine
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -266,6 +279,17 @@ type QueryOptions struct {
 	// knob. Applies to NRA (query-time) and SMJ (construction-time,
 	// cached per fraction).
 	ListFraction float64
+	// Partial opts a sharded miner into graceful degradation: when the
+	// context passed to MineCtx/MineDetailed expires mid-query, the
+	// segments whose scans completed still gather into an answer — marked
+	// Degraded in Mined, with the completed-segment count — instead of the
+	// whole query failing with the context error. The degraded answer is
+	// bit-identical to a full gather over exactly the completed segments.
+	// Partial routes both list algorithms through the exhaustive scatter
+	// scan (uniform per-segment completion semantics); it has no effect on
+	// monolithic miners or the GM/Exact baselines, and a query that beats
+	// its deadline returns the full, non-degraded answer either way.
+	Partial bool
 }
 
 // Miner indexes a corpus and answers interesting-phrase queries. It is
@@ -434,23 +458,62 @@ func Facet(name, value string) string {
 // Flush.
 //
 // Mine is safe for concurrent callers; see the package-level Concurrency
-// section.
+// section. It is MineCtx with a background context (no cancellation).
 func (m *Miner) Mine(keywords []string, op Operator, opt QueryOptions) ([]Result, error) {
-	p, err := prepareQuery(keywords, op, opt)
+	return m.MineCtx(context.Background(), keywords, op, opt)
+}
+
+// MineCtx is Mine with cooperative cancellation: when ctx is canceled or
+// its deadline expires, the query stops within about a millisecond and
+// returns ctx.Err() — see the package-level Cancellation section. For
+// degraded partial answers (QueryOptions.Partial) use MineDetailed, which
+// reports whether the answer was degraded.
+func (m *Miner) MineCtx(ctx context.Context, keywords []string, op Operator, opt QueryOptions) ([]Result, error) {
+	mined, err := m.MineDetailed(ctx, keywords, op, opt)
 	if err != nil {
 		return nil, err
 	}
-	return m.mineOne(p, nil, nil)
+	return mined.Results, nil
+}
+
+// Mined is MineDetailed's outcome: the results plus the degradation
+// markers a caller opting into QueryOptions.Partial needs to interpret
+// them.
+type Mined struct {
+	// Results holds the mined phrases.
+	Results []Result
+	// Degraded reports that the context expired mid-query on a sharded
+	// miner with QueryOptions.Partial set, and Results covers only the
+	// SegmentsDone segments that completed before the deadline. A degraded
+	// answer is bit-identical to a full gather over exactly those segments.
+	Degraded bool
+	// SegmentsTotal is the miner's segment count (zero on a monolithic
+	// miner, where degradation never applies).
+	SegmentsTotal int
+	// SegmentsDone is how many segments contributed to Results; equal to
+	// SegmentsTotal when the answer is complete.
+	SegmentsDone int
+}
+
+// MineDetailed is MineCtx reporting the full outcome, including whether a
+// Partial query degraded and how many segments contributed.
+func (m *Miner) MineDetailed(ctx context.Context, keywords []string, op Operator, opt QueryOptions) (Mined, error) {
+	p, err := prepareQuery(keywords, op, opt)
+	if err != nil {
+		return Mined{}, err
+	}
+	return m.mineOne(ctx, p, nil, nil)
 }
 
 // preparedQuery is a validated, normalized Mine request with its defaults
 // and algorithm selection already resolved — everything that can be
 // decided without touching index state.
 type preparedQuery struct {
-	q    corpus.Query
-	algo Algorithm
-	k    int
-	frac float64
+	q       corpus.Query
+	algo    Algorithm
+	k       int
+	frac    float64
+	partial bool
 }
 
 // prepareQuery normalizes and validates one Mine request.
@@ -489,7 +552,15 @@ func prepareQuery(keywords []string, op Operator, opt QueryOptions) (preparedQue
 			algo = AlgoNRA
 		}
 	}
-	return preparedQuery{q: q, algo: algo, k: opt.K, frac: frac}, nil
+	return preparedQuery{q: q, algo: algo, k: opt.K, frac: frac, partial: opt.Partial}, nil
+}
+
+// asMined wraps a plain result list as a complete (non-degraded) Mined.
+func asMined(res []Result, err error) (Mined, error) {
+	if err != nil {
+		return Mined{}, err
+	}
+	return Mined{Results: res}, nil
 }
 
 // mineOne answers one prepared query. When sc is non-nil the list
@@ -498,7 +569,15 @@ func prepareQuery(keywords []string, op Operator, opt QueryOptions) (preparedQue
 // if the miner still serves the index generation (want) the batch was
 // planned against and no delta is pending; otherwise the query silently
 // falls back to the unshared path. Results are bit-identical either way.
-func (m *Miner) mineOne(p preparedQuery, sc *plist.ShareCache, want *core.Index) ([]Result, error) {
+// ctx cancels the query cooperatively (see the package Cancellation
+// section) and must be non-nil.
+func (m *Miner) mineOne(ctx context.Context, p preparedQuery, sc *plist.ShareCache, want *core.Index) (Mined, error) {
+	// An already-expired context (a batch past its deadline, a client
+	// long gone) skips the query entirely — this is what lets a canceled
+	// batch drain its remaining members in microseconds.
+	if err := ctx.Err(); err != nil {
+		return Mined{}, err
+	}
 	// Queries only read the index and pending delta; the read lock
 	// excludes Add/Remove/Flush for the duration of the query — and, on a
 	// mapped miner, keeps the mapping alive: Close write-acquires mu, so
@@ -506,11 +585,11 @@ func (m *Miner) mineOne(p preparedQuery, sc *plist.ShareCache, want *core.Index)
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	if m.closed {
-		return nil, ErrMinerClosed
+		return Mined{}, ErrMinerClosed
 	}
 
 	if m.sh != nil {
-		return m.mineSharded(p.q, p.algo, p.k, p.frac)
+		return m.mineSharded(ctx, p)
 	}
 	if sc != nil && (m.ix != want || m.deltaActive()) {
 		// A hot reload or pending update landed between batch planning
@@ -525,38 +604,40 @@ func (m *Miner) mineOne(p preparedQuery, sc *plist.ShareCache, want *core.Index)
 			results []topk.Result
 			err     error
 		)
+		opt := topk.NRAOptions{K: p.k, Fraction: p.frac, Ctx: ctx}
 		if m.deltaActive() {
-			results, _, err = m.delta.QueryNRA(p.q, topk.NRAOptions{K: p.k, Fraction: p.frac})
+			results, _, err = m.delta.QueryNRA(p.q, opt)
 		} else if sc != nil {
-			results, _, err = m.ix.QueryNRAShared(p.q, topk.NRAOptions{K: p.k, Fraction: p.frac}, sc)
+			results, _, err = m.ix.QueryNRAShared(p.q, opt, sc)
 		} else {
-			results, _, err = m.ix.QueryNRA(p.q, topk.NRAOptions{K: p.k, Fraction: p.frac})
+			results, _, err = m.ix.QueryNRA(p.q, opt)
 		}
 		if err != nil {
-			return nil, err
+			return Mined{}, err
 		}
-		return m.resolve(results, p.q)
+		return asMined(m.resolve(results, p.q))
 	case AlgoSMJ:
 		smj, err := m.smjIndex(p.frac)
 		if err != nil {
-			return nil, err
+			return Mined{}, err
 		}
 		var results []topk.Result
+		opt := topk.SMJOptions{K: p.k, Ctx: ctx}
 		if m.deltaActive() {
-			results, _, err = m.delta.QuerySMJ(smj, p.q, topk.SMJOptions{K: p.k})
+			results, _, err = m.delta.QuerySMJ(smj, p.q, opt)
 		} else if sc != nil {
-			results, _, err = m.ix.QuerySMJShared(smj, p.q, topk.SMJOptions{K: p.k}, sc)
+			results, _, err = m.ix.QuerySMJShared(smj, p.q, opt, sc)
 		} else {
-			results, _, err = m.ix.QuerySMJ(smj, p.q, topk.SMJOptions{K: p.k})
+			results, _, err = m.ix.QuerySMJ(smj, p.q, opt)
 		}
 		if err != nil {
-			return nil, err
+			return Mined{}, err
 		}
-		return m.resolve(results, p.q)
+		return asMined(m.resolve(results, p.q))
 	case AlgoGM:
 		g, err := m.ix.GM()
 		if err != nil {
-			return nil, err
+			return Mined{}, err
 		}
 		// GM reuses counting scratch across queries, so concurrent
 		// Mine calls must not share one instance; take a pooled clone
@@ -568,21 +649,21 @@ func (m *Miner) mineOne(p preparedQuery, sc *plist.ShareCache, want *core.Index)
 		scored, _, err := clone.TopK(p.q, p.k)
 		m.gmPool.Put(clone)
 		if err != nil {
-			return nil, err
+			return Mined{}, err
 		}
-		return m.resolveScored(scored)
+		return asMined(m.resolveScored(scored))
 	case AlgoExact:
 		e, err := m.ix.Exact()
 		if err != nil {
-			return nil, err
+			return Mined{}, err
 		}
 		scored, err := e.TopK(p.q, p.k)
 		if err != nil {
-			return nil, err
+			return Mined{}, err
 		}
-		return m.resolveScored(scored)
+		return asMined(m.resolveScored(scored))
 	default:
-		return nil, fmt.Errorf("phrasemine: unknown algorithm %q", p.algo)
+		return Mined{}, fmt.Errorf("phrasemine: unknown algorithm %q", p.algo)
 	}
 }
 
@@ -590,39 +671,61 @@ func (m *Miner) mineOne(p preparedQuery, sc *plist.ShareCache, want *core.Index)
 // (NRA selects the adaptive per-shard scatter where sound, SMJ the
 // exhaustive per-segment scan) both gather to the canonical global top-k —
 // bit-identical to the monolithic SMJ answer; GM and Exact scatter-gather
-// the exact forward-index counts. Called with the read lock held.
-func (m *Miner) mineSharded(q corpus.Query, algo Algorithm, k int, frac float64) ([]Result, error) {
-	switch algo {
-	case AlgoNRA:
-		results, err := m.sh.QueryNRA(q, k, frac)
-		if err != nil {
-			return nil, err
+// the exact forward-index counts. With p.partial set, both list algorithms
+// route through the exhaustive scan's degrading variant so a deadline that
+// expires mid-scatter yields the completed segments' merged answer instead
+// of an error. Called with the read lock held.
+func (m *Miner) mineSharded(ctx context.Context, p preparedQuery) (Mined, error) {
+	switch p.algo {
+	case AlgoNRA, AlgoSMJ:
+		if p.partial {
+			total := m.sh.NumSegments()
+			results, done, err := m.sh.QuerySMJPartial(ctx, p.q, p.k, p.frac)
+			if err != nil {
+				return Mined{}, err
+			}
+			res, err := m.resolveSharded(results, p.q)
+			if err != nil {
+				return Mined{}, err
+			}
+			return Mined{
+				Results:       res,
+				Degraded:      done < total,
+				SegmentsTotal: total,
+				SegmentsDone:  done,
+			}, nil
 		}
-		return m.resolveSharded(results, q)
-	case AlgoSMJ:
-		results, err := m.sh.QuerySMJ(q, k, frac)
-		if err != nil {
-			return nil, err
+		var (
+			results []topk.Result
+			err     error
+		)
+		if p.algo == AlgoNRA {
+			results, err = m.sh.QueryNRA(ctx, p.q, p.k, p.frac)
+		} else {
+			results, err = m.sh.QuerySMJ(ctx, p.q, p.k, p.frac)
 		}
-		return m.resolveSharded(results, q)
+		if err != nil {
+			return Mined{}, err
+		}
+		return asMined(m.resolveSharded(results, p.q))
 	case AlgoGM, AlgoExact:
 		// Both baselines compute the same exact interestingness; the
 		// sharded engine serves them through one scatter-gather.
-		results, err := m.sh.QueryGM(q, k)
+		results, err := m.sh.QueryGM(ctx, p.q, p.k)
 		if err != nil {
-			return nil, err
+			return Mined{}, err
 		}
 		out := make([]Result, len(results))
 		for i, r := range results {
 			text, err := m.sh.PhraseText(r.Phrase)
 			if err != nil {
-				return nil, err
+				return Mined{}, err
 			}
 			out[i] = Result{Phrase: text, Score: r.Score, Interestingness: r.Score}
 		}
-		return out, nil
+		return Mined{Results: out}, nil
 	default:
-		return nil, fmt.Errorf("phrasemine: unknown algorithm %q", algo)
+		return Mined{}, fmt.Errorf("phrasemine: unknown algorithm %q", p.algo)
 	}
 }
 
@@ -666,6 +769,14 @@ type BatchResult struct {
 	Results []Result
 	// Err reports this query's failure, leaving other slots unaffected.
 	Err error
+	// Degraded mirrors Mined.Degraded: a Partial query on a sharded miner
+	// whose answer covers only the segments that completed before the
+	// batch context's deadline.
+	Degraded bool
+	// SegmentsDone is how many segments contributed to Results.
+	SegmentsDone int
+	// SegmentsTotal is the miner's segment count (zero on monolithic).
+	SegmentsTotal int
 }
 
 // BatchOptions tunes shared-scan execution in MineBatchOpts.
@@ -715,6 +826,28 @@ func (m *Miner) MineBatch(items []BatchItem) []BatchResult {
 // Results are bit-identical to per-query Mine calls. The error reports
 // invalid opt only; per-query failures stay in their slots.
 func (m *Miner) MineBatchOpts(items []BatchItem, opt BatchOptions) ([]BatchResult, error) {
+	return m.MineBatchOptsCtx(context.Background(), items, opt)
+}
+
+// MineBatchCtx is MineBatch with cooperative cancellation: ctx covers the
+// whole batch, and once it is canceled the in-flight members stop within
+// about a millisecond while the not-yet-started ones fail immediately, each
+// slot reporting ctx.Err(). Equivalent to MineBatchOptsCtx with
+// DefaultBatchOptions.
+func (m *Miner) MineBatchCtx(ctx context.Context, items []BatchItem) []BatchResult {
+	out, err := m.MineBatchOptsCtx(ctx, items, DefaultBatchOptions())
+	if err != nil {
+		// DefaultBatchOptions always validates.
+		panic(err)
+	}
+	return out
+}
+
+// MineBatchOptsCtx is MineBatchOpts under a batch-wide context (see
+// MineBatchCtx). Shared-scan caches are still released only after every
+// member returns — cancellation makes the members return fast, it never
+// tears a shared decode out from under one.
+func (m *Miner) MineBatchOptsCtx(ctx context.Context, items []BatchItem, opt BatchOptions) ([]BatchResult, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
@@ -798,8 +931,14 @@ func (m *Miner) MineBatchOpts(items []BatchItem, opt BatchOptions) ([]BatchResul
 
 	run := func(j int) {
 		i := jobs[j].item
-		res, err := m.mineOne(prepared[i], jobs[j].sc, want)
-		out[i] = BatchResult{Results: res, Err: err}
+		mined, err := m.mineOne(ctx, prepared[i], jobs[j].sc, want)
+		out[i] = BatchResult{
+			Results:       mined.Results,
+			Err:           err,
+			Degraded:      mined.Degraded,
+			SegmentsDone:  mined.SegmentsDone,
+			SegmentsTotal: mined.SegmentsTotal,
+		}
 	}
 	if workers <= 1 {
 		// Workers=1 promises fully sequential execution; don't hand

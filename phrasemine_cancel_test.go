@@ -1,0 +1,161 @@
+package phrasemine
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"phrasemine/internal/core"
+)
+
+// minedEqual compares result slices bit for bit (scores included).
+func minedEqual(a, b []Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Phrase != b[i].Phrase ||
+			math.Float64bits(a[i].Score) != math.Float64bits(b[i].Score) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMineCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, algo := range []Algorithm{AlgoAuto, AlgoNRA, AlgoSMJ} {
+		for _, m := range []*Miner{newTestMiner(t), newShardedTestMiner(t, 3)} {
+			_, err := m.MineCtx(ctx, []string{"trade"}, OR, QueryOptions{Algorithm: algo})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("algo=%s segments=%d: err = %v, want context.Canceled", algo, m.Segments(), err)
+			}
+		}
+	}
+}
+
+func TestMineCtxBackgroundMatchesMine(t *testing.T) {
+	for _, m := range []*Miner{newTestMiner(t), newShardedTestMiner(t, 3)} {
+		for _, algo := range []Algorithm{AlgoAuto, AlgoNRA, AlgoSMJ, AlgoGM} {
+			opt := QueryOptions{Algorithm: algo, K: 5}
+			want, err := m.Mine([]string{"trade", "reserves"}, OR, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := m.MineCtx(context.Background(), []string{"trade", "reserves"}, OR, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !minedEqual(got, want) {
+				t.Fatalf("algo=%s segments=%d: MineCtx diverged from Mine", algo, m.Segments())
+			}
+		}
+	}
+}
+
+// TestMineDetailedPartial drives the public degraded path: segments past
+// 0 stall until the deadline, so MineDetailed with Partial set answers
+// from the completed subset and marks the result degraded, while the same
+// query without Partial fails with DeadlineExceeded.
+func TestMineDetailedPartial(t *testing.T) {
+	m := newShardedTestMiner(t, 3)
+	opt := QueryOptions{Algorithm: AlgoSMJ, K: 5, Partial: true}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	core.ScanSegmentStartHook = func(seg int) {
+		if seg != 0 {
+			<-ctx.Done()
+		}
+	}
+	defer func() { core.ScanSegmentStartHook = nil }()
+
+	mined, err := m.MineDetailed(ctx, []string{"trade"}, OR, opt)
+	if err != nil {
+		t.Fatalf("partial mine under stall: %v", err)
+	}
+	if !mined.Degraded {
+		t.Fatal("answer not marked degraded despite stalled segments")
+	}
+	if mined.SegmentsTotal != 3 {
+		t.Fatalf("SegmentsTotal = %d, want 3", mined.SegmentsTotal)
+	}
+	if mined.SegmentsDone <= 0 || mined.SegmentsDone >= mined.SegmentsTotal {
+		t.Fatalf("SegmentsDone = %d, want in (0, %d)", mined.SegmentsDone, mined.SegmentsTotal)
+	}
+
+	// Without Partial the same stall fails the whole query.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel2()
+	core.ScanSegmentStartHook = func(seg int) {
+		if seg != 0 {
+			<-ctx2.Done()
+		}
+	}
+	noPartial := opt
+	noPartial.Partial = false
+	if _, err := m.MineDetailed(ctx2, []string{"trade"}, OR, noPartial); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("non-partial mine under stall = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestMineDetailedPartialFullAnswer pins the no-degradation case: with a
+// generous deadline a Partial query returns the complete answer, unmarked,
+// bit-identical to a plain Mine.
+func TestMineDetailedPartialFullAnswer(t *testing.T) {
+	m := newShardedTestMiner(t, 3)
+	opt := QueryOptions{Algorithm: AlgoSMJ, K: 5}
+	want, err := m.Mine([]string{"trade", "reserves"}, OR, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := opt
+	partial.Partial = true
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	mined, err := m.MineDetailed(ctx, []string{"trade", "reserves"}, OR, partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mined.Degraded {
+		t.Fatal("unexpired deadline produced a degraded answer")
+	}
+	if mined.SegmentsDone != mined.SegmentsTotal || mined.SegmentsTotal != 3 {
+		t.Fatalf("segments = %d/%d, want 3/3", mined.SegmentsDone, mined.SegmentsTotal)
+	}
+	if !minedEqual(mined.Results, want) {
+		t.Fatal("partial-capable full answer diverged from plain Mine")
+	}
+}
+
+// TestMineBatchCtxCanceled pins batch cancellation: a canceled context
+// fails every slot with ctx.Err() promptly instead of mining anything.
+func TestMineBatchCtxCanceled(t *testing.T) {
+	m := newTestMiner(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	items := []BatchItem{
+		{Keywords: []string{"trade"}, Op: OR},
+		{Keywords: []string{"reserves"}, Op: OR},
+		{Keywords: []string{"query", "optimization"}, Op: AND},
+	}
+	start := time.Now()
+	out := m.MineBatchCtx(ctx, items)
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("canceled batch took %v", d)
+	}
+	if len(out) != len(items) {
+		t.Fatalf("got %d results, want %d", len(out), len(items))
+	}
+	for i, r := range out {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("slot %d: err = %v, want context.Canceled", i, r.Err)
+		}
+		if r.Results != nil {
+			t.Fatalf("slot %d: canceled batch returned results", i)
+		}
+	}
+}

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # bench.sh — run the figure benchmarks with -benchmem and capture them as a
-# JSON perf record (BENCH_pr7.json by default), continuing the repo's
+# JSON perf record (BENCH_pr8.json by default), continuing the repo's
 # benchmark trajectory: every perf PR measures the same set and commits the
 # updated baseline, and CI gates on it (see the bench-regression job).
-# The PR-7 set adds the decode-throughput suite alongside the PR-3..PR-5
-# sets: BenchmarkBlockDecode{Packed,Varint} and
+# The PR-8 set adds the cancellation-cost pair to the PR-3..PR-7 sets:
+# BenchmarkCanceledMine/{full,canceled} price an abandoned query against a
+# completed one (a canceled query must cost a small bounded fraction — it
+# pays only query preparation and the entry cancellation check). The PR-7
+# decode-throughput suite stays: BenchmarkBlockDecode{Packed,Varint} and
 # BenchmarkListDecode{Packed,Varint} report ns/entry (the packed frame
 # decode must stay >= 2x faster per entry than varint — the -min-speedup
 # gate in CI), and BenchmarkMineBatch{Shared,Independent} measure
@@ -21,8 +24,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_pr7.json}
-BENCH=${BENCH:-'^(BenchmarkFig7SMJ20AndReuters|BenchmarkFig9NRADisk20Reuters|BenchmarkConcurrentMine|BenchmarkFig7SMJ20OrReuters|BenchmarkFig10NRADisk20Pubmed|BenchmarkMineBatch|BenchmarkCompressedCursorNext|BenchmarkCompressedCursorSkipTo|BenchmarkCompressedNRAReuters|BenchmarkMmapQueryReuters|BenchmarkSnapshotLoad|BenchmarkSnapshotOpenMmap|BenchmarkShardedMineSeg1Reuters|BenchmarkShardedMineSeg4Reuters|BenchmarkShardedQuerySeg1Reuters|BenchmarkShardedQuerySeg4Reuters|BenchmarkShardedBuildSeg1Reuters|BenchmarkShardedBuildSeg4Reuters|BenchmarkBlockDecodePacked|BenchmarkBlockDecodeVarint|BenchmarkListDecodePacked|BenchmarkListDecodeVarint|BenchmarkMineBatchShared|BenchmarkMineBatchIndependent)$'}
+OUT=${1:-BENCH_pr8.json}
+BENCH=${BENCH:-'^(BenchmarkFig7SMJ20AndReuters|BenchmarkFig9NRADisk20Reuters|BenchmarkConcurrentMine|BenchmarkFig7SMJ20OrReuters|BenchmarkFig10NRADisk20Pubmed|BenchmarkMineBatch|BenchmarkCompressedCursorNext|BenchmarkCompressedCursorSkipTo|BenchmarkCompressedNRAReuters|BenchmarkMmapQueryReuters|BenchmarkSnapshotLoad|BenchmarkSnapshotOpenMmap|BenchmarkShardedMineSeg1Reuters|BenchmarkShardedMineSeg4Reuters|BenchmarkShardedQuerySeg1Reuters|BenchmarkShardedQuerySeg4Reuters|BenchmarkShardedBuildSeg1Reuters|BenchmarkShardedBuildSeg4Reuters|BenchmarkBlockDecodePacked|BenchmarkBlockDecodeVarint|BenchmarkListDecodePacked|BenchmarkListDecodeVarint|BenchmarkMineBatchShared|BenchmarkMineBatchIndependent|BenchmarkCanceledMine)$'}
 BENCHTIME=${BENCHTIME:-2s}
 BENCHSCALE=${BENCHSCALE:-0.1}
 LABEL=${LABEL:-"$(git rev-parse --short HEAD 2>/dev/null || echo unversioned)"}

@@ -11,7 +11,14 @@
 #      the old or the new complete snapshot, never a torn one, so a
 #      restart on the survivor always serves;
 #   3. serving a truncated snapshot must be refused cleanly (non-zero
-#      exit, no panic), not crash or serve garbage.
+#      exit, no panic), not crash or serve garbage;
+#   4. overload smoke ("Overload control & cancellation"): flooding a
+#      -max-inflight 1 server past its admission limit must produce only
+#      200/503/429 responses (503 carrying Retry-After), move the
+#      phrasemine_shed_total counter, and leave the server answering
+#      normally once the storm passes;
+#   5. per-tenant quotas: with -tenant-qps set, a tenant that spends its
+#      burst gets 429 + Retry-After while other tenants still get 200.
 #
 # Usage: scripts/chaos.sh  (no arguments; builds into a temp dir)
 set -euo pipefail
@@ -146,5 +153,114 @@ if grep -q 'panic:' "$WORK/trunc.log"; then
   exit 1
 fi
 log "truncated snapshot refused cleanly: $(tail -1 "$WORK/trunc.log")"
+
+# ---------------------------------------------------- 4. overload smoke
+# Flood a deliberately tiny admission gate. The contract: every request
+# gets exactly one of 200 / 503 (with Retry-After) / 429, the shed
+# counter moves, and the server still answers normally afterwards.
+log "overload smoke: flooding past -max-inflight 1"
+# Cache disabled so every request does real work and holds the slot; the
+# flood posts batches of many k=100 queries to keep per-request service
+# time well above curl's arrival jitter, so arrivals genuinely overlap.
+"$WORK/phrasemine" serve -index "$WORK/corpus.snap" -addr "$ADDR" -mmap -pprof \
+  -max-inflight 1 -queue-timeout 10ms -cache -1 \
+  > "$WORK/serve-overload.log" 2>&1 &
+SERVER_PID=$!
+wait_healthy
+
+batch='{"queries":['
+for _ in $(seq 1 15); do
+  batch+='{"keywords":["ba"],"k":100},{"keywords":["co","ba"],"op":"AND","k":100},'
+done
+batch="${batch%,}]}"
+
+shed=0
+for round in 1 2 3; do
+  : > "$WORK/codes"
+  FLOOD_PIDS=()
+  for w in $(seq 1 16); do
+    (
+      for _ in $(seq 1 15); do
+        curl -s -o /dev/null -w '%{http_code}\n' \
+          -X POST -d "$batch" "$BASE/mine/batch" >> "$WORK/codes"
+      done
+    ) &
+    FLOOD_PIDS+=($!)
+  done
+  wait "${FLOOD_PIDS[@]}"
+  if bad=$(grep -v -e '^200$' -e '^503$' -e '^429$' "$WORK/codes"); then
+    log "unexpected status codes during overload flood: $(echo "$bad" | sort | uniq -c | tr '\n' ' ')"
+    exit 1
+  fi
+  shed=$(curl -sf "$BASE/debug/vars" \
+    | sed -n 's/.*"phrasemine_shed_total": \([0-9]*\).*/\1/p')
+  [ "${shed:-0}" -gt 0 ] && break
+  log "  round $round produced no sheds, retrying"
+done
+if [ "${shed:-0}" -eq 0 ]; then
+  log "phrasemine_shed_total never moved during the overload flood"
+  exit 1
+fi
+# (Retry-After presence on 503/429 is asserted deterministically by the
+# Go tests; here the counter moving proves the admission gate engaged.)
+if grep -q '^503$' "$WORK/codes"; then
+  log "  flood saw $(grep -c '^503$' "$WORK/codes") 503s this round (shed counter: $shed)"
+fi
+# Post-storm the server answers normally.
+curl -sf -X POST -d '{"keywords":["ba"],"k":3}' "$BASE/mine" | grep -q '"phrase"'
+inflight=$(curl -sf "$BASE/debug/vars" \
+  | sed -n 's/.*"phrasemine_inflight_queries": \([0-9-]*\).*/\1/p')
+if [ "${inflight:-0}" -ne 0 ]; then
+  log "inflight gauge stuck at ${inflight} after the storm"
+  exit 1
+fi
+log "overload smoke passed: shed counter at $shed, post-storm query serves, gauge drained"
+
+kill -INT "$SERVER_PID"
+wait "$SERVER_PID"
+SERVER_PID=""
+
+# ---------------------------------------------------- 5. tenant quotas
+log "tenant quota smoke: -tenant-qps 0.1 (burst 1)"
+"$WORK/phrasemine" serve -index "$WORK/corpus.snap" -addr "$ADDR" -mmap -pprof \
+  -tenant-qps 0.1 \
+  > "$WORK/serve-quota.log" 2>&1 &
+SERVER_PID=$!
+wait_healthy
+
+code=$(curl -s -o /dev/null -w '%{http_code}' -H 'X-Tenant: acme' \
+  -X POST -d '{"keywords":["ba"],"k":3}' "$BASE/mine")
+if [ "$code" != "200" ]; then
+  log "first acme request got $code, want 200"
+  exit 1
+fi
+hdrs=$(curl -s -D - -o /dev/null -H 'X-Tenant: acme' \
+  -X POST -d '{"keywords":["ba"],"k":3}' "$BASE/mine")
+code=$(echo "$hdrs" | head -1 | awk '{print $2}')
+if [ "$code" != "429" ]; then
+  log "second acme request got $code, want 429"
+  exit 1
+fi
+if ! echo "$hdrs" | grep -qi '^retry-after:'; then
+  log "429 response carried no Retry-After header"
+  exit 1
+fi
+code=$(curl -s -o /dev/null -w '%{http_code}' -H 'X-Tenant: globex' \
+  -X POST -d '{"keywords":["ba"],"k":3}' "$BASE/mine")
+if [ "$code" != "200" ]; then
+  log "fresh tenant got $code, want 200"
+  exit 1
+fi
+rejects=$(curl -sf "$BASE/debug/vars" \
+  | sed -n 's/.*"phrasemine_quota_rejects_total": \([0-9]*\).*/\1/p')
+if [ "${rejects:-0}" -lt 1 ]; then
+  log "phrasemine_quota_rejects_total shows ${rejects:-0}, want >= 1"
+  exit 1
+fi
+log "tenant quota smoke passed: $rejects quota rejects"
+
+kill -INT "$SERVER_PID"
+wait "$SERVER_PID"
+SERVER_PID=""
 
 log "all chaos legs passed"
