@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"syscall"
@@ -75,7 +76,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   phrasemine build-index -in corpus.txt -out corpus.snap [-mindf N] [-workers N] [-compress] [-segments N]
-  phrasemine serve (-index corpus.snap | -manifest dir | -in corpus.txt) [-addr :8080] [-cache N] [-query-timeout D] [-max-inflight N] [-queue-timeout D] [-tenant-qps F] [-slow-query D] [-workers N] [-pprof] [-mmap] [-compress] [-segments N]
+  phrasemine serve (-index corpus.snap | -manifest dir | -in corpus.txt) [-addr :8080] [-cache N] [-query-timeout D] [-max-inflight N] [-queue-timeout D] [-tenant-qps F] [-slow-query D] [-workers N] [-pprof] [-mmap] [-compress] [-segments N] [-wal-dir dir] [-wal-sync always|batch]
   phrasemine index -in corpus.txt -out prefix [-mindf N] [-workers N]
   phrasemine query (-in corpus.txt | -index prefix) -keywords "w1 w2" [-op AND|OR] [-k N] [-algo nra|smj|gm|exact] [-frac F] [-workers N]
   phrasemine stats -in corpus.txt [-mindf N] [-workers N]
@@ -97,7 +98,15 @@ across processes; the mapping is unmapped cleanly on SIGINT.
 then treats -out as a directory and writes one snapshot per segment plus
 a manifest.json, and serve -manifest opens it with every segment
 memory-mapped. Sharded answers are bit-identical to the monolithic
-engine over the same corpus.`)
+engine over the same corpus.
+
+serve -wal-dir attaches a durable mutation log: POST /docs and DELETE
+/docs are appended and fsynced there before the 202, survive kill -9,
+and replay into the pending delta on restart; POST /flush checkpoints
+the rebuilt index back into -index/-manifest and truncates the log.
+-wal-sync batch trades one fsync per mutation for group commit. The log
+has a single writer, so -wal-dir disables hot reload (POST /reload and
+SIGHUP).`)
 }
 
 // forEachDocLine streams a one-document-per-line corpus file, calling fn
@@ -261,6 +270,8 @@ func cmdServe(args []string) error {
 	useMmap := fs.Bool("mmap", false, "open -index zero-copy via mmap (O(header) startup, demand-paged shared memory)")
 	compress := fs.Bool("compress", false, "block-compressed in-memory lists (-in mode; heap -index mode follows the snapshot's own setting, -mmap is always compressed)")
 	segments := fs.Int("segments", 0, "sharded engine segment count (-in mode; <= 1 is monolithic)")
+	walDir := fs.String("wal-dir", "", "durable mutation log directory: mutations are logged and fsynced here before they are acknowledged, survive kill -9, and replay on restart (disables hot reload)")
+	walSync := fs.String("wal-sync", "always", "mutation log durability: always (one fsync per mutation) or batch (concurrent mutations share fsyncs); only meaningful with -wal-dir")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -315,6 +326,33 @@ func cmdServe(args []string) error {
 			*in, time.Since(start).Round(time.Millisecond), m.NumDocuments(), m.NumPhrases())
 	default:
 		return fmt.Errorf("one of -index, -manifest or -in is required")
+	}
+
+	if *walDir != "" {
+		// Flush checkpoints the rebuilt index to wherever the persistent
+		// form lives so the log can truncate; an -in miner has no such
+		// place, so its log merely grows until the process is rebuilt.
+		snapPath := ""
+		switch {
+		case *manifest != "":
+			snapPath = *manifest
+			if strings.HasSuffix(snapPath, ".json") {
+				snapPath = filepath.Dir(snapPath)
+			}
+		case *index != "":
+			snapPath = *index
+		}
+		replayed, err := m.EnableWAL(phrasemine.WALConfig{Dir: *walDir, Sync: *walSync, SnapshotPath: snapPath})
+		if err != nil {
+			m.Close()
+			return err
+		}
+		// The log has exactly one writer: this miner. A hot-reloaded
+		// generation would serve un-logged mutations, so reload (POST
+		// /reload and SIGHUP) is disabled while the log is attached;
+		// restart the process to pick up a new on-disk generation.
+		reload = nil
+		fmt.Printf("mutation log in %s (sync=%s): replayed %d logged mutations\n", *walDir, *walSync, replayed)
 	}
 
 	if *queryTimeout > 0 {

@@ -11,20 +11,30 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
 	"slices"
 	"strings"
 
 	"phrasemine/internal/diskio"
+	"phrasemine/internal/diskio/faultfs"
 	"phrasemine/internal/parallel"
 	"phrasemine/internal/phrasedict"
 	"phrasemine/internal/textproc"
 	"phrasemine/internal/topk"
 )
 
-// segmentFileName names segment i's snapshot inside a manifest directory.
-func segmentFileName(i int) string {
-	return fmt.Sprintf("segment-%03d.snap", i)
+// segmentFileName names segment i's generation-g snapshot inside a
+// manifest directory. Generation 0 keeps the historical plain name, so
+// fresh builds into an empty directory produce the familiar layout.
+func segmentFileName(i, gen int) string {
+	if gen == 0 {
+		return fmt.Sprintf("segment-%03d.snap", i)
+	}
+	return fmt.Sprintf("segment-%03d.g%d.snap", i, gen)
 }
+
+// segmentFilePattern matches any generation's segment file names.
+var segmentFilePattern = regexp.MustCompile(`^segment-\d{3}(\.g\d+)?\.snap$`)
 
 // SaveSegments writes one v2 snapshot per segment into dir (creating it)
 // and returns the manifest describing them. The caller (the public Miner)
@@ -32,14 +42,45 @@ func segmentFileName(i int) string {
 // refuses while document updates are pending, so persisted segments always
 // capture a consistent, fully indexed state.
 func (sx *ShardedIndex) SaveSegments(dir string) (diskio.Manifest, error) {
+	return sx.SaveSegmentsFS(faultfs.OS{}, dir)
+}
+
+// SaveSegmentsFS is SaveSegments over an explicit filesystem (the
+// fault-injection seam). Segment files are written under names no
+// existing file uses (a generation suffix), so even a failure halfway
+// through the final rename pass cannot damage the previous generation:
+// the old manifest keeps referencing the old, untouched files. Call
+// CleanupSegments after the new manifest is durably written to drop the
+// superseded generation.
+func (sx *ShardedIndex) SaveSegmentsFS(fsys faultfs.FS, dir string) (diskio.Manifest, error) {
 	if sx.broken != nil {
 		return diskio.Manifest{}, fmt.Errorf("core: engine is inconsistent after a failed flush (%w); refusing to persist it", sx.broken)
 	}
 	if n := sx.PendingUpdates(); n > 0 {
 		return diskio.Manifest{}, fmt.Errorf("core: %d document updates pending; call Flush before saving", n)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return diskio.Manifest{}, err
+	}
+	// Pick the first generation whose names collide with nothing on disk.
+	existing := map[string]bool{}
+	if names, err := fsys.ReadDir(dir); err == nil {
+		for _, n := range names {
+			existing[n] = true
+		}
+	}
+	gen := 0
+	for ; ; gen++ {
+		collision := false
+		for i := range sx.segs {
+			if existing[segmentFileName(i, gen)] {
+				collision = true
+				break
+			}
+		}
+		if !collision {
+			break
+		}
 	}
 	man := diskio.Manifest{
 		Magic:           diskio.ManifestMagic,
@@ -52,8 +93,8 @@ func (sx *ShardedIndex) SaveSegments(dir string) (diskio.Manifest, error) {
 	// truncates a previously persisted good segment in place.
 	errs := make([]error, len(sx.segs))
 	sx.fanOut(len(sx.segs), func(i int) {
-		name := segmentFileName(i)
-		f, err := os.Create(filepath.Join(dir, name+".tmp"))
+		name := segmentFileName(i, gen)
+		f, err := fsys.OpenFile(filepath.Join(dir, name+".tmp"), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 		if err != nil {
 			errs[i] = err
 			return
@@ -79,22 +120,45 @@ func (sx *ShardedIndex) SaveSegments(dir string) (diskio.Manifest, error) {
 	})
 	if err := firstError(errs); err != nil {
 		for i := range sx.segs {
-			os.Remove(filepath.Join(dir, segmentFileName(i)+".tmp"))
+			fsys.Remove(filepath.Join(dir, segmentFileName(i, gen)+".tmp"))
 		}
 		return diskio.Manifest{}, err
 	}
 	for i := range sx.segs {
-		name := segmentFileName(i)
-		if err := os.Rename(filepath.Join(dir, name+".tmp"), filepath.Join(dir, name)); err != nil {
+		name := segmentFileName(i, gen)
+		if err := fsys.Rename(filepath.Join(dir, name+".tmp"), filepath.Join(dir, name)); err != nil {
 			return diskio.Manifest{}, err
 		}
 	}
 	// Persist the renames themselves (the directory entries) so the segment
 	// files survive a crash immediately after SaveSegments returns.
-	if err := diskio.SyncDir(dir); err != nil {
+	if err := fsys.SyncDir(dir); err != nil {
 		return diskio.Manifest{}, err
 	}
 	return man, nil
+}
+
+// CleanupSegments removes segment files (and stray temp files) in dir
+// that the durably-written manifest does not reference: the superseded
+// generation. Failures are ignored — stale files cost disk space, not
+// correctness, and the next save skips their names.
+func CleanupSegments(fsys faultfs.FS, dir string, man diskio.Manifest) {
+	live := map[string]bool{diskio.ManifestFileName: true}
+	for _, s := range man.Segments {
+		live[s.File] = true
+	}
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, n := range names {
+		if live[n] {
+			continue
+		}
+		if segmentFilePattern.MatchString(n) || strings.HasSuffix(n, ".tmp") {
+			fsys.Remove(filepath.Join(dir, n))
+		}
+	}
 }
 
 // OpenSharded assembles a sharded engine from a manifest whose segment

@@ -11,6 +11,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"phrasemine/internal/diskio/faultfs"
 )
 
 // ErrCorruptSnapshot is the sentinel wrapped by every decode path that
@@ -35,7 +37,14 @@ func Corruptf(format string, args ...any) error {
 // directory, is fsynced, renamed over path, and the directory is fsynced
 // so the rename itself is durable.
 func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
-	return writeAtomic(path, perm, func(f *os.File) error {
+	return WriteFileAtomicFS(faultfs.OS{}, path, data, perm)
+}
+
+// WriteFileAtomicFS is WriteFileAtomic over an explicit filesystem, the
+// seam fault-injection tests use to prove the previous file survives any
+// failed or crashed write.
+func WriteFileAtomicFS(fsys faultfs.FS, path string, data []byte, perm os.FileMode) error {
+	return writeAtomic(fsys, path, perm, func(f io.Writer) error {
 		_, err := f.Write(data)
 		return err
 	})
@@ -45,21 +54,24 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 // an io.Writer (snapshot writers, encoders) instead of materializing one
 // []byte.
 func WriteToFileAtomic(path string, perm os.FileMode, write func(w io.Writer) error) error {
-	return writeAtomic(path, perm, func(f *os.File) error {
-		return write(f)
-	})
+	return writeAtomic(faultfs.OS{}, path, perm, write)
 }
 
-func writeAtomic(path string, perm os.FileMode, write func(f *os.File) error) error {
+// WriteToFileAtomicFS is WriteToFileAtomic over an explicit filesystem.
+func WriteToFileAtomicFS(fsys faultfs.FS, path string, perm os.FileMode, write func(w io.Writer) error) error {
+	return writeAtomic(fsys, path, perm, write)
+}
+
+func writeAtomic(fsys faultfs.FS, path string, perm os.FileMode, write func(w io.Writer) error) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("diskio: creating temp file: %w", err)
 	}
 	defer func() {
 		if tmp != nil {
 			tmp.Close()
-			os.Remove(tmp.Name())
+			fsys.Remove(tmp.Name())
 		}
 	}()
 	if err := tmp.Chmod(perm); err != nil {
@@ -76,11 +88,11 @@ func writeAtomic(path string, perm os.FileMode, write func(f *os.File) error) er
 	}
 	name := tmp.Name()
 	tmp = nil // disarm cleanup; rename owns the file now
-	if err := os.Rename(name, path); err != nil {
-		os.Remove(name)
+	if err := fsys.Rename(name, path); err != nil {
+		fsys.Remove(name)
 		return err
 	}
-	return SyncDir(dir)
+	return fsys.SyncDir(dir)
 }
 
 // SyncDir fsyncs a directory so previously renamed entries survive a
@@ -88,25 +100,8 @@ func writeAtomic(path string, perm os.FileMode, write func(f *os.File) error) er
 // directories; those errors are ignored — the rename is still atomic,
 // only its durability ordering is best-effort there.
 func SyncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return nil
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
-		// EINVAL/ENOTSUP-style failures mean the platform cannot fsync
-		// directories; anything else is a real durability problem.
-		if pe, ok := err.(*os.PathError); !ok || !isSyncUnsupported(pe) {
-			return fmt.Errorf("diskio: syncing directory %s: %w", dir, err)
-		}
+	if err := (faultfs.OS{}).SyncDir(dir); err != nil {
+		return fmt.Errorf("diskio: syncing directory %s: %w", dir, err)
 	}
 	return nil
-}
-
-// isSyncUnsupported reports whether a directory-fsync failure means "not
-// supported here" rather than "your data did not reach disk".
-func isSyncUnsupported(pe *os.PathError) bool {
-	msg := pe.Err.Error()
-	return msg == "invalid argument" || msg == "operation not supported" ||
-		msg == "not supported" || msg == "bad file descriptor"
 }

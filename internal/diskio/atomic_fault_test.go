@@ -1,0 +1,112 @@
+package diskio
+
+// Fault-injection coverage for the atomic writers: every failure mode a
+// full disk or dying drive can produce (failed create, short write,
+// ENOSPC, failed fsync, failed rename) must leave the previous file
+// byte-identical and readable, and must not litter temp files. A failure
+// after the rename (directory fsync) may expose the new file — but then
+// the new file is complete, never a hybrid.
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"phrasemine/internal/diskio/faultfs"
+)
+
+func TestWriteFileAtomicFaultsKeepPreviousFile(t *testing.T) {
+	errDisk := errors.New("ENOSPC")
+	cases := []struct {
+		name  string
+		op    faultfs.Op
+		nth   int
+		short int
+	}{
+		{name: "failed temp create", op: faultfs.OpCreate, nth: 1},
+		{name: "failed write", op: faultfs.OpWrite, nth: 1},
+		{name: "short write", op: faultfs.OpWrite, nth: 1, short: 3},
+		{name: "failed fsync", op: faultfs.OpSync, nth: 1},
+		{name: "failed rename", op: faultfs.OpRename, nth: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mem := faultfs.NewMem()
+			if err := WriteFileAtomicFS(mem, "d/state", []byte("previous generation"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			ffs := faultfs.NewFault(mem)
+			if tc.short > 0 {
+				ffs.ShortWriteNth(tc.nth, tc.short, errDisk)
+			} else {
+				ffs.FailNth(tc.op, tc.nth, errDisk)
+			}
+			err := WriteFileAtomicFS(ffs, "d/state", []byte("next generation that must not land"), 0o644)
+			if !errors.Is(err, errDisk) {
+				t.Fatalf("want injected error, got %v", err)
+			}
+			got, rerr := mem.ReadFile("d/state")
+			if rerr != nil || string(got) != "previous generation" {
+				t.Fatalf("previous file damaged: %q, %v", got, rerr)
+			}
+			names, _ := mem.ReadDir("d")
+			if len(names) != 1 || names[0] != "state" {
+				t.Fatalf("temp litter left behind: %v", names)
+			}
+		})
+	}
+}
+
+func TestWriteFileAtomicSyncDirFailureExposesCompleteFile(t *testing.T) {
+	errDisk := errors.New("EIO")
+	mem := faultfs.NewMem()
+	if err := WriteFileAtomicFS(mem, "d/state", []byte("previous"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ffs := faultfs.NewFault(mem)
+	ffs.FailNth(faultfs.OpSyncDir, 1, errDisk)
+	err := WriteFileAtomicFS(ffs, "d/state", []byte("next"), 0o644)
+	if !errors.Is(err, errDisk) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	// The rename already happened: the visible file must be the complete
+	// new one, never a mixture.
+	got, rerr := mem.ReadFile("d/state")
+	if rerr != nil || string(got) != "next" {
+		t.Fatalf("post-rename state: %q, %v", got, rerr)
+	}
+}
+
+func TestWriteManifestFaultKeepsPreviousManifest(t *testing.T) {
+	errDisk := errors.New("ENOSPC")
+	mem := faultfs.NewMem()
+	man := Manifest{
+		Magic:           ManifestMagic,
+		Version:         ManifestVersion,
+		SnapshotVersion: 2,
+		Segments:        []SegmentRef{{File: "segment-000.snap", Docs: 10}},
+	}
+	if err := WriteManifestFS(mem, "shards/manifest.json", man); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []faultfs.Op{faultfs.OpWrite, faultfs.OpSync, faultfs.OpRename} {
+		ffs := faultfs.NewFault(mem)
+		ffs.FailNth(op, 1, errDisk)
+		next := man
+		next.Segments = []SegmentRef{{File: "segment-000.g1.snap", Docs: 99}}
+		if err := WriteManifestFS(ffs, "shards/manifest.json", next); !errors.Is(err, errDisk) {
+			t.Fatalf("%s: want injected error, got %v", op, err)
+		}
+		raw, err := mem.ReadFile("shards/manifest.json")
+		if err != nil {
+			t.Fatalf("%s: manifest unreadable: %v", op, err)
+		}
+		var got Manifest
+		if err := json.Unmarshal(raw, &got); err != nil {
+			t.Fatalf("%s: manifest corrupt: %v", op, err)
+		}
+		if got.Segments[0].Docs != 10 {
+			t.Fatalf("%s: previous manifest replaced: %+v", op, got)
+		}
+	}
+}

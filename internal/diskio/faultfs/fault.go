@@ -1,0 +1,282 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+// Op classifies filesystem operations for fault schedules.
+type Op string
+
+// Operation kinds counted by Fault. Occurrence numbers are 1-based and
+// per-kind; crash points are indexed over the total op sequence.
+const (
+	OpCreate   Op = "create"
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpTruncate Op = "truncate"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove"
+	OpMkdir    Op = "mkdir"
+	OpSyncDir  Op = "syncdir"
+	OpRead     Op = "read"
+)
+
+// ErrInjected is the default error returned by scheduled (non-crash)
+// faults — think ENOSPC from a full disk.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// ErrCrashed is returned by every operation at and after a crash point:
+// the process is "dead", nothing else reaches the disk.
+var ErrCrashed = errors.New("faultfs: crashed")
+
+// Rule is one scheduled fault: the Nth occurrence (1-based) of Op fails
+// with Err (ErrInjected if nil). For OpWrite, Short bytes are applied to
+// the underlying file before the failure, modeling a short write.
+type Rule struct {
+	Op    Op
+	Nth   int
+	Err   error
+	Short int
+}
+
+// Fault wraps an FS, counting operations and injecting deterministic
+// failures. Two mechanisms compose:
+//
+//   - Rules fail specific per-kind occurrences and leave the FS usable
+//     (the caller sees ENOSPC-style errors and runs its error paths);
+//   - CrashAt kills the FS at the Nth operation overall: that op fails
+//     with ErrCrashed (a crash-at-write applies half the bytes first; a
+//     crash-at-sync flushes half the unsynced suffix, producing a torn
+//     tail) and every later op fails too, so a crash-consistency test can
+//     enumerate every IO step of a workload.
+type Fault struct {
+	mu      sync.Mutex
+	inner   FS
+	rules   []Rule
+	counts  map[Op]int
+	total   int
+	crashAt int
+	crashed bool
+}
+
+// NewFault wraps inner with an empty schedule.
+func NewFault(inner FS) *Fault {
+	return &Fault{inner: inner, counts: make(map[Op]int)}
+}
+
+// FailNth schedules the nth occurrence of op to fail with err
+// (ErrInjected if nil).
+func (f *Fault) FailNth(op Op, nth int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, Rule{Op: op, Nth: nth, Err: err})
+}
+
+// ShortWriteNth schedules the nth write to apply only short bytes and then
+// fail with err (ErrInjected if nil).
+func (f *Fault) ShortWriteNth(nth, short int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, Rule{Op: OpWrite, Nth: nth, Err: err, Short: short})
+}
+
+// CrashAt schedules a crash at the nth operation overall (1-based).
+// n <= 0 disables crashing.
+func (f *Fault) CrashAt(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAt = n
+	f.crashed = false
+}
+
+// Ops returns the total number of operations observed so far; run a
+// workload once fault-free to size a crash matrix.
+func (f *Fault) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Crashed reports whether a crash point has fired.
+func (f *Fault) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// outcome describes what begin decided for one operation. crash is true
+// only for the operation AT the crash point, where partial side effects
+// are modeled; post-crash operations fail with ErrCrashed and crash=false
+// so they have no effect at all.
+type outcome struct {
+	err   error
+	crash bool
+	short int // OpWrite: bytes to apply before failing
+}
+
+func (f *Fault) begin(op Op) outcome {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return outcome{err: ErrCrashed}
+	}
+	f.total++
+	f.counts[op]++
+	if f.crashAt > 0 && f.total == f.crashAt {
+		f.crashed = true
+		return outcome{err: ErrCrashed, crash: true}
+	}
+	for _, r := range f.rules {
+		if r.Op == op && r.Nth == f.counts[op] {
+			err := r.Err
+			if err == nil {
+				err = ErrInjected
+			}
+			return outcome{err: err, short: r.Short}
+		}
+	}
+	return outcome{}
+}
+
+// OpenFile implements FS.
+func (f *Fault) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	op := OpRead
+	if flag&os.O_CREATE != 0 {
+		op = OpCreate
+	}
+	if o := f.begin(op); o.err != nil {
+		return nil, o.err
+	}
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+// CreateTemp implements FS.
+func (f *Fault) CreateTemp(dir, pattern string) (File, error) {
+	if o := f.begin(OpCreate); o.err != nil {
+		return nil, o.err
+	}
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+// Rename implements FS.
+func (f *Fault) Rename(oldpath, newpath string) error {
+	if o := f.begin(OpRename); o.err != nil {
+		return o.err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (f *Fault) Remove(name string) error {
+	if o := f.begin(OpRemove); o.err != nil {
+		return o.err
+	}
+	return f.inner.Remove(name)
+}
+
+// MkdirAll implements FS.
+func (f *Fault) MkdirAll(path string, perm os.FileMode) error {
+	if o := f.begin(OpMkdir); o.err != nil {
+		return o.err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+// SyncDir implements FS.
+func (f *Fault) SyncDir(dir string) error {
+	if o := f.begin(OpSyncDir); o.err != nil {
+		return o.err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// ReadFile implements FS.
+func (f *Fault) ReadFile(name string) ([]byte, error) {
+	if o := f.begin(OpRead); o.err != nil {
+		return nil, o.err
+	}
+	return f.inner.ReadFile(name)
+}
+
+// ReadDir implements FS.
+func (f *Fault) ReadDir(dir string) ([]string, error) {
+	if o := f.begin(OpRead); o.err != nil {
+		return nil, o.err
+	}
+	return f.inner.ReadDir(dir)
+}
+
+// partialSyncer is implemented by Mem handles; a crash mid-fsync flushes
+// part of the dirty suffix.
+type partialSyncer interface{ SyncPartial() }
+
+type faultFile struct {
+	fs    *Fault
+	inner File
+}
+
+// Write implements File. A crash at a write applies half the bytes (a
+// torn page-cache write); a short-write rule applies Rule.Short bytes.
+func (ff *faultFile) Write(p []byte) (int, error) {
+	o := ff.fs.begin(OpWrite)
+	if o.err == nil {
+		return ff.inner.Write(p)
+	}
+	n := o.short
+	if o.crash {
+		n = len(p) / 2
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	if n > 0 {
+		if wn, werr := ff.inner.Write(p[:n]); werr != nil {
+			return wn, o.err
+		}
+	}
+	return n, o.err
+}
+
+// Sync implements File. A crash at a sync flushes half the unsynced
+// suffix when the underlying file models that (Mem), leaving a torn tail.
+func (ff *faultFile) Sync() error {
+	o := ff.fs.begin(OpSync)
+	if o.err == nil {
+		return ff.inner.Sync()
+	}
+	if o.crash {
+		if ps, ok := ff.inner.(partialSyncer); ok {
+			ps.SyncPartial()
+		}
+	}
+	return o.err
+}
+
+// Truncate implements File.
+func (ff *faultFile) Truncate(size int64) error {
+	if o := ff.fs.begin(OpTruncate); o.err != nil {
+		return o.err
+	}
+	return ff.inner.Truncate(size)
+}
+
+// Chmod implements File (never fault-injected: it is not a durability
+// boundary).
+func (ff *faultFile) Chmod(mode os.FileMode) error { return ff.inner.Chmod(mode) }
+
+// Name implements File.
+func (ff *faultFile) Name() string { return ff.inner.Name() }
+
+// Close implements File (never fault-injected; closing after a crash is
+// harmless).
+func (ff *faultFile) Close() error { return ff.inner.Close() }

@@ -1,0 +1,120 @@
+// Package faultfs is the filesystem seam under every durability-critical
+// write path (atomic snapshot installs, segment saves, the mutation WAL).
+// Production code runs on OS, a thin passthrough to the os package; tests
+// swap in Fault (deterministic fault schedules: fail the Nth write, short
+// writes, ENOSPC, crash-here points) layered over Mem (an in-memory
+// filesystem that models the volatile/durable split of a real disk), so
+// crash-consistency can be proven at every IO boundary without flaky
+// kill -9 timing.
+//
+// The package deliberately depends only on the standard library: diskio
+// and core import it, never the reverse.
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"os"
+)
+
+// FS is the minimal filesystem surface the persistence layers need. All
+// paths are interpreted by the implementation: OS uses the real
+// filesystem, Mem a private namespace.
+type FS interface {
+	// OpenFile opens a file with os.OpenFile semantics for the flag
+	// subset the writers use (O_CREATE, O_RDWR, O_WRONLY, O_TRUNC,
+	// O_APPEND, O_EXCL).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// CreateTemp creates a unique temporary file in dir, as os.CreateTemp.
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// SyncDir fsyncs a directory so renamed/created entries are durable.
+	// Platforms that cannot fsync directories report success.
+	SyncDir(dir string) error
+	// ReadFile returns the current (volatile) contents of a file.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir returns the entry names in a directory, sorted.
+	ReadDir(dir string) ([]string, error)
+}
+
+// File is the writable-file surface the persistence layers need.
+type File interface {
+	io.Writer
+	io.Closer
+	// Sync flushes written data to stable storage.
+	Sync() error
+	// Truncate changes the file size.
+	Truncate(size int64) error
+	// Chmod changes the file mode.
+	Chmod(mode os.FileMode) error
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// OS is the production FS: a passthrough to the os package.
+type OS struct{}
+
+// OpenFile implements FS.
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// CreateTemp implements FS.
+func (OS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// ReadFile implements FS.
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// ReadDir implements FS.
+func (OS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+// SyncDir implements FS. Some platforms (and some filesystems) reject
+// fsync on directories; those errors are swallowed — renames stay atomic,
+// only their durability ordering is best-effort there.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		if pe, ok := err.(*os.PathError); !ok || !syncUnsupported(pe) {
+			return err
+		}
+	}
+	return nil
+}
+
+// syncUnsupported reports whether a directory-fsync failure means "not
+// supported here" rather than "your data did not reach disk".
+func syncUnsupported(pe *os.PathError) bool {
+	msg := pe.Err.Error()
+	return msg == "invalid argument" || msg == "operation not supported" ||
+		msg == "not supported" || msg == "bad file descriptor"
+}

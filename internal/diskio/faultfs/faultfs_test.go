@@ -1,0 +1,236 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeAll(t *testing.T, fsys FS, path string, data []byte, syncFile, syncDir bool) {
+	t.Helper()
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+	if syncFile {
+		if err := f.Sync(); err != nil {
+			t.Fatalf("sync %s: %v", path, err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close %s: %v", path, err)
+	}
+	if syncDir {
+		if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+			t.Fatalf("syncdir: %v", err)
+		}
+	}
+}
+
+func TestMemCrashKeepsOnlySyncedState(t *testing.T) {
+	m := NewMem()
+	writeAll(t, m, "d/synced", []byte("durable"), true, true)
+	writeAll(t, m, "e/nosyncdir", []byte("entry not durable"), true, false)
+	writeAll(t, m, "d/nofsync", []byte("content not durable"), false, true)
+
+	m.Crash()
+
+	if got, err := m.ReadFile("d/synced"); err != nil || string(got) != "durable" {
+		t.Fatalf("synced file after crash: %q, %v", got, err)
+	}
+	if _, err := m.ReadFile("e/nosyncdir"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("file without dir sync should vanish on crash, got err=%v", err)
+	}
+	if got, err := m.ReadFile("d/nofsync"); err != nil || len(got) != 0 {
+		// Entry durable (dir synced) but content never fsynced: empty file.
+		t.Fatalf("unfsynced content after crash: %q, %v", got, err)
+	}
+}
+
+func TestMemRenameDurabilityNeedsSyncDir(t *testing.T) {
+	m := NewMem()
+	writeAll(t, m, "d/target", []byte("old"), true, true)
+	writeAll(t, m, "d/tmp", []byte("new"), true, false)
+	if err := m.Rename("d/tmp", "d/target"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Volatile view sees the rename immediately.
+	if got, _ := m.ReadFile("d/target"); string(got) != "new" {
+		t.Fatalf("volatile read after rename: %q", got)
+	}
+	// Crash before SyncDir: old content survives, temp is gone.
+	m.Crash()
+	if got, _ := m.ReadFile("d/target"); string(got) != "old" {
+		t.Fatalf("crash before SyncDir should keep old target, got %q", got)
+	}
+	if _, err := m.ReadFile("d/tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp should not survive, err=%v", err)
+	}
+
+	// And with the SyncDir, the rename is durable.
+	m2 := NewMem()
+	writeAll(t, m2, "d/target", []byte("old"), true, true)
+	writeAll(t, m2, "d/tmp", []byte("new"), true, false)
+	if err := m2.Rename("d/tmp", "d/target"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	m2.Crash()
+	if got, _ := m2.ReadFile("d/target"); string(got) != "new" {
+		t.Fatalf("crash after SyncDir should keep new target, got %q", got)
+	}
+}
+
+func TestMemAppendHandle(t *testing.T) {
+	m := NewMem()
+	writeAll(t, m, "wal", []byte("head"), true, true)
+	f, err := m.OpenFile("wal", os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("+tail")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(int64(len("head+ta"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("X")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.ReadFile("wal")
+	if string(got) != "head+taX" {
+		t.Fatalf("append+truncate+append = %q, want head+taX", got)
+	}
+}
+
+func TestFaultFailNthAndShortWrite(t *testing.T) {
+	m := NewMem()
+	f := NewFault(m)
+	boom := errors.New("ENOSPC")
+	f.FailNth(OpSync, 2, boom)
+	f.ShortWriteNth(3, 2, nil)
+
+	h, err := f.OpenFile("a", os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("one")); err != nil { // write #1
+		t.Fatal(err)
+	}
+	if err := h.Sync(); err != nil { // sync #1
+		t.Fatal(err)
+	}
+	if err := h.Sync(); !errors.Is(err, boom) { // sync #2 injected
+		t.Fatalf("sync #2: %v, want injected", err)
+	}
+	if _, err := h.Write([]byte("two")); err != nil { // write #2
+		t.Fatal(err)
+	}
+	n, err := h.Write([]byte("three")) // write #3: short
+	if !errors.Is(err, ErrInjected) || n != 2 {
+		t.Fatalf("short write got n=%d err=%v", n, err)
+	}
+	got, _ := m.ReadFile("a")
+	if string(got) != "onetwoth" {
+		t.Fatalf("contents %q, want onetwoth", got)
+	}
+}
+
+func TestFaultCrashAtIsTerminal(t *testing.T) {
+	m := NewMem()
+	f := NewFault(m)
+	// Count ops for: create, write, sync, syncdir.
+	writeAll(t, m, "seed", []byte("x"), true, true)
+	f.CrashAt(3) // the sync
+
+	h, err := f.OpenFile("b", os.O_CREATE|os.O_WRONLY, 0o644) // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("data")); err != nil { // op 2
+		t.Fatal(err)
+	}
+	if err := h.Sync(); !errors.Is(err, ErrCrashed) { // op 3: crash
+		t.Fatalf("sync at crash point: %v", err)
+	}
+	if !f.Crashed() {
+		t.Fatal("Crashed() should be true")
+	}
+	// Every later op fails, with no side effects.
+	if _, err := h.Write([]byte("more")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: %v", err)
+	}
+	if err := f.Rename("seed", "gone"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename: %v", err)
+	}
+	if _, err := m.ReadFile("seed"); err != nil {
+		t.Fatalf("post-crash rename must not run: %v", err)
+	}
+	if got, _ := m.ReadFile("b"); string(got) != "data" {
+		t.Fatalf("post-crash write leaked: %q", got)
+	}
+}
+
+func TestFaultCrashAtSyncLeavesTornTail(t *testing.T) {
+	m := NewMem()
+	f := NewFault(m)
+	h, err := f.OpenFile("wal", os.O_CREATE|os.O_WRONLY, 0o644) // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("0123456789")); err != nil { // op 2
+		t.Fatal(err)
+	}
+	if err := h.Sync(); err != nil { // op 3
+		t.Fatal(err)
+	}
+	if err := f.SyncDir("."); err != nil { // op 4
+		t.Fatal(err)
+	}
+	f.CrashAt(6) // next write is op 5, its sync op 6
+	if _, err := h.Write([]byte("abcdefgh")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash-at-sync: %v", err)
+	}
+	m.Crash()
+	got, err := m.ReadFile("wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half of the 8 dirty bytes made it out before the "power cut".
+	if string(got) != "0123456789abcd" {
+		t.Fatalf("torn tail = %q, want 0123456789abcd", got)
+	}
+}
+
+func TestMemExportDurable(t *testing.T) {
+	m := NewMem()
+	writeAll(t, m, "snap/corpus.snap", []byte("snapshot"), true, true)
+	writeAll(t, m, "wal/wal.log", []byte("records"), true, true)
+	writeAll(t, m, "wal/volatile", []byte("lost"), false, false)
+
+	root := t.TempDir()
+	if err := m.ExportDurable(root); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(root, "snap", "corpus.snap"))
+	if err != nil || string(b) != "snapshot" {
+		t.Fatalf("exported snapshot: %q, %v", b, err)
+	}
+	b, err = os.ReadFile(filepath.Join(root, "wal", "wal.log"))
+	if err != nil || string(b) != "records" {
+		t.Fatalf("exported wal: %q, %v", b, err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "wal", "volatile")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("volatile file exported: %v", err)
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"phrasemine/internal/diskio/faultfs"
 )
 
 // ManifestMagic identifies sharded-engine manifests.
@@ -49,6 +51,10 @@ type Manifest struct {
 	Segments []SegmentRef `json:"segments"`
 	// Config is the writing layer's configuration, passed through opaque.
 	Config json.RawMessage `json:"config,omitempty"`
+	// WAL records how much of which mutation-log generation this manifest
+	// has absorbed; open-time replay skips that prefix. Absent on
+	// manifests written before WAL support or without a WAL enabled.
+	WAL *WALMarker `json:"wal,omitempty"`
 }
 
 // Validate reports structural problems with a manifest.
@@ -77,6 +83,12 @@ func (m Manifest) Validate() error {
 // temporary file, fsync and rename so a crash mid-write (even kill -9)
 // never leaves a truncated manifest over a previously good one.
 func WriteManifest(path string, m Manifest) error {
+	return WriteManifestFS(faultfs.OS{}, path, m)
+}
+
+// WriteManifestFS is WriteManifest over an explicit filesystem (the
+// fault-injection seam).
+func WriteManifestFS(fsys faultfs.FS, path string, m Manifest) error {
 	if err := m.Validate(); err != nil {
 		return err
 	}
@@ -84,7 +96,7 @@ func WriteManifest(path string, m Manifest) error {
 	if err != nil {
 		return fmt.Errorf("diskio: encoding manifest: %w", err)
 	}
-	return WriteFileAtomic(path, append(data, '\n'), 0o644)
+	return WriteFileAtomicFS(fsys, path, append(data, '\n'), 0o644)
 }
 
 // ReadManifest reads and validates a manifest. path may be the manifest

@@ -155,6 +155,24 @@ func init() {
 		}
 		return int64(0)
 	}))
+	// Write-ahead-log gauges, read through the miner pointer like the
+	// index gauges so they follow reloads. All four report zero when the
+	// serving miner has no WAL (durability off): records/bytes are the
+	// log's current size, replayed counts records recovered at open, and
+	// append_errors counts mutations refused because the log could not
+	// make them durable.
+	expvar.Publish("phrasemine_wal_records_total", expvar.Func(walGauge(func(st phrasemine.WALStats) int64 {
+		return st.AppendedTotal
+	})))
+	expvar.Publish("phrasemine_wal_bytes", expvar.Func(walGauge(func(st phrasemine.WALStats) int64 {
+		return st.Bytes
+	})))
+	expvar.Publish("phrasemine_wal_replayed_records", expvar.Func(walGauge(func(st phrasemine.WALStats) int64 {
+		return st.Replayed
+	})))
+	expvar.Publish("phrasemine_wal_append_errors", expvar.Func(walGauge(func(st phrasemine.WALStats) int64 {
+		return st.AppendErrors
+	})))
 	// Latency histograms, one map per algorithm with cumulative bucket
 	// counts (le_<ms>) and a millisecond sum.
 	expvar.Publish("phrasemine_query_latency_ms", expvar.Func(func() any {
@@ -164,6 +182,23 @@ func init() {
 		}
 		return out
 	}))
+}
+
+// walGauge adapts one WALStats field into an expvar.Func body: it reads
+// the current gauge miner's log statistics and reports zero when no miner
+// is registered or durability is off.
+func walGauge(field func(phrasemine.WALStats) int64) func() any {
+	return func() any {
+		m := gaugeMiner.Load()
+		if m == nil {
+			return int64(0)
+		}
+		st, ok := m.WALStats()
+		if !ok {
+			return int64(0)
+		}
+		return field(st)
+	}
 }
 
 func readMemStats() runtime.MemStats {

@@ -168,6 +168,11 @@ type Server struct {
 	// through; always non-nil (an unconfigured gate still tracks the
 	// in-flight gauge).
 	adm *admission
+	// readOnly latches when a mutation fails to reach the write-ahead log
+	// (phrasemine.ErrWALAppend): the in-memory state and the log may now
+	// disagree, so further mutations are refused with 503 until the process
+	// restarts on a healthy disk and replays the log. Queries keep serving.
+	readOnly atomic.Bool
 }
 
 // New wraps a miner in an HTTP handler. Mutations must go through the
@@ -358,6 +363,22 @@ type StatsResponse struct {
 	// block-compressed and/or served from a shared mmap region.
 	Index phrasemine.IndexStats `json:"index"`
 	Cache CacheStats            `json:"cache"`
+	// Durability reports whether mutations are logged before they are
+	// acknowledged, and the mutation log's current state.
+	Durability DurabilityStats `json:"durability"`
+}
+
+// DurabilityStats is the durability block of a /stats response.
+type DurabilityStats struct {
+	// Mode is "none" when mutations are acknowledged from memory only,
+	// otherwise the write-ahead log's sync mode ("always" or "batch").
+	Mode string `json:"mode"`
+	// ReadOnly reports the latched degraded state: a WAL append failed, so
+	// mutations are refused with 503 until a restart replays the log.
+	ReadOnly bool `json:"read_only"`
+	// WAL is the mutation log's live statistics; omitted when Mode is
+	// "none".
+	WAL *phrasemine.WALStats `json:"wal,omitempty"`
 }
 
 // errorResponse is the JSON body of every non-2xx response.
@@ -713,7 +734,41 @@ type AddDocRequest struct {
 	Facets map[string]string `json:"facets,omitempty"`
 }
 
+// refuseReadOnly rejects a mutation with 503 while the server is latched
+// read-only (a prior WAL append failed) and reports whether it did. The
+// latch is sticky by design: once the log and memory may disagree, no
+// further mutation can be acknowledged honestly — only a restart, which
+// replays the surviving log, clears the state.
+func (s *Server) refuseReadOnly(w http.ResponseWriter) bool {
+	if !s.readOnly.Load() {
+		return false
+	}
+	statErrors.Add(1)
+	writeError(w, http.StatusServiceUnavailable,
+		fmt.Errorf("serving is read-only: an earlier mutation failed to reach the write-ahead log; restart on a healthy disk to replay the log and recover"))
+	return true
+}
+
+// writeMutationError maps mutation failures to HTTP statuses. A mutation
+// the write-ahead log could not make durable (phrasemine.ErrWALAppend)
+// latches the read-only state and answers 503 — the document was NOT
+// acknowledged and will not survive a restart; everything else follows the
+// query-error mapping.
+func (s *Server) writeMutationError(w http.ResponseWriter, r *http.Request, err error) {
+	statErrors.Add(1)
+	if errors.Is(err, phrasemine.ErrWALAppend) {
+		s.readOnly.Store(true)
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("mutation not acknowledged (%v); serving is now read-only until restart", err))
+		return
+	}
+	s.writeMineError(w, r, err)
+}
+
 func (s *Server) handleAddDoc(w http.ResponseWriter, r *http.Request) {
+	if s.refuseReadOnly(w) {
+		return
+	}
 	var req AddDocRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -724,8 +779,7 @@ func (s *Server) handleAddDoc(w http.ResponseWriter, r *http.Request) {
 	}
 	m := s.Miner()
 	if err := m.Add(phrasemine.Document{Text: req.Text, Facets: req.Facets}); err != nil {
-		statErrors.Add(1)
-		s.writeMineError(w, r, err)
+		s.writeMutationError(w, r, err)
 		return
 	}
 	statMutations.Add(1)
@@ -734,6 +788,9 @@ func (s *Server) handleAddDoc(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRemoveDoc(w http.ResponseWriter, r *http.Request) {
+	if s.refuseReadOnly(w) {
+		return
+	}
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil || id < 0 {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid document id %q", r.PathValue("id")))
@@ -741,8 +798,7 @@ func (s *Server) handleRemoveDoc(w http.ResponseWriter, r *http.Request) {
 	}
 	m := s.Miner()
 	if err := m.Remove(id); err != nil {
-		statErrors.Add(1)
-		s.writeMineError(w, r, err)
+		s.writeMutationError(w, r, err)
 		return
 	}
 	statMutations.Add(1)
@@ -751,6 +807,12 @@ func (s *Server) handleRemoveDoc(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	// Flush rewrites the snapshot and truncates the log; in the latched
+	// read-only state the log may disagree with memory, so a flush could
+	// persist (or drop) state the client was never told about.
+	if s.refuseReadOnly(w) {
+		return
+	}
 	m := s.Miner()
 	if err := m.Flush(); err != nil {
 		writeError(w, http.StatusInternalServerError, err)
@@ -787,7 +849,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		Index:          m.IndexStats(),
 		Cache:          s.cache.Stats(),
+		Durability:     s.durabilityStats(m),
 	})
+}
+
+// durabilityStats assembles the /stats durability block from the serving
+// miner's write-ahead log (if any) and the server's read-only latch.
+func (s *Server) durabilityStats(m *phrasemine.Miner) DurabilityStats {
+	d := DurabilityStats{Mode: "none", ReadOnly: s.readOnly.Load()}
+	if st, ok := m.WALStats(); ok {
+		d.Mode = st.Mode
+		d.WAL = &st
+	}
+	return d
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

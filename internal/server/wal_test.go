@@ -1,0 +1,131 @@
+package server
+
+// Durability-facing server behavior: the /stats durability block, the
+// write-ahead-log expvar gauges, and the sticky read-only latch — once a
+// mutation fails to reach the log, every further mutation is refused with
+// 503 while queries keep serving, because acknowledging a write the log
+// cannot replay would be a silent lie to the client.
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"path/filepath"
+	"testing"
+
+	"phrasemine"
+	"phrasemine/internal/diskio/faultfs"
+)
+
+// newWALMiner is testMiner with a mutation log in dir over fsys.
+func newWALMiner(t *testing.T, fsys faultfs.FS, dir string) *phrasemine.Miner {
+	t.Helper()
+	m := testMiner(t)
+	if _, err := m.EnableWAL(phrasemine.WALConfig{Dir: dir, FS: fsys}); err != nil {
+		m.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+func getStats(t *testing.T, s *Server) StatsResponse {
+	t.Helper()
+	w := doJSON(t, s, http.MethodGet, "/stats", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/stats: %d %s", w.Code, w.Body)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestStatsDurabilityModeNone(t *testing.T) {
+	s := newTestServer(t, Options{})
+	st := getStats(t, s)
+	if st.Durability.Mode != "none" || st.Durability.ReadOnly || st.Durability.WAL != nil {
+		t.Fatalf("want mode=none read_only=false wal=nil without a WAL, got %+v", st.Durability)
+	}
+	// The gauges answer zero, not an error, when durability is off.
+	if got := expvar.Get("phrasemine_wal_records_total").String(); got != "0" {
+		t.Fatalf("wal_records_total without a WAL = %s, want 0", got)
+	}
+}
+
+func TestStatsDurabilityBlockAndWALGauges(t *testing.T) {
+	m := newWALMiner(t, faultfs.OS{}, filepath.Join(t.TempDir(), "wal"))
+	s := New(m, Options{})
+	w := doJSON(t, s, http.MethodPost, "/docs", AddDocRequest{Text: "a freshly logged durability document"})
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("POST /docs: %d %s", w.Code, w.Body)
+	}
+	st := getStats(t, s)
+	d := st.Durability
+	if d.Mode != "always" || d.ReadOnly || d.WAL == nil {
+		t.Fatalf("want mode=always read_only=false wal set, got %+v", d)
+	}
+	if d.WAL.Records != 1 || d.WAL.AppendedTotal != 1 || d.WAL.Bytes == 0 {
+		t.Fatalf("after one logged mutation: %+v", d.WAL)
+	}
+	if got := expvar.Get("phrasemine_wal_records_total").String(); got != "1" {
+		t.Fatalf("wal_records_total = %s, want 1", got)
+	}
+	if got := expvar.Get("phrasemine_wal_bytes").String(); got == "0" {
+		t.Fatalf("wal_bytes = %s, want > 0", got)
+	}
+	if got := expvar.Get("phrasemine_wal_append_errors").String(); got != "0" {
+		t.Fatalf("wal_append_errors = %s, want 0", got)
+	}
+}
+
+func TestWALAppendFailureLatchesReadOnly(t *testing.T) {
+	ffs := faultfs.NewFault(faultfs.NewMem())
+	m := newWALMiner(t, ffs, "wal")
+	s := New(m, Options{})
+
+	w := doJSON(t, s, http.MethodPost, "/docs", AddDocRequest{Text: "this one reaches the log"})
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("POST /docs before fault: %d %s", w.Code, w.Body)
+	}
+
+	// The disk dies at the next IO operation: the append cannot become
+	// durable, so the mutation must be refused, not acknowledged.
+	ffs.CrashAt(ffs.Ops() + 1)
+	w = doJSON(t, s, http.MethodPost, "/docs", AddDocRequest{Text: "this one must never be acknowledged"})
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("POST /docs with dead log: %d %s", w.Code, w.Body)
+	}
+
+	// The latch is sticky: every further mutation — including removes and
+	// flushes, which would rewrite state the client was never told about —
+	// answers 503 without touching the miner.
+	if w = doJSON(t, s, http.MethodPost, "/docs", AddDocRequest{Text: "still refused"}); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("POST /docs after latch: %d %s", w.Code, w.Body)
+	}
+	if w = doJSON(t, s, http.MethodDelete, "/docs/0", nil); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("DELETE /docs/0 after latch: %d %s", w.Code, w.Body)
+	}
+	if w = doJSON(t, s, http.MethodPost, "/flush", nil); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("POST /flush after latch: %d %s", w.Code, w.Body)
+	}
+
+	// Queries keep serving from memory: durability loss degrades writes,
+	// not reads.
+	w = doJSON(t, s, http.MethodPost, "/mine", MineRequest{Keywords: []string{"trade", "reserves"}})
+	if w.Code != http.StatusOK {
+		t.Fatalf("POST /mine in read-only mode: %d %s", w.Code, w.Body)
+	}
+
+	st := getStats(t, s)
+	if !st.Durability.ReadOnly {
+		t.Fatalf("durability block not latched: %+v", st.Durability)
+	}
+	if st.Durability.WAL == nil || st.Durability.WAL.AppendErrors == 0 {
+		t.Fatalf("failed append not counted: %+v", st.Durability.WAL)
+	}
+	if got := expvar.Get("phrasemine_wal_append_errors").String(); got == "0" {
+		t.Fatalf("wal_append_errors gauge = %s, want > 0", got)
+	}
+}

@@ -60,6 +60,7 @@ package phrasemine
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -74,6 +75,7 @@ import (
 	"phrasemine/internal/core"
 	"phrasemine/internal/corpus"
 	"phrasemine/internal/diskio"
+	"phrasemine/internal/diskio/faultfs"
 	"phrasemine/internal/parallel"
 	"phrasemine/internal/plist"
 	"phrasemine/internal/textproc"
@@ -202,6 +204,21 @@ type Config struct {
 	// corpus), and persistence goes through SaveManifest/OpenShardedMiner
 	// (one snapshot per segment behind a manifest) instead of Save.
 	Segments int
+	// WALDir, when non-empty, enables the durable mutation log: every
+	// Add/Remove is appended (and fsynced, per WALSync) to a write-ahead
+	// log under this directory before it is applied, and surviving log
+	// records replay into the pending delta when a miner reopens, so an
+	// acknowledged mutation survives kill -9 even before the next Flush.
+	// Like Workers, the WAL settings are properties of the running
+	// process, not of the index: Save strips them from snapshots, and a
+	// loaded miner re-enables logging through EnableWAL.
+	WALDir string
+	// WALSync selects append durability when WALDir is set: "" or
+	// "always" fsyncs inside every Add/Remove (one fsync per mutation);
+	// "batch" lets concurrent mutations share fsyncs (group commit) — an
+	// Add/Remove still returns only after its record is durable, but one
+	// fsync can cover every record appended before it.
+	WALSync string
 }
 
 // DefaultConfig returns the paper's indexing configuration.
@@ -250,6 +267,12 @@ func (c Config) Validate() error {
 		if strings.TrimSpace(k) == "" {
 			return fmt.Errorf("phrasemine: Keywords[%d] is empty", i)
 		}
+	}
+	if _, err := diskio.ParseWALSyncMode(c.WALSync); err != nil {
+		return fmt.Errorf("phrasemine: WALSync %q is not a sync mode (want \"\", \"always\" or \"batch\")", c.WALSync)
+	}
+	if c.WALSync != "" && c.WALDir == "" {
+		return fmt.Errorf("phrasemine: WALSync=%q set without WALDir; set WALDir to enable the mutation log", c.WALSync)
 	}
 	return nil
 }
@@ -320,6 +343,25 @@ type Miner struct {
 	// Flush: clones are bound to the index they were cloned from.
 	// Accessed under mu (read lock in Mine, write lock in Flush).
 	gmPool *sync.Pool
+	// wal, when non-nil, is the durable mutation log: Add/Remove append
+	// to it before touching the delta, Flush checkpoints and truncates
+	// it, and EnableWAL replays its surviving records at open. Guarded by
+	// mu for enable/close; append/sync serialize through the write lock
+	// plus the WAL's own mutexes (the batch-mode group-commit fsync runs
+	// after mu is released).
+	wal *diskio.WAL
+	// walFS is the filesystem checkpoint persistence writes through — the
+	// fault-injection seam. faultfs.OS{} outside tests.
+	walFS faultfs.FS
+	// walCheckpoint is where Flush persists the rebuilt index before
+	// truncating the log: a snapshot file path (monolithic) or a manifest
+	// directory (sharded). Empty means Flush only marks records applied —
+	// the log keeps growing until a caller persists and truncates it.
+	walCheckpoint string
+	// walMarker is the (generation, records) WAL prefix the snapshot this
+	// miner was loaded from had already absorbed; EnableWAL passes it to
+	// OpenWAL so replay skips exactly that prefix. Nil for fresh builds.
+	walMarker *diskio.WALMarker
 	// sharedHits/sharedMisses accumulate shared-scan block-decode cache
 	// outcomes across MineBatch calls. Atomic rather than mu-guarded:
 	// batches tally them after releasing the read lock.
@@ -364,7 +406,19 @@ func NewMinerFromDocuments(docs []Document, cfg Config) (*Miner, error) {
 			return nil, err
 		}
 	}
-	return newMiner(c, cfg)
+	m, err := newMiner(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.WALDir != "" {
+		// A fresh build carries no marker: every surviving record of an
+		// earlier run replays into the pending delta.
+		if _, err := m.EnableWAL(WALConfig{Dir: cfg.WALDir, Sync: cfg.WALSync}); err != nil {
+			m.Close()
+			return nil, err
+		}
+	}
+	return m, nil
 }
 
 func newMiner(c *corpus.Corpus, cfg Config) (*Miner, error) {
@@ -1036,17 +1090,78 @@ func (m *Miner) deltaActive() bool {
 //
 // On a mapped miner a corrupt forward or dictionary section surfaces here
 // as an error wrapping ErrCorruptSnapshot.
+//
+// With a WAL enabled (Config.WALDir or EnableWAL), the document is
+// appended to the log and made durable before Add returns nil: a
+// successful Add survives kill -9 even before the next Flush. A logging
+// failure returns an error wrapping ErrWALAppend and the document is not
+// applied.
 func (m *Miner) Add(doc Document) error {
 	tok := textproc.Tokenizer{EmitSentenceBreaks: true}
 	d := corpus.Document{
 		Tokens: tok.Tokenize(doc.Text),
 		Facets: doc.Facets,
 	}
+	return m.mutate(
+		diskio.WALRecord{Op: diskio.WALAddDocument, Text: doc.Text, Facets: doc.Facets},
+		func() error { return m.addDocumentLocked(d) },
+	)
+}
+
+// Remove registers the deletion of the i-th indexed document. Like Add it
+// is logged durably before returning when a WAL is enabled.
+func (m *Miner) Remove(docIndex int) error {
+	return m.mutate(
+		diskio.WALRecord{Op: diskio.WALRemoveDocument, Doc: uint64(docIndex)},
+		func() error { return m.removeDocumentLocked(docIndex) },
+	)
+}
+
+// mutate runs one logged mutation: append the record to the WAL (if one
+// is enabled), apply it in memory, roll the record back if the
+// application is refused, and — in batch sync mode — group-commit the
+// append after the write lock is released, so the acknowledgment never
+// races ahead of durability but concurrent mutations can share fsyncs.
+func (m *Miner) mutate(rec diskio.WALRecord, apply func() error) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.closed {
+		m.mu.Unlock()
 		return ErrMinerClosed
 	}
+	wal := m.wal
+	var seq int64
+	if wal != nil {
+		var err error
+		if seq, err = wal.Append(rec); err != nil {
+			m.mu.Unlock()
+			return fmt.Errorf("%w: %v", ErrWALAppend, err)
+		}
+	}
+	err := apply()
+	if err != nil && wal != nil {
+		// The mutation was refused (bad document index, corrupt mapped
+		// section): drop its record so a replay does not re-attempt what
+		// the client saw fail. A rollback failure marks the WAL broken;
+		// replay skips the unapplied record in that case.
+		wal.RollbackLast()
+	}
+	m.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if wal != nil {
+		// Group commit: a no-op in always mode (Append already synced),
+		// one shared fsync in batch mode. Failure means the mutation is
+		// applied in memory but not durable — refuse the ack.
+		if serr := wal.Sync(seq); serr != nil {
+			return fmt.Errorf("%w: %v", ErrWALAppend, serr)
+		}
+	}
+	return nil
+}
+
+// addDocumentLocked applies one addition under the held write lock.
+func (m *Miner) addDocumentLocked(d corpus.Document) error {
 	if m.sh != nil {
 		// Sharded engines route additions to the write segment at Flush;
 		// pending documents are not visible to queries before it.
@@ -1063,13 +1178,8 @@ func (m *Miner) Add(doc Document) error {
 	return m.delta.AddDocument(d)
 }
 
-// Remove registers the deletion of the i-th indexed document.
-func (m *Miner) Remove(docIndex int) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
-		return ErrMinerClosed
-	}
+// removeDocumentLocked applies one removal under the held write lock.
+func (m *Miner) removeDocumentLocked(docIndex int) error {
 	if m.sh != nil {
 		return m.sh.RemoveDocument(corpus.DocID(docIndex))
 	}
@@ -1086,21 +1196,41 @@ func (m *Miner) Remove(docIndex int) error {
 // DiscardPendingUpdates drops every un-applied document change without
 // touching the index — the recovery path when a Flush is refused (on a
 // sharded miner, a removal set that would empty a segment) and the
-// pending updates would otherwise block Flush and persistence forever.
-func (m *Miner) DiscardPendingUpdates() {
+// pending updates would otherwise block Flush and persistence forever
+// (Save and SaveManifest refuse while updates are pending).
+//
+// With a WAL enabled the log is truncated back to its last applied
+// point in the same call, so the discarded updates cannot resurrect by
+// replay on the next restart; the returned error reports a truncation
+// failure (the in-memory discard itself cannot fail).
+func (m *Miner) DiscardPendingUpdates() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		return ErrMinerClosed
+	}
 	if m.sh != nil {
 		m.sh.DiscardPendingUpdates()
-		return
+	} else {
+		m.delta = nil
 	}
-	m.delta = nil
+	if m.wal != nil {
+		if err := m.wal.TruncateToApplied(); err != nil {
+			return fmt.Errorf("phrasemine: discarding logged updates: %w", err)
+		}
+	}
+	return nil
 }
 
 // PendingUpdates reports the number of un-flushed document changes.
 func (m *Miner) PendingUpdates() int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
+	return m.pendingLocked()
+}
+
+// pendingLocked counts un-flushed changes under a held lock.
+func (m *Miner) pendingLocked() int {
 	if m.sh != nil {
 		return m.sh.PendingUpdates()
 	}
@@ -1110,16 +1240,158 @@ func (m *Miner) PendingUpdates() int {
 	return m.delta.Size()
 }
 
+// ErrWALAppend classifies mutation failures where the write-ahead log
+// could not durably record the mutation: the Add/Remove was NOT applied
+// (or, for a failed group-commit fsync, not acknowledged as durable) and
+// the index may no longer accept writes until the log is repaired —
+// typically by restarting on a healthy disk. The serving layer maps it to
+// HTTP 503 and degrades to read-only.
+var ErrWALAppend = errors.New("phrasemine: wal append failed")
+
+// WALStats re-exports the log counters served on /stats and /debug/vars.
+type WALStats = diskio.WALStats
+
+// WALConfig configures EnableWAL.
+type WALConfig struct {
+	// Dir is the directory holding the log file (created if absent).
+	Dir string
+	// Sync is the append durability mode: "" or "always" fsyncs every
+	// mutation, "batch" group-commits (see Config.WALSync).
+	Sync string
+	// SnapshotPath, when non-empty, is where Flush checkpoints the index
+	// so the log can be truncated: the snapshot file path of a monolithic
+	// miner, or the manifest directory of a sharded one. Leave empty to
+	// keep checkpointing manual (Save/SaveManifest embed the marker; the
+	// log is then truncated on the next reopen).
+	SnapshotPath string
+	// FS overrides the filesystem the log and checkpoints write through
+	// (the fault-injection seam); nil selects the real one.
+	FS faultfs.FS
+}
+
+// EnableWAL opens (creating if needed) the durable mutation log in
+// cfg.Dir and replays every surviving record the miner's snapshot has not
+// absorbed into the pending delta, returning the replay count. After it
+// returns, every Add/Remove is logged and fsynced before it is
+// acknowledged, and Flush checkpoints the log (see WALConfig.SnapshotPath
+// and Flush). NewMinerFromDocuments calls it automatically when
+// Config.WALDir is set; miners restored by LoadMiner, OpenMinerMapped or
+// OpenShardedMiner re-enable logging by calling it explicitly — the
+// loaded snapshot's embedded marker makes the replay skip exactly the
+// mutations already inside it.
+//
+// Corruption anywhere before the final log record refuses with an error
+// wrapping ErrCorruptSnapshot (a torn or bit-flipped tail — the only
+// damage a crash can legitimately produce — is truncated silently
+// instead). Records that replay onto the index but are refused by it
+// (for example a removal of a document index that was rolled back as
+// failed just before a crash) are skipped and counted, never fatal.
+// EnableWAL refuses while un-logged updates are pending: Flush or
+// DiscardPendingUpdates first.
+func (m *Miner) EnableWAL(cfg WALConfig) (int, error) {
+	mode, err := diskio.ParseWALSyncMode(cfg.Sync)
+	if err != nil {
+		return 0, fmt.Errorf("phrasemine: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, ErrMinerClosed
+	}
+	if m.wal != nil {
+		return 0, fmt.Errorf("phrasemine: wal already enabled (%s)", m.wal.Stats().Path)
+	}
+	if n := m.pendingLocked(); n > 0 {
+		return 0, fmt.Errorf("phrasemine: %d un-logged document updates pending; Flush or DiscardPendingUpdates before EnableWAL", n)
+	}
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	wal, records, err := diskio.OpenWAL(cfg.Dir, diskio.WALOptions{Sync: mode, Marker: m.walMarker, FS: fsys})
+	if err != nil {
+		return 0, err
+	}
+	replayed, skipped := 0, int64(0)
+	for _, rec := range records {
+		if err := m.applyRecordLocked(rec); err != nil {
+			if errors.Is(err, diskio.ErrCorruptSnapshot) {
+				wal.Close()
+				return 0, fmt.Errorf("phrasemine: wal replay: %w", err)
+			}
+			// The record is durable but its mutation was refused before
+			// the crash (and rolled back too late to unlog): skip it, as
+			// the original caller already saw the refusal.
+			skipped++
+			continue
+		}
+		replayed++
+	}
+	wal.CountReplaySkip(skipped)
+	m.wal = wal
+	m.walFS = fsys
+	m.walCheckpoint = cfg.SnapshotPath
+	return replayed, nil
+}
+
+// applyRecordLocked replays one log record under the held write lock.
+func (m *Miner) applyRecordLocked(rec diskio.WALRecord) error {
+	switch rec.Op {
+	case diskio.WALAddDocument:
+		tok := textproc.Tokenizer{EmitSentenceBreaks: true}
+		return m.addDocumentLocked(corpus.Document{
+			Tokens: tok.Tokenize(rec.Text),
+			Facets: rec.Facets,
+		})
+	case diskio.WALRemoveDocument:
+		return m.removeDocumentLocked(int(rec.Doc))
+	default:
+		return diskio.Corruptf("phrasemine: wal replay: record has unknown op %d", rec.Op)
+	}
+}
+
+// WALStats reports the mutation log's counters; ok is false when no WAL
+// is enabled.
+func (m *Miner) WALStats() (stats WALStats, ok bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.wal == nil {
+		return WALStats{}, false
+	}
+	return m.wal.Stats(), true
+}
+
 // Flush rebuilds all indexes over the updated corpus, incorporating
 // pending additions/removals (and any newly frequent phrases). The rebuild
 // itself is parallel (Config.Workers); queries are excluded for its
 // duration and resume against the fresh index.
+//
+// With a WAL enabled, a successful Flush checkpoints the log: if the
+// miner knows where its persistent form lives (EnableWAL's SnapshotPath,
+// set by the serving layer), the rebuilt index is written there
+// atomically — carrying a marker for the absorbed log prefix — and the
+// log is truncated into a fresh generation; a persistence failure leaves
+// the log intact, so no acknowledged mutation loses its durable record
+// before a snapshot holds it. Without a snapshot path the records merely
+// get marked applied and the log keeps growing until Save/SaveManifest
+// persist the index.
 func (m *Miner) Flush() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return ErrMinerClosed
 	}
+	if err := m.flushLocked(); err != nil {
+		return err
+	}
+	if m.wal != nil && m.wal.NeedsCheckpoint() {
+		return m.walCheckpointLocked()
+	}
+	return nil
+}
+
+// flushLocked is Flush's in-memory rebuild, under the held write lock.
+func (m *Miner) flushLocked() error {
 	if m.sh != nil {
 		// Sharded flush rebuilds only the touched segments (typically just
 		// the write segment) plus any segment whose phrases crossed the
@@ -1150,6 +1422,33 @@ func (m *Miner) Flush() error {
 	return nil
 }
 
+// walCheckpointLocked persists the freshly flushed index (when a
+// checkpoint destination is known) with a marker recording the absorbed
+// log prefix, then truncates the log into a new generation. Ordering is
+// the crash-safety invariant: the log shrinks only after the snapshot or
+// manifest that absorbs its records is durably renamed into place, so a
+// crash at any step reopens to either "old snapshot + full log" or "new
+// snapshot + empty/skipped log" — never a lost or doubled mutation.
+func (m *Miner) walCheckpointLocked() error {
+	if m.walCheckpoint == "" {
+		m.wal.MarkApplied()
+		return nil
+	}
+	marker := m.wal.Marker()
+	if m.sh != nil {
+		if err := m.saveManifestLocked(m.walFS, m.walCheckpoint, &marker); err != nil {
+			return fmt.Errorf("phrasemine: wal checkpoint: %w", err)
+		}
+	} else {
+		if err := diskio.WriteToFileAtomicFS(m.walFS, m.walCheckpoint, 0o644, func(w io.Writer) error {
+			return m.saveLocked(w, &marker)
+		}); err != nil {
+			return fmt.Errorf("phrasemine: wal checkpoint: %w", err)
+		}
+	}
+	return m.wal.Reset()
+}
+
 // SnapshotVersion is the on-disk snapshot format version written by Save
 // and required by LoadMiner. Snapshots of any other version are rejected
 // as stale at load time.
@@ -1157,6 +1456,12 @@ const SnapshotVersion = core.SnapshotVersion
 
 // minerConfigSection is the snapshot section holding the public Config.
 const minerConfigSection = "phrasemine/config"
+
+// minerWALSection is the snapshot section holding the WAL marker — the
+// (generation, records) log prefix this snapshot has absorbed, so replay
+// at the next open skips exactly the mutations already inside it. Only
+// written by miners with a WAL enabled; absent otherwise.
+const minerWALSection = "phrasemine/wal"
 
 // Save serializes the miner — corpus, inverted index, phrase dictionary,
 // phrase-document lists, forward index, word-specific phrase lists, and
@@ -1172,6 +1477,24 @@ func (m *Miner) Save(w io.Writer) error {
 	if m.closed {
 		return ErrMinerClosed
 	}
+	return m.saveLocked(w, m.currentWALMarker())
+}
+
+// currentWALMarker returns the marker a snapshot persisted now should
+// carry, nil without a WAL. Callers hold at least the read lock.
+func (m *Miner) currentWALMarker() *diskio.WALMarker {
+	if m.wal == nil {
+		return nil
+	}
+	marker := m.wal.Marker()
+	return &marker
+}
+
+// saveLocked is Save under a held lock (read lock from Save, write lock
+// from the Flush checkpoint — which therefore must not call Save itself).
+// A non-nil marker is embedded as the minerWALSection so a reopen skips
+// the absorbed log prefix.
+func (m *Miner) saveLocked(w io.Writer, marker *diskio.WALMarker) error {
 	if m.sh != nil {
 		// A single snapshot cannot represent a multi-segment engine;
 		// silently persisting one segment would lose the rest of the
@@ -1182,18 +1505,21 @@ func (m *Miner) Save(w io.Writer) error {
 		return fmt.Errorf("phrasemine: %d document updates pending; call Flush before Save", m.delta.Size())
 	}
 	sw := diskio.NewSnapshotWriter(SnapshotVersion)
-	saved := m.cfg
-	// Concurrency knobs are runtime properties of the loading process
-	// (LoadMiner takes its own workers bound); leaving them out keeps
-	// snapshot bytes identical across worker counts, like the index
-	// itself.
-	saved.Workers, saved.Shards = 0, 0
-	cfg, err := json.Marshal(saved)
+	cfg, err := json.Marshal(m.savedConfig())
 	if err != nil {
 		return fmt.Errorf("phrasemine: encoding config: %w", err)
 	}
 	if err := sw.Add(minerConfigSection, cfg); err != nil {
 		return err
+	}
+	if marker != nil {
+		mk, err := json.Marshal(marker)
+		if err != nil {
+			return fmt.Errorf("phrasemine: encoding wal marker: %w", err)
+		}
+		if err := sw.Add(minerWALSection, mk); err != nil {
+			return err
+		}
 	}
 	if err := m.ix.AddSnapshotSections(sw); err != nil {
 		return err
@@ -1202,6 +1528,18 @@ func (m *Miner) Save(w io.Writer) error {
 		return err
 	}
 	return nil
+}
+
+// savedConfig is the Config a snapshot or manifest records: concurrency
+// knobs are runtime properties of the loading process (LoadMiner takes
+// its own workers bound) and the WAL settings are properties of the
+// running process (EnableWAL re-arms them); leaving both out keeps
+// snapshot bytes identical across worker counts and WAL placements.
+func (m *Miner) savedConfig() Config {
+	saved := m.cfg
+	saved.Workers, saved.Shards = 0, 0
+	saved.WALDir, saved.WALSync = "", ""
+	return saved
 }
 
 // SaveFile writes a snapshot to path via Save. The snapshot is staged in a
@@ -1225,22 +1563,34 @@ func (m *Miner) SaveManifest(dir string) error {
 	if m.closed {
 		return ErrMinerClosed
 	}
+	return m.saveManifestLocked(faultfs.OS{}, dir, m.currentWALMarker())
+}
+
+// saveManifestLocked is SaveManifest under a held lock over an explicit
+// filesystem (read lock from SaveManifest, write lock from the Flush
+// checkpoint). Segment files land under generation-fresh names, the
+// manifest — carrying the marker when non-nil — commits atomically over
+// the previous one, and only then is the superseded segment generation
+// garbage-collected.
+func (m *Miner) saveManifestLocked(fsys faultfs.FS, dir string, marker *diskio.WALMarker) error {
 	if m.sh == nil {
 		return fmt.Errorf("phrasemine: miner is not sharded; use Save for a single snapshot")
 	}
-	man, err := m.sh.SaveSegments(dir)
+	man, err := m.sh.SaveSegmentsFS(fsys, dir)
 	if err != nil {
 		return err
 	}
-	saved := m.cfg
-	// Concurrency knobs are runtime properties of the loading process.
-	saved.Workers, saved.Shards = 0, 0
-	cfg, err := json.Marshal(saved)
+	cfg, err := json.Marshal(m.savedConfig())
 	if err != nil {
 		return fmt.Errorf("phrasemine: encoding config: %w", err)
 	}
 	man.Config = cfg
-	return diskio.WriteManifest(filepath.Join(dir, diskio.ManifestFileName), man)
+	man.WAL = marker
+	if err := diskio.WriteManifestFS(fsys, filepath.Join(dir, diskio.ManifestFileName), man); err != nil {
+		return err
+	}
+	core.CleanupSegments(fsys, dir, man)
+	return nil
 }
 
 // OpenShardedMiner opens a sharded miner persisted by SaveManifest. path
@@ -1268,7 +1618,7 @@ func OpenShardedMiner(path string, workers int) (*Miner, error) {
 	}
 	cfg.Workers = workers
 	cfg.Segments = sh.NumSegments()
-	return &Miner{sh: sh, cfg: cfg}, nil
+	return &Miner{sh: sh, cfg: cfg, walMarker: man.WAL}, nil
 }
 
 // LoadMiner restores a miner from a snapshot written by Save. No build
@@ -1297,16 +1647,33 @@ func LoadMiner(r io.Reader, workers int) (*Miner, error) {
 		return nil, fmt.Errorf("phrasemine: decoding config: %w", err)
 	}
 	cfg.Workers = workers
+	marker, err := snapshotWALMarker(snap.Section(minerWALSection))
+	if err != nil {
+		return nil, err
+	}
 	ix, err := core.LoadSnapshotSections(snap, workers)
 	if err != nil {
 		return nil, err
 	}
 	return &Miner{
-		ix:       ix,
-		cfg:      cfg,
-		smjCache: make(map[float64]*core.SMJIndex),
-		gmPool:   &sync.Pool{},
+		ix:        ix,
+		cfg:       cfg,
+		smjCache:  make(map[float64]*core.SMJIndex),
+		gmPool:    &sync.Pool{},
+		walMarker: marker,
 	}, nil
+}
+
+// snapshotWALMarker decodes the optional minerWALSection of a snapshot.
+func snapshotWALMarker(raw []byte, ok bool) (*diskio.WALMarker, error) {
+	if !ok {
+		return nil, nil
+	}
+	var marker diskio.WALMarker
+	if err := json.Unmarshal(raw, &marker); err != nil {
+		return nil, diskio.Corruptf("phrasemine: decoding wal marker section: %v", err)
+	}
+	return &marker, nil
 }
 
 // LoadMinerFile restores a miner from a snapshot file via LoadMiner.
@@ -1353,16 +1720,22 @@ func OpenMinerMapped(path string, workers int) (*Miner, error) {
 	}
 	cfg.Workers = workers
 	cfg.Compression = true // the mapping is the index; there is no raw form
+	marker, err := snapshotWALMarker(snap.Section(minerWALSection))
+	if err != nil {
+		snap.Close()
+		return nil, err
+	}
 	ix, err := core.OpenSnapshotSections(snap, workers)
 	if err != nil {
 		snap.Close()
 		return nil, err
 	}
 	return &Miner{
-		ix:       ix,
-		cfg:      cfg,
-		smjCache: make(map[float64]*core.SMJIndex),
-		gmPool:   &sync.Pool{},
+		ix:        ix,
+		cfg:       cfg,
+		smjCache:  make(map[float64]*core.SMJIndex),
+		gmPool:    &sync.Pool{},
+		walMarker: marker,
 	}, nil
 }
 
@@ -1378,10 +1751,17 @@ func (m *Miner) Close() error {
 		return nil
 	}
 	m.closed = true
-	if m.sh != nil {
-		return m.sh.Close()
+	var werr error
+	if m.wal != nil {
+		// Close fsyncs any batch-buffered records first, so mutations
+		// acknowledged just before shutdown stay durable.
+		werr = m.wal.Close()
+		m.wal = nil
 	}
-	return m.ix.Close()
+	if m.sh != nil {
+		return errors.Join(m.sh.Close(), werr)
+	}
+	return errors.Join(m.ix.Close(), werr)
 }
 
 // IndexStats describes the physical footprint of the miner's query-time

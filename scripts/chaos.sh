@@ -19,6 +19,14 @@
 #      normally once the storm passes;
 #   5. per-tenant quotas: with -tenant-qps set, a tenant that spends its
 #      burst gets 429 + Retry-After while other tenants still get 200.
+#   6. durable mutation log ("Durability & recovery"): mutations
+#      acknowledged over HTTP with -wal-dir set must survive kill -9
+#      before /flush — at every kill delay the restarted server replays
+#      the log, /flush absorbs the recovered delta, and the documents'
+#      phrases are served;
+#   7. a torn log tail (the only damage kill -9 can legitimately leave)
+#      must be truncated silently on restart: the server comes up, keeps
+#      the intact prefix, and keeps accepting mutations.
 #
 # Usage: scripts/chaos.sh  (no arguments; builds into a temp dir)
 set -euo pipefail
@@ -262,5 +270,97 @@ log "tenant quota smoke passed: $rejects quota rejects"
 kill -INT "$SERVER_PID"
 wait "$SERVER_PID"
 SERVER_PID=""
+
+# ------------------------------------ 6. WAL: kill -9 before /flush
+# Acknowledged mutations must survive an abrupt crash that lands before
+# any snapshot rewrite. Three mutations carrying a unique token (enough
+# documents to clear -mindf 3) are acked over HTTP, the server is killed
+# -9 at varying delays, and the restarted server must replay them from
+# the log and serve their phrase after /flush.
+log "durable mutation log: kill -9 before /flush"
+cp "$WORK/corpus.snap" "$WORK/wal-corpus.snap"
+round=0
+for delay in 0.00 0.05 0.15; do
+  round=$((round + 1))
+  token="zzdurable${round}"
+  rm -rf "$WORK/wal"
+  "$WORK/phrasemine" serve -index "$WORK/wal-corpus.snap" -addr "$ADDR" \
+    -wal-dir "$WORK/wal" > "$WORK/serve-wal.log" 2>&1 &
+  SERVER_PID=$!
+  wait_healthy
+  for i in 1 2 3; do
+    code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+      -d "{\"text\":\"the $token indicator rose sharply in period $i\"}" "$BASE/docs")
+    if [ "$code" != "202" ]; then
+      log "POST /docs got $code, want 202"
+      exit 1
+    fi
+  done
+  sleep "$delay"
+  kill -9 "$SERVER_PID" 2>/dev/null || true
+  wait "$SERVER_PID" 2>/dev/null || true
+  SERVER_PID=""
+
+  "$WORK/phrasemine" serve -index "$WORK/wal-corpus.snap" -addr "$ADDR" \
+    -wal-dir "$WORK/wal" > "$WORK/serve-wal-recovered.log" 2>&1 &
+  SERVER_PID=$!
+  wait_healthy
+  pending=$(curl -sf "$BASE/stats" \
+    | sed -n 's/.*"pending_updates": *\([0-9]*\).*/\1/p')
+  if [ "${pending:-0}" -lt 3 ]; then
+    log "restart after kill at ${delay}s replayed ${pending:-0} mutations, want >= 3"
+    exit 1
+  fi
+  curl -sf -X POST "$BASE/flush" > /dev/null
+  if ! curl -sf -X POST -d "{\"keywords\":[\"$token\"],\"k\":20}" "$BASE/mine" \
+      | grep -q "$token"; then
+    log "acked documents lost: no $token phrase after kill at ${delay}s + replay + flush"
+    exit 1
+  fi
+  kill -INT "$SERVER_PID"
+  wait "$SERVER_PID"
+  SERVER_PID=""
+  log "  acked mutations survived kill -9 at ${delay}s and flushed into the snapshot"
+done
+
+# ------------------------------------------- 7. torn wal tail heals
+# kill -9 can leave a half-written final record; the restarted server
+# must truncate it silently, keep the intact prefix, and keep serving
+# (mid-log corruption, by contrast, is refused — covered by Go tests).
+log "torn wal tail heals on restart"
+rm -rf "$WORK/wal"
+"$WORK/phrasemine" serve -index "$WORK/wal-corpus.snap" -addr "$ADDR" \
+  -wal-dir "$WORK/wal" > "$WORK/serve-torn.log" 2>&1 &
+SERVER_PID=$!
+wait_healthy
+for i in 1 2 3; do
+  curl -sf -X POST -d "{\"text\":\"torn tail round $i document\"}" "$BASE/docs" > /dev/null
+done
+kill -9 "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+size=$(wc -c < "$WORK/wal/wal.log")
+truncate -s $((size - 7)) "$WORK/wal/wal.log"
+"$WORK/phrasemine" serve -index "$WORK/wal-corpus.snap" -addr "$ADDR" \
+  -wal-dir "$WORK/wal" > "$WORK/serve-torn-recovered.log" 2>&1 &
+SERVER_PID=$!
+wait_healthy
+pending=$(curl -sf "$BASE/stats" \
+  | sed -n 's/.*"pending_updates": *\([0-9]*\).*/\1/p')
+if [ "${pending:-0}" -ne 2 ]; then
+  log "torn tail: want the 2 intact records replayed, got ${pending:-0}"
+  exit 1
+fi
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+  -d '{"text":"a fresh document after the torn tail healed"}' "$BASE/docs")
+if [ "$code" != "202" ]; then
+  log "mutation after torn-tail recovery got $code, want 202"
+  exit 1
+fi
+kill -INT "$SERVER_PID"
+wait "$SERVER_PID"
+SERVER_PID=""
+log "torn wal tail truncated cleanly; intact prefix replayed, log writable again"
 
 log "all chaos legs passed"
