@@ -15,6 +15,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 
 	"phrasemine/internal/bitpack"
@@ -993,4 +994,151 @@ func BenchmarkCanceledMine(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- PR-10: live tail ------------------------------------------------------
+
+// benchTailTexts reassembles up to n document texts from the benchmark
+// corpus for feeding the live tail, so ingested documents have realistic
+// phrase density.
+func benchTailTexts(b *testing.B, ds *experiments.Dataset, n int) []string {
+	b.Helper()
+	tokens, err := ds.Corpus.TokenSlices()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if n > len(tokens) {
+		n = len(tokens)
+	}
+	texts := make([]string, n)
+	for i := 0; i < n; i++ {
+		texts[i] = strings.Join(tokens[i], " ")
+	}
+	return texts
+}
+
+// BenchmarkLiveTailIngest prices one streaming Add on a tail-enabled
+// miner: tokenize, delta bookkeeping, the exact tail buffer, and the
+// count-min sketch updates. ns/op is nanoseconds per ingested document.
+// The pending buffer is discarded off the clock every few thousand
+// documents so the measurement stays flat instead of tracking an
+// ever-growing tail.
+func BenchmarkLiveTailIngest(b *testing.B) {
+	ds := benchDataset(b, experiments.Reuters)
+	texts := benchTailTexts(b, ds, 256)
+	m, err := newMiner(ds.Corpus, Config{MinDocFreq: 3, Tail: TailConfig{Enabled: true}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%4096 == 0 {
+			b.StopTimer()
+			if err := m.DiscardPendingUpdates(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		if err := m.Add(Document{Text: texts[i%len(texts)]}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchmarkLiveTailQuery measures Mine latency with tailDocs un-flushed
+// documents buffered under the given tail configuration.
+func benchmarkLiveTailQuery(b *testing.B, segments int, tail TailConfig, tailDocs int) {
+	ds := benchDataset(b, experiments.Reuters)
+	m, err := newMiner(ds.Corpus, Config{MinDocFreq: 3, Segments: segments, Tail: tail})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	for _, text := range benchTailTexts(b, ds, tailDocs) {
+		if err := m.Add(Document{Text: text}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// The default algorithm resolution (SMJ at the default fraction) is
+	// right for the monolithic engine; on the sharded engine SMJ is the
+	// exhaustive scatter scan, so use NRA like the sharded benchmarks
+	// above.
+	var qopt QueryOptions
+	if segments > 1 {
+		qopt.Algorithm = AlgoNRA
+	}
+	queries := ds.Features
+	for _, kw := range queries {
+		// Warm the lazy engine structures (tallies, cursor caches) so the
+		// timed loop measures steady-state latency, like the sharded
+		// benchmarks above.
+		if _, err := m.Mine(kw, OR, qopt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kw := queries[i%len(queries)]
+		if _, err := m.Mine(kw, OR, qopt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLiveTailQuery shows the per-query cost of serving with
+// un-flushed documents. On the monolithic engine ("base"/"exact"/"sketch",
+// 0 vs 64 pending documents) the cost is dominated by the pre-existing
+// delta-corrected list scan, not the tail merge — the exact- and
+// sketch-path numbers land within noise of each other and of a tail-less
+// delta query. The sharded pair isolates the tail itself: sharded engines
+// keep pending documents invisible to the segments until Flush, so
+// "sharded-tail" vs "sharded-base" is the pure tail-merge overhead.
+func BenchmarkLiveTailQuery(b *testing.B) {
+	b.Run("base", func(b *testing.B) {
+		benchmarkLiveTailQuery(b, 0, TailConfig{}, 0)
+	})
+	b.Run("exact", func(b *testing.B) {
+		benchmarkLiveTailQuery(b, 0, TailConfig{Enabled: true, ExactThreshold: 1 << 20}, 64)
+	})
+	b.Run("sketch", func(b *testing.B) {
+		benchmarkLiveTailQuery(b, 0, TailConfig{Enabled: true, ExactThreshold: -1}, 64)
+	})
+	b.Run("sharded-base", func(b *testing.B) {
+		benchmarkLiveTailQuery(b, 4, TailConfig{}, 0)
+	})
+	b.Run("sharded-tail", func(b *testing.B) {
+		benchmarkLiveTailQuery(b, 4, TailConfig{Enabled: true, ExactThreshold: 1 << 20}, 64)
+	})
+}
+
+// BenchmarkLiveTailCompact prices compaction: each iteration folds a
+// 64-document tail into the base index via Flush. Miner construction and
+// the Adds happen off the clock, so ns/op is the rebuild alone; docs/s is
+// the sustained compaction throughput.
+func BenchmarkLiveTailCompact(b *testing.B) {
+	ds := benchDataset(b, experiments.Reuters)
+	texts := benchTailTexts(b, ds, 64)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m, err := newMiner(ds.Corpus, Config{MinDocFreq: 3, Tail: TailConfig{Enabled: true}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, text := range texts {
+			if err := m.Add(Document{Text: text}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if err := m.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := m.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(len(texts))*float64(b.N)/b.Elapsed().Seconds(), "docs/s")
 }

@@ -30,6 +30,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -76,7 +77,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   phrasemine build-index -in corpus.txt -out corpus.snap [-mindf N] [-workers N] [-compress] [-segments N]
-  phrasemine serve (-index corpus.snap | -manifest dir | -in corpus.txt) [-addr :8080] [-cache N] [-query-timeout D] [-max-inflight N] [-queue-timeout D] [-tenant-qps F] [-slow-query D] [-workers N] [-pprof] [-mmap] [-compress] [-segments N] [-wal-dir dir] [-wal-sync always|batch]
+  phrasemine serve (-index corpus.snap | -manifest dir | -in corpus.txt) [-addr :8080] [-cache N] [-query-timeout D] [-max-inflight N] [-queue-timeout D] [-tenant-qps F] [-slow-query D] [-workers N] [-pprof] [-mmap] [-compress] [-segments N] [-wal-dir dir] [-wal-sync always|batch] [-live-tail] [-tail-exact-threshold N] [-tail-width N] [-tail-depth N] [-tail-window D] [-tail-periods N] [-compact-interval D] [-compact-max-docs N]
   phrasemine index -in corpus.txt -out prefix [-mindf N] [-workers N]
   phrasemine query (-in corpus.txt | -index prefix) -keywords "w1 w2" [-op AND|OR] [-k N] [-algo nra|smj|gm|exact] [-frac F] [-workers N]
   phrasemine stats -in corpus.txt [-mindf N] [-workers N]
@@ -106,7 +107,16 @@ and replay into the pending delta on restart; POST /flush checkpoints
 the rebuilt index back into -index/-manifest and truncates the log.
 -wal-sync batch trades one fsync per mutation for group commit. The log
 has a single writer, so -wal-dir disables hot reload (POST /reload and
-SIGHUP).`)
+SIGHUP).
+
+serve keeps a live tail by default (-live-tail=false turns it off):
+freshly POSTed documents answer queries immediately, exactly while the
+tail holds at most -tail-exact-threshold documents and via count-min
+sketch upper bounds above it (responses carry "approximate" and
+"tail_docs" markers). A "window":"1h" field on /mine mines only the
+trailing hour from -tail-periods rotating -tail-window sketches.
+-compact-interval / -compact-max-docs fold the tail into real segments
+in the background (a flush plus WAL checkpoint, cache invalidated).`)
 }
 
 // forEachDocLine streams a one-document-per-line corpus file, calling fn
@@ -272,6 +282,14 @@ func cmdServe(args []string) error {
 	segments := fs.Int("segments", 0, "sharded engine segment count (-in mode; <= 1 is monolithic)")
 	walDir := fs.String("wal-dir", "", "durable mutation log directory: mutations are logged and fsynced here before they are acknowledged, survive kill -9, and replay on restart (disables hot reload)")
 	walSync := fs.String("wal-sync", "always", "mutation log durability: always (one fsync per mutation) or batch (concurrent mutations share fsyncs); only meaningful with -wal-dir")
+	liveTail := fs.Bool("live-tail", true, "serve freshly POSTed documents immediately from the live tail, no flush needed")
+	tailExact := fs.Int("tail-exact-threshold", 0, "tail size up to which tail contributions are exact; above it the count-min sketch answers and results are marked approximate (0 = default 256)")
+	tailWidth := fs.Int("tail-width", 0, "count-min sketch width in counters per row (0 = default 8192)")
+	tailDepth := fs.Int("tail-depth", 0, "count-min sketch rows (0 = default 4)")
+	tailWindow := fs.Duration("tail-window", 0, "rotation period of windowed mining; \"window\" queries round up to whole periods (0 = default 1m)")
+	tailPeriods := fs.Int("tail-periods", 0, "rotation ring size; windowed history covers tail-window x tail-periods (0 = default 64)")
+	compactInterval := fs.Duration("compact-interval", 0, "fold the live tail into real segments this often when updates are pending (0 disables the timer trigger)")
+	compactMaxDocs := fs.Int("compact-max-docs", 0, "fold the live tail once it buffers this many documents (0 disables the size trigger)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -328,6 +346,39 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("one of -index, -manifest or -in is required")
 	}
 
+	tailCfg := phrasemine.TailConfig{
+		ExactThreshold: *tailExact,
+		SketchWidth:    *tailWidth,
+		SketchDepth:    *tailDepth,
+		WindowPeriod:   *tailWindow,
+		WindowPeriods:  *tailPeriods,
+	}
+	if *liveTail {
+		// The tail must be enabled before the mutation log attaches so WAL
+		// replay repopulates it: recovered-but-uncompacted documents stay
+		// query-visible across a crash.
+		if err := m.EnableLiveTail(tailCfg); err != nil {
+			m.Close()
+			return err
+		}
+		if reload != nil {
+			// A hot-reloaded generation starts without a tail; re-enable it
+			// so POST /reload does not silently turn live serving off.
+			open := reload
+			reload = func() (*phrasemine.Miner, error) {
+				fresh, err := open()
+				if err != nil {
+					return nil, err
+				}
+				if err := fresh.EnableLiveTail(tailCfg); err != nil {
+					fresh.Close()
+					return nil, err
+				}
+				return fresh, nil
+			}
+		}
+	}
+
 	if *walDir != "" {
 		// Flush checkpoints the rebuilt index to wherever the persistent
 		// form lives so the log can truncate; an -in miner has no such
@@ -373,6 +424,15 @@ func cmdServe(args []string) error {
 	// An -in miner has no on-disk generation to reopen; reload stays nil
 	// and POST /reload answers 501.
 	srvr := server.New(m, opts)
+	var stopCompact func()
+	if *compactInterval > 0 || *compactMaxDocs > 0 {
+		stopCompact, err = startCompactor(srvr, *compactInterval, *compactMaxDocs)
+		if err != nil {
+			m.Close()
+			return err
+		}
+		fmt.Printf("auto-compaction on (interval=%v, max-docs=%d)\n", *compactInterval, *compactMaxDocs)
+	}
 	var handler http.Handler = srvr
 	if *pprofOn {
 		// Profiling is an opt-in flag, not a build variant, so production
@@ -432,11 +492,61 @@ func cmdServe(args []string) error {
 	// SIGINT/SIGTERM rather than relying on process teardown. Close the
 	// server's current miner, not the one opened above — a reload may have
 	// swapped generations (each swap closes its predecessor).
+	if stopCompact != nil {
+		stopCompact()
+	}
 	if err := srvr.Miner().Close(); err != nil {
 		return err
 	}
 	fmt.Println("closed index")
 	return nil
+}
+
+// startCompactor arms the miner's background tail compaction
+// (StartAutoCompact, with the server's cache invalidation as the
+// post-compaction hook) and keeps it armed across hot reloads: the
+// compaction goroutine exits with its generation, so a watcher re-arms it
+// on the swapped-in miner. The returned stop function halts both and is
+// safe to call once.
+func startCompactor(srvr *server.Server, interval time.Duration, maxDocs int) (func(), error) {
+	cur := srvr.Miner()
+	stop, err := cur.StartAutoCompact(interval, maxDocs, srvr.InvalidateCache)
+	if err != nil {
+		return nil, err
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		ticker := time.NewTicker(time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				stop()
+				return
+			case <-ticker.C:
+				m := srvr.Miner()
+				if m == cur {
+					continue
+				}
+				stop()
+				next, err := m.StartAutoCompact(interval, maxDocs, srvr.InvalidateCache)
+				if err != nil {
+					// Only a missing trigger errors here, and ours is set;
+					// keep watching rather than dying silently.
+					fmt.Fprintf(os.Stderr, "auto-compaction re-arm: %v\n", err)
+					continue
+				}
+				cur, stop = m, next
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-finished
+	}, nil
 }
 
 func buildIndex(path string, minDF, workers int) (*core.Index, error) {

@@ -566,3 +566,20 @@ func (ix *Index) GMCompressed() (*baseline.GMCompressed, error) {
 	}
 	return baseline.NewGMCompressed(ix.Inverted, ix.Forward, ix.PhraseDF, ix.Dict)
 }
+
+// PhraseDocFreqByText reports |docs(D, p)| for a phrase given by its
+// canonical text, zero (with no error) when the phrase is not in the
+// dictionary — the base document frequency the live-tail gather merge
+// combines with tail counts. On a mapped index the first call
+// materializes the lazily held document sections; a corrupt section
+// surfaces as an error wrapping diskio.ErrCorruptSnapshot.
+func (ix *Index) PhraseDocFreqByText(phrase string) (uint32, error) {
+	id, ok, err := ix.Dict.ID(phrase)
+	if err != nil || !ok {
+		return 0, err
+	}
+	if err := ix.materializeDocs(); err != nil {
+		return 0, err
+	}
+	return ix.PhraseDF[id], nil
+}

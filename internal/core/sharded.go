@@ -1517,3 +1517,15 @@ func (sx *ShardedIndex) ensureTallies() error {
 	}
 	return nil
 }
+
+// PhraseDocFreqByText reports the corpus-wide document frequency of a
+// phrase given by its canonical text, zero (with no error) when it is not
+// in the global dictionary — the sharded counterpart of
+// Index.PhraseDocFreqByText for the live-tail gather merge.
+func (sx *ShardedIndex) PhraseDocFreqByText(phrase string) (uint32, error) {
+	id, ok, err := sx.dict.ID(phrase)
+	if err != nil || !ok {
+		return 0, err
+	}
+	return sx.globalDF[id], nil
+}

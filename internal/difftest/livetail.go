@@ -1,0 +1,241 @@
+package difftest
+
+// Live-tail equivalence mode: the streaming analogue of the differential
+// contract, in three legs.
+//
+//   - Sketch bound: over the same ingested documents, a sketch-path tail
+//     must never undercount the exact-path tail, must never exceed a
+//     phrase's exact tail document frequency, and every raw feature×phrase
+//     pair estimate must sit within the tail's published error bound
+//     (PairBound) of the true pair count. The corpora are seeded, so the
+//     probabilistic bound is checked on a fixed, reproducible stream.
+//
+//   - Live visibility: documents added to a tail-enabled miner answer
+//     queries before any Flush, with the tail markers (TailDocs,
+//     Approximate on the sketch path) set truthfully.
+//
+//   - Post-compaction bit-identity: a miner that ingested part of its
+//     corpus through the live tail and then compacted (Flush) must answer
+//     every harvested query bit-identically — phrase strings and the raw
+//     float bits of Score and Interestingness — to a miner batch-built
+//     from the full corpus, on both the monolithic and sharded engines
+//     and both list algorithms. Compaction must be invisible.
+//
+// Hard violations land in Report.Failures, as in every other mode.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"phrasemine"
+	"phrasemine/internal/corpus"
+	"phrasemine/internal/livetail"
+	"phrasemine/internal/synth"
+)
+
+// RunLiveTailEquivalence executes the live-tail differential over every
+// corpus in opt.
+func RunLiveTailEquivalence(opt Options) (*Report, error) {
+	if opt.K <= 0 {
+		opt.K = 5
+	}
+	rep := &Report{
+		MeanPrecision: map[Key]float64{},
+		precisionSum:  map[Key]float64{},
+		precisionN:    map[Key]int{},
+	}
+	for _, cfg := range opt.Corpora {
+		if err := runLiveTailCorpus(rep, cfg, opt); err != nil {
+			return nil, fmt.Errorf("difftest: live-tail corpus %s: %w", cfg.Name, err)
+		}
+	}
+	return rep, nil
+}
+
+func runLiveTailCorpus(rep *Report, cfg synth.Config, opt Options) error {
+	s, err := prepare(cfg, opt)
+	if err != nil {
+		return err
+	}
+	tokens, err := s.c.TokenSlices()
+	if err != nil {
+		return err
+	}
+	queries := append(append([][]string(nil), s.single...), s.multi...)
+
+	if err := checkSketchBound(rep, cfg.Name, tokens, queries); err != nil {
+		return err
+	}
+
+	texts := make([]string, len(tokens))
+	for d, ts := range tokens {
+		texts[d] = strings.Join(ts, " ")
+	}
+	// The last fifth of the corpus arrives through the live tail; the rest
+	// is the batch-built base.
+	split := len(texts) - len(texts)/5
+	if split == len(texts) {
+		split = len(texts) - 1
+	}
+
+	batch, err := phrasemine.NewMinerFromTexts(texts, phrasemine.Config{Workers: opt.Workers})
+	if err != nil {
+		return err
+	}
+	defer batch.Close()
+
+	miners := []struct {
+		name string
+		cfg  phrasemine.Config
+	}{
+		{"monolithic", phrasemine.Config{Workers: opt.Workers, Tail: phrasemine.TailConfig{Enabled: true}}},
+		{"sharded", phrasemine.Config{Workers: opt.Workers, Segments: 4, Tail: phrasemine.TailConfig{Enabled: true}}},
+	}
+	for _, eng := range miners {
+		live, err := phrasemine.NewMinerFromTexts(texts[:split], eng.cfg)
+		if err != nil {
+			return err
+		}
+		for _, text := range texts[split:] {
+			if err := live.Add(phrasemine.Document{Text: text}); err != nil {
+				live.Close()
+				return err
+			}
+		}
+
+		checkLiveVisibility(rep, cfg.Name, eng.name, live, queries, opt.K)
+
+		if err := live.Flush(); err != nil {
+			live.Close()
+			return err
+		}
+		checkPostCompaction(rep, cfg.Name, eng.name, batch, live, queries, opt.K)
+		live.Close()
+	}
+	return nil
+}
+
+// checkSketchBound ingests every document into a forced-sketch tail and an
+// exact twin and compares their answers per query and per raw pair.
+func checkSketchBound(rep *Report, name string, tokens [][]string, queries [][]string) error {
+	mk := func(threshold int) (*livetail.Tail, error) {
+		return livetail.New(livetail.Config{ExactThreshold: threshold, MinWords: 1, MaxWords: 3})
+	}
+	sk, err := mk(-1) // sketch path from the first document
+	if err != nil {
+		return err
+	}
+	ex, err := mk(1 << 30) // exact path always
+	if err != nil {
+		return err
+	}
+	for _, ts := range tokens {
+		sk.Add(corpus.Document{Tokens: ts})
+		ex.Add(corpus.Document{Tokens: ts})
+	}
+	bound := int(sk.PairBound())
+
+	for _, op := range []corpus.Operator{corpus.OpAND, corpus.OpOR} {
+		for _, kws := range queries {
+			q := corpus.NewQuery(op, kws...)
+			skC, _, approx := sk.Counts(q)
+			if !approx {
+				rep.failf("%s sketch %v: forced-sketch tail answered exactly", name, q)
+				continue
+			}
+			exC, _, approxE := ex.Counts(q)
+			if approxE {
+				rep.failf("%s sketch %v: exact tail answered approximately", name, q)
+				continue
+			}
+			for p, want := range exC {
+				got := skC[p]
+				if got < want {
+					rep.failf("%s sketch %v: phrase %q undercounted: sketch %d < exact %d", name, q, p, got, want)
+				}
+				if df := sk.DF(p); got > df {
+					rep.failf("%s sketch %v: phrase %q count %d exceeds tail df %d", name, q, p, got, df)
+				}
+			}
+			// The raw pair estimates behind the aggregate: each must cover
+			// the true pair count and overshoot it by at most PairBound.
+			for _, f := range kws {
+				truePairs, _, _ := ex.Counts(corpus.NewQuery(corpus.OpOR, f))
+				for p, want := range truePairs {
+					got := int(sk.PairEstimate(f, p))
+					if got < want {
+						rep.failf("%s sketch pair (%s,%q): estimate %d < true %d", name, f, p, got, want)
+					}
+					if got-want > bound {
+						rep.failf("%s sketch pair (%s,%q): estimate %d overshoots true %d beyond bound %d",
+							name, f, p, got, want, bound)
+					}
+				}
+			}
+			rep.Cases++
+		}
+	}
+	return nil
+}
+
+// checkLiveVisibility runs the workload against the un-flushed miner: every
+// answer must carry truthful tail markers, and a consulted tail must report
+// at least one document.
+func checkLiveVisibility(rep *Report, name, eng string, live *phrasemine.Miner, queries [][]string, k int) {
+	st, ok := live.TailStats()
+	if !ok || st.Docs == 0 {
+		rep.failf("%s %s live: tail empty before flush: %+v", name, eng, st)
+		return
+	}
+	for _, op := range []phrasemine.Operator{phrasemine.AND, phrasemine.OR} {
+		for _, kws := range queries {
+			mined, err := live.MineDetailed(context.Background(), kws, op, phrasemine.QueryOptions{K: k})
+			if err != nil {
+				rep.failf("%s %s live %v: %v", name, eng, kws, err)
+				continue
+			}
+			if mined.TailDocs < 0 || mined.TailDocs > st.Docs {
+				rep.failf("%s %s live %v: TailDocs %d outside [0,%d]", name, eng, kws, mined.TailDocs, st.Docs)
+			}
+			if mined.Approximate && mined.TailDocs == 0 {
+				rep.failf("%s %s live %v: approximate answer without tail documents", name, eng, kws)
+			}
+			rep.Cases++
+		}
+	}
+}
+
+// checkPostCompaction compares the compacted live miner against the
+// batch-built one, bit for bit.
+func checkPostCompaction(rep *Report, name, eng string, batch, live *phrasemine.Miner, queries [][]string, k int) {
+	if st, ok := live.TailStats(); !ok || st.Docs != 0 {
+		rep.failf("%s %s compacted: tail not empty after flush: %+v", name, eng, st)
+	}
+	for _, op := range []phrasemine.Operator{phrasemine.AND, phrasemine.OR} {
+		for _, algo := range []phrasemine.Algorithm{phrasemine.AlgoNRA, phrasemine.AlgoSMJ} {
+			for _, kws := range queries {
+				qopt := phrasemine.QueryOptions{K: k, Algorithm: algo}
+				want, wantErr := batch.Mine(kws, op, qopt)
+				mined, gotErr := live.MineDetailed(context.Background(), kws, op, qopt)
+				if (wantErr == nil) != (gotErr == nil) {
+					rep.failf("%s %s/%s %v: error asymmetry after compaction: %v vs %v",
+						name, eng, algo, kws, wantErr, gotErr)
+					continue
+				}
+				if wantErr != nil {
+					continue
+				}
+				if mined.TailDocs != 0 || mined.Approximate {
+					rep.failf("%s %s/%s %v: compacted answer still carries tail markers: %+v",
+						name, eng, algo, kws, mined)
+				}
+				if !sameResults(want, mined.Results) {
+					rep.failf("%s %s/%s %v: compacted miner diverges from batch build:\n  batch: %v\n  live:  %v",
+						name, eng, algo, kws, want, mined.Results)
+				}
+				rep.Cases++
+			}
+		}
+	}
+}

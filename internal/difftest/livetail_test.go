@@ -1,0 +1,17 @@
+package difftest
+
+import "testing"
+
+func TestLiveTailEquivalence(t *testing.T) {
+	rep, err := RunLiveTailEquivalence(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Failures {
+		t.Error(f)
+	}
+	if rep.Cases == 0 {
+		t.Fatal("live-tail differential ran zero cases")
+	}
+	t.Logf("live-tail differential: %d cases, %d failures", rep.Cases, len(rep.Failures))
+}

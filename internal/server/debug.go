@@ -47,6 +47,11 @@ var (
 	// statDegraded counts Partial queries answered from a subset of
 	// segments because the deadline expired mid-gather.
 	statDegraded = expvar.NewInt("phrasemine_degraded_total")
+	// statApproximate counts answers carrying sketch-estimated tail
+	// contributions (Mined.Approximate): the tail outgrew its exact-scan
+	// threshold, or the query was windowed. Such answers are upper-bound
+	// estimates and are never cached.
+	statApproximate = expvar.NewInt("phrasemine_approximate_total")
 )
 
 // gaugeMiner is the miner behind the index-memory gauges: the most
@@ -173,6 +178,21 @@ func init() {
 	expvar.Publish("phrasemine_wal_append_errors", expvar.Func(walGauge(func(st phrasemine.WALStats) int64 {
 		return st.AppendErrors
 	})))
+	// Live-tail gauges, published as one variable like the index stats: a
+	// single TailStats snapshot per scrape (buffered docs, distinct
+	// phrases, sketch footprint, the current pair-estimate error bound).
+	// Reports an empty object when the serving miner has no tail.
+	expvar.Publish("phrasemine_tail_stats", expvar.Func(func() any {
+		m := gaugeMiner.Load()
+		if m == nil {
+			return phrasemine.TailStats{}
+		}
+		st, ok := m.TailStats()
+		if !ok {
+			return phrasemine.TailStats{}
+		}
+		return st
+	}))
 	// Latency histograms, one map per algorithm with cumulative bucket
 	// counts (le_<ms>) and a millisecond sum.
 	expvar.Publish("phrasemine_query_latency_ms", expvar.Func(func() any {

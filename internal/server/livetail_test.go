@@ -1,0 +1,294 @@
+package server
+
+// Live-tail serving behavior plus the two regression suites this PR's
+// bugfix sweep pins down: the cache-key defaults drift (a request spelling
+// the default k/fraction explicitly must share a cache entry with one
+// leaving them zero, and crafted keywords must not collide keys) and the
+// sticky read-only latch (a successful hot reload reopens from durable
+// state, so it must clear the latch).
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"phrasemine"
+	"phrasemine/internal/diskio/faultfs"
+)
+
+// newTailServer builds a server over a tail-enabled miner: the test corpus
+// plus whatever documents the test Adds, query-visible with no Flush.
+func newTailServer(t *testing.T, tail phrasemine.TailConfig) *Server {
+	t.Helper()
+	var texts []string
+	for round := 0; round < 6; round++ {
+		texts = append(texts,
+			"crude oil production quotas were discussed at the energy summit",
+			"wheat and grain exports fell sharply after the harvest report",
+		)
+	}
+	tail.Enabled = true
+	m, err := phrasemine.NewMinerFromTexts(texts, phrasemine.Config{MinDocFreq: 2, Tail: tail})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return New(m, Options{})
+}
+
+func TestCacheKeyDefaultsShareOneEntry(t *testing.T) {
+	// Unit level: the key itself must be identical however the defaults
+	// are spelled. Before the fix the handler re-derived the defaults by
+	// hand, so the two spellings could drift into distinct entries.
+	dflt, err := parseMineRequest(MineRequest{Keywords: []string{"trade"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := parseMineRequest(MineRequest{
+		Keywords: []string{"trade"},
+		K:        phrasemine.DefaultK,
+		Fraction: phrasemine.DefaultListFraction,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dflt.cacheKey != explicit.cacheKey {
+		t.Fatalf("default-spelled and explicit-spelled keys differ:\n  %q\n  %q", dflt.cacheKey, explicit.cacheKey)
+	}
+
+	// End to end: the second spelling must hit the first one's entry.
+	s := newTestServer(t, Options{})
+	if w := doJSON(t, s, http.MethodPost, "/mine", MineRequest{Keywords: []string{"trade"}}); w.Code != http.StatusOK {
+		t.Fatalf("mine = %d: %s", w.Code, w.Body)
+	}
+	w := doJSON(t, s, http.MethodPost, "/mine", MineRequest{
+		Keywords: []string{"trade"},
+		K:        phrasemine.DefaultK,
+		Fraction: phrasemine.DefaultListFraction,
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("explicit-default mine = %d: %s", w.Code, w.Body)
+	}
+	if !decode[MineResponse](t, w).Cached {
+		t.Fatal("explicit-default request missed the default-spelled request's cache entry")
+	}
+}
+
+func TestCacheKeyCraftedKeywordsCannotCollide(t *testing.T) {
+	// Facet keywords pass through normalization verbatim, so before the
+	// keywords were quoted, a keyword embedding the key's join byte could
+	// masquerade as a different keyword set and poison its cache entry.
+	cases := [][2][]string{
+		{{"v:a\x1fb"}, {"v:a", "b"}}, // the old raw join byte
+		{{"v:a,b"}, {"v:a", "b"}},    // the new separator
+		{{`v:a","b`}, {"v:a", "b"}},  // quote-character smuggling
+		{{"v:a|and"}, {"v:a"}},       // the field separator + op name
+	}
+	for _, c := range cases {
+		a, err := parseMineRequest(MineRequest{Keywords: c[0]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := parseMineRequest(MineRequest{Keywords: c[1]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.cacheKey == b.cacheKey {
+			t.Errorf("keywords %q and %q collide on cache key %q", c[0], c[1], a.cacheKey)
+		}
+	}
+}
+
+func TestReloadClearsReadOnlyLatch(t *testing.T) {
+	// Latch the server read-only through the real path — a WAL append the
+	// disk refuses — then hot-reload. The fresh generation reopened from
+	// durable state, so writes must flow again; before the fix the latch
+	// outlived every reload and only a process restart cleared it.
+	_, open := mappedFixture(t)
+	ffs := faultfs.NewFault(faultfs.NewMem())
+	m := newWALMiner(t, ffs, "wal")
+	s := New(m, Options{Reload: open})
+
+	ffs.CrashAt(ffs.Ops() + 1)
+	if w := doJSON(t, s, http.MethodPost, "/docs", AddDocRequest{Text: "doomed append"}); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("POST /docs with dead log: %d %s", w.Code, w.Body)
+	}
+	if st := getStats(t, s); !st.Durability.ReadOnly {
+		t.Fatalf("latch not set: %+v", st.Durability)
+	}
+
+	if w := doJSON(t, s, http.MethodPost, "/reload", nil); w.Code != http.StatusOK {
+		t.Fatalf("reload = %d: %s", w.Code, w.Body)
+	}
+	if st := getStats(t, s); st.Durability.ReadOnly {
+		t.Fatalf("latch survived the reload: %+v", st.Durability)
+	}
+	if w := doJSON(t, s, http.MethodPost, "/docs", AddDocRequest{Text: "writes flow again after reload"}); w.Code != http.StatusAccepted {
+		t.Fatalf("POST /docs after reload: %d %s", w.Code, w.Body)
+	}
+	s.Miner().Close()
+}
+
+func TestMineServesLiveTailWithoutFlush(t *testing.T) {
+	s := newTailServer(t, phrasemine.TailConfig{})
+	for i := 0; i < 2; i++ {
+		w := doJSON(t, s, http.MethodPost, "/docs", AddDocRequest{
+			Text: fmt.Sprintf("aurora borealis forecast issued for tonight, run %d", i),
+		})
+		if w.Code != http.StatusAccepted {
+			t.Fatalf("POST /docs: %d %s", w.Code, w.Body)
+		}
+	}
+
+	req := MineRequest{Keywords: []string{"aurora"}, K: 50}
+	w := doJSON(t, s, http.MethodPost, "/mine", req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("mine = %d: %s", w.Code, w.Body)
+	}
+	resp := decode[MineResponse](t, w)
+	if resp.TailDocs != 2 || resp.Approximate {
+		t.Fatalf("want tail_docs=2 approximate=false, got %+v", resp)
+	}
+	found := false
+	for _, r := range resp.Results {
+		if r.Phrase == "aurora borealis forecast" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fresh phrase not served from the tail: %+v", resp.Results)
+	}
+
+	// Tail-served answers are never cached: the tail mutates under them.
+	w = doJSON(t, s, http.MethodPost, "/mine", req)
+	if resp2 := decode[MineResponse](t, w); resp2.Cached {
+		t.Fatal("tail-served answer was cached")
+	}
+
+	// /stats reports the tail block while documents are buffered.
+	if st := getStats(t, s); st.Tail == nil || st.Tail.Docs != 2 {
+		t.Fatalf("stats tail block = %+v, want 2 buffered docs", st.Tail)
+	}
+
+	// After compaction the same query is cacheable again.
+	if w := doJSON(t, s, http.MethodPost, "/flush", nil); w.Code != http.StatusOK {
+		t.Fatalf("flush = %d: %s", w.Code, w.Body)
+	}
+	if st := getStats(t, s); st.Tail == nil || st.Tail.Docs != 0 {
+		t.Fatalf("stats tail block after flush = %+v, want empty tail", st.Tail)
+	}
+	w = doJSON(t, s, http.MethodPost, "/mine", req)
+	if decode[MineResponse](t, w).Cached {
+		t.Fatal("first post-flush answer reported cached")
+	}
+	w = doJSON(t, s, http.MethodPost, "/mine", req)
+	if !decode[MineResponse](t, w).Cached {
+		t.Fatal("post-flush answer was not cached on repeat")
+	}
+}
+
+func TestMineWindowEndToEnd(t *testing.T) {
+	s := newTailServer(t, phrasemine.TailConfig{})
+	before := expvar.Get("phrasemine_approximate_total").(*expvar.Int).Value()
+	w := doJSON(t, s, http.MethodPost, "/docs", AddDocRequest{Text: "meteor shower peaks over the northern hemisphere"})
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("POST /docs: %d %s", w.Code, w.Body)
+	}
+
+	req := MineRequest{Keywords: []string{"meteor"}, K: 50, Window: "1h"}
+	w = doJSON(t, s, http.MethodPost, "/mine", req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("windowed mine = %d: %s", w.Code, w.Body)
+	}
+	resp := decode[MineResponse](t, w)
+	if !resp.Approximate {
+		t.Fatalf("windowed answer not marked approximate: %+v", resp)
+	}
+	found := false
+	for _, r := range resp.Results {
+		if r.Phrase == "meteor shower peaks" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("windowed answer missing the fresh phrase: %+v", resp.Results)
+	}
+	if got := expvar.Get("phrasemine_approximate_total").(*expvar.Int).Value(); got <= before {
+		t.Fatalf("approximate counter did not advance: %d -> %d", before, got)
+	}
+
+	// Windowed answers are moving targets: never cached, and a repeat must
+	// not even consult the cache.
+	w = doJSON(t, s, http.MethodPost, "/mine", req)
+	if decode[MineResponse](t, w).Cached {
+		t.Fatal("windowed answer served from cache")
+	}
+
+	// Malformed and rejected windows map to 400.
+	for _, bad := range []string{"soon", "-5m", "0s"} {
+		w = doJSON(t, s, http.MethodPost, "/mine", MineRequest{Keywords: []string{"meteor"}, Window: bad})
+		if w.Code != http.StatusBadRequest {
+			t.Fatalf("window %q = %d, want 400", bad, w.Code)
+		}
+	}
+	// The miner itself rejects windowed GM (no windowed form): mapped to
+	// 422 like the other unprocessable option combinations.
+	w = doJSON(t, s, http.MethodPost, "/mine", MineRequest{Keywords: []string{"meteor"}, Window: "1h", Algorithm: "gm"})
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("windowed gm = %d, want 422: %s", w.Code, w.Body)
+	}
+}
+
+func TestMineBatchCarriesTailMarkers(t *testing.T) {
+	s := newTailServer(t, phrasemine.TailConfig{ExactThreshold: -1})
+	for i := 0; i < 3; i++ {
+		w := doJSON(t, s, http.MethodPost, "/docs", AddDocRequest{
+			Text: fmt.Sprintf("volcanic ash cloud grounded flights, bulletin %d", i),
+		})
+		if w.Code != http.StatusAccepted {
+			t.Fatalf("POST /docs: %d %s", w.Code, w.Body)
+		}
+	}
+	w := doJSON(t, s, http.MethodPost, "/mine/batch", BatchRequest{Queries: []MineRequest{
+		{Keywords: []string{"volcanic"}, K: 50},
+		{Keywords: []string{"grain"}, K: 50},
+	}})
+	if w.Code != http.StatusOK {
+		t.Fatalf("batch = %d: %s", w.Code, w.Body)
+	}
+	items := decode[BatchResponse](t, w).Results
+	if len(items) != 2 {
+		t.Fatalf("batch returned %d items", len(items))
+	}
+	// On the forced sketch path the tail cannot attribute documents to one
+	// query, so every answer over a non-empty tail is conservatively marked
+	// with the whole buffer. The fresh phrase shows up only where it
+	// belongs.
+	for i, item := range items {
+		if item.TailDocs != 3 || !item.Approximate {
+			t.Fatalf("batch item %d = %+v, want tail_docs=3 approximate", i, item)
+		}
+	}
+	hasVolcanic := func(rs []MineResult) bool {
+		for _, r := range rs {
+			if r.Phrase == "volcanic ash cloud" {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasVolcanic(items[0].Results) {
+		t.Fatalf("fresh phrase missing from its query: %+v", items[0].Results)
+	}
+	if hasVolcanic(items[1].Results) {
+		t.Fatalf("fresh phrase leaked into an unrelated query: %+v", items[1].Results)
+	}
+	// Repeat: the approximate item must not have been cached.
+	w = doJSON(t, s, http.MethodPost, "/mine/batch", BatchRequest{Queries: []MineRequest{
+		{Keywords: []string{"volcanic"}, K: 50},
+	}})
+	if decode[BatchResponse](t, w).Results[0].Cached {
+		t.Fatal("approximate batch item was cached")
+	}
+}

@@ -250,6 +250,13 @@ func (s *Server) Reload() error {
 	// Results computed against the old generation must not answer queries
 	// against the new one.
 	s.cache.Invalidate()
+	// A successful reload clears the read-only latch: the latch exists
+	// because memory and the write-ahead log may disagree after a failed
+	// append, and the fresh generation was just reopened from durable
+	// state (snapshot plus surviving log), so the two agree again. Leaving
+	// it latched would wedge a healthy server in read-only until a full
+	// process restart.
+	s.readOnly.Store(false)
 	statReloads.Add(1)
 	go func() {
 		// Close blocks until the old generation's in-flight queries
@@ -303,6 +310,12 @@ type MineRequest struct {
 	// query deadline expires mid-gather, the completed segments' merged
 	// answer comes back marked "degraded" instead of a 504.
 	Partial bool `json:"partial,omitempty"`
+	// Window, when non-empty, restricts mining to documents ingested
+	// during the trailing duration (Go syntax, e.g. "1h" or "30m") —
+	// served from the live tail's rotated sketches, always approximate,
+	// never cached. Requires the serving miner to have the live tail
+	// enabled.
+	Window string `json:"window,omitempty"`
 }
 
 // MineResult is one phrase of a /mine response.
@@ -326,6 +339,14 @@ type MineResponse struct {
 	// partial requests against a sharded miner; both omitted otherwise.
 	SegmentsDone  int `json:"segments_done,omitempty"`
 	SegmentsTotal int `json:"segments_total,omitempty"`
+	// TailDocs is how many live-tail documents (ingested, not yet
+	// compacted) contributed to the answer; omitted when none did.
+	TailDocs int `json:"tail_docs,omitempty"`
+	// Approximate marks an answer whose tail contribution came from the
+	// count-min sketches (or a windowed query): tail counts are upper
+	// bounds within a documented error, never undercounts. Approximate
+	// answers are never cached.
+	Approximate bool `json:"approximate,omitempty"`
 }
 
 // BatchRequest is the /mine/batch request body.
@@ -344,6 +365,9 @@ type BatchItemResponse struct {
 	Degraded      bool `json:"degraded,omitempty"`
 	SegmentsDone  int  `json:"segments_done,omitempty"`
 	SegmentsTotal int  `json:"segments_total,omitempty"`
+	// TailDocs and Approximate mirror MineResponse's live-tail markers.
+	TailDocs    int  `json:"tail_docs,omitempty"`
+	Approximate bool `json:"approximate,omitempty"`
 }
 
 // BatchResponse is the /mine/batch response body.
@@ -366,6 +390,9 @@ type StatsResponse struct {
 	// Durability reports whether mutations are logged before they are
 	// acknowledged, and the mutation log's current state.
 	Durability DurabilityStats `json:"durability"`
+	// Tail is the live tail's state (buffered documents, sketch footprint,
+	// error bound); omitted when the live tail is disabled.
+	Tail *phrasemine.TailStats `json:"tail,omitempty"`
 }
 
 // DurabilityStats is the durability block of a /stats response.
@@ -432,27 +459,44 @@ func parseMineRequest(req MineRequest) (parsedQuery, error) {
 	}
 	p.opt.ListFraction = req.Fraction
 	p.opt.Partial = req.Partial
+	if w := strings.TrimSpace(req.Window); w != "" {
+		d, err := time.ParseDuration(w)
+		if err != nil {
+			return p, fmt.Errorf("invalid window %q (want a Go duration like \"1h\"): %v", req.Window, err)
+		}
+		if d <= 0 {
+			return p, fmt.Errorf("window must be positive, got %q", req.Window)
+		}
+		p.opt.Window = d
+	}
 	p.keywords = req.Keywords
 
 	// Cache key: the normalized keyword set is sorted and deduplicated —
 	// AND and OR are commutative and the miner deduplicates too, so
-	// "trade oil" and "oil trade" share one entry. Partial is deliberately
-	// not in the key: cached answers are always full answers (degraded
-	// results are never cached), and a full answer satisfies a partial
-	// request.
+	// "trade oil" and "oil trade" share one entry. Defaults come from the
+	// phrasemine package itself (DefaultK, DefaultListFraction), so a
+	// request spelling them explicitly shares an entry with one leaving
+	// them zero — and the two can never drift apart. Each keyword is
+	// quoted before joining: no crafted keyword can collide with another
+	// set's delimiters. Partial is deliberately not in the key: cached
+	// answers are always full answers (degraded results are never cached),
+	// and a full answer satisfies a partial request.
 	key := append([]string(nil), normalized...)
 	sort.Strings(key)
 	key = slices.Compact(key)
+	for i, kw := range key {
+		key[i] = strconv.Quote(kw)
+	}
 	k := p.opt.K
 	if k == 0 {
-		k = 5
+		k = phrasemine.DefaultK
 	}
 	frac := p.opt.ListFraction
 	if frac == 0 {
-		frac = 1
+		frac = phrasemine.DefaultListFraction
 	}
-	p.cacheKey = fmt.Sprintf("%s|%s|%d|%s|%g",
-		strings.Join(key, "\x1f"), p.op, k, p.opt.Algorithm, frac)
+	p.cacheKey = fmt.Sprintf("%s|%s|%d|%s|%g|%s",
+		strings.Join(key, ","), p.op, k, p.opt.Algorithm, frac, p.opt.Window)
 	return p, nil
 }
 
@@ -536,10 +580,14 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	// invalidates the cache while this query runs, Put discards the
 	// now-stale result instead of poisoning the fresh cache.
 	gen := s.cache.Generation()
-	if results, ok := s.cache.Get(p.cacheKey); ok {
-		statCacheHits.Add(1)
-		writeJSON(w, http.StatusOK, MineResponse{Results: toMineResults(results), Cached: true})
-		return
+	// Windowed answers depend on the clock, not just the corpus — they
+	// bypass the cache entirely.
+	if p.opt.Window == 0 {
+		if results, ok := s.cache.Get(p.cacheKey); ok {
+			statCacheHits.Add(1)
+			writeJSON(w, http.StatusOK, MineResponse{Results: toMineResults(results), Cached: true})
+			return
+		}
 	}
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
@@ -557,7 +605,11 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		// A degraded answer reflects this deadline's luck, not the
 		// query's true result; it must never be served from cache.
 		statDegraded.Add(1)
-	} else {
+	}
+	if mined.Approximate {
+		statApproximate.Add(1)
+	}
+	if cacheableMined(mined) && p.opt.Window == 0 {
 		s.cache.Put(p.cacheKey, mined.Results, gen)
 	}
 	writeJSON(w, http.StatusOK, MineResponse{
@@ -565,7 +617,17 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		Degraded:      mined.Degraded,
 		SegmentsDone:  mined.SegmentsDone,
 		SegmentsTotal: mined.SegmentsTotal,
+		TailDocs:      mined.TailDocs,
+		Approximate:   mined.Approximate,
 	})
+}
+
+// cacheableMined reports whether an answer may enter the result cache:
+// complete (not degraded) and independent of the live tail. Tail-touched
+// answers change with every Add and windowed/sketched ones are
+// approximate — serving either from cache would freeze a moving answer.
+func cacheableMined(m phrasemine.Mined) bool {
+	return !m.Degraded && !m.Approximate && m.TailDocs == 0
 }
 
 func (s *Server) handleMineBatch(w http.ResponseWriter, r *http.Request) {
@@ -600,10 +662,12 @@ func (s *Server) handleMineBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		parsed[i] = p
-		if results, ok := s.cache.Get(p.cacheKey); ok {
-			statCacheHits.Add(1)
-			out[i] = BatchItemResponse{Results: toMineResults(results), Cached: true}
-			continue
+		if p.opt.Window == 0 {
+			if results, ok := s.cache.Get(p.cacheKey); ok {
+				statCacheHits.Add(1)
+				out[i] = BatchItemResponse{Results: toMineResults(results), Cached: true}
+				continue
+			}
 		}
 		missItems = append(missItems, phrasemine.BatchItem{
 			Keywords: p.keywords, Op: p.op, Options: p.opt,
@@ -636,7 +700,11 @@ func (s *Server) handleMineBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			if br.Degraded {
 				statDegraded.Add(1)
-			} else {
+			}
+			if br.Approximate {
+				statApproximate.Add(1)
+			}
+			if !br.Degraded && !br.Approximate && br.TailDocs == 0 && parsed[slot].opt.Window == 0 {
 				s.cache.Put(parsed[slot].cacheKey, br.Results, gen)
 			}
 			out[slot] = BatchItemResponse{
@@ -644,6 +712,8 @@ func (s *Server) handleMineBatch(w http.ResponseWriter, r *http.Request) {
 				Degraded:      br.Degraded,
 				SegmentsDone:  br.SegmentsDone,
 				SegmentsTotal: br.SegmentsTotal,
+				TailDocs:      br.TailDocs,
+				Approximate:   br.Approximate,
 			}
 		}
 	}
@@ -737,8 +807,9 @@ type AddDocRequest struct {
 // refuseReadOnly rejects a mutation with 503 while the server is latched
 // read-only (a prior WAL append failed) and reports whether it did. The
 // latch is sticky by design: once the log and memory may disagree, no
-// further mutation can be acknowledged honestly — only a restart, which
-// replays the surviving log, clears the state.
+// further mutation can be acknowledged honestly — only reopening from
+// durable state clears it: a process restart, or a successful hot reload
+// (both replay the surviving log).
 func (s *Server) refuseReadOnly(w http.ResponseWriter) bool {
 	if !s.readOnly.Load() {
 		return false
@@ -841,7 +912,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	m := s.Miner()
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Documents:      m.NumDocuments(),
 		Phrases:        m.NumPhrases(),
 		VocabSize:      m.VocabSize(),
@@ -850,7 +921,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Index:          m.IndexStats(),
 		Cache:          s.cache.Stats(),
 		Durability:     s.durabilityStats(m),
-	})
+	}
+	if st, ok := m.TailStats(); ok {
+		resp.Tail = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // durabilityStats assembles the /stats durability block from the serving

@@ -1,0 +1,107 @@
+// This file holds the live-tail gather merge: combining a base engine's
+// resolved top-k answer with the live tail's per-phrase document counts
+// into one ranking, without consulting the base lists again. The merged
+// interestingness follows Eq. 1 extended over the disjoint union
+// D ⊎ T of base corpus and tail:
+//
+//	ID(p, D' ⊎ T') = (freq(p, D') + freq(p, T')) / (freq(p, D) + freq(p, T))
+//
+// where the base frequencies come from the already-computed answer
+// (freq(p, D') recovered as estimate × df) and the tail frequencies from
+// livetail counts. Phrases absent from the base dictionary surface from
+// their tail counts alone — how a genuinely new phrase becomes
+// query-visible before any rebuild.
+package topk
+
+import "sort"
+
+// LiveCandidate is one phrase's counts entering MergeLiveTail. Base
+// results and tail contributions use the same shape; a merged phrase sums
+// the fields of its two sides.
+type LiveCandidate struct {
+	// Phrase is the canonical phrase text — the join key (tail phrases may
+	// have no base PhraseID yet).
+	Phrase string
+	// Score is the base algorithm's native aggregate score, zero for
+	// tail-only phrases.
+	Score float64
+	// BaseFreq estimates freq(p, D'), the phrase's selected-subset
+	// frequency in the base engine; zero for phrases outside the base
+	// answer.
+	BaseFreq float64
+	// BaseDF is freq(p, D), the phrase's base-corpus document frequency.
+	BaseDF float64
+	// TailFreq is (an upper bound on) freq(p, T'), the phrase's frequency
+	// among the tail documents the query selects.
+	TailFreq float64
+	// TailDF is freq(p, T), the phrase's document frequency over the whole
+	// consulted tail.
+	TailDF float64
+}
+
+// LiveMerged is one phrase of a merged live answer.
+type LiveMerged struct {
+	// Phrase is the canonical phrase text.
+	Phrase string
+	// Score is the base algorithm score where the phrase came from the
+	// base answer, the merged interestingness otherwise.
+	Score float64
+	// Interestingness is the merged estimate of ID(p, D' ⊎ T'), capped at 1.
+	Interestingness float64
+}
+
+// MergeLiveTail joins the base answer with tail contributions by phrase,
+// ranks by merged interestingness (descending, ties by phrase text), and
+// returns the top k. A phrase on both sides merges its counts; a phrase
+// with a zero merged denominator is dropped. With an empty tail side the
+// result is the base ranking re-scored over an unchanged denominator —
+// callers skip the merge entirely in that case to keep answers
+// bit-identical to the tail-free path.
+func MergeLiveTail(base, tail []LiveCandidate, k int) []LiveMerged {
+	joined := make(map[string]*LiveCandidate, len(base)+len(tail))
+	order := make([]*LiveCandidate, 0, len(base)+len(tail))
+	for i := range base {
+		c := base[i]
+		joined[c.Phrase] = &c
+		order = append(order, &c)
+	}
+	for _, t := range tail {
+		if c, ok := joined[t.Phrase]; ok {
+			c.TailFreq += t.TailFreq
+			c.TailDF += t.TailDF
+			continue
+		}
+		c := t
+		joined[c.Phrase] = &c
+		order = append(order, &c)
+	}
+	out := make([]LiveMerged, 0, len(order))
+	for _, c := range order {
+		den := c.BaseDF + c.TailDF
+		if den <= 0 {
+			continue
+		}
+		id := (c.BaseFreq + c.TailFreq) / den
+		if id > 1 {
+			id = 1
+		}
+		if id <= 0 {
+			continue
+		}
+		score := c.Score
+		if score == 0 {
+			score = id
+		}
+		out = append(out, LiveMerged{Phrase: c.Phrase, Score: score, Interestingness: id})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Interestingness != out[j].Interestingness {
+			return out[i].Interestingness > out[j].Interestingness
+		}
+		return out[i].Phrase < out[j].Phrase
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

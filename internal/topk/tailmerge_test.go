@@ -1,0 +1,71 @@
+package topk
+
+import "testing"
+
+func TestMergeLiveTailJoinsByPhrase(t *testing.T) {
+	base := []LiveCandidate{
+		{Phrase: "phrase mining", Score: 0.9, BaseFreq: 9, BaseDF: 10},
+		{Phrase: "neural networks", Score: 0.5, BaseFreq: 5, BaseDF: 10},
+	}
+	tail := []LiveCandidate{
+		{Phrase: "phrase mining", TailFreq: 1, TailDF: 2},
+		{Phrase: "live sketches", TailFreq: 2, TailDF: 2},
+	}
+	got := MergeLiveTail(base, tail, 10)
+	if len(got) != 3 {
+		t.Fatalf("merged %d phrases, want 3: %+v", len(got), got)
+	}
+	// "live sketches": 2/2 = 1 outranks "phrase mining": (9+1)/(10+2) = 0.833…
+	if got[0].Phrase != "live sketches" || got[0].Interestingness != 1 {
+		t.Errorf("top = %+v, want live sketches at 1", got[0])
+	}
+	if got[1].Phrase != "phrase mining" {
+		t.Errorf("second = %+v, want phrase mining", got[1])
+	}
+	if want := 10.0 / 12.0; got[1].Interestingness != want {
+		t.Errorf("merged interestingness = %v, want %v", got[1].Interestingness, want)
+	}
+	// Base-sourced phrases keep their native score; tail-only ones adopt
+	// the merged interestingness.
+	if got[1].Score != 0.9 {
+		t.Errorf("base phrase score = %v, want 0.9", got[1].Score)
+	}
+	if got[0].Score != 1 {
+		t.Errorf("tail-only phrase score = %v, want 1", got[0].Score)
+	}
+	if got[2].Phrase != "neural networks" || got[2].Interestingness != 0.5 {
+		t.Errorf("third = %+v, want neural networks at 0.5", got[2])
+	}
+}
+
+func TestMergeLiveTailCapsAndDrops(t *testing.T) {
+	// Sketch overcounts can push freq above df; the merged estimate is
+	// capped at 1. Zero denominators and zero numerators are dropped.
+	tail := []LiveCandidate{
+		{Phrase: "overcounted", TailFreq: 5, TailDF: 2},
+		{Phrase: "no denominator", TailFreq: 1},
+		{Phrase: "unmatched", TailDF: 3},
+	}
+	got := MergeLiveTail(nil, tail, 10)
+	if len(got) != 1 {
+		t.Fatalf("merged %d phrases, want 1: %+v", len(got), got)
+	}
+	if got[0].Phrase != "overcounted" || got[0].Interestingness != 1 {
+		t.Errorf("got %+v, want overcounted capped at 1", got[0])
+	}
+}
+
+func TestMergeLiveTailOrderingAndK(t *testing.T) {
+	tail := []LiveCandidate{
+		{Phrase: "bravo", TailFreq: 1, TailDF: 2},
+		{Phrase: "alpha", TailFreq: 1, TailDF: 2},
+		{Phrase: "charlie", TailFreq: 2, TailDF: 2},
+	}
+	got := MergeLiveTail(nil, tail, 2)
+	if len(got) != 2 {
+		t.Fatalf("k=2 returned %d", len(got))
+	}
+	if got[0].Phrase != "charlie" || got[1].Phrase != "alpha" {
+		t.Errorf("order = [%s %s], want [charlie alpha] (ties break by phrase)", got[0].Phrase, got[1].Phrase)
+	}
+}

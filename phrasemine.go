@@ -70,12 +70,14 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"phrasemine/internal/baseline"
 	"phrasemine/internal/core"
 	"phrasemine/internal/corpus"
 	"phrasemine/internal/diskio"
 	"phrasemine/internal/diskio/faultfs"
+	"phrasemine/internal/livetail"
 	"phrasemine/internal/parallel"
 	"phrasemine/internal/plist"
 	"phrasemine/internal/textproc"
@@ -219,6 +221,13 @@ type Config struct {
 	// Add/Remove still returns only after its record is durable, but one
 	// fsync can cover every record appended before it.
 	WALSync string
+	// Tail configures the live tail: with Tail.Enabled, every Add also
+	// lands in an in-memory tail buffer (plus a count-min sketch of its
+	// co-occurrence counts) that Mine consults immediately — a freshly
+	// added document is query-visible with no Flush. Like the WAL
+	// settings, the tail is a property of the running process: Save strips
+	// it, and loaded miners re-enable it through EnableLiveTail.
+	Tail TailConfig
 }
 
 // DefaultConfig returns the paper's indexing configuration.
@@ -274,6 +283,9 @@ func (c Config) Validate() error {
 	if c.WALSync != "" && c.WALDir == "" {
 		return fmt.Errorf("phrasemine: WALSync=%q set without WALDir; set WALDir to enable the mutation log", c.WALSync)
 	}
+	if err := c.Tail.validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -290,10 +302,20 @@ type Result struct {
 	Interestingness float64
 }
 
+// DefaultK is the result count a Mine call with QueryOptions.K == 0
+// gets — the paper's evaluation setting. Layers above the miner (the HTTP
+// server's request parser and its cache keys) use it instead of
+// re-deriving the default by hand.
+const DefaultK = 5
+
+// DefaultListFraction is the effective ListFraction when QueryOptions
+// leaves it zero (or out of range): full lists, no truncation.
+const DefaultListFraction = 1.0
+
 // QueryOptions tunes one Mine call.
 type QueryOptions struct {
-	// K is the number of phrases to return (0 selects the paper's
-	// default of 5; negative values are an error).
+	// K is the number of phrases to return (0 selects DefaultK;
+	// negative values are an error).
 	K int
 	// Algorithm selects the strategy (default AlgoAuto).
 	Algorithm Algorithm
@@ -313,6 +335,14 @@ type QueryOptions struct {
 	// monolithic miners or the GM/Exact baselines, and a query that beats
 	// its deadline returns the full, non-degraded answer either way.
 	Partial bool
+	// Window, when positive, mines only the documents ingested through the
+	// live tail during the trailing window (rounded up to whole rotation
+	// periods) — served entirely from the tail's rotated sketches, so the
+	// answer is always marked Approximate and survives compaction.
+	// Requires a live tail (Config.Tail.Enabled or EnableLiveTail) and a
+	// list algorithm (the GM/Exact baselines have no windowed form);
+	// negative values are an error.
+	Window time.Duration
 }
 
 // Miner indexes a corpus and answers interesting-phrase queries. It is
@@ -367,6 +397,12 @@ type Miner struct {
 	// batches tally them after releasing the read lock.
 	sharedHits   atomic.Int64
 	sharedMisses atomic.Int64
+	// tail, when non-nil, is the live-tail buffer: Add feeds it under the
+	// write lock, queries merge its contributions under the read lock, and
+	// Flush folds it into real segments (Clear). Enabled by
+	// Config.Tail.Enabled or EnableLiveTail — which must precede EnableWAL
+	// so log replay repopulates the tail.
+	tail *livetail.Tail
 }
 
 // NewMinerFromTexts tokenizes and indexes plain-text documents.
@@ -409,6 +445,14 @@ func NewMinerFromDocuments(docs []Document, cfg Config) (*Miner, error) {
 	m, err := newMiner(c, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Tail.Enabled {
+		// Before the WAL: EnableWAL replays surviving records through
+		// addDocumentLocked, and only an already-enabled tail sees them.
+		if err := m.EnableLiveTail(cfg.Tail); err != nil {
+			m.Close()
+			return nil, err
+		}
 	}
 	if cfg.WALDir != "" {
 		// A fresh build carries no marker: every surviving record of an
@@ -547,11 +591,25 @@ type Mined struct {
 	// SegmentsDone is how many segments contributed to Results; equal to
 	// SegmentsTotal when the answer is complete.
 	SegmentsDone int
+	// TailDocs is how many live-tail documents contributed to the answer:
+	// the matching tail documents when the tail was scanned exactly, or the
+	// whole consulted tail when the sketch answered. Zero when the tail is
+	// disabled, empty, or matched nothing.
+	TailDocs int
+	// Approximate marks an answer whose tail contribution came from the
+	// count-min sketches (tail above its exact threshold, or a windowed
+	// query) rather than an exact scan: tail counts are upper bounds within
+	// the sketch's documented error, never undercounts.
+	Approximate bool
 }
 
 // MineDetailed is MineCtx reporting the full outcome, including whether a
-// Partial query degraded and how many segments contributed.
+// Partial query degraded and how many segments contributed. A nil ctx is
+// treated as context.Background().
 func (m *Miner) MineDetailed(ctx context.Context, keywords []string, op Operator, opt QueryOptions) (Mined, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	p, err := prepareQuery(keywords, op, opt)
 	if err != nil {
 		return Mined{}, err
@@ -568,6 +626,7 @@ type preparedQuery struct {
 	k       int
 	frac    float64
 	partial bool
+	window  time.Duration
 }
 
 // prepareQuery normalizes and validates one Mine request.
@@ -581,10 +640,13 @@ func prepareQuery(keywords []string, op Operator, opt QueryOptions) (preparedQue
 		return preparedQuery{}, err
 	}
 	if opt.K < 0 {
-		return preparedQuery{}, fmt.Errorf("phrasemine: K must be non-negative, got %d (0 selects the default of 5)", opt.K)
+		return preparedQuery{}, fmt.Errorf("phrasemine: K must be non-negative, got %d (0 selects DefaultK = %d)", opt.K, DefaultK)
 	}
 	if opt.K == 0 {
-		opt.K = 5
+		opt.K = DefaultK
+	}
+	if opt.Window < 0 {
+		return preparedQuery{}, fmt.Errorf("phrasemine: Window must be non-negative, got %v", opt.Window)
 	}
 	if math.IsNaN(opt.ListFraction) {
 		// NaN slips through every range guard (all comparisons are false)
@@ -594,7 +656,7 @@ func prepareQuery(keywords []string, op Operator, opt QueryOptions) (preparedQue
 	}
 	frac := opt.ListFraction
 	if frac <= 0 || frac > 1 {
-		frac = 1
+		frac = DefaultListFraction
 	}
 	algo := opt.Algorithm
 	if algo == AlgoAuto {
@@ -606,7 +668,10 @@ func prepareQuery(keywords []string, op Operator, opt QueryOptions) (preparedQue
 			algo = AlgoNRA
 		}
 	}
-	return preparedQuery{q: q, algo: algo, k: opt.K, frac: frac, partial: opt.Partial}, nil
+	if opt.Window > 0 && (algo == AlgoGM || algo == AlgoExact) {
+		return preparedQuery{}, fmt.Errorf("phrasemine: windowed mining is served from the live tail and has no %s form; use a list algorithm", algo)
+	}
+	return preparedQuery{q: q, algo: algo, k: opt.K, frac: frac, partial: opt.Partial, window: opt.Window}, nil
 }
 
 // asMined wraps a plain result list as a complete (non-degraded) Mined.
@@ -641,6 +706,11 @@ func (m *Miner) mineOne(ctx context.Context, p preparedQuery, sc *plist.ShareCac
 	if m.closed {
 		return Mined{}, ErrMinerClosed
 	}
+	if p.window > 0 {
+		// Windowed queries are served entirely from the tail's rotated
+		// sketches, independent of which engine holds the base corpus.
+		return m.mineWindowLocked(p)
+	}
 
 	if m.sh != nil {
 		return m.mineSharded(ctx, p)
@@ -669,7 +739,11 @@ func (m *Miner) mineOne(ctx context.Context, p preparedQuery, sc *plist.ShareCac
 		if err != nil {
 			return Mined{}, err
 		}
-		return asMined(m.resolve(results, p.q))
+		res, err := m.resolve(results, p.q)
+		if err != nil {
+			return Mined{}, err
+		}
+		return m.mergeTailLocked(Mined{Results: res}, p)
 	case AlgoSMJ:
 		smj, err := m.smjIndex(p.frac)
 		if err != nil {
@@ -687,7 +761,11 @@ func (m *Miner) mineOne(ctx context.Context, p preparedQuery, sc *plist.ShareCac
 		if err != nil {
 			return Mined{}, err
 		}
-		return asMined(m.resolve(results, p.q))
+		res, err := m.resolve(results, p.q)
+		if err != nil {
+			return Mined{}, err
+		}
+		return m.mergeTailLocked(Mined{Results: res}, p)
 	case AlgoGM:
 		g, err := m.ix.GM()
 		if err != nil {
@@ -742,12 +820,12 @@ func (m *Miner) mineSharded(ctx context.Context, p preparedQuery) (Mined, error)
 			if err != nil {
 				return Mined{}, err
 			}
-			return Mined{
+			return m.mergeTailLocked(Mined{
 				Results:       res,
 				Degraded:      done < total,
 				SegmentsTotal: total,
 				SegmentsDone:  done,
-			}, nil
+			}, p)
 		}
 		var (
 			results []topk.Result
@@ -761,7 +839,11 @@ func (m *Miner) mineSharded(ctx context.Context, p preparedQuery) (Mined, error)
 		if err != nil {
 			return Mined{}, err
 		}
-		return asMined(m.resolveSharded(results, p.q))
+		res, err := m.resolveSharded(results, p.q)
+		if err != nil {
+			return Mined{}, err
+		}
+		return m.mergeTailLocked(Mined{Results: res}, p)
 	case AlgoGM, AlgoExact:
 		// Both baselines compute the same exact interestingness; the
 		// sharded engine serves them through one scatter-gather.
@@ -831,6 +913,10 @@ type BatchResult struct {
 	SegmentsDone int
 	// SegmentsTotal is the miner's segment count (zero on monolithic).
 	SegmentsTotal int
+	// TailDocs mirrors Mined.TailDocs for this slot.
+	TailDocs int
+	// Approximate mirrors Mined.Approximate for this slot.
+	Approximate bool
 }
 
 // BatchOptions tunes shared-scan execution in MineBatchOpts.
@@ -900,8 +986,12 @@ func (m *Miner) MineBatchCtx(ctx context.Context, items []BatchItem) []BatchResu
 // MineBatchOptsCtx is MineBatchOpts under a batch-wide context (see
 // MineBatchCtx). Shared-scan caches are still released only after every
 // member returns — cancellation makes the members return fast, it never
-// tears a shared decode out from under one.
+// tears a shared decode out from under one. A nil ctx is treated as
+// context.Background().
 func (m *Miner) MineBatchOptsCtx(ctx context.Context, items []BatchItem, opt BatchOptions) ([]BatchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
@@ -992,6 +1082,8 @@ func (m *Miner) MineBatchOptsCtx(ctx context.Context, items []BatchItem, opt Bat
 			Degraded:      mined.Degraded,
 			SegmentsDone:  mined.SegmentsDone,
 			SegmentsTotal: mined.SegmentsTotal,
+			TailDocs:      mined.TailDocs,
+			Approximate:   mined.Approximate,
 		}
 	}
 	if workers <= 1 {
@@ -1160,12 +1252,19 @@ func (m *Miner) mutate(rec diskio.WALRecord, apply func() error) error {
 	return nil
 }
 
-// addDocumentLocked applies one addition under the held write lock.
+// addDocumentLocked applies one addition under the held write lock. With a
+// live tail enabled the document also lands in the tail buffer — including
+// during WAL replay, which routes through here, so a crash-recovered miner
+// re-serves the un-compacted tail.
 func (m *Miner) addDocumentLocked(d corpus.Document) error {
 	if m.sh != nil {
 		// Sharded engines route additions to the write segment at Flush;
-		// pending documents are not visible to queries before it.
+		// before it, pending documents are visible to queries only through
+		// the live tail (when enabled).
 		m.sh.AddDocument(d)
+		if m.tail != nil {
+			m.tail.Add(d)
+		}
 		return nil
 	}
 	if m.delta == nil {
@@ -1175,7 +1274,13 @@ func (m *Miner) addDocumentLocked(d corpus.Document) error {
 		}
 		m.delta = delta
 	}
-	return m.delta.AddDocument(d)
+	if err := m.delta.AddDocument(d); err != nil {
+		return err
+	}
+	if m.tail != nil {
+		m.tail.Add(d)
+	}
+	return nil
 }
 
 // removeDocumentLocked applies one removal under the held write lock.
@@ -1213,6 +1318,11 @@ func (m *Miner) DiscardPendingUpdates() error {
 		m.sh.DiscardPendingUpdates()
 	} else {
 		m.delta = nil
+	}
+	if m.tail != nil {
+		// Discard is a rollback, not a compaction: drop the windowed
+		// history too, so discarded documents stop counting everywhere.
+		m.tail.Reset()
 	}
 	if m.wal != nil {
 		if err := m.wal.TruncateToApplied(); err != nil {
@@ -1384,6 +1494,14 @@ func (m *Miner) Flush() error {
 	if err := m.flushLocked(); err != nil {
 		return err
 	}
+	if m.tail != nil {
+		// The tail's documents are now inside real segments: drop the
+		// buffer (windowed history survives — it covers compacted documents
+		// by design). Cleared before the WAL checkpoint on purpose: a crash
+		// between the two reopens to "old snapshot + full log", and replay
+		// routes through addDocumentLocked, repopulating the tail.
+		m.tail.Clear()
+	}
 	if m.wal != nil && m.wal.NeedsCheckpoint() {
 		return m.walCheckpointLocked()
 	}
@@ -1539,6 +1657,7 @@ func (m *Miner) savedConfig() Config {
 	saved := m.cfg
 	saved.Workers, saved.Shards = 0, 0
 	saved.WALDir, saved.WALSync = "", ""
+	saved.Tail = TailConfig{}
 	return saved
 }
 

@@ -159,3 +159,25 @@ func TestMineBatchCtxCanceled(t *testing.T) {
 		}
 	}
 }
+
+// TestNilCtxTreatedAsBackground pins the public-boundary contract: a nil
+// ctx on the Ctx entry points behaves like context.Background() instead of
+// panicking inside the query path.
+func TestNilCtxTreatedAsBackground(t *testing.T) {
+	m := newTestMiner(t)
+	want, err := m.Mine([]string{"trade"}, OR, QueryOptions{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.MineCtx(nil, []string{"trade"}, OR, QueryOptions{K: 5}) //nolint:staticcheck // nil ctx is the case under test
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !minedEqual(got, want) {
+		t.Fatal("nil-ctx MineCtx diverged from Mine")
+	}
+	out := m.MineBatchCtx(nil, []BatchItem{{Keywords: []string{"trade"}, Op: OR}}) //nolint:staticcheck // nil ctx is the case under test
+	if len(out) != 1 || out[0].Err != nil {
+		t.Fatalf("nil-ctx MineBatchCtx: %+v", out)
+	}
+}

@@ -1,0 +1,417 @@
+package phrasemine
+
+// Live-tail public-API behavior: a freshly Added document is query-visible
+// with no Flush (monolithic and sharded), compaction folds the tail into
+// real segments without changing answers, WAL replay re-serves the tail
+// after a crash, windowed queries answer from the rotation ring, and a
+// -race ingest-vs-query storm exercises the locking contract.
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func tailTestConfig(segments int) Config {
+	return Config{
+		MinPhraseWords:      1,
+		MaxPhraseWords:      3,
+		MinDocFreq:          2,
+		DropStopwordPhrases: true,
+		Segments:            segments,
+		Tail:                TailConfig{Enabled: true},
+	}
+}
+
+func hasPhrase(res []Result, phrase string) bool {
+	for _, r := range res {
+		if r.Phrase == phrase {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAddVisibleWithoutFlush(t *testing.T) {
+	for _, segments := range []int{0, 3} {
+		t.Run(fmt.Sprintf("segments=%d", segments), func(t *testing.T) {
+			m, err := NewMinerFromTexts(walCorpus(), tailTestConfig(segments))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close()
+
+			// "solar flare watch" is brand new: no base segment has it.
+			if err := m.Add(Document{Text: "solar flare watch issued. solar flare watch continues."}); err != nil {
+				t.Fatal(err)
+			}
+			for _, algo := range []Algorithm{AlgoNRA, AlgoSMJ} {
+				mined, err := m.MineDetailed(context.Background(), []string{"solar"}, AND, QueryOptions{K: 50, Algorithm: algo})
+				if err != nil {
+					t.Fatalf("%s: %v", algo, err)
+				}
+				if !hasPhrase(mined.Results, "solar flare watch") {
+					t.Fatalf("%s: fresh document not visible before Flush: %+v", algo, mined.Results)
+				}
+				if mined.TailDocs != 1 {
+					t.Errorf("%s: TailDocs = %d, want 1", algo, mined.TailDocs)
+				}
+				if mined.Approximate {
+					t.Errorf("%s: one-document tail must answer exactly", algo)
+				}
+			}
+
+			// A query matching no tail document carries no tail marker.
+			mined, err := m.MineDetailed(context.Background(), []string{"weather"}, AND, QueryOptions{K: 50})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mined.TailDocs != 0 || mined.Approximate {
+				t.Errorf("unmatched tail: TailDocs=%d Approximate=%t, want 0/false", mined.TailDocs, mined.Approximate)
+			}
+
+			// A second occurrence so the phrase clears MinDocFreq=2 when
+			// the tail folds into real segments.
+			if err := m.Add(Document{Text: "solar flare watch extended. solar flare watch update."}); err != nil {
+				t.Fatal(err)
+			}
+
+			// Compaction: the answer survives the fold into real segments.
+			if err := m.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if st, ok := m.TailStats(); !ok || st.Docs != 0 {
+				t.Fatalf("tail after Flush: %+v ok=%t, want empty", st, ok)
+			}
+			mined, err = m.MineDetailed(context.Background(), []string{"solar"}, AND, QueryOptions{K: 50})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !hasPhrase(mined.Results, "solar flare watch") {
+				t.Fatalf("phrase lost by compaction: %+v", mined.Results)
+			}
+			if mined.TailDocs != 0 || mined.Approximate {
+				t.Errorf("post-Flush answer still tail-marked: TailDocs=%d Approximate=%t", mined.TailDocs, mined.Approximate)
+			}
+		})
+	}
+}
+
+// TestTailSketchPathMarksApproximate forces the sketch path with a
+// negative threshold and checks the marker contract.
+func TestTailSketchPathMarksApproximate(t *testing.T) {
+	cfg := tailTestConfig(0)
+	cfg.Tail.ExactThreshold = -1
+	m, err := NewMinerFromTexts(walCorpus(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i := 0; i < 4; i++ {
+		if err := m.Add(Document{Text: fmt.Sprintf("glacier survey expedition %d. glacier survey expedition camp.", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mined, err := m.MineDetailed(context.Background(), []string{"glacier"}, AND, QueryOptions{K: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mined.Approximate {
+		t.Fatal("sketch-path answer must be marked Approximate")
+	}
+	if mined.TailDocs != 4 {
+		t.Fatalf("TailDocs = %d, want the whole consulted tail (4)", mined.TailDocs)
+	}
+	if !hasPhrase(mined.Results, "glacier survey expedition") {
+		t.Fatalf("sketch path lost the tail phrase: %+v", mined.Results)
+	}
+}
+
+func TestWindowedMining(t *testing.T) {
+	cfg := tailTestConfig(0)
+	m, err := NewMinerFromTexts(walCorpus(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i := 0; i < 3; i++ {
+		if err := m.Add(Document{Text: fmt.Sprintf("comet tail observation %d. comet tail observation logged.", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mined, err := m.MineDetailed(context.Background(), []string{"comet"}, AND, QueryOptions{K: 50, Window: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mined.Approximate {
+		t.Fatal("windowed answers are always Approximate")
+	}
+	if !hasPhrase(mined.Results, "comet tail observation") {
+		t.Fatalf("windowed answer missing the ingested phrase: %+v", mined.Results)
+	}
+
+	// Windowed history survives compaction by design.
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mined, err = m.MineDetailed(context.Background(), []string{"comet"}, AND, QueryOptions{K: 50, Window: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasPhrase(mined.Results, "comet tail observation") {
+		t.Fatalf("windowed history lost by compaction: %+v", mined.Results)
+	}
+
+	// Windowed mining needs the tail and a list algorithm.
+	m2, err := NewMinerFromTexts(walCorpus(), walTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if _, err := m2.MineDetailed(context.Background(), []string{"comet"}, AND, QueryOptions{Window: time.Hour}); err == nil {
+		t.Fatal("windowed query without a tail must fail")
+	}
+	if _, err := m.MineDetailed(context.Background(), []string{"comet"}, AND, QueryOptions{Window: time.Hour, Algorithm: AlgoGM}); err == nil {
+		t.Fatal("windowed GM must be rejected")
+	}
+	if _, err := m.MineDetailed(context.Background(), []string{"comet"}, AND, QueryOptions{Window: -time.Second}); err == nil {
+		t.Fatal("negative window must be rejected")
+	}
+}
+
+// TestWALReplayRepopulatesTail kills a miner (without Flush) and reopens
+// over the same WAL directory: the replayed mutations must re-serve the
+// live tail exactly as before the crash.
+func TestWALReplayRepopulatesTail(t *testing.T) {
+	dir := t.TempDir()
+	cfg := tailTestConfig(0)
+	cfg.WALDir = filepath.Join(dir, "wal")
+	m, err := NewMinerFromTexts(walCorpus(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(Document{Text: "aurora forecast bulletin tonight. aurora forecast bulletin repeated."}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulated crash: no Flush, no checkpoint — just drop the miner.
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A restarted server rebuilds the base corpus, then enables tail and
+	// WAL in that order; replay routes through the tail.
+	m2, err := NewMinerFromTexts(walCorpus(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if st, ok := m2.TailStats(); !ok || st.Docs != 1 {
+		t.Fatalf("replayed tail: %+v ok=%t, want 1 doc", st, ok)
+	}
+	mined, err := m2.MineDetailed(context.Background(), []string{"aurora"}, AND, QueryOptions{K: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasPhrase(mined.Results, "aurora forecast bulletin") {
+		t.Fatalf("replayed tail not query-visible: %+v", mined.Results)
+	}
+	if mined.TailDocs != 1 {
+		t.Errorf("TailDocs = %d, want 1", mined.TailDocs)
+	}
+}
+
+func TestEnableLiveTailRefusals(t *testing.T) {
+	m, err := NewMinerFromTexts(walCorpus(), walTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Add(Document{Text: "pending doc before tail."}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnableLiveTail(TailConfig{}); err == nil {
+		t.Fatal("EnableLiveTail must refuse with updates pending")
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnableLiveTail(TailConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnableLiveTail(TailConfig{}); err == nil {
+		t.Fatal("EnableLiveTail must refuse when already enabled")
+	}
+	if err := (Config{Tail: TailConfig{SketchWidth: -2}}).Validate(); err == nil {
+		t.Fatal("Config.Validate must reject bad tail sizing")
+	}
+}
+
+func TestDiscardDropsTail(t *testing.T) {
+	m, err := NewMinerFromTexts(walCorpus(), tailTestConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Add(Document{Text: "ephemeral draft note. ephemeral draft note again."}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DiscardPendingUpdates(); err != nil {
+		t.Fatal(err)
+	}
+	mined, err := m.MineDetailed(context.Background(), []string{"ephemeral"}, AND, QueryOptions{K: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mined.Results) != 0 || mined.TailDocs != 0 {
+		t.Fatalf("discarded document still visible: %+v", mined)
+	}
+	// Unlike Flush, Discard drops the windowed history too.
+	mined, err = m.MineDetailed(context.Background(), []string{"ephemeral"}, AND, QueryOptions{K: 50, Window: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mined.Results) != 0 {
+		t.Fatalf("discarded document survives in the window: %+v", mined.Results)
+	}
+}
+
+func TestStartAutoCompact(t *testing.T) {
+	m, err := NewMinerFromTexts(walCorpus(), tailTestConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.StartAutoCompact(0, 0, nil); err == nil {
+		t.Fatal("StartAutoCompact without a trigger must refuse")
+	}
+	var mu sync.Mutex
+	compactions := 0
+	stop, err := m.StartAutoCompact(10*time.Millisecond, 0, func() {
+		mu.Lock()
+		compactions++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	// Two occurrences, so the folded phrase clears MinDocFreq=2.
+	for i := 0; i < 2; i++ {
+		if err := m.Add(Document{Text: fmt.Sprintf("background fold candidate %d. background fold candidate again.", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st, _ := m.TailStats(); st.Docs == 0 && m.PendingUpdates() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("auto-compaction never folded the tail")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	n := compactions
+	mu.Unlock()
+	if n == 0 {
+		t.Fatal("onCompact never fired")
+	}
+	mined, err := m.MineDetailed(context.Background(), []string{"background"}, AND, QueryOptions{K: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasPhrase(mined.Results, "background fold candidate") {
+		t.Fatalf("compacted phrase lost: %+v", mined.Results)
+	}
+	stop()
+	stop() // idempotent
+}
+
+// TestLiveTailIngestQueryStorm hammers concurrent Add against Mine and
+// MineBatch (run with -race). Every error other than a transient
+// tail-phrase resolution is fatal.
+func TestLiveTailIngestQueryStorm(t *testing.T) {
+	for _, segments := range []int{0, 3} {
+		t.Run(fmt.Sprintf("segments=%d", segments), func(t *testing.T) {
+			m, err := NewMinerFromTexts(walCorpus(), tailTestConfig(segments))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close()
+
+			const writers, readers, perWorker = 2, 4, 40
+			var wg sync.WaitGroup
+			errs := make(chan error, writers+readers+1)
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < perWorker; i++ {
+						text := fmt.Sprintf("storm topic alpha %d %d. storm topic alpha repeated.", w, i)
+						if err := m.Add(Document{Text: text}); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(w)
+			}
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					for i := 0; i < perWorker; i++ {
+						if r%2 == 0 {
+							if _, err := m.MineDetailed(context.Background(), []string{"storm"}, AND, QueryOptions{K: 50}); err != nil {
+								errs <- err
+								return
+							}
+							continue
+						}
+						batch := m.MineBatch([]BatchItem{
+							{Keywords: []string{"storm", "topic"}, Op: AND},
+							{Keywords: []string{"trade"}, Op: AND},
+						})
+						for _, b := range batch {
+							if b.Err != nil {
+								errs <- b.Err
+								return
+							}
+						}
+					}
+				}(r)
+			}
+			// One compactor folding mid-storm.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 5; i++ {
+					if err := m.Flush(); err != nil {
+						errs <- err
+						return
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}()
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+
+			if err := m.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			res, err := m.Mine([]string{"storm"}, AND, QueryOptions{K: 500})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !hasPhrase(res, "storm topic alpha") {
+				t.Fatalf("storm phrase missing after final flush: %+v", res)
+			}
+		})
+	}
+}

@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
 # bench.sh — run the figure benchmarks with -benchmem and capture them as a
-# JSON perf record (BENCH_pr8.json by default), continuing the repo's
+# JSON perf record (BENCH_pr10.json by default), continuing the repo's
 # benchmark trajectory: every perf PR measures the same set and commits the
 # updated baseline, and CI gates on it (see the bench-regression job).
-# The PR-8 set adds the cancellation-cost pair to the PR-3..PR-7 sets:
+# The PR-10 set adds the live-tail suite to the PR-3..PR-8 sets:
+# BenchmarkLiveTailIngest prices one streaming Add (ns/doc),
+# BenchmarkLiveTailQuery/{base,exact,sketch,sharded-base,sharded-tail}
+# measures query latency with un-flushed documents (the sharded pair
+# isolates the pure tail-merge overhead), and BenchmarkLiveTailCompact
+# reports sustained compaction throughput (docs/s). From PR-8,
 # BenchmarkCanceledMine/{full,canceled} price an abandoned query against a
 # completed one (a canceled query must cost a small bounded fraction — it
 # pays only query preparation and the entry cancellation check). The PR-7
@@ -24,8 +29,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_pr8.json}
-BENCH=${BENCH:-'^(BenchmarkFig7SMJ20AndReuters|BenchmarkFig9NRADisk20Reuters|BenchmarkConcurrentMine|BenchmarkFig7SMJ20OrReuters|BenchmarkFig10NRADisk20Pubmed|BenchmarkMineBatch|BenchmarkCompressedCursorNext|BenchmarkCompressedCursorSkipTo|BenchmarkCompressedNRAReuters|BenchmarkMmapQueryReuters|BenchmarkSnapshotLoad|BenchmarkSnapshotOpenMmap|BenchmarkShardedMineSeg1Reuters|BenchmarkShardedMineSeg4Reuters|BenchmarkShardedQuerySeg1Reuters|BenchmarkShardedQuerySeg4Reuters|BenchmarkShardedBuildSeg1Reuters|BenchmarkShardedBuildSeg4Reuters|BenchmarkBlockDecodePacked|BenchmarkBlockDecodeVarint|BenchmarkListDecodePacked|BenchmarkListDecodeVarint|BenchmarkMineBatchShared|BenchmarkMineBatchIndependent|BenchmarkCanceledMine)$'}
+OUT=${1:-BENCH_pr10.json}
+BENCH=${BENCH:-'^(BenchmarkFig7SMJ20AndReuters|BenchmarkFig9NRADisk20Reuters|BenchmarkConcurrentMine|BenchmarkFig7SMJ20OrReuters|BenchmarkFig10NRADisk20Pubmed|BenchmarkMineBatch|BenchmarkCompressedCursorNext|BenchmarkCompressedCursorSkipTo|BenchmarkCompressedNRAReuters|BenchmarkMmapQueryReuters|BenchmarkSnapshotLoad|BenchmarkSnapshotOpenMmap|BenchmarkShardedMineSeg1Reuters|BenchmarkShardedMineSeg4Reuters|BenchmarkShardedQuerySeg1Reuters|BenchmarkShardedQuerySeg4Reuters|BenchmarkShardedBuildSeg1Reuters|BenchmarkShardedBuildSeg4Reuters|BenchmarkBlockDecodePacked|BenchmarkBlockDecodeVarint|BenchmarkListDecodePacked|BenchmarkListDecodeVarint|BenchmarkMineBatchShared|BenchmarkMineBatchIndependent|BenchmarkCanceledMine|BenchmarkLiveTailIngest|BenchmarkLiveTailQuery|BenchmarkLiveTailCompact)$'}
 BENCHTIME=${BENCHTIME:-2s}
 BENCHSCALE=${BENCHSCALE:-0.1}
 LABEL=${LABEL:-"$(git rev-parse --short HEAD 2>/dev/null || echo unversioned)"}

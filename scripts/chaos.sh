@@ -27,6 +27,11 @@
 #   7. a torn log tail (the only damage kill -9 can legitimately leave)
 #      must be truncated silently on restart: the server comes up, keeps
 #      the intact prefix, and keeps accepting mutations.
+#   8. live tail ("Live tail & sketch layer"): documents ingested over
+#      HTTP are served immediately — no flush — with the tail_docs
+#      marker; kill -9 mid-compaction, restart, and the WAL replay must
+#      re-serve them live again (or from the completed snapshot if the
+#      compaction won the race), never lose them.
 #
 # Usage: scripts/chaos.sh  (no arguments; builds into a temp dir)
 set -euo pipefail
@@ -312,7 +317,7 @@ for delay in 0.00 0.05 0.15; do
     exit 1
   fi
   curl -sf -X POST "$BASE/flush" > /dev/null
-  if ! curl -sf -X POST -d "{\"keywords\":[\"$token\"],\"k\":20}" "$BASE/mine" \
+  if ! curl -sf -X POST -d "{\"keywords\":[\"$token\"],\"k\":200}" "$BASE/mine" \
       | grep -q "$token"; then
     log "acked documents lost: no $token phrase after kill at ${delay}s + replay + flush"
     exit 1
@@ -362,5 +367,78 @@ kill -INT "$SERVER_PID"
 wait "$SERVER_PID"
 SERVER_PID=""
 log "torn wal tail truncated cleanly; intact prefix replayed, log writable again"
+
+# ------------------------- 8. live tail served pre-flush, kill -9 mid-compaction
+# Ingested documents must answer queries immediately (tail_docs marker,
+# no flush), and must still be served after a kill -9 that lands while a
+# compaction is in flight: either the flush completed (documents are in
+# the snapshot) or it did not (the WAL replay repopulates the live tail).
+log "live tail: pre-flush serving + kill -9 mid-compaction"
+cp "$WORK/corpus.snap" "$WORK/tail-corpus.snap"
+token="zzlivetail"
+rm -rf "$WORK/wal"
+"$WORK/phrasemine" serve -index "$WORK/tail-corpus.snap" -addr "$ADDR" \
+  -wal-dir "$WORK/wal" > "$WORK/serve-tail.log" 2>&1 &
+SERVER_PID=$!
+wait_healthy
+for i in 1 2 3; do
+  code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+    -d "{\"text\":\"the $token signal spiked in period $i\"}" "$BASE/docs")
+  if [ "$code" != "202" ]; then
+    log "POST /docs got $code, want 202"
+    exit 1
+  fi
+done
+live=$(curl -sf -X POST -d "{\"keywords\":[\"$token\"],\"k\":200}" "$BASE/mine")
+if ! echo "$live" | grep -q "$token"; then
+  log "freshly ingested phrase not served live (no flush issued): $live"
+  exit 1
+fi
+if ! echo "$live" | grep -q '"tail_docs"'; then
+  log "live answer carried no tail_docs marker: $live"
+  exit 1
+fi
+taildocs=$(curl -sf "$BASE/stats" | sed -n 's/.*"tail":{"docs": *\([0-9]*\).*/\1/p')
+if [ "${taildocs:-0}" -ne 3 ]; then
+  log "/stats tail block shows ${taildocs:-0} buffered docs, want 3"
+  exit 1
+fi
+# Kill mid-compaction: start the flush and shoot the server while it runs.
+curl -sf -X POST "$BASE/flush" > /dev/null 2>&1 &
+FLUSH_PID=$!
+sleep 0.02
+kill -9 "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+wait "$FLUSH_PID" 2>/dev/null || true
+SERVER_PID=""
+
+"$WORK/phrasemine" serve -index "$WORK/tail-corpus.snap" -addr "$ADDR" \
+  -wal-dir "$WORK/wal" > "$WORK/serve-tail-recovered.log" 2>&1 &
+SERVER_PID=$!
+wait_healthy
+pending=$(curl -sf "$BASE/stats" \
+  | sed -n 's/.*"pending_updates": *\([0-9]*\).*/\1/p')
+taildocs=$(curl -sf "$BASE/stats" | sed -n 's/.*"tail":{"docs": *\([0-9]*\).*/\1/p')
+if [ "${pending:-0}" -ne "${taildocs:-0}" ]; then
+  log "replay left tail (${taildocs:-0} docs) out of step with pending delta (${pending:-0})"
+  exit 1
+fi
+# Whichever side of the compaction the kill landed on, the documents
+# serve — live from the replayed tail, or from the checkpointed snapshot.
+if ! curl -sf -X POST -d "{\"keywords\":[\"$token\"],\"k\":200}" "$BASE/mine" \
+    | grep -q "$token"; then
+  log "ingested documents lost across kill -9 mid-compaction (pending=${pending:-0})"
+  exit 1
+fi
+curl -sf -X POST "$BASE/flush" > /dev/null
+if ! curl -sf -X POST -d "{\"keywords\":[\"$token\"],\"k\":200}" "$BASE/mine" \
+    | grep -q "$token"; then
+  log "ingested documents lost after post-recovery flush"
+  exit 1
+fi
+kill -INT "$SERVER_PID"
+wait "$SERVER_PID"
+SERVER_PID=""
+log "live tail leg passed: served pre-flush (replayed ${taildocs:-0} tail docs after kill), survived compaction crash"
 
 log "all chaos legs passed"
